@@ -1,0 +1,43 @@
+"""Shared fixtures for the experiment benchmarks (E1-E8).
+
+The knowledge base and the pretrained Automated Ensemble are built once
+per session at a scale that keeps the whole harness in the minutes range
+while preserving every shape claim (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DatasetRegistry
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return DatasetRegistry(seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_kb(registry):
+    """Real pipeline-built knowledge base: 18 fast methods × 20 series."""
+    from repro.knowledge import build_benchmark_knowledge
+    kb, reg = build_benchmark_knowledge(per_domain=2, length=384,
+                                        registry=registry)
+    return kb
+
+
+@pytest.fixture(scope="session")
+def bench_auto(bench_kb, registry):
+    """AutoEnsemble pretrained on the session knowledge base."""
+    from repro.ensemble import AutoEnsemble
+    auto = AutoEnsemble(bench_kb, registry=registry, lookback=96, horizon=24,
+                        ts2vec_params={"iterations": 50, "batch_size": 8},
+                        classifier_params={"epochs": 120})
+    return auto.pretrain()
+
+
+@pytest.fixture(scope="session")
+def scale_kb():
+    """Synthetic TFB-scale store (30+ methods × 2,000 series) for E6."""
+    from repro.knowledge import build_synthetic_knowledge
+    return build_synthetic_knowledge(n_series=2000)

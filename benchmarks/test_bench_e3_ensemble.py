@@ -1,0 +1,113 @@
+"""E3 — Fig. 2 / §II-C / demo scenario S2: the Automated Ensemble.
+
+The paper's core claim: on a *new* dataset, the automated ensemble of the
+classifier's top-k methods "yields superior forecasting accuracy compared
+to individual methods".
+
+Protocol: pretrain offline on the session knowledge base, then for each
+held-out series (indices the knowledge base never saw, one per domain):
+fit the top-k ensemble and compare its rolling test MAE against
+
+* every individual candidate it ensembles (best / mean / worst),
+* a uniform-average baseline over the same candidates,
+* the overall-best single method from the knowledge base (global prior).
+
+Shape claims checked:
+* ensemble beats the mean candidate on a clear majority of series;
+* ensemble is within tolerance of the best candidate on a majority;
+* ensemble beats the global-prior single method on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import train_val_test_split
+from repro.methods import create
+from repro.report import format_table
+
+HOLDOUT_DOMAINS = ("traffic", "electricity", "energy", "web", "stock",
+                   "health", "banking", "economic")
+LOOKBACK, HORIZON = 96, 24
+
+
+def rolling_test_mae(model, values):
+    train, val, test = train_val_test_split(values, lookback=LOOKBACK)
+    errors = []
+    origin = LOOKBACK
+    while origin + HORIZON <= len(test):
+        forecast = model.predict(test[origin - LOOKBACK:origin], HORIZON)
+        actual = test[origin:origin + HORIZON]
+        errors.append(float(np.abs(forecast - actual).mean()))
+        origin += HORIZON
+    return float(np.mean(errors))
+
+
+def fit_single(name, values):
+    model = create(name)
+    for attr, value in (("lookback", LOOKBACK), ("horizon", HORIZON)):
+        if hasattr(model, attr):
+            setattr(model, attr, value)
+    train, val, _ = train_val_test_split(values, lookback=LOOKBACK)
+    return model.fit(train, val)
+
+
+def run_study(bench_auto, registry):
+    global_prior = bench_auto.kb.db.query(
+        "SELECT method FROM results GROUP BY method "
+        "ORDER BY AVG(mae) LIMIT 1").scalar()
+    rows = []
+    for domain in HOLDOUT_DOMAINS:
+        series = registry.univariate_series(domain, 70, length=512)
+        ensemble, info = bench_auto.fit_ensemble(series, k=3)
+        ens = rolling_test_mae(ensemble, series.values)
+        singles = {name: rolling_test_mae(model, series.values)
+                   for name, model in ensemble.candidates}
+        uniform_ensemble = type(ensemble)(
+            ensemble.candidates,
+            np.full(len(ensemble.candidates),
+                    1.0 / len(ensemble.candidates)))
+        uniform = rolling_test_mae(uniform_ensemble, series.values)
+        prior = rolling_test_mae(fit_single(global_prior, series.values),
+                                 series.values)
+        rows.append({
+            "series": series.name, "candidates": ", ".join(singles),
+            "ensemble": ens, "best_single": min(singles.values()),
+            "mean_single": float(np.mean(list(singles.values()))),
+            "uniform": uniform, "global_prior": prior,
+        })
+    return rows, global_prior
+
+
+def test_e3_ensemble_vs_individual_methods(benchmark, bench_auto, registry):
+    rows, global_prior = benchmark.pedantic(
+        run_study, args=(bench_auto, registry), rounds=1, iterations=1)
+
+    print(f"\n[E3] global-prior single method: {global_prior}")
+    print(format_table(
+        ["series", "candidates", "ens", "best", "mean", "uniform",
+         "prior"],
+        [[r["series"], r["candidates"], round(r["ensemble"], 3),
+          round(r["best_single"], 3), round(r["mean_single"], 3),
+          round(r["uniform"], 3), round(r["global_prior"], 3)]
+         for r in rows]))
+
+    n = len(rows)
+    beats_mean = sum(r["ensemble"] <= r["mean_single"] + 1e-9 for r in rows)
+    near_best = sum(r["ensemble"] <= r["best_single"] * 1.15 + 1e-9
+                    for r in rows)
+    print(f"[E3] ensemble <= mean candidate: {beats_mean}/{n}; "
+          f"within 15% of best candidate: {near_best}/{n}")
+    assert beats_mean >= int(0.6 * n)
+    assert near_best >= int(0.6 * n)
+
+    avg_ens = np.mean([r["ensemble"] for r in rows])
+    avg_prior = np.mean([r["global_prior"] for r in rows])
+    print(f"[E3] avg ensemble MAE {avg_ens:.4f} vs global prior "
+          f"{avg_prior:.4f}")
+    assert avg_ens <= avg_prior * 1.05
+
+    avg_uniform = np.mean([r["uniform"] for r in rows])
+    print(f"[E3] avg uniform-weights MAE {avg_uniform:.4f}")
+    # Learned weights at least match uniform averaging on average.
+    assert avg_ens <= avg_uniform * 1.1

@@ -1,0 +1,118 @@
+"""E4 — Fig. 2 offline phase: the method-performance classifier.
+
+Quantifies the recommendation quality the demo displays at label 4 of
+Fig. 4, at two scales:
+
+**Scaled study** (primary): the synthetic TFB-scale store (600 series),
+where per-series characteristic vectors drive method errors exactly as
+the real accumulated results do.  Train on 70%, score rankings on the
+held-out 30% with top-3 overlap and nDCG@3 against
+
+* random ranking (floor);
+* the global ranking (one fixed ordering by overall mean error — what a
+  leaderboard gives without per-dataset selection).
+
+**Real-pipeline study** (secondary): the session knowledge base (real
+fits, 20 series) with TS2Vec embeddings — tiny by construction, so only
+a no-regression check is asserted and the numbers are reported for
+EXPERIMENTS.md.
+
+Shape claims: at scale the classifier beats random AND the global
+ranking by clear margins (per-dataset knowledge pays off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble import PerformanceClassifier, ndcg_at_k, topk_overlap
+from repro.knowledge import build_synthetic_knowledge
+
+K = 3
+
+
+def relevance(errors):
+    lo, hi = errors.min(), errors.max()
+    span = hi - lo if hi > lo else 1.0
+    return 1.0 - (errors - lo) / span
+
+
+def evaluate_rankings(rank_fn, features, errors, indices):
+    ndcgs, overlaps = [], []
+    for i in indices:
+        ranking = rank_fn(features[i])
+        ndcgs.append(ndcg_at_k(relevance(errors[i]), ranking, K))
+        overlaps.append(topk_overlap(errors[i], ranking, K))
+    return float(np.mean(ndcgs)), float(np.mean(overlaps))
+
+
+def prepare(kb, features_of, seed=0):
+    series, methods, errors = kb.error_matrix("mae")
+    keep = np.isfinite(errors).all(axis=1)
+    series = [s for s, k in zip(series, keep) if k]
+    errors = errors[keep]
+    features = features_of(series)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(series))
+    cut = int(0.7 * len(series))
+    return features, errors, order[:cut], order[cut:], len(methods), rng
+
+
+def run_scaled_study(seed=0):
+    kb = build_synthetic_knowledge(n_series=600, seed=21)
+    features, errors, train_idx, test_idx, n_methods, rng = prepare(
+        kb, kb.characteristics_frame, seed=seed)
+    clf = PerformanceClassifier(n_methods=n_methods,
+                                input_dim=features.shape[1],
+                                epochs=120, seed=seed)
+    clf.fit(features[train_idx], errors[train_idx])
+    clf_scores = evaluate_rankings(lambda x: clf.rank(x), features, errors,
+                                   test_idx)
+    global_order = np.argsort(errors[train_idx].mean(axis=0))
+    global_scores = evaluate_rankings(lambda x: global_order, features,
+                                      errors, test_idx)
+    random_scores = evaluate_rankings(
+        lambda x: rng.permutation(n_methods), features, errors, test_idx)
+    return clf_scores, global_scores, random_scores
+
+
+def test_e4_recommender_at_scale(benchmark):
+    clf, global_rank, random_rank = benchmark.pedantic(run_scaled_study,
+                                                       rounds=1,
+                                                       iterations=1)
+    print(f"\n[E4] scaled study (600 series) — nDCG@{K} / top-{K} overlap")
+    for name, scores in (("classifier (soft-label)", clf),
+                         ("global ranking", global_rank),
+                         ("random ranking", random_rank)):
+        print(f"  {name:24s} nDCG={scores[0]:.3f}  overlap={scores[1]:.3f}")
+    assert clf[1] > random_rank[1] + 0.15
+    assert clf[1] > global_rank[1] + 0.03
+    assert clf[0] > random_rank[0]
+
+
+def test_e4_recommender_real_pipeline(benchmark, bench_kb, bench_auto):
+    """Secondary: real fits + TS2Vec embeddings at 20-series scale."""
+    def study():
+        features, errors, train_idx, test_idx, n_methods, rng = prepare(
+            bench_kb,
+            lambda names: np.stack([
+                bench_auto.encoder.encode(bench_auto.registry.get(n))
+                for n in names]))
+        clf = PerformanceClassifier(n_methods=n_methods,
+                                    input_dim=features.shape[1],
+                                    epochs=150, seed=0)
+        clf.fit(features[train_idx], errors[train_idx])
+        clf_scores = evaluate_rankings(lambda x: clf.rank(x), features,
+                                       errors, test_idx)
+        random_scores = evaluate_rankings(
+            lambda x: rng.permutation(n_methods), features, errors,
+            test_idx)
+        return clf_scores, random_scores
+
+    clf, random_rank = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(f"\n[E4] real-pipeline study (20 series, TS2Vec features)")
+    print(f"  classifier nDCG={clf[0]:.3f} overlap={clf[1]:.3f}  "
+          f"random nDCG={random_rank[0]:.3f} overlap={random_rank[1]:.3f}")
+    # At this series count only no-regression is statistically meaningful.
+    assert clf[1] >= random_rank[1] - 0.15
+    assert clf[0] >= 0.5

@@ -1,0 +1,113 @@
+"""E5 — Fig. 3 / Fig. 5 / demo scenario S3: natural-language Q&A.
+
+Runs a question suite (including both example questions printed in the
+paper) through the full six-step workflow against a TFB-scale knowledge
+base, and scores three things the demo promises:
+
+* *validity* — generated SQL passes the verification gate and executes;
+* *fidelity* — the NL answer's headline number matches a hand-written
+  reference SQL query (the "SQL shown to ensure correctness" property);
+* *presentation* — each answer carries a renderable chart and data table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qa import QAEngine
+from repro.report import render_chart
+
+# (question, reference SQL producing the same headline row, chart type)
+SUITE = [
+    ("Which method is best for long term forecasting on time series "
+     "with strong seasonality?",
+     "SELECT r.method FROM results r JOIN datasets d ON r.dataset = d.name "
+     "WHERE r.term = 'long' AND d.seasonality > 0.6 "
+     "GROUP BY r.method ORDER BY AVG(r.mae) ASC LIMIT 1", "bar"),
+    ("What are the top-8 methods (ordered by MAE) for long-term "
+     "forecasting on datasets with trends?",
+     "SELECT r.method FROM results r JOIN datasets d ON r.dataset = d.name "
+     "WHERE r.term = 'long' AND d.trend > 0.5 "
+     "GROUP BY r.method ORDER BY AVG(r.mae) ASC LIMIT 8", "bar"),
+    ("Is the Transformer or LSTMs better for time series with trends?",
+     "SELECT r.method FROM results r JOIN datasets d ON r.dataset = d.name "
+     "WHERE d.trend > 0.5 AND r.method IN ('patchmlp', 'gru') "
+     "GROUP BY r.method ORDER BY AVG(r.mae) ASC LIMIT 1", "bar"),
+    ("What are the top 5 methods by RMSE?",
+     "SELECT method FROM results GROUP BY method "
+     "ORDER BY AVG(rmse) ASC LIMIT 5", "bar"),
+    ("Which statistical methods are the top 3 by MAE?",
+     "SELECT r.method FROM results r JOIN methods m ON r.method = m.name "
+     "WHERE m.category = 'statistical' GROUP BY r.method "
+     "ORDER BY AVG(r.mae) ASC LIMIT 3", "bar"),
+    ("What is the average MAE of dlinear?",
+     "SELECT method, AVG(mae) FROM results WHERE method = 'dlinear' "
+     "GROUP BY method", "bar"),
+    ("How many datasets are there per domain?",
+     "SELECT domain, COUNT(*) FROM datasets GROUP BY domain "
+     "ORDER BY COUNT(*) DESC", "pie"),
+    ("Which method is the worst by MAE on stock data?",
+     "SELECT r.method FROM results r JOIN datasets d ON r.dataset = d.name "
+     "WHERE d.domain = 'stock' GROUP BY r.method "
+     "ORDER BY AVG(r.mae) DESC LIMIT 1", "bar"),
+    ("How does MAE change with horizon for theta and naive?",
+     "SELECT r.horizon, r.method, AVG(r.mae) FROM results r "
+     "WHERE r.method IN ('naive', 'theta') "
+     "GROUP BY r.horizon, r.method ORDER BY r.horizon", "line"),
+    ("Which method is best at horizon 96 on non-stationary series?",
+     "SELECT r.method FROM results r JOIN datasets d ON r.dataset = d.name "
+     "WHERE r.horizon = 96 AND d.stationarity < 0.4 "
+     "GROUP BY r.method ORDER BY AVG(r.mae) ASC LIMIT 1", "bar"),
+]
+
+
+def run_suite(qa, kb):
+    valid = fidelity = charts = 0
+    for question, reference_sql, chart_type in SUITE:
+        response = qa.ask(question)
+        if response.ok and "verified: OK" in response.verification:
+            valid += 1
+        reference = kb.db.query(reference_sql)
+        if response.rows and reference.rows:
+            if response.parsed.kind == "curve":
+                match = len(response.rows) == len(reference.rows)
+            else:
+                match = response.rows[0][0] == reference.rows[0][0]
+            if match:
+                fidelity += 1
+        if response.chart.get("type") == chart_type \
+                and render_chart(response.chart).startswith("<svg"):
+            charts += 1
+    return valid, fidelity, charts
+
+
+def test_e5_question_suite(benchmark, scale_kb):
+    qa = QAEngine(scale_kb)
+    valid, fidelity, charts = benchmark.pedantic(
+        run_suite, args=(qa, scale_kb), rounds=1, iterations=1)
+    n = len(SUITE)
+    print(f"\n[E5] questions: {n}  verified+executed: {valid}/{n}  "
+          f"answer fidelity vs reference SQL: {fidelity}/{n}  "
+          f"chart type + rendering: {charts}/{n}")
+    assert valid == n
+    assert fidelity == n
+    assert charts == n
+
+
+def test_e5_follow_up_context(benchmark, scale_kb):
+    """Q&A history carries context across turns (§II-D: 'Q&A history')."""
+    qa = QAEngine(scale_kb)
+    first = qa.ask("Which method is best for long term forecasting?")
+    follow = benchmark.pedantic(lambda: qa.ask("and for short term?"),
+                                rounds=1, iterations=1)
+    assert first.ok and follow.ok
+    assert "r.term = 'long'" in first.sql
+    assert "r.term = 'short'" in follow.sql
+
+
+def test_e5_single_question_latency(benchmark, scale_kb):
+    """End-to-end latency of one Q&A turn on the 2,000-series store."""
+    qa = QAEngine(scale_kb)
+    response = benchmark(
+        lambda: qa.ask("top 5 methods by mae on seasonal data"))
+    assert response.ok

@@ -1,0 +1,67 @@
+"""E6 — §II-A benchmark knowledge: store scale and query latency.
+
+TFB's knowledge base holds results of 30+ methods on 8,000+ series.  This
+experiment builds the scaled store (30+ methods × 2,000 series × 2
+horizons ≈ 100k result rows), checks its integrity, and measures the
+latency of the representative Q&A query shapes against it — the numbers
+that make the interactive demo feel instant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.knowledge import build_synthetic_knowledge
+
+RANKING_SQL = (
+    "SELECT r.method, AVG(r.mae) AS m, COUNT(*) AS n FROM results r "
+    "JOIN datasets d ON r.dataset = d.name "
+    "WHERE d.seasonality > 0.6 AND r.term = 'long' "
+    "GROUP BY r.method ORDER BY m ASC LIMIT 8")
+
+COUNT_SQL = "SELECT domain, COUNT(*) AS n FROM datasets GROUP BY domain"
+
+POINT_SQL = ("SELECT AVG(mae) FROM results WHERE method = 'theta' "
+             "AND horizon = 24 GROUP BY method")
+
+
+def test_e6_store_scale_and_integrity(benchmark):
+    kb = benchmark.pedantic(lambda: build_synthetic_knowledge(n_series=2000),
+                            rounds=1, iterations=1)
+    n_results = kb.n_results()
+    n_methods = len(kb.method_names())
+    n_datasets = kb.db.query("SELECT COUNT(*) FROM datasets").scalar()
+    print(f"\n[E6] store: {n_methods} methods x {n_datasets} series "
+          f"-> {n_results} result rows")
+    assert n_methods >= 20
+    assert n_datasets == 2000
+    assert n_results == n_methods * n_datasets * 2
+    # Integrity: every result row joins to a dataset row.
+    orphans = kb.db.query(
+        "SELECT COUNT(*) FROM results r LEFT JOIN datasets d "
+        "ON r.dataset = d.name WHERE d.name IS NULL").scalar()
+    assert orphans == 0
+
+
+def test_e6_ranking_query_latency(benchmark, scale_kb):
+    result = benchmark(lambda: scale_kb.query(RANKING_SQL))
+    assert len(result) == 8
+    values = result.column("m")
+    assert values == sorted(values)
+
+
+def test_e6_groupcount_query_latency(benchmark, scale_kb):
+    result = benchmark(lambda: scale_kb.query(COUNT_SQL))
+    assert len(result) == 10
+    assert sum(result.column("n")) == 2000
+
+
+def test_e6_point_query_latency(benchmark, scale_kb):
+    result = benchmark(lambda: scale_kb.query(POINT_SQL))
+    assert np.isfinite(result.scalar())
+
+
+def test_e6_verification_gate_latency(benchmark, scale_kb):
+    """Static verification (the extra safety step) must be ~free."""
+    report = benchmark(lambda: scale_kb.db.verify(RANKING_SQL))
+    assert report.ok

@@ -1,0 +1,104 @@
+"""E7 — Fig. 4 end to end: the demo flow S2 over the HTTP API.
+
+Replays the exact click sequence of the demo — upload dataset (label 1),
+recommend method (labels 3-4), evaluate a chosen method (labels 5-7),
+AutoML ensemble (label 8), visualise (labels 9-10) — through the JSON API
+the web frontend would call, measuring each interaction's latency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import EasyTime
+from repro.qa import QAEngine
+from repro.server import EasyTimeServer
+
+CSV = "load\n" + "\n".join(
+    f"{3 * math.sin(i / 24 * 2 * math.pi) + 0.005 * i:.5f}"
+    for i in range(480))
+
+
+@pytest.fixture(scope="module")
+def server(bench_kb, bench_auto, registry):
+    et = EasyTime(seed=7)
+    et.registry = registry
+    et.knowledge = bench_kb
+    et.auto = bench_auto
+    et.qa = QAEngine(bench_kb)
+    et._ready = True
+    with EasyTimeServer(et) as srv:
+        yield srv
+
+
+def post(server, path, body):
+    req = urllib.request.Request(
+        server.address + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=300) as response:
+        return json.load(response)
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=60) as r:
+        return json.load(r)
+
+
+def test_e7_full_demo_flow(benchmark, server):
+    def flow():
+        up = post(server, "/upload", {"csv": CSV, "name": "e7"})
+        rec = post(server, "/recommend", {"dataset": "e7", "k": 5})
+        ev = post(server, "/evaluate", {
+            "dataset": "e7", "method": rec["data"]["methods"][0],
+            "horizon": 24, "lookback": 96, "metrics": ["mae", "smape"]})
+        am = post(server, "/automl", {"dataset": "e7", "k": 3,
+                                      "horizon": 24})
+        return up, rec, ev, am
+
+    up, rec, ev, am = benchmark.pedantic(flow, rounds=1, iterations=1)
+
+    assert up["data"]["length"] == 480
+    chars = rec["data"]["characteristics"]
+    print(f"\n[E7] upload chars: seasonality={chars['seasonality']:.2f} "
+          f"trend={chars['trend']:.2f}")
+    assert chars["seasonality"] > 0.5       # the sinusoid is recognised
+    assert len(rec["data"]["methods"]) == 5
+
+    assert ev["data"]["scores"]["mae"] >= 0
+    forecast = np.array(am["data"]["forecast"])
+    assert forecast.shape == (24,)
+    weights = am["data"]["info"]["weights"]
+    print(f"[E7] automl weights: "
+          f"{ {k: round(v, 3) for k, v in weights.items()} }")
+    assert abs(sum(weights.values()) - 1.0) < 1e-6
+
+    # Label 9-10: the forecast visualisation renders.
+    from repro.report import render_chart
+    svg = render_chart({"type": "line", "title": "e7",
+                        "series": [{"name": "forecast",
+                                    "values": forecast.tolist()}]})
+    assert svg.startswith("<svg")
+
+
+def test_e7_recommend_latency(benchmark, server):
+    post(server, "/upload", {"csv": CSV, "name": "e7lat"})
+    payload = benchmark(lambda: post(server, "/recommend",
+                                     {"dataset": "e7lat", "k": 5}))
+    assert payload["ok"]
+
+
+def test_e7_qa_latency(benchmark, server):
+    payload = benchmark(lambda: post(server, "/qa", {
+        "question": "top 5 methods by mae for short term forecasting"}))
+    assert payload["ok"]
+    assert payload["data"]["sql"].startswith("SELECT")
+
+
+def test_e7_catalogue_latency(benchmark, server):
+    payload = benchmark(lambda: get(server, "/methods"))
+    assert len(payload["data"]) >= 20

@@ -1,0 +1,143 @@
+"""E8 — ablations of the Automated Ensemble design choices (DESIGN.md).
+
+Three ablations:
+
+1. **soft-label vs hard-label classifier loss** (SimpleTS's technique the
+   paper adopts) — scored by held-out top-3 overlap on the scaled store,
+   where noisy near-ties between methods are plentiful (the regime soft
+   labels are designed for);
+2. **TS2Vec embeddings vs hand-crafted characteristic vectors** as the
+   classifier input, on the real pipeline-built knowledge base;
+3. **validation-fitted ensemble weights vs uniform top-k averaging**, and
+   a k-sweep (k ∈ {1, 3, 5}) — scored by held-out forecast MAE.
+
+Claims are directional with tolerance: the paper's choices should match
+or beat their ablated variants on this laptop-scale setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import train_val_test_split
+from repro.ensemble import PerformanceClassifier, topk_overlap
+from repro.knowledge import build_synthetic_knowledge
+from repro.report import format_table
+
+LOOKBACK, HORIZON = 96, 24
+HOLDOUT = ("traffic", "electricity", "web", "stock", "health")
+
+
+def prepare(kb, features_of, seed=0):
+    series, methods, errors = kb.error_matrix("mae")
+    keep = np.isfinite(errors).all(axis=1)
+    series = [s for s, k in zip(series, keep) if k]
+    errors = errors[keep]
+    features = features_of(series)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(series))
+    cut = int(0.7 * len(series))
+    return features, errors, order[:cut], order[cut:], len(methods)
+
+
+def overlap_score(features, errors, train_idx, test_idx, n_methods, loss):
+    clf = PerformanceClassifier(n_methods=n_methods,
+                                input_dim=features.shape[1],
+                                epochs=120, loss=loss, seed=0)
+    clf.fit(features[train_idx], errors[train_idx])
+    return float(np.mean([
+        topk_overlap(errors[i], clf.rank(features[i]), 3)
+        for i in test_idx]))
+
+
+def test_e8_soft_vs_hard_labels(benchmark):
+    """Soft labels preserve near-ties hard labels destroy (scaled store)."""
+    def study():
+        kb = build_synthetic_knowledge(n_series=600, seed=22)
+        features, errors, train_idx, test_idx, n_methods = prepare(
+            kb, kb.characteristics_frame)
+        soft = overlap_score(features, errors, train_idx, test_idx,
+                             n_methods, "soft")
+        hard = overlap_score(features, errors, train_idx, test_idx,
+                             n_methods, "hard")
+        return soft, hard
+
+    soft, hard = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(f"\n[E8.1] top-3 overlap — soft-label: {soft:.3f}  "
+          f"hard-label: {hard:.3f}")
+    assert soft >= hard - 0.03
+    assert soft > 0.35
+
+
+def test_e8_ts2vec_vs_characteristics(benchmark, bench_kb, bench_auto):
+    """Learned vs hand-crafted features on the real knowledge base."""
+    def study():
+        ts2vec_feats, errors, train_idx, test_idx, n_methods = prepare(
+            bench_kb,
+            lambda names: np.stack([
+                bench_auto.encoder.encode(bench_auto.registry.get(n))
+                for n in names]))
+        chars_feats, _, _, _, _ = prepare(bench_kb,
+                                          bench_kb.characteristics_frame)
+        learned = overlap_score(ts2vec_feats, errors, train_idx, test_idx,
+                                n_methods, "soft")
+        crafted = overlap_score(chars_feats, errors, train_idx, test_idx,
+                                n_methods, "soft")
+        return learned, crafted
+
+    learned, crafted = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(f"\n[E8.2] top-3 overlap — ts2vec: {learned:.3f}  "
+          f"characteristics: {crafted:.3f}")
+    # At 20 training series the two feature sets are statistically close;
+    # we assert the learned features are not substantially worse.
+    assert learned >= crafted - 0.25
+
+
+def rolling_test_mae(model, values):
+    train, val, test = train_val_test_split(values, lookback=LOOKBACK)
+    errors, origin = [], LOOKBACK
+    while origin + HORIZON <= len(test):
+        forecast = model.predict(test[origin - LOOKBACK:origin], HORIZON)
+        errors.append(float(np.abs(
+            forecast - test[origin:origin + HORIZON]).mean()))
+        origin += HORIZON
+    return float(np.mean(errors))
+
+
+def test_e8_weights_and_k_sweep(benchmark, bench_auto, registry):
+    def study():
+        rows = []
+        sums = {"fitted_k3": [], "uniform_k3": [], "k1": [], "k5": []}
+        for domain in HOLDOUT:
+            series = registry.univariate_series(domain, 71, length=512)
+            ens3, _ = bench_auto.fit_ensemble(series, k=3)
+            fitted = rolling_test_mae(ens3, series.values)
+            uniform = rolling_test_mae(
+                type(ens3)(ens3.candidates,
+                           np.full(len(ens3.candidates),
+                                   1 / len(ens3.candidates))),
+                series.values)
+            ens1, _ = bench_auto.fit_ensemble(series, k=1)
+            k1 = rolling_test_mae(ens1, series.values)
+            ens5, _ = bench_auto.fit_ensemble(series, k=5)
+            k5 = rolling_test_mae(ens5, series.values)
+            rows.append([series.name, round(fitted, 3), round(uniform, 3),
+                         round(k1, 3), round(k5, 3)])
+            for key, value in (("fitted_k3", fitted),
+                               ("uniform_k3", uniform),
+                               ("k1", k1), ("k5", k5)):
+                sums[key].append(value)
+        return rows, {k: float(np.mean(v)) for k, v in sums.items()}
+
+    rows, means = benchmark.pedantic(study, rounds=1, iterations=1)
+    print("\n[E8.3] weight fitting + k sweep (rolling test MAE)")
+    print(format_table(["series", "fitted k=3", "uniform k=3", "k=1",
+                        "k=5"], rows))
+    print(f"[E8.3] means: { {k: round(v, 4) for k, v in means.items()} }")
+    # Fitted weights at least match uniform averaging on average...
+    assert means["fitted_k3"] <= means["uniform_k3"] * 1.05
+    # ...and widening the candidate pool pays: the better of k=3/k=5
+    # beats trusting the single top-1 recommendation.  (Which of 3 vs 5
+    # wins is noise at this validation size; the direction k>1 is the
+    # claim.)
+    assert min(means["fitted_k3"], means["k5"]) <= means["k1"] * 1.05

@@ -1,0 +1,54 @@
+"""Scenario S3: a natural-language Q&A session over benchmark results.
+
+Builds a TFB-scale knowledge base (synthetic results store, see DESIGN.md)
+and runs a scripted conversation, printing for each question the generated
+SQL, the verification verdict, the natural-language answer, and writing
+the chart of every answer to ``qa_chart_N.svg``.
+
+Run:  python examples/nl_qa.py
+"""
+
+from pathlib import Path
+
+from repro.knowledge import build_synthetic_knowledge
+from repro.qa import QAEngine
+from repro.report import format_table, render_chart
+
+CONVERSATION = (
+    "Which method is best for long term forecasting on time series "
+    "with strong seasonality?",
+    "What are the top-8 methods (ordered by MAE) for long-term "
+    "forecasting on datasets with trends?",
+    "and for short term?",
+    "Is the Transformer or LSTMs better for time series with trends?",
+    "How many datasets are there per domain?",
+    "How does MAE change with horizon for theta, dlinear and naive?",
+    "Which statistical methods are the top 3 by MASE on stock data?",
+)
+
+
+def main():
+    print("building a TFB-scale knowledge base (30+ methods x 2,000 series)")
+    kb = build_synthetic_knowledge(n_series=2000)
+    print(f"results stored: {kb.n_results()}")
+    qa = QAEngine(kb)
+
+    out_dir = Path(__file__).resolve().parent
+    for i, question in enumerate(CONVERSATION):
+        response = qa.ask(question)
+        print("\n" + "=" * 72)
+        print("Q:", question)
+        print("SQL:", response.sql)
+        print("verification:", response.verification)
+        print("A:", response.answer)
+        if response.rows:
+            table = response.table()
+            print(format_table(table["columns"], table["rows"][:8]))
+        if response.chart:
+            path = out_dir / f"qa_chart_{i}.svg"
+            path.write_text(render_chart(response.chart), encoding="utf-8")
+            print(f"chart written to {path.name} ({response.chart['type']})")
+
+
+if __name__ == "__main__":
+    main()

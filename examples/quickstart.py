@@ -1,0 +1,53 @@
+"""Quickstart: the whole EasyTime workflow in one minute.
+
+Builds the system (offline phase), then walks the three demo scenarios:
+recommend methods for a series, forecast with the automated ensemble, and
+ask the benchmark a question in natural language.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EasyTime
+from repro.report import sparkline
+
+
+def main():
+    print("== EasyTime quickstart ==")
+    print("setting up (benchmark run + TS2Vec + classifier)...")
+    et = EasyTime(seed=7, per_domain=2, length=384).setup(progress=print)
+
+    # Choose a benchmark series (Fig. 4, label 2).
+    series = et.choose_dataset("traffic_u0003")
+    print(f"\ndataset: {series.name}  length={series.length}")
+    print("tail:", sparkline(series.values[-96:, 0], width=60))
+
+    # Characteristics + recommendation (labels 3-4).
+    chars = et.characteristics(series)
+    print("\ncharacteristics:")
+    for axis, value in chars.items():
+        print(f"  {axis:13s} {value:.3f}" if isinstance(value, float)
+              else f"  {axis:13s} {value}")
+    rec = et.recommend(series, k=5)
+    print("\nrecommended methods:")
+    for name, prob in zip(rec.methods, rec.probabilities):
+        print(f"  {name:16s} p={prob:.3f}")
+
+    # Automated ensemble forecast (label 8).
+    forecast, info = et.automl(series, k=3, horizon=24)
+    print("\nensemble weights:", {k: round(v, 3)
+                                  for k, v in info["weights"].items()})
+    print("forecast:", sparkline(forecast[:, 0], width=24))
+
+    # Natural-language Q&A (Fig. 5).
+    for question in (
+            "Which method is best for short term forecasting on time "
+            "series with strong seasonality?",
+            "What are the top-5 methods ordered by MAE?"):
+        response = et.ask(question)
+        print(f"\nQ: {question}")
+        print(f"SQL: {response.sql}")
+        print(f"A: {response.answer}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Calibrated prediction intervals around any forecaster.
+
+Wraps three very different models — seasonal-naive, DLinear, and the
+automated ensemble — in split-conformal intervals calibrated on the
+validation split, then reports empirical coverage on the test split.
+The same five lines of code give any of the 29 methods calibrated
+uncertainty.
+
+Run:  python examples/uncertainty.py
+"""
+
+import numpy as np
+
+from repro.datasets import DatasetRegistry, train_val_test_split
+from repro.ensemble import AutoEnsemble
+from repro.evaluation import (ConformalIntervals, empirical_coverage,
+                              interval_width)
+from repro.knowledge import build_benchmark_knowledge
+from repro.methods import create
+from repro.report import format_table
+
+LOOKBACK, HORIZON, LEVEL = 96, 24, 0.9
+
+
+def test_windows(test):
+    origin = LOOKBACK
+    while origin + HORIZON <= len(test):
+        yield test[origin - LOOKBACK:origin], test[origin:origin + HORIZON]
+        origin += HORIZON
+
+
+def main():
+    registry = DatasetRegistry(seed=7)
+    series = registry.univariate_series("electricity", 80, length=768)
+    train, val, test = train_val_test_split(series.values,
+                                            lookback=LOOKBACK)
+    print(f"dataset {series.name}: train={len(train)} val={len(val)} "
+          f"test={len(test)}  target coverage={LEVEL:.0%}")
+
+    models = {}
+    for name in ("seasonal_naive", "dlinear"):
+        model = create(name)
+        for attr, value in (("lookback", LOOKBACK), ("horizon", HORIZON)):
+            if hasattr(model, attr):
+                setattr(model, attr, value)
+        models[name] = model.fit(train, val)
+
+    print("\npretraining the automated ensemble for comparison...")
+    kb, registry = build_benchmark_knowledge(per_domain=1, length=320,
+                                             registry=registry)
+    auto = AutoEnsemble(kb, registry=registry, lookback=LOOKBACK,
+                        horizon=HORIZON).pretrain()
+    models["auto_ensemble"], _ = auto.fit_ensemble(series, k=3)
+
+    rows = []
+    for name, model in models.items():
+        conformal = ConformalIntervals(model, level=LEVEL)
+        conformal.calibrate(val, lookback=LOOKBACK, horizon=HORIZON,
+                            stride=8)
+        forecasts, actuals, maes = [], [], []
+        for history, actual in test_windows(test):
+            interval = conformal.predict(history, HORIZON)
+            forecasts.append(interval)
+            actuals.append(actual)
+            maes.append(float(np.abs(interval.point - actual).mean()))
+        rows.append([name,
+                     round(float(np.mean(maes)), 4),
+                     f"{empirical_coverage(forecasts, actuals):.1%}",
+                     round(float(np.mean([interval_width(f)
+                                          for f in forecasts])), 3)])
+
+    print()
+    print(format_table(
+        ["model", "test MAE", f"coverage (target {LEVEL:.0%})",
+         "mean band width"], rows))
+    print("\nsharper models earn narrower bands at the same coverage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the demo's capabilities for shell users:
+
+* ``methods``                        — list the method catalogue;
+* ``characteristics <csv>``          — profile a CSV series;
+* ``bench <config.json> [--report out.html]`` — one-click evaluation;
+* ``recommend <csv> [-k K]``         — offline phase + top-k methods;
+* ``forecast <csv> [--horizon H]``   — automated-ensemble forecast;
+* ``ask "<question>"``               — one Q&A turn (synthetic store);
+* ``serve [--port P]``               — start the JSON HTTP API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .characteristics import extract
+from .datasets import load_csv
+from .methods.registry import list_methods, method_info
+from .pipeline import load_config, run_one_click
+from .report import format_ranking, format_table, sparkline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EasyTime: time series forecasting "
+                                  "made easy (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list the method catalogue")
+
+    p_chars = sub.add_parser("characteristics",
+                             help="profile a CSV time series")
+    p_chars.add_argument("csv", type=Path)
+
+    p_bench = sub.add_parser("bench", help="one-click evaluation")
+    p_bench.add_argument("config", type=Path)
+    p_bench.add_argument("--metric", default="mae")
+    p_bench.add_argument("--report", type=Path, default=None,
+                         help="write an HTML report here")
+
+    p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
+    p_rec.add_argument("csv", type=Path)
+    p_rec.add_argument("-k", type=int, default=5)
+    p_rec.add_argument("--per-domain", type=int, default=2,
+                       help="knowledge-base size per domain")
+
+    p_fc = sub.add_parser("forecast",
+                          help="automated-ensemble forecast for a CSV")
+    p_fc.add_argument("csv", type=Path)
+    p_fc.add_argument("--horizon", type=int, default=24)
+    p_fc.add_argument("-k", type=int, default=3)
+    p_fc.add_argument("--per-domain", type=int, default=2)
+
+    p_ask = sub.add_parser("ask", help="ask the benchmark a question")
+    p_ask.add_argument("question")
+    p_ask.add_argument("--series", type=int, default=500,
+                       help="synthetic knowledge-base size")
+
+    p_serve = sub.add_parser("serve", help="start the JSON HTTP API")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--per-domain", type=int, default=2)
+    return parser
+
+
+def _cmd_methods(args, out):
+    rows = [[m, method_info(m)["category"], method_info(m)["description"]]
+            for m in list_methods()]
+    print(format_table(["method", "category", "description"], rows),
+          file=out)
+    return 0
+
+
+def _cmd_characteristics(args, out):
+    series = load_csv(args.csv)
+    chars = extract(series)
+    print(f"{series.name}: length={series.length} "
+          f"channels={series.n_channels}", file=out)
+    print(sparkline(series.values[:, 0], width=60), file=out)
+    for axis, value in chars.as_dict().items():
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        print(f"  {axis:13s} {text}", file=out)
+    return 0
+
+
+def _cmd_bench(args, out):
+    config = load_config(args.config)
+    table = run_one_click(config)
+    print(f"{len(table)} results", file=out)
+    print(format_ranking(table.mean_scores(args.metric), args.metric),
+          file=out)
+    if args.report:
+        from .report import html_report
+        args.report.write_text(html_report(table, metric=args.metric),
+                               encoding="utf-8")
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
+def _offline_system(per_domain):
+    from .core import EasyTime
+    system = EasyTime(per_domain=per_domain)
+    print("running offline phase (benchmark + TS2Vec + classifier)...",
+          file=sys.stderr)
+    return system.setup()
+
+
+def _cmd_recommend(args, out):
+    system = _offline_system(args.per_domain)
+    series = load_csv(args.csv)
+    rec = system.recommend(series, k=args.k)
+    for axis, value in rec.characteristics.as_dict().items():
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        print(f"  {axis:13s} {text}", file=out)
+    rows = [[name, f"{p:.3f}"]
+            for name, p in zip(rec.methods, rec.probabilities)]
+    print(format_table(["method", "probability"], rows), file=out)
+    return 0
+
+
+def _cmd_forecast(args, out):
+    system = _offline_system(args.per_domain)
+    series = load_csv(args.csv)
+    forecast, info = system.automl(series, k=args.k, horizon=args.horizon)
+    print(json.dumps({
+        "forecast": [round(float(v), 6) for v in forecast[:, 0]],
+        "weights": info["weights"],
+        "candidates": info["used"],
+    }, indent=2), file=out)
+    return 0
+
+
+def _cmd_ask(args, out):
+    from .knowledge import build_synthetic_knowledge
+    from .qa import QAEngine
+    qa = QAEngine(build_synthetic_knowledge(n_series=args.series))
+    response = qa.ask(args.question)
+    print(f"SQL: {response.sql}", file=out)
+    print(f"A: {response.answer}", file=out)
+    if response.rows:
+        print(format_table(response.columns,
+                           [list(r) for r in response.rows[:10]]), file=out)
+    return 0 if response.ok else 1
+
+
+def _cmd_serve(args, out):  # pragma: no cover - blocking loop
+    from .server import EasyTimeServer
+    system = _offline_system(args.per_domain)
+    server = EasyTimeServer(system, host=args.host, port=args.port)
+    print(f"serving on {server.address}", file=out)
+    try:
+        server._httpd.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+_COMMANDS = {
+    "methods": _cmd_methods,
+    "characteristics": _cmd_characteristics,
+    "bench": _cmd_bench,
+    "recommend": _cmd_recommend,
+    "forecast": _cmd_forecast,
+    "ask": _cmd_ask,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv=None, out=sys.stdout):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

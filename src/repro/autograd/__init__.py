@@ -1,0 +1,14 @@
+"""A from-scratch numpy autodiff + neural-network substrate.
+
+Substitutes the PyTorch stack the paper's deep forecasting methods and the
+TS2Vec representation learner run on (see DESIGN.md, substitution table).
+"""
+
+from . import functional, losses, nn, optim
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "nn", "optim", "functional",
+    "losses", "check_gradients", "numerical_gradient",
+]

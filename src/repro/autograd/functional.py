@@ -1,0 +1,172 @@
+"""Functional neural-network operations on :class:`~repro.autograd.Tensor`.
+
+Everything here composes the primitive ops defined in ``tensor.py`` (or
+registers a dedicated backward closure when a fused implementation is
+substantially faster, e.g. ``conv1d`` and ``log_softmax``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "relu", "gelu", "sigmoid", "tanh", "softmax", "log_softmax",
+    "dropout", "conv1d", "max_pool1d", "avg_pool1d", "layer_norm",
+    "linear", "one_hot",
+]
+
+
+def relu(x):
+    return x.relu()
+
+
+def sigmoid(x):
+    return x.sigmoid()
+
+
+def tanh(x):
+    return x.tanh()
+
+
+def gelu(x):
+    """Gaussian error linear unit (tanh approximation)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = (x + x * x * x * 0.044715) * c
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x, axis=-1):
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x, p, rng, training=True):
+    """Inverted dropout: identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x, weight, bias=None):
+    """Affine map ``x @ weight.T + bias`` (torch layout: weight is (out, in))."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv1d(x, weight, bias=None, dilation=1, padding=0):
+    """1-D convolution with stride 1.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, length)``.
+    weight:
+        Kernel of shape ``(out_channels, in_channels, kernel_size)``.
+    dilation:
+        Spacing between kernel taps (for dilated/causal TCN stacks).
+    padding:
+        ``int`` for symmetric padding, or a ``(left, right)`` pair for
+        causal padding.
+    """
+    if isinstance(padding, tuple):
+        left, right = padding
+    else:
+        left = right = int(padding)
+    if left or right:
+        x = x.pad1d(left, right)
+
+    xd, wd = x.data, weight.data
+    n, c_in, length = xd.shape
+    c_out, c_in_w, k = wd.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, kernel expects {c_in_w}")
+    l_out = length - dilation * (k - 1)
+    if l_out <= 0:
+        raise ValueError("kernel (with dilation) longer than padded input")
+
+    out_data = np.zeros((n, c_out, l_out))
+    for tap in range(k):
+        seg = xd[:, :, tap * dilation: tap * dilation + l_out]
+        out_data += np.einsum("ncl,oc->nol", seg, wd[:, :, tap])
+
+    def backward(g):
+        g = np.asarray(g)
+        if weight.requires_grad:
+            gw = np.empty_like(wd)
+            for tap in range(k):
+                seg = xd[:, :, tap * dilation: tap * dilation + l_out]
+                gw[:, :, tap] = np.einsum("ncl,nol->oc", seg, g)
+            weight._accumulate(gw)
+        if x.requires_grad:
+            gx = np.zeros_like(xd)
+            for tap in range(k):
+                gx[:, :, tap * dilation: tap * dilation + l_out] += np.einsum(
+                    "nol,oc->ncl", g, wd[:, :, tap])
+            x._accumulate(gx)
+
+    parents = (x, weight)
+    req = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=req, _prev=parents if req else ())
+    if req:
+        out._backward = backward
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1)
+    return out
+
+
+def max_pool1d(x, kernel_size, stride=None):
+    """Max pooling over the last axis of a ``(batch, channels, length)`` input."""
+    stride = stride or kernel_size
+    n, c, length = x.shape
+    l_out = (length - kernel_size) // stride + 1
+    if l_out <= 0:
+        raise ValueError("pooling window longer than input")
+    windows = [x[:, :, i * stride: i * stride + kernel_size].max(axis=2, keepdims=True)
+               for i in range(l_out)]
+    return Tensor.concat(windows, axis=2)
+
+
+def avg_pool1d(x, kernel_size, stride=None):
+    """Average pooling over the last axis of a ``(batch, channels, length)`` input."""
+    stride = stride or kernel_size
+    n, c, length = x.shape
+    l_out = (length - kernel_size) // stride + 1
+    if l_out <= 0:
+        raise ValueError("pooling window longer than input")
+    windows = [x[:, :, i * stride: i * stride + kernel_size].mean(axis=2, keepdims=True)
+               for i in range(l_out)]
+    return Tensor.concat(windows, axis=2)
+
+
+def layer_norm(x, weight=None, bias=None, eps=1e-5):
+    """Layer normalisation over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    normed = centred / (var + eps).sqrt()
+    if weight is not None:
+        normed = normed * weight
+    if bias is not None:
+        normed = normed + bias
+    return normed
+
+
+def one_hot(indices, num_classes):
+    """Return a float one-hot ndarray (not a graph node)."""
+    indices = np.asarray(indices, dtype=int)
+    out = np.zeros((*indices.shape, num_classes))
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

@@ -1,0 +1,50 @@
+"""Numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn, tensor, eps=1e-6):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn().data)
+        flat[i] = orig - eps
+        minus = float(fn().data)
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn, tensors, eps=1e-6, atol=1e-4, rtol=1e-3):
+    """Compare analytic vs numerical gradients for scalar ``fn(*)``.
+
+    ``fn`` must rebuild the graph on each call from the given leaf tensors.
+    Returns the maximum absolute discrepancy; raises AssertionError on
+    mismatch so it can be used directly in tests.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    if out.data.size != 1:
+        raise ValueError("gradient check requires a scalar output")
+    out.backward()
+    worst = 0.0
+    for t in tensors:
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, t, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"gradient mismatch for {t}: max diff "
+                f"{np.abs(analytic - numeric).max():.3e}")
+        worst = max(worst, float(np.abs(analytic - numeric).max()))
+    return worst

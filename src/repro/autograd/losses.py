@@ -1,0 +1,99 @@
+"""Loss functions used across the forecasting methods and the recommender.
+
+Includes the *soft-label loss* of SimpleTS (Yao et al., VLDB 2023) that the
+EasyTime paper uses to train the automated-ensemble classifier: instead of a
+one-hot "best method" target, the classifier is trained against a soft
+distribution derived from per-method accuracies, so near-ties are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "mse_loss", "mae_loss", "huber_loss", "cross_entropy",
+    "soft_label_loss", "soft_labels_from_errors", "kl_divergence",
+]
+
+
+def mse_loss(pred, target):
+    """Mean squared error."""
+    target = Tensor.ensure(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred, target):
+    """Mean absolute error."""
+    target = Tensor.ensure(target)
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred, target, delta=1.0):
+    """Huber loss: quadratic near zero, linear in the tails."""
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    target = Tensor.ensure(target)
+    diff = pred - target
+    abs_diff = diff.abs()
+    quad = abs_diff.clip(0.0, delta)
+    # 0.5*q^2 + delta*(|d| - q); equals 0.5 d^2 inside, delta(|d|-delta/2) outside.
+    return (quad * quad * 0.5 + (abs_diff - quad) * delta).mean()
+
+
+def cross_entropy(logits, target_index):
+    """Cross entropy between logits (batch, classes) and integer labels."""
+    logp = F.log_softmax(logits, axis=-1)
+    target_index = np.asarray(target_index, dtype=int)
+    batch = logits.shape[0]
+    picked = logp[np.arange(batch), target_index]
+    return -picked.mean()
+
+
+def kl_divergence(target_probs, logp):
+    """KL(target || softmax) where ``logp`` is log-probabilities (graph node)."""
+    target = np.asarray(target_probs)
+    entropy = float(np.sum(np.where(target > 0, target * np.log(target + 1e-12), 0.0)))
+    cross = -(logp * Tensor(target)).sum()
+    return cross * (1.0 / target.shape[0]) + entropy / target.shape[0]
+
+
+def soft_label_loss(logits, target_probs):
+    """Soft-label classification loss (SimpleTS): CE against soft targets.
+
+    ``target_probs`` has shape (batch, classes) and rows summing to one.
+    """
+    logp = F.log_softmax(logits, axis=-1)
+    target = np.asarray(target_probs)
+    if target.shape != tuple(logits.shape):
+        raise ValueError(
+            f"target shape {target.shape} does not match logits {tuple(logits.shape)}")
+    return -(logp * Tensor(target)).sum() * (1.0 / target.shape[0])
+
+
+def soft_labels_from_errors(errors, temperature=1.0):
+    """Convert a per-method error matrix into soft labels.
+
+    Parameters
+    ----------
+    errors:
+        Array (n_series, n_methods) of *errors* (lower is better).  Rows are
+        min-max normalised, negated, and pushed through a temperature
+        softmax, so the best method receives the highest probability and
+        near-ties receive near-equal mass — the property the soft-label
+        loss exploits.
+    """
+    errors = np.asarray(errors, dtype=float)
+    if errors.ndim != 2:
+        raise ValueError("errors must be a 2-D (series, methods) matrix")
+    lo = errors.min(axis=1, keepdims=True)
+    hi = errors.max(axis=1, keepdims=True)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    score = -(errors - lo) / span              # 0 for best, -1 for worst
+    score = score / max(temperature, 1e-9)
+    score -= score.max(axis=1, keepdims=True)
+    probs = np.exp(score)
+    return probs / probs.sum(axis=1, keepdims=True)

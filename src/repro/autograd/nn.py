@@ -1,0 +1,276 @@
+"""Neural-network module system built on the autograd engine.
+
+Mirrors the familiar ``torch.nn`` API surface at the scale this
+reproduction needs: ``Module`` with recursive parameter discovery,
+core layers (Linear, Conv1d, LayerNorm, Dropout), containers and a GRU.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter", "Module", "Linear", "Conv1d", "LayerNorm", "Dropout",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Sequential", "GRU", "ModuleList",
+]
+
+
+class Parameter(Tensor):
+    """A Tensor flagged as a learnable parameter of a Module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter/state discovery."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self):
+        """Yield every Parameter reachable from this module."""
+        seen = set()
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+
+    def named_parameters(self, prefix=""):
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=name + ".")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+
+    def modules(self):
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- mode and state --------------------------------------------------
+    def train(self, mode=True):
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self):
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self):
+        """Return a name → ndarray copy of all parameters."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if params[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{params[name].data.shape} vs {value.shape}")
+            params[name].data = np.array(value, dtype=np.float64)
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def _kaiming_uniform(rng, fan_in, shape):
+    bound = math.sqrt(1.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b`` with torch-style (out, in) weights."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            _kaiming_uniform(rng, in_features, (out_features, in_features)))
+        self.bias = Parameter(
+            _kaiming_uniform(rng, in_features, (out_features,))) if bias else None
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv1d(Module):
+    """1-D convolution layer (stride 1, optional dilation and padding)."""
+
+    def __init__(self, in_channels, out_channels, kernel_size,
+                 dilation=1, padding=0, bias=True, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel_size
+        self.dilation = dilation
+        self.padding = padding
+        self.weight = Parameter(
+            _kaiming_uniform(rng, fan_in, (out_channels, in_channels, kernel_size)))
+        self.bias = Parameter(
+            _kaiming_uniform(rng, fan_in, (out_channels,))) if bias else None
+
+    def forward(self, x):
+        return F.conv1d(x, self.weight, self.bias,
+                        dilation=self.dilation, padding=self.padding)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learnable scale/shift."""
+
+    def __init__(self, normalized_shape, eps=1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x):
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p=0.1, rng=None):
+        super().__init__()
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x):
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x):
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, i):
+        return self.layers[i]
+
+    def __len__(self):
+        return len(self.layers)
+
+
+class ModuleList(Module):
+    """A plain container whose items are tracked as sub-modules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module):
+        self.items.append(module)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, i):
+        return self.items[i]
+
+    def __len__(self):
+        return len(self.items)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container; call its items directly")
+
+
+class GRU(Module):
+    """Single-layer gated recurrent unit over (batch, time, features) input.
+
+    Returns the full hidden sequence and the final hidden state.  The time
+    loop is unrolled in Python; the autograd tape handles backprop through
+    time.
+    """
+
+    def __init__(self, input_size, hidden_size, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        # Fused gate weights: reset, update, candidate.
+        self.w_ih = Parameter(
+            _kaiming_uniform(rng, input_size, (3 * hidden_size, input_size)))
+        self.w_hh = Parameter(
+            _kaiming_uniform(rng, hidden_size, (3 * hidden_size, hidden_size)))
+        self.b_ih = Parameter(np.zeros(3 * hidden_size))
+        self.b_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x, h0=None):
+        batch, steps, _ = x.shape
+        hidden = self.hidden_size
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, hidden)))
+        outputs = []
+        for t in range(steps):
+            xt = x[:, t, :]
+            gates_x = F.linear(xt, self.w_ih, self.b_ih)
+            gates_h = F.linear(h, self.w_hh, self.b_hh)
+            r = (gates_x[:, :hidden] + gates_h[:, :hidden]).sigmoid()
+            z = (gates_x[:, hidden:2 * hidden]
+                 + gates_h[:, hidden:2 * hidden]).sigmoid()
+            n = (gates_x[:, 2 * hidden:]
+                 + r * gates_h[:, 2 * hidden:]).tanh()
+            h = (1.0 - z) * n + z * h
+            outputs.append(h.reshape(batch, 1, hidden))
+        return Tensor.concat(outputs, axis=1), h

@@ -1,0 +1,19 @@
+"""Dataset characteristic analysis (Seasonality, Trend, Transition,
+Shifting, Stationarity, Correlation) with from-scratch decomposition and
+stationarity tests."""
+
+from .decomposition import (Decomposition, classical_decompose, loess_smooth,
+                            moving_average, stl_decompose)
+from .features import (FEATURE_NAMES, Characteristics, correlation_score,
+                       detect_period, extract, seasonality_strength,
+                       shifting_score, stationarity_score, transition_score,
+                       trend_strength)
+from .stattests import TestResult, acf, adf_test, kpss_test, pacf
+
+__all__ = [
+    "Decomposition", "classical_decompose", "stl_decompose", "loess_smooth",
+    "moving_average", "TestResult", "adf_test", "kpss_test", "acf", "pacf",
+    "Characteristics", "extract", "detect_period", "seasonality_strength",
+    "trend_strength", "shifting_score", "transition_score",
+    "stationarity_score", "correlation_score", "FEATURE_NAMES",
+]

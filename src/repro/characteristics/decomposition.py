@@ -1,0 +1,119 @@
+"""Trend/seasonal/remainder decomposition built from scratch.
+
+Provides classical moving-average decomposition plus an STL-style variant
+whose trend is estimated with a from-scratch LOESS smoother.  These feed
+the seasonality/trend strength measures used to characterise datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Decomposition", "moving_average", "loess_smooth",
+           "classical_decompose", "stl_decompose"]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Additive decomposition ``values = trend + seasonal + remainder``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    remainder: np.ndarray
+
+    @property
+    def values(self):
+        return self.trend + self.seasonal + self.remainder
+
+
+def moving_average(values, window):
+    """Centred moving average with edge-shrinking windows (no NaN edges)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = values.shape[0]
+    half = window // 2
+    cumsum = np.concatenate([[0.0], np.cumsum(values)])
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (cumsum[hi] - cumsum[lo]) / (hi - lo)
+    return out
+
+
+def loess_smooth(values, frac=0.3, degree=1):
+    """LOESS: locally weighted polynomial regression with tricube weights.
+
+    A from-scratch implementation sufficient for STL-style trend
+    extraction.  ``frac`` is the fraction of points in each local window.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 3:
+        return values.copy()
+    span = max(int(np.ceil(frac * n)), degree + 2)
+    span = min(span, n)
+    x = np.arange(n, dtype=np.float64)
+    out = np.empty(n)
+    half = span // 2
+    for i in range(n):
+        lo = max(0, min(i - half, n - span))
+        hi = lo + span
+        xs = x[lo:hi]
+        ys = values[lo:hi]
+        dist = np.abs(xs - i)
+        dmax = dist.max()
+        w = (1.0 - (dist / (dmax + 1e-12)) ** 3) ** 3
+        w = np.maximum(w, 1e-9)
+        # Weighted least squares for a local polynomial.
+        design = np.vander(xs - i, degree + 1, increasing=True)
+        wd = design * w[:, None]
+        coeffs, *_ = np.linalg.lstsq(wd.T @ design, wd.T @ ys, rcond=None)
+        out[i] = coeffs[0]
+    return out
+
+
+def _seasonal_means(detrended, period):
+    """Average each phase of the cycle and centre the result."""
+    n = detrended.shape[0]
+    means = np.zeros(period)
+    for phase in range(period):
+        means[phase] = detrended[phase::period].mean()
+    means -= means.mean()
+    return np.resize(means, n)
+
+
+def classical_decompose(values, period):
+    """Classical additive decomposition with a centred moving average."""
+    values = np.asarray(values, dtype=np.float64)
+    if period < 2 or values.shape[0] < 2 * period:
+        trend = moving_average(values, max(period, 5))
+        return Decomposition(trend=trend,
+                             seasonal=np.zeros_like(values),
+                             remainder=values - trend)
+    trend = moving_average(values, period if period % 2 == 1 else period + 1)
+    seasonal = _seasonal_means(values - trend, period)
+    return Decomposition(trend=trend, seasonal=seasonal,
+                         remainder=values - trend - seasonal)
+
+
+def stl_decompose(values, period, iterations=2, trend_frac=None):
+    """STL-style decomposition: alternate LOESS trend and seasonal means."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if period < 2 or n < 2 * period:
+        trend = loess_smooth(values, frac=0.4)
+        return Decomposition(trend=trend, seasonal=np.zeros(n),
+                             remainder=values - trend)
+    if trend_frac is None:
+        trend_frac = min(max(1.5 * period / n, 0.15), 0.5)
+    seasonal = np.zeros(n)
+    trend = np.zeros(n)
+    for _ in range(max(iterations, 1)):
+        seasonal = _seasonal_means(values - trend, period)
+        trend = loess_smooth(values - seasonal, frac=trend_frac)
+    return Decomposition(trend=trend, seasonal=seasonal,
+                         remainder=values - trend - seasonal)

@@ -1,0 +1,158 @@
+"""Stationarity tests implemented from scratch (no statsmodels).
+
+Provides the augmented Dickey-Fuller (ADF) unit-root test and the KPSS
+level-stationarity test, the two standard instruments for the
+"Stationarity" characteristic axis in TFB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TestResult", "adf_test", "kpss_test", "acf", "pacf"]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a statistical test."""
+
+    statistic: float
+    pvalue: float
+    lags: int
+    crit_values: dict
+
+    def reject_at(self, alpha=0.05):
+        return self.pvalue < alpha
+
+
+def _ols(design, target):
+    """Least squares returning (coeffs, residuals, stderr of coeffs)."""
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    resid = target - design @ coeffs
+    dof = max(design.shape[0] - design.shape[1], 1)
+    sigma2 = float(resid @ resid) / dof
+    cov = sigma2 * np.linalg.pinv(design.T @ design)
+    stderr = np.sqrt(np.maximum(np.diag(cov), 1e-300))
+    return coeffs, resid, stderr
+
+
+# MacKinnon (1994) approximate critical values for the constant-only ADF
+# regression, and interpolation anchors for p-values.
+_ADF_CRIT = {"1%": -3.43, "5%": -2.86, "10%": -2.57}
+_ADF_TABLE = [
+    (-4.5, 0.0005), (-4.0, 0.002), (-3.43, 0.01), (-3.12, 0.025),
+    (-2.86, 0.05), (-2.57, 0.10), (-2.2, 0.20), (-1.6, 0.40),
+    (-0.9, 0.60), (0.0, 0.90), (1.0, 0.99),
+]
+
+# KPSS (level) critical values from Kwiatkowski et al. (1992), Table 1.
+_KPSS_CRIT = {"10%": 0.347, "5%": 0.463, "2.5%": 0.574, "1%": 0.739}
+_KPSS_TABLE = [
+    (0.0, 0.999), (0.347, 0.10), (0.463, 0.05), (0.574, 0.025),
+    (0.739, 0.01), (1.2, 0.005), (2.0, 0.001),
+]
+
+
+def _interp_pvalue(stat, table, increasing):
+    xs = [row[0] for row in table]
+    ps = [row[1] for row in table]
+    if increasing:
+        return float(np.interp(stat, xs, ps))
+    # table sorted by ascending stat but p decreasing handled by interp too
+    return float(np.interp(stat, xs, ps))
+
+
+def adf_test(values, max_lags=None):
+    """Augmented Dickey-Fuller test with a constant term.
+
+    H0: the series has a unit root (non-stationary).  A small p-value
+    therefore indicates stationarity.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 12:
+        raise ValueError("ADF test needs at least 12 observations")
+    if max_lags is None:
+        max_lags = min(int(np.floor(12 * (n / 100.0) ** 0.25)), n // 2 - 2)
+    max_lags = max(max_lags, 0)
+    diff = np.diff(values)
+    # Regress d_t on y_{t-1}, d_{t-1..t-k}, const.
+    k = max_lags
+    target = diff[k:]
+    rows = len(target)
+    cols = [values[k:-1]]
+    for lag in range(1, k + 1):
+        cols.append(diff[k - lag:-lag])
+    cols.append(np.ones(rows))
+    design = np.column_stack(cols)
+    coeffs, _, stderr = _ols(design, target)
+    stat = float(coeffs[0] / stderr[0])
+    pvalue = _interp_pvalue(stat, _ADF_TABLE, increasing=True)
+    return TestResult(statistic=stat, pvalue=min(max(pvalue, 1e-4), 0.999),
+                      lags=k, crit_values=dict(_ADF_CRIT))
+
+
+def kpss_test(values, lags=None):
+    """KPSS level-stationarity test.
+
+    H0: the series is (level-)stationary.  A small p-value indicates
+    non-stationarity — note the opposite orientation to the ADF test.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 12:
+        raise ValueError("KPSS test needs at least 12 observations")
+    if lags is None:
+        lags = int(np.ceil(12.0 * (n / 100.0) ** 0.25))
+    resid = values - values.mean()
+    partial = np.cumsum(resid)
+    # Newey-West long-run variance with Bartlett kernel.
+    s2 = float(resid @ resid) / n
+    for lag in range(1, lags + 1):
+        weight = 1.0 - lag / (lags + 1.0)
+        s2 += 2.0 * weight * float(resid[lag:] @ resid[:-lag]) / n
+    s2 = max(s2, 1e-12)
+    stat = float(partial @ partial) / (n * n * s2)
+    pvalue = _interp_pvalue(stat, _KPSS_TABLE, increasing=True)
+    return TestResult(statistic=stat, pvalue=min(max(pvalue, 1e-4), 0.999),
+                      lags=lags, crit_values=dict(_KPSS_CRIT))
+
+
+def acf(values, max_lag):
+    """Sample autocorrelation function for lags ``0..max_lag``."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values - values.mean()
+    denom = float(values @ values)
+    if denom < 1e-12:
+        return np.zeros(max_lag + 1)
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        if lag >= len(values):
+            out[lag] = 0.0
+        else:
+            out[lag] = float(values[lag:] @ values[:-lag]) / denom
+    return out
+
+
+def pacf(values, max_lag):
+    """Partial autocorrelations via Durbin-Levinson recursion."""
+    rho = acf(values, max_lag)
+    out = np.zeros(max_lag + 1)
+    out[0] = 1.0
+    if max_lag == 0:
+        return out
+    phi_prev = np.array([rho[1]])
+    out[1] = rho[1]
+    for k in range(2, max_lag + 1):
+        denom = 1.0 - float(phi_prev @ rho[1:k])
+        num = rho[k] - float(phi_prev @ rho[k - 1:0:-1])
+        phi_kk = num / denom if abs(denom) > 1e-12 else 0.0
+        phi = np.empty(k)
+        phi[:k - 1] = phi_prev - phi_kk * phi_prev[::-1]
+        phi[k - 1] = phi_kk
+        out[k] = phi_kk
+        phi_prev = phi
+    return out

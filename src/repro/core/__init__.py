@@ -1,0 +1,5 @@
+"""Public facade of the EasyTime reproduction."""
+
+from .easytime import EasyTime
+
+__all__ = ["EasyTime"]

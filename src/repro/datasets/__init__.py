@@ -1,0 +1,33 @@
+"""TFB data layer: containers, synthetic domain suites, splits, scalers, IO."""
+
+from .domains import DOMAINS, domain_names, sample_spec
+from .generators import (SeriesSpec, generate_multivariate, generate_series,
+                         level_shift_component, noise_component,
+                         random_walk_component, regime_component,
+                         seasonal_component, trend_component)
+from .io import dumps_csv, load_csv, loads_csv, save_csv
+from .registry import DatasetRegistry
+from .scalers import (SCALERS, IdentityScaler, MinMaxScaler, RobustScaler,
+                      StandardScaler, make_scaler)
+from .series import Dataset, TimeSeries
+from .split import SplitSpec, batch_indices, make_windows, train_val_test_split
+
+__all__ = [
+    "TimeSeries", "Dataset", "DatasetRegistry", "SeriesSpec",
+    "generate_series", "generate_multivariate", "DOMAINS", "domain_names",
+    "sample_spec", "SplitSpec", "train_val_test_split", "make_windows",
+    "batch_indices", "StandardScaler", "MinMaxScaler", "RobustScaler",
+    "IdentityScaler", "make_scaler", "SCALERS", "save_csv", "load_csv",
+    "loads_csv", "dumps_csv", "trend_component", "seasonal_component",
+    "level_shift_component", "regime_component", "noise_component",
+    "random_walk_component",
+]
+
+from .impute import (IMPUTERS, forward_fill, has_missing, impute,  # noqa: E402
+                     linear_interpolate, missing_fraction,
+                     seasonal_interpolate)
+
+__all__ += [
+    "impute", "IMPUTERS", "forward_fill", "linear_interpolate",
+    "seasonal_interpolate", "has_missing", "missing_fraction",
+]

@@ -1,0 +1,132 @@
+"""Domain presets mirroring the 10 TFB application domains.
+
+TFB's datasets come from traffic, electricity, energy, environment, nature,
+economic, stock, banking, health and web sources.  Each preset below is a
+distribution over :class:`~repro.datasets.generators.SeriesSpec` parameters
+that reproduces the characteristic mix typical of that domain (e.g. traffic
+is strongly daily-seasonal; stock is a near-random-walk; web traffic shows
+level shifts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .generators import SeriesSpec
+
+__all__ = ["DOMAINS", "sample_spec", "domain_names"]
+
+
+def _traffic(rng, length):
+    return SeriesSpec(length=length, period=24,
+                      season_amp=rng.uniform(2.0, 4.0), harmonics=3,
+                      trend_slope=rng.uniform(-0.05, 0.05),
+                      noise_scale=rng.uniform(0.2, 0.5),
+                      noise_ar=rng.uniform(0.1, 0.4))
+
+
+def _electricity(rng, length):
+    return SeriesSpec(length=length, period=24,
+                      season_amp=rng.uniform(1.5, 3.0), harmonics=2,
+                      trend_slope=rng.uniform(0.0, 0.15),
+                      noise_scale=rng.uniform(0.3, 0.6),
+                      noise_ar=rng.uniform(0.2, 0.5))
+
+
+def _energy(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([12, 24]),
+                      season_amp=rng.uniform(1.0, 2.5), harmonics=2,
+                      trend_slope=rng.uniform(0.05, 0.3),
+                      trend_curvature=rng.uniform(-0.05, 0.1),
+                      noise_scale=rng.uniform(0.3, 0.7))
+
+
+def _environment(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([24, 52]),
+                      season_amp=rng.uniform(0.8, 2.0), harmonics=1,
+                      noise_scale=rng.uniform(0.4, 0.9),
+                      noise_ar=rng.uniform(0.3, 0.6),
+                      n_regimes=int(rng.integers(1, 3)),
+                      regime_volatility=rng.uniform(0.2, 0.5))
+
+
+def _nature(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([0, 52]),
+                      season_amp=rng.uniform(0.5, 1.5),
+                      noise_scale=rng.uniform(0.5, 1.0),
+                      noise_ar=rng.uniform(0.4, 0.8),
+                      n_regimes=int(rng.integers(2, 4)),
+                      regime_volatility=rng.uniform(0.3, 0.8))
+
+
+def _economic(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([0, 12]),
+                      season_amp=rng.uniform(0.2, 0.8),
+                      trend_slope=rng.uniform(0.1, 0.5),
+                      trend_curvature=rng.uniform(0.0, 0.15),
+                      noise_scale=rng.uniform(0.2, 0.5),
+                      walk_scale=rng.uniform(0.0, 0.05))
+
+
+def _stock(rng, length):
+    return SeriesSpec(length=length, period=0, season_amp=0.0,
+                      trend_slope=rng.uniform(-0.2, 0.3),
+                      noise_scale=rng.uniform(0.1, 0.3),
+                      walk_scale=rng.uniform(0.15, 0.4),
+                      n_shifts=int(rng.integers(0, 2)),
+                      shift_magnitude=rng.uniform(0.5, 2.0))
+
+
+def _banking(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([7, 12]),
+                      season_amp=rng.uniform(0.5, 1.5),
+                      trend_slope=rng.uniform(0.0, 0.3),
+                      noise_scale=rng.uniform(0.2, 0.6),
+                      n_shifts=int(rng.integers(0, 3)),
+                      shift_magnitude=rng.uniform(0.5, 1.5))
+
+
+def _health(rng, length):
+    return SeriesSpec(length=length, period=rng.choice([7, 24]),
+                      season_amp=rng.uniform(0.8, 2.0), harmonics=2,
+                      noise_scale=rng.uniform(0.3, 0.8),
+                      n_regimes=int(rng.integers(1, 3)),
+                      regime_volatility=rng.uniform(0.2, 0.6))
+
+
+def _web(rng, length):
+    return SeriesSpec(length=length, period=7,
+                      season_amp=rng.uniform(1.0, 2.5), harmonics=2,
+                      trend_slope=rng.uniform(-0.1, 0.4),
+                      noise_scale=rng.uniform(0.4, 1.0),
+                      n_shifts=int(rng.integers(1, 4)),
+                      shift_magnitude=rng.uniform(1.0, 3.0))
+
+
+DOMAINS = {
+    "traffic": _traffic,
+    "electricity": _electricity,
+    "energy": _energy,
+    "environment": _environment,
+    "nature": _nature,
+    "economic": _economic,
+    "stock": _stock,
+    "banking": _banking,
+    "health": _health,
+    "web": _web,
+}
+
+
+def domain_names():
+    """The 10 TFB domains in a stable order."""
+    return list(DOMAINS)
+
+
+def sample_spec(domain, rng, length=512):
+    """Draw a SeriesSpec from the given domain's parameter distribution."""
+    try:
+        factory = DOMAINS[domain]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {domain!r}; expected one of {sorted(DOMAINS)}") from None
+    return factory(rng, length)

@@ -1,0 +1,110 @@
+"""Missing-value handling for user-uploaded series.
+
+Practitioner CSVs routinely contain gaps; the pipeline's methods assume
+dense input.  This module provides the standard imputers (forward-fill,
+linear interpolation, seasonal interpolation) plus gap detection, applied
+per channel on ``NaN`` markers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["has_missing", "missing_fraction", "forward_fill",
+           "linear_interpolate", "seasonal_interpolate", "impute",
+           "IMPUTERS"]
+
+
+def has_missing(values):
+    return bool(np.isnan(np.asarray(values, dtype=np.float64)).any())
+
+
+def missing_fraction(values):
+    values = np.asarray(values, dtype=np.float64)
+    return float(np.isnan(values).mean())
+
+
+def _per_channel(values, fn, **kwargs):
+    values = np.asarray(values, dtype=np.float64)
+    squeeze = values.ndim == 1
+    if squeeze:
+        values = values[:, None]
+    out = np.column_stack([fn(values[:, c].copy(), **kwargs)
+                           for c in range(values.shape[1])])
+    return out[:, 0] if squeeze else out
+
+
+def _forward_fill_1d(col):
+    mask = np.isnan(col)
+    if mask.all():
+        raise ValueError("cannot impute an all-missing channel")
+    # Back-fill a leading gap from the first observed value.
+    first = np.flatnonzero(~mask)[0]
+    col[:first] = col[first]
+    idx = np.where(np.isnan(col), 0, np.arange(len(col)))
+    np.maximum.accumulate(idx, out=idx)
+    return col[idx]
+
+
+def forward_fill(values):
+    """Repeat the last observed value through each gap."""
+    return _per_channel(values, _forward_fill_1d)
+
+
+def _linear_1d(col):
+    mask = np.isnan(col)
+    if mask.all():
+        raise ValueError("cannot impute an all-missing channel")
+    observed = np.flatnonzero(~mask)
+    return np.interp(np.arange(len(col)), observed, col[observed])
+
+
+def linear_interpolate(values):
+    """Straight-line interpolation across gaps (flat extrapolation)."""
+    return _per_channel(values, _linear_1d)
+
+
+def _seasonal_1d(col, period):
+    mask = np.isnan(col)
+    if mask.all():
+        raise ValueError("cannot impute an all-missing channel")
+    if period < 2:
+        return _linear_1d(col)
+    out = col.copy()
+    for phase in range(period):
+        slot = out[phase::period]
+        slot_mask = np.isnan(slot)
+        if slot_mask.all():
+            continue
+        phase_mean = np.nanmean(slot)
+        slot[slot_mask] = phase_mean
+        out[phase::period] = slot
+    # Any phase that was entirely missing falls back to linear.
+    if np.isnan(out).any():
+        out = _linear_1d(out)
+    return out
+
+
+def seasonal_interpolate(values, period):
+    """Fill each gap with the mean of its seasonal phase."""
+    return _per_channel(values, _seasonal_1d, period=period)
+
+
+IMPUTERS = {
+    "ffill": forward_fill,
+    "linear": linear_interpolate,
+    "seasonal": seasonal_interpolate,
+}
+
+
+def impute(values, method="linear", period=0):
+    """Impute by name; ``seasonal`` requires a period."""
+    try:
+        fn = IMPUTERS[method]
+    except KeyError:
+        raise KeyError(
+            f"unknown imputer {method!r}; known: {sorted(IMPUTERS)}"
+        ) from None
+    if method == "seasonal":
+        return fn(values, period=period)
+    return fn(values)

@@ -1,0 +1,81 @@
+"""CSV persistence for time series (user-uploaded datasets).
+
+The EasyTime frontend lets practitioners upload their own data (Fig. 4,
+label 1); this module implements the wide-CSV format that upload path
+accepts: a header row of channel names followed by one row per time step.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = ["save_csv", "load_csv", "loads_csv", "dumps_csv"]
+
+
+def dumps_csv(series):
+    """Serialise a TimeSeries to CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(series.columns)
+    for row in series.values:
+        writer.writerow([format(v, ".10g") for v in row])
+    return buf.getvalue()
+
+
+def save_csv(series, path):
+    """Write a TimeSeries to ``path`` in wide CSV format."""
+    Path(path).write_text(dumps_csv(series), encoding="utf-8")
+
+
+def loads_csv(text, name="uploaded", domain="user", freq=0):
+    """Parse CSV text into a TimeSeries.
+
+    Rules: the first row is treated as a header when any cell is
+    non-numeric; blank lines are skipped; every data row must have the same
+    number of columns and parse as floats.
+    """
+    rows = [r for r in csv.reader(io.StringIO(text)) if r and any(c.strip() for c in r)]
+    if not rows:
+        raise ValueError("empty CSV input")
+
+    def _is_float(cell):
+        cell = cell.strip()
+        if not cell:
+            return True  # empty cells are missing values, not headers
+        try:
+            float(cell)
+            return True
+        except ValueError:
+            return False
+
+    header = None
+    if not all(_is_float(c) for c in rows[0]):
+        header = [c.strip() for c in rows[0]]
+        rows = rows[1:]
+    if not rows:
+        raise ValueError("CSV contains a header but no data rows")
+    width = len(rows[0])
+    data = np.empty((len(rows), width))
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {width}")
+        try:
+            # Empty cells become NaN for the imputation layer to fill.
+            data[i] = [float(c) if c.strip() else np.nan for c in row]
+        except ValueError as exc:
+            raise ValueError(f"non-numeric value in data row {i}: {exc}") from None
+    columns = tuple(header) if header else ()
+    return TimeSeries(data, name=name, domain=domain, freq=freq, columns=columns)
+
+
+def load_csv(path, name=None, domain="user", freq=0):
+    """Read a TimeSeries from a CSV file."""
+    path = Path(path)
+    return loads_csv(path.read_text(encoding="utf-8"),
+                     name=name or path.stem, domain=domain, freq=freq)

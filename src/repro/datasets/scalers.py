@@ -1,0 +1,108 @@
+"""Normalisation transforms, fit on training data only.
+
+TFB calls out the choice of normalisation technique as one of the
+consistency pitfalls in TSF evaluation; the pipeline always fits scalers on
+the training segment and applies them unchanged to val/test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler", "RobustScaler", "IdentityScaler",
+           "make_scaler", "SCALERS"]
+
+
+class _Scaler:
+    """Base: per-channel affine transform ``(x - shift) / scale``."""
+
+    def __init__(self):
+        self.shift = None
+        self.scale = None
+
+    def fit(self, values):
+        raise NotImplementedError
+
+    def _check_fitted(self):
+        if self.shift is None:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+    def transform(self, values):
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.shift) / self.scale
+
+    def inverse_transform(self, values):
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.scale + self.shift
+
+    def fit_transform(self, values):
+        self.fit(values)
+        return self.transform(values)
+
+    @staticmethod
+    def _safe(scale):
+        scale = np.asarray(scale, dtype=np.float64)
+        return np.where(scale > 1e-12, scale, 1.0)
+
+
+class StandardScaler(_Scaler):
+    """Z-score normalisation (TFB default)."""
+
+    def fit(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        self.shift = values.mean(axis=0)
+        self.scale = self._safe(values.std(axis=0))
+        return self
+
+
+class MinMaxScaler(_Scaler):
+    """Scale each channel into [0, 1] based on the training range."""
+
+    def fit(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        lo = values.min(axis=0)
+        hi = values.max(axis=0)
+        self.shift = lo
+        self.scale = self._safe(hi - lo)
+        return self
+
+
+class RobustScaler(_Scaler):
+    """Median/IQR scaling, robust to the level shifts in shifting domains."""
+
+    def fit(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        q25, q50, q75 = np.percentile(values, [25, 50, 75], axis=0)
+        self.shift = q50
+        self.scale = self._safe(q75 - q25)
+        return self
+
+
+class IdentityScaler(_Scaler):
+    """No-op scaler (config value ``"none"``)."""
+
+    def fit(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        width = values.shape[1] if values.ndim > 1 else ()
+        self.shift = np.zeros(width)
+        self.scale = np.ones(width)
+        return self
+
+
+SCALERS = {
+    "standard": StandardScaler,
+    "zscore": StandardScaler,
+    "minmax": MinMaxScaler,
+    "robust": RobustScaler,
+    "none": IdentityScaler,
+    "identity": IdentityScaler,
+}
+
+
+def make_scaler(name):
+    """Instantiate a scaler by config name."""
+    try:
+        return SCALERS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scaler {name!r}; expected one of {sorted(SCALERS)}") from None

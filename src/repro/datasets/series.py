@@ -1,0 +1,142 @@
+"""Core time-series containers for the TFB data layer.
+
+A :class:`TimeSeries` is a 2-D float array of shape ``(length, channels)``
+plus metadata.  Univariate series are stored with ``channels == 1``.  The
+container is immutable-by-convention: transformation helpers return new
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["TimeSeries", "Dataset"]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A (length, channels) time series with benchmark metadata.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(T,)`` or ``(T, C)``; 1-D input is promoted to a
+        single channel.
+    name:
+        Unique identifier within a dataset collection.
+    domain:
+        One of the TFB application domains (traffic, electricity, ...).
+    freq:
+        Dominant seasonal period hint in steps (e.g. 24 for hourly daily
+        cycles); 0 when no seasonality is expected.
+    columns:
+        Channel names; generated as ``ch0..chN`` when omitted.
+    """
+
+    values: np.ndarray
+    name: str = "series"
+    domain: str = "synthetic"
+    freq: int = 0
+    columns: tuple = field(default=())
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise ValueError(f"values must be 1-D or 2-D, got ndim={values.ndim}")
+        if values.shape[0] == 0:
+            raise ValueError("time series must contain at least one point")
+        object.__setattr__(self, "values", values)
+        if not self.columns:
+            object.__setattr__(
+                self, "columns", tuple(f"ch{i}" for i in range(values.shape[1])))
+        elif len(self.columns) != values.shape[1]:
+            raise ValueError(
+                f"{len(self.columns)} column names for {values.shape[1]} channels")
+
+    # -- shape ----------------------------------------------------------
+    def __len__(self):
+        return self.values.shape[0]
+
+    @property
+    def length(self):
+        return self.values.shape[0]
+
+    @property
+    def n_channels(self):
+        return self.values.shape[1]
+
+    @property
+    def is_univariate(self):
+        return self.values.shape[1] == 1
+
+    # -- views ----------------------------------------------------------
+    def univariate(self):
+        """Return the single channel as a flat array (univariate only)."""
+        if not self.is_univariate:
+            raise ValueError(f"{self.name} has {self.n_channels} channels")
+        return self.values[:, 0]
+
+    def channel(self, index):
+        """Return one channel as a new univariate TimeSeries."""
+        return TimeSeries(self.values[:, index],
+                          name=f"{self.name}/{self.columns[index]}",
+                          domain=self.domain, freq=self.freq)
+
+    def iter_channels(self):
+        for i in range(self.n_channels):
+            yield self.channel(i)
+
+    def slice(self, start, stop):
+        """Return the sub-series ``values[start:stop]``."""
+        return replace(self, values=self.values[start:stop])
+
+    def with_values(self, values):
+        """Return a copy carrying new values but the same metadata."""
+        return replace(self, values=np.asarray(values, dtype=np.float64))
+
+    def __repr__(self):
+        return (f"TimeSeries(name={self.name!r}, domain={self.domain!r}, "
+                f"shape=({self.length}, {self.n_channels}), freq={self.freq})")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named collection of time series from one (synthetic) source.
+
+    TFB distinguishes multivariate datasets (one series, many channels)
+    from univariate collections (many single-channel series); both map to
+    this container.
+    """
+
+    name: str
+    series: tuple
+    domain: str = "synthetic"
+    tags: tuple = field(default=())
+
+    def __post_init__(self):
+        if not self.series:
+            raise ValueError("dataset must contain at least one series")
+        object.__setattr__(self, "series", tuple(self.series))
+
+    def __len__(self):
+        return len(self.series)
+
+    def __iter__(self):
+        return iter(self.series)
+
+    def __getitem__(self, i):
+        return self.series[i]
+
+    @property
+    def is_multivariate(self):
+        return len(self.series) == 1 and self.series[0].n_channels > 1
+
+    def get(self, name):
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in dataset {self.name!r}")

@@ -1,0 +1,107 @@
+"""Consistent dataset splitting and window construction.
+
+TFB stresses that inconsistent train/val/test borders, normalisation and
+the "drop last" batch behaviour are a major source of misleading TSF
+comparisons; this module centralises all of them so every method in the
+benchmark sees identical data handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SplitSpec", "train_val_test_split", "make_windows",
+           "batch_indices"]
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Fractional split borders (TFB default 7:1:2)."""
+
+    train: float = 0.7
+    val: float = 0.1
+    test: float = 0.2
+
+    def __post_init__(self):
+        total = self.train + self.val + self.test
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"split fractions must sum to 1, got {total}")
+        if min(self.train, self.val, self.test) < 0:
+            raise ValueError("split fractions must be non-negative")
+
+
+def train_val_test_split(values, spec=SplitSpec(), lookback=0):
+    """Split ``values`` chronologically into train / val / test segments.
+
+    When ``lookback > 0`` the val and test segments are *extended backwards*
+    by ``lookback`` points so that the first forecast window of each segment
+    has a full history (standard long-term-forecasting protocol); the extra
+    points overlap the previous segment but are never used as targets.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    train_end = int(n * spec.train)
+    val_end = train_end + int(n * spec.val)
+    train = values[:train_end]
+    val = values[max(train_end - lookback, 0):val_end]
+    test = values[max(val_end - lookback, 0):]
+    return train, val, test
+
+
+def make_windows(values, lookback, horizon, stride=1, drop_last=False):
+    """Build (inputs, targets) sliding windows over a series.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(T,)`` or ``(T, C)``.
+    lookback / horizon:
+        Input and forecast lengths.
+    stride:
+        Step between consecutive window starts.
+    drop_last:
+        TFB flags the "drop last" operation as a source of unfair test-set
+        truncation; when True the final window is dropped if the remaining
+        points after the last full stride are fewer than a full window
+        (mimicking batch-wise drop-last), when False every valid window is
+        kept.
+
+    Returns
+    -------
+    (inputs, targets):
+        Arrays of shape ``(N, lookback, C)`` and ``(N, horizon, C)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        values = values[:, None]
+    if lookback <= 0 or horizon <= 0:
+        raise ValueError("lookback and horizon must be positive")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    total = lookback + horizon
+    n = values.shape[0]
+    if n < total:
+        raise ValueError(
+            f"series of length {n} too short for lookback={lookback} "
+            f"horizon={horizon}")
+    starts = list(range(0, n - total + 1, stride))
+    if drop_last and len(starts) > 1 and starts[-1] + total != n:
+        # Emulate a final partial batch being discarded.
+        starts = starts[:-1]
+    inputs = np.stack([values[s:s + lookback] for s in starts])
+    targets = np.stack([values[s + lookback:s + total] for s in starts])
+    return inputs, targets
+
+
+def batch_indices(n, batch_size, rng=None, drop_last=False):
+    """Yield minibatch index arrays, optionally shuffled and drop-last."""
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        batch = order[start:start + batch_size]
+        if drop_last and batch.size < batch_size:
+            return
+        yield batch

@@ -1,0 +1,15 @@
+"""Automated Ensemble module (the paper's core demonstration feature)."""
+
+from .auto import AutoEnsemble, EnsembleForecaster, Recommendation
+from .classifier import PerformanceClassifier, ndcg_at_k, topk_overlap
+from .ts2vec import (TS2Vec, TS2VecEncoder, hierarchical_contrastive_loss,
+                     instance_contrastive_loss, temporal_contrastive_loss)
+from .weights import combine, fit_ensemble_weights, project_to_simplex
+
+__all__ = [
+    "AutoEnsemble", "EnsembleForecaster", "Recommendation",
+    "PerformanceClassifier", "ndcg_at_k", "topk_overlap", "TS2Vec",
+    "TS2VecEncoder", "hierarchical_contrastive_loss",
+    "instance_contrastive_loss", "temporal_contrastive_loss",
+    "project_to_simplex", "fit_ensemble_weights", "combine",
+]

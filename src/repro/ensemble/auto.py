@@ -1,0 +1,252 @@
+"""The Automated Ensemble module: offline pretraining + online inference.
+
+Mirrors Fig. 2 of the paper end to end:
+
+offline
+    1. train TS2Vec on the benchmark series to get a series encoder;
+    2. train a performance classifier (soft-label loss) on the knowledge
+       base's method × series error matrix.
+
+online (new dataset X)
+    3. embed X, ask the classifier for the top-k promising methods;
+    4. train the k candidates on the training part of X;
+    5. learn ensemble weights on the validation part of X;
+    6. forecast with the weighted ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..characteristics import extract
+from ..datasets.split import SplitSpec, train_val_test_split
+from ..methods.base import Forecaster, check_history
+from ..methods.registry import create
+from .classifier import PerformanceClassifier
+from .ts2vec import TS2Vec
+from .weights import combine, fit_ensemble_weights
+
+__all__ = ["AutoEnsemble", "EnsembleForecaster", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked method suggestions for one series."""
+
+    methods: tuple                  # names, most promising first
+    probabilities: tuple            # matching classifier probabilities
+    characteristics: object = None  # Characteristics of the series
+
+    def top(self, k=1):
+        return list(self.methods[:k])
+
+
+class EnsembleForecaster(Forecaster):
+    """A fitted convex combination of candidate forecasters."""
+
+    name = "auto_ensemble"
+    category = "ensemble"
+
+    def __init__(self, candidates, weights):
+        super().__init__()
+        if len(candidates) != len(weights):
+            raise ValueError("one weight per candidate required")
+        if not candidates:
+            raise ValueError("ensemble needs at least one candidate")
+        self.candidates = list(candidates)      # [(name, fitted model)]
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self._mark_fitted()
+
+    def fit(self, train, val=None):
+        """Candidates arrive pre-fitted from AutoEnsemble; fit is a no-op."""
+        return self
+
+    def predict(self, history, horizon):
+        history = check_history(history)
+        stack = np.stack([model.predict(history, horizon)
+                          for _, model in self.candidates])
+        return combine(stack, self.weights)
+
+    def describe(self):
+        return {name: float(w)
+                for (name, _), w in zip(self.candidates, self.weights)}
+
+
+class AutoEnsemble:
+    """End-to-end automated model selection and ensembling.
+
+    Parameters
+    ----------
+    knowledge_base:
+        A populated :class:`~repro.knowledge.KnowledgeBase`.
+    registry:
+        The :class:`~repro.datasets.DatasetRegistry` that generated the
+        knowledge base's series (needed to re-materialise them for TS2Vec).
+    feature_mode:
+        ``"ts2vec"`` (paper) or ``"characteristics"`` (hand-crafted
+        features — the E8 ablation baseline).
+    """
+
+    def __init__(self, knowledge_base, registry=None, feature_mode="ts2vec",
+                 metric="mae", classifier_loss="soft", lookback=96,
+                 horizon=24, seed=0, ts2vec_params=None,
+                 classifier_params=None):
+        if feature_mode not in ("ts2vec", "characteristics"):
+            raise ValueError(
+                f"unknown feature_mode {feature_mode!r}")
+        self.kb = knowledge_base
+        self.registry = registry
+        self.feature_mode = feature_mode
+        self.metric = metric
+        self.classifier_loss = classifier_loss
+        self.lookback = lookback
+        self.horizon = horizon
+        self.seed = seed
+        self.ts2vec_params = dict(ts2vec_params or {})
+        self.classifier_params = dict(classifier_params or {})
+        self.encoder = None
+        self.classifier = None
+        self.method_names = []
+        self._pretrained = False
+
+    # -- offline phase ----------------------------------------------------
+    def _materialise_series(self, names):
+        if self.registry is None:
+            raise RuntimeError(
+                "a DatasetRegistry is required to re-materialise benchmark "
+                "series for TS2Vec pretraining")
+        return [self.registry.get(name) for name in names]
+
+    def _embed_series(self, series):
+        if self.feature_mode == "ts2vec":
+            return self.encoder.encode(series)
+        return extract(series).as_vector()
+
+    def pretrain(self, progress=None):
+        """Run the offline phase; returns self."""
+        series_names, methods, errors = self.kb.error_matrix(self.metric)
+        if not series_names:
+            raise RuntimeError("knowledge base has no benchmark results")
+        self.method_names = methods
+        series_list = self._materialise_series(series_names)
+        if self.feature_mode == "ts2vec":
+            self.encoder = TS2Vec(seed=self.seed, **self.ts2vec_params)
+            self.encoder.fit(series_list)
+            if progress:
+                progress("ts2vec trained")
+            embeddings = self.encoder.encode_many(series_list)
+        else:
+            embeddings = np.stack([extract(s).as_vector()
+                                   for s in series_list])
+        params = {"hidden": 64, "epochs": 150, **self.classifier_params}
+        self.classifier = PerformanceClassifier(
+            n_methods=len(methods), input_dim=embeddings.shape[1],
+            loss=self.classifier_loss, seed=self.seed, **params)
+        self.classifier.fit(embeddings, errors)
+        if progress:
+            progress("classifier trained")
+        self._pretrained = True
+        return self
+
+    def _require_pretrained(self):
+        if not self._pretrained:
+            raise RuntimeError("call pretrain() before online inference")
+
+    # -- online phase -------------------------------------------------------
+    def recommend(self, series, k=5):
+        """Top-k promising methods for a new series (Fig. 4, label 4)."""
+        self._require_pretrained()
+        embedding = self._embed_series(series)
+        probs = self.classifier.predict_proba(embedding)[0]
+        order = np.argsort(-probs)[:k]
+        return Recommendation(
+            methods=tuple(self.method_names[i] for i in order),
+            probabilities=tuple(float(probs[i]) for i in order),
+            characteristics=extract(series),
+        )
+
+    def _candidate(self, name):
+        model = create(name)
+        for attr, value in (("lookback", self.lookback),
+                            ("horizon", self.horizon)):
+            if hasattr(model, attr):
+                setattr(model, attr, value)
+        return model
+
+    def _val_windows(self, val, horizon):
+        """Rolling (history_start, origin, target_end) triples over X.val."""
+        windows = []
+        origin = self.lookback
+        while origin < len(val):
+            target_end = min(origin + horizon, len(val))
+            windows.append((max(origin - self.lookback, 0), origin,
+                            target_end))
+            origin += horizon
+        return windows
+
+    def _validation_forecasts(self, model, val, windows):
+        """One model's forecasts over the shared val windows, flattened."""
+        parts = [model.predict(val[start:origin], target_end - origin)
+                 .reshape(-1)
+                 for start, origin, target_end in windows]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def fit_ensemble(self, series, k=3, split=SplitSpec()):
+        """Train top-k candidates on X.train, weight them on X.val.
+
+        Returns ``(EnsembleForecaster, info_dict)``.
+        """
+        self._require_pretrained()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        values = series.values if hasattr(series, "values") else \
+            np.asarray(series, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        recommendation = self.recommend(series, k=k)
+        train, val, _ = train_val_test_split(values, split,
+                                             lookback=self.lookback)
+        windows = self._val_windows(val, self.horizon)
+        if not windows:
+            raise ValueError(
+                "validation segment too short for ensemble weight fitting")
+        actual = np.concatenate([val[origin:target_end].reshape(-1)
+                                 for _, origin, target_end in windows])
+        fitted, rows, names = [], [], []
+        for name in recommendation.methods:
+            model = self._candidate(name)
+            try:
+                model.fit(train, val)
+                preds = self._validation_forecasts(model, val, windows)
+            except Exception:  # noqa: BLE001 - drop unstable candidates
+                continue
+            if preds.size != actual.size:
+                continue
+            fitted.append((name, model))
+            rows.append(preds)
+            names.append(name)
+        if not fitted:
+            raise RuntimeError("every candidate failed on this series")
+        weights, val_mse = fit_ensemble_weights(np.stack(rows), actual)
+        ensemble = EnsembleForecaster(fitted, weights)
+        info = {
+            "recommended": list(recommendation.methods),
+            "used": names,
+            "weights": ensemble.describe(),
+            "val_mse": val_mse,
+            "characteristics": recommendation.characteristics.as_dict(),
+        }
+        return ensemble, info
+
+    def forecast(self, series, horizon=None, k=3):
+        """One-call convenience: build the ensemble and forecast the future."""
+        horizon = horizon or self.horizon
+        ensemble, info = self.fit_ensemble(series, k=k)
+        values = series.values if hasattr(series, "values") else \
+            np.asarray(series, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        forecast = ensemble.predict(values[-self.lookback:], horizon)
+        return forecast, info

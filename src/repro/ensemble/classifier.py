@@ -1,0 +1,148 @@
+"""Method-performance classifier trained with the soft-label loss.
+
+The offline half of the Automated Ensemble (Fig. 2): given a series
+embedding, predict a probability ranking over forecasting methods.  The
+training target is not the single best method but a *soft* distribution
+derived from every method's error (SimpleTS soft-label loss), so the
+classifier learns "method A and B are both near-optimal here" instead of
+an arbitrary tie-break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, losses, nn, no_grad, optim
+from ..autograd import functional as F
+from ..datasets.split import batch_indices
+
+__all__ = ["PerformanceClassifier", "ndcg_at_k", "topk_overlap"]
+
+
+def ndcg_at_k(scores_true, ranking_pred, k):
+    """Normalised discounted cumulative gain of a predicted ranking.
+
+    ``scores_true``: relevance per item (higher = better method, e.g.
+    negated normalised error).  ``ranking_pred``: item indices, best first.
+    """
+    scores_true = np.asarray(scores_true, dtype=float)
+    k = min(k, len(scores_true))
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = float((scores_true[np.asarray(ranking_pred)[:k]] * discounts).sum())
+    ideal_order = np.argsort(-scores_true)
+    idcg = float((scores_true[ideal_order[:k]] * discounts).sum())
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def topk_overlap(true_errors, ranking_pred, k):
+    """|top-k(pred) ∩ top-k(true)| / k, the recommendation hit rate."""
+    true_errors = np.asarray(true_errors, dtype=float)
+    k = min(k, len(true_errors))
+    true_top = set(np.argsort(true_errors)[:k].tolist())
+    pred_top = set(list(ranking_pred)[:k])
+    return len(true_top & pred_top) / k
+
+
+class PerformanceClassifier:
+    """MLP over series embeddings → probability ranking of methods.
+
+    ``loss="soft"`` uses the SimpleTS soft-label loss; ``loss="hard"``
+    trains plain cross-entropy on the argmin-error label (the E8 ablation
+    baseline).
+    """
+
+    def __init__(self, n_methods, input_dim, hidden=64, epochs=200,
+                 batch_size=32, lr=5e-3, loss="soft", temperature=0.3,
+                 weight_decay=1e-4, seed=0):
+        if loss not in ("soft", "hard"):
+            raise ValueError(f"loss must be 'soft' or 'hard', got {loss!r}")
+        self.n_methods = n_methods
+        self.input_dim = input_dim
+        self.loss = loss
+        self.temperature = temperature
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        self.net = nn.Sequential(
+            nn.Linear(input_dim, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, n_methods, rng=rng),
+        )
+        self._feat_mean = None
+        self._feat_std = None
+        self._fitted = False
+
+    # -- training ----------------------------------------------------------
+    def fit(self, embeddings, error_matrix):
+        """Train on (n_series, dim) embeddings and (n_series, n_methods)
+        errors; rows with any non-finite error are dropped."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        error_matrix = np.asarray(error_matrix, dtype=np.float64)
+        if embeddings.shape[0] != error_matrix.shape[0]:
+            raise ValueError("embeddings/errors row mismatch")
+        if error_matrix.shape[1] != self.n_methods:
+            raise ValueError(
+                f"error matrix has {error_matrix.shape[1]} methods, "
+                f"classifier expects {self.n_methods}")
+        keep = np.isfinite(error_matrix).all(axis=1) \
+            & np.isfinite(embeddings).all(axis=1)
+        embeddings, error_matrix = embeddings[keep], error_matrix[keep]
+        if len(embeddings) < 2:
+            raise ValueError("need at least 2 clean training rows")
+
+        self._feat_mean = embeddings.mean(axis=0)
+        std = embeddings.std(axis=0)
+        self._feat_std = np.where(std > 1e-12, std, 1.0)
+        x = (embeddings - self._feat_mean) / self._feat_std
+
+        soft = losses.soft_labels_from_errors(error_matrix,
+                                              temperature=self.temperature)
+        hard = np.argmin(error_matrix, axis=1)
+
+        optimizer = optim.AdamW(self.net.parameters(), lr=self.lr,
+                                weight_decay=self.weight_decay)
+        scheduler = optim.CosineAnnealingLR(optimizer, t_max=self.epochs)
+        self.net.train()
+        for _ in range(self.epochs):
+            for batch in batch_indices(len(x), self.batch_size,
+                                       rng=self._rng):
+                logits = self.net(Tensor(x[batch]))
+                if self.loss == "soft":
+                    loss = losses.soft_label_loss(logits, soft[batch])
+                else:
+                    loss = losses.cross_entropy(logits, hard[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            scheduler.step()
+        self.net.eval()
+        self._fitted = True
+        return self
+
+    # -- inference -----------------------------------------------------------
+    def predict_proba(self, embeddings):
+        """Probability ranking of methods; (n, n_methods)."""
+        if not self._fitted:
+            raise RuntimeError("classifier used before fit()")
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        x = (embeddings - self._feat_mean) / self._feat_std
+        with no_grad():
+            probs = F.softmax(self.net(Tensor(x)), axis=-1)
+        return probs.data
+
+    def rank(self, embedding):
+        """Method indices sorted most-promising first."""
+        probs = self.predict_proba(embedding)[0]
+        return np.argsort(-probs)
+
+    def top_k(self, embedding, k):
+        """The top-k method indices for one embedding."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self.rank(embedding)[:k]

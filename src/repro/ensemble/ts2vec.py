@@ -1,0 +1,239 @@
+"""TS2Vec-style universal time-series representation learning.
+
+Re-implements the core of TS2Vec (Yue et al., AAAI 2022) on the autograd
+substrate: a dilated-convolution encoder trained with *hierarchical
+contrastive loss* over two randomly cropped, randomly masked views of each
+series.  Both constituent losses follow the paper:
+
+* temporal contrast — the same timestamp in the two views is a positive
+  pair against other timestamps of the same series;
+* instance contrast — the same timestamp of other series in the batch are
+  the negatives.
+
+The hierarchy comes from max-pooling the representations and re-applying
+the dual loss at every scale.  EasyTime's offline phase trains this
+encoder on the benchmark series; the resulting embedding is the input to
+the method-performance classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, nn, no_grad, optim
+from ..autograd import functional as F
+
+__all__ = ["TS2VecEncoder", "TS2Vec", "hierarchical_contrastive_loss",
+           "instance_contrastive_loss", "temporal_contrastive_loss"]
+
+
+class _DilatedBlock(nn.Module):
+    """Residual block: two dilated same-padded convolutions with GELU."""
+
+    def __init__(self, channels, kernel, dilation, rng):
+        super().__init__()
+        pad = (kernel - 1) * dilation // 2
+        self.conv1 = nn.Conv1d(channels, channels, kernel,
+                               dilation=dilation, padding=pad, rng=rng)
+        self.conv2 = nn.Conv1d(channels, channels, kernel,
+                               dilation=dilation, padding=pad, rng=rng)
+
+    def forward(self, x):
+        h = F.gelu(self.conv1(x))
+        h = self.conv2(h)
+        return x + h
+
+
+class TS2VecEncoder(nn.Module):
+    """Input projection + dilated conv stack; outputs (B, T, C) reps."""
+
+    def __init__(self, hidden=16, out_dim=16, depth=3, kernel=3, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_proj = nn.Linear(1, hidden, rng=rng)
+        self.blocks = nn.ModuleList([
+            _DilatedBlock(hidden, kernel, 2 ** i, rng) for i in range(depth)])
+        self.output_proj = nn.Conv1d(hidden, out_dim, 1, rng=rng)
+        self.out_dim = out_dim
+
+    def forward(self, x):
+        """x: (B, T) -> representations (B, T, C)."""
+        batch, steps = x.shape
+        h = self.input_proj(x.reshape(batch, steps, 1))
+        h = h.transpose(0, 2, 1)            # (B, C, T)
+        for block in self.blocks:
+            h = block(h)
+        h = self.output_proj(h)
+        return h.transpose(0, 2, 1)         # (B, T, C)
+
+
+def _masked_log_softmax_diag(logits):
+    """log-softmax over the last axis with the diagonal masked out."""
+    size = logits.shape[-1]
+    mask = np.zeros(logits.shape)
+    idx = np.arange(size)
+    mask[..., idx, idx] = -1e9
+    return F.log_softmax(logits + Tensor(mask), axis=-1)
+
+
+def instance_contrastive_loss(z1, z2):
+    """Contrast series against other series at the same timestamp.
+
+    ``z1``/``z2``: (B, T, C) representations of the two views.
+    """
+    batch = z1.shape[0]
+    if batch <= 1:
+        return Tensor(0.0)
+    z = Tensor.concat([z1, z2], axis=0)        # (2B, T, C)
+    z = z.transpose(1, 0, 2)                   # (T, 2B, C)
+    logits = z @ z.transpose(0, 2, 1)          # (T, 2B, 2B)
+    logp = _masked_log_softmax_diag(logits)
+    steps = z1.shape[1]
+    i = np.arange(batch)
+    t = np.arange(steps)[:, None]
+    # Positive pairs: (i, i+B) and (i+B, i) at every timestamp.
+    picked = logp[t, i[None, :], i[None, :] + batch] \
+        + logp[t, i[None, :] + batch, i[None, :]]
+    return -picked.mean() * 0.5
+
+
+def temporal_contrastive_loss(z1, z2):
+    """Contrast timestamps of a series against other timestamps.
+
+    Positive pair: the same timestamp seen through the two views.
+    """
+    steps = z1.shape[1]
+    if steps <= 1:
+        return Tensor(0.0)
+    z = Tensor.concat([z1, z2], axis=1)        # (B, 2T, C)
+    logits = z @ z.transpose(0, 2, 1)          # (B, 2T, 2T)
+    logp = _masked_log_softmax_diag(logits)
+    batch = z1.shape[0]
+    b = np.arange(batch)[:, None]
+    t = np.arange(steps)[None, :]
+    picked = logp[b, t, t + steps] + logp[b, t + steps, t]
+    return -picked.mean() * 0.5
+
+
+def hierarchical_contrastive_loss(z1, z2, alpha=0.5):
+    """Dual loss applied at every max-pooled scale (the TS2Vec hierarchy)."""
+    loss = Tensor(0.0)
+    depth = 0
+    while True:
+        loss = loss + alpha * instance_contrastive_loss(z1, z2) \
+            + (1 - alpha) * temporal_contrastive_loss(z1, z2)
+        depth += 1
+        steps = z1.shape[1]
+        if steps <= 1:
+            break
+        # Max-pool time by 2 (drop a trailing odd timestamp).
+        even = steps - steps % 2
+        def pool(z):
+            b, _, c = z.shape
+            return z[:, :even, :].reshape(b, even // 2, 2, c).max(axis=2)
+        z1, z2 = pool(z1), pool(z2)
+    return loss * (1.0 / depth)
+
+
+class TS2Vec:
+    """Trainer + embedding API around :class:`TS2VecEncoder`.
+
+    Parameters mirror the reference implementation at reduced scale:
+    ``window`` is the crop source length, ``crop_len`` the view length.
+    """
+
+    def __init__(self, hidden=16, out_dim=16, depth=3, window=96,
+                 crop_len=48, batch_size=8, iterations=60, lr=1e-3,
+                 mask_prob=0.1, seed=0):
+        self.window = window
+        self.crop_len = crop_len
+        self.batch_size = batch_size
+        self.iterations = iterations
+        self.lr = lr
+        self.mask_prob = mask_prob
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.encoder = TS2VecEncoder(hidden=hidden, out_dim=out_dim,
+                                     depth=depth, rng=self._rng)
+        self.loss_history = []
+
+    # -- data handling ---------------------------------------------------
+    @staticmethod
+    def _normalise(values):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 2:
+            values = values.mean(axis=1)
+        std = values.std()
+        return (values - values.mean()) / (std if std > 1e-12 else 1.0)
+
+    def _sample_windows(self, series_bank):
+        take = self._rng.choice(len(series_bank),
+                                size=min(self.batch_size, len(series_bank)),
+                                replace=len(series_bank) < self.batch_size)
+        out = []
+        for i in take:
+            values = series_bank[i]
+            if len(values) < self.window:
+                values = np.pad(values, (self.window - len(values), 0),
+                                mode="edge")
+            start = self._rng.integers(0, len(values) - self.window + 1)
+            out.append(values[start:start + self.window])
+        return np.stack(out)
+
+    def _two_crops(self, windows):
+        """Two overlapping crops + random masking, shared per batch."""
+        max_off = self.window - self.crop_len
+        a1 = int(self._rng.integers(0, max_off + 1))
+        lo = max(0, a1 - self.crop_len + 1)
+        hi = min(max_off, a1 + self.crop_len - 1)
+        a2 = int(self._rng.integers(lo, hi + 1))
+        crop1 = windows[:, a1:a1 + self.crop_len].copy()
+        crop2 = windows[:, a2:a2 + self.crop_len].copy()
+        for crop in (crop1, crop2):
+            mask = self._rng.random(crop.shape) < self.mask_prob
+            crop[mask] = 0.0
+        # Align the overlap so timestamp t in view 1 matches view 2.
+        left = max(a1, a2)
+        right = min(a1, a2) + self.crop_len
+        o1 = slice(left - a1, right - a1)
+        o2 = slice(left - a2, right - a2)
+        return crop1, crop2, o1, o2
+
+    # -- training --------------------------------------------------------
+    def fit(self, series_list):
+        """Train the encoder on raw series (arrays or TimeSeries)."""
+        bank = [self._normalise(getattr(s, "values", s)) for s in series_list]
+        if not bank:
+            raise ValueError("TS2Vec needs at least one training series")
+        optimizer = optim.AdamW(self.encoder.parameters(), lr=self.lr,
+                                weight_decay=1e-4)
+        self.encoder.train()
+        for _ in range(self.iterations):
+            windows = self._sample_windows(bank)
+            crop1, crop2, o1, o2 = self._two_crops(windows)
+            z1 = self.encoder(Tensor(crop1))[:, o1, :]
+            z2 = self.encoder(Tensor(crop2))[:, o2, :]
+            loss = hierarchical_contrastive_loss(z1, z2)
+            optimizer.zero_grad()
+            loss.backward()
+            optim.clip_grad_norm(self.encoder.parameters(), 5.0)
+            optimizer.step()
+            self.loss_history.append(loss.item())
+        self.encoder.eval()
+        return self
+
+    # -- inference ---------------------------------------------------------
+    def encode(self, series):
+        """Embed one series into a fixed vector (max pool over time)."""
+        values = self._normalise(getattr(series, "values", series))
+        if len(values) < self.window:
+            values = np.pad(values, (self.window - len(values), 0),
+                            mode="edge")
+        window = values[-self.window:]
+        with no_grad():
+            reps = self.encoder(Tensor(window[None, :]))
+            return reps.max(axis=1).data[0]
+
+    def encode_many(self, series_list):
+        """Embed several series; returns (n, out_dim)."""
+        return np.stack([self.encode(s) for s in series_list])

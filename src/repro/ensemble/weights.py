@@ -1,0 +1,80 @@
+"""Ensemble weight learning on the validation split.
+
+EasyTime "learns the ensemble weights on the validation part of X such
+that it fits the best to X": given each candidate's validation forecasts,
+find the convex combination minimising squared error.  Weights live on the
+probability simplex (non-negative, summing to one) so the ensemble is a
+proper weighted average; the solver is projected gradient descent with the
+Duchi et al. (2008) Euclidean simplex projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_to_simplex", "fit_ensemble_weights", "combine"]
+
+
+def project_to_simplex(v):
+    """Euclidean projection of a vector onto the probability simplex."""
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("simplex projection expects a vector")
+    n = v.shape[0]
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u)
+    rho_candidates = u + (1.0 - css) / np.arange(1, n + 1)
+    rho = np.nonzero(rho_candidates > 0)[0][-1]
+    theta = (css[rho] - 1.0) / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
+def fit_ensemble_weights(candidate_forecasts, actual, iterations=300,
+                         lr=None, ridge=1e-6):
+    """Fit simplex weights minimising ``||sum_k w_k F_k - y||^2``.
+
+    Parameters
+    ----------
+    candidate_forecasts:
+        Array (n_candidates, n_points) — each candidate's validation
+        forecasts, flattened.
+    actual:
+        Array (n_points,) of validation targets.
+
+    Returns
+    -------
+    (weights, mse):
+        The fitted simplex weights and the achieved validation MSE.
+    """
+    forecasts = np.asarray(candidate_forecasts, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64).reshape(-1)
+    if forecasts.ndim != 2:
+        raise ValueError("candidate_forecasts must be 2-D")
+    k, n = forecasts.shape
+    if actual.shape[0] != n:
+        raise ValueError(
+            f"actual has {actual.shape[0]} points, forecasts have {n}")
+    if k == 1:
+        residual = forecasts[0] - actual
+        return np.ones(1), float((residual ** 2).mean())
+
+    gram = forecasts @ forecasts.T / n + ridge * np.eye(k)
+    target = forecasts @ actual / n
+    if lr is None:
+        eigmax = float(np.linalg.eigvalsh(gram)[-1])
+        lr = 1.0 / max(eigmax, 1e-9)
+    weights = np.full(k, 1.0 / k)
+    for _ in range(iterations):
+        grad = gram @ weights - target
+        weights = project_to_simplex(weights - lr * grad)
+    mse = float(((weights @ forecasts - actual) ** 2).mean())
+    return weights, mse
+
+
+def combine(candidate_forecasts, weights):
+    """Weighted average of stacked forecasts (any trailing shape)."""
+    forecasts = np.asarray(candidate_forecasts, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if forecasts.shape[0] != weights.shape[0]:
+        raise ValueError("one weight per candidate required")
+    return np.tensordot(weights, forecasts, axes=(0, 0))

@@ -1,0 +1,23 @@
+"""TFB evaluation layer: metrics, custom-metric registry, strategies."""
+
+from .metrics import (HIGHER_IS_BETTER, METRICS, compute, compute_all, mae,
+                      mape, mase, mse, nd, quantile_loss, r2_score,
+                      register_metric, rmse, smape, wape)
+from .strategies import (STRATEGIES, EvalResult, FixedWindowStrategy,
+                         RollingStrategy, make_strategy)
+
+__all__ = [
+    "METRICS", "HIGHER_IS_BETTER", "register_metric", "compute",
+    "compute_all", "mae", "mse", "rmse", "mape", "smape", "wape", "nd",
+    "mase", "r2_score", "quantile_loss", "EvalResult",
+    "FixedWindowStrategy", "RollingStrategy", "make_strategy", "STRATEGIES",
+]
+
+from .intervals import (ConformalIntervals, IntervalForecast,  # noqa: E402
+                        empirical_coverage, interval_width)
+from .strategies import ExpandingStrategy  # noqa: E402
+
+__all__ += [
+    "ConformalIntervals", "IntervalForecast", "empirical_coverage",
+    "interval_width", "ExpandingStrategy",
+]

@@ -1,0 +1,158 @@
+"""Forecast accuracy metrics and the custom-metric registry.
+
+TFB's evaluation layer "includes well-recognized evaluation metrics and
+allows for the use of customized metrics".  All metrics take
+``(actual, forecast)`` arrays of identical shape — ``(horizon, channels)``
+or any broadcast-compatible layout — plus optional keyword context (e.g.
+the training series for MASE scaling) and return a float where lower is
+better unless noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["METRICS", "register_metric", "compute", "compute_all",
+           "mae", "mse", "rmse", "mape", "smape", "wape", "mase",
+           "r2_score", "nd", "quantile_loss"]
+
+
+def _pair(actual, forecast):
+    actual = np.asarray(actual, dtype=np.float64)
+    forecast = np.asarray(forecast, dtype=np.float64)
+    if actual.shape != forecast.shape:
+        raise ValueError(
+            f"shape mismatch: actual {actual.shape} vs forecast {forecast.shape}")
+    if actual.size == 0:
+        raise ValueError("empty arrays passed to metric")
+    return actual, forecast
+
+
+def mae(actual, forecast, **_):
+    """Mean absolute error."""
+    actual, forecast = _pair(actual, forecast)
+    return float(np.abs(actual - forecast).mean())
+
+
+def mse(actual, forecast, **_):
+    """Mean squared error."""
+    actual, forecast = _pair(actual, forecast)
+    return float(((actual - forecast) ** 2).mean())
+
+
+def rmse(actual, forecast, **_):
+    """Root mean squared error."""
+    return float(np.sqrt(mse(actual, forecast)))
+
+
+def mape(actual, forecast, eps=1e-8, **_):
+    """Mean absolute percentage error (%); zero actuals are masked."""
+    actual, forecast = _pair(actual, forecast)
+    mask = np.abs(actual) > eps
+    if not mask.any():
+        return float("nan")
+    return float(100.0 * (np.abs(actual - forecast)[mask]
+                          / np.abs(actual)[mask]).mean())
+
+
+def smape(actual, forecast, eps=1e-8, **_):
+    """Symmetric MAPE (%), the M-competition formulation."""
+    actual, forecast = _pair(actual, forecast)
+    denom = (np.abs(actual) + np.abs(forecast)) / 2.0
+    mask = denom > eps
+    if not mask.any():
+        return 0.0
+    return float(100.0 * (np.abs(actual - forecast)[mask] / denom[mask]).mean())
+
+
+def wape(actual, forecast, eps=1e-8, **_):
+    """Weighted absolute percentage error: sum|e| / sum|y|."""
+    actual, forecast = _pair(actual, forecast)
+    denom = np.abs(actual).sum()
+    return float(np.abs(actual - forecast).sum() / max(denom, eps))
+
+
+def nd(actual, forecast, **_):
+    """Normalised deviation — alias of WAPE, the name GluonTS uses."""
+    return wape(actual, forecast)
+
+
+def mase(actual, forecast, train=None, period=1, eps=1e-8, **_):
+    """Mean absolute scaled error against the seasonal-naive in-sample MAE.
+
+    Requires the training series (``train``) for the scaling denominator.
+    """
+    actual, forecast = _pair(actual, forecast)
+    if train is None:
+        raise ValueError("MASE requires the training series via train=")
+    train = np.asarray(train, dtype=np.float64)
+    if train.ndim == 1:
+        train = train[:, None]
+    period = max(int(period), 1)
+    if train.shape[0] <= period:
+        raise ValueError("training series shorter than the seasonal period")
+    scale = np.abs(train[period:] - train[:-period]).mean()
+    return float(np.abs(actual - forecast).mean() / max(scale, eps))
+
+
+def r2_score(actual, forecast, **_):
+    """Coefficient of determination (higher is better)."""
+    actual, forecast = _pair(actual, forecast)
+    ss_res = float(((actual - forecast) ** 2).sum())
+    ss_tot = float(((actual - actual.mean()) ** 2).sum())
+    if ss_tot < 1e-12:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def quantile_loss(actual, forecast, q=0.5, **_):
+    """Pinball loss at quantile ``q`` (0.5 gives half the MAE)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q}")
+    actual, forecast = _pair(actual, forecast)
+    diff = actual - forecast
+    return float(np.maximum(q * diff, (q - 1.0) * diff).mean())
+
+
+METRICS = {
+    "mae": mae,
+    "mse": mse,
+    "rmse": rmse,
+    "mape": mape,
+    "smape": smape,
+    "wape": wape,
+    "nd": nd,
+    "mase": mase,
+    "r2": r2_score,
+    "quantile_loss": quantile_loss,
+}
+
+#: Metrics where larger values indicate better forecasts.
+HIGHER_IS_BETTER = {"r2"}
+
+
+def register_metric(name, fn, higher_is_better=False):
+    """Register a custom metric callable ``fn(actual, forecast, **ctx)``."""
+    if name in METRICS:
+        raise ValueError(f"metric {name!r} already registered")
+    if not callable(fn):
+        raise TypeError("metric must be callable")
+    METRICS[name] = fn
+    if higher_is_better:
+        HIGHER_IS_BETTER.add(name)
+
+
+def compute(name, actual, forecast, **context):
+    """Evaluate one registered metric by name."""
+    try:
+        fn = METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; known: {sorted(METRICS)}") from None
+    return fn(actual, forecast, **context)
+
+
+def compute_all(names, actual, forecast, **context):
+    """Evaluate several metrics; returns ``{name: value}``."""
+    return {name: compute(name, actual, forecast, **context)
+            for name in names}

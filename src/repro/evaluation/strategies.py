@@ -1,0 +1,193 @@
+"""Evaluation strategies: fixed-window and rolling-origin forecasting.
+
+The strategy owns the complete, consistent protocol TFB insists on:
+chronological 7:1:2 split, scaler fitted on train only, identical borders
+for every method, explicit drop-last handling, and metric computation on
+the *denormalised* scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.scalers import make_scaler
+from ..datasets.split import SplitSpec, train_val_test_split
+from . import metrics as metric_mod
+
+__all__ = ["EvalResult", "FixedWindowStrategy", "RollingStrategy",
+           "make_strategy", "STRATEGIES"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of evaluating one method on one series."""
+
+    method: str
+    series: str
+    horizon: int
+    strategy: str
+    scores: dict
+    n_windows: int
+    fit_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    forecasts: tuple = field(default=(), repr=False)
+    actuals: tuple = field(default=(), repr=False)
+
+    def score(self, name):
+        return self.scores[name]
+
+
+class _Strategy:
+    """Shared split/scale/score machinery for both strategies."""
+
+    name = "base"
+
+    def __init__(self, lookback=96, horizon=24, metrics=("mae", "mse"),
+                 scaler="standard", split=SplitSpec(), drop_last=False,
+                 keep_forecasts=False):
+        if lookback <= 0 or horizon <= 0:
+            raise ValueError("lookback and horizon must be positive")
+        self.lookback = lookback
+        self.horizon = horizon
+        self.metrics = tuple(metrics)
+        self.scaler_name = scaler
+        self.split = split
+        self.drop_last = drop_last
+        self.keep_forecasts = keep_forecasts
+
+    # -- hooks -------------------------------------------------------------
+    def _windows(self, test):
+        """Yield (history_end, target_end) index pairs into the test block."""
+        raise NotImplementedError
+
+    def _history_start(self, hist_end):
+        """First index of the history window ending at ``hist_end``."""
+        return max(hist_end - self.lookback, 0)
+
+    # -- main entry ----------------------------------------------------------
+    def evaluate(self, model, series):
+        """Fit ``model`` and score it on ``series`` under this protocol."""
+        import time
+
+        values = series.values if hasattr(series, "values") else np.asarray(series)
+        if values.ndim == 1:
+            values = values[:, None]
+        train, val, test = train_val_test_split(values, self.split,
+                                                lookback=self.lookback)
+        scaler = make_scaler(self.scaler_name)
+        scaler.fit(train)
+        train_s = scaler.transform(train)
+        val_s = scaler.transform(val)
+        test_s = scaler.transform(test)
+
+        t0 = time.perf_counter()
+        model.fit(train_s, val_s)
+        fit_seconds = time.perf_counter() - t0
+
+        actuals, forecasts = [], []
+        t0 = time.perf_counter()
+        for hist_end, target_end in self._windows(test_s):
+            history = test_s[self._history_start(hist_end):hist_end]
+            forecast_s = model.predict(history, self.horizon)
+            forecast = scaler.inverse_transform(forecast_s)
+            actual = test[hist_end:target_end]
+            forecasts.append(forecast[:len(actual)])
+            actuals.append(actual)
+        predict_seconds = time.perf_counter() - t0
+        if not actuals:
+            raise ValueError(
+                f"test segment too short for lookback={self.lookback} "
+                f"horizon={self.horizon}")
+
+        actual_all = np.concatenate(actuals)
+        forecast_all = np.concatenate(forecasts)
+        period = getattr(series, "freq", 1) or 1
+        scores = metric_mod.compute_all(self.metrics, actual_all, forecast_all,
+                                        train=train, period=period)
+        return EvalResult(
+            method=getattr(model, "name", type(model).__name__),
+            series=getattr(series, "name", "series"),
+            horizon=self.horizon,
+            strategy=self.name,
+            scores=scores,
+            n_windows=len(actuals),
+            fit_seconds=fit_seconds,
+            predict_seconds=predict_seconds,
+            forecasts=tuple(forecasts) if self.keep_forecasts else (),
+            actuals=tuple(actuals) if self.keep_forecasts else (),
+        )
+
+
+class FixedWindowStrategy(_Strategy):
+    """One forecast window at the start of the test segment."""
+
+    name = "fixed"
+
+    def _windows(self, test):
+        start = min(self.lookback, max(len(test) - self.horizon, 0))
+        yield start, start + self.horizon
+
+
+class RollingStrategy(_Strategy):
+    """Rolling-origin evaluation over the whole test segment.
+
+    The forecast origin advances by ``stride`` (default: the horizon, i.e.
+    non-overlapping windows).  ``drop_last=True`` discards a final partial
+    window — the "drop last" behaviour TFB flags — while the default keeps
+    and scores it on the available points.
+    """
+
+    name = "rolling"
+
+    def __init__(self, stride=None, **kwargs):
+        super().__init__(**kwargs)
+        self.stride = stride or self.horizon
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def _windows(self, test):
+        n = len(test)
+        origin = self.lookback
+        while origin < n:
+            target_end = min(origin + self.horizon, n)
+            if target_end - origin < self.horizon and self.drop_last:
+                return
+            yield origin, target_end
+            origin += self.stride
+
+
+class ExpandingStrategy(RollingStrategy):
+    """Rolling origins with an *expanding* history window.
+
+    Identical origins to :class:`RollingStrategy`, but each forecast sees
+    the entire test-segment history up to the origin rather than a fixed
+    lookback slice — the "increasing origin" protocol.  Methods with an
+    internal fixed input size simply consume the most recent points;
+    history-hungry statistical methods (ETS, ARIMA, Theta) benefit from
+    the longer conditioning context.
+    """
+
+    name = "expanding"
+
+    def _history_start(self, hist_end):
+        return 0
+
+
+STRATEGIES = {
+    "fixed": FixedWindowStrategy,
+    "rolling": RollingStrategy,
+    "expanding": ExpandingStrategy,
+}
+
+
+def make_strategy(name, **kwargs):
+    """Instantiate an evaluation strategy by config name."""
+    try:
+        cls = STRATEGIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; expected one of {sorted(STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)

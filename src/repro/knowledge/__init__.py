@@ -1,0 +1,18 @@
+"""Benchmark knowledge: results database, schema, builders."""
+
+from .base import LONG_TERM_THRESHOLD, KnowledgeBase
+from .builder import (FAST_POOL, METHOD_AFFINITY, build_benchmark_knowledge,
+                      build_synthetic_knowledge)
+from .schema import (DATASETS_COLUMNS, METHODS_COLUMNS, RESULT_METRICS,
+                     RESULTS_COLUMNS, create_schema)
+
+__all__ = [
+    "KnowledgeBase", "LONG_TERM_THRESHOLD", "build_benchmark_knowledge",
+    "build_synthetic_knowledge", "FAST_POOL", "METHOD_AFFINITY",
+    "create_schema", "DATASETS_COLUMNS", "METHODS_COLUMNS",
+    "RESULTS_COLUMNS", "RESULT_METRICS",
+]
+
+from .persist import load_knowledge, save_knowledge  # noqa: E402
+
+__all__ += ["save_knowledge", "load_knowledge"]

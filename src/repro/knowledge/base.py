@@ -1,0 +1,140 @@
+"""The benchmark knowledge base: accumulated results as a queryable DB.
+
+"TFB has accumulated a large number of benchmarking results from
+evaluating 30+ methods on 8,000+ time series.  These results are highly
+valuable ... Utilizing these results as a knowledge base" — this module is
+that store, built on the embedded SQL engine so the Q&A module can query
+it and the Automated Ensemble can train on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..characteristics import extract
+from ..methods.registry import METHODS, method_info
+from ..sql import Database
+from .schema import RESULT_METRICS, create_schema
+
+__all__ = ["KnowledgeBase", "LONG_TERM_THRESHOLD"]
+
+#: Horizons at or above this count as "long term forecasting" in Q&A.
+LONG_TERM_THRESHOLD = 48
+
+
+class KnowledgeBase:
+    """Facade over the knowledge database.
+
+    Provides typed ingestion (datasets, methods, benchmark results) and the
+    extraction views the ensemble trainer needs (error matrices aligned
+    with characteristic vectors).
+    """
+
+    def __init__(self):
+        self.db = create_schema(Database())
+        self._dataset_names = set()
+        self._method_names = set()
+
+    # -- ingestion -----------------------------------------------------------
+    def add_method(self, name):
+        """Register one method's metadata (idempotent)."""
+        if name in self._method_names:
+            return
+        info = method_info(name)
+        self.db.insert("methods", [(info["name"], info["category"],
+                                    info["description"])])
+        self._method_names.add(name)
+
+    def add_all_methods(self):
+        for name in sorted(METHODS):
+            self.add_method(name)
+
+    def add_dataset(self, series, characteristics=None):
+        """Ingest a TimeSeries and its characteristic vector (idempotent)."""
+        if series.name in self._dataset_names:
+            return
+        ch = characteristics or extract(series)
+        variate = "multivariate" if series.n_channels > 1 else "univariate"
+        self.db.insert("datasets", [(
+            series.name, series.domain, variate, series.n_channels,
+            series.length, ch.period, ch.seasonality, ch.trend,
+            ch.transition, ch.shifting, ch.stationarity, ch.correlation)])
+        self._dataset_names.add(series.name)
+
+    def add_result(self, result, term=None):
+        """Ingest one EvalResult row."""
+        if term is None:
+            term = "long" if result.horizon >= LONG_TERM_THRESHOLD else "short"
+        metrics = [result.scores.get(m) for m in RESULT_METRICS]
+        metrics = [None if v is not None and not np.isfinite(v) else v
+                   for v in metrics]
+        self.db.insert("results", [(
+            result.method, result.series, result.horizon, result.strategy,
+            term, *metrics, result.n_windows, result.fit_seconds,
+            result.predict_seconds)])
+        if result.method in METHODS:
+            self.add_method(result.method)
+
+    def ingest_table(self, table):
+        """Ingest every record of a pipeline ResultTable."""
+        for result in table:
+            self.add_result(result)
+
+    # -- introspection ---------------------------------------------------------
+    def n_results(self):
+        return self.db.query("SELECT COUNT(*) FROM results").scalar()
+
+    def dataset_names(self):
+        return sorted(self._dataset_names)
+
+    def method_names(self):
+        rows = self.db.query("SELECT DISTINCT method FROM results "
+                             "ORDER BY method").rows
+        return [r[0] for r in rows]
+
+    def schema_text(self):
+        return self.db.schema()
+
+    def query(self, sql):
+        return self.db.query(sql)
+
+    # -- training views ----------------------------------------------------------
+    def error_matrix(self, metric="mae", horizon=None):
+        """Per-series method errors for ensemble training.
+
+        Returns ``(series_names, method_names, matrix)`` where ``matrix``
+        is (n_series, n_methods) with NaN for missing cells; series with
+        no finite value for some method are kept (the trainer masks them).
+        """
+        if metric not in RESULT_METRICS:
+            raise ValueError(
+                f"metric {metric!r} not stored; stored: {RESULT_METRICS}")
+        clause = f" WHERE horizon = {int(horizon)}" if horizon else ""
+        result = self.db.query(
+            f"SELECT dataset, method, {metric} FROM results{clause}")
+        methods = self.method_names()
+        series = sorted({row[0] for row in result.rows})
+        m_index = {m: j for j, m in enumerate(methods)}
+        s_index = {s: i for i, s in enumerate(series)}
+        matrix = np.full((len(series), len(methods)), np.nan)
+        for dataset, method, value in result.rows:
+            if value is not None and method in m_index:
+                matrix[s_index[dataset], m_index[method]] = value
+        return series, methods, matrix
+
+    def characteristics_frame(self, series_names):
+        """Characteristic vectors for the given series, same order."""
+        axes = ("seasonality", "trend", "transition", "shifting",
+                "stationarity", "correlation", "period")
+        rows = self.db.query(
+            "SELECT name, " + ", ".join(axes) + " FROM datasets").to_dicts()
+        by_name = {r["name"]: r for r in rows}
+        out = []
+        for name in series_names:
+            rec = by_name.get(name)
+            if rec is None:
+                raise KeyError(f"dataset {name!r} not in the knowledge base")
+            vec = [rec[a] for a in axes[:-1]]
+            vec.append(np.log1p(rec["period"]) / np.log(1 + 512))
+            out.append(vec)
+        return np.asarray(out, dtype=np.float64)

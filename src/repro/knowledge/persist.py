@@ -1,0 +1,84 @@
+"""Persistence for the benchmark knowledge base.
+
+The paper's value proposition rests on *accumulated* benchmark results;
+this module lets a knowledge base be saved to a directory of CSV files
+(one per table) and reloaded in a later session, so one expensive
+benchmark run can seed many EasyTime instances.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .base import KnowledgeBase
+from .schema import DATASETS_COLUMNS, METHODS_COLUMNS, RESULTS_COLUMNS
+
+__all__ = ["save_knowledge", "load_knowledge"]
+
+_TABLES = {
+    "datasets": DATASETS_COLUMNS,
+    "methods": METHODS_COLUMNS,
+    "results": RESULTS_COLUMNS,
+}
+_NULL = ""
+
+
+def _dump_table(table):
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([c.name for c in table.columns])
+    for row in table.rows:
+        writer.writerow([_NULL if v is None else v for v in row])
+    return buf.getvalue()
+
+
+def save_knowledge(kb, directory):
+    """Write the three knowledge tables as CSV files under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in _TABLES:
+        path = directory / f"{name}.csv"
+        path.write_text(_dump_table(kb.db.table(name)), encoding="utf-8")
+    return directory
+
+
+def _parse_cell(text, type_name):
+    if text == _NULL:
+        return None
+    if type_name == "INT":
+        return int(text)
+    if type_name == "FLOAT":
+        return float(text)
+    if type_name == "BOOL":
+        return text in ("True", "true", "1")
+    return text
+
+
+def load_knowledge(directory):
+    """Rebuild a KnowledgeBase from :func:`save_knowledge` output."""
+    directory = Path(directory)
+    kb = KnowledgeBase()
+    for name, columns in _TABLES.items():
+        path = directory / f"{name}.csv"
+        if not path.exists():
+            raise FileNotFoundError(f"missing knowledge table file: {path}")
+        with path.open(encoding="utf-8", newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            expected = [c for c, _ in columns]
+            if header != expected:
+                raise ValueError(
+                    f"{path.name}: header {header} does not match the "
+                    f"schema {expected}")
+            types = [t for _, t in columns]
+            rows = [tuple(_parse_cell(cell, t)
+                          for cell, t in zip(row, types))
+                    for row in reader]
+        kb.db.insert(name, rows)
+    kb._dataset_names.update(
+        row[0] for row in kb.db.table("datasets").rows)
+    kb._method_names.update(
+        row[0] for row in kb.db.table("methods").rows)
+    return kb

@@ -1,0 +1,56 @@
+"""Relational schema of the benchmark-knowledge database.
+
+Three tables mirror the paper's "benchmark knowledge": meta-information of
+datasets and methods, plus the accumulated benchmarking results of the
+method × series grid.  The Q&A module's NL2SQL grammar is built against
+exactly this schema.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DATASETS_COLUMNS", "METHODS_COLUMNS", "RESULTS_COLUMNS",
+           "create_schema", "RESULT_METRICS"]
+
+#: Metrics materialised as result columns (one column per metric).
+RESULT_METRICS = ("mae", "mse", "rmse", "smape", "mase")
+
+DATASETS_COLUMNS = (
+    ("name", "TEXT"),
+    ("domain", "TEXT"),
+    ("variate", "TEXT"),          # 'univariate' | 'multivariate'
+    ("n_channels", "INT"),
+    ("length", "INT"),
+    ("period", "INT"),
+    ("seasonality", "FLOAT"),
+    ("trend", "FLOAT"),
+    ("transition", "FLOAT"),
+    ("shifting", "FLOAT"),
+    ("stationarity", "FLOAT"),
+    ("correlation", "FLOAT"),
+)
+
+METHODS_COLUMNS = (
+    ("name", "TEXT"),
+    ("category", "TEXT"),
+    ("description", "TEXT"),
+)
+
+RESULTS_COLUMNS = (
+    ("method", "TEXT"),
+    ("dataset", "TEXT"),
+    ("horizon", "INT"),
+    ("strategy", "TEXT"),
+    ("term", "TEXT"),             # 'short' | 'long' forecasting regime
+    *[(metric, "FLOAT") for metric in RESULT_METRICS],
+    ("n_windows", "INT"),
+    ("fit_seconds", "FLOAT"),
+    ("predict_seconds", "FLOAT"),
+)
+
+
+def create_schema(db):
+    """Create the three knowledge tables on a Database."""
+    db.create_table("datasets", DATASETS_COLUMNS)
+    db.create_table("methods", METHODS_COLUMNS)
+    db.create_table("results", RESULTS_COLUMNS)
+    return db

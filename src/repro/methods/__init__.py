@@ -1,0 +1,44 @@
+"""TFB method layer: statistical, ML and deep forecasters + registry."""
+
+from .adapter import FunctionForecaster, ThirdPartyAdapter
+from .arima import ARIMAForecaster, VARForecaster, css_residuals, fit_arima
+from .base import ChannelIndependent, Forecaster, check_history
+from .deep import (DeepForecaster, DLinearForecaster, GRUForecaster,
+                   LinearForecaster, MLPForecaster, NLinearForecaster,
+                   PatchMLPForecaster, RLinearForecaster,
+                   SpectralLinearForecaster, TCNForecaster)
+from .ml import (GBDTForecaster, KNNForecaster, LassoForecaster,
+                 RidgeForecaster, fit_lasso_ista, soft_thresholding)
+from .registry import (METHODS, categories, create, list_methods,
+                       method_info, register)
+from .statistical import (DriftForecaster, HoltForecaster,
+                          HoltWintersForecaster, MeanForecaster,
+                          NaiveForecaster, SeasonalNaiveForecaster,
+                          SESForecaster, ThetaForecaster)
+from .tree import GradientBoostedTrees, RegressionTree
+
+__all__ = [
+    "Forecaster", "ChannelIndependent", "check_history",
+    "NaiveForecaster", "SeasonalNaiveForecaster", "DriftForecaster",
+    "MeanForecaster", "SESForecaster", "HoltForecaster",
+    "HoltWintersForecaster", "ThetaForecaster", "ARIMAForecaster",
+    "VARForecaster", "fit_arima", "css_residuals", "RidgeForecaster",
+    "LassoForecaster", "KNNForecaster", "GBDTForecaster",
+    "soft_thresholding", "fit_lasso_ista", "RegressionTree",
+    "GradientBoostedTrees", "DeepForecaster", "LinearForecaster",
+    "MLPForecaster", "DLinearForecaster", "NLinearForecaster",
+    "RLinearForecaster", "PatchMLPForecaster", "SpectralLinearForecaster",
+    "TCNForecaster", "GRUForecaster", "ThirdPartyAdapter",
+    "FunctionForecaster", "METHODS", "create", "register", "list_methods",
+    "method_info", "categories",
+]
+
+from .deep_advanced import (MultiHeadSelfAttention, NBeatsForecaster,  # noqa: E402
+                            TransformerForecaster)
+from .statistical_extra import (CrostonForecaster, ETSForecaster,  # noqa: E402
+                                STLForecaster, ets_sse)
+
+__all__ += [
+    "TransformerForecaster", "NBeatsForecaster", "MultiHeadSelfAttention",
+    "ETSForecaster", "STLForecaster", "CrostonForecaster", "ets_sse",
+]

@@ -1,0 +1,88 @@
+"""Third-party library compatibility shim.
+
+TFB's method layer "ensures compatibility with other third-party TSF
+libraries, such as Darts and TSLib": any external object exposing a
+``fit``/``predict`` pair can be wrapped and dropped into the pipeline.
+The adapter translates between the external calling conventions and the
+:class:`~repro.methods.base.Forecaster` contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Forecaster, check_history
+
+__all__ = ["ThirdPartyAdapter", "FunctionForecaster"]
+
+
+class ThirdPartyAdapter(Forecaster):
+    """Wrap an external model with ``fit(series)`` / ``predict(n)`` methods.
+
+    This is the Darts calling convention: ``fit`` takes the full training
+    series, ``predict`` takes the number of future steps.  ``predict`` may
+    optionally accept a ``history`` keyword for models that re-condition
+    on fresh context.
+    """
+
+    category = "external"
+
+    def __init__(self, model, name=None):
+        super().__init__()
+        for attr in ("fit", "predict"):
+            if not callable(getattr(model, attr, None)):
+                raise TypeError(
+                    f"external model must define a callable {attr!r}")
+        self.model = model
+        self.name = name or f"external_{type(model).__name__.lower()}"
+
+    def fit(self, train, val=None):
+        train = check_history(train)
+        self.model.fit(train)
+        self._mark_fitted()
+        return self
+
+    def predict(self, history, horizon):
+        self._require_fitted()
+        history = check_history(history)
+        try:
+            out = self.model.predict(horizon, history=history)
+        except TypeError:
+            out = self.model.predict(horizon)
+        out = np.asarray(out, dtype=np.float64)
+        if out.ndim == 1:
+            out = out[:, None]
+        if out.shape[0] != horizon:
+            raise ValueError(
+                f"external model returned {out.shape[0]} steps, "
+                f"expected {horizon}")
+        return out
+
+
+class FunctionForecaster(Forecaster):
+    """Adapt a plain ``f(history, horizon) -> forecast`` function.
+
+    The cheapest way for a researcher to plug a new idea into the
+    one-click pipeline (demo scenario S1).
+    """
+
+    category = "external"
+
+    def __init__(self, fn, name="custom_fn"):
+        super().__init__()
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        self.fn = fn
+        self.name = name
+
+    def fit(self, train, val=None):
+        self._mark_fitted()
+        return self
+
+    def predict(self, history, horizon):
+        self._require_fitted()
+        history = check_history(history)
+        out = np.asarray(self.fn(history, horizon), dtype=np.float64)
+        if out.ndim == 1:
+            out = out[:, None]
+        return out

@@ -1,0 +1,238 @@
+"""ARIMA and VAR implemented from scratch.
+
+ARIMA(p, d, q) is fitted by conditional sum of squares (CSS) with
+``scipy.optimize.minimize``; ``auto_order`` performs a small AIC grid
+search like auto-ARIMA.  VAR(p) is fitted by per-equation least squares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .base import ChannelIndependent, Forecaster, check_history
+
+__all__ = ["ARIMAForecaster", "VARForecaster", "css_residuals", "fit_arima"]
+
+
+def _difference(values, d):
+    for _ in range(d):
+        values = np.diff(values)
+    return values
+
+
+def _undifference(forecast, history, d):
+    """Integrate a differenced forecast back to the original level."""
+    for k in range(d, 0, -1):
+        tail = _difference(history, k - 1)
+        last = tail[-1]
+        forecast = last + np.cumsum(forecast)
+    return forecast
+
+
+def css_residuals(values, ar, ma, intercept):
+    """Residuals of an ARMA model under conditional sum of squares.
+
+    The recursion starts at ``t = p`` with zero pre-sample residuals, the
+    standard CSS conditioning.
+    """
+    p, q = len(ar), len(ma)
+    n = len(values)
+    resid = np.zeros(n)
+    for t in range(p, n):
+        pred = intercept
+        if p:
+            pred += float(ar @ values[t - p:t][::-1])
+        for j in range(1, q + 1):
+            if t - j >= p:
+                pred += ma[j - 1] * resid[t - j]
+        resid[t] = values[t] - pred
+    return resid[p:]
+
+
+def _ols_ar(work, p):
+    """Closed-form conditional least squares for a pure AR(p) model."""
+    rows = len(work) - p
+    design = np.column_stack(
+        [work[p - lag - 1: len(work) - lag - 1] for lag in range(p)]
+        + [np.ones(rows)])
+    coef, *_ = np.linalg.lstsq(design, work[p:], rcond=None)
+    return coef[:p], float(coef[p])
+
+
+def fit_arima(values, p, d, q, maxiter=200):
+    """Fit ARIMA(p,d,q) by CSS; returns (ar, ma, intercept, sigma2, aic).
+
+    Pure AR models (q == 0) use the exact conditional-least-squares
+    solution; mixed models start Nelder-Mead from the AR-only solution.
+    """
+    work = _difference(np.asarray(values, dtype=np.float64), d)
+    n = len(work)
+    if n <= p + q + 1:
+        raise ValueError(f"series too short for ARIMA({p},{d},{q})")
+    mean = work.mean()
+
+    def finalise(ar, ma, intercept):
+        resid = css_residuals(work, ar, ma, intercept)
+        eff_n = max(len(resid), 1)
+        sigma2 = float(resid @ resid) / eff_n
+        k = p + q + 1
+        aic = eff_n * np.log(max(sigma2, 1e-12)) + 2 * k
+        return ar, ma, intercept, sigma2, aic
+
+    if q == 0 and p > 0:
+        ar, intercept = _ols_ar(work, p)
+        return finalise(ar, np.empty(0), intercept)
+
+    def unpack(theta):
+        ar = theta[:p]
+        ma = theta[p:p + q]
+        intercept = theta[p + q]
+        return ar, ma, intercept
+
+    def objective(theta):
+        ar, ma, intercept = unpack(theta)
+        # Soft stationarity/invertibility guard.
+        if np.sum(np.abs(ar)) > 2.0 or np.sum(np.abs(ma)) > 2.0:
+            return 1e12
+        resid = css_residuals(work, ar, ma, intercept)
+        return float(resid @ resid)
+
+    if p > 0:
+        ar0, intercept0 = _ols_ar(work, p)
+        # Keep the start inside the soft stationarity guard.
+        if np.sum(np.abs(ar0)) > 1.9:
+            ar0 = ar0 * (1.9 / np.sum(np.abs(ar0)))
+    else:
+        ar0, intercept0 = np.empty(0), mean
+    x0 = np.concatenate([ar0, np.full(q, 0.1), [intercept0]])
+    result = minimize(objective, x0, method="Nelder-Mead",
+                      options={"maxiter": maxiter * max(p + q + 1, 1),
+                               "xatol": 1e-6, "fatol": 1e-10})
+    return finalise(*unpack(result.x))
+
+
+class ARIMAForecaster(ChannelIndependent):
+    """ARIMA(p,d,q) with optional AIC order selection.
+
+    ``order=None`` triggers a small auto-ARIMA grid over
+    p ∈ {0,1,2}, d ∈ {0,1}, q ∈ {0,1}.
+    """
+
+    name = "arima"
+
+    def __init__(self, order=(2, 1, 1), auto_order=False, max_fit_length=512):
+        super().__init__()
+        if order is None:
+            auto_order = True
+            order = (2, 1, 1)
+        self.order = order
+        self.auto_order = auto_order
+        self.max_fit_length = max_fit_length
+
+    def _candidate_orders(self):
+        return [(p, d, q) for d in (0, 1) for p in (0, 1, 2) for q in (0, 1)
+                if p + q > 0]
+
+    def _fit_channel(self, values, val_values):
+        values = values[-self.max_fit_length:]
+        if self.auto_order:
+            best = None
+            for order in self._candidate_orders():
+                try:
+                    fitted = fit_arima(values, *order)
+                except (ValueError, np.linalg.LinAlgError):
+                    continue
+                if best is None or fitted[4] < best[1][4]:
+                    best = (order, fitted)
+            if best is None:
+                raise RuntimeError("auto-ARIMA failed on every candidate order")
+            order, (ar, ma, intercept, sigma2, _) = best
+        else:
+            order = self.order
+            ar, ma, intercept, sigma2, _ = fit_arima(values, *order)
+        return {"order": order, "ar": ar, "ma": ma,
+                "intercept": intercept, "sigma2": sigma2}
+
+    def _predict_channel(self, state, history, horizon):
+        p, d, q = state["order"]
+        ar, ma, intercept = state["ar"], state["ma"], state["intercept"]
+        work = _difference(history, d)
+        if len(work) < max(p, 1):
+            return np.full(horizon, history[-1])
+        resid = np.zeros(len(work)) if p + q == 0 else np.concatenate(
+            [np.zeros(p), css_residuals(work, ar, ma, intercept)])
+        extended = list(work)
+        resid = list(resid)
+        forecasts = []
+        for h in range(horizon):
+            pred = intercept
+            if p:
+                lagged = np.array(extended[-p:][::-1])
+                pred += float(ar @ lagged)
+            for j in range(1, q + 1):
+                # Future residuals are zero in expectation; only in-sample
+                # residuals contribute to the first q steps.
+                back = j - h
+                if 1 <= back <= len(resid):
+                    pred += ma[j - 1] * resid[-back]
+            forecasts.append(pred)
+            extended.append(pred)
+        forecast = np.asarray(forecasts)
+        if d:
+            forecast = _undifference(forecast, history, d)
+        return forecast
+
+
+class VARForecaster(Forecaster):
+    """Vector autoregression VAR(p) fitted by least squares.
+
+    The one genuinely multivariate statistical method in the pool; its
+    edge on strongly correlated channels is what the "Correlation"
+    characteristic predicts.
+    """
+
+    name = "var"
+    category = "statistical"
+
+    def __init__(self, lags=4, ridge=1e-3):
+        super().__init__()
+        if lags < 1:
+            raise ValueError("lags must be >= 1")
+        self.lags = lags
+        self.ridge = ridge
+        self._coef = None
+        self._intercept = None
+        self._n_channels = None
+
+    def fit(self, train, val=None):
+        train = check_history(train, min_length=self.lags + 2)
+        n, c = train.shape
+        self._n_channels = c
+        rows = n - self.lags
+        design = np.empty((rows, self.lags * c))
+        for lag in range(1, self.lags + 1):
+            design[:, (lag - 1) * c: lag * c] = \
+                train[self.lags - lag: n - lag]
+        target = train[self.lags:]
+        design = np.column_stack([design, np.ones(rows)])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        coef = np.linalg.solve(gram, design.T @ target)
+        self._coef = coef[:-1]
+        self._intercept = coef[-1]
+        self._mark_fitted()
+        return self
+
+    def predict(self, history, horizon):
+        self._require_fitted()
+        history = check_history(history, min_length=self.lags)
+        if history.shape[1] != self._n_channels:
+            raise ValueError("channel count mismatch with fitted VAR")
+        window = [history[-lag] for lag in range(1, self.lags + 1)]
+        forecasts = []
+        for _ in range(horizon):
+            features = np.concatenate(window)
+            nxt = features @ self._coef + self._intercept
+            forecasts.append(nxt)
+            window = [nxt] + window[:-1]
+        return np.asarray(forecasts)

@@ -1,0 +1,120 @@
+"""Forecaster interface of the TFB method layer.
+
+Every method — statistical, ML, deep or third-party — implements the same
+contract so the evaluation layer, the one-click pipeline and the automated
+ensemble can treat them interchangeably:
+
+* ``fit(train, val=None)`` — learn from the training segment, optionally
+  using a validation segment for early stopping / hyperparameter choice.
+* ``predict(history, horizon)`` — given the most recent observations,
+  return the next ``horizon`` values.
+
+All arrays are (length, channels); univariate series use ``channels == 1``.
+Univariate-only methods are applied channel-independently via
+:class:`ChannelIndependent`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Forecaster", "ChannelIndependent", "check_history"]
+
+
+def check_history(history, min_length=1):
+    """Validate and normalise a history array to (length, channels)."""
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim == 1:
+        history = history[:, None]
+    if history.ndim != 2:
+        raise ValueError(f"history must be 1-D or 2-D, got ndim={history.ndim}")
+    if history.shape[0] < min_length:
+        raise ValueError(
+            f"history of length {history.shape[0]} shorter than required "
+            f"{min_length}")
+    return history
+
+
+class Forecaster:
+    """Abstract forecasting method.
+
+    Subclasses set ``name`` (registry key) and ``category`` (one of
+    ``statistical``, ``ml``, ``deep``, ``external``) and implement
+    :meth:`fit` and :meth:`predict`.
+    """
+
+    name = "base"
+    category = "statistical"
+
+    def __init__(self):
+        self._fitted = False
+
+    # -- contract ---------------------------------------------------------
+    def fit(self, train, val=None):
+        """Train on ``train`` (length, channels); returns self."""
+        raise NotImplementedError
+
+    def predict(self, history, horizon):
+        """Forecast ``horizon`` steps after ``history``; (horizon, channels)."""
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+    def _mark_fitted(self):
+        self._fitted = True
+
+    def _require_fitted(self):
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: predict() called before fit()")
+
+    @property
+    def is_fitted(self):
+        return self._fitted
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ChannelIndependent(Forecaster):
+    """Base for univariate methods lifted to multivariate data.
+
+    ``fit`` receives the full multivariate training block for any
+    cross-channel statistics a subclass may want, but the default
+    behaviour trains one independent copy of the univariate logic per
+    channel by delegating to ``_fit_channel`` / ``_predict_channel``.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._channel_state = []
+
+    def _fit_channel(self, values, val_values):
+        """Fit one channel; return opaque state used at predict time."""
+        raise NotImplementedError
+
+    def _predict_channel(self, state, history, horizon):
+        """Forecast one channel from its state and 1-D history."""
+        raise NotImplementedError
+
+    def fit(self, train, val=None):
+        train = check_history(train)
+        val = check_history(val) if val is not None else None
+        self._channel_state = []
+        for c in range(train.shape[1]):
+            val_col = val[:, c] if val is not None else None
+            self._channel_state.append(self._fit_channel(train[:, c], val_col))
+        self._mark_fitted()
+        return self
+
+    def predict(self, history, horizon):
+        self._require_fitted()
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        history = check_history(history)
+        if history.shape[1] != len(self._channel_state):
+            raise ValueError(
+                f"{self.name}: fitted on {len(self._channel_state)} channels, "
+                f"history has {history.shape[1]}")
+        cols = [self._predict_channel(state, history[:, c], horizon)
+                for c, state in enumerate(self._channel_state)]
+        return np.stack([np.asarray(col, dtype=np.float64) for col in cols],
+                        axis=1)

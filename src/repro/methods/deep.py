@@ -1,0 +1,425 @@
+"""Deep-learning forecasting methods on the autograd substrate.
+
+Implements the channel-independent long-term-forecasting family that
+dominates recent TSF benchmarks: linear heads (Linear/DLinear/NLinear/
+RLinear), an MLP, a patch model, a frequency-domain linear model
+(FITS-style), a dilated TCN and a GRU.  All share :class:`DeepForecaster`,
+which owns window construction, per-channel normalisation, minibatch
+training with early stopping, and autoregressive horizon extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, losses, nn, optim
+from ..autograd import functional as F
+from ..datasets.split import batch_indices, make_windows
+from .base import Forecaster, check_history
+
+__all__ = [
+    "DeepForecaster", "LinearForecaster", "MLPForecaster",
+    "DLinearForecaster", "NLinearForecaster", "RLinearForecaster",
+    "PatchMLPForecaster", "SpectralLinearForecaster", "TCNForecaster",
+    "GRUForecaster",
+]
+
+
+class DeepForecaster(Forecaster):
+    """Shared trainer for window-to-window neural forecasters.
+
+    Subclasses implement :meth:`build` (returning an autograd Module that
+    maps a ``(batch, lookback)`` tensor to ``(batch, horizon)``) and may
+    override :meth:`preprocess` for input-side featurisation.
+
+    Channels are treated independently: every channel contributes training
+    windows, and at predict time each channel is forecast from its own
+    history — the channel-independence trick used by DLinear/PatchTST.
+    """
+
+    category = "deep"
+
+    def __init__(self, lookback=96, horizon=24, epochs=30, batch_size=64,
+                 lr=1e-3, patience=5, seed=0, max_windows=2000,
+                 grad_clip=5.0):
+        super().__init__()
+        if lookback <= 0 or horizon <= 0:
+            raise ValueError("lookback and horizon must be positive")
+        self.lookback = lookback
+        self.horizon = horizon
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.patience = patience
+        self.seed = seed
+        self.max_windows = max_windows
+        self.grad_clip = grad_clip
+        self._model = None
+        self._mean = None
+        self._std = None
+
+    # -- model hooks ------------------------------------------------------
+    def build(self, rng):
+        """Return the network mapping (batch, lookback) -> (batch, horizon)."""
+        raise NotImplementedError
+
+    def preprocess(self, windows):
+        """Hook mapping raw (batch, lookback) ndarray to network input."""
+        return windows
+
+    # -- window assembly ---------------------------------------------------
+    def _collect_windows(self, values):
+        """Stack channel-independent windows from a (T, C) block."""
+        blocks_x, blocks_y = [], []
+        for c in range(values.shape[1]):
+            scaled = (values[:, c] - self._mean[c]) / self._std[c]
+            if len(scaled) < self.lookback + self.horizon:
+                continue
+            x, y = make_windows(scaled, self.lookback, self.horizon)
+            blocks_x.append(x[:, :, 0])
+            blocks_y.append(y[:, :, 0])
+        if not blocks_x:
+            raise ValueError(
+                f"{self.name}: training segment shorter than "
+                f"lookback+horizon={self.lookback + self.horizon}")
+        return np.concatenate(blocks_x), np.concatenate(blocks_y)
+
+    def _subsample(self, x, y, rng):
+        if len(x) <= self.max_windows:
+            return x, y
+        idx = rng.choice(len(x), size=self.max_windows, replace=False)
+        return x[idx], y[idx]
+
+    # -- training -----------------------------------------------------------
+    def fit(self, train, val=None):
+        train = check_history(train)
+        rng = np.random.default_rng(self.seed)
+        self._mean = train.mean(axis=0)
+        std = train.std(axis=0)
+        self._std = np.where(std > 1e-12, std, 1.0)
+        x, y = self._collect_windows(train)
+        x, y = self._subsample(x, y, rng)
+        val_pair = None
+        if val is not None:
+            val = check_history(val)
+            if val.shape[0] >= self.lookback + self.horizon:
+                val_pair = self._collect_windows(val)
+        self._model = self.build(rng)
+        optimizer = optim.Adam(self._model.parameters(), lr=self.lr)
+        best_state, best_loss, since_best = None, np.inf, 0
+        for _ in range(self.epochs):
+            self._model.train()
+            for batch in batch_indices(len(x), self.batch_size, rng=rng):
+                optimizer.zero_grad()
+                pred = self._forward(x[batch])
+                loss = losses.mse_loss(pred, y[batch])
+                loss.backward()
+                optim.clip_grad_norm(self._model.parameters(), self.grad_clip)
+                optimizer.step()
+            monitor = self._eval_loss(*val_pair) if val_pair \
+                else self._eval_loss(x, y)
+            if monitor < best_loss - 1e-9:
+                best_loss, since_best = monitor, 0
+                best_state = self._model.state_dict()
+            else:
+                since_best += 1
+                if since_best >= self.patience:
+                    break
+        if best_state is not None:
+            self._model.load_state_dict(best_state)
+        self._model.eval()
+        self._mark_fitted()
+        return self
+
+    def _forward(self, windows):
+        return self._model(Tensor(self.preprocess(windows)))
+
+    def _eval_loss(self, x, y):
+        self._model.eval()
+        from ..autograd import no_grad
+        with no_grad():
+            pred = self._forward(x)
+            return float(((pred.data - y) ** 2).mean())
+
+    # -- inference ------------------------------------------------------------
+    def predict(self, history, horizon):
+        self._require_fitted()
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        history = check_history(history)
+        if history.shape[1] != len(self._mean):
+            raise ValueError(
+                f"{self.name}: fitted on {len(self._mean)} channels, "
+                f"history has {history.shape[1]}")
+        from ..autograd import no_grad
+        columns = []
+        for c in range(history.shape[1]):
+            series = (history[:, c] - self._mean[c]) / self._std[c]
+            if len(series) < self.lookback:
+                series = np.concatenate(
+                    [np.full(self.lookback - len(series), series[0]), series])
+            window = series[-self.lookback:]
+            out = []
+            with no_grad():
+                while len(out) < horizon:
+                    step = self._forward(window[None, :]).data[0]
+                    out.extend(step.tolist())
+                    window = np.concatenate([window, step])[-self.lookback:]
+            columns.append(np.asarray(out[:horizon]) * self._std[c]
+                           + self._mean[c])
+        return np.stack(columns, axis=1)
+
+
+class LinearForecaster(DeepForecaster):
+    """Single linear map from lookback to horizon (the LTSF-Linear baseline)."""
+
+    name = "linear_nn"
+
+    def build(self, rng):
+        return nn.Linear(self.lookback, self.horizon, rng=rng)
+
+
+class MLPForecaster(DeepForecaster):
+    """Two-layer MLP with ReLU."""
+
+    name = "mlp"
+
+    def __init__(self, hidden=128, dropout=0.1, **kwargs):
+        super().__init__(**kwargs)
+        self.hidden = hidden
+        self.dropout = dropout
+
+    def build(self, rng):
+        return nn.Sequential(
+            nn.Linear(self.lookback, self.hidden, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(self.dropout, rng=rng),
+            nn.Linear(self.hidden, self.horizon, rng=rng),
+        )
+
+
+class _DLinearNet(nn.Module):
+    """Trend/seasonal split with separate linear heads (DLinear)."""
+
+    def __init__(self, lookback, horizon, kernel, rng):
+        super().__init__()
+        self.kernel = kernel
+        self.trend_head = nn.Linear(lookback, horizon, rng=rng)
+        self.season_head = nn.Linear(lookback, horizon, rng=rng)
+        # Fixed moving-average matrix for the trend extraction.
+        weight = np.zeros((lookback, lookback))
+        half = kernel // 2
+        for i in range(lookback):
+            lo, hi = max(0, i - half), min(lookback, i + half + 1)
+            weight[i, lo:hi] = 1.0 / (hi - lo)
+        self._smooth = Tensor(weight.T)
+
+    def forward(self, x):
+        trend = x @ self._smooth
+        season = x - trend
+        return self.trend_head(trend) + self.season_head(season)
+
+
+class DLinearForecaster(DeepForecaster):
+    """DLinear (Zeng et al., 2023): decomposition + two linear heads."""
+
+    name = "dlinear"
+
+    def __init__(self, kernel=25, **kwargs):
+        super().__init__(**kwargs)
+        self.kernel = kernel
+
+    def build(self, rng):
+        return _DLinearNet(self.lookback, self.horizon, self.kernel, rng)
+
+
+class _NLinearNet(nn.Module):
+    """Subtract the last value before the linear map, add it back after."""
+
+    def __init__(self, lookback, horizon, rng):
+        super().__init__()
+        self.head = nn.Linear(lookback, horizon, rng=rng)
+
+    def forward(self, x):
+        last = x[:, -1:]
+        return self.head(x - last) + last
+
+
+class NLinearForecaster(DeepForecaster):
+    """NLinear: last-value normalisation around a linear map."""
+
+    name = "nlinear"
+
+    def build(self, rng):
+        return _NLinearNet(self.lookback, self.horizon, rng)
+
+
+class _RLinearNet(nn.Module):
+    """RevIN-style instance normalisation around a linear map."""
+
+    def __init__(self, lookback, horizon, rng, eps=1e-5):
+        super().__init__()
+        self.eps = eps
+        self.head = nn.Linear(lookback, horizon, rng=rng)
+        self.affine_scale = nn.Parameter(np.ones(1))
+        self.affine_shift = nn.Parameter(np.zeros(1))
+
+    def forward(self, x):
+        mean = x.mean(axis=1, keepdims=True)
+        centred = x - mean
+        std = ((centred * centred).mean(axis=1, keepdims=True)
+               + self.eps).sqrt()
+        normed = centred / std * self.affine_scale + self.affine_shift
+        out = self.head(normed)
+        return (out - self.affine_shift) / self.affine_scale * std + mean
+
+
+class RLinearForecaster(DeepForecaster):
+    """RLinear: reversible instance normalisation + linear head."""
+
+    name = "rlinear"
+
+    def build(self, rng):
+        return _RLinearNet(self.lookback, self.horizon, rng)
+
+
+class _PatchMLPNet(nn.Module):
+    """Patch embedding + MLP mixer head (PatchTST-lite without attention)."""
+
+    def __init__(self, lookback, horizon, patch_len, d_model, rng):
+        super().__init__()
+        if lookback % patch_len != 0:
+            raise ValueError("lookback must be divisible by patch_len")
+        self.patch_len = patch_len
+        self.n_patches = lookback // patch_len
+        self.embed = nn.Linear(patch_len, d_model, rng=rng)
+        self.mix = nn.Sequential(
+            nn.Linear(self.n_patches * d_model, 2 * d_model, rng=rng),
+            nn.GELU(),
+            nn.Linear(2 * d_model, horizon, rng=rng),
+        )
+
+    def forward(self, x):
+        batch = x.shape[0]
+        patches = x.reshape(batch, self.n_patches, self.patch_len)
+        embedded = self.embed(patches)
+        return self.mix(embedded.reshape(batch, -1))
+
+
+class PatchMLPForecaster(DeepForecaster):
+    """Patch-based MLP forecaster."""
+
+    name = "patchmlp"
+
+    def __init__(self, patch_len=16, d_model=32, **kwargs):
+        super().__init__(**kwargs)
+        self.patch_len = patch_len
+        self.d_model = d_model
+
+    def build(self, rng):
+        return _PatchMLPNet(self.lookback, self.horizon, self.patch_len,
+                            self.d_model, rng)
+
+
+class SpectralLinearForecaster(DeepForecaster):
+    """FITS-style frequency-domain linear model.
+
+    The lookback window is mapped to its low-frequency rFFT coefficients
+    (real/imag stacked) outside the graph, and a linear layer regresses the
+    horizon directly from the spectrum.
+    """
+
+    name = "spectral"
+
+    def __init__(self, n_freqs=24, **kwargs):
+        # A small linear head trains best with a larger step size than the
+        # deep-model default.
+        kwargs.setdefault("lr", 5e-3)
+        super().__init__(**kwargs)
+        self.n_freqs = n_freqs
+
+    def _spectrum(self, windows):
+        coeffs = np.fft.rfft(windows, axis=1)[:, :self.n_freqs]
+        return np.concatenate([coeffs.real, coeffs.imag], axis=1) \
+            / np.sqrt(self.lookback)
+
+    def preprocess(self, windows):
+        return self._spectrum(np.asarray(windows, dtype=np.float64))
+
+    def build(self, rng):
+        return nn.Linear(2 * self.n_freqs, self.horizon, rng=rng)
+
+
+class _TCNNet(nn.Module):
+    """Dilated causal convolution stack with residual connections."""
+
+    def __init__(self, lookback, horizon, channels, kernel, n_layers, rng):
+        super().__init__()
+        self.input_proj = nn.Conv1d(1, channels, 1, rng=rng)
+        self.convs = nn.ModuleList([
+            nn.Conv1d(channels, channels, kernel,
+                      dilation=2 ** i,
+                      padding=((kernel - 1) * 2 ** i, 0), rng=rng)
+            for i in range(n_layers)
+        ])
+        self.head = nn.Linear(channels, horizon, rng=rng)
+
+    def forward(self, x):
+        h = self.input_proj(x.reshape(x.shape[0], 1, x.shape[1]))
+        for conv in self.convs:
+            h = h + conv(h).relu()
+        last = h[:, :, -1]
+        return self.head(last)
+
+
+class TCNForecaster(DeepForecaster):
+    """Temporal convolutional network with exponentially dilated filters."""
+
+    name = "tcn"
+
+    def __init__(self, channels=24, kernel=3, n_layers=3, **kwargs):
+        kwargs.setdefault("epochs", 15)
+        kwargs.setdefault("max_windows", 800)
+        super().__init__(**kwargs)
+        self.channels = channels
+        self.kernel = kernel
+        self.n_layers = n_layers
+
+    def build(self, rng):
+        return _TCNNet(self.lookback, self.horizon, self.channels,
+                       self.kernel, self.n_layers, rng)
+
+
+class _GRUNet(nn.Module):
+    """GRU encoder; the final hidden state feeds a linear forecast head."""
+
+    def __init__(self, horizon, hidden, rng):
+        super().__init__()
+        self.gru = nn.GRU(1, hidden, rng=rng)
+        self.head = nn.Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x):
+        seq = x.reshape(x.shape[0], x.shape[1], 1)
+        _, final = self.gru(seq)
+        return self.head(final)
+
+
+class GRUForecaster(DeepForecaster):
+    """Recurrent forecaster (GRU encoder + direct multi-step head)."""
+
+    name = "gru"
+
+    def __init__(self, hidden=32, downsample=2, **kwargs):
+        kwargs.setdefault("epochs", 10)
+        kwargs.setdefault("max_windows", 400)
+        super().__init__(**kwargs)
+        self.hidden = hidden
+        # Backprop-through-time in a Python loop is the slow path of the
+        # substrate; feeding every ``downsample``-th point keeps it usable.
+        self.downsample = max(downsample, 1)
+
+    def preprocess(self, windows):
+        return np.asarray(windows, dtype=np.float64)[:, ::self.downsample]
+
+    def build(self, rng):
+        return _GRUNet(self.horizon, self.hidden, rng)

@@ -1,0 +1,167 @@
+"""Advanced deep forecasters: attention and basis-expansion models.
+
+Completes the method layer's deep tier with the two architecture families
+modern TSF benchmarks revolve around:
+
+* :class:`TransformerForecaster` — a PatchTST-style encoder: patch
+  embedding + multi-head self-attention blocks + a linear forecast head,
+  entirely on the from-scratch autograd substrate (demonstrating it
+  supports attention end to end);
+* :class:`NBeatsForecaster` — N-BEATS-lite with doubly-residual generic
+  blocks producing simultaneous backcast and forecast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, nn
+from ..autograd import functional as F
+from .deep import DeepForecaster
+
+__all__ = ["MultiHeadSelfAttention", "TransformerForecaster",
+           "NBeatsForecaster"]
+
+
+class MultiHeadSelfAttention(nn.Module):
+    """Scaled dot-product self-attention over (batch, tokens, d_model)."""
+
+    def __init__(self, d_model, n_heads, rng):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.qkv = nn.Linear(d_model, 3 * d_model, rng=rng)
+        self.out = nn.Linear(d_model, d_model, rng=rng)
+
+    def forward(self, x):
+        batch, tokens, d_model = x.shape
+        qkv = self.qkv(x)                                # (B, T, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, self.n_heads, self.d_head)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)               # (3, B, H, T, dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (self.d_head ** -0.5)
+        weights = F.softmax(scores, axis=-1)             # (B, H, T, T)
+        mixed = weights @ v                              # (B, H, T, dh)
+        mixed = mixed.transpose(0, 2, 1, 3).reshape(batch, tokens, d_model)
+        return self.out(mixed)
+
+
+class _EncoderBlock(nn.Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(self, d_model, n_heads, d_ff, rng):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(d_model)
+        self.attn = MultiHeadSelfAttention(d_model, n_heads, rng)
+        self.norm2 = nn.LayerNorm(d_model)
+        self.ff = nn.Sequential(nn.Linear(d_model, d_ff, rng=rng),
+                                nn.GELU(),
+                                nn.Linear(d_ff, d_model, rng=rng))
+
+    def forward(self, x):
+        x = x + self.attn(self.norm1(x))
+        return x + self.ff(self.norm2(x))
+
+
+class _PatchTransformerNet(nn.Module):
+    """Patch embedding + positional encoding + encoder stack + head."""
+
+    def __init__(self, lookback, horizon, patch_len, d_model, n_heads,
+                 n_layers, rng):
+        super().__init__()
+        if lookback % patch_len != 0:
+            raise ValueError("lookback must be divisible by patch_len")
+        self.patch_len = patch_len
+        self.n_patches = lookback // patch_len
+        self.embed = nn.Linear(patch_len, d_model, rng=rng)
+        self.position = nn.Parameter(
+            rng.standard_normal((self.n_patches, d_model)) * 0.02)
+        self.blocks = nn.ModuleList([
+            _EncoderBlock(d_model, n_heads, 2 * d_model, rng)
+            for _ in range(n_layers)])
+        self.norm = nn.LayerNorm(d_model)
+        self.head = nn.Linear(self.n_patches * d_model, horizon, rng=rng)
+
+    def forward(self, x):
+        batch = x.shape[0]
+        patches = x.reshape(batch, self.n_patches, self.patch_len)
+        h = self.embed(patches) + self.position
+        for block in self.blocks:
+            h = block(h)
+        h = self.norm(h)
+        return self.head(h.reshape(batch, -1))
+
+
+class TransformerForecaster(DeepForecaster):
+    """PatchTST-lite: patch tokens + multi-head self-attention encoder."""
+
+    name = "transformer"
+
+    def __init__(self, patch_len=16, d_model=32, n_heads=4, n_layers=2,
+                 **kwargs):
+        kwargs.setdefault("epochs", 15)
+        kwargs.setdefault("max_windows", 600)
+        super().__init__(**kwargs)
+        self.patch_len = patch_len
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.n_layers = n_layers
+
+    def build(self, rng):
+        return _PatchTransformerNet(self.lookback, self.horizon,
+                                    self.patch_len, self.d_model,
+                                    self.n_heads, self.n_layers, rng)
+
+
+class _NBeatsBlock(nn.Module):
+    """Generic N-BEATS block: MLP trunk → (backcast, forecast) heads."""
+
+    def __init__(self, lookback, horizon, hidden, rng):
+        super().__init__()
+        self.trunk = nn.Sequential(
+            nn.Linear(lookback, hidden, rng=rng), nn.ReLU(),
+            nn.Linear(hidden, hidden, rng=rng), nn.ReLU())
+        self.backcast_head = nn.Linear(hidden, lookback, rng=rng)
+        self.forecast_head = nn.Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x):
+        h = self.trunk(x)
+        return self.backcast_head(h), self.forecast_head(h)
+
+
+class _NBeatsNet(nn.Module):
+    """Doubly-residual stack: each block explains part of the input."""
+
+    def __init__(self, lookback, horizon, hidden, n_blocks, rng):
+        super().__init__()
+        self.blocks = nn.ModuleList([
+            _NBeatsBlock(lookback, horizon, hidden, rng)
+            for _ in range(n_blocks)])
+
+    def forward(self, x):
+        residual = x
+        forecast = None
+        for block in self.blocks:
+            backcast, block_forecast = block(residual)
+            residual = residual - backcast
+            forecast = block_forecast if forecast is None \
+                else forecast + block_forecast
+        return forecast
+
+
+class NBeatsForecaster(DeepForecaster):
+    """N-BEATS-lite (Oreshkin et al., 2020) with generic blocks."""
+
+    name = "nbeats"
+
+    def __init__(self, hidden=64, n_blocks=3, **kwargs):
+        kwargs.setdefault("epochs", 20)
+        super().__init__(**kwargs)
+        self.hidden = hidden
+        self.n_blocks = n_blocks
+
+    def build(self, rng):
+        return _NBeatsNet(self.lookback, self.horizon, self.hidden,
+                          self.n_blocks, rng)

@@ -1,0 +1,214 @@
+"""Machine-learning forecasting methods on sliding-window features.
+
+Each method regresses the next ``horizon`` values directly on the last
+``lookback`` values (the "direct multi-step" strategy), applied channel
+independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.split import make_windows
+from .base import ChannelIndependent
+from .tree import GradientBoostedTrees
+
+__all__ = ["RidgeForecaster", "LassoForecaster", "KNNForecaster",
+           "GBDTForecaster", "soft_thresholding", "fit_lasso_ista"]
+
+
+def _window_matrix(values, lookback, horizon):
+    inputs, targets = make_windows(values, lookback, horizon)
+    return inputs[:, :, 0], targets[:, :, 0]
+
+
+def _standardise(train):
+    mean = train.mean()
+    std = train.std()
+    return mean, std if std > 1e-12 else 1.0
+
+
+class _WindowedChannelMethod(ChannelIndependent):
+    """Shared scaffolding: per-channel z-scoring + window regression."""
+
+    category = "ml"
+
+    def __init__(self, lookback=96, horizon=24):
+        super().__init__()
+        if lookback <= 0 or horizon <= 0:
+            raise ValueError("lookback and horizon must be positive")
+        self.lookback = lookback
+        self.horizon = horizon
+
+    def _fit_windows(self, inputs, targets, val_pair):
+        raise NotImplementedError
+
+    def _predict_window(self, state, window):
+        raise NotImplementedError
+
+    def _fit_channel(self, values, val_values):
+        mean, std = _standardise(values)
+        scaled = (values - mean) / std
+        inputs, targets = _window_matrix(scaled, self.lookback, self.horizon)
+        val_pair = None
+        if val_values is not None and \
+                len(val_values) >= self.lookback + self.horizon:
+            val_scaled = (val_values - mean) / std
+            val_pair = _window_matrix(val_scaled, self.lookback, self.horizon)
+        model_state = self._fit_windows(inputs, targets, val_pair)
+        return {"mean": mean, "std": std, "model": model_state}
+
+    def _predict_channel(self, state, history, horizon):
+        if len(history) < self.lookback:
+            # Left-pad with the first value so short histories still work.
+            pad = np.full(self.lookback - len(history), history[0])
+            history = np.concatenate([pad, history])
+        window = (history[-self.lookback:] - state["mean"]) / state["std"]
+        out = []
+        work = window.copy()
+        while len(out) < horizon:
+            step = self._predict_window(state["model"], work)
+            out.extend(step.tolist())
+            work = np.concatenate([work, step])[-self.lookback:]
+        forecast = np.asarray(out[:horizon])
+        return forecast * state["std"] + state["mean"]
+
+
+class RidgeForecaster(_WindowedChannelMethod):
+    """Closed-form ridge regression from lookback window to horizon block."""
+
+    name = "ridge"
+
+    def __init__(self, lookback=96, horizon=24, l2=1.0):
+        super().__init__(lookback, horizon)
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+
+    def _fit_windows(self, inputs, targets, val_pair):
+        design = np.column_stack([inputs, np.ones(len(inputs))])
+        gram = design.T @ design + self.l2 * np.eye(design.shape[1])
+        coef = np.linalg.solve(gram, design.T @ targets)
+        return {"coef": coef}
+
+    def _predict_window(self, model, window):
+        features = np.concatenate([window, [1.0]])
+        return features @ model["coef"]
+
+
+def soft_thresholding(values, threshold):
+    """Elementwise soft-thresholding operator used by ISTA."""
+    return np.sign(values) * np.maximum(np.abs(values) - threshold, 0.0)
+
+
+def fit_lasso_ista(design, targets, l1, iterations=200):
+    """Lasso via ISTA (proximal gradient) for multi-output regression."""
+    n = design.shape[0]
+    lipschitz = np.linalg.norm(design, ord=2) ** 2 / n + 1e-12
+    step = 1.0 / lipschitz
+    coef = np.zeros((design.shape[1], targets.shape[1]))
+    for _ in range(iterations):
+        grad = design.T @ (design @ coef - targets) / n
+        coef = soft_thresholding(coef - step * grad, step * l1)
+    return coef
+
+
+class LassoForecaster(_WindowedChannelMethod):
+    """L1-regularised direct regression (sparse lag selection)."""
+
+    name = "lasso"
+
+    def __init__(self, lookback=96, horizon=24, l1=0.01, iterations=200):
+        super().__init__(lookback, horizon)
+        self.l1 = l1
+        self.iterations = iterations
+
+    def _fit_windows(self, inputs, targets, val_pair):
+        design = np.column_stack([inputs, np.ones(len(inputs))])
+        coef = fit_lasso_ista(design, targets, self.l1, self.iterations)
+        return {"coef": coef}
+
+    def _predict_window(self, model, window):
+        features = np.concatenate([window, [1.0]])
+        return features @ model["coef"]
+
+
+class KNNForecaster(_WindowedChannelMethod):
+    """k-nearest-neighbour analogue forecasting.
+
+    Finds the training windows most similar to the current one and
+    averages their continuations, weighted by inverse distance.
+    """
+
+    name = "knn"
+
+    def __init__(self, lookback=96, horizon=24, k=5):
+        super().__init__(lookback, horizon)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def _fit_windows(self, inputs, targets, val_pair):
+        return {"inputs": inputs, "targets": targets}
+
+    def _predict_window(self, model, window):
+        inputs, targets = model["inputs"], model["targets"]
+        dists = np.sqrt(((inputs - window) ** 2).sum(axis=1))
+        k = min(self.k, len(dists))
+        nearest = np.argpartition(dists, k - 1)[:k]
+        weights = 1.0 / (dists[nearest] + 1e-6)
+        weights /= weights.sum()
+        return weights @ targets[nearest]
+
+
+class GBDTForecaster(_WindowedChannelMethod):
+    """Gradient-boosted trees, one ensemble per forecast step.
+
+    To keep the fit cheap each boosted model predicts one horizon step;
+    the steps share the same lag features.
+    """
+
+    name = "gbdt"
+
+    def __init__(self, lookback=32, horizon=24, n_estimators=30,
+                 learning_rate=0.12, max_depth=3, step_group=4,
+                 n_thresholds=8, max_train_windows=400):
+        super().__init__(lookback, horizon)
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        # Horizon steps are grouped to bound the number of ensembles.
+        self.step_group = max(step_group, 1)
+        self.n_thresholds = n_thresholds
+        self.max_train_windows = max_train_windows
+
+    def _fit_windows(self, inputs, targets, val_pair):
+        if len(inputs) > self.max_train_windows:
+            keep = np.linspace(0, len(inputs) - 1,
+                               self.max_train_windows).astype(int)
+            inputs, targets = inputs[keep], targets[keep]
+        models = []
+        for start in range(0, targets.shape[1], self.step_group):
+            stop = min(start + self.step_group, targets.shape[1])
+            grouped = targets[:, start:stop].mean(axis=1)
+            booster = GradientBoostedTrees(
+                n_estimators=self.n_estimators,
+                learning_rate=self.learning_rate,
+                max_depth=self.max_depth,
+                n_thresholds=self.n_thresholds)
+            if val_pair is not None:
+                val_inputs, val_targets = val_pair
+                booster.early_stopping_rounds = 8
+                booster.fit(inputs, grouped, val_inputs,
+                            val_targets[:, start:stop].mean(axis=1))
+            else:
+                booster.fit(inputs, grouped)
+            models.append((start, stop, booster))
+        return {"models": models, "horizon": targets.shape[1]}
+
+    def _predict_window(self, model, window):
+        out = np.empty(model["horizon"])
+        features = window[None, :]
+        for start, stop, booster in model["models"]:
+            out[start:stop] = booster.predict(features)[0]
+        return out

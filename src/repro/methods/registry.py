@@ -1,0 +1,107 @@
+"""Method registry: the catalogue behind "30+ methods" in the paper.
+
+Each entry maps a stable method name to a zero-config factory.  The
+registry powers the one-click pipeline ("run a method on all existing
+datasets"), the knowledge base (method metadata table) and the automated
+ensemble (candidate pool).
+"""
+
+from __future__ import annotations
+
+from .arima import ARIMAForecaster, VARForecaster
+from .base import Forecaster
+from .deep import (DLinearForecaster, GRUForecaster, LinearForecaster,
+                   MLPForecaster, NLinearForecaster, PatchMLPForecaster,
+                   RLinearForecaster, SpectralLinearForecaster, TCNForecaster)
+from .deep_advanced import NBeatsForecaster, TransformerForecaster
+from .ml import GBDTForecaster, KNNForecaster, LassoForecaster, RidgeForecaster
+from .statistical import (DriftForecaster, HoltForecaster,
+                          HoltWintersForecaster, MeanForecaster,
+                          NaiveForecaster, SeasonalNaiveForecaster,
+                          SESForecaster, ThetaForecaster)
+from .statistical_extra import (CrostonForecaster, ETSForecaster,
+                                STLForecaster)
+
+__all__ = ["METHODS", "register", "create", "list_methods", "method_info",
+           "categories"]
+
+
+METHODS = {}
+
+
+def register(name, factory, category, description):
+    """Add a method to the registry (used for user plug-ins too)."""
+    if name in METHODS:
+        raise ValueError(f"method {name!r} already registered")
+    METHODS[name] = {"factory": factory, "category": category,
+                     "description": description}
+
+
+def _builtin(cls, description, **defaults):
+    register(cls.name, lambda **kw: cls(**{**defaults, **kw}),
+             cls.category, description)
+
+
+_builtin(NaiveForecaster, "Repeat the last observed value")
+_builtin(SeasonalNaiveForecaster, "Repeat the last full season")
+_builtin(DriftForecaster, "Linear extrapolation of the overall drift")
+_builtin(MeanForecaster, "Mean of the recent window")
+_builtin(SESForecaster, "Simple exponential smoothing, tuned alpha")
+_builtin(HoltForecaster, "Holt damped-trend exponential smoothing")
+_builtin(HoltWintersForecaster, "Additive triple exponential smoothing")
+_builtin(ThetaForecaster, "Theta method with seasonal adjustment")
+_builtin(ARIMAForecaster, "ARIMA(2,1,1) fitted by CSS")
+register("auto_arima",
+         lambda **kw: ARIMAForecaster(auto_order=True, **kw),
+         "statistical", "ARIMA with AIC order search")
+_builtin(VARForecaster, "Vector autoregression (multivariate)")
+_builtin(RidgeForecaster, "Ridge direct multi-step regression on lags")
+_builtin(LassoForecaster, "Lasso (ISTA) sparse lag regression")
+_builtin(KNNForecaster, "k-nearest-neighbour analogue forecasting")
+_builtin(GBDTForecaster, "Gradient-boosted trees per horizon group")
+_builtin(LinearForecaster, "Single linear layer (LTSF-Linear)")
+_builtin(MLPForecaster, "Two-layer MLP")
+_builtin(DLinearForecaster, "DLinear: decomposition + linear heads")
+_builtin(NLinearForecaster, "NLinear: last-value normalised linear")
+_builtin(RLinearForecaster, "RLinear: RevIN-normalised linear")
+_builtin(PatchMLPForecaster, "Patch embedding + MLP head")
+_builtin(SpectralLinearForecaster, "FITS-style frequency-domain linear")
+_builtin(TCNForecaster, "Dilated causal temporal conv net")
+_builtin(GRUForecaster, "GRU encoder + direct multi-step head")
+_builtin(ETSForecaster, "ETS(A,Ad,N) with optimised smoothing parameters")
+_builtin(STLForecaster, "STL decomposition + drift/seasonal recomposition")
+_builtin(CrostonForecaster, "Croston SBA for intermittent demand")
+_builtin(TransformerForecaster, "PatchTST-lite self-attention encoder")
+_builtin(NBeatsForecaster, "N-BEATS-lite doubly-residual MLP stack")
+
+
+def create(name, **overrides):
+    """Instantiate a registered method by name with optional overrides."""
+    try:
+        entry = METHODS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown method {name!r}; known: {sorted(METHODS)}") from None
+    model = entry["factory"](**overrides)
+    if not isinstance(model, Forecaster):
+        raise TypeError(f"factory for {name!r} returned {type(model)}")
+    return model
+
+
+def list_methods(category=None):
+    """Names of registered methods, optionally filtered by category."""
+    if category is None:
+        return sorted(METHODS)
+    return sorted(n for n, e in METHODS.items() if e["category"] == category)
+
+
+def method_info(name):
+    """Metadata record for one method (for the knowledge base)."""
+    entry = METHODS[name]
+    return {"name": name, "category": entry["category"],
+            "description": entry["description"]}
+
+
+def categories():
+    """Distinct method categories present in the registry."""
+    return sorted({e["category"] for e in METHODS.values()})

@@ -1,0 +1,258 @@
+"""Classical statistical forecasting methods.
+
+The naive family plus exponential smoothing variants and the Theta method.
+These are the "statistical learning" tier of the TFB method layer and the
+reference baselines every benchmark comparison includes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..characteristics.features import detect_period
+from .base import ChannelIndependent
+
+__all__ = [
+    "NaiveForecaster", "SeasonalNaiveForecaster", "DriftForecaster",
+    "MeanForecaster", "SESForecaster", "HoltForecaster",
+    "HoltWintersForecaster", "ThetaForecaster",
+]
+
+
+class NaiveForecaster(ChannelIndependent):
+    """Repeat the last observed value."""
+
+    name = "naive"
+
+    def _fit_channel(self, values, val_values):
+        return None
+
+    def _predict_channel(self, state, history, horizon):
+        return np.full(horizon, history[-1])
+
+
+class SeasonalNaiveForecaster(ChannelIndependent):
+    """Repeat the value from one season ago (falls back to naive)."""
+
+    name = "seasonal_naive"
+
+    def __init__(self, period=None):
+        super().__init__()
+        self.period = period
+
+    def _fit_channel(self, values, val_values):
+        period = self.period or detect_period(values)
+        return {"period": int(period)}
+
+    def _predict_channel(self, state, history, horizon):
+        period = state["period"]
+        if period < 2 or len(history) < period:
+            return np.full(horizon, history[-1])
+        season = history[-period:]
+        reps = int(np.ceil(horizon / period))
+        return np.tile(season, reps)[:horizon]
+
+
+class DriftForecaster(ChannelIndependent):
+    """Linear extrapolation between the first and last training points."""
+
+    name = "drift"
+
+    def _fit_channel(self, values, val_values):
+        if len(values) < 2:
+            return {"slope": 0.0}
+        return {"slope": (values[-1] - values[0]) / (len(values) - 1)}
+
+    def _predict_channel(self, state, history, horizon):
+        steps = np.arange(1, horizon + 1)
+        if len(history) >= 2:
+            slope = (history[-1] - history[0]) / (len(history) - 1)
+        else:
+            slope = state["slope"]
+        return history[-1] + slope * steps
+
+
+class MeanForecaster(ChannelIndependent):
+    """Forecast the mean of the recent window."""
+
+    name = "mean"
+
+    def __init__(self, window=48):
+        super().__init__()
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def _fit_channel(self, values, val_values):
+        return None
+
+    def _predict_channel(self, state, history, horizon):
+        return np.full(horizon, history[-self.window:].mean())
+
+
+def _ses_level(values, alpha):
+    level = values[0]
+    for v in values[1:]:
+        level = alpha * v + (1 - alpha) * level
+    return level
+
+
+def _grid_best(values, candidates, loss_fn):
+    """Pick the candidate minimising in-sample one-step error."""
+    best, best_loss = candidates[0], np.inf
+    for cand in candidates:
+        loss = loss_fn(cand)
+        if loss < best_loss:
+            best, best_loss = cand, loss
+    return best
+
+
+class SESForecaster(ChannelIndependent):
+    """Simple exponential smoothing with in-sample alpha selection."""
+
+    name = "ses"
+
+    def __init__(self, alpha=None):
+        super().__init__()
+        self.alpha = alpha
+
+    @staticmethod
+    def _sse(values, alpha):
+        level = values[0]
+        sse = 0.0
+        for v in values[1:]:
+            sse += (v - level) ** 2
+            level = alpha * v + (1 - alpha) * level
+        return sse
+
+    def _fit_channel(self, values, val_values):
+        if self.alpha is not None:
+            return {"alpha": self.alpha}
+        grid = np.linspace(0.05, 0.95, 10)
+        alpha = _grid_best(values, list(grid),
+                           lambda a: self._sse(values, a))
+        return {"alpha": float(alpha)}
+
+    def _predict_channel(self, state, history, horizon):
+        level = _ses_level(history, state["alpha"])
+        return np.full(horizon, level)
+
+
+class HoltForecaster(ChannelIndependent):
+    """Holt's linear-trend exponential smoothing (damped optional)."""
+
+    name = "holt"
+
+    def __init__(self, alpha=0.3, beta=0.1, damping=0.98):
+        super().__init__()
+        self.alpha = alpha
+        self.beta = beta
+        self.damping = damping
+
+    def _run(self, values):
+        level, trend = values[0], values[1] - values[0] if len(values) > 1 else 0.0
+        for v in values[1:]:
+            prev_level = level
+            level = self.alpha * v + (1 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+        return level, trend
+
+    def _fit_channel(self, values, val_values):
+        return None
+
+    def _predict_channel(self, state, history, horizon):
+        level, trend = self._run(history)
+        phi = self.damping
+        damp = np.cumsum(phi ** np.arange(1, horizon + 1))
+        return level + trend * damp
+
+
+class HoltWintersForecaster(ChannelIndependent):
+    """Additive Holt-Winters (triple exponential smoothing)."""
+
+    name = "holt_winters"
+
+    def __init__(self, period=None, alpha=0.3, beta=0.05, gamma=0.2):
+        super().__init__()
+        self.period = period
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+
+    def _fit_channel(self, values, val_values):
+        period = self.period or detect_period(values)
+        return {"period": int(period)}
+
+    def _smooth(self, values, period):
+        level = values[:period].mean()
+        trend = (values[period:2 * period].mean() - level) / period \
+            if len(values) >= 2 * period else 0.0
+        seasonal = list(values[:period] - level)
+        for i in range(period, len(values)):
+            v = values[i]
+            s = seasonal[i % period]
+            prev_level = level
+            level = self.alpha * (v - s) + (1 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+            seasonal[i % period] = self.gamma * (v - level) + (1 - self.gamma) * s
+        return level, trend, seasonal, len(values)
+
+    def _predict_channel(self, state, history, horizon):
+        period = state["period"]
+        if period < 2 or len(history) < 2 * period:
+            level, trend = history[-1], 0.0
+            return level + trend * np.arange(1, horizon + 1)
+        level, trend, seasonal, n = self._smooth(history, period)
+        steps = np.arange(1, horizon + 1)
+        season = np.array([seasonal[(n + h - 1) % period] for h in steps])
+        return level + trend * steps + season
+
+
+class ThetaForecaster(ChannelIndependent):
+    """The Theta method (Assimakopoulos & Nikolopoulos, 2000).
+
+    Standard two-line formulation: average of the theta=0 line (linear
+    trend) and the theta=2 line forecast by SES, after optional seasonal
+    adjustment — the M3-winning classical baseline.
+    """
+
+    name = "theta"
+
+    def __init__(self, period=None, alpha=None):
+        super().__init__()
+        self.period = period
+        self.alpha = alpha
+
+    def _fit_channel(self, values, val_values):
+        period = self.period or detect_period(values)
+        return {"period": int(period)}
+
+    def _predict_channel(self, state, history, horizon):
+        period = state["period"]
+        values = np.asarray(history, dtype=np.float64)
+        seasonal = np.zeros(period) if period >= 2 else None
+        if period >= 2 and len(values) >= 2 * period:
+            # Multiplicative-free seasonal adjustment via seasonal means.
+            phase_means = np.array([values[p::period].mean()
+                                    for p in range(period)])
+            phase_means -= phase_means.mean()
+            idx = np.arange(len(values)) % period
+            values = values - phase_means[idx]
+            seasonal = phase_means
+        else:
+            period = 0
+        n = len(values)
+        t = np.arange(n)
+        slope, intercept = np.polyfit(t, values, 1)
+        steps = np.arange(n, n + horizon)
+        theta0 = intercept + slope * steps
+        # theta=2 line: 2*values - trend, forecast flat with SES.
+        trend_line = intercept + slope * t
+        theta2 = 2.0 * values - trend_line
+        alpha = self.alpha if self.alpha is not None else 0.5
+        level = _ses_level(theta2, alpha)
+        forecast = 0.5 * (theta0 + np.full(horizon, level))
+        if period >= 2:
+            phase = (np.arange(n, n + horizon)) % period
+            forecast = forecast + seasonal[phase]
+        return forecast

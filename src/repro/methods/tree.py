@@ -1,0 +1,191 @@
+"""Regression trees and gradient boosting, from scratch.
+
+The machine-learning tier of the method layer needs a tree ensemble
+(TFB includes XGBoost-style regressors); this module supplies a CART
+regression tree with variance-reduction splits and a squared-error
+gradient-boosting ensemble built on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RegressionTree", "GradientBoostedTrees"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=0.0):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree minimising within-node squared error.
+
+    Split candidates are quantile thresholds per feature, which keeps the
+    fit O(n_features × n_quantiles × n) per node and deterministic.
+    """
+
+    def __init__(self, max_depth=3, min_samples_leaf=8, n_thresholds=16,
+                 max_features=None, rng=None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.n_thresholds = n_thresholds
+        self.max_features = max_features
+        self.rng = rng
+        self._root = None
+        self._n_features = None
+
+    def fit(self, features, target):
+        features = np.asarray(features, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[0] != target.shape[0]:
+            raise ValueError("features/target length mismatch")
+        self._n_features = features.shape[1]
+        self._root = self._build(features, target, depth=0)
+        return self
+
+    def _candidate_features(self):
+        n = self._n_features
+        if self.max_features is None or self.max_features >= n:
+            return np.arange(n)
+        rng = self.rng if self.rng is not None else np.random.default_rng()
+        return rng.choice(n, size=self.max_features, replace=False)
+
+    def _build(self, features, target, depth):
+        node = _Node(value=float(target.mean()))
+        if depth >= self.max_depth or len(target) < 2 * self.min_samples_leaf:
+            return node
+        base_sse = float(((target - target.mean()) ** 2).sum())
+        best_gain, best_feature, best_threshold = 1e-12, -1, 0.0
+        for f in self._candidate_features():
+            col = features[:, f]
+            qs = np.unique(np.quantile(
+                col, np.linspace(0.05, 0.95, self.n_thresholds)))
+            for threshold in qs:
+                mask = col <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or \
+                        len(target) - n_left < self.min_samples_leaf:
+                    continue
+                left, right = target[mask], target[~mask]
+                sse = float(((left - left.mean()) ** 2).sum()
+                            + ((right - right.mean()) ** 2).sum())
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best_feature, best_threshold = gain, f, threshold
+        if best_feature < 0:
+            return node
+        mask = features[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = float(best_threshold)
+        node.left = self._build(features[mask], target[mask], depth + 1)
+        node.right = self._build(features[~mask], target[~mask], depth + 1)
+        return node
+
+    def predict(self, features):
+        if self._root is None:
+            raise RuntimeError("tree used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty(features.shape[0])
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self):
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)
+
+
+class GradientBoostedTrees:
+    """Gradient boosting with squared-error loss (residual fitting).
+
+    Supports optional row subsampling (stochastic gradient boosting) and
+    early stopping against a validation set.
+    """
+
+    def __init__(self, n_estimators=60, learning_rate=0.1, max_depth=3,
+                 min_samples_leaf=8, subsample=1.0, seed=0,
+                 early_stopping_rounds=None, n_thresholds=16):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.early_stopping_rounds = early_stopping_rounds
+        self.n_thresholds = n_thresholds
+        self._trees = []
+        self._base = 0.0
+
+    def fit(self, features, target, val_features=None, val_target=None):
+        features = np.asarray(features, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        self._base = float(target.mean())
+        self._trees = []
+        current = np.full(len(target), self._base)
+        val_pred = None
+        if val_features is not None:
+            val_features = np.asarray(val_features, dtype=np.float64)
+            val_pred = np.full(len(val_target), self._base)
+        best_val, since_best = np.inf, 0
+        for _ in range(self.n_estimators):
+            residual = target - current
+            if self.subsample < 1.0:
+                take = rng.random(len(target)) < self.subsample
+                if take.sum() < 2 * self.min_samples_leaf:
+                    take = np.ones(len(target), dtype=bool)
+            else:
+                take = slice(None)
+            tree = RegressionTree(max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf,
+                                  n_thresholds=self.n_thresholds)
+            tree.fit(features[take], residual[take])
+            step = tree.predict(features)
+            current = current + self.learning_rate * step
+            self._trees.append(tree)
+            if val_pred is not None:
+                val_pred = val_pred + self.learning_rate * tree.predict(val_features)
+                val_mse = float(((val_pred - val_target) ** 2).mean())
+                if val_mse < best_val - 1e-12:
+                    best_val, since_best = val_mse, 0
+                else:
+                    since_best += 1
+                    if self.early_stopping_rounds and \
+                            since_best >= self.early_stopping_rounds:
+                        break
+        return self
+
+    def predict(self, features):
+        if not self._trees:
+            raise RuntimeError("ensemble used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.full(features.shape[0], self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(features)
+        return out
+
+    @property
+    def n_trees(self):
+        return len(self._trees)

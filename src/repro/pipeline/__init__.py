@@ -1,0 +1,12 @@
+"""TFB benchmark pipeline: configs, runner, logging (one-click evaluation)."""
+
+from .config import (BenchmarkConfig, DatasetSpec, MethodSpec, load_config,
+                     loads_config)
+from .logging import RunLogger
+from .runner import BenchmarkRunner, ResultTable, run_one_click
+
+__all__ = [
+    "BenchmarkConfig", "MethodSpec", "DatasetSpec", "load_config",
+    "loads_config", "RunLogger", "BenchmarkRunner", "ResultTable",
+    "run_one_click",
+]

@@ -1,0 +1,179 @@
+"""Benchmark configuration: the file users edit for one-click evaluation.
+
+Demo scenario S1: "Users need only edit the configuration file ... thus
+achieving one click evaluation."  A config fully determines an experiment:
+which methods, which datasets, which strategy/horizon/metrics, which
+normalisation, and the seed.  Configs load from JSON or TOML and are
+validated eagerly with actionable error messages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..datasets.scalers import SCALERS
+from ..datasets.split import SplitSpec
+from ..evaluation.metrics import METRICS
+from ..evaluation.strategies import STRATEGIES
+from ..methods.registry import METHODS
+
+__all__ = ["MethodSpec", "DatasetSpec", "BenchmarkConfig", "load_config",
+           "loads_config"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One method entry: registry name plus hyperparameter overrides."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def validate(self):
+        if self.name not in METHODS:
+            raise ValueError(
+                f"unknown method {self.name!r}; known: {sorted(METHODS)}")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Dataset selection: a registry suite or explicit series names.
+
+    ``suite`` is one of ``univariate`` / ``multivariate``; ``names`` lists
+    explicit registry series (``traffic_u0003``).  Exactly one must be set.
+    """
+
+    suite: str = ""
+    names: tuple = ()
+    per_domain: int = 2
+    count: int = 5
+    length: int = 512
+    n_channels: int = 7
+    domains: tuple = ()
+
+    def validate(self):
+        if bool(self.suite) == bool(self.names):
+            raise ValueError(
+                "dataset spec needs exactly one of 'suite' or 'names'")
+        if self.suite and self.suite not in ("univariate", "multivariate"):
+            raise ValueError(
+                f"unknown suite {self.suite!r}; use 'univariate' or "
+                "'multivariate'")
+
+    def resolve(self, registry):
+        """Materialise the selected series from a DatasetRegistry."""
+        if self.names:
+            return [registry.get(name, length=self.length)
+                    for name in self.names]
+        if self.suite == "univariate":
+            return list(registry.univariate_suite(
+                per_domain=self.per_domain, length=self.length,
+                domains=list(self.domains) or None))
+        return list(registry.multivariate_suite(
+            count=self.count, length=self.length,
+            n_channels=self.n_channels))
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Complete, validated benchmark experiment description."""
+
+    methods: tuple
+    datasets: DatasetSpec
+    strategy: str = "rolling"
+    lookback: int = 96
+    horizon: int = 24
+    stride: int = 0
+    metrics: tuple = ("mae", "mse", "smape")
+    scaler: str = "standard"
+    drop_last: bool = False
+    split: SplitSpec = field(default_factory=SplitSpec)
+    seed: int = 7
+    tag: str = "benchmark"
+
+    def validate(self):
+        if not self.methods:
+            raise ValueError("config lists no methods")
+        for spec in self.methods:
+            spec.validate()
+        self.datasets.validate()
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; known: "
+                f"{sorted(STRATEGIES)}")
+        for metric in self.metrics:
+            if metric not in METRICS:
+                raise ValueError(
+                    f"unknown metric {metric!r}; known: {sorted(METRICS)}")
+        if self.scaler.lower() not in SCALERS:
+            raise ValueError(
+                f"unknown scaler {self.scaler!r}; known: {sorted(SCALERS)}")
+        if self.lookback <= 0 or self.horizon <= 0:
+            raise ValueError("lookback and horizon must be positive")
+        return self
+
+    def strategy_kwargs(self):
+        kwargs = {
+            "lookback": self.lookback,
+            "horizon": self.horizon,
+            "metrics": self.metrics,
+            "scaler": self.scaler,
+            "split": self.split,
+            "drop_last": self.drop_last,
+        }
+        if self.strategy == "rolling" and self.stride:
+            kwargs["stride"] = self.stride
+        return kwargs
+
+    def to_dict(self):
+        out = asdict(self)
+        out["methods"] = [asdict(m) for m in self.methods]
+        out["datasets"] = asdict(self.datasets)
+        out["split"] = asdict(self.split)
+        return out
+
+    def dumps(self):
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def _from_dict(raw):
+    methods = []
+    for entry in raw.get("methods", []):
+        if isinstance(entry, str):
+            methods.append(MethodSpec(name=entry))
+        else:
+            methods.append(MethodSpec(name=entry["name"],
+                                      params=dict(entry.get("params", {}))))
+    ds_raw = dict(raw.get("datasets", {}))
+    ds_raw["names"] = tuple(ds_raw.get("names", ()))
+    ds_raw["domains"] = tuple(ds_raw.get("domains", ()))
+    datasets = DatasetSpec(**ds_raw)
+    split = SplitSpec(**raw["split"]) if "split" in raw else SplitSpec()
+    keys = ("strategy", "lookback", "horizon", "stride", "metrics", "scaler",
+            "drop_last", "seed", "tag")
+    extra = {k: raw[k] for k in keys if k in raw}
+    if "metrics" in extra:
+        extra["metrics"] = tuple(extra["metrics"])
+    config = BenchmarkConfig(methods=tuple(methods), datasets=datasets,
+                             split=split, **extra)
+    return config.validate()
+
+
+def loads_config(text, fmt="json"):
+    """Parse a config from JSON or TOML text."""
+    if fmt == "json":
+        raw = json.loads(text)
+    elif fmt == "toml":
+        import tomllib
+        raw = tomllib.loads(text)
+    else:
+        raise ValueError(f"unknown config format {fmt!r}")
+    return _from_dict(raw)
+
+
+def load_config(path):
+    """Load a config file; the suffix picks the parser (.json / .toml)."""
+    path = Path(path)
+    fmt = "toml" if path.suffix.lower() == ".toml" else "json"
+    return loads_config(path.read_text(encoding="utf-8"), fmt=fmt)

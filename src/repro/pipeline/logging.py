@@ -1,0 +1,91 @@
+"""Run logging: the reporting layer's experiment tracker.
+
+TFB's reporting layer "includes a logging system for tracking experimental
+information".  :class:`RunLogger` collects structured events in memory and
+optionally mirrors them to a JSON-lines file, so a benchmark run leaves a
+complete machine-readable trail.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["RunLogger"]
+
+
+class RunLogger:
+    """Structured experiment logger.
+
+    Events are dicts with ``ts`` (monotonic-ish wall time), ``level``,
+    ``event`` and free-form payload keys.  A logger can be scoped with
+    :meth:`child`, which prefixes every event.
+    """
+
+    LEVELS = ("debug", "info", "warning", "error")
+
+    def __init__(self, path=None, prefix="", _events=None):
+        self.path = Path(path) if path else None
+        self.prefix = prefix
+        self.events = _events if _events is not None else []
+
+    def child(self, prefix):
+        """A scoped view sharing the same event buffer and file."""
+        joined = f"{self.prefix}{prefix}." if prefix else self.prefix
+        return RunLogger(path=self.path, prefix=joined, _events=self.events)
+
+    def log(self, event, level="info", **payload):
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        record = {"ts": time.time(), "level": level,
+                  "event": f"{self.prefix}{event}", **payload}
+        self.events.append(record)
+        if self.path:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, default=str) + "\n")
+        return record
+
+    def info(self, event, **payload):
+        return self.log(event, level="info", **payload)
+
+    def warning(self, event, **payload):
+        return self.log(event, level="warning", **payload)
+
+    def error(self, event, **payload):
+        return self.log(event, level="error", **payload)
+
+    def filter(self, event=None, level=None):
+        """Events matching an event-name prefix and/or a level."""
+        out = self.events
+        if event is not None:
+            out = [e for e in out if e["event"].startswith(event)]
+        if level is not None:
+            out = [e for e in out if e["level"] == level]
+        return list(out)
+
+    def timer(self, event, **payload):
+        """Context manager logging the elapsed time of a block."""
+        return _Timer(self, event, payload)
+
+    def __len__(self):
+        return len(self.events)
+
+
+class _Timer:
+    def __init__(self, logger, event, payload):
+        self.logger = logger
+        self.event = event
+        self.payload = payload
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        elapsed = time.perf_counter() - self._start
+        status = "failed" if exc_type else "ok"
+        self.logger.log(self.event, seconds=round(elapsed, 6),
+                        status=status, **self.payload)
+        return False

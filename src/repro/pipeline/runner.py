@@ -1,0 +1,158 @@
+"""The benchmark pipeline: one-click evaluation over methods × datasets.
+
+"When users include their methods into the method layer along with a
+configuration file, they can automatically run the pipeline to obtain
+performance results."  :class:`BenchmarkRunner` materialises the datasets,
+instantiates each method fresh per series (no state leaks between
+datasets), applies the configured strategy, and returns a
+:class:`ResultTable` the reporting layer and the knowledge base both
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.registry import DatasetRegistry
+from ..evaluation.metrics import HIGHER_IS_BETTER
+from ..evaluation.strategies import make_strategy
+from ..methods.registry import create
+from .config import BenchmarkConfig
+from .logging import RunLogger
+
+__all__ = ["BenchmarkRunner", "ResultTable", "run_one_click"]
+
+
+@dataclass
+class ResultTable:
+    """Flat result records plus pivot/ranking helpers."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, result):
+        self.records.append(result)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def methods(self):
+        return sorted({r.method for r in self.records})
+
+    def series_names(self):
+        return sorted({r.series for r in self.records})
+
+    def pivot(self, metric):
+        """Dict ``{series: {method: score}}`` for one metric."""
+        table = {}
+        for r in self.records:
+            table.setdefault(r.series, {})[r.method] = r.scores.get(metric)
+        return table
+
+    def mean_scores(self, metric):
+        """Mean score per method across all series (NaNs skipped)."""
+        sums, counts = {}, {}
+        for r in self.records:
+            value = r.scores.get(metric)
+            if value is None or not np.isfinite(value):
+                continue
+            sums[r.method] = sums.get(r.method, 0.0) + value
+            counts[r.method] = counts.get(r.method, 0) + 1
+        return {m: sums[m] / counts[m] for m in sums}
+
+    def ranking(self, metric):
+        """Methods sorted best-first by mean score."""
+        means = self.mean_scores(metric)
+        reverse = metric in HIGHER_IS_BETTER
+        return sorted(means, key=means.get, reverse=reverse)
+
+    def best_per_series(self, metric):
+        """Dict ``{series: winning method}`` under one metric."""
+        reverse = metric in HIGHER_IS_BETTER
+        out = {}
+        for series, row in self.pivot(metric).items():
+            scored = {m: v for m, v in row.items()
+                      if v is not None and np.isfinite(v)}
+            if scored:
+                out[series] = (max if reverse else min)(scored, key=scored.get)
+        return out
+
+    def to_rows(self):
+        """Flatten to plain dict rows (for the knowledge base / SQL)."""
+        rows = []
+        for r in self.records:
+            base = {"method": r.method, "series": r.series,
+                    "horizon": r.horizon, "strategy": r.strategy,
+                    "n_windows": r.n_windows,
+                    "fit_seconds": r.fit_seconds,
+                    "predict_seconds": r.predict_seconds}
+            base.update({f"metric_{k}": v for k, v in r.scores.items()})
+            rows.append(base)
+        return rows
+
+
+class BenchmarkRunner:
+    """Drives a validated :class:`BenchmarkConfig` end to end."""
+
+    def __init__(self, config, registry=None, logger=None):
+        if not isinstance(config, BenchmarkConfig):
+            raise TypeError("config must be a BenchmarkConfig")
+        config.validate()
+        self.config = config
+        self.registry = registry or DatasetRegistry(seed=config.seed)
+        # Note: an empty RunLogger is falsy (len 0), so test identity.
+        self.logger = logger if logger is not None else RunLogger()
+
+    def _instantiate(self, spec):
+        params = dict(spec.params)
+        # Window-based methods inherit the config geometry unless the user
+        # pinned their own.
+        model = create(spec.name, **params)
+        for attr, value in (("lookback", self.config.lookback),
+                            ("horizon", self.config.horizon)):
+            if hasattr(model, attr) and attr not in params:
+                setattr(model, attr, value)
+        return model
+
+    def run(self, progress=None):
+        """Execute the full methods × datasets grid; returns a ResultTable.
+
+        Failures of individual (method, series) cells are logged and
+        skipped rather than aborting the run — a long benchmark should
+        not die on one unstable fit.
+        """
+        config = self.config
+        series_list = config.datasets.resolve(self.registry)
+        table = ResultTable()
+        self.logger.info("run.start", tag=config.tag,
+                         n_methods=len(config.methods),
+                         n_series=len(series_list),
+                         strategy=config.strategy, horizon=config.horizon)
+        for series in series_list:
+            for spec in config.methods:
+                strategy = make_strategy(config.strategy,
+                                         **config.strategy_kwargs())
+                model = self._instantiate(spec)
+                try:
+                    with self.logger.timer("run.cell", method=spec.name,
+                                           series=series.name):
+                        result = strategy.evaluate(model, series)
+                except Exception as exc:  # noqa: BLE001 - cell isolation
+                    self.logger.error("run.cell_failed", method=spec.name,
+                                      series=series.name, error=repr(exc))
+                    continue
+                table.add(result)
+                if progress is not None:
+                    progress(result)
+        self.logger.info("run.done", n_results=len(table))
+        return table
+
+
+def run_one_click(config, registry=None, logger=None, progress=None):
+    """The one-click evaluation entry point (demo scenario S1)."""
+    return BenchmarkRunner(config, registry=registry,
+                           logger=logger).run(progress=progress)

@@ -1,0 +1,11 @@
+"""Natural-language Q&A over the benchmark knowledge (Fig. 3 workflow)."""
+
+from .engine import LLMBackend, QAEngine, QAResponse, RuleBasedBackend
+from .nl2sql import (CHARACTERISTIC_WORDS, METHOD_ALIASES, METRIC_WORDS,
+                     ParsedQuestion, QuestionParser)
+
+__all__ = [
+    "QAEngine", "QAResponse", "LLMBackend", "RuleBasedBackend",
+    "QuestionParser", "ParsedQuestion", "METRIC_WORDS", "METHOD_ALIASES",
+    "CHARACTERISTIC_WORDS",
+]

@@ -1,0 +1,220 @@
+"""The Q&A engine: the six-step workflow of Fig. 3.
+
+1. *Input* — the user's NL question (plus conversation history).
+2. *NL2SQL* — schema + history + question → SQL (via the pluggable LLM
+   backend; the default backend is the deterministic parser).
+3. *Retrieval* — the SQL is statically verified, then executed on the
+   knowledge base; a failed verification triggers one repair round.
+4. *Generation* — question + retrieved rows → natural-language answer.
+5. *Post-processing* — rows are shaped into chart specs and a data table.
+6. *Output* — everything (answer, charts, SQL, table) in one response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sql import SqlError
+from .nl2sql import ParsedQuestion, QuestionParser
+
+__all__ = ["QAResponse", "QAEngine", "LLMBackend", "RuleBasedBackend"]
+
+
+@dataclass
+class QAResponse:
+    """Everything the frontend renders for one question."""
+
+    question: str
+    answer: str
+    sql: str = ""
+    columns: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    chart: dict = field(default_factory=dict)
+    ok: bool = True
+    verification: str = ""
+    parsed: object = None
+
+    def table(self):
+        """The data-table payload (Fig. 5, label 5)."""
+        return {"columns": self.columns, "rows": [list(r) for r in self.rows]}
+
+
+class LLMBackend:
+    """Interface a real LLM integration would implement."""
+
+    def generate_sql(self, question, schema, history):
+        raise NotImplementedError
+
+    def repair_sql(self, question, schema, issues):
+        """Second attempt after verification failure."""
+        raise NotImplementedError
+
+    def generate_answer(self, question, parsed, columns, rows):
+        raise NotImplementedError
+
+
+class RuleBasedBackend(LLMBackend):
+    """Deterministic substitute for the paper's LLM (see DESIGN.md)."""
+
+    def __init__(self, known_methods=()):
+        self.parser = QuestionParser(known_methods=known_methods)
+
+    def generate_sql(self, question, schema, history):
+        # History lets elliptical follow-ups inherit the previous topic:
+        # "and for short term?" re-parses the prior question with the new
+        # qualifiers appended.
+        text = question
+        lowered = question.lower()
+        if history and len(lowered.split()) <= 6 \
+                and (lowered.startswith(("and ", "what about", "how about"))):
+            text = history[-1].question + " " + question
+        return self.parser.parse(text)
+
+    def repair_sql(self, question, schema, issues):
+        # Fall back to the broadest safe interpretation: overall ranking.
+        parsed = self.parser.parse(question)
+        fallback = ParsedQuestion(kind="ranking", metric=parsed.metric,
+                                  k=max(parsed.k, 5))
+        fallback.sql = self.parser.build_sql(fallback)
+        fallback.notes.append("repaired: dropped unsupported filters")
+        return fallback
+
+    # -- answer generation -------------------------------------------------
+    @staticmethod
+    def _round(value):
+        return round(value, 4) if isinstance(value, float) else value
+
+    def generate_answer(self, question, parsed, columns, rows):
+        if not rows:
+            return ("No benchmark results match those filters "
+                    f"({parsed.filter_summary()}).")
+        metric = parsed.metric.upper()
+        if parsed.kind == "comparison" and len(rows) >= 2:
+            best = rows[0]
+            runner = rows[1]
+            return (f"Comparing {len(rows)} methods under {metric} "
+                    f"({parsed.filter_summary()}): {best[0]} performs best "
+                    f"with average {metric} {self._round(best[1])}, ahead "
+                    f"of {runner[0]} at {self._round(runner[1])}.")
+        if parsed.kind in ("ranking", "comparison"):
+            direction = "worst" if parsed.worst else "best"
+            if len(rows) == 1:
+                method, value = rows[0][0], rows[0][1]
+                return (f"The {direction} method by {metric} "
+                        f"({parsed.filter_summary()}) is {method} with an "
+                        f"average {metric} of {self._round(value)}.")
+            listing = "; ".join(
+                f"{i + 1}. {row[0]} ({self._round(row[1])})"
+                for i, row in enumerate(rows))
+            return (f"Top-{len(rows)} methods by {metric} "
+                    f"({parsed.filter_summary()}): {listing}.")
+        if parsed.kind == "lookup":
+            method, value = rows[0][0], rows[0][1]
+            count = rows[0][2] if len(rows[0]) > 2 else "?"
+            return (f"{method} averages {metric} {self._round(value)} over "
+                    f"{count} benchmark results ({parsed.filter_summary()}).")
+        if parsed.kind == "breakdown":
+            method = parsed.methods[0] if parsed.methods else "the method"
+            best, worst = rows[0], rows[-1]
+            return (f"{method} across {len(rows)} domains "
+                    f"({parsed.filter_summary()}): strongest on "
+                    f"{best[0]} ({metric} {self._round(best[1])}), weakest "
+                    f"on {worst[0]} ({self._round(worst[1])}).")
+        if parsed.kind == "curve":
+            methods = sorted({row[1] for row in rows})
+            horizons = sorted({row[0] for row in rows})
+            return (f"Average {metric} per horizon for "
+                    f"{', '.join(methods)} across horizons "
+                    f"{', '.join(str(h) for h in horizons)}; see the line "
+                    "chart for the trajectories.")
+        if parsed.kind in ("count", "listing"):
+            total = sum(row[-1] for row in rows) \
+                if isinstance(rows[0][-1], (int, float)) else len(rows)
+            label = columns[0] if columns else "group"
+            listing = ", ".join(f"{row[0]} ({row[-1]})" for row in rows[:8])
+            return (f"{total} matching entries across {len(rows)} "
+                    f"{label} groups: {listing}.")
+        return f"Retrieved {len(rows)} rows for your question."
+
+
+def _chart_for(parsed, columns, rows):
+    """Post-processing: shape rows into a renderable chart spec."""
+    if not rows:
+        return {}
+    if parsed.kind == "curve":
+        by_method = {}
+        for horizon, method, value in rows:
+            by_method.setdefault(method, []).append((horizon, value))
+        series = [{"name": m,
+                   "values": [v for _, v in sorted(points)]}
+                  for m, points in sorted(by_method.items())]
+        return {"type": "line", "title":
+                f"avg {parsed.metric} by horizon", "series": series}
+    if parsed.kind in ("count", "listing") and len(rows[0]) >= 2 \
+            and isinstance(rows[0][-1], (int, float)):
+        return {"type": "pie", "title": "distribution",
+                "labels": [str(r[0]) for r in rows],
+                "values": [float(r[-1]) for r in rows]}
+    if len(rows[0]) >= 2 and isinstance(rows[0][1], (int, float)):
+        return {"type": "bar",
+                "title": f"avg {parsed.metric} ({parsed.filter_summary()})",
+                "labels": [str(r[0]) for r in rows],
+                "values": [float(r[1]) for r in rows]}
+    return {}
+
+
+class QAEngine:
+    """Orchestrates the six-step Q&A workflow over a knowledge base."""
+
+    def __init__(self, knowledge_base, backend=None, max_history=20):
+        self.kb = knowledge_base
+        self.backend = backend or RuleBasedBackend(
+            known_methods=knowledge_base.method_names())
+        self.history = []
+        self.max_history = max_history
+
+    def ask(self, question):
+        """Answer one question; never raises on user input."""
+        if not question or not question.strip():
+            return QAResponse(question=question, ok=False,
+                              answer="Please ask a question about the "
+                                     "benchmark results.")
+        schema = self.kb.schema_text()
+        parsed = self.backend.generate_sql(question, schema, self.history)
+        report = self.kb.db.verify(parsed.sql)
+        verification = report.summary()
+        if not report.ok:
+            parsed = self.backend.repair_sql(question, schema, report.issues)
+            report = self.kb.db.verify(parsed.sql)
+            verification += " | repair: " + report.summary()
+        if not report.ok:
+            response = QAResponse(
+                question=question, ok=False, sql=parsed.sql,
+                verification=verification, parsed=parsed,
+                answer="I could not translate that question into a valid "
+                       "query over the benchmark database.")
+            self._remember(response)
+            return response
+        try:
+            result = self.kb.db.query(parsed.sql)
+        except SqlError as exc:  # pragma: no cover - verify gate catches this
+            response = QAResponse(question=question, ok=False,
+                                  sql=parsed.sql, verification=str(exc),
+                                  parsed=parsed,
+                                  answer="Query execution failed.")
+            self._remember(response)
+            return response
+        answer = self.backend.generate_answer(question, parsed,
+                                              result.columns, result.rows)
+        response = QAResponse(
+            question=question, answer=answer, sql=parsed.sql,
+            columns=list(result.columns), rows=list(result.rows),
+            chart=_chart_for(parsed, result.columns, result.rows),
+            ok=True, verification=verification, parsed=parsed)
+        self._remember(response)
+        return response
+
+    def _remember(self, response):
+        self.history.append(response)
+        if len(self.history) > self.max_history:
+            self.history = self.history[-self.max_history:]

@@ -1,0 +1,349 @@
+"""NL2SQL: parse natural-language questions into SQL over the knowledge base.
+
+Substitutes the paper's LLM with a deterministic semantic parser (see
+DESIGN.md): a lexicon grounds noun phrases in the knowledge schema
+(metrics, methods, domains, characteristics, forecasting terms), and a
+small set of question templates — ranking, comparison, lookup,
+count/listing, horizon curve — covers the query shapes the demo exercises
+(including both example questions in the paper).  The output is a
+:class:`ParsedQuestion` carrying the structured interpretation plus the
+generated SQL string, which then flows through the verification gate like
+any LLM output would.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["ParsedQuestion", "QuestionParser", "METRIC_WORDS",
+           "METHOD_ALIASES", "CHARACTERISTIC_WORDS"]
+
+METRIC_WORDS = {
+    "mae": "mae", "mean absolute error": "mae",
+    "mse": "mse", "mean squared error": "mse",
+    "rmse": "rmse", "root mean squared error": "rmse",
+    "smape": "smape", "mape": "smape",
+    "mase": "mase",
+}
+
+#: NL method names → registry names (covers methods the paper's users
+#: mention that map onto our pool, e.g. LSTM → the GRU recurrent model).
+METHOD_ALIASES = {
+    "lstm": "gru", "lstms": "gru", "rnn": "gru", "gru": "gru",
+    "transformer": "patchmlp", "transformers": "patchmlp",
+    "patchtst": "patchmlp", "patchmlp": "patchmlp",
+    "dlinear": "dlinear", "nlinear": "nlinear", "rlinear": "rlinear",
+    "linear": "linear_nn", "mlp": "mlp", "tcn": "tcn",
+    "arima": "arima", "theta": "theta", "naive": "naive",
+    "seasonal naive": "seasonal_naive", "drift": "drift",
+    "holt": "holt", "holt winters": "holt_winters",
+    "holt-winters": "holt_winters", "ses": "ses",
+    "exponential smoothing": "ses", "ridge": "ridge", "lasso": "lasso",
+    "knn": "knn", "nearest neighbour": "knn", "nearest neighbor": "knn",
+    "gbdt": "gbdt", "xgboost": "gbdt", "boosting": "gbdt",
+    "fits": "spectral", "spectral": "spectral", "var": "var",
+    "mean": "mean",
+}
+
+CHARACTERISTIC_WORDS = {
+    "seasonality": "seasonality", "seasonal": "seasonality",
+    "trend": "trend", "trends": "trend", "trending": "trend",
+    "shift": "shifting", "shifts": "shifting", "shifting": "shifting",
+    "transition": "transition", "transitions": "transition",
+    "regime": "transition",
+    "stationarity": "stationarity", "stationary": "stationarity",
+    "correlation": "correlation", "correlated": "correlation",
+}
+
+_DOMAINS = ("traffic", "electricity", "energy", "environment", "nature",
+            "economic", "stock", "banking", "health", "web")
+
+_CATEGORY_WORDS = {
+    "statistical": "statistical", "classical": "statistical",
+    "machine learning": "ml", "ml": "ml",
+    "deep": "deep", "deep learning": "deep", "neural": "deep",
+}
+
+
+@dataclass
+class ParsedQuestion:
+    """Structured interpretation of one NL question."""
+
+    kind: str = "ranking"          # ranking|comparison|lookup|count|curve
+    metric: str = "mae"
+    k: int = 1
+    worst: bool = False
+    methods: list = field(default_factory=list)
+    term: str = ""                 # '', 'short', 'long'
+    variate: str = ""              # '', 'univariate', 'multivariate'
+    domain: str = ""
+    category: str = ""
+    horizon: int = 0
+    characteristics: list = field(default_factory=list)  # (axis, op, value)
+    group_by: str = ""             # for count/listing questions
+    sql: str = ""
+    notes: list = field(default_factory=list)
+
+    def filter_summary(self):
+        parts = []
+        if self.term:
+            parts.append(f"{self.term}-term")
+        if self.variate:
+            parts.append(self.variate)
+        if self.domain:
+            parts.append(f"domain={self.domain}")
+        if self.category:
+            parts.append(f"category={self.category}")
+        if self.horizon:
+            parts.append(f"horizon={self.horizon}")
+        for axis, op, value in self.characteristics:
+            parts.append(f"{axis} {op} {value}")
+        return ", ".join(parts) if parts else "no filters"
+
+
+class QuestionParser:
+    """Grammar/lexicon NL2SQL parser over the knowledge schema."""
+
+    def __init__(self, known_methods=()):
+        self.known_methods = set(known_methods)
+
+    # -- lexicon passes -------------------------------------------------
+    @staticmethod
+    def _find_metric(text):
+        for phrase in sorted(METRIC_WORDS, key=len, reverse=True):
+            if re.search(rf"\b{re.escape(phrase)}\b", text):
+                return METRIC_WORDS[phrase]
+        return "mae"
+
+    def _find_methods(self, text):
+        found = []
+        for phrase in sorted(METHOD_ALIASES, key=len, reverse=True):
+            if re.search(rf"\b{re.escape(phrase)}\b", text):
+                target = METHOD_ALIASES[phrase]
+                if target not in found:
+                    found.append(target)
+                text = re.sub(rf"\b{re.escape(phrase)}\b", " ", text)
+        for name in self.known_methods:
+            if re.search(rf"\b{re.escape(name)}\b", text) \
+                    and name not in found:
+                found.append(name)
+        return found
+
+    @staticmethod
+    def _find_characteristics(text):
+        out = []
+        for phrase, axis in CHARACTERISTIC_WORDS.items():
+            match = re.search(
+                rf"\b(strong|high|weak|low|non|without|no)?[- ]?"
+                rf"{re.escape(phrase)}\b", text)
+            if not match:
+                continue
+            qualifier = match.group(1) or ""
+            if axis == "stationarity":
+                # "non-stationary" lowers the axis; "stationary" raises it.
+                if qualifier in ("non", "without", "no"):
+                    out.append((axis, "<", 0.4))
+                else:
+                    out.append((axis, ">", 0.6))
+            elif qualifier in ("strong", "high"):
+                out.append((axis, ">", 0.6))
+            elif qualifier in ("weak", "low"):
+                out.append((axis, "<", 0.3))
+            elif qualifier in ("non", "without", "no"):
+                out.append((axis, "<", 0.3))
+            else:
+                out.append((axis, ">", 0.5))
+        # Deduplicate per axis, keeping the most specific (first) reading.
+        seen, unique = set(), []
+        for axis, op, value in out:
+            if axis not in seen:
+                seen.add(axis)
+                unique.append((axis, op, value))
+        return unique
+
+    # -- main parse ------------------------------------------------------
+    def parse(self, question):
+        text = question.lower().strip()
+        parsed = ParsedQuestion()
+        parsed.metric = self._find_metric(text)
+        parsed.methods = self._find_methods(text)
+
+        match = re.search(r"\btop[\s-]*(\d+)\b", text)
+        if match:
+            parsed.k = max(int(match.group(1)), 1)
+        elif re.search(r"\bbest\b|\bwhich method\b|\bmost accurate\b", text):
+            parsed.k = 1
+        if re.search(r"\bworst\b|\bleast accurate\b", text):
+            parsed.worst = True
+
+        # When both appear (e.g. a history-augmented follow-up question),
+        # the later mention wins.
+        long_match = None
+        short_match = None
+        for m in re.finditer(r"\blong[\s-]*term\b", text):
+            long_match = m
+        for m in re.finditer(r"\bshort[\s-]*term\b", text):
+            short_match = m
+        if long_match and (not short_match
+                           or long_match.start() > short_match.start()):
+            parsed.term = "long"
+        elif short_match:
+            parsed.term = "short"
+
+        if "multivariate" in text:
+            parsed.variate = "multivariate"
+        elif "univariate" in text:
+            parsed.variate = "univariate"
+
+        for domain in _DOMAINS:
+            if re.search(rf"\b{domain}\b", text):
+                parsed.domain = domain
+                break
+
+        for phrase in sorted(_CATEGORY_WORDS, key=len, reverse=True):
+            if re.search(rf"\b{re.escape(phrase)}\b", text):
+                parsed.category = _CATEGORY_WORDS[phrase]
+                break
+
+        match = re.search(r"\bhorizon\s*(?:of|=)?\s*(\d+)\b", text)
+        if match:
+            parsed.horizon = int(match.group(1))
+
+        parsed.characteristics = self._find_characteristics(text)
+
+        # Question kind.
+        if len(parsed.methods) >= 2 and re.search(
+                r"\bor\b|\bversus\b|\bvs\b|\bcompare|\bbetter\b", text):
+            parsed.kind = "comparison"
+        elif re.search(r"\bhow does\b.*\bhorizon\b|\bacross horizons\b"
+                       r"|\bper horizon\b|\bby horizon\b", text):
+            parsed.kind = "curve"
+        elif len(parsed.methods) == 1 and re.search(
+                r"\bacross domains\b|\bper domain\b|\bby domain\b"
+                r"|\bdomain breakdown\b", text):
+            parsed.kind = "breakdown"
+        elif re.search(r"\bhow many\b|\bcount\b|\bnumber of\b", text):
+            parsed.kind = "count"
+        elif re.search(r"\bwhich (datasets|domains)\b|\blist\b", text):
+            parsed.kind = "listing"
+        elif len(parsed.methods) == 1 and re.search(
+                r"\bwhat is\b|\baverage\b|\bmean\b|\bhow (good|accurate)\b",
+                text):
+            parsed.kind = "lookup"
+        else:
+            parsed.kind = "ranking"
+
+        if parsed.kind == "count":
+            if "domain" in text:
+                parsed.group_by = "domain"
+            elif "method" in text:
+                parsed.group_by = "category"
+            else:
+                parsed.group_by = "domain" if "dataset" in text else ""
+        if parsed.kind == "listing":
+            parsed.group_by = "domain" if "domain" in text else "name"
+
+        parsed.sql = self.build_sql(parsed)
+        return parsed
+
+    # -- SQL generation -----------------------------------------------------
+    @staticmethod
+    def _where_clauses(parsed, include_methods=True):
+        clauses = []
+        if parsed.term:
+            clauses.append(f"r.term = '{parsed.term}'")
+        if parsed.horizon:
+            clauses.append(f"r.horizon = {parsed.horizon}")
+        if parsed.variate:
+            clauses.append(f"d.variate = '{parsed.variate}'")
+        if parsed.domain:
+            clauses.append(f"d.domain = '{parsed.domain}'")
+        for axis, op, value in parsed.characteristics:
+            clauses.append(f"d.{axis} {op} {value}")
+        if include_methods and parsed.kind == "comparison":
+            quoted = ", ".join(f"'{m}'" for m in parsed.methods)
+            clauses.append(f"r.method IN ({quoted})")
+        return clauses
+
+    def build_sql(self, parsed):
+        metric = parsed.metric
+        needs_datasets = bool(parsed.variate or parsed.domain
+                              or parsed.characteristics)
+        join = (" JOIN datasets d ON r.dataset = d.name"
+                if needs_datasets else "")
+
+        if parsed.kind in ("ranking", "comparison"):
+            clauses = self._where_clauses(parsed)
+            joins = join
+            if parsed.category:
+                joins = " JOIN methods m ON r.method = m.name" + join
+                clauses.append(f"m.category = '{parsed.category}'")
+            where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+            order = "DESC" if parsed.worst else "ASC"
+            limit = len(parsed.methods) if parsed.kind == "comparison" \
+                else parsed.k
+            return (f"SELECT r.method, AVG(r.{metric}) AS avg_{metric}, "
+                    f"COUNT(*) AS n_results FROM results r{joins}{where} "
+                    f"GROUP BY r.method ORDER BY avg_{metric} {order} "
+                    f"LIMIT {max(limit, 1)}")
+
+        if parsed.kind == "lookup":
+            method = parsed.methods[0]
+            clauses = self._where_clauses(parsed, include_methods=False)
+            clauses.append(f"r.method = '{method}'")
+            where = f" WHERE {' AND '.join(clauses)}"
+            return (f"SELECT r.method, AVG(r.{metric}) AS avg_{metric}, "
+                    f"COUNT(*) AS n_results FROM results r{join}{where} "
+                    f"GROUP BY r.method")
+
+        if parsed.kind == "breakdown":
+            method = parsed.methods[0]
+            clauses = self._where_clauses(parsed, include_methods=False)
+            clauses.append(f"r.method = '{method}'")
+            where = f" WHERE {' AND '.join(clauses)}"
+            return (f"SELECT d.domain, AVG(r.{metric}) AS avg_{metric}, "
+                    f"COUNT(*) AS n_results FROM results r"
+                    f" JOIN datasets d ON r.dataset = d.name{where}"
+                    f" GROUP BY d.domain ORDER BY avg_{metric} ASC")
+
+        if parsed.kind == "curve":
+            clauses = self._where_clauses(parsed, include_methods=False)
+            if parsed.methods:
+                quoted = ", ".join(f"'{m}'" for m in parsed.methods)
+                clauses.append(f"r.method IN ({quoted})")
+            where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+            return (f"SELECT r.horizon, r.method, AVG(r.{metric}) AS "
+                    f"avg_{metric} FROM results r{join}{where} "
+                    f"GROUP BY r.horizon, r.method ORDER BY r.horizon")
+
+        if parsed.kind == "count":
+            if parsed.group_by == "category":
+                return ("SELECT category, COUNT(*) AS n FROM methods "
+                        "GROUP BY category ORDER BY n DESC")
+            column = parsed.group_by or "domain"
+            clauses = []
+            if parsed.variate:
+                clauses.append(f"variate = '{parsed.variate}'")
+            for axis, op, value in parsed.characteristics:
+                clauses.append(f"{axis} {op} {value}")
+            where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+            return (f"SELECT {column}, COUNT(*) AS n FROM datasets{where} "
+                    f"GROUP BY {column} ORDER BY n DESC")
+
+        if parsed.kind == "listing":
+            clauses = []
+            if parsed.variate:
+                clauses.append(f"variate = '{parsed.variate}'")
+            if parsed.domain:
+                clauses.append(f"domain = '{parsed.domain}'")
+            for axis, op, value in parsed.characteristics:
+                clauses.append(f"{axis} {op} {value}")
+            where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+            if parsed.group_by == "domain":
+                return (f"SELECT domain, COUNT(*) AS n FROM datasets{where} "
+                        f"GROUP BY domain ORDER BY n DESC")
+            return (f"SELECT name, domain FROM datasets{where} "
+                    f"ORDER BY name LIMIT 50")
+
+        raise ValueError(f"unhandled question kind {parsed.kind!r}")

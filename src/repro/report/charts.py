@@ -1,0 +1,190 @@
+"""Dependency-free SVG chart rendering (the reporting layer's visuals).
+
+EasyTime's frontend renders "bar charts, line charts, pie charts, etc."
+for forecasts and Q&A answers.  This module produces self-contained SVG
+documents from the same chart-spec dicts the Q&A module emits, so every
+chart the system would display is renderable and testable offline.
+
+A chart spec is a dict::
+
+    {"type": "line"|"bar"|"pie",
+     "title": str,
+     "series": [{"name": str, "values": [..]} , ...],   # line
+     "labels": [...], "values": [...]}                   # bar / pie
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["render_chart", "line_chart", "bar_chart", "pie_chart"]
+
+_PALETTE = ("#4C78A8", "#F58518", "#54A24B", "#E45756", "#72B7B2",
+            "#B279A2", "#FF9DA6", "#9D755D")
+_WIDTH, _HEIGHT = 640, 360
+_MARGIN = 48
+
+
+def _header(title):
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="16">{escape(title)}</text>')
+    return parts
+
+
+def _axis_scale(lo, hi):
+    if math.isclose(lo, hi):
+        pad = abs(lo) * 0.1 + 1.0
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad
+
+
+def line_chart(series, title=""):
+    """Render named value sequences as polylines with a legend."""
+    if not series:
+        raise ValueError("line chart needs at least one series")
+    parts = _header(title)
+    all_vals = np.concatenate([np.asarray(s["values"], dtype=float)
+                               for s in series if len(s["values"])])
+    if all_vals.size == 0:
+        raise ValueError("line chart series are all empty")
+    lo, hi = _axis_scale(float(all_vals.min()), float(all_vals.max()))
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    max_len = max(len(s["values"]) for s in series)
+
+    def sx(i):
+        return _MARGIN + plot_w * (i / max(max_len - 1, 1))
+
+    def sy(v):
+        return _HEIGHT - _MARGIN - plot_h * ((v - lo) / (hi - lo))
+
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" x2="{_WIDTH - _MARGIN}" '
+        f'y2="{_HEIGHT - _MARGIN}" stroke="#888"/>')
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_MARGIN}" x2="{_MARGIN}" '
+        f'y2="{_HEIGHT - _MARGIN}" stroke="#888"/>')
+    for frac in (0.0, 0.5, 1.0):
+        value = lo + frac * (hi - lo)
+        parts.append(
+            f'<text x="{_MARGIN - 6}" y="{sy(value) + 4}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.3g}</text>')
+    for k, entry in enumerate(series):
+        values = np.asarray(entry["values"], dtype=float)
+        colour = _PALETTE[k % len(_PALETTE)]
+        points = " ".join(f"{sx(i):.1f},{sy(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f'<polyline fill="none" stroke="{colour}" '
+                     f'stroke-width="1.5" points="{points}"/>')
+        parts.append(
+            f'<text x="{_WIDTH - _MARGIN + 4}" y="{_MARGIN + 14 * k + 10}" '
+            f'font-family="sans-serif" font-size="10" fill="{colour}">'
+            f'{escape(str(entry.get("name", f"s{k}")))}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def bar_chart(labels, values, title=""):
+    """Render labelled values as vertical bars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    parts = _header(title)
+    values = np.asarray(values, dtype=float)
+    lo = min(0.0, float(values.min()))
+    hi = max(0.0, float(values.max()))
+    lo, hi = _axis_scale(lo, hi)
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    n = len(values)
+    slot = plot_w / n
+    bar_w = slot * 0.7
+
+    def sy(v):
+        return _HEIGHT - _MARGIN - plot_h * ((v - lo) / (hi - lo))
+
+    baseline = sy(0.0)
+    for i, (label, value) in enumerate(zip(labels, values)):
+        x = _MARGIN + i * slot + (slot - bar_w) / 2
+        top = min(sy(value), baseline)
+        height = abs(sy(value) - baseline)
+        colour = _PALETTE[i % len(_PALETTE)]
+        parts.append(f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                     f'height="{height:.1f}" fill="{colour}"/>')
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{_HEIGHT - _MARGIN + 14}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="9">'
+            f'{escape(str(label)[:12])}</text>')
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{top - 4:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="9">'
+            f'{value:.3g}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def pie_chart(labels, values, title=""):
+    """Render positive values as pie slices with a legend."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    values = np.asarray(values, dtype=float)
+    if (values < 0).any():
+        raise ValueError("pie chart values must be non-negative")
+    total = float(values.sum())
+    if total <= 0:
+        raise ValueError("pie chart needs a positive total")
+    parts = _header(title)
+    cx, cy = _WIDTH * 0.4, _HEIGHT / 2 + 10
+    radius = min(_WIDTH, _HEIGHT) / 2 - _MARGIN
+    angle = -math.pi / 2
+    for i, (label, value) in enumerate(zip(labels, values)):
+        frac = value / total
+        sweep = 2 * math.pi * frac
+        x0 = cx + radius * math.cos(angle)
+        y0 = cy + radius * math.sin(angle)
+        angle2 = angle + sweep
+        x1 = cx + radius * math.cos(angle2)
+        y1 = cy + radius * math.sin(angle2)
+        large = 1 if sweep > math.pi else 0
+        colour = _PALETTE[i % len(_PALETTE)]
+        if frac >= 0.999:
+            parts.append(f'<circle cx="{cx}" cy="{cy}" r="{radius}" '
+                         f'fill="{colour}"/>')
+        else:
+            parts.append(
+                f'<path d="M{cx:.1f},{cy:.1f} L{x0:.1f},{y0:.1f} '
+                f'A{radius:.1f},{radius:.1f} 0 {large} 1 {x1:.1f},{y1:.1f} Z" '
+                f'fill="{colour}"/>')
+        parts.append(
+            f'<text x="{_WIDTH * 0.72}" y="{_MARGIN + 16 * i + 10}" '
+            f'font-family="sans-serif" font-size="10" fill="{colour}">'
+            f'{escape(str(label)[:20])} ({100 * frac:.1f}%)</text>')
+        angle = angle2
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_chart(spec):
+    """Render a chart-spec dict to an SVG string."""
+    kind = spec.get("type")
+    title = spec.get("title", "")
+    if kind == "line":
+        return line_chart(spec["series"], title=title)
+    if kind == "bar":
+        return bar_chart(spec["labels"], spec["values"], title=title)
+    if kind == "pie":
+        return pie_chart(spec["labels"], spec["values"], title=title)
+    raise ValueError(f"unknown chart type {kind!r}")

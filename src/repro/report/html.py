@@ -1,0 +1,94 @@
+"""Standalone HTML benchmark reports.
+
+The reporting layer's offline counterpart to the web frontend's results
+panel: turn a :class:`~repro.pipeline.runner.ResultTable` into a single
+self-contained HTML document with the leaderboard, the per-series score
+matrix, and embedded SVG charts.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from .charts import bar_chart
+
+__all__ = ["html_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1, h2 { color: #30475e; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f0f4f8; }
+td:first-child, th:first-child { text-align: left; }
+.best { background: #e3f4e1; font-weight: bold; }
+"""
+
+
+def _html_table(headers, rows, highlight=None):
+    parts = ["<table><tr>"]
+    parts += [f"<th>{escape(str(h))}</th>" for h in headers]
+    parts.append("</tr>")
+    for i, row in enumerate(rows):
+        parts.append("<tr>")
+        for j, cell in enumerate(row):
+            text = f"{cell:.4f}" if isinstance(cell, float) else \
+                escape(str(cell))
+            css = ' class="best"' if highlight and (i, j) in highlight \
+                else ""
+            parts.append(f"<td{css}>{text}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def html_report(table, metric="mae", title="Benchmark report"):
+    """Render a ResultTable to a standalone HTML string."""
+    means = table.mean_scores(metric)
+    if not means:
+        raise ValueError(f"no finite {metric!r} scores to report")
+    ranking = table.ranking(metric)
+    pivot = table.pivot(metric)
+    methods = table.methods()
+
+    sections = [f"<html><head><meta charset='utf-8'>"
+                f"<title>{escape(title)}</title>"
+                f"<style>{_STYLE}</style></head><body>"]
+    sections.append(f"<h1>{escape(title)}</h1>")
+    sections.append(
+        f"<p>{len(table)} results &middot; {len(methods)} methods &middot; "
+        f"{len(table.series_names())} series &middot; metric: "
+        f"{escape(metric)}</p>")
+
+    sections.append("<h2>Leaderboard</h2>")
+    sections.append(_html_table(
+        ["rank", "method", f"mean {metric}"],
+        [[i + 1, m, means[m]] for i, m in enumerate(ranking)],
+        highlight={(0, 1), (0, 2)}))
+    sections.append(bar_chart(ranking, [means[m] for m in ranking],
+                              title=f"mean {metric} per method"))
+
+    sections.append("<h2>Per-series scores</h2>")
+    rows = []
+    highlight = set()
+    best = table.best_per_series(metric)
+    for i, series in enumerate(sorted(pivot)):
+        row = [series]
+        for j, method in enumerate(methods):
+            value = pivot[series].get(method)
+            row.append("-" if value is None else value)
+            if best.get(series) == method:
+                highlight.add((i, j + 1))
+        rows.append(row)
+    sections.append(_html_table(["series"] + list(methods), rows,
+                                highlight=highlight))
+
+    winners = {}
+    for method in best.values():
+        winners[method] = winners.get(method, 0) + 1
+    sections.append("<h2>Wins per method</h2>")
+    sections.append(_html_table(["method", "series won"],
+                                sorted(winners.items(),
+                                       key=lambda kv: -kv[1])))
+    sections.append("</body></html>")
+    return "".join(sections)

@@ -1,0 +1,79 @@
+"""Plain-text reporting: result tables and sparklines.
+
+The console counterpart of the web frontend's result panels: formats a
+:class:`~repro.pipeline.runner.ResultTable` pivot as an aligned text grid
+and renders series as unicode sparklines for quick inspection in logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_pivot", "sparkline", "format_ranking"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=None):
+    """Render values as a unicode sparkline, optionally resampled."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if width is not None and values.size > width:
+        idx = np.linspace(0, values.size - 1, width).astype(int)
+        values = values[idx]
+    lo, hi = float(values.min()), float(values.max())
+    if np.isclose(lo, hi):
+        return _SPARK[3] * values.size
+    levels = ((values - lo) / (hi - lo) * (len(_SPARK) - 1)).round().astype(int)
+    return "".join(_SPARK[k] for k in levels)
+
+
+def format_table(headers, rows, float_fmt="{:.4f}"):
+    """Align headers and rows into a fixed-width text table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    rendered = [[fmt(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pivot(pivot, metric="", methods=None):
+    """Format ``{series: {method: score}}`` as a text matrix."""
+    if not pivot:
+        return "(empty)"
+    if methods is None:
+        methods = sorted({m for row in pivot.values() for m in row})
+    headers = [f"series\\{metric}" if metric else "series"] + list(methods)
+    rows = []
+    for series in sorted(pivot):
+        row = [series]
+        for method in methods:
+            value = pivot[series].get(method)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_ranking(mean_scores, metric, top=None, higher_is_better=False):
+    """Format mean scores as a ranked leaderboard."""
+    order = sorted(mean_scores, key=mean_scores.get,
+                   reverse=higher_is_better)
+    if top:
+        order = order[:top]
+    rows = [[i + 1, name, mean_scores[name]]
+            for i, name in enumerate(order)]
+    return format_table(["rank", "method", f"mean {metric}"], rows)

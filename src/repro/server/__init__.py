@@ -1,0 +1,5 @@
+"""JSON HTTP API substituting the demo web frontend."""
+
+from .app import EasyTimeServer, make_handler
+
+__all__ = ["EasyTimeServer", "make_handler"]

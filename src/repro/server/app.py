@@ -1,0 +1,193 @@
+"""JSON-over-HTTP API substituting the demo web frontend.
+
+Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
+
+====================  =========================================
+``GET  /health``       liveness probe
+``GET  /methods``      method catalogue (S1 method list)
+``GET  /datasets``     choosable datasets (label 2)
+``POST /upload``       upload CSV dataset (label 1)
+``POST /recommend``    characteristics + top-k methods (labels 3-4)
+``POST /evaluate``     evaluate a chosen method (labels 5-7)
+``POST /automl``       automated ensemble forecast (label 8)
+``POST /qa``           natural-language Q&A (Fig. 5)
+====================  =========================================
+
+Responses are ``{"ok": bool, "data": ...}`` or
+``{"ok": false, "error": str}``.  The server is stdlib-only
+(``http.server``) and single-threaded — it exists to exercise the demo
+workflow, not to serve production traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import numpy as np
+
+__all__ = ["EasyTimeServer", "make_handler"]
+
+
+def _jsonable(obj):
+    """Recursively convert numpy types for JSON serialisation."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _jsonable(obj.tolist())
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+def make_handler(api):
+    """Build a request-handler class bound to an :class:`_Api` instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # silence default stderr noise
+            pass
+
+        def _send(self, payload, status=200):
+            body = json.dumps(_jsonable(payload)).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _fail(self, message, status=400):
+            self._send({"ok": False, "error": message}, status=status)
+
+        def do_GET(self):
+            route = self.path.split("?")[0].rstrip("/") or "/"
+            try:
+                if route == "/health":
+                    self._send({"ok": True, "data": "alive"})
+                elif route == "/methods":
+                    self._send({"ok": True, "data": api.methods()})
+                elif route == "/datasets":
+                    self._send({"ok": True, "data": api.datasets()})
+                else:
+                    self._fail(f"unknown endpoint {route}", status=404)
+            except Exception as exc:  # noqa: BLE001 - error envelope
+                self._fail(f"{type(exc).__name__}: {exc}", status=500)
+
+        def do_POST(self):
+            route = self.path.split("?")[0].rstrip("/")
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8")) if raw else {}
+            except json.JSONDecodeError as exc:
+                self._fail(f"invalid JSON body: {exc}")
+                return
+            handlers = {
+                "/upload": api.upload,
+                "/recommend": api.recommend,
+                "/evaluate": api.evaluate,
+                "/automl": api.automl,
+                "/qa": api.qa,
+            }
+            fn = handlers.get(route)
+            if fn is None:
+                self._fail(f"unknown endpoint {route}", status=404)
+                return
+            try:
+                self._send({"ok": True, "data": fn(body)})
+            except (KeyError, ValueError, TypeError) as exc:
+                self._fail(f"{type(exc).__name__}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - error envelope
+                self._fail(f"{type(exc).__name__}: {exc}", status=500)
+
+    return Handler
+
+
+class _Api:
+    """Thin translation layer between JSON bodies and the EasyTime facade."""
+
+    def __init__(self, easytime):
+        self.et = easytime
+
+    def methods(self):
+        return [self.et.method_details(name)
+                for name in self.et.list_methods()]
+
+    def datasets(self):
+        return self.et.list_datasets()
+
+    def upload(self, body):
+        series = self.et.upload_dataset(body["csv"],
+                                        name=body.get("name", "uploaded"))
+        return {"name": series.name, "length": series.length,
+                "channels": series.n_channels}
+
+    def recommend(self, body):
+        series = self.et.choose_dataset(body["dataset"])
+        rec = self.et.recommend(series, k=int(body.get("k", 5)))
+        return {"methods": list(rec.methods),
+                "probabilities": list(rec.probabilities),
+                "characteristics": rec.characteristics.as_dict()}
+
+    def evaluate(self, body):
+        series = self.et.choose_dataset(body["dataset"])
+        kwargs = {k: body[k] for k in
+                  ("strategy", "lookback", "horizon") if k in body}
+        if "metrics" in body:
+            kwargs["metrics"] = tuple(body["metrics"])
+        result = self.et.evaluate_method(body["method"], series, **kwargs)
+        return {"method": result.method, "series": result.series,
+                "strategy": result.strategy, "horizon": result.horizon,
+                "scores": result.scores, "n_windows": result.n_windows}
+
+    def automl(self, body):
+        series = self.et.choose_dataset(body["dataset"])
+        forecast, info = self.et.automl(
+            series, k=int(body.get("k", 3)),
+            horizon=int(body["horizon"]) if "horizon" in body else None)
+        return {"forecast": forecast[:, 0].tolist(), "info": info}
+
+    def qa(self, body):
+        response = self.et.ask(body["question"])
+        return {"answer": response.answer, "sql": response.sql,
+                "chart": response.chart, "table": response.table(),
+                "ok": response.ok}
+
+
+class EasyTimeServer:
+    """Embeddable HTTP server around an :class:`~repro.core.EasyTime`."""
+
+    def __init__(self, easytime, host="127.0.0.1", port=0):
+        self.api = _Api(easytime)
+        self._httpd = HTTPServer((host, port), make_handler(self.api))
+        self._thread = None
+
+    @property
+    def address(self):
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self):
+        """Serve requests on a daemon thread; returns the base URL."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self.address
+
+    def stop(self):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

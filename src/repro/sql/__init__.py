@@ -1,0 +1,23 @@
+"""Embedded in-memory relational SQL engine (from scratch).
+
+Substitutes the results database the EasyTime Q&A module queries: a
+tokenizer, recursive-descent parser, static verifier (the paper's
+"SQL verified before execution" step), predicate-pushdown planner and
+volcano-style executor.
+"""
+
+from .catalog import (Catalog, ColumnDef, SqlCatalogError, Table,
+                      coerce_value, infer_type)
+from .engine import Database, SqlError
+from .executor import Result, execute, explain
+from .expr import SqlRuntimeError, like_to_regex
+from .parser import parse
+from .tokens import SqlSyntaxError, tokenize
+from .verify import VerificationReport, verify, verify_sql
+
+__all__ = [
+    "Database", "SqlError", "Result", "execute", "explain", "parse",
+    "tokenize", "SqlSyntaxError", "SqlRuntimeError", "SqlCatalogError",
+    "Catalog", "Table", "ColumnDef", "infer_type", "coerce_value",
+    "VerificationReport", "verify", "verify_sql", "like_to_regex",
+]

@@ -1,0 +1,229 @@
+"""Abstract syntax tree for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr", "Literal", "Column", "Star", "Unary", "Binary", "FuncCall",
+    "InList", "Between", "IsNull", "Like", "Case", "SelectItem", "TableRef",
+    "Join", "OrderItem", "Select", "AGGREGATES",
+]
+
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | bool | None
+
+    def __str__(self):
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+    table: str = ""
+
+    def __str__(self):
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: str = ""
+
+    def __str__(self):
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', 'NOT'
+    operand: Expr
+
+    def __str__(self):
+        return f"{self.op} ({self.operand})" if self.op == "NOT" \
+            else f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, AND, OR
+    left: Expr
+    right: Expr
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: tuple = ()
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self):
+        return self.name in AGGREGATES
+
+    def __str__(self):
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple
+    negated: bool = False
+
+    def __str__(self):
+        inner = ", ".join(str(i) for i in self.items)
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}IN ({inner}))"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self):
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def __str__(self):
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} IS {neg}NULL)"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def __str__(self):
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}LIKE {self.pattern})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    branches: tuple  # ((cond, value), ...)
+    default: Expr = None
+
+    def __str__(self):
+        parts = ["CASE"]
+        for cond, value in self.branches:
+            parts.append(f"WHEN {cond} THEN {value}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str = ""
+
+    def output_name(self, index):
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        return f"col{index}"
+
+    def __str__(self):
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str = ""
+
+    @property
+    def binding(self):
+        return self.alias or self.name
+
+    def __str__(self):
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Expr
+    kind: str = "INNER"  # INNER | LEFT
+
+    def __str__(self):
+        return f"{self.kind} JOIN {self.table} ON {self.condition}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+    def __str__(self):
+        return f"{self.expr} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple
+    table: TableRef = None
+    joins: tuple = ()
+    where: Expr = None
+    group_by: tuple = ()
+    having: Expr = None
+    order_by: tuple = ()
+    limit: int = None
+    offset: int = 0
+    distinct: bool = False
+
+    def __str__(self):
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(i) for i in self.items))
+        if self.table is not None:
+            parts.append(f"FROM {self.table}")
+        for join in self.joins:
+            parts.append(str(join))
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)

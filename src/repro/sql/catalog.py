@@ -1,0 +1,158 @@
+"""Catalog and in-memory storage for the embedded relational engine."""
+
+from __future__ import annotations
+
+__all__ = ["ColumnDef", "Table", "Catalog", "SqlCatalogError",
+           "infer_type", "coerce_value", "TYPES"]
+
+TYPES = ("INT", "FLOAT", "TEXT", "BOOL")
+
+
+class SqlCatalogError(ValueError):
+    """Schema-level errors: unknown tables/columns, bad types."""
+
+
+class ColumnDef:
+    """Column name + declared type."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, type):
+        if type not in TYPES:
+            raise SqlCatalogError(
+                f"unknown type {type!r}; expected one of {TYPES}")
+        self.name = name
+        self.type = type
+
+    def __repr__(self):
+        return f"ColumnDef({self.name!r}, {self.type!r})"
+
+    def __eq__(self, other):
+        return (isinstance(other, ColumnDef)
+                and (self.name, self.type) == (other.name, other.type))
+
+
+def infer_type(value):
+    """Map a Python value to an engine type name."""
+    if isinstance(value, bool):
+        return "BOOL"
+    if isinstance(value, int):
+        return "INT"
+    if isinstance(value, float):
+        return "FLOAT"
+    if isinstance(value, str):
+        return "TEXT"
+    raise SqlCatalogError(f"unsupported value type {type(value).__name__}")
+
+
+def coerce_value(value, type):
+    """Coerce a Python value into a column's type (None passes through)."""
+    if value is None:
+        return None
+    try:
+        if type == "INT":
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if type == "FLOAT":
+            return float(value)
+        if type == "TEXT":
+            return str(value)
+        if type == "BOOL":
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise SqlCatalogError(f"cannot coerce {value!r} to {type}: {exc}") \
+            from None
+    raise SqlCatalogError(f"unknown type {type!r}")
+
+
+class Table:
+    """A named relation: column definitions plus row tuples."""
+
+    def __init__(self, name, columns):
+        if not columns:
+            raise SqlCatalogError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SqlCatalogError(f"duplicate column names in {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self.rows = []
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+
+    def column_index(self, name):
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SqlCatalogError(
+                f"no column {name!r} in table {self.name!r}; columns: "
+                f"{[c.name for c in self.columns]}") from None
+
+    def column_type(self, name):
+        return self.columns[self.column_index(name)].type
+
+    def insert(self, row):
+        """Insert one row (sequence or dict); values are type-coerced."""
+        if isinstance(row, dict):
+            row = [row.get(c.name) for c in self.columns]
+        if len(row) != len(self.columns):
+            raise SqlCatalogError(
+                f"row has {len(row)} values, table {self.name!r} has "
+                f"{len(self.columns)} columns")
+        coerced = tuple(coerce_value(v, c.type)
+                        for v, c in zip(row, self.columns))
+        self.rows.append(coerced)
+
+    def insert_many(self, rows):
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return f"Table({self.name!r}, {len(self.rows)} rows)"
+
+
+class Catalog:
+    """Case-insensitive table namespace."""
+
+    def __init__(self):
+        self._tables = {}
+
+    def create_table(self, name, columns):
+        key = name.lower()
+        if key in self._tables:
+            raise SqlCatalogError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name):
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise SqlCatalogError(f"no table named {name!r}") from None
+
+    def get(self, name):
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SqlCatalogError(
+                f"no table named {name!r}; tables: {self.table_names()}"
+            ) from None
+
+    def has(self, name):
+        return name.lower() in self._tables
+
+    def table_names(self):
+        return sorted(t.name for t in self._tables.values())
+
+    def schema_text(self):
+        """Human-readable schema dump (used in NL2SQL prompt context)."""
+        lines = []
+        for name in self.table_names():
+            table = self.get(name)
+            cols = ", ".join(f"{c.name} {c.type}" for c in table.columns)
+            lines.append(f"{table.name}({cols})")
+        return "\n".join(lines)

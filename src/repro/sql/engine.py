@@ -1,0 +1,90 @@
+"""Database facade tying tokenizer, parser, verifier and executor together."""
+
+from __future__ import annotations
+
+from .catalog import Catalog, ColumnDef, SqlCatalogError, infer_type
+from .executor import Result, execute, explain
+from .parser import parse
+from .verify import verify, verify_sql
+
+__all__ = ["Database", "SqlError"]
+
+
+class SqlError(ValueError):
+    """Raised by :meth:`Database.query` when verification fails."""
+
+    def __init__(self, report):
+        super().__init__(report.summary())
+        self.report = report
+
+
+class Database:
+    """An in-memory relational database with verified query execution.
+
+    The knowledge base and the Q&A module run on this engine.  Queries go
+    through the same two-step gate as the paper's workflow: static
+    verification first, execution only when the statement is clean.
+    """
+
+    def __init__(self):
+        self.catalog = Catalog()
+
+    # -- DDL / DML ---------------------------------------------------------
+    def create_table(self, name, columns):
+        """Create a table; ``columns`` is [(name, type), ...] or ColumnDefs."""
+        defs = [c if isinstance(c, ColumnDef) else ColumnDef(*c)
+                for c in columns]
+        return self.catalog.create_table(name, defs)
+
+    def create_table_from_rows(self, name, rows):
+        """Create a table whose schema is inferred from dict rows."""
+        if not rows:
+            raise SqlCatalogError("cannot infer a schema from zero rows")
+        first = rows[0]
+        defs = []
+        for key in first:
+            sample = next((r[key] for r in rows if r.get(key) is not None),
+                          None)
+            defs.append(ColumnDef(key, "TEXT" if sample is None
+                                  else infer_type(sample)))
+        table = self.catalog.create_table(name, defs)
+        table.insert_many(rows)
+        return table
+
+    def insert(self, table_name, rows):
+        """Insert rows (tuples or dicts) into an existing table."""
+        table = self.catalog.get(table_name)
+        table.insert_many(rows)
+        return len(rows)
+
+    # -- queries ----------------------------------------------------------
+    def verify(self, sql):
+        """Static verification only; returns a VerificationReport."""
+        return verify_sql(sql, self.catalog)
+
+    def query(self, sql):
+        """Verify then execute; raises :class:`SqlError` on a bad statement."""
+        report = verify_sql(sql, self.catalog)
+        if not report.ok:
+            raise SqlError(report)
+        result = execute(report.statement, self.catalog)
+        result.sql = sql
+        return result
+
+    def query_unchecked(self, sql):
+        """Execute without the verification gate (tests / internal use)."""
+        return execute(parse(sql), self.catalog)
+
+    def explain(self, sql):
+        """Access-plan description for a statement."""
+        return explain(parse(sql), self.catalog)
+
+    # -- introspection ------------------------------------------------------
+    def tables(self):
+        return self.catalog.table_names()
+
+    def schema(self):
+        return self.catalog.schema_text()
+
+    def table(self, name):
+        return self.catalog.get(name)

@@ -1,0 +1,486 @@
+"""Query planning and execution for the embedded SQL engine.
+
+Pipeline: AST → access plan (scans with pushed-down single-table
+predicates, nested-loop joins) → row stream → optional hash aggregation →
+projection → DISTINCT → sort → LIMIT/OFFSET.
+
+The rule optimizer splits the WHERE clause into conjuncts and pushes every
+conjunct that references a single table binding down into that table's
+scan, so joins filter early — the textbook predicate-pushdown rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .catalog import SqlCatalogError
+from .expr import Resolver, SqlRuntimeError, evaluate, truthy
+
+__all__ = ["Result", "execute", "explain", "split_conjuncts",
+           "referenced_bindings"]
+
+
+@dataclass
+class Result:
+    """Query output: column names and row tuples."""
+
+    columns: list
+    rows: list
+    sql: str = ""
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self):
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name):
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no output column {name!r}; columns: {self.columns}") \
+                from None
+        return [row[index] for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1×1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}")
+        return self.rows[0][0]
+
+
+# ---------------------------------------------------------------------------
+# Planning helpers
+# ---------------------------------------------------------------------------
+
+def split_conjuncts(expr):
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def referenced_bindings(expr, resolver):
+    """The set of table bindings an expression touches."""
+    out = set()
+
+    def walk(node):
+        if isinstance(node, ast.Column):
+            binding, _ = resolver.resolve(node)
+            out.add(binding)
+        elif isinstance(node, ast.Star):
+            out.update(b for b, _ in resolver.bindings)
+        elif isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.FuncCall):
+            for a in node.args:
+                walk(a)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (ast.IsNull, ast.Like)):
+            walk(node.operand)
+            if isinstance(node, ast.Like):
+                walk(node.pattern)
+        elif isinstance(node, ast.Case):
+            for cond, value in node.branches:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return out
+
+
+def _contains_aggregate(expr):
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.operand) or \
+            any(_contains_aggregate(i) for i in expr.items)
+    if isinstance(expr, ast.Between):
+        return any(_contains_aggregate(e)
+                   for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, (ast.IsNull, ast.Like)):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Case):
+        parts = [c for pair in expr.branches for c in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(p) for p in parts)
+    return False
+
+
+def _collect_aggregates(expr, out):
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            out.append(expr)
+            return
+        for a in expr.args:
+            _collect_aggregates(a, out)
+    elif isinstance(expr, ast.Unary):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.InList):
+        _collect_aggregates(expr.operand, out)
+        for item in expr.items:
+            _collect_aggregates(item, out)
+    elif isinstance(expr, ast.Between):
+        for e in (expr.operand, expr.low, expr.high):
+            _collect_aggregates(e, out)
+    elif isinstance(expr, (ast.IsNull, ast.Like)):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Case):
+        for cond, value in expr.branches:
+            _collect_aggregates(cond, out)
+            _collect_aggregates(value, out)
+        if expr.default is not None:
+            _collect_aggregates(expr.default, out)
+
+
+@dataclass
+class _Plan:
+    """Access plan: per-binding scan filters + residual join-level filters."""
+
+    bindings: list                    # [(binding, table, kind, on_expr)]
+    scan_filters: dict = field(default_factory=dict)
+    residual: list = field(default_factory=list)
+
+    def describe(self):
+        lines = []
+        for binding, table, kind, _ in self.bindings:
+            pushed = len(self.scan_filters.get(binding, []))
+            suffix = f" [{pushed} pushed predicate(s)]" if pushed else ""
+            lines.append(f"{kind} scan {table.name} as {binding}{suffix}")
+        if self.residual:
+            lines.append(f"filter: {len(self.residual)} residual predicate(s)")
+        return "\n".join(lines)
+
+
+def _build_plan(select, catalog, resolver):
+    bindings = []
+    base = select.table
+    bindings.append((base.binding, catalog.get(base.name), "INNER", None))
+    for join in select.joins:
+        bindings.append((join.table.binding, catalog.get(join.table.name),
+                         join.kind, join.condition))
+    plan = _Plan(bindings=bindings)
+    if select.where is not None:
+        left_joined = {b for b, _, kind, _ in bindings if kind == "LEFT"}
+        for conjunct in split_conjuncts(select.where):
+            refs = referenced_bindings(conjunct, resolver)
+            if len(refs) == 1:
+                target = next(iter(refs))
+                # Pushing below a LEFT join would change NULL-extension
+                # semantics, so those predicates stay residual.
+                if target not in left_joined:
+                    plan.scan_filters.setdefault(target, []).append(conjunct)
+                    continue
+            plan.residual.append(conjunct)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _scan_rows(binding, table, filters, resolver):
+    if not filters:
+        return list(table.rows)
+    out = []
+    for row in table.rows:
+        env = {binding: row}
+        if all(truthy(evaluate(f, env, resolver)) for f in filters):
+            out.append(row)
+    return out
+
+
+def _equi_join_slots(condition, resolver, left_bindings, right_binding):
+    """Detect ``left.col = right.col`` and return the two slots, or None.
+
+    Enables the hash-join fast path; any other condition shape falls back
+    to the nested-loop join.
+    """
+    if not (isinstance(condition, ast.Binary) and condition.op == "="
+            and isinstance(condition.left, ast.Column)
+            and isinstance(condition.right, ast.Column)):
+        return None
+    try:
+        slot_a = resolver.resolve(condition.left)
+        slot_b = resolver.resolve(condition.right)
+    except SqlRuntimeError:
+        return None
+    if slot_a[0] in left_bindings and slot_b[0] == right_binding:
+        return slot_a, slot_b
+    if slot_b[0] in left_bindings and slot_a[0] == right_binding:
+        return slot_b, slot_a
+    return None
+
+
+def _join_rows(plan, resolver):
+    binding0, table0, _, _ = plan.bindings[0]
+    envs = [{binding0: row}
+            for row in _scan_rows(binding0, table0,
+                                  plan.scan_filters.get(binding0, ()),
+                                  resolver)]
+    seen_bindings = {binding0}
+    for binding, table, kind, condition in plan.bindings[1:]:
+        right_rows = _scan_rows(binding, table,
+                                plan.scan_filters.get(binding, ()), resolver)
+        joined = []
+        equi = None if condition is None else _equi_join_slots(
+            condition, resolver, seen_bindings, binding)
+        if equi is not None:
+            # Hash join: build on the (smaller, already filtered) right
+            # side, probe with each accumulated env.
+            (left_bind, left_idx), (_, right_idx) = equi
+            buckets = {}
+            for row in right_rows:
+                key = row[right_idx]
+                if key is not None:
+                    buckets.setdefault(key, []).append(row)
+            for env in envs:
+                left_row = env.get(left_bind)
+                key = None if left_row is None else left_row[left_idx]
+                matches = buckets.get(key, ()) if key is not None else ()
+                for row in matches:
+                    candidate = dict(env)
+                    candidate[binding] = row
+                    joined.append(candidate)
+                if kind == "LEFT" and not matches:
+                    candidate = dict(env)
+                    candidate[binding] = None
+                    joined.append(candidate)
+        else:
+            for env in envs:
+                matched = False
+                for row in right_rows:
+                    candidate = dict(env)
+                    candidate[binding] = row
+                    if condition is None or \
+                            truthy(evaluate(condition, candidate, resolver)):
+                        joined.append(candidate)
+                        matched = True
+                if kind == "LEFT" and not matched:
+                    candidate = dict(env)
+                    candidate[binding] = None
+                    joined.append(candidate)
+        envs = joined
+        seen_bindings.add(binding)
+    for conjunct in plan.residual:
+        envs = [env for env in envs
+                if truthy(evaluate(conjunct, env, resolver))]
+    return envs
+
+
+def _expand_items(select, resolver):
+    """Expand SELECT * into explicit column items."""
+    items = []
+    for item in select.items:
+        if isinstance(item.expr, ast.Star):
+            for binding, index, name in resolver.all_columns(item.expr.table):
+                items.append(ast.SelectItem(
+                    expr=ast.Column(name=name, table=binding), alias=name))
+        else:
+            items.append(item)
+    return items
+
+
+def _aggregate_value(agg, group_envs, resolver):
+    if agg.name == "COUNT" and agg.args and isinstance(agg.args[0], ast.Star):
+        return len(group_envs)
+    if not agg.args:
+        raise SqlRuntimeError(f"{agg.name} requires an argument")
+    values = []
+    for env in group_envs:
+        value = evaluate(agg.args[0], env, resolver)
+        if value is not None:
+            values.append(value)
+    if agg.distinct:
+        seen, unique = set(), []
+        for v in values:
+            if v not in seen:
+                seen.add(v)
+                unique.append(v)
+        values = unique
+    if agg.name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if agg.name == "SUM":
+        return sum(values)
+    if agg.name == "AVG":
+        return sum(values) / len(values)
+    if agg.name == "MIN":
+        return min(values)
+    if agg.name == "MAX":
+        return max(values)
+    raise SqlRuntimeError(f"unknown aggregate {agg.name!r}")
+
+
+def _group_key(exprs, env, resolver):
+    return tuple(evaluate(e, env, resolver) for e in exprs)
+
+
+def _sort_key(value):
+    # NULLs sort first; mixed types fall back to string comparison.
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (1, "", value)
+    return (2, str(value), 0)
+
+
+def execute(select, catalog):
+    """Execute a parsed SELECT against a catalog; returns a Result."""
+    if select.table is None:
+        # SELECT without FROM: evaluate items against an empty environment.
+        resolver = Resolver([])
+        items = [i for i in select.items]
+        row = tuple(evaluate(i.expr, {}, resolver) for i in items)
+        columns = [item.output_name(k) for k, item in enumerate(items)]
+        return Result(columns=columns, rows=[row], sql=str(select))
+
+    resolver = Resolver([(select.table.binding, catalog.get(select.table.name))]
+                        + [(j.table.binding, catalog.get(j.table.name))
+                           for j in select.joins])
+    plan = _build_plan(select, catalog, resolver)
+    envs = _join_rows(plan, resolver)
+    items = _expand_items(select, resolver)
+    columns = [item.output_name(k) for k, item in enumerate(items)]
+
+    has_aggregates = any(_contains_aggregate(i.expr) for i in items) or \
+        (select.having is not None and _contains_aggregate(select.having))
+    grouped = bool(select.group_by) or has_aggregates
+
+    output_rows = []
+    order_values = []
+
+    if grouped:
+        groups = {}
+        if select.group_by:
+            for env in envs:
+                key = _group_key(select.group_by, env, resolver)
+                groups.setdefault(key, []).append(env)
+        else:
+            groups[()] = list(envs)
+        agg_nodes = []
+        for item in items:
+            _collect_aggregates(item.expr, agg_nodes)
+        if select.having is not None:
+            _collect_aggregates(select.having, agg_nodes)
+        for order in select.order_by:
+            _collect_aggregates(order.expr, agg_nodes)
+        for key, group_envs in groups.items():
+            rep = group_envs[0] if group_envs else {}
+            agg_values = {id(a): _aggregate_value(a, group_envs, resolver)
+                          for a in agg_nodes}
+            if select.having is not None:
+                keep = evaluate(select.having, rep, resolver,
+                                aggregates=agg_values)
+                if not truthy(keep):
+                    continue
+            row = tuple(evaluate(i.expr, rep, resolver, aggregates=agg_values)
+                        for i in items)
+            output_rows.append(row)
+            order_values.append(_order_tuple(select, row, columns, rep,
+                                             resolver, agg_values))
+    else:
+        if select.having is not None:
+            raise SqlRuntimeError("HAVING requires GROUP BY or aggregates")
+        for env in envs:
+            row = tuple(evaluate(i.expr, env, resolver) for i in items)
+            output_rows.append(row)
+            order_values.append(_order_tuple(select, row, columns, env,
+                                             resolver, None))
+
+    if select.distinct:
+        seen = set()
+        kept_rows, kept_order = [], []
+        for row, order in zip(output_rows, order_values):
+            marker = tuple((repr(type(v)), v) for v in row)
+            if marker not in seen:
+                seen.add(marker)
+                kept_rows.append(row)
+                kept_order.append(order)
+        output_rows, order_values = kept_rows, kept_order
+
+    if select.order_by:
+        paired = list(zip(output_rows, order_values))
+        # Stable multi-key sort: apply keys from last to first.
+        for key_index in range(len(select.order_by) - 1, -1, -1):
+            descending = select.order_by[key_index].descending
+            paired.sort(key=lambda p: _sort_key(p[1][key_index]),
+                        reverse=descending)
+        output_rows = [row for row, _ in paired]
+
+    if select.offset:
+        output_rows = output_rows[select.offset:]
+    if select.limit is not None:
+        output_rows = output_rows[:select.limit]
+
+    return Result(columns=columns, rows=output_rows, sql=str(select))
+
+
+def _order_tuple(select, row, columns, env, resolver, agg_values):
+    """Evaluate ORDER BY keys for one output row.
+
+    A bare column name matching an output alias refers to the output value
+    (SQL's alias-in-ORDER-BY rule); anything else is evaluated in the row
+    context.
+    """
+    if not select.order_by:
+        return ()
+    keys = []
+    for order in select.order_by:
+        expr = order.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            position = expr.value
+            if not 1 <= position <= len(row):
+                raise SqlRuntimeError(
+                    f"ORDER BY position {position} out of range")
+            keys.append(row[position - 1])
+            continue
+        if isinstance(expr, ast.Column) and not expr.table \
+                and expr.name in columns:
+            keys.append(row[columns.index(expr.name)])
+            continue
+        keys.append(evaluate(expr, env, resolver, aggregates=agg_values))
+    return tuple(keys)
+
+
+def explain(select, catalog):
+    """Describe the access plan (scans, pushed predicates, residuals)."""
+    if select.table is None:
+        return "constant select (no FROM)"
+    resolver = Resolver([(select.table.binding, catalog.get(select.table.name))]
+                        + [(j.table.binding, catalog.get(j.table.name))
+                           for j in select.joins])
+    return _build_plan(select, catalog, resolver).describe()

@@ -1,0 +1,278 @@
+"""Expression evaluation for the embedded SQL engine.
+
+Evaluates AST expressions against a row environment (``{binding: row
+tuple}``) using a resolver that maps column references to ``(binding,
+index)`` slots.  NULL handling is simplified three-valued logic:
+comparisons and arithmetic involving NULL yield NULL, which filters treat
+as false; ``IS [NOT] NULL`` and ``COALESCE`` are the explicit NULL tools.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from . import ast
+
+__all__ = ["Resolver", "evaluate", "truthy", "SqlRuntimeError",
+           "SCALAR_FUNCTIONS", "like_to_regex"]
+
+
+class SqlRuntimeError(ValueError):
+    """Raised for evaluation-time errors (bad function args, etc.)."""
+
+
+class Resolver:
+    """Maps column references to row-environment slots.
+
+    ``bindings`` is an ordered list of ``(binding_name, table)`` pairs from
+    the FROM/JOIN clauses.
+    """
+
+    def __init__(self, bindings):
+        self.bindings = list(bindings)
+        self._by_name = {name.lower(): (name, table)
+                         for name, table in bindings}
+
+    def resolve(self, column):
+        """Return (binding, index) for a Column node."""
+        if column.table:
+            entry = self._by_name.get(column.table.lower())
+            if entry is None:
+                raise SqlRuntimeError(
+                    f"unknown table alias {column.table!r}")
+            binding, table = entry
+            return binding, table.column_index(column.name)
+        matches = []
+        for binding, table in self.bindings:
+            try:
+                matches.append((binding, table.column_index(column.name)))
+            except Exception:
+                continue
+        if not matches:
+            raise SqlRuntimeError(f"unknown column {column.name!r}")
+        if len(matches) > 1:
+            raise SqlRuntimeError(
+                f"ambiguous column {column.name!r}; qualify with a table "
+                "alias")
+        return matches[0]
+
+    def all_columns(self, table_filter=""):
+        """(binding, index, name) triples for SELECT * expansion."""
+        out = []
+        for binding, table in self.bindings:
+            if table_filter and binding.lower() != table_filter.lower():
+                continue
+            for i, col in enumerate(table.columns):
+                out.append((binding, i, col.name))
+        if table_filter and not out:
+            raise SqlRuntimeError(f"unknown table alias {table_filter!r}")
+        return out
+
+
+def like_to_regex(pattern):
+    """Translate a SQL LIKE pattern to an anchored regular expression."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
+
+
+def _num(value, what):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SqlRuntimeError(f"{what} expects a number, got {value!r}")
+    return value
+
+
+def _fn_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_round(value, digits=0):
+    if value is None:
+        return None
+    return round(_num(value, "ROUND"), int(digits))
+
+
+def _fn_abs(value):
+    return None if value is None else abs(_num(value, "ABS"))
+
+def _fn_sqrt(value):
+    if value is None:
+        return None
+    value = _num(value, "SQRT")
+    if value < 0:
+        raise SqlRuntimeError("SQRT of a negative number")
+    return math.sqrt(value)
+
+
+SCALAR_FUNCTIONS = {
+    "ABS": _fn_abs,
+    "ROUND": _fn_round,
+    "SQRT": _fn_sqrt,
+    "UPPER": lambda s: None if s is None else str(s).upper(),
+    "LOWER": lambda s: None if s is None else str(s).lower(),
+    "LENGTH": lambda s: None if s is None else len(str(s)),
+    "COALESCE": _fn_coalesce,
+}
+
+
+def truthy(value):
+    """SQL filter semantics: NULL and FALSE both reject the row."""
+    return bool(value) and value is not None
+
+
+def _compare(op, left, right):
+    if left is None or right is None:
+        return None
+    # Numeric cross-type comparison is fine; text compares with text.
+    num_left = isinstance(left, (int, float)) and not isinstance(left, bool)
+    num_right = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if num_left != num_right and op not in ("=", "!="):
+        raise SqlRuntimeError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__}")
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise SqlRuntimeError(str(exc)) from None
+    raise SqlRuntimeError(f"unknown comparison {op!r}")
+
+
+def _arith(op, left, right):
+    if left is None or right is None:
+        return None
+    left = _num(left, f"operator {op}")
+    right = _num(right, f"operator {op}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL engines return NULL or error; we pick NULL.
+        result = left / right
+        return result
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    raise SqlRuntimeError(f"unknown operator {op!r}")
+
+
+def evaluate(expr, env, resolver, aggregates=None):
+    """Evaluate an expression for one row environment.
+
+    ``aggregates`` maps aggregate-node ids to precomputed values when
+    evaluating the SELECT list of a grouped query.
+    """
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Column):
+        binding, index = resolver.resolve(expr)
+        row = env.get(binding)
+        return None if row is None else row[index]
+    if isinstance(expr, ast.Unary):
+        value = evaluate(expr.operand, env, resolver, aggregates)
+        if expr.op == "-":
+            return None if value is None else -_num(value, "unary minus")
+        if expr.op == "NOT":
+            return None if value is None else not truthy(value)
+        raise SqlRuntimeError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("AND", "OR"):
+            left = evaluate(expr.left, env, resolver, aggregates)
+            if expr.op == "AND":
+                if left is not None and not truthy(left):
+                    return False
+                right = evaluate(expr.right, env, resolver, aggregates)
+                if right is not None and not truthy(right):
+                    return False
+                if left is None or right is None:
+                    return None
+                return True
+            # OR
+            if left is not None and truthy(left):
+                return True
+            right = evaluate(expr.right, env, resolver, aggregates)
+            if right is not None and truthy(right):
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = evaluate(expr.left, env, resolver, aggregates)
+        right = evaluate(expr.right, env, resolver, aggregates)
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return _compare(expr.op, left, right)
+        return _arith(expr.op, left, right)
+    if isinstance(expr, ast.InList):
+        value = evaluate(expr.operand, env, resolver, aggregates)
+        if value is None:
+            return None
+        found = False
+        for item in expr.items:
+            candidate = evaluate(item, env, resolver, aggregates)
+            if candidate is not None and _compare("=", value, candidate):
+                found = True
+                break
+        return (not found) if expr.negated else found
+    if isinstance(expr, ast.Between):
+        value = evaluate(expr.operand, env, resolver, aggregates)
+        low = evaluate(expr.low, env, resolver, aggregates)
+        high = evaluate(expr.high, env, resolver, aggregates)
+        if value is None or low is None or high is None:
+            return None
+        inside = _compare(">=", value, low) and _compare("<=", value, high)
+        return (not inside) if expr.negated else inside
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, env, resolver, aggregates)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, ast.Like):
+        value = evaluate(expr.operand, env, resolver, aggregates)
+        pattern = evaluate(expr.pattern, env, resolver, aggregates)
+        if value is None or pattern is None:
+            return None
+        matched = bool(like_to_regex(str(pattern)).match(str(value)))
+        return (not matched) if expr.negated else matched
+    if isinstance(expr, ast.Case):
+        for cond, result in expr.branches:
+            if truthy(evaluate(cond, env, resolver, aggregates)):
+                return evaluate(result, env, resolver, aggregates)
+        if expr.default is not None:
+            return evaluate(expr.default, env, resolver, aggregates)
+        return None
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            if aggregates is None or id(expr) not in aggregates:
+                raise SqlRuntimeError(
+                    f"aggregate {expr.name} used outside a grouped context")
+            return aggregates[id(expr)]
+        fn = SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise SqlRuntimeError(f"unknown function {expr.name!r}")
+        args = [evaluate(a, env, resolver, aggregates) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, ast.Star):
+        raise SqlRuntimeError("'*' is only valid in SELECT or COUNT(*)")
+    raise SqlRuntimeError(f"cannot evaluate {type(expr).__name__}")

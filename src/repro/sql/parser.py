@@ -1,0 +1,318 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.ast` trees.
+
+Grammar (one SELECT statement, optional trailing semicolon)::
+
+    select     := SELECT [DISTINCT] items [FROM table_ref join* ]
+                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                  [ORDER BY order_list] [LIMIT num [OFFSET num]]
+    items      := item (',' item)*          item := expr [[AS] ident] | '*'
+    join       := [INNER|LEFT] JOIN table_ref ON expr
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary      := '-' unary | primary
+    primary    := literal | func '(' args ')' | column | '(' expr ')' | CASE
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .tokens import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse", "SqlSyntaxError"]
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self.i = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def cur(self):
+        return self.tokens[self.i]
+
+    def advance(self):
+        tok = self.tokens[self.i]
+        if tok.kind != "EOF":
+            self.i += 1
+        return tok
+
+    def error(self, message):
+        tok = self.cur
+        context = self.text[max(tok.pos - 20, 0):tok.pos + 20]
+        raise SqlSyntaxError(
+            f"{message} at position {tok.pos} (near ...{context!r}...)")
+
+    def accept_kw(self, *names):
+        if self.cur.is_kw(*names):
+            return self.advance()
+        return None
+
+    def expect_kw(self, name):
+        if not self.cur.is_kw(name):
+            self.error(f"expected {name}")
+        return self.advance()
+
+    def accept_punct(self, value):
+        if self.cur.kind == "PUNCT" and self.cur.value == value:
+            return self.advance()
+        return None
+
+    def expect_punct(self, value):
+        if not self.accept_punct(value):
+            self.error(f"expected {value!r}")
+
+    def accept_op(self, *values):
+        if self.cur.kind == "OP" and self.cur.value in values:
+            return self.advance()
+        return None
+
+    def expect_ident(self, what="identifier"):
+        if self.cur.kind != "IDENT":
+            self.error(f"expected {what}")
+        return self.advance().value
+
+    # -- grammar ---------------------------------------------------------
+    def parse_select(self):
+        self.expect_kw("SELECT")
+        distinct = bool(self.accept_kw("DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        table, joins = None, []
+        if self.accept_kw("FROM"):
+            table = self.parse_table_ref()
+            while True:
+                kind = None
+                if self.accept_kw("INNER"):
+                    kind = "INNER"
+                elif self.accept_kw("LEFT"):
+                    kind = "LEFT"
+                if self.accept_kw("JOIN"):
+                    kind = kind or "INNER"
+                elif kind:
+                    self.error("expected JOIN")
+                else:
+                    break
+                ref = self.parse_table_ref()
+                self.expect_kw("ON")
+                condition = self.parse_expr()
+                joins.append(ast.Join(table=ref, condition=condition,
+                                      kind=kind))
+
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+
+        group_by = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self.accept_kw("HAVING") else None
+
+        order_by = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+
+        limit, offset = None, 0
+        if self.accept_kw("LIMIT"):
+            limit = self.parse_int("LIMIT")
+            if self.accept_kw("OFFSET"):
+                offset = self.parse_int("OFFSET")
+
+        self.accept_punct(";")
+        if self.cur.kind != "EOF":
+            self.error("unexpected trailing input")
+        return ast.Select(items=tuple(items), table=table,
+                          joins=tuple(joins), where=where,
+                          group_by=tuple(group_by), having=having,
+                          order_by=tuple(order_by), limit=limit,
+                          offset=offset, distinct=distinct)
+
+    def parse_int(self, what):
+        if self.cur.kind != "NUM" or "." in self.cur.value:
+            self.error(f"expected integer after {what}")
+        return int(self.advance().value)
+
+    def parse_select_item(self):
+        if self.accept_op("*"):
+            return ast.SelectItem(expr=ast.Star())
+        expr = self.parse_expr()
+        alias = ""
+        if self.accept_kw("AS"):
+            alias = self.expect_ident("alias")
+        elif self.cur.kind == "IDENT":
+            alias = self.advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def parse_table_ref(self):
+        name = self.expect_ident("table name")
+        alias = ""
+        if self.accept_kw("AS"):
+            alias = self.expect_ident("table alias")
+        elif self.cur.kind == "IDENT":
+            alias = self.advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    def parse_order_item(self):
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        elif self.accept_kw("ASC"):
+            descending = False
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept_kw("OR"):
+            left = ast.Binary("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.accept_kw("AND"):
+            left = ast.Binary("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self):
+        if self.accept_kw("NOT"):
+            return ast.Unary("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self):
+        left = self.parse_additive()
+        op_tok = self.accept_op(*_COMPARISONS)
+        if op_tok:
+            return ast.Binary(op_tok.value, left, self.parse_additive())
+        negated = bool(self.accept_kw("NOT"))
+        if self.accept_kw("IN"):
+            self.expect_punct("(")
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated=negated)
+        if self.accept_kw("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_kw("AND")
+            high = self.parse_additive()
+            return ast.Between(left, low, high, negated=negated)
+        if self.accept_kw("LIKE"):
+            return ast.Like(left, self.parse_additive(), negated=negated)
+        if self.accept_kw("IS"):
+            neg = bool(self.accept_kw("NOT"))
+            self.expect_kw("NULL")
+            return ast.IsNull(left, negated=neg)
+        if negated:
+            self.error("expected IN, BETWEEN or LIKE after NOT")
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while True:
+            tok = self.accept_op("+", "-")
+            if not tok:
+                return left
+            left = ast.Binary(tok.value, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while True:
+            tok = self.accept_op("*", "/", "%")
+            if not tok:
+                return left
+            left = ast.Binary(tok.value, left, self.parse_unary())
+
+    def parse_unary(self):
+        if self.accept_op("-"):
+            return ast.Unary("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.cur
+        if tok.kind == "NUM":
+            self.advance()
+            value = float(tok.value) if "." in tok.value or "e" in tok.value \
+                or "E" in tok.value else int(tok.value)
+            return ast.Literal(value)
+        if tok.kind == "STR":
+            self.advance()
+            return ast.Literal(tok.value)
+        if tok.is_kw("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if tok.is_kw("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if tok.is_kw("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if tok.is_kw("CASE"):
+            return self.parse_case()
+        if self.accept_punct("("):
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if tok.kind == "IDENT":
+            self.advance()
+            if self.accept_punct("("):
+                return self.finish_func(tok.value)
+            if self.accept_punct("."):
+                nxt = self.cur
+                if nxt.kind == "OP" and nxt.value == "*":
+                    self.advance()
+                    return ast.Star(table=tok.value)
+                column = self.expect_ident("column name")
+                return ast.Column(name=column, table=tok.value)
+            return ast.Column(name=tok.value)
+        self.error("expected expression")
+
+    def parse_case(self):
+        self.expect_kw("CASE")
+        branches = []
+        while self.accept_kw("WHEN"):
+            cond = self.parse_expr()
+            self.expect_kw("THEN")
+            branches.append((cond, self.parse_expr()))
+        if not branches:
+            self.error("CASE requires at least one WHEN branch")
+        default = self.parse_expr() if self.accept_kw("ELSE") else None
+        self.expect_kw("END")
+        return ast.Case(branches=tuple(branches), default=default)
+
+    def finish_func(self, name):
+        upper = name.upper()
+        distinct = bool(self.accept_kw("DISTINCT"))
+        args = []
+        if self.cur.kind == "OP" and self.cur.value == "*":
+            self.advance()
+            args.append(ast.Star())
+        elif not (self.cur.kind == "PUNCT" and self.cur.value == ")"):
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.FuncCall(name=upper, args=tuple(args), distinct=distinct)
+
+
+def parse(text):
+    """Parse one SELECT statement; raises :class:`SqlSyntaxError` on error."""
+    return _Parser(tokenize(text), text).parse_select()

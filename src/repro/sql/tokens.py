@@ -1,0 +1,129 @@
+"""SQL tokenizer for the embedded relational engine.
+
+Produces a flat token stream consumed by the recursive-descent parser.
+Supported lexicon: identifiers (optionally double-quoted), single-quoted
+string literals with ``''`` escaping, integer/float literals, the SQL
+keyword set used by the Q&A module, comparison and arithmetic operators,
+and punctuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "KEYWORDS", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on lexical or grammatical errors, with position context."""
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "IN", "IS", "NULL", "LIKE", "BETWEEN", "JOIN", "INNER", "LEFT",
+    "ON", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>")
+_ONE_CHAR_OPS = "+-*/%=<>"
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: kind ∈ {KW, IDENT, NUM, STR, OP, PUNCT, EOF}."""
+
+    kind: str
+    value: str
+    pos: int
+
+    def is_kw(self, *names):
+        return self.kind == "KW" and self.value in names
+
+
+def tokenize(text):
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise SqlSyntaxError(f"unterminated string at position {i}")
+            if j >= n:
+                raise SqlSyntaxError(f"unterminated string at position {i}")
+            tokens.append(Token("STR", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated identifier at position {i}")
+            tokens.append(Token("IDENT", text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token("NUM", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KW", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", "!=" if two == "<>" else two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,217 @@
+"""Static verification of SQL statements before execution.
+
+The EasyTime Q&A workflow executes LLM-generated SQL only after it is
+"verified for correctness" (Fig. 3, step 3).  This module implements that
+gate: given a parsed statement and the catalog, it checks table and column
+resolution, aggregate placement, and GROUP BY consistency, returning a
+structured report instead of letting errors surface mid-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .catalog import SqlCatalogError
+from .executor import _collect_aggregates, _contains_aggregate
+from .expr import Resolver, SqlRuntimeError
+from .parser import parse
+from .tokens import SqlSyntaxError
+
+__all__ = ["VerificationReport", "verify", "verify_sql"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of static verification; falsy when any issue was found."""
+
+    issues: list = field(default_factory=list)
+    statement: object = None
+
+    @property
+    def ok(self):
+        return not self.issues
+
+    def __bool__(self):
+        return self.ok
+
+    def add(self, message):
+        self.issues.append(message)
+
+    def summary(self):
+        if self.ok:
+            return "verified: OK"
+        return "verified: FAILED\n" + "\n".join(f"- {i}" for i in self.issues)
+
+
+def _walk_columns(expr, visit):
+    if isinstance(expr, ast.Column):
+        visit(expr)
+    elif isinstance(expr, ast.Unary):
+        _walk_columns(expr.operand, visit)
+    elif isinstance(expr, ast.Binary):
+        _walk_columns(expr.left, visit)
+        _walk_columns(expr.right, visit)
+    elif isinstance(expr, ast.FuncCall):
+        for a in expr.args:
+            _walk_columns(a, visit)
+    elif isinstance(expr, ast.InList):
+        _walk_columns(expr.operand, visit)
+        for item in expr.items:
+            _walk_columns(item, visit)
+    elif isinstance(expr, ast.Between):
+        for e in (expr.operand, expr.low, expr.high):
+            _walk_columns(e, visit)
+    elif isinstance(expr, (ast.IsNull, ast.Like)):
+        _walk_columns(expr.operand, visit)
+        if isinstance(expr, ast.Like):
+            _walk_columns(expr.pattern, visit)
+    elif isinstance(expr, ast.Case):
+        for cond, value in expr.branches:
+            _walk_columns(cond, visit)
+            _walk_columns(value, visit)
+        if expr.default is not None:
+            _walk_columns(expr.default, visit)
+
+
+def _check_no_nested_aggregates(expr, report):
+    aggs = []
+    _collect_aggregates(expr, aggs)
+    for agg in aggs:
+        for arg in agg.args:
+            if _contains_aggregate(arg):
+                report.add(f"nested aggregate in {agg}")
+
+
+def _expr_is_grouped(expr, group_by, aliases):
+    """True when ``expr`` is valid in a grouped context."""
+    if any(str(expr) == str(g) for g in group_by):
+        return True
+    if isinstance(expr, ast.Column) and not expr.table \
+            and expr.name in aliases:
+        return True
+    if isinstance(expr, ast.Literal):
+        return True
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            return True
+        return all(_expr_is_grouped(a, group_by, aliases) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _expr_is_grouped(expr.operand, group_by, aliases)
+    if isinstance(expr, ast.Binary):
+        return (_expr_is_grouped(expr.left, group_by, aliases)
+                and _expr_is_grouped(expr.right, group_by, aliases))
+    if isinstance(expr, ast.Case):
+        parts = [c for pair in expr.branches for c in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return all(_expr_is_grouped(p, group_by, aliases) for p in parts)
+    return False
+
+
+def verify(select, catalog):
+    """Verify a parsed SELECT against the catalog; returns a report."""
+    report = VerificationReport(statement=select)
+
+    # 1. Tables resolve.
+    bindings = []
+    refs = ([] if select.table is None else [select.table]) \
+        + [j.table for j in select.joins]
+    seen_bindings = set()
+    for ref in refs:
+        if not catalog.has(ref.name):
+            report.add(f"unknown table {ref.name!r} (tables: "
+                       f"{', '.join(catalog.table_names()) or 'none'})")
+            continue
+        if ref.binding.lower() in seen_bindings:
+            report.add(f"duplicate table alias {ref.binding!r}")
+            continue
+        seen_bindings.add(ref.binding.lower())
+        bindings.append((ref.binding, catalog.get(ref.name)))
+    if report.issues:
+        return report
+
+    resolver = Resolver(bindings)
+
+    # 2. Columns resolve (unambiguously).
+    def check_column(column):
+        try:
+            resolver.resolve(column)
+        except SqlRuntimeError as exc:
+            report.add(str(exc))
+
+    scopes = [i.expr for i in select.items if not isinstance(i.expr, ast.Star)]
+    scopes += [j.condition for j in select.joins]
+    if select.where is not None:
+        scopes.append(select.where)
+    scopes += list(select.group_by)
+    if select.having is not None:
+        scopes.append(select.having)
+    aliases = {i.alias for i in select.items if i.alias}
+    for order in select.order_by:
+        expr = order.expr
+        if isinstance(expr, ast.Column) and not expr.table \
+                and expr.name in aliases:
+            continue  # alias reference, resolved against the output row
+        if isinstance(expr, ast.Literal):
+            continue  # positional reference
+        scopes.append(expr)
+    if select.table is not None:
+        for expr in scopes:
+            _walk_columns(expr, check_column)
+
+    # 3. Star only with FROM.
+    if select.table is None:
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                report.add("SELECT * requires a FROM clause")
+
+    # 4. Aggregate placement.
+    if select.where is not None and _contains_aggregate(select.where):
+        report.add("aggregate function in WHERE clause (use HAVING)")
+    for join in select.joins:
+        if _contains_aggregate(join.condition):
+            report.add("aggregate function in JOIN condition")
+    for g in select.group_by:
+        if _contains_aggregate(g):
+            report.add("aggregate function in GROUP BY")
+    for expr in scopes:
+        _check_no_nested_aggregates(expr, report)
+    if select.having is not None and not select.group_by \
+            and not any(_contains_aggregate(i.expr) for i in select.items):
+        report.add("HAVING without GROUP BY or aggregates")
+
+    # 5. GROUP BY consistency: every non-aggregated output must be grouped.
+    has_aggregates = any(_contains_aggregate(i.expr) for i in select.items) \
+        or (select.having is not None and _contains_aggregate(select.having))
+    if select.group_by or has_aggregates:
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                report.add("SELECT * is invalid in a grouped query")
+                continue
+            if not _expr_is_grouped(item.expr, select.group_by, set()):
+                report.add(
+                    f"non-aggregated expression {item.expr} must appear in "
+                    "GROUP BY")
+
+    # 6. LIMIT/OFFSET sanity.
+    if select.limit is not None and select.limit < 0:
+        report.add("LIMIT must be non-negative")
+    if select.offset < 0:
+        report.add("OFFSET must be non-negative")
+    return report
+
+
+def verify_sql(sql, catalog):
+    """Parse + verify SQL text; syntax errors become report issues."""
+    try:
+        statement = parse(sql)
+    except SqlSyntaxError as exc:
+        report = VerificationReport()
+        report.add(f"syntax error: {exc}")
+        return report
+    except SqlCatalogError as exc:  # pragma: no cover - defensive
+        report = VerificationReport()
+        report.add(str(exc))
+        return report
+    return verify(statement, catalog)

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+Expensive artefacts (benchmark knowledge base, pretrained AutoEnsemble,
+the assembled EasyTime system) are session-scoped and deliberately small,
+so the whole suite runs in minutes while still exercising the real
+training paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetRegistry
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return DatasetRegistry(seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_kb():
+    """A real (pipeline-built) knowledge base, one series per domain."""
+    from repro.knowledge import build_benchmark_knowledge
+    kb, reg = build_benchmark_knowledge(per_domain=1, length=320)
+    return kb, reg
+
+
+@pytest.fixture(scope="session")
+def pretrained_auto(small_kb):
+    """AutoEnsemble pretrained on the session knowledge base."""
+    from repro.ensemble import AutoEnsemble
+    kb, reg = small_kb
+    auto = AutoEnsemble(kb, registry=reg, lookback=96, horizon=24,
+                        ts2vec_params={"iterations": 25, "batch_size": 6},
+                        classifier_params={"epochs": 60})
+    return auto.pretrain()
+
+
+@pytest.fixture(scope="session")
+def synthetic_kb():
+    """A synthetic-results knowledge base (fast, deterministic)."""
+    from repro.knowledge import build_synthetic_knowledge
+    return build_synthetic_knowledge(n_series=150, seed=3)
+
+
+@pytest.fixture(scope="session")
+def easytime_system(small_kb):
+    """A fully set-up EasyTime facade sharing the session knowledge base."""
+    from repro.core import EasyTime
+    from repro.ensemble import AutoEnsemble
+    from repro.qa import QAEngine
+
+    kb, reg = small_kb
+    et = EasyTime(seed=7, per_domain=1, length=320)
+    et.registry = reg
+    et.knowledge = kb
+    et.auto = AutoEnsemble(kb, registry=reg, lookback=96, horizon=24,
+                           ts2vec_params={"iterations": 20, "batch_size": 6},
+                           classifier_params={"epochs": 50}).pretrain()
+    et.qa = QAEngine(kb)
+    et._ready = True
+    return et

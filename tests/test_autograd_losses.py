@@ -1,0 +1,142 @@
+"""Unit + property tests for loss functions, incl. the soft-label loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, check_gradients, losses
+from repro.autograd import functional as F
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor([1.0, 2.0])
+        assert np.isclose(losses.mse_loss(pred, np.array([0.0, 0.0])).item(),
+                          2.5)
+
+    def test_mae_value(self):
+        pred = Tensor([1.0, -3.0])
+        assert np.isclose(losses.mae_loss(pred, np.array([0.0, 0.0])).item(),
+                          2.0)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor([0.5])
+        # |d| < delta: 0.5 d^2
+        assert np.isclose(
+            losses.huber_loss(pred, np.array([0.0]), delta=1.0).item(), 0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor([3.0])
+        # delta * (|d| - delta/2) = 1 * 2.5
+        assert np.isclose(
+            losses.huber_loss(pred, np.array([0.0]), delta=1.0).item(), 2.5)
+
+    def test_huber_validates_delta(self):
+        with pytest.raises(ValueError):
+            losses.huber_loss(Tensor([1.0]), np.array([0.0]), delta=0.0)
+
+    def test_huber_grad(self, rng):
+        pred = Tensor(rng.standard_normal(8) * 2, requires_grad=True)
+        target = rng.standard_normal(8)
+        check_gradients(lambda: losses.huber_loss(pred, target), [pred])
+
+    def test_mse_grad(self, rng):
+        pred = Tensor(rng.standard_normal(5), requires_grad=True)
+        check_gradients(
+            lambda: losses.mse_loss(pred, np.zeros(5)), [pred])
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 3))
+        labels = np.array([0, 2, 1, 1])
+        loss = losses.cross_entropy(Tensor(logits), labels).item()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), labels]).mean()
+        assert np.isclose(loss, manual)
+
+    def test_grad(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        labels = np.array([1, 0, 3])
+        check_gradients(lambda: losses.cross_entropy(logits, labels),
+                        [logits])
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert losses.cross_entropy(logits, [0, 1]).item() < 1e-6
+
+
+class TestSoftLabelLoss:
+    def test_equals_cross_entropy_for_one_hot(self, rng):
+        logits_data = rng.standard_normal((4, 3))
+        labels = np.array([2, 0, 1, 2])
+        one_hot = F.one_hot(labels, 3)
+        soft = losses.soft_label_loss(Tensor(logits_data), one_hot).item()
+        hard = losses.cross_entropy(Tensor(logits_data), labels).item()
+        assert np.isclose(soft, hard)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            losses.soft_label_loss(Tensor(rng.standard_normal((2, 3))),
+                                   np.ones((2, 4)) / 4)
+
+    def test_grad(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        targets = losses.soft_labels_from_errors(rng.random((3, 4)))
+        check_gradients(lambda: losses.soft_label_loss(logits, targets),
+                        [logits])
+
+    def test_minimised_by_matching_distribution(self, rng):
+        targets = losses.soft_labels_from_errors(rng.random((2, 3)))
+        matching = Tensor(np.log(targets + 1e-12))
+        uniform = Tensor(np.zeros((2, 3)))
+        assert losses.soft_label_loss(matching, targets).item() <= \
+            losses.soft_label_loss(uniform, targets).item()
+
+
+class TestSoftLabelsFromErrors:
+    def test_best_method_gets_highest_probability(self):
+        errors = np.array([[0.1, 0.5, 0.9]])
+        probs = losses.soft_labels_from_errors(errors)
+        assert probs[0].argmax() == 0
+        assert probs[0, 0] > probs[0, 1] > probs[0, 2]
+
+    def test_near_ties_get_near_equal_mass(self):
+        errors = np.array([[0.100, 0.101, 5.0]])
+        probs = losses.soft_labels_from_errors(errors, temperature=0.3)
+        assert abs(probs[0, 0] - probs[0, 1]) < 0.02
+        assert probs[0, 2] < probs[0, 0] / 5
+
+    def test_lower_temperature_sharpens(self):
+        errors = np.array([[0.1, 0.2, 0.3]])
+        sharp = losses.soft_labels_from_errors(errors, temperature=0.05)
+        smooth = losses.soft_labels_from_errors(errors, temperature=5.0)
+        assert sharp[0, 0] > smooth[0, 0]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            losses.soft_labels_from_errors(np.array([1.0, 2.0]))
+
+    def test_constant_row_gives_uniform(self):
+        probs = losses.soft_labels_from_errors(np.array([[2.0, 2.0, 2.0]]))
+        assert np.allclose(probs, 1 / 3)
+
+    @given(arrays(np.float64, (5, 6),
+                  elements=st.floats(0.01, 100.0)))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_are_distributions(self, errors):
+        probs = losses.soft_labels_from_errors(errors)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    @given(arrays(np.float64, (3, 4),
+                  elements=st.floats(0.01, 10.0)))
+    @settings(max_examples=50, deadline=None)
+    def test_argmax_has_minimal_error(self, errors):
+        # Tie-robust form: the method with the highest probability must
+        # have the (possibly tied) minimum error in its row.
+        probs = losses.soft_labels_from_errors(errors)
+        picked = errors[np.arange(3), probs.argmax(axis=1)]
+        assert np.allclose(picked, errors.min(axis=1))

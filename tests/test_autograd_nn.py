@@ -1,0 +1,219 @@
+"""Unit tests for nn modules and functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, nn
+from repro.autograd import functional as F
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        out = F.softmax(x)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        assert np.allclose(F.log_softmax(x).data,
+                           np.log(F.softmax(x).data))
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = Tensor([[1000.0, 1000.0]])
+        assert np.allclose(F.softmax(x).data, [[0.5, 0.5]])
+
+    def test_gelu_known_values(self):
+        x = Tensor([0.0, 100.0, -100.0])
+        out = F.gelu(x).data
+        assert abs(out[0]) < 1e-9
+        assert abs(out[1] - 100.0) < 1e-6
+        assert abs(out[2]) < 1e-6
+
+    def test_gelu_grad(self, rng):
+        x = Tensor(rng.standard_normal(6), requires_grad=True)
+        check_gradients(lambda: F.gelu(x).sum(), [x])
+
+    def test_softmax_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        check_gradients(lambda: (F.softmax(x) ** 2).sum(), [x])
+
+    def test_dropout_train_vs_eval(self, rng):
+        x = Tensor(np.ones((100, 100)))
+        dropped = F.dropout(x, 0.5, rng, training=True)
+        kept_fraction = (dropped.data != 0).mean()
+        assert 0.4 < kept_fraction < 0.6
+        # Inverted dropout preserves the expectation.
+        assert abs(dropped.data.mean() - 1.0) < 0.05
+        same = F.dropout(x, 0.5, rng, training=False)
+        assert same is x
+
+    def test_dropout_validates_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.5, rng)
+
+    def test_conv1d_matches_manual(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 8)))
+        w = Tensor(rng.standard_normal((1, 1, 3)))
+        out = F.conv1d(x, w)
+        manual = np.convolve(x.data[0, 0], w.data[0, 0][::-1], mode="valid")
+        assert np.allclose(out.data[0, 0], manual)
+
+    def test_conv1d_causal_padding_preserves_length(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 16)))
+        w = Tensor(rng.standard_normal((4, 3, 3)))
+        out = F.conv1d(x, w, dilation=2, padding=(4, 0))
+        assert out.shape == (2, 4, 16)
+
+    def test_conv1d_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            F.conv1d(Tensor(np.zeros((1, 2, 8))),
+                     Tensor(np.zeros((1, 3, 3))))
+
+    def test_conv1d_too_long_kernel(self):
+        with pytest.raises(ValueError, match="longer than"):
+            F.conv1d(Tensor(np.zeros((1, 1, 4))),
+                     Tensor(np.zeros((1, 1, 3))), dilation=4)
+
+    def test_conv1d_bias(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 5)))
+        w = Tensor(np.zeros((2, 1, 1)))
+        b = Tensor(np.array([1.0, -1.0]))
+        out = F.conv1d(x, w, bias=b)
+        assert np.allclose(out.data[0, 0], 1.0)
+        assert np.allclose(out.data[0, 1], -1.0)
+
+    def test_max_avg_pool(self):
+        x = Tensor(np.arange(8.0).reshape(1, 1, 8))
+        assert np.allclose(F.max_pool1d(x, 2).data[0, 0], [1, 3, 5, 7])
+        assert np.allclose(F.avg_pool1d(x, 2).data[0, 0], [0.5, 2.5, 4.5, 6.5])
+
+    def test_pool_window_too_long(self):
+        with pytest.raises(ValueError):
+            F.max_pool1d(Tensor(np.zeros((1, 1, 3))), 5)
+
+    def test_layer_norm_statistics(self, rng):
+        x = Tensor(rng.standard_normal((4, 10)) * 5 + 3)
+        out = F.layer_norm(x).data
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-8)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_one_hot(self):
+        out = F.one_hot([0, 2], 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestModules:
+    def test_linear_shape_and_grad(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        x = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (4, 3)
+        check_gradients(lambda: (layer(x) ** 2).mean(),
+                        [x, layer.weight, layer.bias])
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 5)))).data.sum() == 0
+
+    def test_conv_module(self, rng):
+        conv = nn.Conv1d(2, 4, 3, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((3, 2, 10))))
+        assert out.shape == (3, 4, 10)
+
+    def test_layernorm_module_learnable(self, rng):
+        ln = nn.LayerNorm(6)
+        assert ln.weight.shape == (6,)
+        out = ln(Tensor(rng.standard_normal((2, 6))))
+        assert out.shape == (2, 6)
+
+    def test_sequential_and_containers(self, rng):
+        net = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(),
+                            nn.Linear(8, 2, rng=rng))
+        assert len(net) == 3
+        assert isinstance(net[1], nn.ReLU)
+        assert net(Tensor(np.zeros((1, 4)))).shape == (1, 2)
+
+    def test_parameter_discovery(self, rng):
+        net = nn.Sequential(nn.Linear(4, 8, rng=rng),
+                            nn.Linear(8, 2, rng=rng))
+        names = [n for n, _ in net.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert len(list(net.parameters())) == 4
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self, rng):
+        net = nn.Sequential(nn.Dropout(0.5, rng=rng), nn.Linear(2, 2, rng=rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_dropout_module_identity_in_eval(self, rng):
+        drop = nn.Dropout(0.9, rng=rng)
+        drop.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_state_dict_roundtrip(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        state = net.state_dict()
+        net.weight.data[:] = 0
+        net.load_state_dict(state)
+        assert not np.allclose(net.weight.data, 0)
+
+    def test_load_state_dict_key_mismatch(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"weight": np.zeros((2, 3))})
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        state = net.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        (net(Tensor(np.ones((1, 3)))) ** 2).sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_module_list(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng)])
+        ml.append(nn.Linear(2, 2, rng=rng))
+        assert len(ml) == 2
+        assert len(list(nn.Sequential(ml).parameters())) == 4
+        with pytest.raises(RuntimeError):
+            ml(Tensor([1.0]))
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = nn.GRU(3, 8, rng=rng)
+        seq, final = gru(Tensor(rng.standard_normal((2, 5, 3))))
+        assert seq.shape == (2, 5, 8)
+        assert final.shape == (2, 8)
+
+    def test_final_state_matches_sequence_end(self, rng):
+        gru = nn.GRU(2, 4, rng=rng)
+        seq, final = gru(Tensor(rng.standard_normal((1, 6, 2))))
+        assert np.allclose(seq.data[:, -1, :], final.data)
+
+    def test_initial_state_used(self, rng):
+        gru = nn.GRU(2, 4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 2)))
+        _, from_zero = gru(x)
+        _, from_h0 = gru(x, h0=Tensor(np.ones((1, 4))))
+        assert not np.allclose(from_zero.data, from_h0.data)
+
+    def test_gradients_flow_through_time(self, rng):
+        gru = nn.GRU(1, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 1)), requires_grad=True)
+        _, final = gru(x)
+        (final ** 2).sum().backward()
+        # Even the first timestep must receive gradient.
+        assert np.abs(x.grad[:, 0, :]).sum() > 0

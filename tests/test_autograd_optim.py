@@ -1,0 +1,158 @@
+"""Unit tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, nn, optim
+
+
+def quadratic_param(start=5.0):
+    return nn.Parameter(np.array([start]))
+
+
+def step_quadratic(opt, param, n=1):
+    """n steps of gradient descent on f(x) = x^2."""
+    for _ in range(n):
+        opt.zero_grad()
+        (param * param).sum().backward()
+        opt.step()
+
+
+class TestSGD:
+    def test_plain_step_math(self):
+        p = quadratic_param(1.0)
+        opt = optim.SGD([p], lr=0.1)
+        step_quadratic(opt, p)
+        # x - lr * 2x = 1 - 0.2
+        assert np.allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(1.0)
+        opt = optim.SGD([p], lr=0.1, momentum=0.9)
+        step_quadratic(opt, p, n=2)
+        # Step 1: v=2 -> x=0.8; step 2: v=0.9*2+1.6=3.4 -> x=0.46
+        assert np.allclose(p.data, [0.46])
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert np.allclose(p.data, [0.9])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = optim.SGD([p], lr=0.1)
+        step_quadratic(opt, p, n=100)
+        assert abs(p.data[0]) < 1e-4
+
+    def test_skips_params_without_grad(self):
+        a, b = quadratic_param(1.0), quadratic_param(1.0)
+        opt = optim.SGD([a, b], lr=0.1)
+        opt.zero_grad()
+        (a * a).sum().backward()
+        opt.step()
+        assert np.allclose(b.data, [1.0])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            optim.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_size_equals_lr(self):
+        # With bias correction, the first Adam step is ~lr regardless of
+        # gradient scale.
+        p = quadratic_param(100.0)
+        opt = optim.Adam([p], lr=0.5)
+        step_quadratic(opt, p)
+        assert np.allclose(p.data, [99.5], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(3.0)
+        opt = optim.Adam([p], lr=0.2)
+        step_quadratic(opt, p, n=200)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_adamw_decoupled_decay(self):
+        # With zero gradient, AdamW still shrinks weights; Adam with
+        # coupled decay moves them through the moment estimates instead.
+        p = nn.Parameter(np.array([1.0]))
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert np.allclose(p.data, [0.95])
+        # Decay restored after the step (not permanently zeroed).
+        assert opt.weight_decay == 0.5
+
+    def test_trains_network(self, rng):
+        net = nn.Sequential(nn.Linear(3, 8, rng=rng), nn.ReLU(),
+                            nn.Linear(8, 1, rng=rng))
+        x = rng.standard_normal((32, 3))
+        y = x.sum(axis=1, keepdims=True)
+        opt = optim.Adam(net.parameters(), lr=0.02)
+        first = None
+        from repro.autograd import losses
+        for i in range(150):
+            opt.zero_grad()
+            loss = losses.mse_loss(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.05
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_cosine_reaches_eta_min(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_cosine_monotone_decrease(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=8)
+        previous = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradient(self):
+        p = nn.Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradient(self):
+        p = nn.Parameter(np.array([0.3]))
+        p.grad = np.array([0.3])
+        optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3])
+
+    def test_ignores_gradless_params(self):
+        p = nn.Parameter(np.array([1.0]))
+        assert optim.clip_grad_norm([p], 1.0) == 0.0

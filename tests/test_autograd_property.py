@@ -1,0 +1,96 @@
+"""Property-based tests: autograd forward values agree with numpy, and
+analytic gradients agree with finite differences on random expressions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, check_gradients
+
+finite = st.floats(-5.0, 5.0, allow_nan=False)
+small_array = arrays(np.float64, (3, 4), elements=finite)
+
+
+class TestForwardOracle:
+    @given(small_array, small_array)
+    @settings(max_examples=50, deadline=None)
+    def test_elementwise_matches_numpy(self, a, b):
+        ta, tb = Tensor(a), Tensor(b)
+        assert np.allclose((ta + tb).data, a + b)
+        assert np.allclose((ta - tb).data, a - b)
+        assert np.allclose((ta * tb).data, a * b)
+
+    @given(small_array)
+    @settings(max_examples=50, deadline=None)
+    def test_unary_matches_numpy(self, a):
+        t = Tensor(a)
+        assert np.allclose(t.tanh().data, np.tanh(a))
+        assert np.allclose(t.abs().data, np.abs(a))
+        assert np.allclose(t.relu().data, np.maximum(a, 0))
+        assert np.allclose(t.exp().data, np.exp(a))
+
+    @given(small_array)
+    @settings(max_examples=50, deadline=None)
+    def test_reductions_match_numpy(self, a):
+        t = Tensor(a)
+        assert np.isclose(t.sum().item(), a.sum())
+        assert np.isclose(t.mean().item(), a.mean())
+        assert np.isclose(t.max().item(), a.max())
+        assert np.isclose(t.min().item(), a.min())
+        assert np.allclose(t.sum(axis=0).data, a.sum(axis=0))
+        assert np.allclose(t.var().data, a.var())
+
+    @given(arrays(np.float64, (2, 3), elements=finite),
+           arrays(np.float64, (3, 4), elements=finite))
+    @settings(max_examples=50, deadline=None)
+    def test_matmul_matches_numpy(self, a, b):
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    @given(small_array)
+    @settings(max_examples=30, deadline=None)
+    def test_shape_ops_match_numpy(self, a):
+        t = Tensor(a)
+        assert np.allclose(t.reshape(4, 3).data, a.reshape(4, 3))
+        assert np.allclose(t.T.data, a.T)
+        assert np.allclose(t[1:].data, a[1:])
+
+
+class TestGradientProperties:
+    @given(arrays(np.float64, (2, 3), elements=st.floats(-2.0, 2.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_composite_gradcheck(self, a):
+        t = Tensor(a, requires_grad=True)
+        check_gradients(lambda: ((t * t) + t.tanh()).mean(), [t],
+                        atol=1e-3, rtol=1e-2)
+
+    @given(arrays(np.float64, 5, elements=st.floats(0.5, 4.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_log_exp_gradcheck(self, a):
+        t = Tensor(a, requires_grad=True)
+        check_gradients(lambda: (t.log() + t.sqrt()).sum(), [t],
+                        atol=1e-3, rtol=1e-2)
+
+    @given(arrays(np.float64, (2, 3), elements=st.floats(-2.0, 2.0)),
+           arrays(np.float64, (1, 3), elements=st.floats(-2.0, 2.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_gradcheck(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        check_gradients(lambda: (ta * tb + tb).sum(), [ta, tb],
+                        atol=1e-3, rtol=1e-2)
+
+    @given(small_array)
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(a))
+
+    @given(small_array)
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_linearity(self, a):
+        # grad of (3 * sum) is 3 * grad of sum.
+        t = Tensor(a, requires_grad=True)
+        (t.sum() * 3.0).backward()
+        assert np.allclose(t.grad, 3.0)

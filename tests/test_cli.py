@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    t = np.arange(240)
+    values = 2 * np.sin(2 * np.pi * t / 24) + 0.01 * t
+    path = tmp_path / "series.csv"
+    path.write_text("v\n" + "\n".join(f"{v:.5f}" for v in values))
+    return path
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_methods(self):
+        code, text = run_cli(["methods"])
+        assert code == 0
+        assert "theta" in text
+        assert "statistical" in text
+
+    def test_characteristics(self, csv_file):
+        code, text = run_cli(["characteristics", str(csv_file)])
+        assert code == 0
+        assert "seasonality" in text
+        assert "period" in text
+
+    def test_bench_with_report(self, tmp_path, csv_file):
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({
+            "methods": ["naive", "theta"],
+            "datasets": {"suite": "univariate", "per_domain": 1,
+                         "length": 256, "domains": ["traffic"]},
+            "strategy": "fixed", "lookback": 48, "horizon": 12,
+            "metrics": ["mae"],
+        }))
+        report = tmp_path / "report.html"
+        code, text = run_cli(["bench", str(config),
+                              "--report", str(report)])
+        assert code == 0
+        assert "rank" in text
+        assert report.exists()
+        assert report.read_text().startswith("<html>")
+
+    def test_ask(self):
+        code, text = run_cli(["ask", "top 3 methods by mae",
+                              "--series", "60"])
+        assert code == 0
+        assert "SQL:" in text
+        assert "A:" in text
+
+    def test_ask_exit_code_on_failure(self):
+        # Empty question -> not ok -> exit 1.
+        code, _ = run_cli(["ask", "   ", "--series", "60"])
+        assert code == 1

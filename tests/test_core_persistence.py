@@ -1,0 +1,37 @@
+"""Facade-level persistence round trip: save → fresh instance → online."""
+
+import numpy as np
+
+from repro.core import EasyTime
+
+
+class TestFacadePersistence:
+    def test_save_load_knowledge_roundtrip(self, easytime_system, tmp_path):
+        out = easytime_system.save_knowledge(tmp_path / "kb")
+        assert (out / "results.csv").exists()
+
+        fresh = EasyTime(seed=7)
+        fresh.load_knowledge(out, ensemble_params={
+            "ts2vec_params": {"iterations": 10, "batch_size": 4},
+            "classifier_params": {"epochs": 30}})
+        assert fresh.knowledge.n_results() == \
+            easytime_system.knowledge.n_results()
+
+        # The restored system is fully online-capable.
+        rec = fresh.recommend("traffic_u0000", k=3)
+        assert len(rec.methods) == 3
+        response = fresh.ask("top 3 methods by mae")
+        assert response.ok
+        assert len(response.rows) == 3
+
+    def test_report_html_from_facade(self, easytime_system):
+        table = easytime_system.one_click({
+            "methods": ["naive", "theta"],
+            "datasets": {"suite": "univariate", "per_domain": 1,
+                         "length": 256, "domains": ["traffic"]},
+            "strategy": "fixed", "lookback": 48, "horizon": 12,
+            "metrics": ["mae"],
+        })
+        html = easytime_system.report_html(table, title="facade test")
+        assert html.startswith("<html>")
+        assert "facade test" in html

@@ -1,0 +1,168 @@
+"""Unit + property tests for the synthetic generator and domain presets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (DOMAINS, DatasetRegistry, SeriesSpec,
+                            domain_names, generate_multivariate,
+                            generate_series, noise_component, sample_spec,
+                            seasonal_component, trend_component)
+
+
+class TestComponents:
+    def test_trend_linear(self):
+        out = trend_component(100, slope=2.0)
+        assert np.isclose(out[-1] - out[0], 2.0)
+        assert np.all(np.diff(out) > 0)
+
+    def test_seasonal_period_zero_is_flat(self):
+        assert np.allclose(seasonal_component(50, 0), 0.0)
+
+    def test_seasonal_periodicity(self):
+        out = seasonal_component(96, 24, amplitude=1.0, harmonics=1)
+        assert np.allclose(out[:24], out[24:48], atol=1e-9)
+
+    def test_noise_ar_autocorrelated(self, rng):
+        white = noise_component(5000, 1.0, ar=0.0, rng=rng)
+        red = noise_component(5000, 1.0, ar=0.8, rng=rng)
+
+        def rho1(x):
+            c = x - x.mean()
+            return float(c[1:] @ c[:-1] / (c @ c))
+
+        assert abs(rho1(white)) < 0.1
+        assert rho1(red) > 0.6
+
+
+class TestSeriesSpec:
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            SeriesSpec(length=4)
+
+    def test_validates_period(self):
+        with pytest.raises(ValueError):
+            SeriesSpec(period=-1)
+
+    def test_generate_shape(self, rng):
+        out = generate_series(SeriesSpec(length=128), rng)
+        assert out.shape == (128,)
+        assert np.isfinite(out).all()
+
+    def test_walk_makes_nonstationary_variance(self):
+        rng = np.random.default_rng(0)
+        walk = generate_series(SeriesSpec(length=512, season_amp=0,
+                                          noise_scale=0.01, walk_scale=1.0),
+                               rng)
+        first, second = walk[:128], walk[-128:]
+        # A random walk wanders: the halves have very different means.
+        assert abs(first.mean() - second.mean()) > 1.0
+
+
+class TestMultivariate:
+    def test_shape(self, rng):
+        out = generate_multivariate(SeriesSpec(length=256), 5, 0.5, rng)
+        assert out.shape == (256, 5)
+
+    def test_correlation_validated(self, rng):
+        with pytest.raises(ValueError):
+            generate_multivariate(SeriesSpec(), 3, 1.5, rng)
+
+    def test_high_rho_gives_higher_correlation(self):
+        rng = np.random.default_rng(1)
+        low = generate_multivariate(SeriesSpec(length=512), 4, 0.1, rng)
+        rng = np.random.default_rng(1)
+        high = generate_multivariate(SeriesSpec(length=512), 4, 0.9, rng)
+
+        def mean_corr(x):
+            c = np.corrcoef(x, rowvar=False)
+            return np.abs(c[~np.eye(4, dtype=bool)]).mean()
+
+        assert mean_corr(high) > mean_corr(low) + 0.2
+
+
+class TestDomains:
+    def test_ten_domains(self):
+        assert len(domain_names()) == 10
+        assert set(domain_names()) == set(DOMAINS)
+
+    def test_unknown_domain(self, rng):
+        with pytest.raises(KeyError, match="unknown domain"):
+            sample_spec("cooking", rng)
+
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_every_domain_generates(self, domain, rng):
+        spec = sample_spec(domain, rng, length=128)
+        out = generate_series(spec, rng)
+        assert out.shape == (128,)
+        assert np.isfinite(out).all()
+
+    def test_traffic_is_strongly_seasonal(self):
+        from repro.characteristics import seasonality_strength
+        reg = DatasetRegistry(seed=5)
+        strengths = [seasonality_strength(
+            reg.univariate_series("traffic", i, length=480).univariate(), 24)
+            for i in range(3)]
+        assert np.mean(strengths) > 0.6
+
+    def test_stock_is_not_seasonal(self):
+        from repro.characteristics import seasonality_strength
+        reg = DatasetRegistry(seed=5)
+        strengths = [seasonality_strength(
+            reg.univariate_series("stock", i, length=480).univariate())
+            for i in range(3)]
+        assert np.mean(strengths) < 0.4
+
+
+class TestRegistry:
+    def test_deterministic_across_instances(self):
+        a = DatasetRegistry(seed=9).univariate_series("web", 3)
+        b = DatasetRegistry(seed=9).univariate_series("web", 3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = DatasetRegistry(seed=1).univariate_series("web", 3)
+        b = DatasetRegistry(seed=2).univariate_series("web", 3)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_suite_composition(self):
+        suite = DatasetRegistry(seed=3).univariate_suite(per_domain=2,
+                                                         length=128)
+        assert len(suite) == 20
+        domains = {s.domain for s in suite}
+        assert len(domains) == 10
+
+    def test_suite_cached(self):
+        reg = DatasetRegistry(seed=3)
+        assert reg.univariate_suite(per_domain=1) is \
+            reg.univariate_suite(per_domain=1)
+
+    def test_multivariate_suite(self):
+        suite = DatasetRegistry(seed=3).multivariate_suite(count=4,
+                                                           length=128,
+                                                           n_channels=3)
+        assert len(suite) == 4
+        assert all(s.n_channels == 3 for s in suite)
+
+    def test_get_roundtrip(self):
+        reg = DatasetRegistry(seed=3)
+        s = reg.univariate_series("health", 12, length=256)
+        again = reg.get(s.name, length=256)
+        assert np.array_equal(s.values, again.values)
+
+    def test_get_multivariate_roundtrip(self):
+        reg = DatasetRegistry(seed=3)
+        s = reg.multivariate_series("energy", 2, length=128)
+        assert np.array_equal(reg.get(s.name, length=128).values, s.values)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DatasetRegistry().get("not_a_name")
+
+    @given(st.integers(0, 200), st.sampled_from(sorted(DOMAINS)))
+    @settings(max_examples=20, deadline=None)
+    def test_any_index_any_domain_finite(self, index, domain):
+        s = DatasetRegistry(seed=0).univariate_series(domain, index,
+                                                      length=64)
+        assert np.isfinite(s.values).all()

@@ -1,0 +1,119 @@
+"""Unit tests for missing-value detection and imputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (IMPUTERS, forward_fill, has_missing, impute,
+                            linear_interpolate, loads_csv,
+                            missing_fraction, seasonal_interpolate)
+
+
+def gapped(n=48, missing=(5, 6, 20)):
+    values = np.arange(n, dtype=float)
+    values[list(missing)] = np.nan
+    return values
+
+
+class TestDetection:
+    def test_has_missing(self):
+        assert has_missing(gapped())
+        assert not has_missing(np.arange(10.0))
+
+    def test_missing_fraction(self):
+        assert missing_fraction(gapped(n=48, missing=(0, 1))) == 2 / 48
+
+
+class TestForwardFill:
+    def test_fills_with_previous(self):
+        out = forward_fill(gapped())
+        assert out[5] == 4.0
+        assert out[6] == 4.0
+        assert out[20] == 19.0
+
+    def test_leading_gap_backfilled(self):
+        values = np.array([np.nan, np.nan, 3.0, 4.0])
+        assert np.allclose(forward_fill(values), [3, 3, 3, 4])
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError):
+            forward_fill(np.full(5, np.nan))
+
+
+class TestLinear:
+    def test_interpolates_straight_line(self):
+        out = linear_interpolate(gapped())
+        # The gap sat on a straight line, so it is recovered exactly.
+        assert np.allclose(out, np.arange(48.0))
+
+    def test_trailing_gap_flat(self):
+        values = np.array([1.0, 2.0, np.nan, np.nan])
+        assert np.allclose(linear_interpolate(values), [1, 2, 2, 2])
+
+    def test_multichannel(self):
+        values = np.stack([gapped(), np.arange(48.0)], axis=1)
+        out = linear_interpolate(values)
+        assert out.shape == (48, 2)
+        assert not np.isnan(out).any()
+
+
+class TestSeasonal:
+    def test_uses_phase_mean(self):
+        # Period-4 pattern [0, 10, 20, 30] repeated; kill one cell.
+        values = np.tile([0.0, 10.0, 20.0, 30.0], 8)
+        values[13] = np.nan  # phase 1
+        out = seasonal_interpolate(values, period=4)
+        assert np.isclose(out[13], 10.0)
+
+    def test_period_too_small_falls_back(self):
+        out = seasonal_interpolate(gapped(), period=1)
+        assert not np.isnan(out).any()
+
+    def test_fully_missing_phase_falls_back(self):
+        values = np.tile([1.0, 2.0], 6)
+        values[1::2] = np.nan  # every phase-1 point missing
+        out = seasonal_interpolate(values, period=2)
+        assert not np.isnan(out).any()
+
+
+class TestDispatch:
+    def test_by_name(self):
+        for name in IMPUTERS:
+            out = impute(gapped(), name, period=4)
+            assert not np.isnan(out).any()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown imputer"):
+            impute(gapped(), "magic")
+
+    @given(st.sets(st.integers(1, 46), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_linear_never_leaves_nans(self, holes):
+        out = impute(gapped(missing=tuple(holes)), "linear")
+        assert not np.isnan(out).any()
+
+
+class TestCsvIntegration:
+    def test_nan_literal_becomes_nan(self):
+        # A fully blank line is dropped as empty; an explicit nan (or an
+        # empty cell in a multi-column row) marks a missing value.
+        series = loads_csv("v\n1\nnan\n3\n")
+        assert np.isnan(series.values[1, 0])
+
+    def test_empty_cell_in_row(self):
+        series = loads_csv("a,b\n1,2\n,4\n")
+        assert np.isnan(series.values[1, 0])
+        assert series.values[1, 1] == 4.0
+
+    def test_facade_upload_imputes(self, easytime_system):
+        t = np.arange(240)
+        values = [f"{2 * np.sin(2 * np.pi * i / 24):.4f}" for i in t]
+        values[30] = ""
+        values[31] = ""
+        series = easytime_system.upload_dataset(
+            "v\n" + "\n".join(values), name="gappy")
+        assert not np.isnan(series.values).any()
+        # Seasonal imputation restores the sinusoid closely.
+        assert abs(series.values[30, 0]
+                   - 2 * np.sin(2 * np.pi * 30 / 24)) < 0.5

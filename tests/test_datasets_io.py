@@ -1,0 +1,79 @@
+"""Unit tests for CSV dataset IO (the upload path)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (TimeSeries, dumps_csv, load_csv, loads_csv,
+                            save_csv)
+
+
+class TestDumps:
+    def test_header_and_rows(self):
+        s = TimeSeries(np.array([[1.0, 2.0], [3.0, 4.0]]),
+                       columns=("a", "b"))
+        text = dumps_csv(s)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_roundtrip(self):
+        s = TimeSeries(np.linspace(0, 1, 20).reshape(10, 2),
+                       columns=("x", "y"))
+        back = loads_csv(dumps_csv(s))
+        assert back.columns == ("x", "y")
+        assert np.allclose(back.values, s.values)
+
+
+class TestLoads:
+    def test_headerless_numeric(self):
+        s = loads_csv("1,2\n3,4\n")
+        assert s.values.shape == (2, 2)
+        assert s.columns == ("ch0", "ch1")
+
+    def test_header_detected(self):
+        s = loads_csv("temp,humidity\n20.5,0.4\n21.0,0.5\n")
+        assert s.columns == ("temp", "humidity")
+        assert s.values.shape == (2, 2)
+
+    def test_blank_lines_skipped(self):
+        s = loads_csv("v\n\n1\n\n2\n")
+        assert len(s) == 2
+
+    def test_metadata_kwargs(self):
+        s = loads_csv("1\n2\n", name="mine", domain="health", freq=7)
+        assert (s.name, s.domain, s.freq) == ("mine", "health", 7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads_csv("")
+
+    def test_header_only_raises(self):
+        with pytest.raises(ValueError, match="no data rows"):
+            loads_csv("a,b\n")
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(ValueError, match="cells"):
+            loads_csv("1,2\n3\n")
+
+    def test_non_numeric_data_raises(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            loads_csv("a\n1\nbroken\n")
+
+    def test_scientific_notation(self):
+        s = loads_csv("1e-3\n2.5E2\n")
+        assert np.allclose(s.univariate(), [0.001, 250.0])
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        s = TimeSeries(np.arange(6.0).reshape(3, 2), name="disk")
+        path = tmp_path / "series.csv"
+        save_csv(s, path)
+        back = load_csv(path)
+        assert back.name == "series"  # name defaults to the file stem
+        assert np.allclose(back.values, s.values)
+
+    def test_load_explicit_name(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1\n2\n")
+        assert load_csv(path, name="given").name == "given"

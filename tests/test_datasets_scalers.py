@@ -1,0 +1,81 @@
+"""Unit + property tests for normalisation scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets import (SCALERS, IdentityScaler, MinMaxScaler,
+                            RobustScaler, StandardScaler, make_scaler)
+
+ALL_SCALERS = [StandardScaler, MinMaxScaler, RobustScaler, IdentityScaler]
+
+
+class TestBasics:
+    def test_standard_statistics(self, rng):
+        data = rng.standard_normal((200, 3)) * 5 + 2
+        out = StandardScaler().fit_transform(data)
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1, atol=1e-9)
+
+    def test_minmax_range(self, rng):
+        data = rng.standard_normal((100, 2)) * 7
+        out = MinMaxScaler().fit_transform(data)
+        assert np.allclose(out.min(axis=0), 0)
+        assert np.allclose(out.max(axis=0), 1)
+
+    def test_robust_centres_on_median(self, rng):
+        data = rng.standard_normal((101, 1))
+        data[0] = 1000.0  # outlier barely moves median/IQR
+        out = RobustScaler().fit_transform(data)
+        assert abs(np.median(out)) < 1e-9
+
+    def test_identity_no_op(self, rng):
+        data = rng.standard_normal((10, 2))
+        assert np.allclose(IdentityScaler().fit_transform(data), data)
+
+    def test_constant_channel_is_safe(self):
+        data = np.ones((50, 2))
+        for cls in ALL_SCALERS:
+            out = cls().fit_transform(data)
+            assert np.isfinite(out).all()
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            StandardScaler().transform(np.ones((3, 1)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().inverse_transform(np.ones((3, 1)))
+
+    def test_fit_on_train_applies_to_test(self, rng):
+        train = rng.standard_normal((100, 1))
+        test = rng.standard_normal((20, 1)) + 10
+        scaler = StandardScaler().fit(train)
+        out = scaler.transform(test)
+        # Test data scaled by *train* statistics keeps its offset.
+        assert out.mean() > 5
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", sorted(SCALERS))
+    def test_all_names_construct(self, name):
+        scaler = make_scaler(name)
+        scaler.fit(np.arange(10.0)[:, None])
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scaler("STANDARD"), StandardScaler)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scaler"):
+            make_scaler("quantile")
+
+
+class TestRoundtripProperties:
+    @pytest.mark.parametrize("cls", ALL_SCALERS)
+    @given(data=arrays(np.float64, (30, 2),
+                       elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_transform_roundtrip(self, cls, data):
+        scaler = cls().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))

@@ -1,0 +1,95 @@
+"""Unit tests for TimeSeries / Dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, TimeSeries
+
+
+class TestTimeSeries:
+    def test_1d_promoted_to_single_channel(self):
+        s = TimeSeries(np.arange(10.0))
+        assert s.values.shape == (10, 1)
+        assert s.is_univariate
+        assert s.n_channels == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            TimeSeries(np.zeros((2, 3, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            TimeSeries(np.empty((0, 1)))
+
+    def test_default_column_names(self):
+        s = TimeSeries(np.zeros((5, 3)))
+        assert s.columns == ("ch0", "ch1", "ch2")
+
+    def test_explicit_columns_validated(self):
+        with pytest.raises(ValueError, match="column names"):
+            TimeSeries(np.zeros((5, 3)), columns=("a", "b"))
+
+    def test_univariate_accessor(self):
+        s = TimeSeries(np.arange(4.0))
+        assert np.allclose(s.univariate(), [0, 1, 2, 3])
+        multi = TimeSeries(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            multi.univariate()
+
+    def test_channel_extraction(self):
+        s = TimeSeries(np.arange(8.0).reshape(4, 2), name="m",
+                       domain="traffic", freq=12)
+        ch = s.channel(1)
+        assert ch.is_univariate
+        assert np.allclose(ch.univariate(), [1, 3, 5, 7])
+        assert ch.domain == "traffic"
+        assert ch.freq == 12
+        assert "ch1" in ch.name
+
+    def test_iter_channels(self):
+        s = TimeSeries(np.zeros((4, 3)))
+        assert len(list(s.iter_channels())) == 3
+
+    def test_slice_keeps_metadata(self):
+        s = TimeSeries(np.arange(10.0), name="x", domain="web", freq=7)
+        sub = s.slice(2, 6)
+        assert len(sub) == 4
+        assert sub.domain == "web"
+        assert sub.freq == 7
+
+    def test_with_values(self):
+        s = TimeSeries(np.arange(5.0), name="x")
+        s2 = s.with_values(np.ones(3))
+        assert len(s2) == 3
+        assert s2.name == "x"
+
+    def test_repr_contains_shape(self):
+        assert "(5, 1)" in repr(TimeSeries(np.zeros(5)))
+
+
+class TestDataset:
+    def _series(self, name):
+        return TimeSeries(np.zeros(10), name=name)
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            Dataset(name="empty", series=())
+
+    def test_iteration_and_indexing(self):
+        ds = Dataset(name="d", series=[self._series("a"), self._series("b")])
+        assert len(ds) == 2
+        assert [s.name for s in ds] == ["a", "b"]
+        assert ds[1].name == "b"
+
+    def test_get_by_name(self):
+        ds = Dataset(name="d", series=[self._series("a")])
+        assert ds.get("a").name == "a"
+        with pytest.raises(KeyError):
+            ds.get("missing")
+
+    def test_is_multivariate(self):
+        multi = Dataset(name="m",
+                        series=[TimeSeries(np.zeros((5, 3)), name="x")])
+        assert multi.is_multivariate
+        uni = Dataset(name="u", series=[self._series("a"), self._series("b")])
+        assert not uni.is_multivariate

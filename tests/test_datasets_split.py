@@ -1,0 +1,106 @@
+"""Unit tests for splitting, windowing and batching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (SplitSpec, batch_indices, make_windows,
+                            train_val_test_split)
+
+
+class TestSplitSpec:
+    def test_default_is_7_1_2(self):
+        spec = SplitSpec()
+        assert (spec.train, spec.val, spec.test) == (0.7, 0.1, 0.2)
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SplitSpec(train=0.5, val=0.2, test=0.2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SplitSpec(train=1.2, val=-0.4, test=0.2)
+
+
+class TestTrainValTestSplit:
+    def test_borders_without_lookback(self):
+        values = np.arange(100.0)
+        train, val, test = train_val_test_split(values)
+        assert len(train) == 70
+        assert len(val) == 10
+        assert len(test) == 20
+        assert train[-1] == 69
+        assert val[0] == 70
+        assert test[0] == 80
+
+    def test_lookback_extends_backwards(self):
+        values = np.arange(100.0)
+        train, val, test = train_val_test_split(values, lookback=5)
+        assert len(val) == 15
+        assert val[0] == 65       # 5 overlap points from train
+        assert len(test) == 25
+        assert test[0] == 75
+
+    def test_multichannel_preserved(self):
+        values = np.zeros((50, 3))
+        train, _, _ = train_val_test_split(values)
+        assert train.shape == (35, 3)
+
+
+class TestMakeWindows:
+    def test_shapes_and_content(self):
+        x, y = make_windows(np.arange(10.0), lookback=3, horizon=2)
+        assert x.shape == (6, 3, 1)
+        assert y.shape == (6, 2, 1)
+        assert np.allclose(x[0, :, 0], [0, 1, 2])
+        assert np.allclose(y[0, :, 0], [3, 4])
+        assert np.allclose(x[-1, :, 0], [5, 6, 7])
+        assert np.allclose(y[-1, :, 0], [8, 9])
+
+    def test_stride(self):
+        x, _ = make_windows(np.arange(20.0), 4, 2, stride=3)
+        assert np.allclose(x[:, 0, 0], [0, 3, 6, 9, 12])
+
+    def test_drop_last(self):
+        full, _ = make_windows(np.arange(11.0), 3, 2, stride=2)
+        dropped, _ = make_windows(np.arange(11.0), 3, 2, stride=2,
+                                  drop_last=True)
+        # Stride 2 over length 11: starts 0,2,4,6; last window ends at 11
+        # exactly for start 6, so nothing dropped...
+        assert len(full) == len(dropped) == 4
+        full, _ = make_windows(np.arange(12.0), 3, 2, stride=2)
+        dropped, _ = make_windows(np.arange(12.0), 3, 2, stride=2,
+                                  drop_last=True)
+        assert len(full) == len(dropped) + 1
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            make_windows(np.arange(10.0), 0, 2)
+        with pytest.raises(ValueError):
+            make_windows(np.arange(10.0), 3, 0)
+        with pytest.raises(ValueError):
+            make_windows(np.arange(10.0), 3, 2, stride=0)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            make_windows(np.arange(4.0), 3, 2)
+
+    def test_multichannel(self):
+        x, y = make_windows(np.zeros((20, 4)), 5, 3)
+        assert x.shape == (13, 5, 4)
+        assert y.shape == (13, 3, 4)
+
+
+class TestBatchIndices:
+    def test_covers_everything_in_order_without_rng(self):
+        batches = list(batch_indices(10, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(batches), np.arange(10))
+
+    def test_drop_last(self):
+        batches = list(batch_indices(10, 4, drop_last=True))
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_shuffled_is_permutation(self, rng):
+        batches = list(batch_indices(20, 6, rng=rng))
+        joined = np.sort(np.concatenate(batches))
+        assert np.array_equal(joined, np.arange(20))

@@ -1,0 +1,141 @@
+"""Cross-cutting edge cases and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.sql import Database
+
+
+class TestTensorEdges:
+    def test_stack_negative_axis(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        out = Tensor.stack([a, b], axis=-1)
+        assert out.shape == (2, 2)
+        assert np.allclose(out.data, [[1, 3], [2, 4]])
+
+    def test_empty_graph_backward(self):
+        t = Tensor([2.0], requires_grad=True)
+        t.backward()
+        assert np.allclose(t.grad, [1.0])
+
+    def test_backward_twice_accumulates(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        (t * 2).backward()
+        assert np.allclose(t.grad, [4.0])
+
+    def test_diamond_graph_gradient(self):
+        # y = a*b where both come from the same upstream x.
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = x + 1
+        (a * b).backward()
+        # d/dx (3x * (x+1)) = 6x + 3 = 15 at x=2.
+        assert np.allclose(x.grad, [15.0])
+
+    def test_scalar_broadcast_chain(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = ((x * 2 + 1) / 3 - 1).sum()
+        out.backward()
+        assert np.allclose(x.grad, 2.0 / 3.0)
+
+
+class TestSqlEdges:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.create_table("t", [("s", "TEXT"), ("v", "FLOAT")])
+        database.insert("t", [("Ünïcode", 1.5), ("percent%lit", 2.5),
+                              ("under_score", 3.5)])
+        return database
+
+    def test_unicode_strings(self, db):
+        result = db.query("SELECT v FROM t WHERE s = 'Ünïcode'")
+        assert result.scalar() == 1.5
+
+    def test_like_with_literal_special_chars(self, db):
+        # '_' in LIKE is a wildcard, so 'under_score' matches 'under.score'
+        # patterns too; escape-free engines match both rows here.
+        result = db.query("SELECT COUNT(*) FROM t WHERE s LIKE 'under_s%'")
+        assert result.scalar() == 1
+
+    def test_deeply_nested_expression(self, db):
+        sql = "SELECT ((((1 + 2) * 3) - 4) / 5) AS x"
+        assert db.query(sql).scalar() == 1.0
+
+    def test_not_precedence_with_comparison(self, db):
+        result = db.query("SELECT COUNT(*) FROM t WHERE NOT v > 2.0")
+        assert result.scalar() == 1
+
+    def test_string_with_doubled_quotes(self, db):
+        db.insert("t", [("it's", 9.0)])
+        result = db.query("SELECT v FROM t WHERE s = 'it''s'")
+        assert result.scalar() == 9.0
+
+    def test_many_rows_group_by(self):
+        database = Database()
+        database.create_table("big", [("g", "INT"), ("v", "FLOAT")])
+        database.insert("big", [(i % 7, float(i)) for i in range(5000)])
+        result = database.query("SELECT g, COUNT(*) AS n FROM big "
+                                "GROUP BY g ORDER BY g")
+        assert len(result) == 7
+        assert sum(r[1] for r in result.rows) == 5000
+
+    def test_order_by_on_left_join_nulls(self):
+        database = Database()
+        database.create_table("a", [("k", "INT")])
+        database.create_table("b", [("k", "INT"), ("label", "TEXT")])
+        database.insert("a", [(1,), (2,)])
+        database.insert("b", [(1, "one")])
+        result = database.query(
+            "SELECT a.k, b.label FROM a LEFT JOIN b ON a.k = b.k "
+            "ORDER BY b.label")
+        # NULL sorts first.
+        assert result.rows[0] == (2, None)
+
+
+class TestConfigEdgeCases:
+    def test_drop_last_propagates(self, registry):
+        from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                                    run_one_click)
+        base = dict(
+            methods=(MethodSpec("naive"),),
+            datasets=DatasetSpec(names=("traffic_u0000",), length=500),
+            strategy="rolling", lookback=48, horizon=24, metrics=("mae",))
+        keep = run_one_click(BenchmarkConfig(**base).validate(),
+                             registry=registry)
+        drop = run_one_click(
+            BenchmarkConfig(**base, drop_last=True).validate(),
+            registry=registry)
+        assert keep.records[0].n_windows == drop.records[0].n_windows + 1
+
+    def test_multivariate_pipeline_run(self, registry):
+        from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                                    run_one_click)
+        config = BenchmarkConfig(
+            methods=(MethodSpec("var"), MethodSpec("dlinear")),
+            datasets=DatasetSpec(suite="multivariate", count=2, length=256,
+                                 n_channels=3),
+            strategy="fixed", lookback=48, horizon=12,
+            metrics=("mae", "smape")).validate()
+        table = run_one_click(config, registry=registry)
+        assert len(table) == 4
+
+
+class TestServerJsonable:
+    def test_numpy_types_serialised(self):
+        import json
+
+        from repro.server.app import _jsonable
+        payload = {
+            "arr": np.arange(3.0),
+            "int": np.int64(5),
+            "float": np.float32(1.5),
+            "nested": [np.float64(2.5), {"x": np.int32(1)}],
+        }
+        encoded = json.dumps(_jsonable(payload))
+        decoded = json.loads(encoded)
+        assert decoded["arr"] == [0.0, 1.0, 2.0]
+        assert decoded["int"] == 5
+        assert decoded["nested"][1]["x"] == 1

@@ -1,0 +1,139 @@
+"""Unit + integration tests for the AutoEnsemble online phase."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import AutoEnsemble, EnsembleForecaster
+from repro.knowledge import KnowledgeBase
+from repro.methods import NaiveForecaster, SeasonalNaiveForecaster
+
+
+class TestEnsembleForecaster:
+    def _fitted(self, cls, train):
+        return cls().fit(train)
+
+    def test_predict_is_weighted_sum(self):
+        train = np.tile(np.array([1.0, 2.0, 3.0, 4.0]), 20)
+        naive = self._fitted(NaiveForecaster, train)
+        seasonal = SeasonalNaiveForecaster(period=4).fit(train)
+        ens = EnsembleForecaster([("naive", naive), ("seasonal", seasonal)],
+                                 [0.5, 0.5])
+        out = ens.predict(train[-8:], 4)
+        expected = 0.5 * naive.predict(train[-8:], 4) \
+            + 0.5 * seasonal.predict(train[-8:], 4)
+        assert np.allclose(out, expected)
+
+    def test_describe(self):
+        naive = self._fitted(NaiveForecaster, np.arange(20.0))
+        ens = EnsembleForecaster([("naive", naive)], [1.0])
+        assert ens.describe() == {"naive": 1.0}
+
+    def test_validates_construction(self):
+        naive = self._fitted(NaiveForecaster, np.arange(20.0))
+        with pytest.raises(ValueError):
+            EnsembleForecaster([("naive", naive)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            EnsembleForecaster([], [])
+
+    def test_fit_is_noop(self):
+        naive = self._fitted(NaiveForecaster, np.arange(20.0))
+        ens = EnsembleForecaster([("naive", naive)], [1.0])
+        assert ens.fit(np.arange(10.0)) is ens
+
+
+class TestAutoEnsembleOffline:
+    def test_feature_mode_validated(self, small_kb):
+        kb, reg = small_kb
+        with pytest.raises(ValueError):
+            AutoEnsemble(kb, registry=reg, feature_mode="wavelets")
+
+    def test_pretrain_required_before_online(self, small_kb):
+        kb, reg = small_kb
+        auto = AutoEnsemble(kb, registry=reg)
+        with pytest.raises(RuntimeError, match="pretrain"):
+            auto.recommend(reg.univariate_series("web", 0))
+
+    def test_pretrain_without_registry_fails(self, small_kb):
+        kb, _ = small_kb
+        auto = AutoEnsemble(kb, registry=None)
+        with pytest.raises(RuntimeError, match="DatasetRegistry"):
+            auto.pretrain()
+
+    def test_empty_knowledge_base_fails(self, registry):
+        auto = AutoEnsemble(KnowledgeBase(), registry=registry)
+        with pytest.raises(RuntimeError, match="no benchmark results"):
+            auto.pretrain()
+
+    def test_characteristics_mode_pretrains(self, small_kb):
+        kb, reg = small_kb
+        auto = AutoEnsemble(kb, registry=reg,
+                            feature_mode="characteristics",
+                            classifier_params={"epochs": 30})
+        auto.pretrain()
+        rec = auto.recommend(reg.univariate_series("traffic", 40,
+                                                   length=400), k=3)
+        assert len(rec.methods) == 3
+
+
+class TestAutoEnsembleOnline:
+    def test_recommend_structure(self, pretrained_auto, registry):
+        series = registry.univariate_series("electricity", 77, length=400)
+        rec = pretrained_auto.recommend(series, k=4)
+        assert len(rec.methods) == 4
+        assert len(set(rec.methods)) == 4
+        assert all(0 <= p <= 1 for p in rec.probabilities)
+        # Probabilities come back sorted descending.
+        assert list(rec.probabilities) == sorted(rec.probabilities,
+                                                 reverse=True)
+        assert rec.characteristics.period >= 0
+        assert rec.top(2) == list(rec.methods[:2])
+
+    def test_recommended_methods_exist(self, pretrained_auto, registry):
+        from repro.methods import METHODS
+        series = registry.univariate_series("web", 55, length=400)
+        rec = pretrained_auto.recommend(series, k=5)
+        assert all(m in METHODS for m in rec.methods)
+
+    def test_fit_ensemble_info(self, pretrained_auto, registry):
+        series = registry.univariate_series("traffic", 61, length=512)
+        ensemble, info = pretrained_auto.fit_ensemble(series, k=3)
+        assert isinstance(ensemble, EnsembleForecaster)
+        assert set(info["used"]) <= set(info["recommended"])
+        weights = np.array(list(info["weights"].values()))
+        assert np.isclose(weights.sum(), 1.0)
+        assert info["val_mse"] >= 0
+        assert "seasonality" in info["characteristics"]
+
+    def test_forecast_end_to_end(self, pretrained_auto, registry):
+        series = registry.univariate_series("health", 33, length=512)
+        forecast, info = pretrained_auto.forecast(series, horizon=24, k=2)
+        assert forecast.shape == (24, 1)
+        assert np.isfinite(forecast).all()
+
+    def test_k_validated(self, pretrained_auto, registry):
+        series = registry.univariate_series("web", 3, length=400)
+        with pytest.raises(ValueError):
+            pretrained_auto.fit_ensemble(series, k=0)
+
+    def test_short_series_raises_clean_error(self, pretrained_auto):
+        with pytest.raises(ValueError):
+            pretrained_auto.fit_ensemble(np.arange(120.0), k=2)
+
+    def test_ensemble_no_worse_than_worst_candidate(self, pretrained_auto,
+                                                    registry):
+        """Convexity sanity on a held-out series: the weighted ensemble's
+        validation MSE cannot exceed every candidate's (it could always
+        put weight 1 on the best)."""
+        from repro.datasets import train_val_test_split
+        series = registry.univariate_series("electricity", 88, length=512)
+        ensemble, info = pretrained_auto.fit_ensemble(series, k=3)
+        train, val, test = train_val_test_split(series.values, lookback=96)
+        horizon = 24
+        errors = {}
+        for name, model in ensemble.candidates:
+            pred = model.predict(test[:96], horizon)
+            errors[name] = float(((pred - test[96:96 + horizon]) ** 2)
+                                 .mean())
+        ens_pred = ensemble.predict(test[:96], horizon)
+        ens_err = float(((ens_pred - test[96:96 + horizon]) ** 2).mean())
+        assert ens_err <= max(errors.values()) * 1.5

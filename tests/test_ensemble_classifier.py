@@ -1,0 +1,138 @@
+"""Unit tests for the performance classifier and ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import PerformanceClassifier, ndcg_at_k, topk_overlap
+
+
+def separable_problem(n=120, seed=0):
+    """Feature 0 decides the best method: a synthetic, learnable task."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    errors = np.empty((n, 3))
+    for i in range(n):
+        best = 0 if x[i, 0] > 0 else 1
+        errors[i] = [1.0, 1.0, 2.0]
+        errors[i, best] = 0.2
+    return x, errors
+
+
+class TestRankingMetrics:
+    def test_ndcg_perfect_ranking_is_one(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert np.isclose(ndcg_at_k(scores, [1, 2, 0], k=3), 1.0)
+
+    def test_ndcg_reversed_is_less(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert ndcg_at_k(scores, [0, 2, 1], k=3) < 1.0
+
+    def test_ndcg_zero_relevance(self):
+        assert ndcg_at_k(np.zeros(3), [0, 1, 2], k=3) == 0.0
+
+    def test_ndcg_k_capped(self):
+        assert ndcg_at_k(np.array([1.0]), [0], k=10) == 1.0
+
+    def test_topk_overlap_full_and_none(self):
+        errors = np.array([0.1, 0.2, 0.9, 1.0])
+        assert topk_overlap(errors, [0, 1], k=2) == 1.0
+        assert topk_overlap(errors, [2, 3], k=2) == 0.0
+        assert topk_overlap(errors, [0, 3], k=2) == 0.5
+
+
+class TestClassifier:
+    def test_learns_separable_mapping(self):
+        x, errors = separable_problem()
+        clf = PerformanceClassifier(n_methods=3, input_dim=4, epochs=120,
+                                    hidden=32, seed=0)
+        clf.fit(x, errors)
+        x_test, errors_test = separable_problem(n=40, seed=99)
+        hits = sum(clf.rank(x_test[i])[0] == errors_test[i].argmin()
+                   for i in range(40))
+        assert hits >= 32  # 80%+ on a cleanly separable task
+
+    def test_predict_proba_shape_and_simplex(self):
+        x, errors = separable_problem(n=40)
+        clf = PerformanceClassifier(n_methods=3, input_dim=4, epochs=30,
+                                    seed=0).fit(x, errors)
+        probs = clf.predict_proba(x[:5])
+        assert probs.shape == (5, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_top_k(self):
+        x, errors = separable_problem(n=40)
+        clf = PerformanceClassifier(n_methods=3, input_dim=4, epochs=30,
+                                    seed=0).fit(x, errors)
+        top2 = clf.top_k(x[0], 2)
+        assert len(top2) == 2
+        assert len(set(top2.tolist())) == 2
+        with pytest.raises(ValueError):
+            clf.top_k(x[0], 0)
+
+    def test_hard_loss_mode(self):
+        x, errors = separable_problem(n=60)
+        clf = PerformanceClassifier(n_methods=3, input_dim=4, epochs=60,
+                                    loss="hard", seed=0).fit(x, errors)
+        assert clf.predict_proba(x[:2]).shape == (2, 3)
+
+    def test_invalid_loss_name(self):
+        with pytest.raises(ValueError):
+            PerformanceClassifier(n_methods=3, input_dim=4, loss="focal")
+
+    def test_rows_with_nan_dropped(self):
+        x, errors = separable_problem(n=30)
+        errors[0, 0] = np.nan
+        clf = PerformanceClassifier(n_methods=3, input_dim=4, epochs=10,
+                                    seed=0)
+        clf.fit(x, errors)  # must not crash
+
+    def test_dimension_validation(self):
+        x, errors = separable_problem(n=20)
+        clf = PerformanceClassifier(n_methods=5, input_dim=4)
+        with pytest.raises(ValueError, match="methods"):
+            clf.fit(x, errors)
+        clf2 = PerformanceClassifier(n_methods=3, input_dim=4)
+        with pytest.raises(ValueError, match="mismatch"):
+            clf2.fit(x[:10], errors)
+
+    def test_too_few_rows(self):
+        clf = PerformanceClassifier(n_methods=3, input_dim=4)
+        with pytest.raises(ValueError, match="at least 2"):
+            clf.fit(np.zeros((1, 4)), np.ones((1, 3)))
+
+    def test_use_before_fit(self):
+        clf = PerformanceClassifier(n_methods=3, input_dim=4)
+        with pytest.raises(RuntimeError):
+            clf.predict_proba(np.zeros(4))
+
+    def test_soft_beats_hard_on_noisy_ties(self):
+        """The E8 ablation property: soft labels preserve near-ties.
+
+        When two methods are nearly tied, hard labels flip arbitrarily
+        with noise while soft labels keep both probable; the soft
+        classifier should produce better top-2 recommendations.
+        """
+        rng = np.random.default_rng(7)
+        n = 160
+        x = rng.standard_normal((n, 4))
+        errors = np.empty((n, 4))
+        for i in range(n):
+            good_pair = (0, 1) if x[i, 0] > 0 else (2, 3)
+            errors[i] = 1.0
+            errors[i, good_pair[0]] = 0.30 + rng.normal(0, 0.02)
+            errors[i, good_pair[1]] = 0.30 + rng.normal(0, 0.02)
+        x_test = rng.standard_normal((60, 4))
+        truth = [(0, 1) if v > 0 else (2, 3) for v in x_test[:, 0]]
+
+        def overlap(loss):
+            clf = PerformanceClassifier(n_methods=4, input_dim=4,
+                                        epochs=100, loss=loss, seed=1)
+            clf.fit(x, errors)
+            score = 0.0
+            for i, pair in enumerate(truth):
+                top2 = set(clf.rank(x_test[i])[:2].tolist())
+                score += len(top2 & set(pair)) / 2
+            return score / len(truth)
+
+        assert overlap("soft") >= overlap("hard") - 0.05

@@ -1,0 +1,138 @@
+"""Unit tests for the TS2Vec representation learner."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.ensemble import (TS2Vec, TS2VecEncoder,
+                            hierarchical_contrastive_loss,
+                            instance_contrastive_loss,
+                            temporal_contrastive_loss)
+
+
+def sine_bank(n_series=6, length=200, period=24, seed=0):
+    rng = np.random.default_rng(seed)
+    bank = []
+    for i in range(n_series):
+        t = np.arange(length)
+        bank.append(np.sin(2 * np.pi * t / period + rng.uniform(0, 6))
+                    + rng.normal(0, 0.1, length))
+    return bank
+
+
+class TestEncoder:
+    def test_output_shape(self, rng):
+        enc = TS2VecEncoder(hidden=8, out_dim=12, depth=2, rng=rng)
+        reps = enc(Tensor(rng.standard_normal((3, 32))))
+        assert reps.shape == (3, 32, 12)
+
+    def test_gradients_reach_input_projection(self, rng):
+        enc = TS2VecEncoder(hidden=8, out_dim=8, depth=2, rng=rng)
+        out = enc(Tensor(rng.standard_normal((2, 16))))
+        (out ** 2).sum().backward()
+        assert enc.input_proj.weight.grad is not None
+        assert np.abs(enc.input_proj.weight.grad).sum() > 0
+
+
+class TestContrastiveLosses:
+    def _views(self, rng, batch=4, steps=8, dim=6):
+        return (Tensor(rng.standard_normal((batch, steps, dim)),
+                       requires_grad=True),
+                Tensor(rng.standard_normal((batch, steps, dim)),
+                       requires_grad=True))
+
+    def test_losses_finite_and_positive(self, rng):
+        z1, z2 = self._views(rng)
+        for fn in (instance_contrastive_loss, temporal_contrastive_loss,
+                   hierarchical_contrastive_loss):
+            value = fn(z1, z2).item()
+            assert np.isfinite(value)
+            assert value > 0
+
+    def test_instance_loss_degenerate_batch(self, rng):
+        z1 = Tensor(rng.standard_normal((1, 8, 4)))
+        z2 = Tensor(rng.standard_normal((1, 8, 4)))
+        assert instance_contrastive_loss(z1, z2).item() == 0.0
+
+    def test_temporal_loss_degenerate_length(self, rng):
+        z1 = Tensor(rng.standard_normal((4, 1, 4)))
+        z2 = Tensor(rng.standard_normal((4, 1, 4)))
+        assert temporal_contrastive_loss(z1, z2).item() == 0.0
+
+    def test_aligned_views_score_lower_than_random(self, rng):
+        # Identical views are the easiest positives: loss must be lower
+        # than for unrelated views.
+        base = Tensor(rng.standard_normal((4, 8, 6)) * 3)
+        aligned = hierarchical_contrastive_loss(base, base).item()
+        random = hierarchical_contrastive_loss(
+            base, Tensor(rng.standard_normal((4, 8, 6)) * 3)).item()
+        assert aligned < random
+
+    def test_loss_backward_runs(self, rng):
+        z1, z2 = self._views(rng)
+        hierarchical_contrastive_loss(z1, z2).backward()
+        assert z1.grad is not None
+        assert z2.grad is not None
+
+
+class TestTS2VecTraining:
+    def test_loss_decreases(self):
+        model = TS2Vec(hidden=8, out_dim=8, depth=2, window=64,
+                       crop_len=32, batch_size=4, iterations=40, seed=0)
+        model.fit(sine_bank())
+        first = np.mean(model.loss_history[:5])
+        last = np.mean(model.loss_history[-5:])
+        assert last < first
+
+    def test_requires_training_data(self):
+        with pytest.raises(ValueError):
+            TS2Vec().fit([])
+
+    def test_encode_shape_and_determinism(self):
+        model = TS2Vec(hidden=8, out_dim=10, depth=2, window=64,
+                       crop_len=32, iterations=5, seed=0)
+        bank = sine_bank()
+        model.fit(bank)
+        emb1 = model.encode(bank[0])
+        emb2 = model.encode(bank[0])
+        assert emb1.shape == (10,)
+        assert np.allclose(emb1, emb2)
+
+    def test_encode_many(self):
+        model = TS2Vec(hidden=8, out_dim=6, depth=1, window=64,
+                       crop_len=32, iterations=3, seed=0)
+        bank = sine_bank(4)
+        model.fit(bank)
+        assert model.encode_many(bank).shape == (4, 6)
+
+    def test_encode_short_series_padded(self):
+        model = TS2Vec(hidden=8, out_dim=6, depth=1, window=64,
+                       crop_len=32, iterations=3, seed=0)
+        model.fit(sine_bank())
+        emb = model.encode(np.sin(np.arange(20.0)))
+        assert np.isfinite(emb).all()
+
+    def test_accepts_timeseries_objects(self, registry):
+        model = TS2Vec(hidden=8, out_dim=6, depth=1, window=64,
+                       crop_len=32, iterations=3, seed=0)
+        series = [registry.univariate_series("traffic", i, length=128)
+                  for i in range(3)]
+        model.fit(series)
+        assert model.encode(series[0]).shape == (6,)
+
+    def test_embeddings_separate_series_families(self):
+        """Seasonal vs random-walk series map to separable regions."""
+        rng = np.random.default_rng(0)
+        seasonal = sine_bank(n_series=5, seed=1)
+        walks = [np.cumsum(rng.standard_normal(200)) for _ in range(5)]
+        model = TS2Vec(hidden=12, out_dim=12, depth=2, window=64,
+                       crop_len=32, batch_size=6, iterations=60, seed=0)
+        model.fit(seasonal + walks)
+        emb_seasonal = model.encode_many(seasonal)
+        emb_walks = model.encode_many(walks)
+        centroid_s = emb_seasonal.mean(axis=0)
+        centroid_w = emb_walks.mean(axis=0)
+        between = np.linalg.norm(centroid_s - centroid_w)
+        within = (np.linalg.norm(emb_seasonal - centroid_s, axis=1).mean()
+                  + np.linalg.norm(emb_walks - centroid_w, axis=1).mean()) / 2
+        assert between > within * 0.5

@@ -1,0 +1,105 @@
+"""Unit + property tests for ensemble weight fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ensemble import combine, fit_ensemble_weights, project_to_simplex
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex_unchanged(self):
+        v = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(v), v)
+
+    def test_known_case(self):
+        out = project_to_simplex(np.array([1.0, 0.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_negative_entries_zeroed(self):
+        out = project_to_simplex(np.array([2.0, -1.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_requires_vector(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.zeros((2, 2)))
+
+    @given(arrays(np.float64, 6, elements=st.floats(-10, 10)))
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_on_simplex(self, v):
+        out = project_to_simplex(v)
+        assert np.all(out >= -1e-12)
+        assert np.isclose(out.sum(), 1.0)
+
+    @given(arrays(np.float64, 5, elements=st.floats(-5, 5)))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_idempotent(self, v):
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestFitWeights:
+    def test_recovers_single_best_candidate(self, rng):
+        actual = rng.standard_normal(200)
+        good = actual + rng.normal(0, 0.01, 200)
+        bad = rng.standard_normal(200)
+        weights, mse = fit_ensemble_weights(np.stack([good, bad]), actual)
+        assert weights[0] > 0.95
+        assert mse < 0.01
+
+    def test_recovers_true_mixture(self, rng):
+        f1 = rng.standard_normal(300)
+        f2 = rng.standard_normal(300)
+        actual = 0.7 * f1 + 0.3 * f2
+        weights, mse = fit_ensemble_weights(np.stack([f1, f2]), actual,
+                                            iterations=800)
+        assert abs(weights[0] - 0.7) < 0.05
+        assert mse < 1e-3
+
+    def test_ensemble_at_least_as_good_as_uniform(self, rng):
+        forecasts = rng.standard_normal((4, 150))
+        actual = rng.standard_normal(150)
+        weights, mse = fit_ensemble_weights(forecasts, actual)
+        uniform_mse = float(((forecasts.mean(axis=0) - actual) ** 2).mean())
+        assert mse <= uniform_mse + 1e-9
+
+    def test_single_candidate_shortcut(self, rng):
+        forecast = rng.standard_normal(50)
+        weights, mse = fit_ensemble_weights(forecast[None, :], forecast)
+        assert np.allclose(weights, [1.0])
+        assert mse == 0.0
+
+    def test_validates_shapes(self, rng):
+        with pytest.raises(ValueError):
+            fit_ensemble_weights(rng.standard_normal(10),
+                                 rng.standard_normal(10))
+        with pytest.raises(ValueError):
+            fit_ensemble_weights(rng.standard_normal((2, 10)),
+                                 rng.standard_normal(8))
+
+    @given(arrays(np.float64, (3, 40), elements=st.floats(-10, 10)),
+           arrays(np.float64, 40, elements=st.floats(-10, 10)))
+    @settings(max_examples=30, deadline=None)
+    def test_weights_always_on_simplex(self, forecasts, actual):
+        weights, _ = fit_ensemble_weights(forecasts, actual, iterations=50)
+        assert np.all(weights >= -1e-12)
+        assert np.isclose(weights.sum(), 1.0)
+
+
+class TestCombine:
+    def test_weighted_average(self):
+        stack = np.array([[[1.0], [1.0]], [[3.0], [3.0]]])  # (2, 2, 1)
+        out = combine(stack, np.array([0.25, 0.75]))
+        assert np.allclose(out, 2.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            combine(np.zeros((2, 5)), np.array([1.0]))
+
+    def test_preserves_trailing_shape(self, rng):
+        stack = rng.standard_normal((3, 24, 2))
+        out = combine(stack, np.array([0.5, 0.3, 0.2]))
+        assert out.shape == (24, 2)

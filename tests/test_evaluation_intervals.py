@@ -1,0 +1,164 @@
+"""Unit tests for conformal prediction intervals and expanding strategy."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (ConformalIntervals, ExpandingStrategy,
+                              IntervalForecast, empirical_coverage,
+                              interval_width, make_strategy)
+from repro.methods import NaiveForecaster, SeasonalNaiveForecaster, create
+
+
+def seasonal(n=600, period=24, seed=0, noise=0.3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 2 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestIntervalForecast:
+    def test_contains(self):
+        interval = IntervalForecast(point=np.zeros((3, 1)),
+                                    lower=np.full((3, 1), -1.0),
+                                    upper=np.full((3, 1), 1.0), level=0.9)
+        inside = interval.contains(np.array([0.5, -0.5, 2.0]))
+        assert inside[:2].all()
+        assert not inside[2]
+
+    def test_width(self):
+        interval = IntervalForecast(point=np.zeros((2, 1)),
+                                    lower=np.full((2, 1), -2.0),
+                                    upper=np.full((2, 1), 2.0), level=0.9)
+        assert interval_width(interval) == 4.0
+
+
+class TestConformalIntervals:
+    def _calibrated(self, level=0.9, per_step=True):
+        series = seasonal()
+        train, cal = series[:350], series[350:550]
+        model = SeasonalNaiveForecaster().fit(train)
+        conformal = ConformalIntervals(model, level=level,
+                                       per_step=per_step)
+        # 200 calibration points / stride 8 -> 17 residual windows.
+        conformal.calibrate(cal, lookback=48, horizon=24, stride=8)
+        return conformal, series
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            ConformalIntervals(NaiveForecaster())
+
+    def test_level_validated(self):
+        model = NaiveForecaster().fit(np.arange(50.0))
+        with pytest.raises(ValueError):
+            ConformalIntervals(model, level=1.2)
+
+    def test_predict_before_calibrate(self):
+        model = NaiveForecaster().fit(np.arange(200.0))
+        with pytest.raises(RuntimeError, match="calibrate"):
+            ConformalIntervals(model).predict(np.arange(50.0), 5)
+
+    def test_band_contains_point(self):
+        conformal, series = self._calibrated()
+        out = conformal.predict(series[-96:], 24)
+        assert (out.lower <= out.point).all()
+        assert (out.point <= out.upper).all()
+
+    def test_coverage_near_nominal(self):
+        """On held-out windows the 90% band covers ≈ 90% of points."""
+        conformal, series = self._calibrated(level=0.9)
+        forecasts, actuals = [], []
+        for origin in range(550, 576, 8):
+            history = series[origin - 48:origin]
+            actual = series[origin:origin + 24]
+            if len(actual) < 24:
+                break
+            forecasts.append(conformal.predict(history, 24))
+            actuals.append(actual)
+        coverage = empirical_coverage(forecasts, actuals)
+        assert 0.75 <= coverage <= 1.0
+
+    def test_higher_level_wider_band(self):
+        narrow, series = self._calibrated(level=0.5)
+        wide, _ = self._calibrated(level=0.95)
+        w_narrow = interval_width(narrow.predict(series[-96:], 24))
+        w_wide = interval_width(wide.predict(series[-96:], 24))
+        assert w_wide > w_narrow
+
+    def test_pooled_band_is_constant_width(self):
+        conformal, series = self._calibrated(per_step=False)
+        out = conformal.predict(series[-96:], 24)
+        widths = (out.upper - out.lower)[:, 0]
+        assert np.allclose(widths, widths[0])
+
+    def test_horizon_extension_repeats_last_radius(self):
+        conformal, series = self._calibrated()
+        out = conformal.predict(series[-96:], 40)
+        assert out.point.shape == (40, 1)
+        widths = (out.upper - out.lower)[:, 0]
+        assert np.allclose(widths[24:], widths[23])
+
+    def test_calibration_too_short(self):
+        model = NaiveForecaster().fit(np.arange(200.0))
+        conformal = ConformalIntervals(model)
+        with pytest.raises(ValueError):
+            conformal.calibrate(np.arange(10.0), lookback=96, horizon=24)
+
+    def test_empirical_coverage_validates(self):
+        with pytest.raises(ValueError):
+            empirical_coverage([], [])
+
+    def test_works_with_ensemble(self, pretrained_auto, registry):
+        """Uncertainty wraps the automated ensemble unchanged."""
+        series = registry.univariate_series("traffic", 64, length=512)
+        ensemble, _ = pretrained_auto.fit_ensemble(series, k=2)
+        conformal = ConformalIntervals(ensemble, level=0.8)
+        conformal.calibrate(series.values[250:430], lookback=96, horizon=24,
+                            stride=12)
+        out = conformal.predict(series.values[-96:], 24)
+        assert out.point.shape == (24, 1)
+        assert (out.upper > out.lower).all()
+
+
+class TestExpandingStrategy:
+    def test_registered(self):
+        assert isinstance(make_strategy("expanding"), ExpandingStrategy)
+
+    def test_history_grows(self):
+        from repro.datasets import TimeSeries
+        from repro.methods import FunctionForecaster
+        lengths = []
+
+        def spy(history, horizon):
+            lengths.append(len(history))
+            return np.tile(history[-1], (horizon, 1))
+
+        series = TimeSeries(seasonal(n=500), name="x", freq=24)
+        strategy = ExpandingStrategy(lookback=48, horizon=24,
+                                     metrics=("mae",))
+        strategy.evaluate(FunctionForecaster(spy), series)
+        assert lengths == sorted(lengths)
+        assert lengths[-1] > lengths[0]
+
+    def test_same_origins_as_rolling(self):
+        from repro.datasets import TimeSeries
+        from repro.evaluation import RollingStrategy
+        series = TimeSeries(seasonal(n=500), name="x", freq=24)
+        rolling = RollingStrategy(lookback=48, horizon=24,
+                                  metrics=("mae",)).evaluate(
+            NaiveForecaster(), series)
+        expanding = ExpandingStrategy(lookback=48, horizon=24,
+                                      metrics=("mae",)).evaluate(
+            NaiveForecaster(), series)
+        assert rolling.n_windows == expanding.n_windows
+
+    def test_in_pipeline_config(self):
+        from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                                    run_one_click)
+        config = BenchmarkConfig(
+            methods=(MethodSpec("ses"),),
+            datasets=DatasetSpec(suite="univariate", per_domain=1,
+                                 length=256, domains=("traffic",)),
+            strategy="expanding", lookback=48, horizon=12,
+            metrics=("mae",)).validate()
+        table = run_one_click(config)
+        assert len(table) == 1
+        assert table.records[0].strategy == "expanding"

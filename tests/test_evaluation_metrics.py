@@ -1,0 +1,154 @@
+"""Unit + property tests for forecast metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation import (HIGHER_IS_BETTER, METRICS, compute,
+                              compute_all, mae, mape, mase, mse, nd,
+                              quantile_loss, r2_score, register_metric,
+                              rmse, smape, wape)
+
+ACTUAL = np.array([1.0, 2.0, 3.0, 4.0])
+FORECAST = np.array([1.5, 2.0, 2.0, 5.0])
+
+
+class TestValues:
+    def test_mae(self):
+        assert np.isclose(mae(ACTUAL, FORECAST), (0.5 + 0 + 1 + 1) / 4)
+
+    def test_mse_rmse(self):
+        expected = (0.25 + 0 + 1 + 1) / 4
+        assert np.isclose(mse(ACTUAL, FORECAST), expected)
+        assert np.isclose(rmse(ACTUAL, FORECAST), np.sqrt(expected))
+
+    def test_mape(self):
+        expected = 100 * (0.5 / 1 + 0 + 1 / 3 + 1 / 4) / 4
+        assert np.isclose(mape(ACTUAL, FORECAST), expected)
+
+    def test_mape_masks_zero_actuals(self):
+        value = mape(np.array([0.0, 1.0]), np.array([5.0, 1.5]))
+        assert np.isclose(value, 50.0)  # only the second point counts
+
+    def test_mape_all_zero_is_nan(self):
+        assert np.isnan(mape(np.zeros(3), np.ones(3)))
+
+    def test_smape_symmetric(self):
+        a, f = np.array([1.0, 2.0]), np.array([2.0, 1.0])
+        assert np.isclose(smape(a, f), smape(f, a))
+
+    def test_smape_perfect_is_zero(self):
+        assert smape(ACTUAL, ACTUAL) == 0.0
+
+    def test_wape_and_nd_agree(self):
+        assert np.isclose(wape(ACTUAL, FORECAST), nd(ACTUAL, FORECAST))
+        assert np.isclose(wape(ACTUAL, FORECAST), 2.5 / 10.0)
+
+    def test_r2_perfect_and_mean(self):
+        assert r2_score(ACTUAL, ACTUAL) == 1.0
+        mean_forecast = np.full(4, ACTUAL.mean())
+        assert np.isclose(r2_score(ACTUAL, mean_forecast), 0.0)
+
+    def test_r2_constant_actuals(self):
+        assert r2_score(np.ones(4), np.ones(4) * 2) == 0.0
+
+    def test_quantile_loss_median_is_half_mae(self):
+        assert np.isclose(quantile_loss(ACTUAL, FORECAST, q=0.5),
+                          0.5 * mae(ACTUAL, FORECAST))
+
+    def test_quantile_loss_asymmetry(self):
+        under = quantile_loss(np.array([10.0]), np.array([0.0]), q=0.9)
+        over = quantile_loss(np.array([0.0]), np.array([10.0]), q=0.9)
+        assert under > over  # q=0.9 punishes under-forecasting harder
+
+    def test_quantile_validates_q(self):
+        with pytest.raises(ValueError):
+            quantile_loss(ACTUAL, FORECAST, q=1.5)
+
+
+class TestMase:
+    def test_naive_in_sample_scale(self):
+        train = np.array([0.0, 1.0, 2.0, 3.0])  # naive MAE = 1
+        assert np.isclose(
+            mase(ACTUAL, FORECAST, train=train), mae(ACTUAL, FORECAST))
+
+    def test_seasonal_scale(self):
+        train = np.tile([0.0, 10.0], 10)  # lag-2 differences are 0
+        value = mase(np.array([1.0]), np.array([0.0]), train=train, period=2)
+        assert value > 1e6  # degenerate scale guarded by eps
+
+    def test_requires_train(self):
+        with pytest.raises(ValueError, match="train"):
+            mase(ACTUAL, FORECAST)
+
+    def test_train_too_short(self):
+        with pytest.raises(ValueError, match="shorter"):
+            mase(ACTUAL, FORECAST, train=np.array([1.0]), period=2)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_empty_arrays(self):
+        with pytest.raises(ValueError, match="empty"):
+            mae(np.empty(0), np.empty(0))
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        for name in ("mae", "mse", "rmse", "mape", "smape", "wape", "mase",
+                     "r2", "nd", "quantile_loss"):
+            assert name in METRICS
+
+    def test_compute_by_name(self):
+        assert np.isclose(compute("mae", ACTUAL, FORECAST),
+                          mae(ACTUAL, FORECAST))
+
+    def test_compute_unknown(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            compute("bleu", ACTUAL, FORECAST)
+
+    def test_compute_all(self):
+        out = compute_all(("mae", "mse"), ACTUAL, FORECAST)
+        assert set(out) == {"mae", "mse"}
+
+    def test_register_custom_metric(self):
+        try:
+            register_metric("max_error",
+                            lambda a, f, **_: float(np.abs(a - f).max()))
+            assert compute("max_error", ACTUAL, FORECAST) == 1.0
+        finally:
+            METRICS.pop("max_error", None)
+
+    def test_register_duplicate(self):
+        with pytest.raises(ValueError):
+            register_metric("mae", lambda a, f, **_: 0.0)
+
+    def test_register_non_callable(self):
+        with pytest.raises(TypeError):
+            register_metric("broken", 42)
+
+    def test_higher_is_better_set(self):
+        assert "r2" in HIGHER_IS_BETTER
+        assert "mae" not in HIGHER_IS_BETTER
+
+
+class TestProperties:
+    @given(arrays(np.float64, 12, elements=st.floats(-100, 100)))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_forecast_zero_error(self, actual):
+        assert mae(actual, actual) == 0.0
+        assert mse(actual, actual) == 0.0
+        assert smape(actual, actual) == 0.0
+
+    @given(arrays(np.float64, 12, elements=st.floats(-100, 100)),
+           arrays(np.float64, 12, elements=st.floats(-100, 100)))
+    @settings(max_examples=40, deadline=None)
+    def test_non_negativity_and_rmse_dominates_mae(self, actual, forecast):
+        assert mae(actual, forecast) >= 0
+        assert mse(actual, forecast) >= 0
+        assert rmse(actual, forecast) >= mae(actual, forecast) - 1e-9

@@ -1,0 +1,121 @@
+"""Unit tests for fixed-window and rolling evaluation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (FixedWindowStrategy, RollingStrategy,
+                              make_strategy)
+from repro.methods import NaiveForecaster, SeasonalNaiveForecaster
+
+
+def make_series(n=400, period=24):
+    from repro.datasets import TimeSeries
+    rng = np.random.default_rng(0)
+    t = np.arange(n)
+    values = 3 * np.sin(2 * np.pi * t / period) + rng.normal(0, 0.2, n) + 10
+    return TimeSeries(values, name="unit", domain="test", freq=period)
+
+
+class TestFixedWindow:
+    def test_single_window(self):
+        result = FixedWindowStrategy(lookback=48, horizon=24,
+                                     metrics=("mae",)).evaluate(
+            NaiveForecaster(), make_series())
+        assert result.n_windows == 1
+        assert result.strategy == "fixed"
+        assert result.scores["mae"] > 0
+
+    def test_result_metadata(self):
+        result = FixedWindowStrategy(lookback=48, horizon=12).evaluate(
+            SeasonalNaiveForecaster(), make_series())
+        assert result.method == "seasonal_naive"
+        assert result.series == "unit"
+        assert result.horizon == 12
+        assert result.fit_seconds >= 0
+        assert result.predict_seconds >= 0
+
+    def test_metrics_on_original_scale(self):
+        # Values live around 10; a forecast error in *scaled* units would
+        # be tiny.  MAE must be in raw units.
+        result = FixedWindowStrategy(lookback=48, horizon=24,
+                                     metrics=("mae",),
+                                     scaler="standard").evaluate(
+            NaiveForecaster(), make_series())
+        assert 0.1 < result.scores["mae"] < 10
+
+
+class TestRolling:
+    def test_covers_test_segment(self):
+        series = make_series(n=500)
+        strategy = RollingStrategy(lookback=48, horizon=24, metrics=("mae",))
+        result = strategy.evaluate(NaiveForecaster(), series)
+        # test segment = 100 + 48 lookback; (148-48)/24 -> 5 windows
+        # (last one partial).
+        assert result.n_windows == 5
+
+    def test_drop_last_removes_partial(self):
+        series = make_series(n=500)
+        keep = RollingStrategy(lookback=48, horizon=24,
+                               metrics=("mae",)).evaluate(
+            NaiveForecaster(), series)
+        drop = RollingStrategy(lookback=48, horizon=24, metrics=("mae",),
+                               drop_last=True).evaluate(
+            NaiveForecaster(), series)
+        assert keep.n_windows == drop.n_windows + 1
+
+    def test_stride_overrides_horizon(self):
+        series = make_series(n=500)
+        dense = RollingStrategy(lookback=48, horizon=24, stride=12,
+                                metrics=("mae",)).evaluate(
+            NaiveForecaster(), series)
+        sparse = RollingStrategy(lookback=48, horizon=24,
+                                 metrics=("mae",)).evaluate(
+            NaiveForecaster(), series)
+        assert dense.n_windows > sparse.n_windows
+
+    def test_seasonal_naive_beats_naive_on_seasonal_series(self):
+        series = make_series()
+        strategy_args = dict(lookback=72, horizon=24, metrics=("mae",))
+        naive = RollingStrategy(**strategy_args).evaluate(
+            NaiveForecaster(), series)
+        seasonal = RollingStrategy(**strategy_args).evaluate(
+            SeasonalNaiveForecaster(), series)
+        assert seasonal.scores["mae"] < naive.scores["mae"]
+
+    def test_keep_forecasts(self):
+        strategy = RollingStrategy(lookback=48, horizon=24,
+                                   metrics=("mae",), keep_forecasts=True)
+        result = strategy.evaluate(NaiveForecaster(), make_series())
+        assert len(result.forecasts) == result.n_windows
+        assert result.forecasts[0].shape[1] == 1
+
+    def test_mase_uses_series_period(self):
+        strategy = RollingStrategy(lookback=48, horizon=24,
+                                   metrics=("mase",))
+        result = strategy.evaluate(SeasonalNaiveForecaster(), make_series())
+        assert np.isfinite(result.scores["mase"])
+
+    def test_too_short_series_raises(self):
+        from repro.datasets import TimeSeries
+        tiny = TimeSeries(np.arange(40.0), name="tiny")
+        with pytest.raises(ValueError):
+            RollingStrategy(lookback=96, horizon=24).evaluate(
+                NaiveForecaster(), tiny)
+
+    def test_validates_stride(self):
+        with pytest.raises(ValueError):
+            RollingStrategy(stride=-1)
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_strategy("fixed"), FixedWindowStrategy)
+        assert isinstance(make_strategy("ROLLING"), RollingStrategy)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            make_strategy("retrospective")
+
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            make_strategy("fixed", lookback=-1)

@@ -1,0 +1,44 @@
+"""Smoke tests: the shipped example scripts run end to end.
+
+Only the fast examples run here (the ensemble study and quickstart train
+models for minutes and are exercised by the benchmark harness instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_sql_workbench(self):
+        result = run_example("sql_workbench.py")
+        assert result.returncode == 0, result.stderr
+        assert "verification gate" in result.stdout
+        assert "pushed predicate" in result.stdout
+
+    def test_characteristics_tour(self):
+        result = run_example("characteristics_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "characteristic matrix" in result.stdout
+        # All ten domains profiled.
+        for domain in ("traffic", "stock", "health", "web"):
+            assert domain in result.stdout
+
+    @pytest.mark.slow
+    def test_nl_qa(self, tmp_path):
+        result = run_example("nl_qa.py", timeout=400)
+        assert result.returncode == 0, result.stderr
+        assert "verified: OK" in result.stdout
+        # Clean up the charts the example writes next to itself.
+        for chart in EXAMPLES.glob("qa_chart_*.svg"):
+            chart.unlink()

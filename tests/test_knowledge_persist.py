@@ -1,0 +1,65 @@
+"""Unit tests for knowledge-base persistence."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge import build_synthetic_knowledge
+from repro.knowledge.persist import load_knowledge, save_knowledge
+
+
+class TestRoundtrip:
+    def test_save_creates_three_files(self, tmp_path):
+        kb = build_synthetic_knowledge(n_series=10)
+        out = save_knowledge(kb, tmp_path / "store")
+        names = {p.name for p in out.iterdir()}
+        assert names == {"datasets.csv", "methods.csv", "results.csv"}
+
+    def test_roundtrip_preserves_counts_and_queries(self, tmp_path):
+        kb = build_synthetic_knowledge(n_series=25, seed=2)
+        save_knowledge(kb, tmp_path)
+        restored = load_knowledge(tmp_path)
+        assert restored.n_results() == kb.n_results()
+        assert restored.method_names() == kb.method_names()
+        assert restored.dataset_names() == kb.dataset_names()
+        sql = ("SELECT method, AVG(mae) AS m FROM results "
+               "GROUP BY method ORDER BY m LIMIT 3")
+        assert restored.query(sql).rows == kb.query(sql).rows
+
+    def test_nulls_survive_roundtrip(self, tmp_path):
+        from repro.evaluation.strategies import EvalResult
+        from repro.knowledge import KnowledgeBase
+        kb = KnowledgeBase()
+        kb.add_result(EvalResult(
+            method="naive", series="s", horizon=24, strategy="rolling",
+            scores={"mae": 1.0, "mse": None, "rmse": 1.0,
+                    "smape": float("nan"), "mase": 1.0},
+            n_windows=1))
+        save_knowledge(kb, tmp_path)
+        restored = load_knowledge(tmp_path)
+        row = restored.db.query(
+            "SELECT mse, smape FROM results").rows[0]
+        assert row == (None, None)
+
+    def test_error_matrix_identical_after_roundtrip(self, tmp_path):
+        kb = build_synthetic_knowledge(n_series=15, seed=9)
+        save_knowledge(kb, tmp_path)
+        restored = load_knowledge(tmp_path)
+        _, _, original = kb.error_matrix("mae")
+        _, _, loaded = restored.error_matrix("mae")
+        assert np.allclose(original, loaded, equal_nan=True)
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_knowledge(tmp_path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        kb = build_synthetic_knowledge(n_series=5)
+        save_knowledge(kb, tmp_path)
+        results = tmp_path / "results.csv"
+        text = results.read_text().splitlines()
+        text[0] = "completely,wrong,header"
+        results.write_text("\n".join(text))
+        with pytest.raises(ValueError, match="header"):
+            load_knowledge(tmp_path)

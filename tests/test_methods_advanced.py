@@ -1,0 +1,176 @@
+"""Unit tests for the advanced methods: attention, N-BEATS, ETS, STL,
+Croston."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, nn
+from repro.methods import (CrostonForecaster, ETSForecaster,
+                           MultiHeadSelfAttention, NBeatsForecaster,
+                           STLForecaster, TransformerForecaster, ets_sse)
+
+
+def seasonal(n=280, period=24, seed=0, noise=0.05, slope=0.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (2 * np.sin(2 * np.pi * t / period) + slope * t
+            + rng.normal(0, noise, n))
+
+
+class TestSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.standard_normal((2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_d_model_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 4, rng=rng)
+
+    def test_gradients_flow(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 8)), requires_grad=True)
+        (attn(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+        assert attn.qkv.weight.grad is not None
+
+    def test_attention_mixes_tokens(self, rng):
+        """Changing one input token changes other output tokens."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        base = rng.standard_normal((1, 4, 8))
+        changed = base.copy()
+        changed[0, 0] += 1.0
+        out_a = attn(Tensor(base)).data
+        out_b = attn(Tensor(changed)).data
+        assert np.abs(out_a[0, 3] - out_b[0, 3]).max() > 1e-6
+
+
+class TestTransformerForecaster:
+    def test_fit_predict(self):
+        series = seasonal(n=240)
+        model = TransformerForecaster(lookback=48, horizon=12, epochs=3,
+                                      d_model=16, n_heads=2, n_layers=1,
+                                      max_windows=100)
+        model.fit(series[:200])
+        out = model.predict(series[-48:], 12)
+        assert out.shape == (12, 1)
+        assert np.isfinite(out).all()
+
+    def test_learns_sinusoid(self):
+        series = seasonal(noise=0.02)
+        model = TransformerForecaster(lookback=48, horizon=24, epochs=20,
+                                      d_model=24, n_heads=2, n_layers=1,
+                                      seed=1)
+        model.fit(series[:232])
+        out = model.predict(series[184:232], 24)[:, 0]
+        expected = 2 * np.sin(2 * np.pi * np.arange(232, 256) / 24)
+        assert np.corrcoef(out, expected)[0, 1] > 0.8
+
+    def test_patch_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            TransformerForecaster(lookback=50, horizon=8, patch_len=16,
+                                  epochs=1).fit(seasonal())
+
+
+class TestNBeats:
+    def test_fit_predict(self):
+        series = seasonal(n=240)
+        model = NBeatsForecaster(lookback=48, horizon=12, epochs=3,
+                                 hidden=32, n_blocks=2, max_windows=100)
+        model.fit(series[:200])
+        assert model.predict(series[-48:], 12).shape == (12, 1)
+
+    def test_learns_trend_plus_season(self):
+        series = seasonal(noise=0.02, slope=0.01)
+        model = NBeatsForecaster(lookback=48, horizon=24, epochs=25,
+                                 seed=1)
+        model.fit(series[:232])
+        out = model.predict(series[184:232], 24)[:, 0]
+        expected = (2 * np.sin(2 * np.pi * np.arange(232, 256) / 24)
+                    + 0.01 * np.arange(232, 256))
+        assert np.abs(out - expected).mean() < 0.6
+
+    def test_blocks_contribute(self):
+        """Each doubly-residual block adds to the forecast sum."""
+        rng = np.random.default_rng(0)
+        from repro.methods.deep_advanced import _NBeatsNet
+        net = _NBeatsNet(16, 4, 8, 3, rng)
+        x = Tensor(rng.standard_normal((2, 16)))
+        assert net(x).shape == (2, 4)
+
+
+class TestETS:
+    def test_sse_computation(self):
+        # A perfectly linear series is tracked exactly by alpha=beta=phi=1.
+        assert ets_sse(np.array([1.0, 2.0, 3.0]), 1.0, 1.0, 1.0) == 0.0
+        # A trend break produces a positive one-step error.
+        assert ets_sse(np.array([1.0, 2.0, 9.0]), 1.0, 1.0, 1.0) > 0
+
+    def test_follows_damped_trend(self):
+        train = np.arange(200.0) + np.random.default_rng(0).normal(
+            0, 0.1, 200)
+        model = ETSForecaster().fit(train)
+        out = model.predict(train, 10)[:, 0]
+        assert out[0] > 195
+        assert np.all(np.diff(out) > 0)
+
+    def test_parameters_in_valid_ranges(self):
+        model = ETSForecaster().fit(seasonal())
+        state = model._channel_state[0]
+        # Sigmoid-constrained; float rounding may saturate at the border.
+        assert 0 < state["alpha"] <= 1
+        assert 0 < state["beta"] <= 1
+        assert 0.8 <= state["phi"] <= 1.0
+
+    def test_constant_series(self):
+        model = ETSForecaster().fit(np.full(100, 5.0))
+        assert np.allclose(model.predict(np.full(100, 5.0), 5), 5.0,
+                           atol=0.1)
+
+
+class TestSTLForecaster:
+    def test_recovers_trend_and_season(self):
+        series = seasonal(noise=0.05, slope=0.02)
+        model = STLForecaster().fit(series[:232])
+        out = model.predict(series[:232], 24)[:, 0]
+        expected = (2 * np.sin(2 * np.pi * np.arange(232, 256) / 24)
+                    + 0.02 * np.arange(232, 256))
+        assert np.abs(out - expected).mean() < 0.8
+
+    def test_short_history_drift_fallback(self):
+        model = STLForecaster(period=24).fit(np.arange(30.0))
+        out = model.predict(np.arange(30.0), 5)[:, 0]
+        assert np.all(np.diff(out) > 0.5)
+
+
+class TestCroston:
+    def test_intermittent_demand_rate(self):
+        # Demand of 10 every 5th step: rate ~ (1 - a/2) * 10/5.
+        history = np.zeros(100)
+        history[::5] = 10.0
+        model = CrostonForecaster(alpha=0.1).fit(history)
+        out = model.predict(history, 4)[:, 0]
+        assert np.allclose(out, out[0])
+        assert 1.0 < out[0] < 3.0
+
+    def test_dense_series_ses_fallback(self):
+        history = np.full(50, 7.0)
+        model = CrostonForecaster().fit(history)
+        assert np.allclose(model.predict(history, 3), 7.0)
+
+    def test_all_zero_series(self):
+        model = CrostonForecaster().fit(np.zeros(50))
+        assert np.allclose(model.predict(np.zeros(50), 3), 0.0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            CrostonForecaster(alpha=1.5)
+
+
+class TestRegistryIntegration:
+    def test_pool_reaches_paper_scale(self):
+        from repro.methods import list_methods
+        assert len(list_methods()) >= 29
+        for name in ("transformer", "nbeats", "ets", "stl", "croston"):
+            assert name in list_methods()

@@ -1,0 +1,120 @@
+"""Unit tests for the from-scratch ARIMA and VAR."""
+
+import numpy as np
+import pytest
+
+from repro.methods import (ARIMAForecaster, VARForecaster, css_residuals,
+                           fit_arima)
+
+
+def ar1(n=500, phi=0.7, c=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for i in range(1, n):
+        x[i] = c + phi * x[i - 1] + rng.normal(0, 0.5)
+    return x
+
+
+class TestCSS:
+    def test_residuals_of_true_model_are_innovations(self):
+        x = ar1(phi=0.7, c=0.5)
+        resid = css_residuals(x, np.array([0.7]), np.array([]), 0.5)
+        # Residuals of the generating model ≈ the N(0, 0.5) innovations.
+        assert abs(resid.std() - 0.5) < 0.05
+        assert abs(resid.mean()) < 0.05
+
+    def test_fit_recovers_ar_coefficient(self):
+        x = ar1(n=4000, phi=0.6, c=0.0, seed=1)
+        ar, ma, intercept, sigma2, aic = fit_arima(x, 1, 0, 0)
+        assert abs(ar[0] - 0.6) < 0.05
+        assert sigma2 > 0
+
+    def test_aic_prefers_true_order(self):
+        x = ar1(phi=0.8, seed=2)
+        _, _, _, _, aic_good = fit_arima(x, 1, 0, 0)
+        _, _, _, _, aic_nothing = fit_arima(x, 0, 0, 1)
+        assert aic_good < aic_nothing
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            fit_arima(np.arange(3.0), 2, 0, 1)
+
+
+class TestARIMAForecaster:
+    def test_forecast_shape(self):
+        model = ARIMAForecaster(order=(1, 0, 1)).fit(ar1())
+        out = model.predict(ar1()[-100:], 12)
+        assert out.shape == (12, 1)
+        assert np.isfinite(out).all()
+
+    def test_ar_forecast_mean_reverts(self):
+        x = ar1(phi=0.5, c=0.0, seed=3)
+        model = ARIMAForecaster(order=(1, 0, 0)).fit(x)
+        history = np.full(50, 10.0)  # far above the mean of ~0
+        out = model.predict(history, 20)[:, 0]
+        assert out[-1] < out[0]  # decays back toward the mean
+
+    def test_differencing_handles_trend(self):
+        rng = np.random.default_rng(4)
+        x = 0.5 * np.arange(300) + rng.normal(0, 0.5, 300)
+        model = ARIMAForecaster(order=(1, 1, 0)).fit(x[:280])
+        out = model.predict(x[:280], 20)[:, 0]
+        expected = 0.5 * np.arange(280, 300)
+        assert np.abs(out - expected).mean() < 3.0
+
+    def test_auto_order_selects_something(self):
+        model = ARIMAForecaster(auto_order=True).fit(ar1(n=200))
+        order = model._channel_state[0]["order"]
+        assert order[0] + order[2] > 0
+
+    def test_order_none_means_auto(self):
+        model = ARIMAForecaster(order=None)
+        assert model.auto_order
+
+    def test_beats_naive_on_ar_process(self):
+        x = ar1(phi=0.9, c=0.0, seed=5, n=600)
+        train, test = x[:560], x[560:580]
+        model = ARIMAForecaster(order=(1, 0, 0)).fit(train)
+        arima_mae = np.abs(model.predict(train, 20)[:, 0] - test).mean()
+        naive_mae = np.abs(np.full(20, train[-1]) - test).mean()
+        assert arima_mae < naive_mae * 1.2
+
+
+class TestVAR:
+    def _coupled_system(self, n=400, seed=0):
+        """x drives y with one lag — exactly what VAR should exploit."""
+        rng = np.random.default_rng(seed)
+        x = np.zeros(n)
+        y = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.6 * x[i - 1] + rng.normal(0, 0.3)
+            y[i] = 0.9 * x[i - 1] + rng.normal(0, 0.1)
+        return np.stack([x, y], axis=1)
+
+    def test_fit_predict_shapes(self):
+        data = self._coupled_system()
+        model = VARForecaster(lags=2).fit(data)
+        out = model.predict(data[-10:], 6)
+        assert out.shape == (6, 2)
+
+    def test_exploits_cross_channel_structure(self):
+        data = self._coupled_system(seed=1)
+        train, test = data[:380], data[380:386]
+        var = VARForecaster(lags=2).fit(train)
+        var_mae = np.abs(var.predict(train, 6) - test).mean()
+        naive_mae = np.abs(np.tile(train[-1], (6, 1)) - test).mean()
+        assert var_mae < naive_mae
+
+    def test_validates_lags(self):
+        with pytest.raises(ValueError):
+            VARForecaster(lags=0)
+
+    def test_history_shorter_than_lags(self):
+        model = VARForecaster(lags=4).fit(self._coupled_system())
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 2)), 3)
+
+    def test_channel_mismatch(self):
+        model = VARForecaster(lags=2).fit(self._coupled_system())
+        with pytest.raises(ValueError, match="channel"):
+            model.predict(np.zeros((10, 3)), 3)

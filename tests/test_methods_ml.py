@@ -1,0 +1,126 @@
+"""Unit tests for the windowed ML forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.methods import (GBDTForecaster, KNNForecaster, LassoForecaster,
+                           RidgeForecaster, fit_lasso_ista, soft_thresholding)
+
+
+def seasonal(n=300, period=12, seed=0, noise=0.02):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestSoftThresholding:
+    def test_shrinks_toward_zero(self):
+        out = soft_thresholding(np.array([3.0, -3.0, 0.5]), 1.0)
+        assert np.allclose(out, [2.0, -2.0, 0.0])
+
+    def test_zero_threshold_is_identity(self):
+        x = np.array([1.0, -2.0])
+        assert np.allclose(soft_thresholding(x, 0.0), x)
+
+
+class TestLassoISTA:
+    def test_recovers_sparse_solution(self):
+        rng = np.random.default_rng(0)
+        design = rng.standard_normal((200, 10))
+        true_coef = np.zeros((10, 1))
+        true_coef[3] = 2.0
+        targets = design @ true_coef + rng.normal(0, 0.01, (200, 1))
+        coef = fit_lasso_ista(design, targets, l1=0.05, iterations=500)
+        assert abs(coef[3, 0] - 2.0) < 0.2
+        others = np.delete(coef[:, 0], 3)
+        assert np.abs(others).max() < 0.1
+
+
+class TestRidge:
+    def test_learns_seasonal_pattern(self):
+        series = seasonal()
+        model = RidgeForecaster(lookback=24, horizon=12).fit(series[:260])
+        out = model.predict(series[:260], 12)[:, 0]
+        expected = np.sin(2 * np.pi * np.arange(260, 272) / 12)
+        assert np.abs(out - expected).mean() < 0.15
+
+    def test_validates_l2(self):
+        with pytest.raises(ValueError):
+            RidgeForecaster(l2=-1.0)
+
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            RidgeForecaster(lookback=0)
+
+    def test_short_history_padded(self):
+        model = RidgeForecaster(lookback=48, horizon=4).fit(seasonal())
+        out = model.predict(seasonal()[:10], 4)
+        assert out.shape == (4, 1)
+        assert np.isfinite(out).all()
+
+    def test_autoregressive_extension_beyond_horizon(self):
+        model = RidgeForecaster(lookback=24, horizon=6).fit(seasonal())
+        out = model.predict(seasonal()[-48:], 20)
+        assert out.shape == (20, 1)
+
+
+class TestLasso:
+    def test_fits_and_predicts(self):
+        model = LassoForecaster(lookback=24, horizon=6, l1=0.01)
+        model.fit(seasonal())
+        out = model.predict(seasonal()[-48:], 6)
+        assert out.shape == (6, 1)
+        assert np.isfinite(out).all()
+
+    def test_heavy_regularisation_flattens(self):
+        series = seasonal()
+        heavy = LassoForecaster(lookback=24, horizon=6, l1=100.0).fit(series)
+        coef = heavy._channel_state[0]["model"]["coef"]
+        # Everything except (possibly) the intercept is shrunk to zero.
+        assert np.abs(coef[:-1]).max() < 1e-6
+
+
+class TestKNN:
+    def test_exact_repeat_is_found(self):
+        # A perfectly periodic series: the nearest window continues exactly.
+        t = np.arange(240)
+        series = np.sin(2 * np.pi * t / 12)
+        model = KNNForecaster(lookback=24, horizon=12, k=1).fit(series)
+        out = model.predict(series[-24:], 12)[:, 0]
+        expected = np.sin(2 * np.pi * np.arange(240, 252) / 12)
+        assert np.abs(out - expected).max() < 1e-6
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            KNNForecaster(k=0)
+
+    def test_k_larger_than_bank_is_capped(self):
+        series = seasonal(n=60)
+        model = KNNForecaster(lookback=24, horizon=6, k=500).fit(series)
+        out = model.predict(series[-24:], 6)
+        assert np.isfinite(out).all()
+
+
+class TestGBDTForecaster:
+    def test_fits_and_predicts(self):
+        series = seasonal(n=200)
+        model = GBDTForecaster(lookback=24, horizon=12, n_estimators=10)
+        model.fit(series)
+        out = model.predict(series[-24:], 12)
+        assert out.shape == (12, 1)
+        assert np.isfinite(out).all()
+
+    def test_uses_validation_for_early_stopping(self):
+        series = seasonal(n=260)
+        model = GBDTForecaster(lookback=24, horizon=8, n_estimators=30)
+        model.fit(series[:200], series[180:260])
+        assert model._channel_state[0]["model"]["models"]
+
+    def test_beats_mean_on_seasonal(self):
+        series = seasonal(n=260, noise=0.05)
+        train, test = series[:236], series[236:248]
+        model = GBDTForecaster(lookback=24, horizon=12).fit(train)
+        pred = model.predict(train, 12)[:, 0]
+        gbdt_mae = np.abs(pred - test).mean()
+        mean_mae = np.abs(train.mean() - test).mean()
+        assert gbdt_mae < mean_mae

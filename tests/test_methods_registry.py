@@ -1,0 +1,144 @@
+"""Unit tests for the method registry and the third-party adapters."""
+
+import numpy as np
+import pytest
+
+from repro.methods import (METHODS, FunctionForecaster, ThirdPartyAdapter,
+                           categories, create, list_methods, method_info,
+                           register)
+
+
+class TestRegistry:
+    def test_pool_size_and_membership(self):
+        names = list_methods()
+        assert len(names) >= 20
+        for expected in ("naive", "theta", "arima", "ridge", "dlinear",
+                         "tcn", "gru", "var"):
+            assert expected in names
+
+    def test_category_filter(self):
+        stats = list_methods(category="statistical")
+        deep = list_methods(category="deep")
+        assert "theta" in stats
+        assert "dlinear" in deep
+        assert not set(stats) & set(deep)
+
+    def test_categories(self):
+        assert {"statistical", "ml", "deep"} <= set(categories())
+
+    def test_create_with_overrides(self):
+        model = create("ridge", lookback=32, horizon=8)
+        assert model.lookback == 32
+        assert model.horizon == 8
+
+    def test_create_unknown(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            create("prophet")
+
+    def test_method_info_fields(self):
+        info = method_info("dlinear")
+        assert info["name"] == "dlinear"
+        assert info["category"] == "deep"
+        assert info["description"]
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("naive", lambda: None, "statistical", "dup")
+
+    def test_register_and_create_custom(self):
+        from repro.methods import NaiveForecaster
+
+        class Custom(NaiveForecaster):
+            name = "test_custom_method"
+
+        try:
+            register("test_custom_method", lambda **kw: Custom(),
+                     "statistical", "test")
+            model = create("test_custom_method")
+            assert model.name == "test_custom_method"
+        finally:
+            METHODS.pop("test_custom_method", None)
+
+    def test_every_registered_method_instantiates(self):
+        for name in list_methods():
+            assert create(name) is not None
+
+
+class _DartsStyleModel:
+    """Mimics the Darts fit(series)/predict(n) convention."""
+
+    def __init__(self):
+        self.last = None
+
+    def fit(self, series):
+        self.last = series[-1]
+
+    def predict(self, n):
+        return np.tile(self.last, (n, 1))
+
+
+class TestThirdPartyAdapter:
+    def test_wraps_darts_convention(self):
+        adapter = ThirdPartyAdapter(_DartsStyleModel(), name="darts_naive")
+        adapter.fit(np.arange(10.0))
+        out = adapter.predict(np.arange(10.0), 3)
+        assert out.shape == (3, 1)
+        assert np.allclose(out, 9.0)
+
+    def test_history_keyword_preferred(self):
+        class WithHistory(_DartsStyleModel):
+            def predict(self, n, history=None):
+                return np.tile(history[-1], (n, 1))
+
+        adapter = ThirdPartyAdapter(WithHistory())
+        adapter.fit(np.arange(10.0))
+        out = adapter.predict(np.full(5, 42.0), 2)
+        assert np.allclose(out, 42.0)
+
+    def test_rejects_model_without_fit(self):
+        with pytest.raises(TypeError, match="callable"):
+            ThirdPartyAdapter(object())
+
+    def test_wrong_step_count_detected(self):
+        class Broken(_DartsStyleModel):
+            def predict(self, n):
+                return np.zeros((n + 1, 1))
+
+        adapter = ThirdPartyAdapter(Broken())
+        adapter.fit(np.arange(5.0))
+        with pytest.raises(ValueError, match="steps"):
+            adapter.predict(np.arange(5.0), 3)
+
+    def test_category_is_external(self):
+        assert ThirdPartyAdapter(_DartsStyleModel()).category == "external"
+
+
+class TestFunctionForecaster:
+    def test_wraps_plain_function(self):
+        fc = FunctionForecaster(
+            lambda history, horizon: np.tile(history.mean(axis=0),
+                                             (horizon, 1)),
+            name="mean_fn")
+        fc.fit(np.zeros((10, 1)))
+        out = fc.predict(np.full((10, 1), 4.0), 3)
+        assert np.allclose(out, 4.0)
+
+    def test_1d_output_promoted(self):
+        fc = FunctionForecaster(lambda h, n: np.zeros(n))
+        fc.fit(np.zeros(10))
+        assert fc.predict(np.zeros(10), 4).shape == (4, 1)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            FunctionForecaster("not callable")
+
+    def test_works_in_pipeline(self, registry):
+        """An adapted function runs through the full evaluation strategy."""
+        from repro.evaluation import FixedWindowStrategy
+        fc = FunctionForecaster(
+            lambda history, horizon: np.tile(history[-1], (horizon, 1)))
+        strategy = FixedWindowStrategy(lookback=48, horizon=12,
+                                       metrics=("mae",))
+        result = strategy.evaluate(
+            fc, registry.univariate_series("traffic", 0, length=256))
+        assert "mae" in result.scores

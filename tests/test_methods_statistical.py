@@ -1,0 +1,148 @@
+"""Unit tests for the classical statistical forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.methods import (DriftForecaster, HoltForecaster,
+                           HoltWintersForecaster, MeanForecaster,
+                           NaiveForecaster, SeasonalNaiveForecaster,
+                           SESForecaster, ThetaForecaster)
+
+
+def seasonal(n=240, period=24, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 2 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestContract:
+    @pytest.mark.parametrize("cls", [NaiveForecaster, SeasonalNaiveForecaster,
+                                     DriftForecaster, MeanForecaster,
+                                     SESForecaster, HoltForecaster,
+                                     HoltWintersForecaster, ThetaForecaster])
+    def test_fit_predict_shapes(self, cls):
+        model = cls()
+        train = seasonal()
+        model.fit(train)
+        out = model.predict(train[-96:], 12)
+        assert out.shape == (12, 1)
+        assert np.isfinite(out).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            NaiveForecaster().predict(np.ones(10), 5)
+
+    def test_channel_count_must_match(self):
+        model = NaiveForecaster().fit(np.zeros((50, 2)))
+        with pytest.raises(ValueError, match="channels"):
+            model.predict(np.zeros((10, 3)), 5)
+
+    def test_horizon_must_be_positive(self):
+        model = NaiveForecaster().fit(np.zeros(50))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(10), 0)
+
+    def test_multichannel_independent(self):
+        train = np.stack([np.full(50, 1.0), np.full(50, 9.0)], axis=1)
+        model = NaiveForecaster().fit(train)
+        out = model.predict(train[-10:], 4)
+        assert np.allclose(out[:, 0], 1.0)
+        assert np.allclose(out[:, 1], 9.0)
+
+
+class TestNaiveFamily:
+    def test_naive_repeats_last(self):
+        model = NaiveForecaster().fit(np.arange(30.0))
+        out = model.predict(np.arange(10.0), 5)
+        assert np.allclose(out[:, 0], 9.0)
+
+    def test_seasonal_naive_tiles_last_cycle(self):
+        history = np.tile(np.array([1.0, 2.0, 3.0, 4.0]), 10)
+        model = SeasonalNaiveForecaster(period=4).fit(history)
+        out = model.predict(history, 6)
+        assert np.allclose(out[:, 0], [1, 2, 3, 4, 1, 2])
+
+    def test_seasonal_naive_detects_period(self):
+        train = seasonal(period=12)
+        model = SeasonalNaiveForecaster().fit(train)
+        assert model._channel_state[0]["period"] == 12
+
+    def test_seasonal_naive_falls_back_to_naive(self):
+        model = SeasonalNaiveForecaster(period=0).fit(np.arange(50.0))
+        out = model.predict(np.arange(10.0), 3)
+        assert np.allclose(out[:, 0], 9.0)
+
+    def test_drift_extrapolates_line(self):
+        model = DriftForecaster().fit(np.arange(50.0))
+        out = model.predict(np.arange(20.0), 4)
+        assert np.allclose(out[:, 0], [20, 21, 22, 23])
+
+    def test_mean_uses_window(self):
+        model = MeanForecaster(window=4).fit(np.arange(50.0))
+        out = model.predict(np.array([0, 0, 10.0, 10, 10, 10]), 2)
+        assert np.allclose(out[:, 0], 10.0)
+
+    def test_mean_validates_window(self):
+        with pytest.raises(ValueError):
+            MeanForecaster(window=0)
+
+
+class TestExponentialSmoothing:
+    def test_ses_constant_forecast(self):
+        model = SESForecaster(alpha=0.5).fit(np.arange(30.0))
+        out = model.predict(np.arange(30.0), 5)
+        assert np.allclose(out[:, 0], out[0, 0])
+
+    def test_ses_tunes_alpha(self):
+        model = SESForecaster().fit(seasonal())
+        alpha = model._channel_state[0]["alpha"]
+        assert 0.05 <= alpha <= 0.95
+
+    def test_ses_tracks_level(self):
+        model = SESForecaster(alpha=0.9).fit(np.full(30, 5.0))
+        out = model.predict(np.full(30, 5.0), 3)
+        assert np.allclose(out, 5.0)
+
+    def test_holt_follows_trend(self):
+        train = np.arange(100.0)
+        model = HoltForecaster(alpha=0.8, beta=0.5, damping=1.0).fit(train)
+        out = model.predict(train, 5)[:, 0]
+        assert np.all(np.diff(out) > 0.5)
+        assert out[0] > 99.0
+
+    def test_holt_damping_flattens(self):
+        train = np.arange(100.0)
+        damped = HoltForecaster(damping=0.5).fit(train).predict(train, 20)
+        undamped = HoltForecaster(damping=1.0).fit(train).predict(train, 20)
+        assert damped[-1, 0] < undamped[-1, 0]
+
+    def test_holt_winters_recovers_seasonality(self):
+        train = seasonal(period=12, noise=0.02)
+        model = HoltWintersForecaster(period=12).fit(train)
+        out = model.predict(train, 12)[:, 0]
+        expected = 2 * np.sin(2 * np.pi * (np.arange(240, 252)) / 12)
+        assert np.abs(out - expected).mean() < 0.35
+
+    def test_holt_winters_short_history_fallback(self):
+        model = HoltWintersForecaster(period=24).fit(np.arange(30.0))
+        out = model.predict(np.arange(30.0), 5)
+        assert np.isfinite(out).all()
+
+
+class TestTheta:
+    def test_beats_naive_on_trend_plus_season(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(300)
+        series = 0.05 * t + 2 * np.sin(2 * np.pi * t / 24) \
+            + rng.normal(0, 0.1, 300)
+        train, test = series[:276], series[276:]
+        theta = ThetaForecaster().fit(train)
+        naive = NaiveForecaster().fit(train)
+        theta_mae = np.abs(theta.predict(train, 24)[:, 0] - test).mean()
+        naive_mae = np.abs(naive.predict(train, 24)[:, 0] - test).mean()
+        assert theta_mae < naive_mae
+
+    def test_captures_trend_direction(self):
+        train = np.arange(100.0) + np.random.default_rng(0).normal(0, 0.1, 100)
+        out = ThetaForecaster().fit(train).predict(train, 10)[:, 0]
+        assert out[-1] > 95

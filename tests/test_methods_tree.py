@@ -1,0 +1,93 @@
+"""Unit tests for the from-scratch regression tree and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.methods import GradientBoostedTrees, RegressionTree
+
+
+def step_function(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, (n, 1))
+    y = np.where(x[:, 0] < 0.5, 1.0, 5.0) + rng.normal(0, 0.05, n)
+    return x, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x, y = step_function()
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        pred = tree.predict(np.array([[0.2], [0.8]]))
+        assert abs(pred[0] - 1.0) < 0.2
+        assert abs(pred[1] - 5.0) < 0.2
+
+    def test_depth_limit_respected(self):
+        x, y = step_function()
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf(self):
+        x, y = step_function(n=30)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=20).fit(x, y)
+        # Cannot split 30 samples into two leaves of >= 20.
+        assert tree.depth() == 0
+
+    def test_constant_target_no_split(self):
+        x = np.random.default_rng(0).uniform(0, 1, (50, 2))
+        tree = RegressionTree().fit(x, np.full(50, 3.0))
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(x), 3.0)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((10, 2)), np.zeros(8))
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_multifeature_picks_informative_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (200, 3))
+        y = np.where(x[:, 2] < 0.5, 0.0, 10.0)
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert tree._root.feature == 2
+
+
+class TestGradientBoostedTrees:
+    def test_improves_with_iterations(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (200, 1))
+        y = np.sin(3 * x[:, 0])
+        few = GradientBoostedTrees(n_estimators=2).fit(x, y)
+        many = GradientBoostedTrees(n_estimators=50).fit(x, y)
+        mse_few = ((few.predict(x) - y) ** 2).mean()
+        mse_many = ((many.predict(x) - y) ** 2).mean()
+        assert mse_many < mse_few * 0.5
+
+    def test_base_prediction_is_mean(self):
+        x = np.zeros((20, 1))
+        y = np.full(20, 7.0)
+        model = GradientBoostedTrees(n_estimators=1).fit(x, y)
+        assert np.allclose(model.predict(np.zeros((3, 1))), 7.0, atol=0.01)
+
+    def test_early_stopping_stops(self):
+        x, y = np.random.default_rng(0).uniform(0, 1, (100, 1)), None
+        y = np.random.default_rng(1).standard_normal(100)  # pure noise
+        model = GradientBoostedTrees(n_estimators=200,
+                                     early_stopping_rounds=3)
+        model.fit(x[:80], y[:80], x[80:], y[80:])
+        assert model.n_trees < 200
+
+    def test_subsample_runs(self):
+        x, y = step_function()
+        model = GradientBoostedTrees(n_estimators=10, subsample=0.5).fit(x, y)
+        assert model.n_trees == 10
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((2, 1)))

@@ -1,0 +1,146 @@
+"""Unit tests for benchmark configuration parsing and validation."""
+
+import pytest
+
+from repro.datasets import DatasetRegistry
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            load_config, loads_config)
+
+GOOD = """
+{
+  "methods": ["naive", {"name": "ridge", "params": {"l2": 5.0}}],
+  "datasets": {"suite": "univariate", "per_domain": 1, "length": 256},
+  "strategy": "rolling",
+  "lookback": 48,
+  "horizon": 12,
+  "metrics": ["mae", "mse"],
+  "seed": 3,
+  "tag": "unit"
+}
+"""
+
+
+class TestParsing:
+    def test_json_round(self):
+        config = loads_config(GOOD)
+        assert [m.name for m in config.methods] == ["naive", "ridge"]
+        assert config.methods[1].params == {"l2": 5.0}
+        assert config.horizon == 12
+        assert config.tag == "unit"
+
+    def test_dumps_loads_roundtrip(self):
+        config = loads_config(GOOD)
+        again = loads_config(config.dumps())
+        assert again.methods == config.methods
+        assert again.datasets == config.datasets
+        assert again.metrics == config.metrics
+
+    def test_toml_format(self):
+        toml = """
+methods = ["naive"]
+strategy = "fixed"
+horizon = 8
+
+[datasets]
+suite = "univariate"
+per_domain = 1
+"""
+        config = loads_config(toml, fmt="toml")
+        assert config.strategy == "fixed"
+        assert config.horizon == 8
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            loads_config("{}", fmt="yaml")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(GOOD)
+        assert load_config(path).tag == "unit"
+
+    def test_split_override(self):
+        config = loads_config(GOOD.replace(
+            '"seed": 3,',
+            '"seed": 3, "split": {"train": 0.6, "val": 0.2, "test": 0.2},'))
+        assert config.split.train == 0.6
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            methods=(MethodSpec("naive"),),
+            datasets=DatasetSpec(suite="univariate", per_domain=1),
+        )
+        kwargs.update(overrides)
+        return BenchmarkConfig(**kwargs)
+
+    def test_valid_passes(self):
+        assert self._base().validate()
+
+    def test_no_methods(self):
+        with pytest.raises(ValueError, match="no methods"):
+            self._base(methods=()).validate()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            self._base(methods=(MethodSpec("prophet"),)).validate()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            self._base(strategy="retrospective").validate()
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            self._base(metrics=("mae", "crps")).validate()
+
+    def test_unknown_scaler(self):
+        with pytest.raises(ValueError, match="unknown scaler"):
+            self._base(scaler="quantile").validate()
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            self._base(horizon=0).validate()
+
+    def test_dataset_spec_exclusive(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            DatasetSpec(suite="univariate", names=("a",)).validate()
+        with pytest.raises(ValueError, match="exactly one"):
+            DatasetSpec().validate()
+
+    def test_dataset_spec_unknown_suite(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            DatasetSpec(suite="exotic").validate()
+
+
+class TestResolve:
+    def test_suite_resolution(self):
+        spec = DatasetSpec(suite="univariate", per_domain=1, length=128,
+                           domains=("traffic", "web"))
+        series = spec.resolve(DatasetRegistry(seed=1))
+        assert len(series) == 2
+        assert {s.domain for s in series} == {"traffic", "web"}
+
+    def test_names_resolution(self):
+        spec = DatasetSpec(names=("traffic_u0000", "stock_u0002"),
+                           length=128)
+        series = spec.resolve(DatasetRegistry(seed=1))
+        assert [s.name for s in series] == ["traffic_u0000", "stock_u0002"]
+
+    def test_multivariate_resolution(self):
+        spec = DatasetSpec(suite="multivariate", count=3, length=128,
+                           n_channels=4)
+        series = spec.resolve(DatasetRegistry(seed=1))
+        assert len(series) == 3
+        assert all(s.n_channels == 4 for s in series)
+
+    def test_strategy_kwargs_include_stride_only_for_rolling(self):
+        config = BenchmarkConfig(
+            methods=(MethodSpec("naive"),),
+            datasets=DatasetSpec(suite="univariate"),
+            strategy="rolling", stride=6)
+        assert config.strategy_kwargs()["stride"] == 6
+        fixed = BenchmarkConfig(
+            methods=(MethodSpec("naive"),),
+            datasets=DatasetSpec(suite="univariate"),
+            strategy="fixed", stride=6)
+        assert "stride" not in fixed.strategy_kwargs()

@@ -1,0 +1,72 @@
+"""Unit tests for the run logger."""
+
+import json
+
+import pytest
+
+from repro.pipeline import RunLogger
+
+
+class TestRunLogger:
+    def test_records_events(self):
+        logger = RunLogger()
+        logger.info("start", tag="x")
+        logger.warning("slow")
+        logger.error("bad", code=7)
+        assert len(logger) == 3
+        assert logger.events[0]["event"] == "start"
+        assert logger.events[2]["code"] == 7
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            RunLogger().log("e", level="critical")
+
+    def test_filter_by_event_prefix_and_level(self):
+        logger = RunLogger()
+        logger.info("run.start")
+        logger.info("run.cell")
+        logger.error("run.cell")
+        logger.info("other")
+        assert len(logger.filter(event="run.")) == 3
+        assert len(logger.filter(level="error")) == 1
+        assert len(logger.filter(event="run.cell", level="info")) == 1
+
+    def test_child_prefixes_and_shares_buffer(self):
+        logger = RunLogger()
+        child = logger.child("kb")
+        child.info("ingest")
+        assert logger.events[0]["event"] == "kb.ingest"
+        grandchild = child.child("sql")
+        grandchild.info("query")
+        assert logger.events[1]["event"] == "kb.sql.query"
+
+    def test_timer_records_duration_and_status(self):
+        logger = RunLogger()
+        with logger.timer("work", label="a"):
+            pass
+        event = logger.events[0]
+        assert event["status"] == "ok"
+        assert event["seconds"] >= 0
+        assert event["label"] == "a"
+
+    def test_timer_marks_failures(self):
+        logger = RunLogger()
+        with pytest.raises(RuntimeError):
+            with logger.timer("work"):
+                raise RuntimeError("x")
+        assert logger.events[0]["status"] == "failed"
+
+    def test_file_mirroring_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(path=path)
+        logger.info("one", n=1)
+        logger.info("two", n=2)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["n"] == 2
+
+    def test_child_writes_to_same_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(path=path)
+        logger.child("sub").info("x")
+        assert "sub.x" in path.read_text()

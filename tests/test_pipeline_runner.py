@@ -1,0 +1,128 @@
+"""Unit tests for the benchmark runner and result table."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.strategies import EvalResult
+from repro.methods import METHODS, NaiveForecaster, register
+from repro.pipeline import (BenchmarkConfig, BenchmarkRunner, DatasetSpec,
+                            MethodSpec, ResultTable, RunLogger,
+                            run_one_click)
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        methods=(MethodSpec("naive"), MethodSpec("seasonal_naive")),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=256,
+                             domains=("traffic", "stock")),
+        strategy="rolling", lookback=48, horizon=12,
+        metrics=("mae", "mse"), tag="unit")
+    kwargs.update(overrides)
+    return BenchmarkConfig(**kwargs).validate()
+
+
+class TestRunner:
+    def test_full_grid(self):
+        table = run_one_click(small_config())
+        assert len(table) == 4  # 2 methods x 2 series
+        assert set(table.methods()) == {"naive", "seasonal_naive"}
+        assert len(table.series_names()) == 2
+
+    def test_progress_callback(self):
+        seen = []
+        run_one_click(small_config(), progress=seen.append)
+        assert len(seen) == 4
+        assert all(isinstance(r, EvalResult) for r in seen)
+
+    def test_logger_records_cells(self):
+        logger = RunLogger()
+        run_one_click(small_config(), logger=logger)
+        assert len(logger.filter(event="run.cell")) == 4
+        assert logger.filter(event="run.done")
+
+    def test_window_geometry_propagates(self):
+        table = run_one_click(small_config(
+            methods=(MethodSpec("ridge"),), horizon=8, lookback=32))
+        assert all(r.horizon == 8 for r in table)
+
+    def test_method_params_respected(self):
+        table = run_one_click(small_config(
+            methods=(MethodSpec("mean", params={"window": 5}),)))
+        assert len(table) == 2
+
+    def test_failing_method_is_isolated(self):
+        class Exploding(NaiveForecaster):
+            name = "test_exploding"
+
+            def fit(self, train, val=None):
+                raise RuntimeError("boom")
+
+        try:
+            register("test_exploding", lambda **kw: Exploding(),
+                     "statistical", "always fails")
+            logger = RunLogger()
+            table = run_one_click(small_config(
+                methods=(MethodSpec("naive"), MethodSpec("test_exploding"))),
+                logger=logger)
+            # naive results survive; failures logged, not raised.
+            assert set(table.methods()) == {"naive"}
+            assert len(logger.filter(event="run.cell_failed")) == 2
+        finally:
+            METHODS.pop("test_exploding", None)
+
+    def test_requires_config_type(self):
+        with pytest.raises(TypeError):
+            BenchmarkRunner({"methods": []})
+
+
+def _result(method, series, mae_v, horizon=24):
+    return EvalResult(method=method, series=series, horizon=horizon,
+                      strategy="rolling", scores={"mae": mae_v},
+                      n_windows=3)
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable()
+        table.add(_result("a", "s1", 1.0))
+        table.add(_result("b", "s1", 2.0))
+        table.add(_result("a", "s2", 4.0))
+        table.add(_result("b", "s2", 3.0))
+        return table
+
+    def test_pivot(self):
+        pivot = self._table().pivot("mae")
+        assert pivot["s1"]["a"] == 1.0
+        assert pivot["s2"]["b"] == 3.0
+
+    def test_mean_scores(self):
+        means = self._table().mean_scores("mae")
+        assert means == {"a": 2.5, "b": 2.5}
+
+    def test_mean_scores_skips_nan(self):
+        table = self._table()
+        table.add(_result("a", "s3", float("nan")))
+        assert table.mean_scores("mae")["a"] == 2.5
+
+    def test_ranking_lower_is_better(self):
+        table = self._table()
+        table.add(_result("c", "s1", 0.1))
+        assert table.ranking("mae")[0] == "c"
+
+    def test_ranking_higher_is_better_metric(self):
+        table = ResultTable()
+        table.records = [
+            EvalResult(method=m, series="s", horizon=24, strategy="fixed",
+                       scores={"r2": v}, n_windows=1)
+            for m, v in (("good", 0.9), ("bad", 0.1))]
+        assert table.ranking("r2") == ["good", "bad"]
+
+    def test_best_per_series(self):
+        best = self._table().best_per_series("mae")
+        assert best == {"s1": "a", "s2": "b"}
+
+    def test_to_rows_flattens_scores(self):
+        rows = self._table().to_rows()
+        assert rows[0]["metric_mae"] == 1.0
+        assert rows[0]["method"] == "a"
+        assert "horizon" in rows[0]

@@ -1,0 +1,153 @@
+"""Integration tests for the six-step Q&A workflow."""
+
+import pytest
+
+from repro.qa import QAEngine, QAResponse, RuleBasedBackend
+
+
+@pytest.fixture(scope="module")
+def qa(synthetic_kb):
+    return QAEngine(synthetic_kb)
+
+
+@pytest.fixture(scope="module")
+def synthetic_kb():
+    from repro.knowledge import build_synthetic_knowledge
+    return build_synthetic_knowledge(n_series=100, seed=4)
+
+
+class TestWorkflow:
+    def test_paper_example_question(self, qa):
+        response = qa.ask("Which method is best for long term forecasting "
+                          "on time series with strong seasonality?")
+        assert response.ok
+        assert "best method" in response.answer.lower()
+        assert response.sql.startswith("SELECT")
+        assert "verified: OK" in response.verification
+        assert response.rows
+        assert response.chart["type"] == "bar"
+
+    def test_topk_question_rows_sorted(self, qa):
+        response = qa.ask("What are the top-5 methods ordered by MAE?")
+        assert len(response.rows) == 5
+        values = [row[1] for row in response.rows]
+        assert values == sorted(values)
+
+    def test_comparison_answer_names_winner(self, qa):
+        response = qa.ask("Is the transformer or lstm better?")
+        assert response.ok
+        assert "performs best" in response.answer
+
+    def test_count_question_pie_chart(self, qa):
+        response = qa.ask("How many datasets are there per domain?")
+        assert response.chart["type"] == "pie"
+        assert len(response.rows) == 10
+
+    def test_curve_question_line_chart(self, qa):
+        response = qa.ask("How does MAE change with horizon for theta "
+                          "and dlinear?")
+        assert response.chart["type"] == "line"
+        assert len(response.chart["series"]) == 2
+
+    def test_lookup_question(self, qa):
+        response = qa.ask("What is the average MAE of dlinear?")
+        assert response.ok
+        assert "dlinear" in response.answer
+
+    def test_table_payload(self, qa):
+        response = qa.ask("top 3 methods by mae")
+        table = response.table()
+        assert table["columns"][0] == "method"
+        assert len(table["rows"]) == 3
+
+    def test_empty_question(self, qa):
+        response = qa.ask("   ")
+        assert not response.ok
+        assert "ask a question" in response.answer.lower()
+
+    def test_no_matching_rows_graceful(self, qa):
+        # Synthetic store has no multivariate datasets.
+        response = qa.ask("best method on multivariate datasets")
+        assert response.ok
+        assert "No benchmark results" in response.answer
+
+    def test_charts_render(self, qa):
+        from repro.report import render_chart
+        for question in ("top 4 methods by mae",
+                         "how many datasets per domain",
+                         "how does mae change with horizon for naive"):
+            response = qa.ask(question)
+            assert render_chart(response.chart).startswith("<svg")
+
+    def test_history_follow_up(self, synthetic_kb):
+        engine = QAEngine(synthetic_kb)
+        engine.ask("Which method is best for long term forecasting?")
+        follow = engine.ask("and for short term?")
+        assert "r.term = 'short'" in follow.sql
+
+    def test_history_bounded(self, synthetic_kb):
+        engine = QAEngine(synthetic_kb, max_history=3)
+        for i in range(6):
+            engine.ask(f"top {i + 1} methods")
+        assert len(engine.history) == 3
+
+    def test_all_responses_recorded(self, synthetic_kb):
+        engine = QAEngine(synthetic_kb)
+        engine.ask("top 2 methods")
+        engine.ask("   ")
+        assert len(engine.history) == 1  # blanks are not remembered
+
+
+class TestRepair:
+    def test_broken_backend_triggers_repair(self, synthetic_kb):
+        class BrokenBackend(RuleBasedBackend):
+            def generate_sql(self, question, schema, history):
+                parsed = super().generate_sql(question, schema, history)
+                parsed.sql = "SELECT ghost_column FROM results"
+                return parsed
+
+        engine = QAEngine(synthetic_kb, backend=BrokenBackend(
+            known_methods=synthetic_kb.method_names()))
+        response = engine.ask("top 3 methods")
+        assert response.ok  # repaired to the fallback ranking
+        assert "repair" in response.verification
+        assert response.rows
+
+    def test_unrepairable_fails_cleanly(self, synthetic_kb):
+        class HopelessBackend(RuleBasedBackend):
+            def generate_sql(self, question, schema, history):
+                parsed = super().generate_sql(question, schema, history)
+                parsed.sql = "SELECT nope FROM results"
+                return parsed
+
+            def repair_sql(self, question, schema, issues):
+                parsed = super().repair_sql(question, schema, issues)
+                parsed.sql = "still not sql"
+                return parsed
+
+        engine = QAEngine(synthetic_kb, backend=HopelessBackend())
+        response = engine.ask("top 3 methods")
+        assert not response.ok
+        assert "could not translate" in response.answer
+
+
+class TestResponseDataclass:
+    def test_defaults(self):
+        response = QAResponse(question="q", answer="a")
+        assert response.ok
+        assert response.table() == {"columns": [], "rows": []}
+
+
+class TestBreakdownAnswers:
+    def test_breakdown_answer_and_chart(self, qa):
+        response = qa.ask("How does theta perform across domains?")
+        assert response.ok
+        assert "strongest on" in response.answer
+        assert "weakest on" in response.answer
+        assert response.chart["type"] == "bar"
+        assert len(response.rows) == 10  # one row per domain
+
+    def test_breakdown_rows_sorted_ascending(self, qa):
+        response = qa.ask("dlinear per domain by mae")
+        values = [row[1] for row in response.rows]
+        assert values == sorted(values)

@@ -1,0 +1,171 @@
+"""Unit tests for the NL2SQL question parser."""
+
+import pytest
+
+from repro.qa import QuestionParser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return QuestionParser(known_methods=("naive", "theta", "dlinear"))
+
+
+class TestLexicon:
+    def test_metric_detection(self, parser):
+        assert parser.parse("best by MAE").metric == "mae"
+        assert parser.parse("rank by RMSE please").metric == "rmse"
+        assert parser.parse("mean squared error ranking").metric == "mse"
+        assert parser.parse("which is best").metric == "mae"  # default
+
+    def test_method_aliases(self, parser):
+        parsed = parser.parse("Is the Transformer or LSTMs better?")
+        assert "patchmlp" in parsed.methods
+        assert "gru" in parsed.methods
+
+    def test_known_methods_found(self, parser):
+        assert parser.parse("how accurate is theta").methods == ["theta"]
+
+    def test_multiword_alias(self, parser):
+        assert "seasonal_naive" in parser.parse(
+            "compare seasonal naive and drift").methods
+
+    def test_characteristic_strong(self, parser):
+        parsed = parser.parse("series with strong seasonality")
+        assert ("seasonality", ">", 0.6) in parsed.characteristics
+
+    def test_characteristic_weak(self, parser):
+        parsed = parser.parse("data with weak trend")
+        assert ("trend", "<", 0.3) in parsed.characteristics
+
+    def test_characteristic_default(self, parser):
+        parsed = parser.parse("datasets with trends")
+        assert ("trend", ">", 0.5) in parsed.characteristics
+
+    def test_non_stationary(self, parser):
+        parsed = parser.parse("best on non-stationary data")
+        assert ("stationarity", "<", 0.4) in parsed.characteristics
+
+    def test_stationary_positive(self, parser):
+        parsed = parser.parse("best on stationary data")
+        assert ("stationarity", ">", 0.6) in parsed.characteristics
+
+    def test_term_and_variate(self, parser):
+        parsed = parser.parse("long-term forecasting on multivariate data")
+        assert parsed.term == "long"
+        assert parsed.variate == "multivariate"
+
+    def test_domain_detection(self, parser):
+        assert parser.parse("best on traffic data").domain == "traffic"
+
+    def test_category_detection(self, parser):
+        assert parser.parse("top deep learning methods").category == "deep"
+        assert parser.parse("best statistical method").category == \
+            "statistical"
+
+    def test_horizon_extraction(self, parser):
+        assert parser.parse("best at horizon 96").horizon == 96
+
+    def test_top_k_extraction(self, parser):
+        assert parser.parse("top-8 methods").k == 8
+        assert parser.parse("top 3 methods").k == 3
+        assert parser.parse("which method is best").k == 1
+
+    def test_worst_flag(self, parser):
+        assert parser.parse("worst method by mae").worst
+
+
+class TestKinds:
+    def test_comparison(self, parser):
+        assert parser.parse("is naive or theta better?").kind == "comparison"
+
+    def test_curve(self, parser):
+        assert parser.parse(
+            "how does mae change with horizon for theta").kind == "curve"
+
+    def test_count(self, parser):
+        assert parser.parse("how many datasets per domain").kind == "count"
+
+    def test_lookup(self, parser):
+        assert parser.parse("what is the average mae of theta").kind == \
+            "lookup"
+
+    def test_default_ranking(self, parser):
+        assert parser.parse("best method overall").kind == "ranking"
+
+
+class TestGeneratedSql:
+    def test_paper_question_1(self, parser):
+        parsed = parser.parse("Which method is best for long term "
+                              "forecasting on time series with strong "
+                              "seasonality?")
+        sql = parsed.sql
+        assert "r.term = 'long'" in sql
+        assert "d.seasonality > 0.6" in sql
+        assert "JOIN datasets" in sql
+        assert "LIMIT 1" in sql
+        assert "ORDER BY avg_mae ASC" in sql
+
+    def test_paper_question_2(self, parser):
+        parsed = parser.parse("What are the top-8 methods (ordered by MAE) "
+                              "for long-term forecasting on all "
+                              "multivariate datasets with trends?")
+        sql = parsed.sql
+        assert "LIMIT 8" in sql
+        assert "d.variate = 'multivariate'" in sql
+        assert "d.trend > 0.5" in sql
+
+    def test_comparison_sql(self, parser):
+        sql = parser.parse("Is the transformer or lstm better on "
+                           "trending data?").sql
+        assert "r.method IN (" in sql
+        assert "'patchmlp'" in sql and "'gru'" in sql
+
+    def test_category_join(self, parser):
+        sql = parser.parse("top 3 deep learning methods by rmse").sql
+        assert "JOIN methods m" in sql
+        assert "m.category = 'deep'" in sql
+        assert "avg_rmse" in sql
+
+    def test_curve_sql(self, parser):
+        sql = parser.parse("how does mae change with horizon for theta").sql
+        assert "GROUP BY r.horizon, r.method" in sql
+
+    def test_count_sql(self, parser):
+        sql = parser.parse("how many datasets per domain?").sql
+        assert sql.startswith("SELECT domain, COUNT(*)")
+
+    def test_no_join_without_dataset_filters(self, parser):
+        sql = parser.parse("top 5 methods by mae").sql
+        assert "JOIN datasets" not in sql
+
+    def test_filter_summary(self, parser):
+        parsed = parser.parse("best for short term forecasting on "
+                              "stock data with strong trend")
+        summary = parsed.filter_summary()
+        assert "short-term" in summary
+        assert "domain=stock" in summary
+        assert "trend > 0.6" in summary
+        assert parser.parse("best method").filter_summary() == "no filters"
+
+
+class TestBreakdown:
+    def test_breakdown_kind_detected(self, parser):
+        parsed = parser.parse("How does theta perform across domains?")
+        assert parsed.kind == "breakdown"
+        assert parsed.methods == ["theta"]
+
+    def test_breakdown_sql_groups_by_domain(self, parser):
+        sql = parser.parse("show dlinear per domain by rmse").sql
+        assert "GROUP BY d.domain" in sql
+        assert "r.method = 'dlinear'" in sql
+        assert "avg_rmse" in sql
+
+    def test_breakdown_respects_term_filter(self, parser):
+        sql = parser.parse(
+            "how does naive perform across domains for long term "
+            "forecasting?").sql
+        assert "r.term = 'long'" in sql
+
+    def test_two_methods_is_comparison_not_breakdown(self, parser):
+        parsed = parser.parse("compare naive and theta across domains")
+        assert parsed.kind == "comparison"

@@ -1,0 +1,139 @@
+"""Unit tests for the reporting layer: tables, sparklines, SVG charts."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.report import (bar_chart, format_pivot, format_ranking,
+                          format_table, line_chart, pie_chart, render_chart,
+                          sparkline)
+
+
+def parse_svg(text):
+    return ET.fromstring(text)
+
+
+class TestSparkline:
+    def test_monotone_levels(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] < line[-1]
+
+    def test_constant_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_width_resampling(self):
+        assert len(sparkline(np.arange(100), width=10)) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTables:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.2346" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_pivot_missing_cells(self):
+        out = format_pivot({"s1": {"m1": 1.0}, "s2": {"m2": 2.0}}, "mae")
+        assert "-" in out
+        assert "m1" in out and "m2" in out
+
+    def test_pivot_empty(self):
+        assert format_pivot({}) == "(empty)"
+
+    def test_ranking_order_and_top(self):
+        out = format_ranking({"a": 3.0, "b": 1.0, "c": 2.0}, "mae", top=2)
+        lines = out.splitlines()
+        assert "b" in lines[2]
+        assert len(lines) == 4  # header + sep + 2 rows
+
+    def test_ranking_higher_better(self):
+        out = format_ranking({"a": 0.1, "b": 0.9}, "r2",
+                             higher_is_better=True)
+        assert "b" in out.splitlines()[2]
+
+
+class TestLineChart:
+    def test_valid_svg_with_legend(self):
+        svg = line_chart([{"name": "hist", "values": [1, 2, 3]},
+                          {"name": "fc", "values": [3, 2, 1]}], title="t")
+        root = parse_svg(svg)
+        assert root.tag.endswith("svg")
+        assert svg.count("polyline") == 2
+        assert "hist" in svg and "fc" in svg
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_constant_values_no_crash(self):
+        parse_svg(line_chart([{"name": "c", "values": [5, 5, 5]}]))
+
+
+class TestBarChart:
+    def test_bar_count(self):
+        svg = bar_chart(["a", "b", "c"], [1.0, 2.0, 3.0], title="bars")
+        assert svg.count("<rect") == 4  # background + 3 bars
+        parse_svg(svg)
+
+    def test_negative_values_ok(self):
+        parse_svg(bar_chart(["a", "b"], [-1.0, 2.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_escapes_labels(self):
+        svg = bar_chart(["<evil>"], [1.0])
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+
+class TestPieChart:
+    def test_slices_and_legend(self):
+        svg = pie_chart(["x", "y"], [1.0, 3.0], title="pie")
+        assert svg.count("<path") == 2
+        assert "75.0%" in svg
+        parse_svg(svg)
+
+    def test_single_full_slice_uses_circle(self):
+        svg = pie_chart(["all"], [5.0])
+        assert "<circle" in svg
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pie_chart(["a"], [-1.0])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            pie_chart(["a"], [0.0])
+
+
+class TestRenderChart:
+    def test_dispatch(self):
+        assert "polyline" in render_chart(
+            {"type": "line", "series": [{"name": "s", "values": [1, 2]}]})
+        assert "<rect" in render_chart(
+            {"type": "bar", "labels": ["a"], "values": [1.0]})
+        assert "<circle" in render_chart(
+            {"type": "pie", "labels": ["a"], "values": [1.0]})
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown chart type"):
+            render_chart({"type": "scatter"})

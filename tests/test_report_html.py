@@ -1,0 +1,69 @@
+"""Unit tests for HTML report generation."""
+
+import pytest
+
+from repro.evaluation.strategies import EvalResult
+from repro.pipeline import ResultTable
+from repro.report.html import html_report
+
+
+def result(method, series, mae_v):
+    return EvalResult(method=method, series=series, horizon=24,
+                      strategy="rolling", scores={"mae": mae_v},
+                      n_windows=2)
+
+
+@pytest.fixture()
+def table():
+    table = ResultTable()
+    for method, series, mae_v in (("naive", "s1", 1.0), ("theta", "s1", 0.4),
+                                  ("naive", "s2", 0.3), ("theta", "s2", 0.9)):
+        table.add(result(method, series, mae_v))
+    return table
+
+
+class TestHtmlReport:
+    def test_is_complete_document(self, table):
+        html = html_report(table, metric="mae", title="My run")
+        assert html.startswith("<html>")
+        assert html.endswith("</html>")
+        assert "<title>My run</title>" in html
+
+    def test_contains_leaderboard_and_chart(self, table):
+        html = html_report(table)
+        assert "Leaderboard" in html
+        assert "<svg" in html
+        assert "naive" in html and "theta" in html
+
+    def test_best_cells_highlighted(self, table):
+        html = html_report(table)
+        # Two series → two winning cells plus the leaderboard top row.
+        assert html.count('class="best"') >= 3
+
+    def test_wins_per_method(self, table):
+        html = html_report(table)
+        assert "Wins per method" in html
+
+    def test_escapes_content(self, table):
+        table.add(result("<script>", "s3", 0.5))
+        html = html_report(table)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_metric_rejected(self, table):
+        with pytest.raises(ValueError):
+            html_report(table, metric="mse")
+
+    def test_from_real_pipeline(self, small_kb, tmp_path):
+        from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                                    run_one_click)
+        config = BenchmarkConfig(
+            methods=(MethodSpec("naive"), MethodSpec("theta")),
+            datasets=DatasetSpec(suite="univariate", per_domain=1,
+                                 length=256, domains=("web",)),
+            strategy="fixed", lookback=48, horizon=12,
+            metrics=("mae",)).validate()
+        table = run_one_click(config)
+        path = tmp_path / "report.html"
+        path.write_text(html_report(table), encoding="utf-8")
+        assert path.stat().st_size > 1000

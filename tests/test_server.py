@@ -1,0 +1,155 @@
+"""HTTP round-trip tests for the demo-frontend API (scenario endpoints)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import EasyTimeServer
+
+
+@pytest.fixture(scope="module")
+def server(easytime_system):
+    with EasyTimeServer(easytime_system) as srv:
+        yield srv
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=30) as r:
+        return r.status, json.load(r)
+
+
+def post(server, path, body):
+    req = urllib.request.Request(
+        server.address + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=120) as r:
+            return r.status, json.load(r)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+CSV = "value\n" + "\n".join(
+    str(round(2.0 * __import__("math").sin(i / 24 * 6.283) + 0.01 * i, 4))
+    for i in range(400))
+
+
+class TestGetEndpoints:
+    def test_health(self, server):
+        status, payload = get(server, "/health")
+        assert status == 200
+        assert payload == {"ok": True, "data": "alive"}
+
+    def test_methods_catalogue(self, server):
+        _, payload = get(server, "/methods")
+        names = {m["name"] for m in payload["data"]}
+        assert {"naive", "theta", "dlinear"} <= names
+        assert all("description" in m for m in payload["data"])
+
+    def test_datasets_listing(self, server):
+        _, payload = get(server, "/datasets")
+        assert len(payload["data"]) >= 10
+
+    def test_unknown_route_404(self, server):
+        status, payload = get_404(server, "/nonsense")
+        assert status == 404
+        assert not payload["ok"]
+
+
+def get_404(server, path):
+    try:
+        return get(server, path)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+class TestScenarioS2:
+    """Upload → recommend → evaluate → automl (Fig. 4 flow)."""
+
+    def test_upload(self, server):
+        status, payload = post(server, "/upload",
+                               {"csv": CSV, "name": "api_series"})
+        assert status == 200
+        assert payload["data"]["length"] == 400
+        assert payload["data"]["channels"] == 1
+
+    def test_recommend_after_upload(self, server):
+        post(server, "/upload", {"csv": CSV, "name": "api_series2"})
+        status, payload = post(server, "/recommend",
+                               {"dataset": "api_series2", "k": 3})
+        assert status == 200
+        data = payload["data"]
+        assert len(data["methods"]) == 3
+        assert len(data["probabilities"]) == 3
+        assert "seasonality" in data["characteristics"]
+
+    def test_recommend_benchmark_dataset(self, server):
+        status, payload = post(server, "/recommend",
+                               {"dataset": "traffic_u0000"})
+        assert status == 200
+        assert len(payload["data"]["methods"]) == 5  # default k
+
+    def test_evaluate(self, server):
+        status, payload = post(server, "/evaluate",
+                               {"dataset": "traffic_u0000",
+                                "method": "seasonal_naive",
+                                "horizon": 12, "lookback": 48,
+                                "metrics": ["mae", "smape"]})
+        assert status == 200
+        data = payload["data"]
+        assert data["method"] == "seasonal_naive"
+        assert set(data["scores"]) == {"mae", "smape"}
+        assert data["n_windows"] >= 1
+
+    def test_automl(self, server):
+        post(server, "/upload", {"csv": CSV, "name": "api_series3"})
+        status, payload = post(server, "/automl",
+                               {"dataset": "api_series3", "k": 2,
+                                "horizon": 12})
+        assert status == 200
+        data = payload["data"]
+        assert len(data["forecast"]) == 12
+        weights = data["info"]["weights"]
+        assert abs(sum(weights.values()) - 1.0) < 1e-6
+
+
+class TestScenarioS3:
+    def test_qa_round_trip(self, server):
+        status, payload = post(server, "/qa", {
+            "question": "Which method is best for short term forecasting "
+                        "on time series with strong seasonality?"})
+        assert status == 200
+        data = payload["data"]
+        assert data["ok"]
+        assert data["sql"].startswith("SELECT")
+        assert data["answer"]
+        assert data["table"]["columns"]
+
+
+class TestErrorEnvelopes:
+    def test_missing_field_is_400(self, server):
+        status, payload = post(server, "/evaluate", {"dataset": "x"})
+        assert status == 400
+        assert "KeyError" in payload["error"]
+
+    def test_unknown_dataset_is_400(self, server):
+        status, payload = post(server, "/recommend", {"dataset": "ghost_x"})
+        assert status == 400
+        assert not payload["ok"]
+
+    def test_invalid_json_body(self, server):
+        req = urllib.request.Request(
+            server.address + "/qa", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        try:
+            urllib.request.urlopen(req, timeout=30)
+            assert False, "expected HTTPError"
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert "invalid JSON" in json.load(exc)["error"]
+
+    def test_unknown_post_route(self, server):
+        status, payload = post(server, "/reboot", {})
+        assert status == 404

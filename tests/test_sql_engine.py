@@ -1,0 +1,127 @@
+"""Unit tests for the Database facade and catalog."""
+
+import pytest
+
+from repro.sql import (ColumnDef, Database, SqlCatalogError, coerce_value,
+                       infer_type, like_to_regex)
+
+
+class TestCatalogTypes:
+    def test_infer_type(self):
+        assert infer_type(True) == "BOOL"
+        assert infer_type(3) == "INT"
+        assert infer_type(2.5) == "FLOAT"
+        assert infer_type("x") == "TEXT"
+        with pytest.raises(SqlCatalogError):
+            infer_type([1, 2])
+
+    def test_coerce(self):
+        assert coerce_value("3", "INT") == 3
+        assert coerce_value(3, "FLOAT") == 3.0
+        assert coerce_value(3, "TEXT") == "3"
+        assert coerce_value(None, "INT") is None
+        with pytest.raises(SqlCatalogError):
+            coerce_value("abc", "INT")
+
+    def test_column_def_validates_type(self):
+        with pytest.raises(SqlCatalogError):
+            ColumnDef("x", "BLOB")
+
+
+class TestDatabase:
+    def test_create_and_insert(self):
+        db = Database()
+        db.create_table("t", [("a", "INT"), ("b", "TEXT")])
+        assert db.insert("t", [(1, "x"), (2, "y")]) == 2
+        assert len(db.table("t")) == 2
+
+    def test_duplicate_table(self):
+        db = Database()
+        db.create_table("t", [("a", "INT")])
+        with pytest.raises(SqlCatalogError, match="already exists"):
+            db.create_table("T", [("a", "INT")])  # case-insensitive
+
+    def test_insert_dict_rows(self):
+        db = Database()
+        db.create_table("t", [("a", "INT"), ("b", "TEXT")])
+        db.insert("t", [{"b": "x", "a": 1}, {"a": 2}])
+        assert db.table("t").rows == [(1, "x"), (2, None)]
+
+    def test_insert_wrong_width(self):
+        db = Database()
+        db.create_table("t", [("a", "INT")])
+        with pytest.raises(SqlCatalogError, match="columns"):
+            db.insert("t", [(1, 2)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlCatalogError, match="duplicate column"):
+            Database().create_table("t", [("a", "INT"), ("a", "INT")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            Database().create_table("t", [])
+
+    def test_create_from_rows_infers_schema(self):
+        db = Database()
+        table = db.create_table_from_rows("t", [
+            {"name": "x", "score": 1.5, "count": 3},
+            {"name": "y", "score": None, "count": 4},
+        ])
+        types = {c.name: c.type for c in table.columns}
+        assert types == {"name": "TEXT", "score": "FLOAT", "count": "INT"}
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_create_from_rows_requires_rows(self):
+        with pytest.raises(SqlCatalogError):
+            Database().create_table_from_rows("t", [])
+
+    def test_all_null_column_defaults_to_text(self):
+        db = Database()
+        table = db.create_table_from_rows("t", [{"x": None}])
+        assert table.columns[0].type == "TEXT"
+
+    def test_tables_and_schema(self):
+        db = Database()
+        db.create_table("bbb", [("x", "INT")])
+        db.create_table("aaa", [("y", "TEXT")])
+        assert db.tables() == ["aaa", "bbb"]
+        assert "aaa(y TEXT)" in db.schema()
+        assert "bbb(x INT)" in db.schema()
+
+    def test_unknown_table_message_lists_existing(self):
+        db = Database()
+        db.create_table("known", [("x", "INT")])
+        with pytest.raises(SqlCatalogError, match="known"):
+            db.table("unknown")
+
+    def test_query_unchecked_bypasses_gate(self):
+        db = Database()
+        db.create_table("t", [("a", "INT")])
+        db.insert("t", [(1,)])
+        # Verification would catch this; unchecked execution raises its
+        # own runtime error instead (at evaluation time).
+        with pytest.raises(Exception):
+            db.query_unchecked("SELECT ghost FROM t")
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("t", [("a", "INT")])
+        db.catalog.drop_table("t")
+        assert not db.catalog.has("t")
+        with pytest.raises(SqlCatalogError):
+            db.catalog.drop_table("t")
+
+
+class TestLikeRegex:
+    def test_percent_and_underscore(self):
+        assert like_to_regex("tra%").match("traffic")
+        assert not like_to_regex("tra%").match("xtraffic")
+        assert like_to_regex("_ob").match("bob")
+        assert not like_to_regex("_ob").match("blob")
+
+    def test_special_chars_escaped(self):
+        assert like_to_regex("a.b").match("a.b")
+        assert not like_to_regex("a.b").match("axb")
+
+    def test_case_insensitive(self):
+        assert like_to_regex("TRA%").match("traffic")

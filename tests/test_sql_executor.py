@@ -1,0 +1,255 @@
+"""Unit tests for SQL execution: filters, joins, aggregation, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database, SqlRuntimeError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("emp", [("id", "INT"), ("name", "TEXT"),
+                                  ("dept", "TEXT"), ("salary", "FLOAT"),
+                                  ("bonus", "FLOAT")])
+    database.insert("emp", [
+        (1, "ann", "eng", 100.0, 10.0),
+        (2, "bob", "eng", 80.0, None),
+        (3, "cal", "ops", 60.0, 5.0),
+        (4, "dee", "ops", 70.0, None),
+        (5, "eve", "hr", 50.0, 2.0),
+    ])
+    database.create_table("dept", [("name", "TEXT"), ("floor", "INT")])
+    database.insert("dept", [("eng", 3), ("ops", 1), ("sales", 9)])
+    return database
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, db):
+        result = db.query("SELECT * FROM emp")
+        assert result.columns == ["id", "name", "dept", "salary", "bonus"]
+        assert len(result) == 5
+
+    def test_where_comparison(self, db):
+        assert db.query("SELECT name FROM emp WHERE salary > 65") \
+            .column("name") == ["ann", "bob", "dee"]
+
+    def test_arithmetic_projection(self, db):
+        result = db.query("SELECT salary * 2 + 1 AS double FROM emp "
+                          "WHERE id = 1")
+        assert result.scalar() == 201.0
+
+    def test_in_and_between(self, db):
+        assert len(db.query(
+            "SELECT * FROM emp WHERE dept IN ('eng', 'hr')")) == 3
+        assert len(db.query(
+            "SELECT * FROM emp WHERE salary BETWEEN 60 AND 80")) == 3
+        assert len(db.query(
+            "SELECT * FROM emp WHERE salary NOT BETWEEN 60 AND 80")) == 2
+
+    def test_like_patterns(self, db):
+        assert db.query("SELECT name FROM emp WHERE name LIKE 'a%'") \
+            .column("name") == ["ann"]
+        assert db.query("SELECT name FROM emp WHERE name LIKE '_ob'") \
+            .column("name") == ["bob"]
+
+    def test_not_and_boolean_logic(self, db):
+        result = db.query("SELECT name FROM emp WHERE NOT (dept = 'eng') "
+                          "AND salary >= 60")
+        assert result.column("name") == ["cal", "dee"]
+
+    def test_case_expression(self, db):
+        result = db.query(
+            "SELECT name, CASE WHEN salary >= 80 THEN 'high' "
+            "ELSE 'low' END AS band FROM emp ORDER BY id")
+        assert result.column("band") == ["high", "high", "low", "low", "low"]
+
+    def test_scalar_functions(self, db):
+        result = db.query(
+            "SELECT UPPER(name) AS up, LENGTH(name) AS n, "
+            "ROUND(salary / 3, 1) AS s FROM emp WHERE id = 1")
+        assert result.rows[0] == ("ANN", 3, 33.3)
+
+    def test_abs_and_sqrt(self, db):
+        result = db.query("SELECT ABS(0 - 4) AS a, SQRT(16) AS s")
+        assert result.rows[0] == (4, 4.0)
+
+    def test_division_by_zero_is_null(self, db):
+        assert db.query("SELECT 1 / 0 AS x").scalar() is None
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_filters_out(self, db):
+        # bonus is NULL for bob and dee: neither > nor <= matches.
+        over = db.query("SELECT name FROM emp WHERE bonus > 1").column("name")
+        under = db.query("SELECT name FROM emp WHERE bonus <= 1") \
+            .column("name")
+        assert "bob" not in over + under
+
+    def test_is_null(self, db):
+        assert db.query("SELECT COUNT(*) FROM emp WHERE bonus IS NULL") \
+            .scalar() == 2
+        assert db.query(
+            "SELECT COUNT(*) FROM emp WHERE bonus IS NOT NULL").scalar() == 3
+
+    def test_coalesce_defaults(self, db):
+        result = db.query("SELECT SUM(COALESCE(bonus, 0)) FROM emp")
+        assert result.scalar() == 17.0
+
+    def test_aggregates_skip_nulls(self, db):
+        assert db.query("SELECT COUNT(bonus) FROM emp").scalar() == 3
+        assert np.isclose(db.query("SELECT AVG(bonus) FROM emp").scalar(),
+                          17 / 3)
+
+    def test_nulls_sort_first_ascending(self, db):
+        names = db.query("SELECT name FROM emp ORDER BY bonus, name") \
+            .column("name")
+        assert set(names[:2]) == {"bob", "dee"}
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        result = db.query("SELECT COUNT(*), SUM(salary), AVG(salary), "
+                          "MIN(salary), MAX(salary) FROM emp")
+        assert result.rows[0] == (5, 360.0, 72.0, 50.0, 100.0)
+
+    def test_group_by(self, db):
+        result = db.query("SELECT dept, COUNT(*) AS n, AVG(salary) AS avg "
+                          "FROM emp GROUP BY dept ORDER BY dept")
+        assert result.rows == [("eng", 2, 90.0), ("hr", 1, 50.0),
+                               ("ops", 2, 65.0)]
+
+    def test_having(self, db):
+        result = db.query("SELECT dept FROM emp GROUP BY dept "
+                          "HAVING COUNT(*) > 1 ORDER BY dept")
+        assert result.column("dept") == ["eng", "ops"]
+
+    def test_having_on_aggregate_not_in_select(self, db):
+        result = db.query("SELECT dept FROM emp GROUP BY dept "
+                          "HAVING AVG(salary) >= 65 ORDER BY dept")
+        assert result.column("dept") == ["eng", "ops"]
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT COUNT(DISTINCT dept) FROM emp").scalar() == 3
+
+    def test_aggregate_of_expression(self, db):
+        assert db.query("SELECT SUM(salary * 2) FROM emp").scalar() == 720.0
+
+    def test_empty_group_aggregate_null(self, db):
+        result = db.query("SELECT AVG(salary) FROM emp WHERE id > 99")
+        assert result.scalar() is None
+
+    def test_count_on_empty_is_zero(self, db):
+        assert db.query("SELECT COUNT(*) FROM emp WHERE id > 99") \
+            .scalar() == 0
+
+    def test_expression_over_aggregates(self, db):
+        result = db.query("SELECT MAX(salary) - MIN(salary) AS spread "
+                          "FROM emp")
+        assert result.scalar() == 50.0
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.query(
+            "SELECT e.name, d.floor FROM emp e JOIN dept d "
+            "ON e.dept = d.name WHERE d.floor = 3 ORDER BY e.name")
+        assert result.rows == [("ann", 3), ("bob", 3)]
+
+    def test_inner_join_drops_unmatched(self, db):
+        # 'hr' has no dept row; 'sales' has no employees.
+        result = db.query("SELECT COUNT(*) FROM emp e JOIN dept d "
+                          "ON e.dept = d.name")
+        assert result.scalar() == 4
+
+    def test_left_join_null_extends(self, db):
+        result = db.query(
+            "SELECT e.name, d.floor FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.name WHERE e.dept = 'hr'")
+        assert result.rows == [("eve", None)]
+
+    def test_join_with_group_by(self, db):
+        result = db.query(
+            "SELECT d.floor, COUNT(*) AS n FROM emp e JOIN dept d "
+            "ON e.dept = d.name GROUP BY d.floor ORDER BY d.floor")
+        assert result.rows == [(1, 2), (3, 2)]
+
+    def test_three_way_join(self, db):
+        db.create_table("perk", [("floor", "INT"), ("coffee", "TEXT")])
+        db.insert("perk", [(3, "espresso"), (1, "drip")])
+        result = db.query(
+            "SELECT e.name, p.coffee FROM emp e "
+            "JOIN dept d ON e.dept = d.name "
+            "JOIN perk p ON d.floor = p.floor WHERE e.name = 'ann'")
+        assert result.rows == [("ann", "espresso")]
+
+    def test_explain_shows_pushdown(self, db):
+        plan = db.explain("SELECT * FROM emp e JOIN dept d "
+                          "ON e.dept = d.name "
+                          "WHERE e.salary > 70 AND d.floor = 3")
+        assert "pushed" in plan
+        assert plan.count("pushed") == 2
+
+    def test_left_join_filter_not_pushed(self, db):
+        plan = db.explain("SELECT * FROM emp e LEFT JOIN dept d "
+                          "ON e.dept = d.name WHERE d.floor = 3")
+        assert "residual" in plan
+
+
+class TestOrderingAndLimits:
+    def test_order_by_column_desc(self, db):
+        names = db.query("SELECT name FROM emp ORDER BY salary DESC") \
+            .column("name")
+        assert names == ["ann", "bob", "dee", "cal", "eve"]
+
+    def test_order_by_alias(self, db):
+        result = db.query("SELECT name, salary + COALESCE(bonus, 0) AS "
+                          "total FROM emp ORDER BY total DESC LIMIT 1")
+        assert result.rows[0][0] == "ann"
+
+    def test_order_by_position(self, db):
+        names = db.query("SELECT name, salary FROM emp ORDER BY 2") \
+            .column("name")
+        assert names[0] == "eve"
+
+    def test_order_by_position_out_of_range(self, db):
+        with pytest.raises(Exception, match="out of range"):
+            db.query_unchecked("SELECT name FROM emp ORDER BY 5")
+
+    def test_multi_key_mixed_direction(self, db):
+        rows = db.query("SELECT dept, name FROM emp "
+                        "ORDER BY dept ASC, salary DESC").rows
+        assert rows[0] == ("eng", "ann")
+        assert rows[1] == ("eng", "bob")
+
+    def test_limit_offset(self, db):
+        names = db.query("SELECT name FROM emp ORDER BY id "
+                         "LIMIT 2 OFFSET 1").column("name")
+        assert names == ["bob", "cal"]
+
+    def test_limit_zero(self, db):
+        assert len(db.query("SELECT * FROM emp LIMIT 0")) == 0
+
+    def test_distinct(self, db):
+        depts = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept") \
+            .column("dept")
+        assert depts == ["eng", "hr", "ops"]
+
+    def test_order_by_aggregate_in_group_query(self, db):
+        result = db.query("SELECT dept FROM emp GROUP BY dept "
+                          "ORDER BY AVG(salary) DESC")
+        assert result.column("dept") == ["eng", "ops", "hr"]
+
+
+class TestNoFrom:
+    def test_constant_select(self, db):
+        result = db.query("SELECT 1 + 1 AS two, UPPER('abc') AS up")
+        assert result.rows == [(2, "ABC")]
+
+    def test_result_helpers(self, db):
+        result = db.query("SELECT name FROM emp ORDER BY id LIMIT 2")
+        assert result.to_dicts() == [{"name": "ann"}, {"name": "bob"}]
+        with pytest.raises(KeyError):
+            result.column("missing")
+        with pytest.raises(ValueError):
+            result.scalar()

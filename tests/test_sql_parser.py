@@ -1,0 +1,167 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import SqlSyntaxError, parse
+from repro.sql import ast
+
+
+class TestSelectShape:
+    def test_simple(self):
+        s = parse("SELECT a, b FROM t")
+        assert len(s.items) == 2
+        assert s.table.name == "t"
+        assert not s.distinct
+
+    def test_star(self):
+        s = parse("SELECT * FROM t")
+        assert isinstance(s.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        s = parse("SELECT t.* FROM t")
+        assert s.items[0].expr.table == "t"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_aliases(self):
+        s = parse("SELECT a AS x, b y FROM t AS tt")
+        assert s.items[0].alias == "x"
+        assert s.items[1].alias == "y"
+        assert s.table.alias == "tt"
+        assert s.table.binding == "tt"
+
+    def test_joins(self):
+        s = parse("SELECT * FROM a JOIN b ON a.id = b.id "
+                  "LEFT JOIN c ON b.id = c.id")
+        assert len(s.joins) == 2
+        assert s.joins[0].kind == "INNER"
+        assert s.joins[1].kind == "LEFT"
+
+    def test_group_having_order_limit(self):
+        s = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                  "HAVING COUNT(*) > 2 ORDER BY n DESC, a LIMIT 5 OFFSET 2")
+        assert len(s.group_by) == 1
+        assert s.having is not None
+        assert s.order_by[0].descending
+        assert not s.order_by[1].descending
+        assert s.limit == 5
+        assert s.offset == 2
+
+    def test_no_from(self):
+        s = parse("SELECT 1 + 2 AS three")
+        assert s.table is None
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT 1;").limit is None
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse("SELECT 1 FROM t extra nonsense stuff")
+
+
+class TestExpressions:
+    def _where(self, clause):
+        return parse(f"SELECT a FROM t WHERE {clause}").where
+
+    def test_precedence_and_over_or(self):
+        expr = self._where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("a + b * c = 7")
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self._where("(a + b) * c = 7")
+        assert expr.left.op == "*"
+
+    def test_not(self):
+        expr = self._where("NOT a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = self._where("a = -5")
+        assert isinstance(expr.right, ast.Unary)
+
+    def test_in_list(self):
+        expr = self._where("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert self._where("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = self._where("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_like(self):
+        expr = self._where("name LIKE 'tra%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null_and_not_null(self):
+        assert not self._where("a IS NULL").negated
+        assert self._where("a IS NOT NULL").negated
+
+    def test_case_expression(self):
+        s = parse("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        expr = s.items[0].expr
+        assert isinstance(expr, ast.Case)
+        assert len(expr.branches) == 1
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 1 END FROM t")
+
+    def test_function_calls(self):
+        s = parse("SELECT COUNT(*), AVG(x), COALESCE(a, b, 0) FROM t")
+        count, avg, coalesce = (i.expr for i in s.items)
+        assert count.name == "COUNT"
+        assert isinstance(count.args[0], ast.Star)
+        assert avg.is_aggregate
+        assert len(coalesce.args) == 3
+        assert not coalesce.is_aggregate
+
+    def test_count_distinct(self):
+        s = parse("SELECT COUNT(DISTINCT a) FROM t")
+        assert s.items[0].expr.distinct
+
+    def test_qualified_columns(self):
+        expr = self._where("t.a = 1")
+        assert expr.left.table == "t"
+
+    def test_literals(self):
+        s = parse("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE")
+        values = [i.expr.value for i in s.items]
+        assert values == [1, 2.5, "x", None, True, False]
+
+    def test_not_without_predicate_errors(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t WHERE a NOT 5")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError, match="integer"):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(SqlSyntaxError, match="position"):
+            parse("SELECT FROM")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("sql", [
+        "SELECT a, b AS x FROM t WHERE a > 1 AND b < 2",
+        "SELECT COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1",
+        "SELECT * FROM a JOIN b ON a.x = b.y ORDER BY a.x DESC LIMIT 3",
+        "SELECT DISTINCT domain FROM datasets WHERE name LIKE 'tr%'",
+        "SELECT a FROM t WHERE b BETWEEN 1 AND 2 OR c IN ('x', 'y')",
+        "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END AS sign FROM t",
+    ])
+    def test_str_reparses_identically(self, sql):
+        first = parse(sql)
+        second = parse(str(first))
+        assert str(first) == str(second)

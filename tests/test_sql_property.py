@@ -1,0 +1,99 @@
+"""Property-based tests: the SQL engine agrees with numpy/python oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Database
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-100, 100),
+              st.floats(-1e4, 1e4, allow_nan=False),
+              st.sampled_from(["a", "b", "c"])),
+    min_size=1, max_size=40)
+
+
+def build_db(rows):
+    db = Database()
+    db.create_table("t", [("k", "INT"), ("v", "FLOAT"), ("g", "TEXT")])
+    db.insert("t", rows)
+    return db
+
+
+class TestAggregateOracle:
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_global_aggregates_match_numpy(self, rows):
+        db = build_db(rows)
+        values = np.array([r[1] for r in rows])
+        got = db.query(
+            "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t").rows[0]
+        assert got[0] == len(rows)
+        assert np.isclose(got[1], values.sum(), rtol=1e-9, atol=1e-9)
+        assert np.isclose(got[2], values.mean(), rtol=1e-9, atol=1e-9)
+        assert got[3] == values.min()
+        assert got[4] == values.max()
+
+    @given(rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_matches_python(self, rows):
+        db = build_db(rows)
+        expected = {}
+        for k, v, g in rows:
+            expected.setdefault(g, []).append(v)
+        result = db.query("SELECT g, COUNT(*), AVG(v) FROM t GROUP BY g")
+        assert len(result) == len(expected)
+        for g, count, avg in result.rows:
+            assert count == len(expected[g])
+            assert np.isclose(avg, np.mean(expected[g]), rtol=1e-9,
+                              atol=1e-9)
+
+
+class TestFilterOracle:
+    @given(rows_strategy, st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_where_matches_python_predicate(self, rows, threshold):
+        db = build_db(rows)
+        got = db.query(f"SELECT COUNT(*) FROM t WHERE k > {threshold} "
+                       f"AND g != 'c'").scalar()
+        expected = sum(1 for k, v, g in rows if k > threshold and g != "c")
+        assert got == expected
+
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_matches_set(self, rows):
+        db = build_db(rows)
+        got = db.query("SELECT DISTINCT g FROM t").column("g")
+        assert sorted(got) == sorted({r[2] for r in rows})
+
+
+class TestOrderOracle:
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_is_sorted(self, rows):
+        db = build_db(rows)
+        got = db.query("SELECT v FROM t ORDER BY v").column("v")
+        assert got == sorted(got)
+
+    @given(rows_strategy, st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_offset_slice_semantics(self, rows, limit, offset):
+        db = build_db(rows)
+        everything = db.query("SELECT k FROM t ORDER BY k, v").column("k")
+        window = db.query(f"SELECT k FROM t ORDER BY k, v "
+                          f"LIMIT {limit} OFFSET {offset}").column("k")
+        assert window == everything[offset:offset + limit]
+
+
+class TestJoinOracle:
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_inner_join_count_matches_nested_loop(self, rows):
+        db = build_db(rows)
+        db.create_table("names", [("g", "TEXT"), ("label", "TEXT")])
+        db.insert("names", [("a", "alpha"), ("b", "beta")])
+        got = db.query("SELECT COUNT(*) FROM t JOIN names n "
+                       "ON t.g = n.g").scalar()
+        expected = sum(1 for r in rows for g2 in ("a", "b") if r[2] == g2)
+        assert got == expected

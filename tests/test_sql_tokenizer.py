@@ -1,0 +1,66 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import SqlSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("KW", "SELECT")
+        assert kinds("select FROM Where")[2] == ("KW", "WHERE")
+
+    def test_identifiers_preserve_case(self):
+        assert ("IDENT", "myTable") in kinds("myTable")
+
+    def test_numbers(self):
+        assert kinds("42") == [("NUM", "42")]
+        assert kinds("3.14") == [("NUM", "3.14")]
+        assert kinds("1e-3") == [("NUM", "1e-3")]
+        assert kinds(".5") == [("NUM", ".5")]
+
+    def test_string_literal(self):
+        assert kinds("'hello world'") == [("STR", "hello world")]
+
+    def test_string_escape_doubled_quote(self):
+        assert kinds("'it''s'") == [("STR", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"') == [("IDENT", "weird name")]
+
+    def test_unterminated_identifier(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated identifier"):
+            tokenize('"oops')
+
+    def test_two_char_operators(self):
+        assert kinds("<= >= != <>") == [("OP", "<="), ("OP", ">="),
+                                        ("OP", "!="), ("OP", "!=")]
+
+    def test_single_char_operators_and_punct(self):
+        assert kinds("( a , b ) ;") == [
+            ("PUNCT", "("), ("IDENT", "a"), ("PUNCT", ","),
+            ("IDENT", "b"), ("PUNCT", ")"), ("PUNCT", ";")]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- comment here\n 1") == [
+            ("KW", "SELECT"), ("NUM", "1")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT #")
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3

@@ -1,0 +1,124 @@
+"""Unit tests for the static SQL verification gate (Fig. 3 step 3)."""
+
+import pytest
+
+from repro.sql import Database, SqlError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("results", [("method", "TEXT"), ("mae", "FLOAT"),
+                                      ("horizon", "INT")])
+    database.create_table("methods", [("name", "TEXT"),
+                                      ("category", "TEXT")])
+    return database
+
+
+def issues(db, sql):
+    return db.verify(sql).issues
+
+
+class TestTableResolution:
+    def test_unknown_table(self, db):
+        out = issues(db, "SELECT * FROM nothere")
+        assert any("unknown table" in i for i in out)
+        assert any("results" in i for i in out)  # suggests known tables
+
+    def test_unknown_join_table(self, db):
+        out = issues(db, "SELECT * FROM results r JOIN ghosts g "
+                         "ON r.method = g.name")
+        assert any("unknown table 'ghosts'" in i for i in out)
+
+    def test_duplicate_alias(self, db):
+        out = issues(db, "SELECT * FROM results r JOIN methods r "
+                         "ON r.method = r.name")
+        assert any("duplicate table alias" in i for i in out)
+
+
+class TestColumnResolution:
+    def test_unknown_column(self, db):
+        assert any("unknown column 'wrong'" in i
+                   for i in issues(db, "SELECT wrong FROM results"))
+
+    def test_unknown_column_in_where(self, db):
+        assert issues(db, "SELECT method FROM results WHERE ghost = 1")
+
+    def test_unknown_column_in_group_by(self, db):
+        assert issues(db, "SELECT COUNT(*) FROM results GROUP BY ghost")
+
+    def test_ambiguous_column(self, db):
+        db.create_table("other", [("method", "TEXT")])
+        out = issues(db, "SELECT method FROM results r JOIN other o "
+                         "ON r.method = o.method")
+        assert any("ambiguous" in i for i in out)
+
+    def test_qualified_resolves_ambiguity(self, db):
+        db.create_table("other2", [("method", "TEXT")])
+        assert not issues(db, "SELECT r.method FROM results r JOIN other2 o "
+                              "ON r.method = o.method")
+
+    def test_alias_in_order_by_accepted(self, db):
+        assert not issues(db, "SELECT AVG(mae) AS m FROM results "
+                              "GROUP BY method ORDER BY m")
+
+
+class TestAggregateRules:
+    def test_aggregate_in_where(self, db):
+        out = issues(db, "SELECT method FROM results WHERE AVG(mae) > 1")
+        assert any("WHERE" in i for i in out)
+
+    def test_aggregate_in_join_condition(self, db):
+        out = issues(db, "SELECT * FROM results r JOIN methods m "
+                         "ON AVG(r.mae) = 1")
+        assert any("JOIN" in i for i in out)
+
+    def test_aggregate_in_group_by(self, db):
+        out = issues(db, "SELECT COUNT(*) FROM results GROUP BY AVG(mae)")
+        assert any("GROUP BY" in i for i in out)
+
+    def test_nested_aggregate(self, db):
+        out = issues(db, "SELECT AVG(MAX(mae)) FROM results")
+        assert any("nested" in i for i in out)
+
+    def test_having_without_group(self, db):
+        out = issues(db, "SELECT method FROM results HAVING method = 'x'")
+        assert any("HAVING" in i for i in out)
+
+    def test_ungrouped_column_with_aggregate(self, db):
+        out = issues(db, "SELECT method, AVG(mae) FROM results")
+        assert any("GROUP BY" in i for i in out)
+
+    def test_grouped_query_accepted(self, db):
+        assert not issues(db, "SELECT method, AVG(mae) FROM results "
+                              "GROUP BY method")
+
+    def test_expression_of_group_key_accepted(self, db):
+        assert not issues(db, "SELECT UPPER(method), AVG(mae) FROM results "
+                              "GROUP BY method")
+        # UPPER over a grouped column is fine.
+
+    def test_star_in_grouped_query_rejected(self, db):
+        out = issues(db, "SELECT *, COUNT(*) FROM results GROUP BY method")
+        assert any("grouped" in i for i in out)
+
+
+class TestSyntaxGate:
+    def test_syntax_error_reported_not_raised(self, db):
+        out = issues(db, "SELEKT foo")
+        assert any("syntax error" in i for i in out)
+
+    def test_query_raises_sql_error(self, db):
+        with pytest.raises(SqlError) as exc:
+            db.query("SELECT ghost FROM results")
+        assert "ghost" in str(exc.value)
+        assert not exc.value.report.ok
+
+    def test_good_query_summary(self, db):
+        report = db.verify("SELECT method FROM results")
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_star_without_from(self, db):
+        out = issues(db, "SELECT *")
+        assert any("FROM" in i for i in out)
