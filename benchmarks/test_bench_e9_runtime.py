@@ -1,0 +1,98 @@
+"""E9 — runtime & scaling: parallel execution, determinism, artifact cache.
+
+ISSUE-1 acceptance benchmark for the ``repro.runtime`` subsystem on an
+E1-style matrix (8 methods × 10 series):
+
+* **Determinism** — ``workers=1`` and ``workers=4`` produce identical
+  ``ResultTable.to_rows()`` (same seeds, same scores, same order; the
+  wall-clock timing fields are measurements and excluded).
+* **Speed** — a ``ProcessExecutor(workers=4)`` run beats serial on a
+  multi-core box (asserted only when cores are actually available), and a
+  warm-cache re-run completes in < 25 % of the cold-run wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.pipeline import BenchmarkConfig, DatasetSpec, MethodSpec, run_one_click
+from repro.runtime import ArtifactCache, ProcessExecutor
+
+# Mix of statistical / ML / deep methods heavy enough (~60-80ms+ per cell)
+# that 4-way process parallelism beats pool startup cost on a real box.
+METHOD_POOL = ("arima", "ets", "stl", "mlp", "dlinear", "patchmlp",
+               "spectral", "seasonal_naive")
+DOMAINS = ("traffic", "electricity", "energy", "environment", "nature",
+           "economic", "stock", "banking", "health", "web")
+
+
+@pytest.fixture(scope="module")
+def matrix_config():
+    config = BenchmarkConfig(
+        methods=tuple(MethodSpec(m) for m in METHOD_POOL),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=320,
+                             domains=DOMAINS),
+        strategy="rolling", lookback=96, horizon=24,
+        metrics=("mae", "mse", "smape"), tag="e9").validate()
+    assert len(config.methods) >= 8
+    return config
+
+
+def _timed_run(config, **kwargs):
+    start = time.perf_counter()
+    table = run_one_click(config, **kwargs)
+    return table, time.perf_counter() - start
+
+
+class TestE9Determinism:
+    def test_workers_1_vs_4_identical_rows(self, matrix_config):
+        serial, t_serial = _timed_run(matrix_config)
+        parallel, t_parallel = _timed_run(
+            matrix_config,
+            executor=ProcessExecutor(workers=4,
+                                     base_seed=matrix_config.seed))
+        n_cells = len(METHOD_POOL) * len(DOMAINS)
+        assert len(serial) == len(parallel) == n_cells
+        rows_serial = serial.to_rows(include_timings=False)
+        rows_parallel = parallel.to_rows(include_timings=False)
+        assert rows_serial == rows_parallel
+        print(f"\nE9 determinism: {n_cells} cells identical "
+              f"(serial {t_serial:.2f}s, 4-way process {t_parallel:.2f}s)")
+        if os.cpu_count() and os.cpu_count() >= 4:
+            assert t_parallel < t_serial, (
+                f"4-way parallel ({t_parallel:.2f}s) not faster than "
+                f"serial ({t_serial:.2f}s) on a "
+                f"{os.cpu_count()}-core machine")
+
+
+class TestE9Cache:
+    def test_warm_cache_under_quarter_of_cold(self, matrix_config, tmp_path):
+        cache = ArtifactCache(directory=tmp_path / "artifacts")
+        cold_table, t_cold = _timed_run(matrix_config, cache=cache)
+        warm_table, t_warm = _timed_run(matrix_config, cache=cache)
+        stats = cache.stats()
+        n_cells = len(METHOD_POOL) * len(DOMAINS)
+        assert stats["hits"] == n_cells
+        assert stats["misses"] == n_cells
+        assert cold_table.to_rows() == warm_table.to_rows()
+        print(f"\nE9 cache: cold {t_cold:.2f}s → warm {t_warm:.3f}s "
+              f"({100 * t_warm / t_cold:.1f}% of cold), "
+              f"{stats['disk_entries']} artifacts on disk")
+        assert t_warm < 0.25 * t_cold, (
+            f"warm run {t_warm:.2f}s is not <25% of cold {t_cold:.2f}s")
+
+    def test_cold_cache_survives_process_boundary(self, matrix_config,
+                                                  tmp_path):
+        """A fresh cache instance (new process semantics) hits via disk."""
+        shared = tmp_path / "shared_artifacts"
+        first = ArtifactCache(directory=shared)
+        run_one_click(matrix_config, cache=first)
+        second = ArtifactCache(directory=shared)  # cold memory tier
+        table, t_disk = _timed_run(matrix_config, cache=second)
+        n_cells = len(METHOD_POOL) * len(DOMAINS)
+        assert second.stats()["disk_hits"] == n_cells
+        assert len(table) == n_cells
+        print(f"\nE9 disk tier: re-run from npz/json in {t_disk:.3f}s")

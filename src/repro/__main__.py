@@ -4,7 +4,8 @@ Commands mirror the demo's capabilities for shell users:
 
 * ``methods``                        — list the method catalogue;
 * ``characteristics <csv>``          — profile a CSV series;
-* ``bench <config.json> [--report out.html]`` — one-click evaluation;
+* ``bench <config.json> [--workers N] [--cache-dir DIR]`` — one-click
+  evaluation (parallel grid + artifact cache);
 * ``recommend <csv> [-k K]``         — offline phase + top-k methods;
 * ``forecast <csv> [--horizon H]``   — automated-ensemble forecast;
 * ``ask "<question>"``               — one Q&A turn (synthetic store);
@@ -44,6 +45,15 @@ def build_parser():
     p_bench.add_argument("--metric", default="mae")
     p_bench.add_argument("--report", type=Path, default=None,
                          help="write an HTML report here")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="parallel workers for the evaluation grid")
+    p_bench.add_argument("--executor", default=None,
+                         choices=("serial", "thread", "process"),
+                         help="executor backend (default: process when "
+                              "--workers > 1, else serial)")
+    p_bench.add_argument("--cache-dir", type=Path, default=None,
+                         help="artifact-cache directory (reruns reuse "
+                              "previously computed cells)")
 
     p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
     p_rec.add_argument("csv", type=Path)
@@ -67,6 +77,8 @@ def build_parser():
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument("--per-domain", type=int, default=2)
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="background-job slots for /jobs endpoints")
     return parser
 
 
@@ -91,9 +103,22 @@ def _cmd_characteristics(args, out):
 
 
 def _cmd_bench(args, out):
+    from .runtime import ArtifactCache, make_executor
+
     config = load_config(args.config)
-    table = run_one_click(config)
+    executor = None
+    if args.executor or args.workers > 1:
+        kind = args.executor or "process"
+        executor = make_executor(kind, workers=args.workers,
+                                 base_seed=config.seed)
+    cache = ArtifactCache(directory=args.cache_dir) if args.cache_dir \
+        else None
+    table = run_one_click(config, executor=executor, cache=cache)
     print(f"{len(table)} results", file=out)
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"({stats.get('disk_entries', 0)} on disk)", file=out)
     print(format_ranking(table.mean_scores(args.metric), args.metric),
           file=out)
     if args.report:
@@ -153,7 +178,8 @@ def _cmd_ask(args, out):
 def _cmd_serve(args, out):  # pragma: no cover - blocking loop
     from .server import EasyTimeServer
     system = _offline_system(args.per_domain)
-    server = EasyTimeServer(system, host=args.host, port=args.port)
+    server = EasyTimeServer(system, host=args.host, port=args.port,
+                            job_workers=args.job_workers)
     print(f"serving on {server.address}", file=out)
     try:
         server._httpd.serve_forever()

@@ -24,11 +24,30 @@ from ..characteristics import extract
 from ..datasets.split import SplitSpec, train_val_test_split
 from ..methods.base import Forecaster, check_history
 from ..methods.registry import create
+from ..runtime import SerialExecutor, Task
 from .classifier import PerformanceClassifier
 from .ts2vec import TS2Vec
 from .weights import combine, fit_ensemble_weights
 
 __all__ = ["AutoEnsemble", "EnsembleForecaster", "Recommendation"]
+
+
+def _fit_candidate(name, lookback, horizon, train, val, windows):
+    """Fit one candidate and forecast the shared validation windows.
+
+    Module-level so a :class:`~repro.runtime.ProcessExecutor` can ship the
+    embarrassingly-parallel top-k fits to worker processes; returns the
+    fitted model together with its flattened validation forecasts.
+    """
+    model = create(name)
+    for attr, value in (("lookback", lookback), ("horizon", horizon)):
+        if hasattr(model, attr):
+            setattr(model, attr, value)
+    model.fit(train, val)
+    parts = [model.predict(val[start:origin], target_end - origin).reshape(-1)
+             for start, origin, target_end in windows]
+    preds = np.concatenate(parts) if parts else np.empty(0)
+    return model, preds
 
 
 @dataclass(frozen=True)
@@ -92,7 +111,7 @@ class AutoEnsemble:
     def __init__(self, knowledge_base, registry=None, feature_mode="ts2vec",
                  metric="mae", classifier_loss="soft", lookback=96,
                  horizon=24, seed=0, ts2vec_params=None,
-                 classifier_params=None):
+                 classifier_params=None, executor=None):
         if feature_mode not in ("ts2vec", "characteristics"):
             raise ValueError(
                 f"unknown feature_mode {feature_mode!r}")
@@ -106,6 +125,9 @@ class AutoEnsemble:
         self.seed = seed
         self.ts2vec_params = dict(ts2vec_params or {})
         self.classifier_params = dict(classifier_params or {})
+        # Candidate fits in fit_ensemble() are embarrassingly parallel; a
+        # repro.runtime executor fans them out (serial by default).
+        self.executor = executor
         self.encoder = None
         self.classifier = None
         self.method_names = []
@@ -167,14 +189,6 @@ class AutoEnsemble:
             characteristics=extract(series),
         )
 
-    def _candidate(self, name):
-        model = create(name)
-        for attr, value in (("lookback", self.lookback),
-                            ("horizon", self.horizon)):
-            if hasattr(model, attr):
-                setattr(model, attr, value)
-        return model
-
     def _val_windows(self, val, horizon):
         """Rolling (history_start, origin, target_end) triples over X.val."""
         windows = []
@@ -185,13 +199,6 @@ class AutoEnsemble:
                             target_end))
             origin += horizon
         return windows
-
-    def _validation_forecasts(self, model, val, windows):
-        """One model's forecasts over the shared val windows, flattened."""
-        parts = [model.predict(val[start:origin], target_end - origin)
-                 .reshape(-1)
-                 for start, origin, target_end in windows]
-        return np.concatenate(parts) if parts else np.empty(0)
 
     def fit_ensemble(self, series, k=3, split=SplitSpec()):
         """Train top-k candidates on X.train, weight them on X.val.
@@ -214,14 +221,19 @@ class AutoEnsemble:
                 "validation segment too short for ensemble weight fitting")
         actual = np.concatenate([val[origin:target_end].reshape(-1)
                                  for _, origin, target_end in windows])
+        executor = self.executor or SerialExecutor(base_seed=self.seed)
+        series_name = getattr(series, "name", "series")
+        tasks = [Task(key=f"ensemble|{series_name}|{name}",
+                      fn=_fit_candidate,
+                      args=(name, self.lookback, self.horizon, train, val,
+                            windows))
+                 for name in recommendation.methods]
         fitted, rows, names = [], [], []
-        for name in recommendation.methods:
-            model = self._candidate(name)
-            try:
-                model.fit(train, val)
-                preds = self._validation_forecasts(model, val, windows)
-            except Exception:  # noqa: BLE001 - drop unstable candidates
+        for name, outcome in zip(recommendation.methods,
+                                 executor.map_tasks(tasks)):
+            if not outcome.ok:  # drop unstable candidates
                 continue
+            model, preds = outcome.value
             if preds.size != actual.size:
                 continue
             fitted.append((name, model))

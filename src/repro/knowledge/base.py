@@ -61,24 +61,37 @@ class KnowledgeBase:
             ch.transition, ch.shifting, ch.stationarity, ch.correlation)])
         self._dataset_names.add(series.name)
 
-    def add_result(self, result, term=None):
-        """Ingest one EvalResult row."""
+    @staticmethod
+    def _result_row(result, term=None):
+        """Flatten one EvalResult to a results-table tuple."""
         if term is None:
             term = "long" if result.horizon >= LONG_TERM_THRESHOLD else "short"
         metrics = [result.scores.get(m) for m in RESULT_METRICS]
         metrics = [None if v is not None and not np.isfinite(v) else v
                    for v in metrics]
-        self.db.insert("results", [(
-            result.method, result.series, result.horizon, result.strategy,
-            term, *metrics, result.n_windows, result.fit_seconds,
-            result.predict_seconds)])
+        return (result.method, result.series, result.horizon,
+                result.strategy, term, *metrics, result.n_windows,
+                result.fit_seconds, result.predict_seconds)
+
+    def add_result(self, result, term=None):
+        """Ingest one EvalResult row."""
+        self.db.insert("results", [self._result_row(result, term)])
         if result.method in METHODS:
             self.add_method(result.method)
 
     def ingest_table(self, table):
-        """Ingest every record of a pipeline ResultTable."""
-        for result in table:
-            self.add_result(result)
+        """Bulk-ingest a pipeline ResultTable in one insert.
+
+        Iteration over the table is order-deterministic (sorted by
+        series/method), so the stored row order is independent of how a
+        parallel run's cells completed.
+        """
+        records = list(table)
+        rows = [self._result_row(result) for result in records]
+        if rows:
+            self.db.insert("results", rows)
+        for name in sorted({r.method for r in records if r.method in METHODS}):
+            self.add_method(name)
 
     # -- introspection ---------------------------------------------------------
     def n_results(self):

@@ -35,11 +35,15 @@ FAST_POOL = ("naive", "seasonal_naive", "drift", "mean", "ses", "holt",
 def build_benchmark_knowledge(per_domain=3, length=384, horizons=(24,),
                               methods=FAST_POOL, seed=7, registry=None,
                               logger=None, metrics=("mae", "mse", "rmse",
-                                                    "smape", "mase")):
+                                                    "smape", "mase"),
+                              executor=None, cache=None, workers=None):
     """Run the pipeline over a univariate suite and ingest the results.
 
     Returns ``(knowledge_base, registry)``; the registry is shared so
     downstream code can regenerate exactly the ingested series.
+    ``executor``/``cache``/``workers`` pass straight through to
+    :func:`~repro.pipeline.run_one_click`, so a knowledge-base (re)build
+    can fan out over cores and reuse previously computed cells.
     """
     registry = registry or DatasetRegistry(seed=seed)
     kb = KnowledgeBase()
@@ -55,7 +59,8 @@ def build_benchmark_knowledge(per_domain=3, length=384, horizons=(24,),
             strategy="rolling", lookback=96, horizon=horizon,
             metrics=tuple(metrics), seed=seed,
             tag=f"knowledge_h{horizon}").validate()
-        table = run_one_click(config, registry=registry, logger=logger)
+        table = run_one_click(config, registry=registry, logger=logger,
+                              executor=executor, cache=cache, workers=workers)
         kb.ingest_table(table)
     return kb, registry
 

@@ -4,15 +4,47 @@ TFB's reporting layer "includes a logging system for tracking experimental
 information".  :class:`RunLogger` collects structured events in memory and
 optionally mirrors them to a JSON-lines file, so a benchmark run leaves a
 complete machine-readable trail.
+
+The file sink keeps one lazily-opened append handle for the whole logger
+family (children share it) instead of reopening the file per event, and
+each record goes out as a single ``write()`` of one complete line in
+append mode — so events written concurrently from worker processes or
+threads interleave without corrupting each other.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 
 __all__ = ["RunLogger"]
+
+
+class _FileSink:
+    """Lazily-opened, lock-guarded append-mode JSONL sink."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def write(self, record):
+        # One write() call per complete line: O_APPEND keeps concurrent
+        # writers from splicing into each other's records.
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self):
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 class RunLogger:
@@ -20,20 +52,27 @@ class RunLogger:
 
     Events are dicts with ``ts`` (monotonic-ish wall time), ``level``,
     ``event`` and free-form payload keys.  A logger can be scoped with
-    :meth:`child`, which prefixes every event.
+    :meth:`child`, which prefixes every event.  When mirroring to a file,
+    call :meth:`close` (or use the logger as a context manager) to release
+    the shared append handle.
     """
 
     LEVELS = ("debug", "info", "warning", "error")
 
-    def __init__(self, path=None, prefix="", _events=None):
+    def __init__(self, path=None, prefix="", _events=None, _sink=None):
         self.path = Path(path) if path else None
         self.prefix = prefix
         self.events = _events if _events is not None else []
+        if _sink is not None:
+            self._sink = _sink
+        else:
+            self._sink = _FileSink(self.path) if self.path else None
 
     def child(self, prefix):
-        """A scoped view sharing the same event buffer and file."""
+        """A scoped view sharing the same event buffer and file sink."""
         joined = f"{self.prefix}{prefix}." if prefix else self.prefix
-        return RunLogger(path=self.path, prefix=joined, _events=self.events)
+        return RunLogger(path=self.path, prefix=joined, _events=self.events,
+                         _sink=self._sink)
 
     def log(self, event, level="info", **payload):
         if level not in self.LEVELS:
@@ -41,9 +80,8 @@ class RunLogger:
         record = {"ts": time.time(), "level": level,
                   "event": f"{self.prefix}{event}", **payload}
         self.events.append(record)
-        if self.path:
-            with self.path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, default=str) + "\n")
+        if self._sink is not None:
+            self._sink.write(record)
         return record
 
     def info(self, event, **payload):
@@ -67,6 +105,18 @@ class RunLogger:
     def timer(self, event, **payload):
         """Context manager logging the elapsed time of a block."""
         return _Timer(self, event, payload)
+
+    def close(self):
+        """Close the shared file handle (safe to call repeatedly)."""
+        if self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     def __len__(self):
         return len(self.events)

@@ -7,6 +7,13 @@ instantiates each method fresh per series (no state leaks between
 datasets), applies the configured strategy, and returns a
 :class:`ResultTable` the reporting layer and the knowledge base both
 consume.
+
+The grid no longer has to run serially: ``run(executor=..., cache=...)``
+fans independent (method, series) cells out over a
+:mod:`repro.runtime` executor and consults an
+:class:`~repro.runtime.ArtifactCache` before paying for a fit.  Results
+are assembled in grid order and the table sorts its output, so completion
+order can never change downstream rankings.
 """
 
 from __future__ import annotations
@@ -19,26 +26,46 @@ from ..datasets.registry import DatasetRegistry
 from ..evaluation.metrics import HIGHER_IS_BETTER
 from ..evaluation.strategies import make_strategy
 from ..methods.registry import create
+from ..runtime import MISSING, SerialExecutor, Task
 from .config import BenchmarkConfig
 from .logging import RunLogger
 
 __all__ = ["BenchmarkRunner", "ResultTable", "run_one_click"]
 
 
+def _record_sort_key(record):
+    return (record.series, record.method, record.horizon, record.strategy)
+
+
 @dataclass
 class ResultTable:
-    """Flat result records plus pivot/ranking helpers."""
+    """Flat result records plus pivot/ranking helpers.
+
+    Iteration and ``to_rows()`` are order-deterministic — records come out
+    sorted by (series, method) regardless of insertion order, so parallel
+    completion order cannot reorder reports or knowledge-base ingest.
+    """
 
     records: list = field(default_factory=list)
 
     def add(self, result):
         self.records.append(result)
 
+    def merge(self, other):
+        """Fold another table's records into this one; returns self."""
+        self.records.extend(other.records if isinstance(other, ResultTable)
+                            else other)
+        return self
+
+    def sorted_records(self):
+        """Records sorted by (series, method, horizon, strategy)."""
+        return sorted(self.records, key=_record_sort_key)
+
     def __len__(self):
         return len(self.records)
 
     def __iter__(self):
-        return iter(self.records)
+        return iter(self.sorted_records())
 
     def methods(self):
         return sorted({r.method for r in self.records})
@@ -49,7 +76,7 @@ class ResultTable:
     def pivot(self, metric):
         """Dict ``{series: {method: score}}`` for one metric."""
         table = {}
-        for r in self.records:
+        for r in self.sorted_records():
             table.setdefault(r.series, {})[r.method] = r.scores.get(metric)
         return table
 
@@ -81,18 +108,56 @@ class ResultTable:
                 out[series] = (max if reverse else min)(scored, key=scored.get)
         return out
 
-    def to_rows(self):
-        """Flatten to plain dict rows (for the knowledge base / SQL)."""
+    def to_rows(self, include_timings=True):
+        """Flatten to plain dict rows (for the knowledge base / SQL).
+
+        ``include_timings=False`` drops the wall-clock measurement fields
+        (``fit_seconds``/``predict_seconds``), leaving only the
+        deterministic outcome — two runs of the same config compare equal
+        row-for-row regardless of worker count.
+        """
         rows = []
-        for r in self.records:
+        for r in self.sorted_records():
             base = {"method": r.method, "series": r.series,
                     "horizon": r.horizon, "strategy": r.strategy,
-                    "n_windows": r.n_windows,
-                    "fit_seconds": r.fit_seconds,
-                    "predict_seconds": r.predict_seconds}
+                    "n_windows": r.n_windows}
+            if include_timings:
+                base["fit_seconds"] = r.fit_seconds
+                base["predict_seconds"] = r.predict_seconds
             base.update({f"metric_{k}": v for k, v in r.scores.items()})
             rows.append(base)
         return rows
+
+
+def _instantiate(config, spec):
+    """Build a method instance for one cell, applying config geometry."""
+    params = dict(spec.params)
+    # Window-based methods inherit the config geometry unless the user
+    # pinned their own.
+    model = create(spec.name, **params)
+    for attr, value in (("lookback", config.lookback),
+                        ("horizon", config.horizon)):
+        if hasattr(model, attr) and attr not in params:
+            setattr(model, attr, value)
+    return model
+
+
+def _evaluate_cell(config, spec, series):
+    """Evaluate one (method, series) cell.
+
+    Module-level so :class:`~repro.runtime.ProcessExecutor` workers can
+    pickle it; everything it needs travels in the arguments.
+    """
+    strategy = make_strategy(config.strategy, **config.strategy_kwargs())
+    model = _instantiate(config, spec)
+    return strategy.evaluate(model, series)
+
+
+def _cell_key(config, spec, series):
+    """Stable task key — also the seed source, so it must not depend on
+    submission order or process identity."""
+    return (f"{config.tag}|{series.name}|{spec.name}"
+            f"|{config.strategy}|h{config.horizon}")
 
 
 class BenchmarkRunner:
@@ -108,51 +173,101 @@ class BenchmarkRunner:
         self.logger = logger if logger is not None else RunLogger()
 
     def _instantiate(self, spec):
-        params = dict(spec.params)
-        # Window-based methods inherit the config geometry unless the user
-        # pinned their own.
-        model = create(spec.name, **params)
-        for attr, value in (("lookback", self.config.lookback),
-                            ("horizon", self.config.horizon)):
-            if hasattr(model, attr) and attr not in params:
-                setattr(model, attr, value)
-        return model
+        return _instantiate(self.config, spec)
 
-    def run(self, progress=None):
+    def _cache_key(self, cache, spec, series):
+        return cache.key(spec.name, spec.params, series.name, series.values,
+                         series.freq, self.config.strategy,
+                         self.config.strategy_kwargs())
+
+    def run(self, progress=None, executor=None, cache=None):
         """Execute the full methods × datasets grid; returns a ResultTable.
 
-        Failures of individual (method, series) cells are logged and
-        skipped rather than aborting the run — a long benchmark should
-        not die on one unstable fit.
+        Parameters
+        ----------
+        executor:
+            A :mod:`repro.runtime` executor; defaults to a
+            :class:`SerialExecutor` seeded from the config.  Results are
+            identical for any worker count because every cell's RNG seed
+            derives from its stable task key.
+        cache:
+            An optional :class:`~repro.runtime.ArtifactCache`; hits skip
+            the fit entirely and misses are stored after evaluation.
+
+        Failures of individual (method, series) cells are retried by the
+        executor, then logged as structured ``run.cell_failed`` events and
+        skipped rather than aborting the run — a long benchmark should not
+        die on one unstable fit.
         """
         config = self.config
+        if executor is None:
+            executor = SerialExecutor(base_seed=config.seed)
         series_list = config.datasets.resolve(self.registry)
-        table = ResultTable()
+        cells = [(series, spec)
+                 for series in series_list for spec in config.methods]
         self.logger.info("run.start", tag=config.tag,
                          n_methods=len(config.methods),
                          n_series=len(series_list),
-                         strategy=config.strategy, horizon=config.horizon)
-        for series in series_list:
-            for spec in config.methods:
-                strategy = make_strategy(config.strategy,
-                                         **config.strategy_kwargs())
-                model = self._instantiate(spec)
-                try:
-                    with self.logger.timer("run.cell", method=spec.name,
-                                           series=series.name):
-                        result = strategy.evaluate(model, series)
-                except Exception as exc:  # noqa: BLE001 - cell isolation
-                    self.logger.error("run.cell_failed", method=spec.name,
-                                      series=series.name, error=repr(exc))
+                         strategy=config.strategy, horizon=config.horizon,
+                         executor=executor.kind,
+                         workers=getattr(executor, "workers", 1),
+                         cached=cache is not None)
+        slots = [None] * len(cells)
+        pending = []  # (slot index, Task, cache key)
+        for i, (series, spec) in enumerate(cells):
+            cache_key = None
+            if cache is not None:
+                cache_key = self._cache_key(cache, spec, series)
+                hit = cache.get(cache_key)
+                if hit is not MISSING:
+                    slots[i] = hit
+                    self.logger.info("run.cache_hit", method=spec.name,
+                                     series=series.name)
                     continue
-                table.add(result)
-                if progress is not None:
-                    progress(result)
-        self.logger.info("run.done", n_results=len(table))
+            task = Task(key=_cell_key(config, spec, series),
+                        fn=_evaluate_cell, args=(config, spec, series))
+            pending.append((i, task, cache_key))
+        if pending:
+            outcomes = executor.map_tasks([task for _, task, _ in pending])
+            for (i, _task, cache_key), outcome in zip(pending, outcomes):
+                series, spec = cells[i]
+                if outcome.ok:
+                    slots[i] = outcome.value
+                    self.logger.info("run.cell", method=spec.name,
+                                     series=series.name, status="ok",
+                                     seconds=round(outcome.seconds, 6),
+                                     attempts=outcome.attempts)
+                    if cache is not None:
+                        cache.put(cache_key, outcome.value)
+                else:
+                    self.logger.error("run.cell_failed", method=spec.name,
+                                      series=series.name,
+                                      error=outcome.error.error,
+                                      error_type=outcome.error.error_type,
+                                      attempts=outcome.error.attempts)
+        table = ResultTable()
+        for result in slots:
+            if result is None:
+                continue
+            table.add(result)
+            if progress is not None:
+                progress(result)
+        done_payload = {"n_results": len(table)}
+        if cache is not None:
+            done_payload["cache"] = cache.stats()
+        self.logger.info("run.done", **done_payload)
         return table
 
 
-def run_one_click(config, registry=None, logger=None, progress=None):
-    """The one-click evaluation entry point (demo scenario S1)."""
-    return BenchmarkRunner(config, registry=registry,
-                           logger=logger).run(progress=progress)
+def run_one_click(config, registry=None, logger=None, progress=None,
+                  executor=None, cache=None, workers=None):
+    """The one-click evaluation entry point (demo scenario S1).
+
+    ``workers`` is a convenience: ``workers > 1`` without an explicit
+    ``executor`` selects a :class:`~repro.runtime.ProcessExecutor`.
+    """
+    if executor is None and workers and workers > 1:
+        from ..runtime import default_executor
+        executor = default_executor(workers=workers, base_seed=config.seed)
+    return BenchmarkRunner(config, registry=registry, logger=logger).run(
+        progress=progress, executor=executor, cache=cache)

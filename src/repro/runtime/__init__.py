@@ -1,0 +1,26 @@
+"""Execution runtime: parallel executors, artifact cache, background jobs.
+
+The rest of the repo submits work here instead of running it inline:
+
+* :mod:`.executor` — ``Serial``/``Thread``/``Process`` executors behind one
+  ``map_tasks`` interface with deterministic per-task seeding, bounded
+  in-worker retry, per-task timeout and structured failure records;
+* :mod:`.cache` — a content-addressed two-tier (memory LRU + disk
+  JSON/npz) artifact cache with hit/miss/evict counters;
+* :mod:`.jobs` — background job submission with a
+  ``submitted → running → done/failed`` lifecycle, powering the server's
+  ``/jobs`` endpoints.
+"""
+
+from .cache import CODE_VERSION, MISSING, ArtifactCache, fingerprint
+from .executor import (EXECUTORS, ProcessExecutor, SerialExecutor, Task,
+                       TaskError, TaskResult, ThreadExecutor,
+                       default_executor, derive_seed, make_executor)
+from .jobs import JOB_STATES, Job, JobManager
+
+__all__ = [
+    "Task", "TaskError", "TaskResult", "SerialExecutor", "ThreadExecutor",
+    "ProcessExecutor", "derive_seed", "make_executor", "default_executor",
+    "EXECUTORS", "ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING",
+    "Job", "JobManager", "JOB_STATES",
+]

@@ -1,0 +1,285 @@
+"""Content-addressed artifact cache: in-memory LRU over on-disk JSON/npz.
+
+The cache never pays for the same fit twice.  Keys are SHA-256
+fingerprints of the *content* that determines a result — method spec,
+series values, strategy geometry — plus a code-version salt, so bumping
+:data:`CODE_VERSION` (or passing a custom ``salt``) invalidates every
+stale entry at once.
+
+Two tiers:
+
+* an in-memory LRU (``memory_items`` entries) for repeat hits within a
+  process;
+* an optional on-disk store (``directory``) holding one ``<digest>.json``
+  per entry with numpy payloads hoisted into a sibling ``.npz`` — durable
+  across processes and runs, and safely shareable between workers because
+  writes go through a temp file + atomic rename.
+
+A corrupt or truncated disk entry is treated as a miss (and deleted
+best-effort), never a crash.  Hit/miss/evict counters are exposed via
+:meth:`ArtifactCache.stats` for logging.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..evaluation.strategies import EvalResult
+
+__all__ = ["ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING"]
+
+#: Bump on changes that invalidate previously cached results.
+CODE_VERSION = "repro-runtime-v1"
+
+#: Sentinel distinguishing "cached None" from "not cached".
+MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(obj, parts):
+    """Append a type-tagged canonical byte encoding of ``obj`` to parts."""
+    if obj is None:
+        parts.append(b"N")
+    elif isinstance(obj, bool):
+        parts.append(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        parts.append(b"I" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        parts.append(b"F" + np.float64(obj).tobytes())
+    elif isinstance(obj, str):
+        parts.append(b"S" + obj.encode("utf-8"))
+    elif isinstance(obj, bytes):
+        parts.append(b"Y" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        parts.append(b"A" + str(arr.dtype).encode()
+                     + str(arr.shape).encode() + arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        parts.append(b"L(")
+        for item in obj:
+            _canonical(item, parts)
+        parts.append(b")")
+    elif isinstance(obj, dict):
+        parts.append(b"D(")
+        for key in sorted(obj, key=str):
+            _canonical(str(key), parts)
+            _canonical(obj[key], parts)
+        parts.append(b")")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        parts.append(b"C" + type(obj).__name__.encode())
+        for f in dataclasses.fields(obj):
+            _canonical(f.name, parts)
+            _canonical(getattr(obj, f.name), parts)
+    else:
+        parts.append(b"R" + repr(obj).encode("utf-8"))
+
+
+def fingerprint(*parts):
+    """Stable SHA-256 hex digest of arbitrarily nested key material."""
+    chunks = []
+    for part in parts:
+        _canonical(part, chunks)
+    return hashlib.sha256(b"\x00".join(chunks)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Value codec (JSON structure + npz array sidecar)
+# ---------------------------------------------------------------------------
+
+def _encode(value, arrays):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        ref = f"arr{len(arrays)}"
+        arrays[ref] = value
+        return {"__kind__": "ndarray", "ref": ref}
+    if isinstance(value, EvalResult):
+        fields = {f.name: _encode(getattr(value, f.name), arrays)
+                  for f in dataclasses.fields(EvalResult)}
+        return {"__kind__": "eval_result", "fields": fields}
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple",
+                "items": [_encode(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v, arrays) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v, arrays) for k, v in value.items()}
+    raise TypeError(f"cannot cache value of type {type(value).__name__}")
+
+
+def _decode(node, arrays):
+    if isinstance(node, list):
+        return [_decode(v, arrays) for v in node]
+    if isinstance(node, dict):
+        kind = node.get("__kind__")
+        if kind == "ndarray":
+            return arrays[node["ref"]]
+        if kind == "tuple":
+            return tuple(_decode(v, arrays) for v in node["items"])
+        if kind == "eval_result":
+            return EvalResult(**{k: _decode(v, arrays)
+                                 for k, v in node["fields"].items()})
+        return {k: _decode(v, arrays) for k, v in node.items()}
+    return node
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+class ArtifactCache:
+    """Two-tier content-addressed cache for evaluation artifacts.
+
+    Parameters
+    ----------
+    directory:
+        On-disk tier root; ``None`` keeps the cache memory-only.
+    memory_items:
+        LRU capacity of the in-memory tier.
+    salt:
+        Code-version salt folded into every key.
+    """
+
+    def __init__(self, directory=None, memory_items=512, salt=CODE_VERSION):
+        self.directory = Path(directory) if directory else None
+        if self.directory:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_items = max(int(memory_items), 0)
+        self.salt = salt
+        self._memory = OrderedDict()
+        self._lock = threading.RLock()
+        self.counters = {"hits": 0, "misses": 0, "memory_hits": 0,
+                         "disk_hits": 0, "evictions": 0, "puts": 0,
+                         "corrupt": 0}
+
+    # -- keys ------------------------------------------------------------
+    def key(self, *parts):
+        """Fingerprint key material under this cache's salt."""
+        return fingerprint(self.salt, *parts)
+
+    def _paths(self, key):
+        shard = self.directory / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key, default=MISSING):
+        """Fetch a cached value; ``default`` (MISSING) when absent."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.counters["hits"] += 1
+                self.counters["memory_hits"] += 1
+                return self._memory[key]
+        value = self._disk_get(key)
+        if value is not MISSING:
+            with self._lock:
+                self.counters["hits"] += 1
+                self.counters["disk_hits"] += 1
+                self._memory_put(key, value)
+            return value
+        with self._lock:
+            self.counters["misses"] += 1
+        return default
+
+    def _disk_get(self, key):
+        if self.directory is None:
+            return MISSING
+        json_path, npz_path = self._paths(key)
+        if not json_path.exists():
+            return MISSING
+        try:
+            payload = json.loads(json_path.read_text(encoding="utf-8"))
+            arrays = {}
+            if npz_path.exists():
+                with np.load(npz_path) as data:
+                    arrays = {name: data[name] for name in data.files}
+            return _decode(payload["value"], arrays)
+        except Exception:  # noqa: BLE001 - corrupt entry == miss
+            with self._lock:
+                self.counters["corrupt"] += 1
+            for path in (json_path, npz_path):
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+            return MISSING
+
+    # -- store -----------------------------------------------------------
+    def put(self, key, value):
+        """Store a value in both tiers; returns the key."""
+        with self._lock:
+            self.counters["puts"] += 1
+            self._memory_put(key, value)
+        if self.directory is not None:
+            self._disk_put(key, value)
+        return key
+
+    def _memory_put(self, key, value):
+        if self.memory_items <= 0:
+            return
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+            self.counters["evictions"] += 1
+
+    def _disk_put(self, key, value):
+        json_path, npz_path = self._paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {}
+        encoded = _encode(value, arrays)
+        if arrays:
+            tmp_npz = npz_path.with_suffix(f".tmp{os.getpid()}.npz")
+            with tmp_npz.open("wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            tmp_npz.replace(npz_path)
+        tmp_json = json_path.with_suffix(f".tmp{os.getpid()}.json")
+        tmp_json.write_text(json.dumps({"salt": str(self.salt),
+                                        "value": encoded}),
+                            encoding="utf-8")
+        tmp_json.replace(json_path)
+
+    # -- conveniences ----------------------------------------------------
+    def get_or_compute(self, key, fn):
+        """Return the cached value for ``key`` or compute-and-store it."""
+        value = self.get(key)
+        if value is not MISSING:
+            return value
+        value = fn()
+        self.put(key, value)
+        return value
+
+    def clear_memory(self):
+        """Drop the in-memory tier (the disk tier is untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self):
+        """Counter snapshot plus current tier sizes."""
+        with self._lock:
+            out = dict(self.counters)
+            out["memory_entries"] = len(self._memory)
+        if self.directory is not None:
+            out["disk_entries"] = sum(1 for _ in
+                                      self.directory.glob("*/*.json"))
+        return out
+
+    def __contains__(self, key):
+        if key in self._memory:
+            return True
+        if self.directory is None:
+            return False
+        return self._paths(key)[0].exists()

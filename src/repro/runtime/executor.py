@@ -1,0 +1,290 @@
+"""Pluggable task executors with deterministic per-task seeding.
+
+The execution runtime turns a list of :class:`Task` objects into a list of
+:class:`TaskResult` objects — one per task, **in task order**, regardless
+of which worker finished first.  Three interchangeable backends sit behind
+the same ``map_tasks`` interface:
+
+* :class:`SerialExecutor` — in-process loop, zero overhead, the default;
+* :class:`ThreadExecutor` — a thread pool, good for I/O-bound or
+  GIL-releasing work;
+* :class:`ProcessExecutor` — a process pool (``fork`` where available),
+  true parallelism for CPU-bound numpy workloads.
+
+Determinism contract
+--------------------
+Before every attempt of every task the worker reseeds ``random`` and
+``numpy.random`` with a seed derived *only* from the task key and the
+executor's ``base_seed`` (:func:`derive_seed`).  A task therefore sees the
+identical RNG stream whether it runs first or last, in the parent process
+or in any worker — results are bit-identical for ``workers ∈ {1, N}``.
+Tasks that want the seed explicitly set ``pass_seed=True`` and receive it
+as a ``_seed`` keyword argument.
+
+Failure contract
+----------------
+A raising task is retried in-worker up to ``retries`` times with
+exponential backoff (so transient failures keep any per-process state they
+accumulated), then reported as a structured :class:`TaskError` inside its
+:class:`TaskResult` — one bad cell never aborts the batch.  Pool executors
+additionally enforce a per-task ``timeout`` while collecting results; the
+serial executor cannot preempt and documents timeout as best-effort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Task", "TaskError", "TaskResult", "SerialExecutor",
+           "ThreadExecutor", "ProcessExecutor", "derive_seed",
+           "make_executor", "default_executor", "EXECUTORS"]
+
+
+def derive_seed(key, base_seed=0):
+    """Stable 32-bit seed from a task key and a base seed.
+
+    Uses SHA-256 so the mapping is independent of ``PYTHONHASHSEED``,
+    process identity and task submission order.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a picklable callable plus its arguments.
+
+    ``key`` must be stable across runs — it addresses the task's RNG
+    stream and labels its result.  With ``pass_seed=True`` the derived
+    seed is injected as a ``_seed`` keyword argument.
+    """
+
+    key: str
+    fn: object
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    pass_seed: bool = False
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of a task that exhausted its retries."""
+
+    key: str
+    error: str
+    error_type: str
+    attempts: int
+    traceback: str = ""
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task: either ``value`` or a :class:`TaskError`."""
+
+    key: str
+    value: object = None
+    error: object = None
+    attempts: int = 1
+    seconds: float = 0.0
+    seed: int = 0
+
+    @property
+    def ok(self):
+        return self.error is None
+
+
+def _run_task(task, seed, retries, backoff):
+    """Execute one task with per-attempt reseeding and in-worker retry.
+
+    Module-level so :class:`ProcessExecutor` can pickle it.  Retrying in
+    the worker (rather than resubmitting) keeps per-process state alive
+    between attempts, which is what lets genuinely transient failures
+    succeed on the second try.
+    """
+    last = None
+    t0 = time.perf_counter()
+    for attempt in range(1, retries + 2):
+        random.seed(seed)
+        np.random.seed(seed % (2 ** 32))
+        kwargs = dict(task.kwargs)
+        if task.pass_seed:
+            kwargs["_seed"] = seed
+        try:
+            value = task.fn(*task.args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - per-task isolation
+            last = exc
+            if attempt <= retries:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            continue
+        return TaskResult(key=task.key, value=value, attempts=attempt,
+                          seconds=time.perf_counter() - t0, seed=seed)
+    error = TaskError(
+        key=task.key, error=repr(last), error_type=type(last).__name__,
+        attempts=retries + 1,
+        traceback="".join(traceback.format_exception(
+            type(last), last, last.__traceback__)))
+    return TaskResult(key=task.key, error=error, attempts=retries + 1,
+                      seconds=time.perf_counter() - t0, seed=seed)
+
+
+class BaseExecutor:
+    """Shared configuration for all executors."""
+
+    kind = "base"
+
+    def __init__(self, retries=1, backoff=0.05, timeout=None, base_seed=0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = timeout
+        self.base_seed = int(base_seed)
+
+    def map_tasks(self, tasks):
+        """Run every task; return a TaskResult per task, in task order."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release pooled resources (no-op for stateless executors)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"{type(self).__name__}(kind={self.kind!r})"
+
+
+class SerialExecutor(BaseExecutor):
+    """In-process sequential execution — the zero-dependency baseline.
+
+    Cannot preempt a running task, so ``timeout`` is not enforced here;
+    everything else (seeding, retry, error isolation) matches the pools.
+    """
+
+    kind = "serial"
+
+    def map_tasks(self, tasks):
+        return [_run_task(task, derive_seed(task.key, self.base_seed),
+                          self.retries, self.backoff)
+                for task in tasks]
+
+
+class _PoolExecutor(BaseExecutor):
+    """Shared submit/collect loop for thread and process pools.
+
+    A fresh pool is created per ``map_tasks`` call, so the executor object
+    itself stays picklable and reusable.  Results are collected in
+    submission order; a task that exceeds ``timeout`` while being awaited
+    is reported as a ``Timeout`` TaskError without aborting the batch.
+    """
+
+    def __init__(self, workers=2, initializer=None, **kwargs):
+        super().__init__(**kwargs)
+        self.workers = max(int(workers), 1)
+        self.initializer = initializer
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def map_tasks(self, tasks):
+        tasks = list(tasks)
+        results = []
+        with self._make_pool() as pool:
+            futures = [
+                pool.submit(_run_task, task,
+                            derive_seed(task.key, self.base_seed),
+                            self.retries, self.backoff)
+                for task in tasks]
+            for task, future in zip(tasks, futures):
+                try:
+                    results.append(future.result(timeout=self.timeout))
+                except FutureTimeout:
+                    future.cancel()
+                    results.append(TaskResult(
+                        key=task.key, seconds=float(self.timeout),
+                        error=TaskError(
+                            key=task.key, error_type="Timeout", attempts=1,
+                            error=f"task exceeded timeout={self.timeout}s")))
+                except Exception as exc:  # noqa: BLE001 - broken pool etc.
+                    results.append(TaskResult(
+                        key=task.key,
+                        error=TaskError(key=task.key, error=repr(exc),
+                                        error_type=type(exc).__name__,
+                                        attempts=1)))
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution.
+
+    Note: threads share the global ``numpy.random`` state, so the
+    determinism guarantee holds for tasks that draw from RNGs seeded via
+    ``_seed`` (or their own per-instance generators), which is what every
+    registry method does — not for tasks hammering the global stream.
+    """
+
+    kind = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers,
+                                  initializer=self.initializer,
+                                  thread_name_prefix="repro-runtime")
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution for CPU-bound cells.
+
+    Prefers the ``fork`` start method (workers inherit registered methods
+    and module state); falls back to the platform default elsewhere.
+    Task functions and arguments must be picklable.
+    """
+
+    kind = "process"
+
+    def _make_pool(self):
+        import multiprocessing as mp
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = mp.get_context()
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx,
+                                   initializer=self.initializer)
+
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(kind, **kwargs):
+    """Instantiate an executor by name (``serial``/``thread``/``process``)."""
+    try:
+        cls = EXECUTORS[kind.lower()]
+    except KeyError:
+        raise KeyError(f"unknown executor {kind!r}; expected one of "
+                       f"{sorted(EXECUTORS)}") from None
+    if cls is SerialExecutor:
+        kwargs.pop("workers", None)
+        kwargs.pop("initializer", None)
+    return cls(**kwargs)
+
+
+def default_executor(workers=1, base_seed=0, **kwargs):
+    """Serial for ``workers <= 1``, a process pool otherwise."""
+    if workers and workers > 1:
+        return ProcessExecutor(workers=workers, base_seed=base_seed, **kwargs)
+    return SerialExecutor(base_seed=base_seed, **kwargs)

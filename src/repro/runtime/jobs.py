@@ -1,0 +1,143 @@
+"""Background jobs: ``submitted → running → done/failed`` over threads.
+
+The job manager lets the HTTP server (or any caller) kick off a long
+evaluation and return immediately with a job id; the work proceeds on a
+daemon thread pool and its state machine is polled via :meth:`get`.
+Deleting a pending job cancels it; deleting a finished job just drops the
+record.  Every transition is timestamped so clients can report queue and
+run latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobManager", "JOB_STATES"]
+
+JOB_STATES = ("submitted", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One background unit of work and its lifecycle record."""
+
+    id: str
+    state: str = "submitted"
+    meta: dict = field(default_factory=dict)
+    result: object = None
+    error: str = ""
+    error_type: str = ""
+    created_at: float = field(default_factory=time.time)
+    started_at: float = None
+    finished_at: float = None
+
+    def snapshot(self):
+        """JSON-ready view of the job (result included once done)."""
+        out = {"id": self.id, "state": self.state, "meta": dict(self.meta),
+               "created_at": self.created_at, "started_at": self.started_at,
+               "finished_at": self.finished_at}
+        if self.state == "done":
+            out["result"] = self.result
+        if self.state == "failed":
+            out["error"] = self.error
+            out["error_type"] = self.error_type
+        return out
+
+
+class JobManager:
+    """Thread-pooled background job registry.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent job slots; additional submissions queue as
+        ``submitted`` until a slot frees up.
+    """
+
+    def __init__(self, workers=2, name="repro-jobs"):
+        self._jobs = {}
+        self._futures = {}
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._pool = ThreadPoolExecutor(max_workers=max(int(workers), 1),
+                                        thread_name_prefix=name)
+
+    # -- lifecycle -------------------------------------------------------
+    def submit(self, fn, *args, meta=None, **kwargs):
+        """Queue ``fn(*args, **kwargs)``; returns the new job id."""
+        with self._lock:
+            job = Job(id=f"job-{next(self._ids):06d}", meta=dict(meta or {}))
+            self._jobs[job.id] = job
+            self._futures[job.id] = self._pool.submit(
+                self._run, job.id, fn, args, kwargs)
+        return job.id
+
+    def _run(self, job_id, fn, args, kwargs):
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state == "cancelled":
+                return
+            job.state = "running"
+            job.started_at = time.time()
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - failure is a job state
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{exc}"
+                job.error_type = type(exc).__name__
+                job.finished_at = time.time()
+                job.meta.setdefault("traceback",
+                                    traceback.format_exc(limit=8))
+            return
+        with self._lock:
+            job.state = "done"
+            job.result = result
+            job.finished_at = time.time()
+
+    # -- queries ---------------------------------------------------------
+    def get(self, job_id):
+        """The :class:`Job` record; raises ``KeyError`` when unknown."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list(self):
+        """Snapshots of every known job, oldest first."""
+        with self._lock:
+            return [self._jobs[k].snapshot() for k in sorted(self._jobs)]
+
+    def delete(self, job_id):
+        """Cancel (if pending) and forget a job; returns its last snapshot."""
+        with self._lock:
+            job = self.get(job_id)
+            future = self._futures.pop(job_id, None)
+            if future is not None and future.cancel():
+                job.state = "cancelled"
+                job.finished_at = time.time()
+            snapshot = job.snapshot()
+            del self._jobs[job_id]
+        return snapshot
+
+    def wait(self, job_id, timeout=60.0, poll=0.02):
+        """Block until the job leaves the active states; returns the Job."""
+        deadline = time.time() + timeout
+        while True:
+            job = self.get(job_id)
+            if job.state in ("done", "failed", "cancelled"):
+                return job
+            if time.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.state} after {timeout}s")
+            time.sleep(poll)
+
+    def shutdown(self, wait=False):
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._pool.shutdown(wait=wait, cancel_futures=True)

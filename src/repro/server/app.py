@@ -2,21 +2,28 @@
 
 Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
 
-====================  =========================================
-``GET  /health``       liveness probe
-``GET  /methods``      method catalogue (S1 method list)
-``GET  /datasets``     choosable datasets (label 2)
-``POST /upload``       upload CSV dataset (label 1)
-``POST /recommend``    characteristics + top-k methods (labels 3-4)
-``POST /evaluate``     evaluate a chosen method (labels 5-7)
-``POST /automl``       automated ensemble forecast (label 8)
-``POST /qa``           natural-language Q&A (Fig. 5)
-====================  =========================================
+==========================  =========================================
+``GET    /health``           liveness probe
+``GET    /methods``          method catalogue (S1 method list)
+``GET    /datasets``         choosable datasets (label 2)
+``POST   /upload``           upload CSV dataset (label 1)
+``POST   /recommend``        characteristics + top-k methods (labels 3-4)
+``POST   /evaluate``         evaluate a chosen method (labels 5-7)
+``POST   /automl``           automated ensemble forecast (label 8)
+``POST   /qa``               natural-language Q&A (Fig. 5)
+``POST   /jobs/evaluate``    background evaluation → job id
+``POST   /jobs/automl``      background ensemble forecast → job id
+``GET    /jobs``             list background jobs
+``GET    /jobs/<id>``        poll one job (result payload once done)
+``DELETE /jobs/<id>``        cancel/forget a job
+==========================  =========================================
 
 Responses are ``{"ok": bool, "data": ...}`` or
 ``{"ok": false, "error": str}``.  The server is stdlib-only
-(``http.server``) and single-threaded — it exists to exercise the demo
-workflow, not to serve production traffic.
+(``http.server``).  Long evaluations no longer block the request
+thread: the ``/jobs`` endpoints hand work to a
+:class:`~repro.runtime.JobManager` and return immediately with a job id
+for polling.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
 import numpy as np
+
+from ..runtime import JobManager
 
 __all__ = ["EasyTimeServer", "make_handler"]
 
@@ -72,8 +81,28 @@ def make_handler(api):
                     self._send({"ok": True, "data": api.methods()})
                 elif route == "/datasets":
                     self._send({"ok": True, "data": api.datasets()})
+                elif route == "/jobs":
+                    self._send({"ok": True, "data": api.job_list()})
+                elif route.startswith("/jobs/"):
+                    self._send({"ok": True,
+                                "data": api.job_status(route[len("/jobs/"):])})
                 else:
                     self._fail(f"unknown endpoint {route}", status=404)
+            except KeyError as exc:
+                self._fail(f"KeyError: {exc}", status=404)
+            except Exception as exc:  # noqa: BLE001 - error envelope
+                self._fail(f"{type(exc).__name__}: {exc}", status=500)
+
+        def do_DELETE(self):
+            route = self.path.split("?")[0].rstrip("/")
+            if not route.startswith("/jobs/"):
+                self._fail(f"unknown endpoint {route}", status=404)
+                return
+            try:
+                self._send({"ok": True,
+                            "data": api.job_delete(route[len("/jobs/"):])})
+            except KeyError as exc:
+                self._fail(f"KeyError: {exc}", status=404)
             except Exception as exc:  # noqa: BLE001 - error envelope
                 self._fail(f"{type(exc).__name__}: {exc}", status=500)
 
@@ -92,6 +121,8 @@ def make_handler(api):
                 "/evaluate": api.evaluate,
                 "/automl": api.automl,
                 "/qa": api.qa,
+                "/jobs/evaluate": api.job_evaluate,
+                "/jobs/automl": api.job_automl,
             }
             fn = handlers.get(route)
             if fn is None:
@@ -110,8 +141,9 @@ def make_handler(api):
 class _Api:
     """Thin translation layer between JSON bodies and the EasyTime facade."""
 
-    def __init__(self, easytime):
+    def __init__(self, easytime, jobs=None):
         self.et = easytime
+        self.jobs = jobs if jobs is not None else JobManager(workers=2)
 
     def methods(self):
         return [self.et.method_details(name)
@@ -157,12 +189,37 @@ class _Api:
                 "chart": response.chart, "table": response.table(),
                 "ok": response.ok}
 
+    # -- background jobs (repro.runtime.JobManager) ----------------------
+    def job_evaluate(self, body):
+        """Submit an /evaluate payload as a background job."""
+        job_id = self.jobs.submit(self.evaluate, body,
+                                  meta={"kind": "evaluate",
+                                        "dataset": body.get("dataset"),
+                                        "method": body.get("method")})
+        return {"job_id": job_id, "state": "submitted"}
+
+    def job_automl(self, body):
+        """Submit an /automl payload as a background job."""
+        job_id = self.jobs.submit(self.automl, body,
+                                  meta={"kind": "automl",
+                                        "dataset": body.get("dataset")})
+        return {"job_id": job_id, "state": "submitted"}
+
+    def job_status(self, job_id):
+        return self.jobs.get(job_id).snapshot()
+
+    def job_list(self):
+        return self.jobs.list()
+
+    def job_delete(self, job_id):
+        return self.jobs.delete(job_id)
+
 
 class EasyTimeServer:
     """Embeddable HTTP server around an :class:`~repro.core.EasyTime`."""
 
-    def __init__(self, easytime, host="127.0.0.1", port=0):
-        self.api = _Api(easytime)
+    def __init__(self, easytime, host="127.0.0.1", port=0, job_workers=2):
+        self.api = _Api(easytime, jobs=JobManager(workers=job_workers))
         self._httpd = HTTPServer((host, port), make_handler(self.api))
         self._thread = None
 
@@ -181,6 +238,7 @@ class EasyTimeServer:
     def stop(self):
         self._httpd.shutdown()
         self._httpd.server_close()
+        self.api.jobs.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5)
 

@@ -1,0 +1,138 @@
+"""Unit tests for the artifact cache (fingerprints, tiers, corruption)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.strategies import EvalResult
+from repro.runtime import MISSING, ArtifactCache, fingerprint
+
+
+def _result(mae=1.25):
+    return EvalResult(method="naive", series="s1", horizon=24,
+                      strategy="rolling", scores={"mae": mae, "mse": mae ** 2},
+                      n_windows=3, fit_seconds=0.01, predict_seconds=0.002,
+                      forecasts=(np.arange(6, dtype=np.float64).reshape(3, 2),),
+                      actuals=(np.ones((3, 2)),))
+
+
+class TestFingerprint:
+    def test_stable_for_equal_content(self):
+        a = fingerprint({"m": "naive", "h": 24}, np.arange(10.0))
+        b = fingerprint({"h": 24, "m": "naive"}, np.arange(10.0))
+        assert a == b  # dict key order is canonicalised
+
+    def test_sensitive_to_values(self):
+        base = fingerprint("naive", np.arange(10.0), 24)
+        assert fingerprint("naive", np.arange(10.0), 48) != base
+        assert fingerprint("theta", np.arange(10.0), 24) != base
+        changed = np.arange(10.0)
+        changed[3] += 1e-9
+        assert fingerprint("naive", changed, 24) != base
+
+    def test_handles_dataclasses_and_nesting(self):
+        from repro.datasets.split import SplitSpec
+        a = fingerprint(SplitSpec(), ("mae", "mse"), {"nested": [1, 2.5]})
+        b = fingerprint(SplitSpec(), ("mae", "mse"), {"nested": [1, 2.5]})
+        assert a == b
+
+
+class TestMemoryTier:
+    def test_roundtrip_and_counters(self):
+        cache = ArtifactCache()
+        key = cache.key("naive", 24)
+        assert cache.get(key) is MISSING
+        cache.put(key, {"mae": 1.0})
+        assert cache.get(key) == {"mae": 1.0}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["memory_hits"] == 1
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(memory_items=2)
+        keys = [cache.key(i) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(keys[0]) is MISSING  # oldest fell out
+        assert cache.get(keys[2]) == 2
+
+    def test_get_default(self):
+        cache = ArtifactCache()
+        assert cache.get(cache.key("nope"), default=None) is None
+
+    def test_get_or_compute(self):
+        cache = ArtifactCache()
+        calls = []
+        key = cache.key("x")
+        v1 = cache.get_or_compute(key, lambda: calls.append(1) or "v")
+        v2 = cache.get_or_compute(key, lambda: calls.append(1) or "v")
+        assert v1 == v2 == "v"
+        assert len(calls) == 1
+
+
+class TestDiskTier:
+    def test_eval_result_roundtrip_across_instances(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        key = cache.key("naive", "s1")
+        cache.put(key, _result())
+
+        fresh = ArtifactCache(directory=tmp_path)  # cold memory, warm disk
+        value = fresh.get(key)
+        assert isinstance(value, EvalResult)
+        assert value.scores == {"mae": 1.25, "mse": 1.25 ** 2}
+        assert isinstance(value.forecasts, tuple)
+        np.testing.assert_array_equal(value.forecasts[0],
+                                      _result().forecasts[0])
+        assert fresh.stats()["disk_hits"] == 1
+
+    def test_salt_changes_key(self, tmp_path):
+        a = ArtifactCache(directory=tmp_path, salt="v1")
+        b = ArtifactCache(directory=tmp_path, salt="v2")
+        assert a.key("naive") != b.key("naive")
+        a.put(a.key("naive"), 1)
+        assert b.get(b.key("naive")) is MISSING
+
+    def test_corrupt_json_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        key = cache.key("naive")
+        cache.put(key, _result())
+        json_path = next(tmp_path.glob("*/*.json"))
+        json_path.write_text("{not valid json", encoding="utf-8")
+
+        fresh = ArtifactCache(directory=tmp_path)
+        assert fresh.get(key) is MISSING
+        stats = fresh.stats()
+        assert stats["corrupt"] == 1
+        assert stats["misses"] == 1
+        assert not json_path.exists()  # bad entry cleaned up
+
+    def test_corrupt_npz_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        key = cache.key("naive")
+        cache.put(key, _result())
+        npz_path = next(tmp_path.glob("*/*.npz"))
+        npz_path.write_bytes(b"garbage")
+        fresh = ArtifactCache(directory=tmp_path)
+        assert fresh.get(key) is MISSING
+        assert fresh.stats()["corrupt"] == 1
+
+    def test_contains_checks_both_tiers(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        key = cache.key("k")
+        cache.put(key, 1)
+        cache.clear_memory()
+        assert key in cache
+
+    def test_uncacheable_value_raises(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        with pytest.raises(TypeError):
+            cache.put(cache.key("bad"), object())
+
+    def test_disk_entry_payload_is_plain_json(self, tmp_path):
+        cache = ArtifactCache(directory=tmp_path)
+        cache.put(cache.key("k"), {"score": 1.5, "tags": ["a"]})
+        payload = json.loads(next(tmp_path.glob("*/*.json")).read_text())
+        assert payload["value"] == {"score": 1.5, "tags": ["a"]}

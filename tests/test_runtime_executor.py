@@ -1,0 +1,162 @@
+"""Unit tests for the runtime executors (seeding, retry, isolation)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (EXECUTORS, ProcessExecutor, SerialExecutor, Task,
+                           TaskError, ThreadExecutor, default_executor,
+                           derive_seed, make_executor)
+
+# Module-level helpers so ProcessExecutor can pickle them by reference.
+
+
+def _square(x):
+    return x * x
+
+
+def _global_draw():
+    """Reads the global numpy RNG the executor reseeds per task."""
+    return float(np.random.random())
+
+
+def _seeded_draw(_seed=None):
+    return float(np.random.default_rng(_seed).random())
+
+
+def _sleep_long(seconds):
+    import time
+    time.sleep(seconds)
+    return "woke"
+
+
+#: Per-process transient-failure bookkeeping for retry tests.
+_FLAKY_CALLS = {}
+
+
+def _flaky(key):
+    _FLAKY_CALLS[key] = _FLAKY_CALLS.get(key, 0) + 1
+    if _FLAKY_CALLS[key] == 1:
+        raise RuntimeError(f"transient failure for {key}")
+    return f"ok:{key}"
+
+
+def _always_broken():
+    raise ValueError("permanently broken")
+
+
+def _tasks(fn, n=6, **task_kwargs):
+    return [Task(key=f"t{i}", fn=fn, args=(i,), **task_kwargs)
+            for i in range(n)]
+
+
+EXECUTOR_FACTORIES = [
+    lambda **kw: SerialExecutor(**kw),
+    lambda **kw: ThreadExecutor(workers=3, **kw),
+    lambda **kw: ProcessExecutor(workers=3, **kw),
+]
+
+
+class TestMapTasks:
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_values_in_task_order(self, factory):
+        results = factory().map_tasks(_tasks(_square, n=8))
+        assert [r.key for r in results] == [f"t{i}" for i in range(8)]
+        assert [r.value for r in results] == [i * i for i in range(8)]
+        assert all(r.ok for r in results)
+
+    def test_empty_task_list(self):
+        assert SerialExecutor().map_tasks([]) == []
+
+
+class TestDeterministicSeeding:
+    def test_derive_seed_is_stable_and_key_sensitive(self):
+        assert derive_seed("a", 7) == derive_seed("a", 7)
+        assert derive_seed("a", 7) != derive_seed("b", 7)
+        assert derive_seed("a", 7) != derive_seed("a", 8)
+
+    def test_global_rng_identical_across_executors(self):
+        tasks = [Task(key=f"cell{i}", fn=_global_draw) for i in range(6)]
+        serial = [r.value for r in
+                  SerialExecutor(base_seed=3).map_tasks(tasks)]
+        procs = [r.value for r in
+                 ProcessExecutor(workers=3, base_seed=3).map_tasks(tasks)]
+        assert serial == procs
+        # Distinct keys get distinct streams.
+        assert len(set(serial)) == len(serial)
+
+    def test_independent_of_submission_order(self):
+        tasks = [Task(key=f"cell{i}", fn=_global_draw) for i in range(5)]
+        forward = SerialExecutor().map_tasks(tasks)
+        backward = SerialExecutor().map_tasks(list(reversed(tasks)))
+        by_key = {r.key: r.value for r in backward}
+        assert all(r.value == by_key[r.key] for r in forward)
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_pass_seed_injects_derived_seed(self, factory):
+        tasks = [Task(key=f"k{i}", fn=_seeded_draw, pass_seed=True)
+                 for i in range(4)]
+        results = factory(base_seed=11).map_tasks(tasks)
+        expect = [float(np.random.default_rng(
+            derive_seed(f"k{i}", 11)).random()) for i in range(4)]
+        assert [r.value for r in results] == expect
+
+
+class TestRetryAndIsolation:
+    def test_transient_failure_retried_in_worker(self):
+        _FLAKY_CALLS.clear()
+        [result] = SerialExecutor(retries=1, backoff=0.0).map_tasks(
+            [Task(key="f1", fn=_flaky, args=("f1",))])
+        assert result.ok
+        assert result.value == "ok:f1"
+        assert result.attempts == 2
+
+    def test_transient_failure_retried_in_process_worker(self):
+        _FLAKY_CALLS.clear()
+        results = ProcessExecutor(workers=2, retries=1, backoff=0.0) \
+            .map_tasks([Task(key=f"p{i}", fn=_flaky, args=(f"p{i}",))
+                        for i in range(3)])
+        assert all(r.ok for r in results)
+        assert all(r.attempts == 2 for r in results)
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_permanent_failure_reports_task_error(self, factory):
+        tasks = [Task(key="good", fn=_square, args=(2,)),
+                 Task(key="bad", fn=_always_broken)]
+        good, bad = factory(retries=2, backoff=0.0).map_tasks(tasks)
+        assert good.ok and good.value == 4
+        assert not bad.ok
+        assert isinstance(bad.error, TaskError)
+        assert bad.error.error_type == "ValueError"
+        assert bad.error.attempts == 3  # 1 try + 2 retries
+        assert "permanently broken" in bad.error.error
+
+    def test_no_retries_when_disabled(self):
+        [result] = SerialExecutor(retries=0).map_tasks(
+            [Task(key="x", fn=_always_broken)])
+        assert result.error.attempts == 1
+
+    def test_timeout_reported_as_structured_error(self):
+        executor = ThreadExecutor(workers=2, timeout=0.1, retries=0)
+        quick, slow = executor.map_tasks([
+            Task(key="quick", fn=_square, args=(3,)),
+            Task(key="slow", fn=_sleep_long, args=(0.8,))])
+        assert quick.ok
+        assert not slow.ok
+        assert slow.error.error_type == "Timeout"
+
+
+class TestFactories:
+    def test_make_executor_registry(self):
+        assert set(EXECUTORS) == {"serial", "thread", "process"}
+        assert make_executor("serial").kind == "serial"
+        assert make_executor("thread", workers=2).kind == "thread"
+        assert make_executor("process", workers=2).kind == "process"
+        with pytest.raises(KeyError):
+            make_executor("gpu")
+
+    def test_make_executor_serial_ignores_workers(self):
+        assert make_executor("serial", workers=8).kind == "serial"
+
+    def test_default_executor_picks_backend_by_workers(self):
+        assert default_executor(1).kind == "serial"
+        assert default_executor(4).kind == "process"

@@ -1,0 +1,100 @@
+"""Unit tests for the background job manager lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import JOB_STATES, JobManager
+
+
+@pytest.fixture()
+def jobs():
+    manager = JobManager(workers=2)
+    yield manager
+    manager.shutdown()
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, jobs):
+        job_id = jobs.submit(lambda a, b: a + b, 2, 3)
+        job = jobs.wait(job_id, timeout=5)
+        assert job.state == "done"
+        assert job.result == 5
+        assert job.started_at is not None
+        assert job.finished_at >= job.started_at
+
+    def test_failure_is_a_state_not_an_exception(self, jobs):
+        job_id = jobs.submit(lambda: 1 / 0)
+        job = jobs.wait(job_id, timeout=5)
+        assert job.state == "failed"
+        assert job.error_type == "ZeroDivisionError"
+        snapshot = job.snapshot()
+        assert snapshot["error_type"] == "ZeroDivisionError"
+        assert "result" not in snapshot
+
+    def test_meta_travels_with_the_job(self, jobs):
+        job_id = jobs.submit(lambda: "x", meta={"kind": "evaluate"})
+        job = jobs.wait(job_id, timeout=5)
+        assert job.meta["kind"] == "evaluate"
+        assert job.snapshot()["meta"]["kind"] == "evaluate"
+
+    def test_result_hidden_until_done(self, jobs):
+        release = threading.Event()
+        job_id = jobs.submit(release.wait, 5)
+        snapshot = jobs.get(job_id).snapshot()
+        assert snapshot["state"] in ("submitted", "running")
+        assert "result" not in snapshot
+        release.set()
+        assert jobs.wait(job_id, timeout=5).state == "done"
+
+    def test_states_are_the_documented_set(self):
+        assert set(JOB_STATES) == {"submitted", "running", "done", "failed",
+                                   "cancelled"}
+
+
+class TestRegistry:
+    def test_ids_are_unique_and_ordered(self, jobs):
+        ids = [jobs.submit(lambda: None) for _ in range(3)]
+        assert len(set(ids)) == 3
+        assert ids == sorted(ids)
+
+    def test_get_unknown_raises_keyerror(self, jobs):
+        with pytest.raises(KeyError):
+            jobs.get("job-999999")
+
+    def test_delete_forgets_the_job(self, jobs):
+        job_id = jobs.submit(lambda: "v")
+        jobs.wait(job_id, timeout=5)
+        snapshot = jobs.delete(job_id)
+        assert snapshot["id"] == job_id
+        with pytest.raises(KeyError):
+            jobs.get(job_id)
+
+    def test_delete_pending_job_cancels_it(self):
+        manager = JobManager(workers=1)
+        try:
+            release = threading.Event()
+            blocker = manager.submit(release.wait, 5)
+            queued = manager.submit(lambda: "never")
+            snapshot = manager.delete(queued)
+            assert snapshot["state"] == "cancelled"
+            release.set()
+            assert manager.wait(blocker, timeout=5).state == "done"
+        finally:
+            manager.shutdown()
+
+    def test_list_snapshots(self, jobs):
+        ids = [jobs.submit(lambda: None) for _ in range(2)]
+        for job_id in ids:
+            jobs.wait(job_id, timeout=5)
+        listed = jobs.list()
+        assert [j["id"] for j in listed] == ids
+
+    def test_wait_times_out(self, jobs):
+        release = threading.Event()
+        job_id = jobs.submit(release.wait, 10)
+        with pytest.raises(TimeoutError):
+            jobs.wait(job_id, timeout=0.1, poll=0.01)
+        release.set()
+        jobs.wait(job_id, timeout=5)

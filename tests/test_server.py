@@ -128,6 +128,81 @@ class TestScenarioS3:
         assert data["table"]["columns"]
 
 
+def delete(server, path):
+    req = urllib.request.Request(server.address + path, method="DELETE")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, json.load(r)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def poll_job(server, job_id, timeout=120.0):
+    import time
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        _, payload = get(server, f"/jobs/{job_id}")
+        if payload["data"]["state"] in ("done", "failed", "cancelled"):
+            return payload["data"]
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestBackgroundJobs:
+    """POST /jobs/evaluate returns immediately; polling reaches done."""
+
+    EVAL_BODY = {"dataset": "traffic_u0000", "method": "seasonal_naive",
+                 "horizon": 12, "lookback": 48, "metrics": ["mae", "smape"]}
+
+    def test_submit_returns_job_id_immediately(self, server):
+        status, payload = post(server, "/jobs/evaluate", self.EVAL_BODY)
+        assert status == 200
+        data = payload["data"]
+        assert data["state"] == "submitted"
+        assert data["job_id"].startswith("job-")
+
+    def test_job_reaches_done_with_sync_payload(self, server):
+        _, sync = post(server, "/evaluate", self.EVAL_BODY)
+        _, submitted = post(server, "/jobs/evaluate", self.EVAL_BODY)
+        job = poll_job(server, submitted["data"]["job_id"])
+        assert job["state"] == "done"
+        assert job["result"] == sync["data"]
+        assert job["meta"]["kind"] == "evaluate"
+
+    def test_failed_job_carries_error(self, server):
+        _, submitted = post(server, "/jobs/evaluate",
+                            {"dataset": "ghost_x", "method": "naive"})
+        job = poll_job(server, submitted["data"]["job_id"])
+        assert job["state"] == "failed"
+        assert job["error"]
+
+    def test_jobs_listing(self, server):
+        _, submitted = post(server, "/jobs/evaluate", self.EVAL_BODY)
+        poll_job(server, submitted["data"]["job_id"])
+        _, payload = get(server, "/jobs")
+        assert any(j["id"] == submitted["data"]["job_id"]
+                   for j in payload["data"])
+
+    def test_delete_forgets_job(self, server):
+        _, submitted = post(server, "/jobs/evaluate", self.EVAL_BODY)
+        job_id = submitted["data"]["job_id"]
+        poll_job(server, job_id)
+        status, payload = delete(server, f"/jobs/{job_id}")
+        assert status == 200
+        assert payload["data"]["id"] == job_id
+        status, payload = get_404(server, f"/jobs/{job_id}")
+        assert status == 404
+
+    def test_unknown_job_is_404(self, server):
+        status, payload = get_404(server, "/jobs/job-999999")
+        assert status == 404
+        assert not payload["ok"]
+
+    def test_delete_unknown_job_is_404(self, server):
+        status, _ = delete(server, "/jobs/job-999999")
+        assert status == 404
+
+
 class TestErrorEnvelopes:
     def test_missing_field_is_400(self, server):
         status, payload = post(server, "/evaluate", {"dataset": "x"})
