@@ -54,6 +54,13 @@ def build_parser():
     p_bench.add_argument("--cache-dir", type=Path, default=None,
                          help="artifact-cache directory (reruns reuse "
                               "previously computed cells)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="record per-phase wall-clock (data prep, fit, "
+                              "predict, metrics) and print a breakdown")
+    p_bench.add_argument("--dtype", default=None,
+                         choices=("float32", "float64"),
+                         help="override the config's compute dtype for the "
+                              "deep forecasters")
 
     p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
     p_rec.add_argument("csv", type=Path)
@@ -103,9 +110,14 @@ def _cmd_characteristics(args, out):
 
 
 def _cmd_bench(args, out):
+    import dataclasses
+
+    from .pipeline import RunLogger
     from .runtime import ArtifactCache, make_executor
 
     config = load_config(args.config)
+    if args.dtype:
+        config = dataclasses.replace(config, dtype=args.dtype)
     executor = None
     if args.executor or args.workers > 1:
         kind = args.executor or "process"
@@ -113,7 +125,9 @@ def _cmd_bench(args, out):
                                  base_seed=config.seed)
     cache = ArtifactCache(directory=args.cache_dir) if args.cache_dir \
         else None
-    table = run_one_click(config, executor=executor, cache=cache)
+    logger = RunLogger()
+    table = run_one_click(config, logger=logger, executor=executor,
+                          cache=cache, profile=args.profile)
     print(f"{len(table)} results", file=out)
     if cache is not None:
         stats = cache.stats()
@@ -121,6 +135,9 @@ def _cmd_bench(args, out):
               f"({stats.get('disk_entries', 0)} on disk)", file=out)
     print(format_ranking(table.mean_scores(args.metric), args.metric),
           file=out)
+    if args.profile:
+        from .report import format_profile
+        print(format_profile(logger.profile_summary()), file=out)
     if args.report:
         from .report import html_report
         args.report.write_text(html_report(table, metric=args.metric),

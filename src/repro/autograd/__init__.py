@@ -6,9 +6,11 @@ TS2Vec representation learner run on (see DESIGN.md, substitution table).
 
 from . import functional, losses, nn, optim
 from .gradcheck import check_gradients, numerical_gradient
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (Tensor, get_default_dtype, is_grad_enabled, no_grad,
+                     set_default_dtype)
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "nn", "optim", "functional",
     "losses", "check_gradients", "numerical_gradient",
+    "set_default_dtype", "get_default_dtype",
 ]

@@ -2,19 +2,26 @@
 
 Everything here composes the primitive ops defined in ``tensor.py`` (or
 registers a dedicated backward closure when a fused implementation is
-substantially faster, e.g. ``conv1d`` and ``log_softmax``).
+substantially faster).  The convolution and pooling hot paths are
+vectorized: ``conv1d`` lowers to an im2col strided view plus a single
+batched matmul, and the pools reduce over a ``sliding_window_view``
+instead of per-position Python loops.  The original tap-loop kernels are
+kept as ``*_reference`` implementations that gradcheck and the E10
+benchmark compare against.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "relu", "gelu", "sigmoid", "tanh", "softmax", "log_softmax",
-    "dropout", "conv1d", "max_pool1d", "avg_pool1d", "layer_norm",
-    "linear", "one_hot",
+    "dropout", "conv1d", "conv1d_reference", "max_pool1d",
+    "max_pool1d_reference", "avg_pool1d", "avg_pool1d_reference",
+    "layer_norm", "linear", "one_hot",
 ]
 
 
@@ -66,8 +73,36 @@ def linear(x, weight, bias=None):
     return out
 
 
+def _conv_geometry(x, weight, dilation, padding):
+    """Shared padding / shape validation for the conv1d kernels."""
+    if isinstance(padding, tuple):
+        left, right = padding
+    else:
+        left = right = int(padding)
+    if left or right:
+        x = x.pad1d(left, right)
+    xd, wd = x.data, weight.data
+    n, c_in, length = xd.shape
+    c_out, c_in_w, k = wd.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, kernel expects {c_in_w}")
+    l_out = length - dilation * (k - 1)
+    if l_out <= 0:
+        raise ValueError("kernel (with dilation) longer than padded input")
+    return x, xd, wd, n, c_in, c_out, k, l_out
+
+
+def _fused(out_data, parents, backward):
+    """Wire a fused-kernel output into the graph (no-op under no_grad)."""
+    req = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=req, _prev=parents if req else ())
+    if req:
+        out._backward = backward
+    return out
+
+
 def conv1d(x, weight, bias=None, dilation=1, padding=0):
-    """1-D convolution with stride 1.
+    """1-D convolution with stride 1, lowered to im2col + one matmul.
 
     Parameters
     ----------
@@ -80,24 +115,51 @@ def conv1d(x, weight, bias=None, dilation=1, padding=0):
     padding:
         ``int`` for symmetric padding, or a ``(left, right)`` pair for
         causal padding.
+
+    The forward builds a strided ``(batch, l_out, in_channels * k)``
+    im2col matrix and runs a single GEMM against the flattened kernel;
+    the backward reuses the same matrix for the weight gradient and
+    scatters ``g @ W`` back per tap for the input gradient.
     """
-    if isinstance(padding, tuple):
-        left, right = padding
-    else:
-        left = right = int(padding)
-    if left or right:
-        x = x.pad1d(left, right)
+    x, xd, wd, n, c_in, c_out, k, l_out = _conv_geometry(
+        x, weight, dilation, padding)
+    span = dilation * (k - 1) + 1
+    # windows[b, c, i, t] == xd[b, c, i + t * dilation]
+    windows = sliding_window_view(xd, span, axis=2)[..., ::dilation]
+    col = np.ascontiguousarray(
+        windows.transpose(0, 2, 1, 3)).reshape(n * l_out, c_in * k)
+    w2 = wd.reshape(c_out, c_in * k)
+    out_data = (col @ w2.T).reshape(n, l_out, c_out).transpose(0, 2, 1)
 
-    xd, wd = x.data, weight.data
-    n, c_in, length = xd.shape
-    c_out, c_in_w, k = wd.shape
-    if c_in != c_in_w:
-        raise ValueError(f"channel mismatch: input has {c_in}, kernel expects {c_in_w}")
-    l_out = length - dilation * (k - 1)
-    if l_out <= 0:
-        raise ValueError("kernel (with dilation) longer than padded input")
+    def backward(g):
+        g = np.ascontiguousarray(
+            np.asarray(g).transpose(0, 2, 1)).reshape(n * l_out, c_out)
+        if weight.requires_grad:
+            weight._accumulate((g.T @ col).reshape(c_out, c_in, k))
+        if x.requires_grad:
+            gcol = (g @ w2).reshape(n, l_out, c_in, k)
+            gx = np.zeros_like(xd)
+            for tap in range(k):
+                gx[:, :, tap * dilation: tap * dilation + l_out] += \
+                    gcol[:, :, :, tap].transpose(0, 2, 1)
+            x._accumulate(gx)
 
-    out_data = np.zeros((n, c_out, l_out))
+    out = _fused(out_data, (x, weight), backward)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1)
+    return out
+
+
+def conv1d_reference(x, weight, bias=None, dilation=1, padding=0):
+    """Reference tap-loop conv1d (the pre-vectorization kernel).
+
+    Kept verbatim so gradcheck and the E10 kernel benchmark can compare
+    the im2col fast path against the original implementation.
+    """
+    x, xd, wd, n, c_in, c_out, k, l_out = _conv_geometry(
+        x, weight, dilation, padding)
+
+    out_data = np.zeros((n, c_out, l_out), dtype=xd.dtype)
     for tap in range(k):
         seg = xd[:, :, tap * dilation: tap * dilation + l_out]
         out_data += np.einsum("ncl,oc->nol", seg, wd[:, :, tap])
@@ -117,18 +179,53 @@ def conv1d(x, weight, bias=None, dilation=1, padding=0):
                     "nol,oc->ncl", g, wd[:, :, tap])
             x._accumulate(gx)
 
-    parents = (x, weight)
-    req = is_grad_enabled() and any(p.requires_grad for p in parents)
-    out = Tensor(out_data, requires_grad=req, _prev=parents if req else ())
-    if req:
-        out._backward = backward
+    out = _fused(out_data, (x, weight), backward)
     if bias is not None:
         out = out + bias.reshape(1, -1, 1)
     return out
 
 
+def _pool_windows(x, kernel_size, stride):
+    """Strided ``(batch, channels, l_out, k)`` view over the last axis."""
+    stride = stride or kernel_size
+    n, c, length = x.shape
+    l_out = (length - kernel_size) // stride + 1
+    if l_out <= 0:
+        raise ValueError("pooling window longer than input")
+    windows = sliding_window_view(x.data, kernel_size, axis=2)[:, :, ::stride]
+    return windows, stride, l_out
+
+
+def _pool_scatter(shape_like, contrib, kernel_size, stride, l_out):
+    """Scatter per-window gradient contributions back onto the input axis."""
+    gx = np.zeros_like(shape_like)
+    for tap in range(kernel_size):
+        gx[:, :, tap: tap + (l_out - 1) * stride + 1: stride] += \
+            contrib[:, :, :, tap]
+    return gx
+
+
 def max_pool1d(x, kernel_size, stride=None):
-    """Max pooling over the last axis of a ``(batch, channels, length)`` input."""
+    """Max pooling over the last axis of a ``(batch, channels, length)`` input.
+
+    Vectorized over a strided window view; the gradient is split equally
+    among tied maxima (matching :meth:`Tensor.max`).
+    """
+    windows, stride, l_out = _pool_windows(x, kernel_size, stride)
+    out_data = windows.max(axis=3)
+
+    def backward(g):
+        mask = windows == out_data[..., None]
+        contrib = (np.asarray(g)[..., None] * mask) / mask.sum(
+            axis=3, keepdims=True)
+        x._accumulate(_pool_scatter(x.data, contrib, kernel_size, stride,
+                                    l_out))
+
+    return _fused(out_data, (x,), backward)
+
+
+def max_pool1d_reference(x, kernel_size, stride=None):
+    """Reference per-position max pooling (pre-vectorization kernel)."""
     stride = stride or kernel_size
     n, c, length = x.shape
     l_out = (length - kernel_size) // stride + 1
@@ -140,7 +237,23 @@ def max_pool1d(x, kernel_size, stride=None):
 
 
 def avg_pool1d(x, kernel_size, stride=None):
-    """Average pooling over the last axis of a ``(batch, channels, length)`` input."""
+    """Average pooling over the last axis of a ``(batch, channels, length)``
+    input, vectorized over a strided window view."""
+    windows, stride, l_out = _pool_windows(x, kernel_size, stride)
+    out_data = windows.sum(axis=3) * (1.0 / kernel_size)
+
+    def backward(g):
+        contrib = np.broadcast_to(
+            (np.asarray(g) * (1.0 / kernel_size))[..., None],
+            (*np.asarray(g).shape, kernel_size))
+        x._accumulate(_pool_scatter(x.data, contrib, kernel_size, stride,
+                                    l_out))
+
+    return _fused(out_data, (x,), backward)
+
+
+def avg_pool1d_reference(x, kernel_size, stride=None):
+    """Reference per-position average pooling (pre-vectorization kernel)."""
     stride = stride or kernel_size
     n, c, length = x.shape
     l_out = (length - kernel_size) // stride + 1

@@ -75,6 +75,23 @@ class Module:
     def eval(self):
         return self.train(False)
 
+    def to(self, dtype):
+        """Cast every parameter and registered Tensor buffer to ``dtype``.
+
+        Enables the float32 inference/training path: a model built in
+        float64 is converted in place and returns itself.
+        """
+        dtype = np.dtype(dtype)
+        for module in self.modules():
+            for value in vars(module).values():
+                if isinstance(value, Tensor):
+                    value.data = value.data.astype(dtype, copy=False)
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Tensor):
+                            item.data = item.data.astype(dtype, copy=False)
+        return self
+
     def zero_grad(self):
         for param in self.parameters():
             param.zero_grad()
@@ -98,7 +115,8 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"{params[name].data.shape} vs {value.shape}")
-            params[name].data = np.array(value, dtype=np.float64)
+            params[name].data = np.array(value,
+                                         dtype=params[name].data.dtype)
 
     # -- call protocol ----------------------------------------------------
     def forward(self, *args, **kwargs):
@@ -240,8 +258,10 @@ class ModuleList(Module):
 class GRU(Module):
     """Single-layer gated recurrent unit over (batch, time, features) input.
 
-    Returns the full hidden sequence and the final hidden state.  The time
-    loop is unrolled in Python; the autograd tape handles backprop through
+    Returns the full hidden sequence and the final hidden state.  The
+    input projections for *all* timesteps are precomputed in one batched
+    matmul before the recurrence, so the Python time loop only pays for
+    the hidden-to-hidden step; the autograd tape handles backprop through
     time.
     """
 
@@ -260,7 +280,34 @@ class GRU(Module):
     def forward(self, x, h0=None):
         batch, steps, _ = x.shape
         hidden = self.hidden_size
-        h = h0 if h0 is not None else Tensor(np.zeros((batch, hidden)))
+        h = h0 if h0 is not None else Tensor(
+            np.zeros((batch, hidden), dtype=x.data.dtype))
+        # One (batch, time, features) @ (features, 3*hidden) matmul covers
+        # every timestep's input projection.
+        gates_x = F.linear(x, self.w_ih, self.b_ih)
+        outputs = []
+        for t in range(steps):
+            gx = gates_x[:, t, :]
+            gates_h = F.linear(h, self.w_hh, self.b_hh)
+            r = (gx[:, :hidden] + gates_h[:, :hidden]).sigmoid()
+            z = (gx[:, hidden:2 * hidden]
+                 + gates_h[:, hidden:2 * hidden]).sigmoid()
+            n = (gx[:, 2 * hidden:]
+                 + r * gates_h[:, 2 * hidden:]).tanh()
+            h = (1.0 - z) * n + z * h
+            outputs.append(h.reshape(batch, 1, hidden))
+        return Tensor.concat(outputs, axis=1), h
+
+    def forward_reference(self, x, h0=None):
+        """Pre-vectorization recurrence: input projection inside the loop.
+
+        Kept for gradcheck and the E10 kernel benchmark to compare the
+        precomputed-projection fast path against.
+        """
+        batch, steps, _ = x.shape
+        hidden = self.hidden_size
+        h = h0 if h0 is not None else Tensor(
+            np.zeros((batch, hidden), dtype=x.data.dtype))
         outputs = []
         for t in range(steps):
             xt = x[:, t, :]

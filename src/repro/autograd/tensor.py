@@ -17,9 +17,32 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_default_dtype",
+           "get_default_dtype"]
 
 _GRAD_ENABLED = True
+
+#: Dtype used for leaves created from python scalars / lists and for
+#: non-float payloads.  Float32/float64 ndarrays keep their dtype so a
+#: model cast to float32 stays float32 through the whole graph.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype):
+    """Set the process-wide default floating dtype (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    _DEFAULT_DTYPE = dtype
+    return dtype
+
+
+def get_default_dtype():
+    """Return the current default floating dtype."""
+    return _DEFAULT_DTYPE
 
 
 class no_grad:
@@ -62,10 +85,15 @@ def _unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
-def _as_array(data, dtype=np.float64):
+def _as_array(data, dtype=None):
     if isinstance(data, np.ndarray):
-        return data.astype(dtype, copy=False)
-    return np.asarray(data, dtype=dtype)
+        if dtype is not None:
+            return data.astype(dtype, copy=False)
+        if data.dtype in _FLOAT_DTYPES:
+            return data
+        return data.astype(_DEFAULT_DTYPE)
+    return np.asarray(data, dtype=dtype if dtype is not None
+                      else _DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -74,37 +102,61 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` by default.
+        Array-like payload.  Float32/float64 ndarrays keep their dtype;
+        everything else is converted to the default dtype (float64 unless
+        changed via :func:`set_default_dtype`), or to an explicit
+        ``dtype``.
     requires_grad:
         When True, gradients are accumulated into ``self.grad`` during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev",
+                 "name", "_grad_owned")
 
-    def __init__(self, data, requires_grad=False, _prev=(), name=None):
-        self.data = _as_array(data)
+    def __init__(self, data, requires_grad=False, _prev=(), name=None,
+                 dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.grad = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward = None
         self._prev = _prev if (_GRAD_ENABLED and _prev) else ()
         self.name = name
+        self._grad_owned = False
+
+    @classmethod
+    def _raw(cls, data):
+        """Wrap an ndarray with no graph bookkeeping (no_grad fast path)."""
+        out = cls.__new__(cls)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._prev = ()
+        out.name = None
+        out._grad_owned = False
+        return out
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(*shape, requires_grad=False):
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(*shape, requires_grad=False, dtype=None):
+        return Tensor(np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape, requires_grad=False):
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(*shape, requires_grad=False, dtype=None):
+        return Tensor(np.ones(shape, dtype=dtype or _DEFAULT_DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
-    def randn(*shape, rng=None, scale=1.0, requires_grad=False):
+    def randn(*shape, rng=None, scale=1.0, requires_grad=False, dtype=None):
         rng = rng if rng is not None else np.random.default_rng()
-        return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+        data = rng.standard_normal(shape) * scale
+        if dtype is not None:
+            data = data.astype(dtype)
+        return Tensor(data, requires_grad=requires_grad)
 
     @staticmethod
     def ensure(value):
@@ -125,6 +177,10 @@ class Tensor:
     @property
     def size(self):
         return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
 
     def numpy(self):
         """Return the underlying ndarray (no copy)."""
@@ -148,22 +204,68 @@ class Tensor:
     # Graph bookkeeping
     # ------------------------------------------------------------------
     def _make(self, data, parents, backward):
-        """Create an output tensor wired into the graph."""
-        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=req, _prev=tuple(parents) if req else ())
-        if req:
+        """Create an output tensor wired into the graph.
+
+        Under ``no_grad`` this skips parent bookkeeping entirely — no
+        ``requires_grad`` scan, no parent tuple, no backward closure — so
+        inference pays only for the payload wrap.
+        """
+        if not _GRAD_ENABLED:
+            return Tensor._raw(data)
+        if any(p.requires_grad for p in parents):
+            out = Tensor._raw(data)
+            out.requires_grad = True
+            out._prev = tuple(parents)
             out._backward = backward
-        return out
+            return out
+        return Tensor._raw(data)
 
     def _accumulate(self, grad):
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad)
+        if grad.dtype != self.data.dtype:
+            grad = grad.astype(self.data.dtype)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+            # Views must be materialised; whole arrays are adopted by
+            # reference (not owned: a producer may hand the same buffer to
+            # several parents, so it must never be mutated in place).
+            if grad.base is not None:
+                self.grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self.grad = grad
+                self._grad_owned = False
+        elif self._grad_owned:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
+
+    def _accumulate_indexed(self, key, grad):
+        """Accumulate a gradient into a sub-slice of this tensor's grad.
+
+        The scatter counterpart of ``__getitem__``: writes land directly in
+        the (owned) gradient buffer instead of materialising a full-size
+        zeros array per slice — the hot path when a tensor is sliced many
+        times, e.g. per-timestep reads of a precomputed GRU projection.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+            self._grad_owned = True
+        elif not self._grad_owned:
+            self.grad = self.grad.copy()
+            self._grad_owned = True
+        key_t = key if isinstance(key, tuple) else (key,)
+        if all(isinstance(k, (int, np.integer, slice)) or k is None
+               or k is Ellipsis for k in key_t):
+            # Basic indexing never repeats an element, so a slice-add is
+            # equivalent to (and much faster than) the buffered np.add.at.
+            self.grad[key] += grad
+        else:
+            np.add.at(self.grad, key, grad)
 
     def zero_grad(self):
         self.grad = None
+        self._grad_owned = False
 
     def backward(self, grad=None):
         """Run reverse-mode autodiff from this tensor.
@@ -392,8 +494,15 @@ class Tensor:
                 gb = np.matmul(np.swapaxes(self.data, -1, -2), g)
                 other._accumulate(_unbroadcast(gb, other.shape))
 
-        return self._make(np.matmul(self.data, other.data),
-                          (self, other), backward)
+        # BLAS picks a different (row-inconsistent) partitioning for
+        # column-major right operands past a size threshold, which would
+        # make batched inference disagree bitwise with looped inference.
+        # Normalising B to row-major keeps row b of A @ B independent of
+        # the number of rows in A; the copy is tiny next to the GEMM.
+        b = other.data
+        if b.ndim == 2 and not b.flags.c_contiguous:
+            b = np.ascontiguousarray(b)
+        return self._make(np.matmul(self.data, b), (self, other), backward)
 
     __matmul__ = matmul
 
@@ -428,9 +537,7 @@ class Tensor:
     def __getitem__(self, key):
         def backward(g):
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, key, g)
-                self._accumulate(full)
+                self._accumulate_indexed(key, g)
 
         return self._make(self.data[key], (self,), backward)
 

@@ -223,17 +223,26 @@ class TS2Vec:
         return self
 
     # -- inference ---------------------------------------------------------
-    def encode(self, series):
-        """Embed one series into a fixed vector (max pool over time)."""
+    def _window_for(self, series):
+        """Normalised, edge-padded trailing window of one series."""
         values = self._normalise(getattr(series, "values", series))
         if len(values) < self.window:
             values = np.pad(values, (self.window - len(values), 0),
                             mode="edge")
-        window = values[-self.window:]
+        return values[-self.window:]
+
+    def encode(self, series):
+        """Embed one series into a fixed vector (max pool over time)."""
+        window = self._window_for(series)
         with no_grad():
             reps = self.encoder(Tensor(window[None, :]))
             return reps.max(axis=1).data[0]
 
     def encode_many(self, series_list):
-        """Embed several series; returns (n, out_dim)."""
-        return np.stack([self.encode(s) for s in series_list])
+        """Embed several series in one encoder forward; returns (n, out_dim)."""
+        if not series_list:
+            return np.zeros((0, self.encoder.out_dim))
+        windows = np.stack([self._window_for(s) for s in series_list])
+        with no_grad():
+            reps = self.encoder(Tensor(windows))
+            return reps.max(axis=1).data

@@ -34,6 +34,7 @@ class EvalResult:
     predict_seconds: float = 0.0
     forecasts: tuple = field(default=(), repr=False)
     actuals: tuple = field(default=(), repr=False)
+    phase_seconds: dict = field(default_factory=dict, repr=False)
 
     def score(self, name):
         return self.scores[name]
@@ -68,9 +69,16 @@ class _Strategy:
 
     # -- main entry ----------------------------------------------------------
     def evaluate(self, model, series):
-        """Fit ``model`` and score it on ``series`` under this protocol."""
+        """Fit ``model`` and score it on ``series`` under this protocol.
+
+        All rolling-origin histories are collected up front and handed to
+        the model's :meth:`~repro.methods.base.Forecaster.predict_batch`
+        in one call, so deep forecasters amortise a single batched forward
+        pass over the whole test segment; the base-class fallback loops.
+        """
         import time
 
+        t0 = time.perf_counter()
         values = series.values if hasattr(series, "values") else np.asarray(series)
         if values.ndim == 1:
             values = values[:, None]
@@ -81,31 +89,41 @@ class _Strategy:
         train_s = scaler.transform(train)
         val_s = scaler.transform(val)
         test_s = scaler.transform(test)
+        prepare_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         model.fit(train_s, val_s)
         fit_seconds = time.perf_counter() - t0
 
-        actuals, forecasts = [], []
+        spans = list(self._windows(test_s))
+        if not spans:
+            raise ValueError(
+                f"test segment too short for lookback={self.lookback} "
+                f"horizon={self.horizon}")
         t0 = time.perf_counter()
-        for hist_end, target_end in self._windows(test_s):
-            history = test_s[self._history_start(hist_end):hist_end]
-            forecast_s = model.predict(history, self.horizon)
+        histories = [test_s[self._history_start(hist_end):hist_end]
+                     for hist_end, _ in spans]
+        batch_fn = getattr(model, "predict_batch", None)
+        if batch_fn is not None:
+            raw = batch_fn(histories, self.horizon)
+        else:
+            raw = [model.predict(history, self.horizon)
+                   for history in histories]
+        actuals, forecasts = [], []
+        for (hist_end, target_end), forecast_s in zip(spans, raw):
             forecast = scaler.inverse_transform(forecast_s)
             actual = test[hist_end:target_end]
             forecasts.append(forecast[:len(actual)])
             actuals.append(actual)
         predict_seconds = time.perf_counter() - t0
-        if not actuals:
-            raise ValueError(
-                f"test segment too short for lookback={self.lookback} "
-                f"horizon={self.horizon}")
 
+        t0 = time.perf_counter()
         actual_all = np.concatenate(actuals)
         forecast_all = np.concatenate(forecasts)
         period = getattr(series, "freq", 1) or 1
         scores = metric_mod.compute_all(self.metrics, actual_all, forecast_all,
                                         train=train, period=period)
+        metrics_seconds = time.perf_counter() - t0
         return EvalResult(
             method=getattr(model, "name", type(model).__name__),
             series=getattr(series, "name", "series"),
@@ -117,6 +135,12 @@ class _Strategy:
             predict_seconds=predict_seconds,
             forecasts=tuple(forecasts) if self.keep_forecasts else (),
             actuals=tuple(actuals) if self.keep_forecasts else (),
+            phase_seconds={
+                "prepare": prepare_seconds,
+                "fit": fit_seconds,
+                "predict": predict_seconds,
+                "metrics": metrics_seconds,
+            },
         )
 
 

@@ -58,6 +58,17 @@ class Forecaster:
         """Forecast ``horizon`` steps after ``history``; (horizon, channels)."""
         raise NotImplementedError
 
+    def predict_batch(self, histories, horizon):
+        """Forecast from several histories at once.
+
+        ``histories`` is a sequence of (length, channels) arrays (lengths
+        may differ, e.g. under the expanding strategy); returns a list of
+        (horizon, channels) forecasts, one per history.  The base class
+        falls back to the per-history loop; methods that can amortise a
+        single batched forward pass (the deep forecasters) override this.
+        """
+        return [self.predict(history, horizon) for history in histories]
+
     # -- helpers ----------------------------------------------------------
     def _mark_fitted(self):
         self._fitted = True

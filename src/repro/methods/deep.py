@@ -25,6 +25,14 @@ __all__ = [
 ]
 
 
+def _check_dtype(dtype):
+    """Validate and normalise the training/inference dtype policy."""
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+    return dtype
+
+
 class DeepForecaster(Forecaster):
     """Shared trainer for window-to-window neural forecasters.
 
@@ -41,7 +49,7 @@ class DeepForecaster(Forecaster):
 
     def __init__(self, lookback=96, horizon=24, epochs=30, batch_size=64,
                  lr=1e-3, patience=5, seed=0, max_windows=2000,
-                 grad_clip=5.0):
+                 grad_clip=5.0, dtype="float64"):
         super().__init__()
         if lookback <= 0 or horizon <= 0:
             raise ValueError("lookback and horizon must be positive")
@@ -54,6 +62,8 @@ class DeepForecaster(Forecaster):
         self.seed = seed
         self.max_windows = max_windows
         self.grad_clip = grad_clip
+        self.dtype = dtype
+        self._np_dtype = _check_dtype(dtype)
         self._model = None
         self._mean = None
         self._std = None
@@ -93,18 +103,22 @@ class DeepForecaster(Forecaster):
     # -- training -----------------------------------------------------------
     def fit(self, train, val=None):
         train = check_history(train)
+        self._np_dtype = _check_dtype(self.dtype)
         rng = np.random.default_rng(self.seed)
         self._mean = train.mean(axis=0)
         std = train.std(axis=0)
         self._std = np.where(std > 1e-12, std, 1.0)
         x, y = self._collect_windows(train)
         x, y = self._subsample(x, y, rng)
+        y = y.astype(self._np_dtype, copy=False)
         val_pair = None
         if val is not None:
             val = check_history(val)
             if val.shape[0] >= self.lookback + self.horizon:
                 val_pair = self._collect_windows(val)
         self._model = self.build(rng)
+        if self._np_dtype != np.float64:
+            self._model.to(self._np_dtype)
         optimizer = optim.Adam(self._model.parameters(), lr=self.lr)
         best_state, best_loss, since_best = None, np.inf, 0
         for _ in range(self.epochs):
@@ -132,7 +146,8 @@ class DeepForecaster(Forecaster):
         return self
 
     def _forward(self, windows):
-        return self._model(Tensor(self.preprocess(windows)))
+        inputs = np.asarray(self.preprocess(windows), dtype=self._np_dtype)
+        return self._model(Tensor(inputs))
 
     def _eval_loss(self, x, y):
         self._model.eval()
@@ -142,6 +157,51 @@ class DeepForecaster(Forecaster):
             return float(((pred.data - y) ** 2).mean())
 
     # -- inference ------------------------------------------------------------
+    def _inference_windows(self, history):
+        """Per-channel normalised lookback windows, shape (channels, lookback).
+
+        Histories shorter than the lookback are left-padded with their
+        first value, matching the training-free cold-start behaviour.
+        """
+        rows = []
+        for c in range(history.shape[1]):
+            series = (history[:, c] - self._mean[c]) / self._std[c]
+            if len(series) < self.lookback:
+                series = np.concatenate(
+                    [np.full(self.lookback - len(series), series[0]), series])
+            rows.append(series[-self.lookback:])
+        return np.stack(rows)
+
+    def _predict_windows(self, windows, horizon):
+        """Autoregressive batched forecast of normalised windows.
+
+        Runs every window through the network at once per extension step.
+        A singleton batch is padded to two duplicate rows before the
+        forward pass so that looped and batched inference both route
+        through the same GEMM kernel — BLAS dispatches a different
+        (non-bit-identical) routine for single-row matmuls, and keeping
+        every call on the GEMM path makes ``predict``/``predict_batch``
+        agree bitwise at float64.
+        """
+        from ..autograd import no_grad
+        windows = np.asarray(windows, dtype=np.float64)
+        padded = windows.shape[0] == 1
+        if padded:
+            windows = np.concatenate([windows, windows], axis=0)
+        chunks = []
+        produced = 0
+        with no_grad():
+            while produced < horizon:
+                step = self._forward(windows).data.astype(np.float64,
+                                                          copy=False)
+                chunks.append(step)
+                produced += step.shape[1]
+                if produced < horizon:
+                    windows = np.concatenate(
+                        [windows, step], axis=1)[:, -self.lookback:]
+        out = np.concatenate(chunks, axis=1)[:, :horizon]
+        return out[:1] if padded else out
+
     def predict(self, history, horizon):
         self._require_fitted()
         if horizon <= 0:
@@ -151,23 +211,33 @@ class DeepForecaster(Forecaster):
             raise ValueError(
                 f"{self.name}: fitted on {len(self._mean)} channels, "
                 f"history has {history.shape[1]}")
-        from ..autograd import no_grad
-        columns = []
-        for c in range(history.shape[1]):
-            series = (history[:, c] - self._mean[c]) / self._std[c]
-            if len(series) < self.lookback:
-                series = np.concatenate(
-                    [np.full(self.lookback - len(series), series[0]), series])
-            window = series[-self.lookback:]
-            out = []
-            with no_grad():
-                while len(out) < horizon:
-                    step = self._forward(window[None, :]).data[0]
-                    out.extend(step.tolist())
-                    window = np.concatenate([window, step])[-self.lookback:]
-            columns.append(np.asarray(out[:horizon]) * self._std[c]
-                           + self._mean[c])
-        return np.stack(columns, axis=1)
+        out = self._predict_windows(self._inference_windows(history), horizon)
+        return out.T * self._std + self._mean
+
+    def predict_batch(self, histories, horizon):
+        """One batched autoregressive forward over every rolling window.
+
+        All histories' channel windows are stacked into a single batch so
+        the whole rolling-origin evaluation pays one network call per
+        horizon extension instead of one per window.
+        """
+        self._require_fitted()
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        histories = [check_history(h) for h in histories]
+        if not histories:
+            return []
+        n_channels = len(self._mean)
+        blocks = []
+        for history in histories:
+            if history.shape[1] != n_channels:
+                raise ValueError(
+                    f"{self.name}: fitted on {n_channels} channels, "
+                    f"history has {history.shape[1]}")
+            blocks.append(self._inference_windows(history))
+        out = self._predict_windows(np.concatenate(blocks, axis=0), horizon)
+        out = out.reshape(len(histories), n_channels, horizon)
+        return [o.T * self._std + self._mean for o in out]
 
 
 class LinearForecaster(DeepForecaster):
@@ -206,13 +276,16 @@ class _DLinearNet(nn.Module):
         self.kernel = kernel
         self.trend_head = nn.Linear(lookback, horizon, rng=rng)
         self.season_head = nn.Linear(lookback, horizon, rng=rng)
-        # Fixed moving-average matrix for the trend extraction.
-        weight = np.zeros((lookback, lookback))
+        # Fixed moving-average matrix for the trend extraction, built as a
+        # banded mask in one shot: row i averages the window
+        # [i - half, i + half] clipped to the valid range.
         half = kernel // 2
-        for i in range(lookback):
-            lo, hi = max(0, i - half), min(lookback, i + half + 1)
-            weight[i, lo:hi] = 1.0 / (hi - lo)
-        self._smooth = Tensor(weight.T)
+        idx = np.arange(lookback)
+        lo = np.maximum(0, idx - half)
+        hi = np.minimum(lookback, idx + half + 1)
+        band = (idx[None, :] >= lo[:, None]) & (idx[None, :] < hi[:, None])
+        weight = band / (hi - lo)[:, None]
+        self._smooth = Tensor(np.ascontiguousarray(weight.T))
 
     def forward(self, x):
         trend = x @ self._smooth

@@ -91,6 +91,7 @@ class BenchmarkConfig:
     split: SplitSpec = field(default_factory=SplitSpec)
     seed: int = 7
     tag: str = "benchmark"
+    dtype: str = "float64"
 
     def validate(self):
         if not self.methods:
@@ -111,6 +112,9 @@ class BenchmarkConfig:
                 f"unknown scaler {self.scaler!r}; known: {sorted(SCALERS)}")
         if self.lookback <= 0 or self.horizon <= 0:
             raise ValueError("lookback and horizon must be positive")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; use 'float32' or 'float64'")
         return self
 
     def strategy_kwargs(self):
@@ -151,7 +155,7 @@ def _from_dict(raw):
     datasets = DatasetSpec(**ds_raw)
     split = SplitSpec(**raw["split"]) if "split" in raw else SplitSpec()
     keys = ("strategy", "lookback", "horizon", "stride", "metrics", "scaler",
-            "drop_last", "seed", "tag")
+            "drop_last", "seed", "tag", "dtype")
     extra = {k: raw[k] for k in keys if k in raw}
     if "metrics" in extra:
         extra["metrics"] = tuple(extra["metrics"])

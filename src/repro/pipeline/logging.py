@@ -106,6 +106,26 @@ class RunLogger:
         """Context manager logging the elapsed time of a block."""
         return _Timer(self, event, payload)
 
+    def profile_summary(self):
+        """Aggregate ``run.profile`` events into a per-phase breakdown.
+
+        Returns ``{"tasks": n, "total_seconds": t, "phases": {phase: t}}``
+        where each phase total sums that phase's wall-clock across every
+        profiled (method, series) task.  Empty when the run was not
+        profiled.
+        """
+        phases = {}
+        tasks = 0
+        for event in self.filter(event="run.profile"):
+            tasks += 1
+            for key, value in event.items():
+                if key.endswith("_seconds") and isinstance(value, (int, float)):
+                    phase = key[:-len("_seconds")]
+                    phases[phase] = phases.get(phase, 0.0) + float(value)
+        return {"tasks": tasks,
+                "total_seconds": round(sum(phases.values()), 6),
+                "phases": {k: round(v, 6) for k, v in phases.items()}}
+
     def close(self):
         """Close the shared file handle (safe to call repeatedly)."""
         if self._sink is not None:

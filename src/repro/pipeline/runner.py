@@ -133,10 +133,12 @@ def _instantiate(config, spec):
     """Build a method instance for one cell, applying config geometry."""
     params = dict(spec.params)
     # Window-based methods inherit the config geometry unless the user
-    # pinned their own.
+    # pinned their own; the same rule applies the config dtype policy to
+    # methods that support one (the deep forecasters).
     model = create(spec.name, **params)
     for attr, value in (("lookback", config.lookback),
-                        ("horizon", config.horizon)):
+                        ("horizon", config.horizon),
+                        ("dtype", config.dtype)):
         if hasattr(model, attr) and attr not in params:
             setattr(model, attr, value)
     return model
@@ -155,9 +157,14 @@ def _evaluate_cell(config, spec, series):
 
 def _cell_key(config, spec, series):
     """Stable task key — also the seed source, so it must not depend on
-    submission order or process identity."""
-    return (f"{config.tag}|{series.name}|{spec.name}"
-            f"|{config.strategy}|h{config.horizon}")
+    submission order or process identity.  The dtype enters the key only
+    when it differs from the float64 default, preserving the seeds (and
+    therefore the results) of every pre-existing float64 run."""
+    key = (f"{config.tag}|{series.name}|{spec.name}"
+           f"|{config.strategy}|h{config.horizon}")
+    if config.dtype != "float64":
+        key += f"|{config.dtype}"
+    return key
 
 
 class BenchmarkRunner:
@@ -178,9 +185,9 @@ class BenchmarkRunner:
     def _cache_key(self, cache, spec, series):
         return cache.key(spec.name, spec.params, series.name, series.values,
                          series.freq, self.config.strategy,
-                         self.config.strategy_kwargs())
+                         self.config.strategy_kwargs(), self.config.dtype)
 
-    def run(self, progress=None, executor=None, cache=None):
+    def run(self, progress=None, executor=None, cache=None, profile=False):
         """Execute the full methods × datasets grid; returns a ResultTable.
 
         Parameters
@@ -193,6 +200,11 @@ class BenchmarkRunner:
         cache:
             An optional :class:`~repro.runtime.ArtifactCache`; hits skip
             the fit entirely and misses are stored after evaluation.
+        profile:
+            When True, emit one structured ``run.profile`` event per
+            result carrying the strategy's per-phase wall-clock breakdown
+            (data preparation, fit, predict, metrics); aggregate with
+            :meth:`RunLogger.profile_summary`.
 
         Failures of individual (method, series) cells are retried by the
         executor, then logged as structured ``run.cell_failed`` events and
@@ -250,6 +262,12 @@ class BenchmarkRunner:
             if result is None:
                 continue
             table.add(result)
+            if profile:
+                payload = {f"{phase}_seconds": round(seconds, 6)
+                           for phase, seconds
+                           in getattr(result, "phase_seconds", {}).items()}
+                self.logger.info("run.profile", method=result.method,
+                                 series=result.series, **payload)
             if progress is not None:
                 progress(result)
         done_payload = {"n_results": len(table)}
@@ -260,7 +278,7 @@ class BenchmarkRunner:
 
 
 def run_one_click(config, registry=None, logger=None, progress=None,
-                  executor=None, cache=None, workers=None):
+                  executor=None, cache=None, workers=None, profile=False):
     """The one-click evaluation entry point (demo scenario S1).
 
     ``workers`` is a convenience: ``workers > 1`` without an explicit
@@ -270,4 +288,4 @@ def run_one_click(config, registry=None, logger=None, progress=None,
         from ..runtime import default_executor
         executor = default_executor(workers=workers, base_seed=config.seed)
     return BenchmarkRunner(config, registry=registry, logger=logger).run(
-        progress=progress, executor=executor, cache=cache)
+        progress=progress, executor=executor, cache=cache, profile=profile)

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["format_table", "format_pivot", "sparkline", "format_ranking"]
+__all__ = ["format_table", "format_pivot", "sparkline", "format_ranking",
+           "format_profile"]
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
@@ -66,6 +67,24 @@ def format_pivot(pivot, metric="", methods=None):
             row.append("-" if value is None else value)
         rows.append(row)
     return format_table(headers, rows)
+
+
+def format_profile(summary):
+    """Format a :meth:`RunLogger.profile_summary` breakdown as a table.
+
+    One row per pipeline phase with its total wall-clock and share, plus a
+    totals row across all profiled tasks.
+    """
+    phases = summary.get("phases", {})
+    if not phases:
+        return "(no profile events)"
+    total = sum(phases.values())
+    rows = []
+    for phase, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        rows.append([phase, seconds, f"{share:.1f}%"])
+    rows.append(["total", total, f"({summary.get('tasks', 0)} tasks)"])
+    return format_table(["phase", "seconds", "share"], rows)
 
 
 def format_ranking(mean_scores, metric, top=None, higher_is_better=False):

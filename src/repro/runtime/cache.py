@@ -37,7 +37,7 @@ from ..evaluation.strategies import EvalResult
 __all__ = ["ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING"]
 
 #: Bump on changes that invalidate previously cached results.
-CODE_VERSION = "repro-runtime-v1"
+CODE_VERSION = "repro-runtime-v2"
 
 #: Sentinel distinguishing "cached None" from "not cached".
 MISSING = object()

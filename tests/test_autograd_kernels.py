@@ -1,0 +1,185 @@
+"""Gradcheck + equivalence coverage for the vectorized autograd kernels.
+
+Every fast-path kernel (im2col conv1d, strided pools, precomputed-projection
+GRU) is checked two ways: numerical gradcheck on awkward geometries
+(dilation > 1, asymmetric padding, stride != kernel), and forward/backward
+agreement with its ``*_reference`` implementation — the pre-vectorization
+tap-loop kernels kept precisely for this comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, nn
+from repro.autograd import functional as F
+
+
+def _leaf(rng, shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+CONV_CASES = [
+    # (batch, c_in, c_out, length, kernel, dilation, padding)
+    (2, 3, 4, 12, 3, 1, 0),
+    (2, 3, 4, 12, 3, 2, 0),            # dilation > 1
+    (2, 2, 3, 10, 3, 1, (3, 1)),       # asymmetric (left, right) padding
+    (1, 2, 2, 11, 4, 2, (4, 2)),       # dilation + asymmetric padding
+    (3, 1, 5, 9, 2, 3, 2),             # symmetric int padding
+]
+
+
+@pytest.mark.parametrize("conv_fn", [F.conv1d, F.conv1d_reference],
+                         ids=["vectorized", "reference"])
+@pytest.mark.parametrize("case", CONV_CASES)
+def test_conv1d_gradcheck(conv_fn, case):
+    batch, c_in, c_out, length, kernel, dilation, padding = case
+    rng = np.random.default_rng(3)
+    x = _leaf(rng, (batch, c_in, length))
+    w = _leaf(rng, (c_out, c_in, kernel))
+    b = _leaf(rng, (c_out,))
+
+    def fn():
+        out = conv_fn(x, w, b, dilation=dilation, padding=padding)
+        return (out * out).sum()
+
+    check_gradients(fn, [x, w, b])
+
+
+@pytest.mark.parametrize("case", CONV_CASES)
+def test_conv1d_matches_reference(case):
+    batch, c_in, c_out, length, kernel, dilation, padding = case
+    rng = np.random.default_rng(5)
+    xd = rng.standard_normal((batch, c_in, length))
+    wd = rng.standard_normal((c_out, c_in, kernel))
+    bd = rng.standard_normal(c_out)
+
+    grads = {}
+    for tag, conv_fn in (("vec", F.conv1d), ("ref", F.conv1d_reference)):
+        x = Tensor(xd.copy(), requires_grad=True)
+        w = Tensor(wd.copy(), requires_grad=True)
+        b = Tensor(bd.copy(), requires_grad=True)
+        out = conv_fn(x, w, b, dilation=dilation, padding=padding)
+        (out * out).sum().backward()
+        grads[tag] = (out.data, x.grad, w.grad, b.grad)
+    for vec, ref in zip(grads["vec"], grads["ref"]):
+        np.testing.assert_allclose(vec, ref, rtol=1e-10, atol=1e-10)
+
+
+POOL_CASES = [
+    # (batch, channels, length, kernel, stride)
+    (2, 3, 12, 3, None),               # stride defaults to kernel
+    (2, 3, 12, 3, 2),                  # stride != kernel (overlapping)
+    (1, 2, 9, 4, 3),
+    (3, 1, 10, 2, 5),                  # stride > kernel (gaps)
+]
+
+
+@pytest.mark.parametrize("pool_fn", [F.max_pool1d, F.max_pool1d_reference],
+                         ids=["vectorized", "reference"])
+@pytest.mark.parametrize("case", POOL_CASES)
+def test_max_pool1d_gradcheck(pool_fn, case):
+    batch, channels, length, kernel, stride = case
+    rng = np.random.default_rng(7)
+    # Well-separated values keep the max unambiguous under the fd epsilon.
+    data = rng.permutation(batch * channels * length).astype(float)
+    x = Tensor(data.reshape(batch, channels, length), requires_grad=True)
+
+    def fn():
+        out = pool_fn(x, kernel, stride=stride)
+        return (out * out).sum()
+
+    check_gradients(fn, [x])
+
+
+@pytest.mark.parametrize("pool_fn", [F.avg_pool1d, F.avg_pool1d_reference],
+                         ids=["vectorized", "reference"])
+@pytest.mark.parametrize("case", POOL_CASES)
+def test_avg_pool1d_gradcheck(pool_fn, case):
+    batch, channels, length, kernel, stride = case
+    rng = np.random.default_rng(9)
+    x = _leaf(rng, (batch, channels, length))
+
+    def fn():
+        out = pool_fn(x, kernel, stride=stride)
+        return (out * out).sum()
+
+    check_gradients(fn, [x])
+
+
+@pytest.mark.parametrize("fast_fn,ref_fn", [
+    (F.max_pool1d, F.max_pool1d_reference),
+    (F.avg_pool1d, F.avg_pool1d_reference),
+], ids=["max", "avg"])
+@pytest.mark.parametrize("case", POOL_CASES)
+def test_pools_match_reference(fast_fn, ref_fn, case):
+    batch, channels, length, kernel, stride = case
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((batch, channels, length))
+
+    results = {}
+    for tag, pool_fn in (("vec", fast_fn), ("ref", ref_fn)):
+        x = Tensor(data.copy(), requires_grad=True)
+        out = pool_fn(x, kernel, stride=stride)
+        (out * out).sum().backward()
+        results[tag] = (out.data, x.grad)
+    for vec, ref in zip(results["vec"], results["ref"]):
+        np.testing.assert_allclose(vec, ref, rtol=1e-12, atol=1e-12)
+
+
+def test_max_pool1d_tie_splitting_matches_reference():
+    """Tied maxima split the gradient equally in both implementations."""
+    data = np.array([[[1.0, 1.0, 0.0, 2.0, 2.0, 2.0]]])
+    for pool_fn in (F.max_pool1d, F.max_pool1d_reference):
+        x = Tensor(data.copy(), requires_grad=True)
+        pool_fn(x, 3, stride=3).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, [[[0.5, 0.5, 0.0, 1 / 3, 1 / 3, 1 / 3]]])
+
+
+@pytest.mark.parametrize("forward", ["forward", "forward_reference"])
+def test_gru_gradcheck_through_time(forward):
+    rng = np.random.default_rng(13)
+    gru = nn.GRU(2, 3, rng=rng)
+    x = _leaf(rng, (2, 5, 2))
+    params = [gru.w_ih, gru.w_hh, gru.b_ih, gru.b_hh, x]
+
+    def fn():
+        seq, final = getattr(gru, forward)(x)
+        return (seq * seq).sum() + (final * final).sum()
+
+    check_gradients(fn, params)
+
+
+def test_gru_forward_matches_reference():
+    rng = np.random.default_rng(15)
+    gru = nn.GRU(3, 4, rng=rng)
+    data = rng.standard_normal((3, 6, 3))
+
+    results = {}
+    for tag, forward in (("vec", gru.forward), ("ref", gru.forward_reference)):
+        x = Tensor(data.copy(), requires_grad=True)
+        gru.zero_grad()
+        seq, final = forward(x)
+        ((seq * seq).sum() + (final * final).sum()).backward()
+        results[tag] = (seq.data, final.data, x.grad,
+                        gru.w_ih.grad.copy(), gru.w_hh.grad.copy())
+    for vec, ref in zip(results["vec"], results["ref"]):
+        np.testing.assert_allclose(vec, ref, rtol=1e-10, atol=1e-12)
+
+
+def test_dlinear_smoothing_matrix_matches_loop():
+    """The banded moving-average construction equals the original loop."""
+    from repro.methods.deep import _DLinearNet
+
+    for lookback, kernel in [(16, 25), (48, 25), (33, 7), (8, 3), (5, 1)]:
+        half = kernel // 2
+        expected = np.zeros((lookback, lookback))
+        for i in range(lookback):
+            lo, hi = max(0, i - half), min(lookback, i + half + 1)
+            expected[i, lo:hi] = 1.0 / (hi - lo)
+        net = _DLinearNet(lookback, 4, kernel,
+                          np.random.default_rng(0))
+        np.testing.assert_array_equal(net._smooth.data, expected.T)
+        assert np.allclose(net._smooth.data.sum(axis=0), 1.0)

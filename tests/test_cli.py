@@ -75,3 +75,19 @@ class TestCommands:
         # Empty question -> not ok -> exit 1.
         code, _ = run_cli(["ask", "   ", "--series", "60"])
         assert code == 1
+
+    def test_bench_profile_and_dtype(self, tmp_path, csv_file):
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({
+            "methods": ["naive"],
+            "datasets": {"suite": "univariate", "per_domain": 1,
+                         "length": 256, "domains": ["traffic"]},
+            "strategy": "fixed", "lookback": 48, "horizon": 12,
+            "metrics": ["mae"],
+        }))
+        code, text = run_cli(["bench", str(config),
+                              "--profile", "--dtype", "float32"])
+        assert code == 0
+        assert "phase" in text
+        assert "fit" in text and "predict" in text
+        assert "total" in text

@@ -136,3 +136,20 @@ class TestTS2VecTraining:
         within = (np.linalg.norm(emb_seasonal - centroid_s, axis=1).mean()
                   + np.linalg.norm(emb_walks - centroid_w, axis=1).mean()) / 2
         assert between > within * 0.5
+
+
+class TestBatchedEncode:
+    def test_encode_many_matches_per_series_encode(self):
+        model = TS2Vec(hidden=8, out_dim=6, depth=2, window=64,
+                       crop_len=32, iterations=3, seed=0)
+        bank = sine_bank(5)
+        model.fit(bank)
+        batched = model.encode_many(bank)
+        singles = np.stack([model.encode(s) for s in bank])
+        np.testing.assert_allclose(batched, singles, rtol=1e-10, atol=1e-12)
+
+    def test_encode_many_empty(self):
+        model = TS2Vec(hidden=8, out_dim=6, depth=1, window=64,
+                       crop_len=32, iterations=2, seed=0)
+        model.fit(sine_bank())
+        assert model.encode_many([]).shape == (0, 6)

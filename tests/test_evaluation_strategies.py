@@ -119,3 +119,31 @@ class TestFactory:
     def test_validates_geometry(self):
         with pytest.raises(ValueError):
             make_strategy("fixed", lookback=-1)
+
+
+class TestPhaseSeconds:
+    def test_evaluate_records_phase_timings(self):
+        strategy = RollingStrategy(lookback=48, horizon=12, stride=12)
+        result = strategy.evaluate(NaiveForecaster(), make_series())
+        assert set(result.phase_seconds) == {
+            "prepare", "fit", "predict", "metrics"}
+        assert all(v >= 0.0 for v in result.phase_seconds.values())
+
+    def test_batched_predict_used_when_available(self):
+        calls = {"batch": 0, "single": 0}
+
+        class Probe(NaiveForecaster):
+            def predict(self, history, horizon):
+                calls["single"] += 1
+                return super().predict(history, horizon)
+
+            def predict_batch(self, histories, horizon):
+                calls["batch"] += 1
+                return [NaiveForecaster.predict(self, h, horizon)
+                        for h in histories]
+
+        strategy = RollingStrategy(lookback=48, horizon=12, stride=12)
+        result = strategy.evaluate(Probe(), make_series())
+        assert calls["batch"] == 1
+        assert calls["single"] == 0
+        assert result.n_windows >= 2

@@ -1,0 +1,152 @@
+"""Batched inference (`predict_batch`) coverage for every deep method.
+
+The one-shot rolling evaluation relies on ``predict_batch`` giving the
+same answer as the per-window ``predict`` loop.  At float64 the two must
+be *bit-identical* — both route through the same GEMM kernel (singleton
+batches are padded to two rows precisely so BLAS never switches to its
+non-matching single-row routine).  At float32 they agree to tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.methods.base import Forecaster
+from repro.methods.registry import METHODS, create, method_info
+
+DEEP_METHODS = sorted(m for m in METHODS
+                      if method_info(m)["category"] == "deep")
+
+# Small geometries keeping the full sweep fast but exercising every model.
+FAST_PARAMS = {
+    "_common": dict(lookback=32, horizon=8, epochs=2, max_windows=80),
+    "transformer": dict(patch_len=8, n_layers=1),
+    "patchmlp": dict(patch_len=8),
+    "tcn": dict(channels=8, n_layers=2),
+    "gru": dict(hidden=8, downsample=4),
+    "nbeats": dict(hidden=16, n_blocks=2),
+    "spectral": dict(n_freqs=8),
+}
+
+
+def _make(name, **extra):
+    params = dict(FAST_PARAMS["_common"])
+    params.update(FAST_PARAMS.get(name, {}))
+    params.update(extra)
+    return create(name, **params)
+
+
+def _series(n_channels, length=220, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)[:, None]
+    phase = rng.uniform(0, np.pi, size=n_channels)
+    return (np.sin(2 * np.pi * t / 24 + phase)
+            + 0.1 * rng.standard_normal((length, n_channels)))
+
+
+def _histories(values, lookback, horizon, n=4):
+    return [values[max(0, end - lookback - 7):end]
+            for end in range(lookback + 5, lookback + 5 + n * horizon,
+                             horizon)]
+
+
+def test_deep_method_list_is_nonempty():
+    assert len(DEEP_METHODS) >= 8
+
+
+@pytest.mark.parametrize("name", DEEP_METHODS)
+def test_batched_matches_looped_bitwise_float64(name):
+    model = _make(name)
+    values = _series(n_channels=2)
+    model.fit(values[:160])
+    histories = _histories(values, model.lookback, model.horizon)
+    batched = model.predict_batch(histories, model.horizon)
+    looped = [model.predict(h, model.horizon) for h in histories]
+    assert len(batched) == len(histories)
+    for got, want in zip(batched, looped):
+        assert got.shape == want.shape == (model.horizon, 2)
+        assert np.array_equal(got, want), (
+            f"{name}: batched and looped float64 forecasts differ")
+
+
+@pytest.mark.parametrize("name", DEEP_METHODS)
+def test_batched_matches_looped_float32(name):
+    model = _make(name, dtype="float32")
+    values = _series(n_channels=2, seed=1)
+    model.fit(values[:160])
+    histories = _histories(values, model.lookback, model.horizon)
+    batched = model.predict_batch(histories, model.horizon)
+    looped = [model.predict(h, model.horizon) for h in histories]
+    for got, want in zip(batched, looped):
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+
+def test_univariate_single_history_pads_to_gemm_path():
+    """C=1, one history: the singleton batch still matches the loop."""
+    model = _make("dlinear")
+    values = _series(n_channels=1, seed=2)
+    model.fit(values[:160])
+    history = values[100:180]
+    (batched,) = model.predict_batch([history], model.horizon)
+    looped = model.predict(history, model.horizon)
+    assert np.array_equal(batched, looped)
+
+
+def test_predict_batch_empty_and_validation():
+    model = _make("linear_nn")
+    model.fit(_series(n_channels=2)[:160])
+    assert model.predict_batch([], model.horizon) == []
+    with pytest.raises(ValueError, match="horizon must be positive"):
+        model.predict_batch([_series(2)[:50]], 0)
+    with pytest.raises(ValueError, match="fitted on 2 channels"):
+        model.predict_batch([_series(3)[:50]], model.horizon)
+
+
+def test_predict_batch_autoregressive_extension():
+    """Horizon beyond the model head extends autoregressively, batched too."""
+    model = _make("mlp")
+    values = _series(n_channels=2, seed=3)
+    model.fit(values[:160])
+    horizon = model.horizon * 2 + 3
+    histories = _histories(values, model.lookback, model.horizon, n=3)
+    batched = model.predict_batch(histories, horizon)
+    looped = [model.predict(h, horizon) for h in histories]
+    for got, want in zip(batched, looped):
+        assert got.shape == (horizon, 2)
+        assert np.array_equal(got, want)
+
+
+def test_base_class_fallback_loops_predict():
+    calls = []
+
+    class Recorder(Forecaster):
+        name = "recorder"
+
+        def fit(self, train, val=None):
+            self._mark_fitted()
+            return self
+
+        def predict(self, history, horizon):
+            calls.append(len(history))
+            return np.zeros((horizon, 1))
+
+    model = Recorder().fit(np.zeros((10, 1)))
+    out = model.predict_batch([np.zeros((5, 1)), np.zeros((7, 1))], 3)
+    assert calls == [5, 7]
+    assert len(out) == 2 and out[0].shape == (3, 1)
+
+
+def test_float32_dtype_flows_through_model_and_predictions():
+    model = _make("mlp", dtype="float32")
+    model.fit(_series(n_channels=1, seed=4)[:160])
+    assert all(p.data.dtype == np.float32
+               for p in model._model.parameters())
+    forecast = model.predict(_series(1)[:80], model.horizon)
+    assert forecast.dtype == np.float64  # denormalisation is float64
+    assert np.isfinite(forecast).all()
+
+
+def test_invalid_dtype_rejected():
+    with pytest.raises(ValueError, match="dtype must be float32 or float64"):
+        _make("mlp", dtype="int32")

@@ -144,3 +144,24 @@ class TestResolve:
             datasets=DatasetSpec(suite="univariate"),
             strategy="fixed", stride=6)
         assert "stride" not in fixed.strategy_kwargs()
+
+
+class TestDtypePolicy:
+    def _base(self, **overrides):
+        kwargs = dict(methods=(MethodSpec("naive"),),
+                      datasets=DatasetSpec(suite="univariate"))
+        kwargs.update(overrides)
+        return BenchmarkConfig(**kwargs)
+
+    def test_defaults_to_float64(self):
+        assert self._base().validate().dtype == "float64"
+
+    def test_float32_accepted_and_roundtrips(self):
+        config = self._base(dtype="float32").validate()
+        assert config.dtype == "float32"
+        again = loads_config(config.dumps())
+        assert again.dtype == "float32"
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            self._base(dtype="float16").validate()

@@ -70,3 +70,26 @@ class TestRunLogger:
         logger = RunLogger(path=path)
         logger.child("sub").info("x")
         assert "sub.x" in path.read_text()
+
+
+class TestProfileSummary:
+    def test_aggregates_profile_events(self):
+        logger = RunLogger()
+        logger.info("run.profile", method="a", series="s1",
+                    fit_seconds=1.0, predict_seconds=0.25,
+                    metrics_seconds=0.05)
+        logger.info("run.profile", method="b", series="s1",
+                    fit_seconds=2.0, predict_seconds=0.75)
+        logger.info("run.cell", method="a", series="s1", seconds=99.0)
+        summary = logger.profile_summary()
+        assert summary["tasks"] == 2
+        assert summary["phases"]["fit"] == 3.0
+        assert summary["phases"]["predict"] == 1.0
+        assert summary["phases"]["metrics"] == 0.05
+        assert summary["total_seconds"] == pytest.approx(4.05)
+
+    def test_empty_when_not_profiled(self):
+        logger = RunLogger()
+        logger.info("run.start")
+        summary = logger.profile_summary()
+        assert summary == {"tasks": 0, "total_seconds": 0.0, "phases": {}}

@@ -126,3 +126,65 @@ class TestResultTable:
         assert rows[0]["metric_mae"] == 1.0
         assert rows[0]["method"] == "a"
         assert "horizon" in rows[0]
+
+
+class TestProfiling:
+    def test_profile_emits_phase_events(self):
+        logger = RunLogger()
+        table = run_one_click(small_config(), logger=logger, profile=True)
+        events = logger.filter(event="run.profile")
+        assert len(events) == len(table)
+        for event in events:
+            for phase in ("prepare", "fit", "predict", "metrics"):
+                assert event[f"{phase}_seconds"] >= 0.0
+        summary = logger.profile_summary()
+        assert summary["tasks"] == len(table)
+        assert set(summary["phases"]) == {"prepare", "fit", "predict",
+                                          "metrics"}
+
+    def test_no_profile_events_by_default(self):
+        logger = RunLogger()
+        run_one_click(small_config(), logger=logger)
+        assert logger.filter(event="run.profile") == []
+
+
+class TestDtypePlumbing:
+    def test_float32_applied_to_deep_methods(self):
+        from repro.pipeline.runner import _instantiate
+
+        config = small_config(methods=(MethodSpec("dlinear"),),
+                              dtype="float32")
+        model = _instantiate(config, config.methods[0])
+        assert model.dtype == "float32"
+        naive = _instantiate(config, MethodSpec("naive"))
+        assert not hasattr(naive, "dtype")
+
+    def test_pinned_dtype_param_wins(self):
+        from repro.pipeline.runner import _instantiate
+
+        config = small_config(
+            methods=(MethodSpec("dlinear", params={"dtype": "float64"}),),
+            dtype="float32")
+        model = _instantiate(config, config.methods[0])
+        assert model.dtype == "float64"
+
+    def test_cell_key_stable_for_float64_but_not_float32(self):
+        from repro.pipeline.runner import _cell_key
+
+        class _S:
+            name = "s"
+
+        spec = MethodSpec("naive")
+        k64 = _cell_key(small_config(), spec, _S())
+        k32 = _cell_key(small_config(dtype="float32"), spec, _S())
+        assert "float" not in k64  # pre-change float64 seeds preserved
+        assert k32 == k64 + "|float32"
+
+    def test_float32_grid_runs_end_to_end(self):
+        config = small_config(methods=(MethodSpec("linear_nn",
+                                                  params={"epochs": 2}),),
+                              dtype="float32")
+        table = run_one_click(config)
+        assert len(table) == 2
+        for record in table:
+            assert np.isfinite(record.scores["mae"])

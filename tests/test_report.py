@@ -137,3 +137,25 @@ class TestRenderChart:
     def test_unknown_type(self):
         with pytest.raises(ValueError, match="unknown chart type"):
             render_chart({"type": "scatter"})
+
+
+class TestFormatProfile:
+    def test_renders_phases_and_total(self):
+        from repro.report import format_profile
+
+        summary = {"tasks": 3, "total_seconds": 4.0,
+                   "phases": {"fit": 3.0, "predict": 0.75,
+                              "metrics": 0.25}}
+        out = format_profile(summary)
+        lines = out.splitlines()
+        assert "phase" in lines[0] and "share" in lines[0]
+        # Sorted by descending share; totals row closes the table.
+        assert lines[2].startswith("fit")
+        assert "75.0%" in lines[2]
+        assert lines[-1].startswith("total")
+        assert "(3 tasks)" in lines[-1]
+
+    def test_empty_summary(self):
+        from repro.report import format_profile
+
+        assert "no profile" in format_profile({"tasks": 0, "phases": {}})
