@@ -1,0 +1,110 @@
+"""E11 — telemetry overhead: traced vs untraced benchmark wall-clock.
+
+Acceptance benchmark for the observability PR: running an E1-style
+2 datasets × 2 methods evaluation matrix with telemetry **enabled**
+(full span tree + metrics) must cost at most 5% wall-clock over the same
+matrix with telemetry **disabled** (the no-op fast path).
+
+Timings are best-of-N (least-noise estimator, matching E10) and are
+written as JSON (env ``E11_JSON``, default ``e11_telemetry.json``) so CI
+can upload them as an artifact next to the E10 kernel timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.datasets import DatasetRegistry
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            run_one_click)
+
+RESULTS = {}
+
+MAX_OVERHEAD = 0.05  # 5% acceptance ceiling
+
+
+def _matrix_config():
+    """E1-style matrix: 2 datasets × 2 methods, rolling protocol."""
+    return BenchmarkConfig(
+        methods=(MethodSpec("theta"), MethodSpec("dlinear",
+                                                 {"epochs": 3,
+                                                  "max_windows": 300})),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=512,
+                             domains=("traffic", "electricity")),
+        strategy="rolling", lookback=96, horizon=24, metrics=("mae", "mse"),
+        seed=7, tag="e11").validate()
+
+
+def _best_of(fn, repeats=5):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestE11TelemetryOverhead:
+    def test_enabled_overhead_within_5_percent(self):
+        saved = telemetry._ACTIVE
+        config = _matrix_config()
+        registry = DatasetRegistry(seed=7)
+
+        def run_once():
+            table = run_one_click(config, registry=registry)
+            assert len(table) == 4
+
+        try:
+            telemetry.disable()
+            run_once()  # warm caches (datasets, imports) out of the timing
+            t_off = _best_of(run_once)
+
+            telemetry.enable()
+            t_on = _best_of(run_once)
+            n_spans = len(telemetry.spans())
+            assert n_spans >= 4 * 6  # evaluate + 4 phases + task, per cell
+        finally:
+            telemetry._ACTIVE = saved
+
+        overhead = t_on / t_off - 1.0
+        RESULTS["matrix_2x2"] = {
+            "disabled_s": t_off, "enabled_s": t_on,
+            "overhead_fraction": overhead, "spans_collected": n_spans,
+        }
+        print(f"\nE11 telemetry overhead: off {t_off * 1e3:.1f}ms, "
+              f"on {t_on * 1e3:.1f}ms ({overhead * 100:+.2f}%)")
+        assert overhead <= MAX_OVERHEAD, (
+            f"telemetry overhead {overhead * 100:.2f}% exceeds "
+            f"{MAX_OVERHEAD * 100:.0f}%")
+
+    def test_disabled_helper_calls_are_cheap(self):
+        """The no-op fast path: a million helper calls in well under 1s."""
+        saved = telemetry._ACTIVE
+        telemetry.disable()
+        try:
+            start = time.perf_counter()
+            for _ in range(100_000):
+                with telemetry.span("noop"):
+                    pass
+                telemetry.inc("c")
+                telemetry.observe("h", 0.1)
+            elapsed = time.perf_counter() - start
+        finally:
+            telemetry._ACTIVE = saved
+        per_call = elapsed / 300_000
+        RESULTS["noop_path"] = {"calls": 300_000, "seconds": elapsed,
+                                "seconds_per_call": per_call}
+        print(f"\nE11 no-op path: {per_call * 1e9:.0f}ns per helper call")
+        assert per_call < 5e-6  # microseconds, not milliseconds
+
+
+def teardown_module(module):
+    path = os.environ.get("E11_JSON", "e11_telemetry.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(RESULTS, fh, indent=2)
+    print(f"\nE11 timings written to {path}")

@@ -9,7 +9,13 @@ Commands mirror the demo's capabilities for shell users:
 * ``recommend <csv> [-k K]``         — offline phase + top-k methods;
 * ``forecast <csv> [--horizon H]``   — automated-ensemble forecast;
 * ``ask "<question>"``               — one Q&A turn (synthetic store);
-* ``serve [--port P]``               — start the JSON HTTP API.
+* ``serve [--port P]``               — start the JSON HTTP API (exposes
+  Prometheus metrics at ``/metrics`` and per-job Chrome traces at
+  ``/trace/<job_id>``).
+
+``bench --trace-dir DIR`` enables telemetry and writes ``trace.json``
+(loadable in the Chrome trace viewer / Perfetto) plus ``spans.jsonl``;
+``--metrics-json PATH`` dumps the final metrics-registry snapshot.
 """
 
 from __future__ import annotations
@@ -61,6 +67,12 @@ def build_parser():
                          choices=("float32", "float64"),
                          help="override the config's compute dtype for the "
                               "deep forecasters")
+    p_bench.add_argument("--trace-dir", type=Path, default=None,
+                         help="enable telemetry and write trace.json "
+                              "(Chrome trace viewer) + spans.jsonl here")
+    p_bench.add_argument("--metrics-json", type=Path, default=None,
+                         help="enable telemetry and write the final metrics "
+                              "snapshot as JSON here")
 
     p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
     p_rec.add_argument("csv", type=Path)
@@ -118,6 +130,10 @@ def _cmd_bench(args, out):
     config = load_config(args.config)
     if args.dtype:
         config = dataclasses.replace(config, dtype=args.dtype)
+    observing = args.trace_dir is not None or args.metrics_json is not None
+    if observing:
+        from . import telemetry
+        telemetry.enable()
     executor = None
     if args.executor or args.workers > 1:
         kind = args.executor or "process"
@@ -128,6 +144,8 @@ def _cmd_bench(args, out):
     logger = RunLogger()
     table = run_one_click(config, logger=logger, executor=executor,
                           cache=cache, profile=args.profile)
+    if observing:
+        _export_telemetry(args, out)
     print(f"{len(table)} results", file=out)
     if cache is not None:
         stats = cache.stats()
@@ -144,6 +162,29 @@ def _cmd_bench(args, out):
                                encoding="utf-8")
         print(f"report written to {args.report}", file=out)
     return 0
+
+
+def _export_telemetry(args, out):
+    """Write the collected spans/metrics per the bench telemetry flags."""
+    from . import telemetry
+
+    collected = telemetry.spans()
+    if args.trace_dir is not None:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = args.trace_dir / "trace.json"
+        telemetry.write_chrome_trace(collected, trace_path)
+        with telemetry.SpanSink(args.trace_dir / "spans.jsonl") as sink:
+            sink.write_all(collected)
+        print(f"trace ({len(collected)} spans) written to {trace_path}",
+              file=out)
+    if args.metrics_json is not None:
+        registry = telemetry.get_metrics()
+        snapshot = registry.snapshot() if registry is not None else {}
+        args.metrics_json.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_json.write_text(json.dumps(snapshot, indent=2,
+                                                sort_keys=True),
+                                     encoding="utf-8")
+        print(f"metrics snapshot written to {args.metrics_json}", file=out)
 
 
 def _offline_system(per_domain):

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..characteristics import extract
 from ..datasets.split import SplitSpec, train_val_test_split
 from ..methods.base import Forecaster, check_history
@@ -148,28 +149,36 @@ class AutoEnsemble:
 
     def pretrain(self, progress=None):
         """Run the offline phase; returns self."""
-        series_names, methods, errors = self.kb.error_matrix(self.metric)
-        if not series_names:
-            raise RuntimeError("knowledge base has no benchmark results")
-        self.method_names = methods
-        series_list = self._materialise_series(series_names)
-        if self.feature_mode == "ts2vec":
-            self.encoder = TS2Vec(seed=self.seed, **self.ts2vec_params)
-            self.encoder.fit(series_list)
+        with telemetry.span("ensemble.pretrain",
+                            feature_mode=self.feature_mode):
+            series_names, methods, errors = self.kb.error_matrix(self.metric)
+            if not series_names:
+                raise RuntimeError("knowledge base has no benchmark results")
+            self.method_names = methods
+            series_list = self._materialise_series(series_names)
+            if self.feature_mode == "ts2vec":
+                with telemetry.span("ensemble.ts2vec",
+                                    n_series=len(series_list)):
+                    self.encoder = TS2Vec(seed=self.seed,
+                                          **self.ts2vec_params)
+                    self.encoder.fit(series_list)
+                    if progress:
+                        progress("ts2vec trained")
+                    embeddings = self.encoder.encode_many(series_list)
+            else:
+                embeddings = np.stack([extract(s).as_vector()
+                                       for s in series_list])
+            with telemetry.span("ensemble.classifier",
+                                n_methods=len(methods)):
+                params = {"hidden": 64, "epochs": 150,
+                          **self.classifier_params}
+                self.classifier = PerformanceClassifier(
+                    n_methods=len(methods), input_dim=embeddings.shape[1],
+                    loss=self.classifier_loss, seed=self.seed, **params)
+                self.classifier.fit(embeddings, errors)
             if progress:
-                progress("ts2vec trained")
-            embeddings = self.encoder.encode_many(series_list)
-        else:
-            embeddings = np.stack([extract(s).as_vector()
-                                   for s in series_list])
-        params = {"hidden": 64, "epochs": 150, **self.classifier_params}
-        self.classifier = PerformanceClassifier(
-            n_methods=len(methods), input_dim=embeddings.shape[1],
-            loss=self.classifier_loss, seed=self.seed, **params)
-        self.classifier.fit(embeddings, errors)
-        if progress:
-            progress("classifier trained")
-        self._pretrained = True
+                progress("classifier trained")
+            self._pretrained = True
         return self
 
     def _require_pretrained(self):
@@ -208,6 +217,11 @@ class AutoEnsemble:
         self._require_pretrained()
         if k < 1:
             raise ValueError("k must be >= 1")
+        with telemetry.span("ensemble.fit", k=k,
+                            series=getattr(series, "name", "series")):
+            return self._fit_ensemble(series, k, split)
+
+    def _fit_ensemble(self, series, k, split):
         values = series.values if hasattr(series, "values") else \
             np.asarray(series, dtype=np.float64)
         if values.ndim == 1:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..datasets.scalers import make_scaler
 from ..datasets.split import SplitSpec, train_val_test_split
 from . import metrics as metric_mod
@@ -75,55 +76,81 @@ class _Strategy:
         the model's :meth:`~repro.methods.base.Forecaster.predict_batch`
         in one call, so deep forecasters amortise a single batched forward
         pass over the whole test segment; the base-class fallback loops.
+
+        When telemetry is enabled the evaluation produces a span tree
+        (``evaluate`` → ``phase.prepare`` / ``phase.fit`` /
+        ``phase.predict`` / ``phase.metrics``) mirroring the
+        ``phase_seconds`` breakdown, plus windows-evaluated and
+        predict-latency metrics.
         """
         import time
 
-        t0 = time.perf_counter()
-        values = series.values if hasattr(series, "values") else np.asarray(series)
-        if values.ndim == 1:
-            values = values[:, None]
-        train, val, test = train_val_test_split(values, self.split,
-                                                lookback=self.lookback)
-        scaler = make_scaler(self.scaler_name)
-        scaler.fit(train)
-        train_s = scaler.transform(train)
-        val_s = scaler.transform(val)
-        test_s = scaler.transform(test)
-        prepare_seconds = time.perf_counter() - t0
+        method_name = getattr(model, "name", type(model).__name__)
+        series_name = getattr(series, "name", "series")
+        eval_span = telemetry.span("evaluate", method=method_name,
+                                   series=series_name, strategy=self.name,
+                                   horizon=self.horizon)
+        with eval_span:
+            with telemetry.span("phase.prepare"):
+                t0 = time.perf_counter()
+                values = series.values if hasattr(series, "values") \
+                    else np.asarray(series)
+                if values.ndim == 1:
+                    values = values[:, None]
+                train, val, test = train_val_test_split(
+                    values, self.split, lookback=self.lookback)
+                scaler = make_scaler(self.scaler_name)
+                scaler.fit(train)
+                train_s = scaler.transform(train)
+                val_s = scaler.transform(val)
+                test_s = scaler.transform(test)
+                prepare_seconds = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        model.fit(train_s, val_s)
-        fit_seconds = time.perf_counter() - t0
+            with telemetry.span("phase.fit", method=method_name):
+                t0 = time.perf_counter()
+                model.fit(train_s, val_s)
+                fit_seconds = time.perf_counter() - t0
 
-        spans = list(self._windows(test_s))
-        if not spans:
-            raise ValueError(
-                f"test segment too short for lookback={self.lookback} "
-                f"horizon={self.horizon}")
-        t0 = time.perf_counter()
-        histories = [test_s[self._history_start(hist_end):hist_end]
-                     for hist_end, _ in spans]
-        batch_fn = getattr(model, "predict_batch", None)
-        if batch_fn is not None:
-            raw = batch_fn(histories, self.horizon)
-        else:
-            raw = [model.predict(history, self.horizon)
-                   for history in histories]
-        actuals, forecasts = [], []
-        for (hist_end, target_end), forecast_s in zip(spans, raw):
-            forecast = scaler.inverse_transform(forecast_s)
-            actual = test[hist_end:target_end]
-            forecasts.append(forecast[:len(actual)])
-            actuals.append(actual)
-        predict_seconds = time.perf_counter() - t0
+            spans = list(self._windows(test_s))
+            if not spans:
+                raise ValueError(
+                    f"test segment too short for lookback={self.lookback} "
+                    f"horizon={self.horizon}")
+            with telemetry.span("phase.predict", method=method_name,
+                                n_windows=len(spans)):
+                t0 = time.perf_counter()
+                histories = [test_s[self._history_start(hist_end):hist_end]
+                             for hist_end, _ in spans]
+                batch_fn = getattr(model, "predict_batch", None)
+                if batch_fn is not None:
+                    raw = batch_fn(histories, self.horizon)
+                else:
+                    raw = [model.predict(history, self.horizon)
+                           for history in histories]
+                actuals, forecasts = [], []
+                for (hist_end, target_end), forecast_s in zip(spans, raw):
+                    forecast = scaler.inverse_transform(forecast_s)
+                    actual = test[hist_end:target_end]
+                    forecasts.append(forecast[:len(actual)])
+                    actuals.append(actual)
+                predict_seconds = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        actual_all = np.concatenate(actuals)
-        forecast_all = np.concatenate(forecasts)
-        period = getattr(series, "freq", 1) or 1
-        scores = metric_mod.compute_all(self.metrics, actual_all, forecast_all,
-                                        train=train, period=period)
-        metrics_seconds = time.perf_counter() - t0
+            with telemetry.span("phase.metrics"):
+                t0 = time.perf_counter()
+                actual_all = np.concatenate(actuals)
+                forecast_all = np.concatenate(forecasts)
+                period = getattr(series, "freq", 1) or 1
+                scores = metric_mod.compute_all(self.metrics, actual_all,
+                                                forecast_all, train=train,
+                                                period=period)
+                metrics_seconds = time.perf_counter() - t0
+
+        telemetry.inc("repro_eval_windows_total", len(actuals),
+                      strategy=self.name,
+                      help="Forecast windows evaluated per strategy.")
+        telemetry.observe("repro_eval_predict_seconds", predict_seconds,
+                          method=method_name,
+                          help="Wall-clock of the (batched) predict phase.")
         return EvalResult(
             method=getattr(model, "name", type(model).__name__),
             series=getattr(series, "name", "series"),

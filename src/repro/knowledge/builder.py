@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..characteristics import extract
 from ..datasets.registry import DatasetRegistry
 from ..evaluation.strategies import EvalResult
@@ -48,20 +49,24 @@ def build_benchmark_knowledge(per_domain=3, length=384, horizons=(24,),
     registry = registry or DatasetRegistry(seed=seed)
     kb = KnowledgeBase()
     kb.add_all_methods()
-    suite = registry.univariate_suite(per_domain=per_domain, length=length)
-    for series in suite:
-        kb.add_dataset(series)
-    for horizon in horizons:
-        config = BenchmarkConfig(
-            methods=tuple(MethodSpec(m) for m in methods),
-            datasets=DatasetSpec(suite="univariate", per_domain=per_domain,
-                                 length=length),
-            strategy="rolling", lookback=96, horizon=horizon,
-            metrics=tuple(metrics), seed=seed,
-            tag=f"knowledge_h{horizon}").validate()
-        table = run_one_click(config, registry=registry, logger=logger,
-                              executor=executor, cache=cache, workers=workers)
-        kb.ingest_table(table)
+    with telemetry.span("knowledge.build", per_domain=per_domain,
+                        n_methods=len(methods), n_horizons=len(horizons)):
+        suite = registry.univariate_suite(per_domain=per_domain,
+                                          length=length)
+        for series in suite:
+            kb.add_dataset(series)
+        for horizon in horizons:
+            config = BenchmarkConfig(
+                methods=tuple(MethodSpec(m) for m in methods),
+                datasets=DatasetSpec(suite="univariate",
+                                     per_domain=per_domain, length=length),
+                strategy="rolling", lookback=96, horizon=horizon,
+                metrics=tuple(metrics), seed=seed,
+                tag=f"knowledge_h{horizon}").validate()
+            table = run_one_click(config, registry=registry, logger=logger,
+                                  executor=executor, cache=cache,
+                                  workers=workers)
+            kb.ingest_table(table)
     return kb, registry
 
 

@@ -10,12 +10,19 @@ training with early stopping, and autoregressive horizon extension.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..autograd import Tensor, losses, nn, optim
 from ..autograd import functional as F
 from ..datasets.split import batch_indices, make_windows
+from ..telemetry import MetricsTrainingHooks, TrainingHooks  # noqa: F401
 from .base import Forecaster, check_history
+
+#: Default fit() hooks: publish per-epoch loss/grad-norm/throughput to
+#: the telemetry registry (every call is a no-op while telemetry is off).
+_DEFAULT_HOOKS = MetricsTrainingHooks()
 
 __all__ = [
     "DeepForecaster", "LinearForecaster", "MLPForecaster",
@@ -101,7 +108,9 @@ class DeepForecaster(Forecaster):
         return x[idx], y[idx]
 
     # -- training -----------------------------------------------------------
-    def fit(self, train, val=None):
+    def fit(self, train, val=None, hooks=None):
+        if hooks is None:
+            hooks = _DEFAULT_HOOKS
         train = check_history(train)
         self._np_dtype = _check_dtype(self.dtype)
         rng = np.random.default_rng(self.seed)
@@ -121,15 +130,29 @@ class DeepForecaster(Forecaster):
             self._model.to(self._np_dtype)
         optimizer = optim.Adam(self._model.parameters(), lr=self.lr)
         best_state, best_loss, since_best = None, np.inf, 0
+        hooks.on_fit_start(self, len(x))
+        epochs_run = 0
         for _ in range(self.epochs):
             self._model.train()
+            epoch_t0 = time.perf_counter()
+            loss_sum, n_batches, n_samples, grad_norm = 0.0, 0, 0, 0.0
             for batch in batch_indices(len(x), self.batch_size, rng=rng):
                 optimizer.zero_grad()
                 pred = self._forward(x[batch])
                 loss = losses.mse_loss(pred, y[batch])
                 loss.backward()
-                optim.clip_grad_norm(self._model.parameters(), self.grad_clip)
+                grad_norm = optim.clip_grad_norm(self._model.parameters(),
+                                                 self.grad_clip)
                 optimizer.step()
+                loss_sum += float(loss.data)
+                n_batches += 1
+                n_samples += len(batch)
+            epochs_run += 1
+            elapsed = time.perf_counter() - epoch_t0
+            hooks.on_epoch_end(
+                self, epochs_run, loss_sum / max(n_batches, 1),
+                float(grad_norm),
+                n_samples / elapsed if elapsed > 0 else 0.0)
             monitor = self._eval_loss(*val_pair) if val_pair \
                 else self._eval_loss(x, y)
             if monitor < best_loss - 1e-9:
@@ -143,6 +166,8 @@ class DeepForecaster(Forecaster):
             self._model.load_state_dict(best_state)
         self._model.eval()
         self._mark_fitted()
+        hooks.on_fit_end(self, epochs_run,
+                         float(best_loss) if np.isfinite(best_loss) else 0.0)
         return self
 
     def _forward(self, windows):

@@ -14,16 +14,34 @@ threads interleave without corrupting each other.
 
 from __future__ import annotations
 
+import atexit
 import json
 import threading
 import time
+import weakref
 from pathlib import Path
 
 __all__ = ["RunLogger"]
 
+#: Sinks with an open handle; weakly held so garbage collection is not
+#: blocked, drained by the atexit hook so a logger that was never used as
+#: a context manager still releases (and flushes) its file on shutdown.
+_OPEN_SINKS = weakref.WeakSet()
+
+
+@atexit.register
+def _close_open_sinks():
+    for sink in list(_OPEN_SINKS):
+        sink.close()
+
 
 class _FileSink:
-    """Lazily-opened, lock-guarded append-mode JSONL sink."""
+    """Lazily-opened, lock-guarded append-mode JSONL sink.
+
+    ``close()`` is idempotent and shared across every logger in a
+    :meth:`RunLogger.child` family; a sink left open at interpreter exit
+    is closed by the module's ``atexit`` hook.
+    """
 
     def __init__(self, path):
         self.path = Path(path)
@@ -37,6 +55,7 @@ class _FileSink:
         with self._lock:
             if self._fh is None:
                 self._fh = self.path.open("a", encoding="utf-8")
+                _OPEN_SINKS.add(self)
             self._fh.write(line)
             self._fh.flush()
 
@@ -45,6 +64,7 @@ class _FileSink:
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
+            _OPEN_SINKS.discard(self)
 
 
 class RunLogger:
@@ -106,13 +126,19 @@ class RunLogger:
         """Context manager logging the elapsed time of a block."""
         return _Timer(self, event, payload)
 
-    def profile_summary(self):
-        """Aggregate ``run.profile`` events into a per-phase breakdown.
+    def profile_summary(self, spans=None):
+        """Aggregate the run's per-phase wall-clock breakdown.
 
         Returns ``{"tasks": n, "total_seconds": t, "phases": {phase: t}}``
         where each phase total sums that phase's wall-clock across every
-        profiled (method, series) task.  Empty when the run was not
-        profiled.
+        profiled (method, series) task.
+
+        Two sources, same table: explicit ``run.profile`` events (emitted
+        by ``run(profile=True)``) take precedence; otherwise the summary
+        is computed from telemetry ``phase.*`` spans — either the
+        ``spans`` argument or, when telemetry is enabled, the process
+        collector — so a traced run gets the breakdown without
+        re-running under ``--profile``.  Empty when neither exists.
         """
         phases = {}
         tasks = 0
@@ -122,6 +148,11 @@ class RunLogger:
                 if key.endswith("_seconds") and isinstance(value, (int, float)):
                     phase = key[:-len("_seconds")]
                     phases[phase] = phases.get(phase, 0.0) + float(value)
+        if not tasks:
+            from .. import telemetry
+            span_list = spans if spans is not None else telemetry.spans()
+            if span_list:
+                return telemetry.profile_from_spans(span_list)
         return {"tasks": tasks,
                 "total_seconds": round(sum(phases.values()), 6),
                 "phases": {k: round(v, 6) for k, v in phases.items()}}

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..datasets.registry import DatasetRegistry
 from ..evaluation.metrics import HIGHER_IS_BETTER
 from ..evaluation.strategies import make_strategy
@@ -211,6 +212,12 @@ class BenchmarkRunner:
         skipped rather than aborting the run — a long benchmark should not
         die on one unstable fit.
         """
+        with telemetry.span("run", tag=self.config.tag,
+                            strategy=self.config.strategy,
+                            horizon=self.config.horizon):
+            return self._run(progress, executor, cache, profile)
+
+    def _run(self, progress, executor, cache, profile):
         config = self.config
         if executor is None:
             executor = SerialExecutor(base_seed=config.seed)
@@ -235,6 +242,8 @@ class BenchmarkRunner:
                     slots[i] = hit
                     self.logger.info("run.cache_hit", method=spec.name,
                                      series=series.name)
+                    telemetry.inc("repro_run_cells_total", status="cached",
+                                  help="Benchmark grid cells by outcome.")
                     continue
             task = Task(key=_cell_key(config, spec, series),
                         fn=_evaluate_cell, args=(config, spec, series))
@@ -249,6 +258,8 @@ class BenchmarkRunner:
                                      series=series.name, status="ok",
                                      seconds=round(outcome.seconds, 6),
                                      attempts=outcome.attempts)
+                    telemetry.inc("repro_run_cells_total", status="ok",
+                                  help="Benchmark grid cells by outcome.")
                     if cache is not None:
                         cache.put(cache_key, outcome.value)
                 else:
@@ -257,6 +268,8 @@ class BenchmarkRunner:
                                       error=outcome.error.error,
                                       error_type=outcome.error.error_type,
                                       attempts=outcome.error.attempts)
+                    telemetry.inc("repro_run_cells_total", status="failed",
+                                  help="Benchmark grid cells by outcome.")
         table = ResultTable()
         for result in slots:
             if result is None:

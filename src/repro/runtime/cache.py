@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import telemetry
 from ..evaluation.strategies import EvalResult
 
 __all__ = ["ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING"]
@@ -182,6 +183,8 @@ class ArtifactCache:
                 self._memory.move_to_end(key)
                 self.counters["hits"] += 1
                 self.counters["memory_hits"] += 1
+                telemetry.inc("repro_cache_hits_total", tier="memory",
+                              help="Artifact-cache hits per tier.")
                 return self._memory[key]
         value = self._disk_get(key)
         if value is not MISSING:
@@ -189,9 +192,13 @@ class ArtifactCache:
                 self.counters["hits"] += 1
                 self.counters["disk_hits"] += 1
                 self._memory_put(key, value)
+            telemetry.inc("repro_cache_hits_total", tier="disk",
+                          help="Artifact-cache hits per tier.")
             return value
         with self._lock:
             self.counters["misses"] += 1
+        telemetry.inc("repro_cache_misses_total",
+                      help="Artifact-cache misses (both tiers).")
         return default
 
     def _disk_get(self, key):
@@ -223,6 +230,8 @@ class ArtifactCache:
         with self._lock:
             self.counters["puts"] += 1
             self._memory_put(key, value)
+        telemetry.inc("repro_cache_puts_total",
+                      help="Values stored in the artifact cache.")
         if self.directory is not None:
             self._disk_put(key, value)
         return key
@@ -235,6 +244,8 @@ class ArtifactCache:
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
             self.counters["evictions"] += 1
+            telemetry.inc("repro_cache_evictions_total",
+                          help="In-memory LRU evictions.")
 
     def _disk_put(self, key, value):
         json_path, npz_path = self._paths(key)
@@ -251,6 +262,12 @@ class ArtifactCache:
                                         "value": encoded}),
                             encoding="utf-8")
         tmp_json.replace(json_path)
+        if telemetry.active() is not None:
+            written = json_path.stat().st_size
+            if arrays and npz_path.exists():
+                written += npz_path.stat().st_size
+            telemetry.inc("repro_cache_disk_bytes_total", written,
+                          help="Bytes written to the on-disk cache tier.")
 
     # -- conveniences ----------------------------------------------------
     def get_or_compute(self, key, fn):

@@ -33,6 +33,7 @@ serial executor cannot preempt and documents timeout as best-effort.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import random
 import time
@@ -42,6 +43,8 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .. import telemetry
 
 __all__ = ["Task", "TaskError", "TaskResult", "SerialExecutor",
            "ThreadExecutor", "ProcessExecutor", "derive_seed",
@@ -87,7 +90,13 @@ class TaskError:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Outcome of one task: either ``value`` or a :class:`TaskError`."""
+    """Outcome of one task: either ``value`` or a :class:`TaskError`.
+
+    ``started_at`` (worker wall clock at first attempt) lets the parent
+    measure queue wait; ``telemetry`` carries the worker's exported spans
+    and metric deltas back across the process boundary when tracing was
+    active at submission time.
+    """
 
     key: str
     value: object = None
@@ -95,21 +104,18 @@ class TaskResult:
     attempts: int = 1
     seconds: float = 0.0
     seed: int = 0
+    started_at: float = 0.0
+    telemetry: object = None
 
     @property
     def ok(self):
         return self.error is None
 
 
-def _run_task(task, seed, retries, backoff):
-    """Execute one task with per-attempt reseeding and in-worker retry.
-
-    Module-level so :class:`ProcessExecutor` can pickle it.  Retrying in
-    the worker (rather than resubmitting) keeps per-process state alive
-    between attempts, which is what lets genuinely transient failures
-    succeed on the second try.
-    """
+def _execute_task(task, seed, retries, backoff):
+    """Run one task's attempt loop with per-attempt reseeding."""
     last = None
+    started_at = time.time()
     t0 = time.perf_counter()
     for attempt in range(1, retries + 2):
         random.seed(seed)
@@ -125,14 +131,44 @@ def _run_task(task, seed, retries, backoff):
                 time.sleep(backoff * (2 ** (attempt - 1)))
             continue
         return TaskResult(key=task.key, value=value, attempts=attempt,
-                          seconds=time.perf_counter() - t0, seed=seed)
+                          seconds=time.perf_counter() - t0, seed=seed,
+                          started_at=started_at)
     error = TaskError(
         key=task.key, error=repr(last), error_type=type(last).__name__,
         attempts=retries + 1,
         traceback="".join(traceback.format_exception(
             type(last), last, last.__traceback__)))
     return TaskResult(key=task.key, error=error, attempts=retries + 1,
-                      seconds=time.perf_counter() - t0, seed=seed)
+                      seconds=time.perf_counter() - t0, seed=seed,
+                      started_at=started_at)
+
+
+def _run_task(task, seed, retries, backoff, telemetry_ctx=None):
+    """Execute one task with per-attempt reseeding and in-worker retry.
+
+    Module-level so :class:`ProcessExecutor` can pickle it.  Retrying in
+    the worker (rather than resubmitting) keeps per-process state alive
+    between attempts, which is what lets genuinely transient failures
+    succeed on the second try.
+
+    ``telemetry_ctx`` is the submitter's serialized span context (or None
+    when telemetry is off).  When present, the task runs inside a private
+    capture scope under a ``task`` span parented to that context; the
+    scope's spans and metric deltas ride back in ``TaskResult.telemetry``
+    and are folded into the parent collector by ``map_tasks``.
+    """
+    if telemetry_ctx is None:
+        return _execute_task(task, seed, retries, backoff)
+    with telemetry.capture() as scope:
+        with telemetry.span("task", parent=telemetry_ctx,
+                            key=task.key) as span:
+            result = _execute_task(task, seed, retries, backoff)
+            span.set(attempts=result.attempts,
+                     seconds=round(result.seconds, 6))
+            if not result.ok:
+                span.status = "error"
+                span.set(error_type=result.error.error_type)
+    return dataclasses.replace(result, telemetry=scope.export())
 
 
 class BaseExecutor:
@@ -151,6 +187,37 @@ class BaseExecutor:
     def map_tasks(self, tasks):
         """Run every task; return a TaskResult per task, in task order."""
         raise NotImplementedError
+
+    def _observe_results(self, results, submitted_at=None):
+        """Fold worker telemetry payloads in and record executor metrics.
+
+        Runs in the submitting process, so the counters land in the
+        parent's registry regardless of executor backend.  No-op (beyond
+        one check) when telemetry is disabled.
+        """
+        if telemetry.active() is None:
+            return
+        for result in results:
+            telemetry.absorb(result.telemetry)
+            if result.ok:
+                status = "ok"
+            elif result.error.error_type == "Timeout":
+                status = "timeout"
+            else:
+                status = "failed"
+            telemetry.inc("repro_executor_tasks_total", kind=self.kind,
+                          status=status,
+                          help="Tasks executed per backend and outcome.")
+            if result.attempts > 1:
+                telemetry.inc("repro_executor_task_retries_total",
+                              result.attempts - 1, kind=self.kind,
+                              help="In-worker retry attempts.")
+            if submitted_at is not None and result.started_at:
+                telemetry.observe(
+                    "repro_executor_queue_wait_seconds",
+                    max(result.started_at - submitted_at, 0.0),
+                    kind=self.kind,
+                    help="Wall-clock between submission and first attempt.")
 
     def close(self):
         """Release pooled resources (no-op for stateless executors)."""
@@ -176,9 +243,16 @@ class SerialExecutor(BaseExecutor):
     kind = "serial"
 
     def map_tasks(self, tasks):
-        return [_run_task(task, derive_seed(task.key, self.base_seed),
-                          self.retries, self.backoff)
-                for task in tasks]
+        tasks = list(tasks)
+        with telemetry.span("executor.map_tasks", kind=self.kind,
+                            n_tasks=len(tasks)):
+            ctx = telemetry.task_context()
+            results = [_run_task(task, derive_seed(task.key, self.base_seed),
+                                 self.retries, self.backoff,
+                                 telemetry_ctx=ctx)
+                       for task in tasks]
+            self._observe_results(results)
+        return results
 
 
 class _PoolExecutor(BaseExecutor):
@@ -201,28 +275,35 @@ class _PoolExecutor(BaseExecutor):
     def map_tasks(self, tasks):
         tasks = list(tasks)
         results = []
-        with self._make_pool() as pool:
-            futures = [
-                pool.submit(_run_task, task,
-                            derive_seed(task.key, self.base_seed),
-                            self.retries, self.backoff)
-                for task in tasks]
-            for task, future in zip(tasks, futures):
-                try:
-                    results.append(future.result(timeout=self.timeout))
-                except FutureTimeout:
-                    future.cancel()
-                    results.append(TaskResult(
-                        key=task.key, seconds=float(self.timeout),
-                        error=TaskError(
-                            key=task.key, error_type="Timeout", attempts=1,
-                            error=f"task exceeded timeout={self.timeout}s")))
-                except Exception as exc:  # noqa: BLE001 - broken pool etc.
-                    results.append(TaskResult(
-                        key=task.key,
-                        error=TaskError(key=task.key, error=repr(exc),
-                                        error_type=type(exc).__name__,
-                                        attempts=1)))
+        with telemetry.span("executor.map_tasks", kind=self.kind,
+                            n_tasks=len(tasks), workers=self.workers):
+            ctx = telemetry.task_context()
+            submitted_at = time.time()
+            with self._make_pool() as pool:
+                futures = [
+                    pool.submit(_run_task, task,
+                                derive_seed(task.key, self.base_seed),
+                                self.retries, self.backoff, ctx)
+                    for task in tasks]
+                for task, future in zip(tasks, futures):
+                    try:
+                        results.append(future.result(timeout=self.timeout))
+                    except FutureTimeout:
+                        future.cancel()
+                        results.append(TaskResult(
+                            key=task.key, seconds=float(self.timeout),
+                            error=TaskError(
+                                key=task.key, error_type="Timeout",
+                                attempts=1,
+                                error=f"task exceeded "
+                                      f"timeout={self.timeout}s")))
+                    except Exception as exc:  # noqa: BLE001 - broken pool
+                        results.append(TaskResult(
+                            key=task.key,
+                            error=TaskError(key=task.key, error=repr(exc),
+                                            error_type=type(exc).__name__,
+                                            attempts=1)))
+            self._observe_results(results, submitted_at=submitted_at)
         return results
 
 

@@ -6,6 +6,12 @@ daemon thread pool and its state machine is polled via :meth:`get`.
 Deleting a pending job cancels it; deleting a finished job just drops the
 record.  Every transition is timestamped so clients can report queue and
 run latency.
+
+Observability: each job runs inside a telemetry ``job`` span parented to
+the span that was active at submission time, and records its
+``trace_id`` so ``GET /trace/<job_id>`` can render the job's span tree;
+queue-wait and run-time land in the metrics registry.  Waiters block on
+a per-job :class:`threading.Event` (no busy polling).
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+
+from .. import telemetry
 
 __all__ = ["Job", "JobManager", "JOB_STATES"]
 
@@ -35,12 +43,15 @@ class Job:
     created_at: float = field(default_factory=time.time)
     started_at: float = None
     finished_at: float = None
+    trace_id: str = ""
 
     def snapshot(self):
         """JSON-ready view of the job (result included once done)."""
         out = {"id": self.id, "state": self.state, "meta": dict(self.meta),
                "created_at": self.created_at, "started_at": self.started_at,
                "finished_at": self.finished_at}
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         if self.state == "done":
             out["result"] = self.result
         if self.state == "failed":
@@ -62,6 +73,7 @@ class JobManager:
     def __init__(self, workers=2, name="repro-jobs"):
         self._jobs = {}
         self._futures = {}
+        self._events = {}
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self._pool = ThreadPoolExecutor(max_workers=max(int(workers), 1),
@@ -70,35 +82,67 @@ class JobManager:
     # -- lifecycle -------------------------------------------------------
     def submit(self, fn, *args, meta=None, **kwargs):
         """Queue ``fn(*args, **kwargs)``; returns the new job id."""
+        ctx = telemetry.task_context()
         with self._lock:
             job = Job(id=f"job-{next(self._ids):06d}", meta=dict(meta or {}))
             self._jobs[job.id] = job
+            self._events[job.id] = threading.Event()
             self._futures[job.id] = self._pool.submit(
-                self._run, job.id, fn, args, kwargs)
+                self._run, job.id, fn, args, kwargs, ctx)
         return job.id
 
-    def _run(self, job_id, fn, args, kwargs):
+    def _finish(self, job_id):
+        """Wake every waiter of a job that reached a terminal state."""
+        event = self._events.get(job_id)
+        if event is not None:
+            event.set()
+
+    def _run(self, job_id, fn, args, kwargs, telemetry_ctx=None):
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.state == "cancelled":
+                self._finish(job_id)
                 return
             job.state = "running"
             job.started_at = time.time()
-        try:
-            result = fn(*args, **kwargs)
-        except Exception as exc:  # noqa: BLE001 - failure is a job state
+            kind = job.meta.get("kind", "job")
+            queue_wait = job.started_at - job.created_at
+        telemetry.observe("repro_job_queue_wait_seconds", queue_wait,
+                          help="Wall-clock a job spent queued before a "
+                               "worker slot freed up.")
+        span = telemetry.span("job", parent=telemetry_ctx, job_id=job_id,
+                              kind=kind)
+        with span as active:
+            trace_id = getattr(active, "trace_id", "")
+            if trace_id:
+                with self._lock:
+                    job.trace_id = trace_id
+            try:
+                result = fn(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - failure is a state
+                with self._lock:
+                    job.state = "failed"
+                    job.error = f"{exc}"
+                    job.error_type = type(exc).__name__
+                    job.finished_at = time.time()
+                    job.meta.setdefault("traceback",
+                                        traceback.format_exc(limit=8))
+                    self._finish(job_id)
+                active.status = "error"
+                active.set(error_type=type(exc).__name__)
+                telemetry.inc("repro_jobs_total", kind=kind, state="failed",
+                              help="Finished background jobs by outcome.")
+                return
             with self._lock:
-                job.state = "failed"
-                job.error = f"{exc}"
-                job.error_type = type(exc).__name__
+                job.state = "done"
+                job.result = result
                 job.finished_at = time.time()
-                job.meta.setdefault("traceback",
-                                    traceback.format_exc(limit=8))
-            return
-        with self._lock:
-            job.state = "done"
-            job.result = result
-            job.finished_at = time.time()
+                run_seconds = job.finished_at - job.started_at
+                self._finish(job_id)
+        telemetry.inc("repro_jobs_total", kind=kind, state="done",
+                      help="Finished background jobs by outcome.")
+        telemetry.observe("repro_job_run_seconds", run_seconds, kind=kind,
+                          help="Job execution wall-clock.")
 
     # -- queries ---------------------------------------------------------
     def get(self, job_id):
@@ -122,21 +166,35 @@ class JobManager:
             if future is not None and future.cancel():
                 job.state = "cancelled"
                 job.finished_at = time.time()
+                telemetry.inc("repro_jobs_total",
+                              kind=job.meta.get("kind", "job"),
+                              state="cancelled",
+                              help="Finished background jobs by outcome.")
+            self._finish(job_id)
             snapshot = job.snapshot()
             del self._jobs[job_id]
+            self._events.pop(job_id, None)
         return snapshot
 
     def wait(self, job_id, timeout=60.0, poll=0.02):
-        """Block until the job leaves the active states; returns the Job."""
-        deadline = time.time() + timeout
-        while True:
+        """Block until the job leaves the active states; returns the Job.
+
+        Completion is event-driven: the worker thread sets a per-job
+        :class:`threading.Event` on every terminal transition, so waiters
+        wake immediately instead of sleeping in a poll loop.  ``poll`` is
+        accepted for backward compatibility and ignored.
+        """
+        del poll  # kept in the signature for callers of the old API
+        with self._lock:
             job = self.get(job_id)
-            if job.state in ("done", "failed", "cancelled"):
-                return job
-            if time.time() >= deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {job.state} after {timeout}s")
-            time.sleep(poll)
+            event = self._events.get(job_id)
+        if job.state in ("done", "failed", "cancelled"):
+            return job
+        if event is None or not event.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} still {self.get(job_id).state} "
+                f"after {timeout}s")
+        return self.get(job_id)
 
     def shutdown(self, wait=False):
         """Stop accepting work and (optionally) wait for running jobs."""

@@ -16,6 +16,8 @@ Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
 ``GET    /jobs``             list background jobs
 ``GET    /jobs/<id>``        poll one job (result payload once done)
 ``DELETE /jobs/<id>``        cancel/forget a job
+``GET    /metrics``          Prometheus exposition of the metrics registry
+``GET    /trace/<id>``       Chrome-trace JSON of one job's span tree
 ==========================  =========================================
 
 Responses are ``{"ok": bool, "data": ...}`` or
@@ -24,19 +26,48 @@ Responses are ``{"ok": bool, "data": ...}`` or
 thread: the ``/jobs`` endpoints hand work to a
 :class:`~repro.runtime.JobManager` and return immediately with a job id
 for polling.
+
+Observability: every request is logged as a structured
+``server.request`` event (method, route, status, duration) and counted
+in the telemetry registry under a normalised route label, so
+high-cardinality paths like ``/jobs/job-000123`` cannot explode the
+label space.  :class:`EasyTimeServer` enables telemetry on construction
+so ``/metrics`` is live from the first request.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
 import numpy as np
 
+from .. import telemetry
+from ..pipeline.logging import RunLogger
 from ..runtime import JobManager
+from ..telemetry import chrome_trace, render_prometheus
 
 __all__ = ["EasyTimeServer", "make_handler"]
+
+#: Fixed routes; anything else collapses to a bounded template label.
+_KNOWN_ROUTES = frozenset({
+    "/", "/health", "/methods", "/datasets", "/metrics", "/jobs",
+    "/upload", "/recommend", "/evaluate", "/automl", "/qa",
+    "/jobs/evaluate", "/jobs/automl",
+})
+
+
+def _route_label(route):
+    """Bounded metric label for a request path."""
+    if route in _KNOWN_ROUTES:
+        return route
+    if route.startswith("/jobs/"):
+        return "/jobs/{id}"
+    if route.startswith("/trace/"):
+        return "/trace/{id}"
+    return "<other>"
 
 
 def _jsonable(obj):
@@ -58,13 +89,21 @@ def make_handler(api):
     """Build a request-handler class bound to an :class:`_Api` instance."""
 
     class Handler(BaseHTTPRequestHandler):
-        def log_message(self, fmt, *args):  # silence default stderr noise
+        def log_message(self, fmt, *args):  # structured logging via _timed
             pass
 
         def _send(self, payload, status=200):
             body = json.dumps(_jsonable(payload)).encode("utf-8")
+            self._send_bytes(body, "application/json", status)
+
+        def _send_text(self, text, content_type="text/plain; charset=utf-8",
+                       status=200):
+            self._send_bytes(text.encode("utf-8"), content_type, status)
+
+        def _send_bytes(self, body, content_type, status):
+            self._status = status
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -72,7 +111,29 @@ def make_handler(api):
         def _fail(self, message, status=400):
             self._send({"ok": False, "error": message}, status=status)
 
+        def _timed(self, handler):
+            """Run a verb handler and log/count the request either way."""
+            self._status = 0
+            t0 = time.perf_counter()
+            try:
+                handler()
+            finally:
+                seconds = time.perf_counter() - t0
+                route = _route_label(
+                    self.path.split("?")[0].rstrip("/") or "/")
+                api.observe_request(self.command, route,
+                                    self._status or 500, seconds)
+
         def do_GET(self):
+            self._timed(self._handle_get)
+
+        def do_DELETE(self):
+            self._timed(self._handle_delete)
+
+        def do_POST(self):
+            self._timed(self._handle_post)
+
+        def _handle_get(self):
             route = self.path.split("?")[0].rstrip("/") or "/"
             try:
                 if route == "/health":
@@ -81,11 +142,17 @@ def make_handler(api):
                     self._send({"ok": True, "data": api.methods()})
                 elif route == "/datasets":
                     self._send({"ok": True, "data": api.datasets()})
+                elif route == "/metrics":
+                    self._send_text(
+                        api.metrics_text(),
+                        "text/plain; version=0.0.4; charset=utf-8")
                 elif route == "/jobs":
                     self._send({"ok": True, "data": api.job_list()})
                 elif route.startswith("/jobs/"):
                     self._send({"ok": True,
                                 "data": api.job_status(route[len("/jobs/"):])})
+                elif route.startswith("/trace/"):
+                    self._send(api.trace(route[len("/trace/"):]))
                 else:
                     self._fail(f"unknown endpoint {route}", status=404)
             except KeyError as exc:
@@ -93,7 +160,7 @@ def make_handler(api):
             except Exception as exc:  # noqa: BLE001 - error envelope
                 self._fail(f"{type(exc).__name__}: {exc}", status=500)
 
-        def do_DELETE(self):
+        def _handle_delete(self):
             route = self.path.split("?")[0].rstrip("/")
             if not route.startswith("/jobs/"):
                 self._fail(f"unknown endpoint {route}", status=404)
@@ -106,7 +173,7 @@ def make_handler(api):
             except Exception as exc:  # noqa: BLE001 - error envelope
                 self._fail(f"{type(exc).__name__}: {exc}", status=500)
 
-        def do_POST(self):
+        def _handle_post(self):
             route = self.path.split("?")[0].rstrip("/")
             length = int(self.headers.get("Content-Length", "0"))
             raw = self.rfile.read(length) if length else b"{}"
@@ -141,9 +208,37 @@ def make_handler(api):
 class _Api:
     """Thin translation layer between JSON bodies and the EasyTime facade."""
 
-    def __init__(self, easytime, jobs=None):
+    def __init__(self, easytime, jobs=None, logger=None):
         self.et = easytime
         self.jobs = jobs if jobs is not None else JobManager(workers=2)
+        # Note: an empty RunLogger is falsy (len 0), so test identity.
+        self.logger = logger if logger is not None else RunLogger()
+
+    # -- observability ---------------------------------------------------
+    def observe_request(self, method, route, status, seconds):
+        """Structured access log + request metrics for one HTTP request."""
+        self.logger.info("server.request", method=method, route=route,
+                         status=int(status),
+                         duration_ms=round(seconds * 1000.0, 3))
+        telemetry.inc("repro_http_requests_total", method=method,
+                      route=route, status=str(int(status)),
+                      help="HTTP requests by method, route and status.")
+        telemetry.observe("repro_http_request_seconds", seconds, route=route,
+                          help="HTTP request handling wall-clock.")
+
+    def metrics_text(self):
+        """Prometheus exposition of the live registry."""
+        registry = telemetry.get_metrics()
+        if registry is None:
+            return "# telemetry disabled\n"
+        return render_prometheus(registry)
+
+    def trace(self, job_id):
+        """Chrome-trace JSON of the spans recorded for one job."""
+        job = self.jobs.get(job_id)  # KeyError -> 404 envelope
+        related = [s for s in telemetry.spans()
+                   if job.trace_id and s.trace_id == job.trace_id]
+        return chrome_trace(related)
 
     def methods(self):
         return [self.et.method_details(name)
@@ -218,8 +313,13 @@ class _Api:
 class EasyTimeServer:
     """Embeddable HTTP server around an :class:`~repro.core.EasyTime`."""
 
-    def __init__(self, easytime, host="127.0.0.1", port=0, job_workers=2):
-        self.api = _Api(easytime, jobs=JobManager(workers=job_workers))
+    def __init__(self, easytime, host="127.0.0.1", port=0, job_workers=2,
+                 logger=None):
+        # Serving implies observing: /metrics and /trace/<id> are part of
+        # the API surface, so the collector comes up with the server.
+        telemetry.enable()
+        self.api = _Api(easytime, jobs=JobManager(workers=job_workers),
+                        logger=logger)
         self._httpd = HTTPServer((host, port), make_handler(self.api))
         self._thread = None
 

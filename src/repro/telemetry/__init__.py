@@ -1,0 +1,288 @@
+"""``repro.telemetry`` — tracing, metrics, and exporters for the runtime.
+
+End-to-end observability with zero dependencies and an off-by-default
+fast path: until :func:`enable` installs a collector, every module-level
+helper (``span``/``inc``/``observe``/``set_gauge``) is a cheap early
+return, so uninstrumented runs pay one ``is None`` check per call site.
+
+Once enabled, the process owns one :class:`~.spans.Tracer` plus one
+:class:`~.metrics.MetricsRegistry`.  Code anywhere in the repo opens
+spans and bumps metrics through the module helpers; executors propagate
+the active span context into worker tasks (:func:`task_context` →
+:func:`capture` → :func:`absorb`), so a process-pool benchmark run still
+produces a single coherent span tree and a single merged registry.
+
+Exporters (:mod:`.export`) turn the collected data into Prometheus text
+(``GET /metrics``), Chrome-trace-viewer JSON, and JSONL span logs.
+
+Determinism: both the clock and the id generator are injectable
+(``enable(clock=..., ids=...)``) so tests pin span identities and times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from .export import SpanSink, chrome_trace, render_prometheus, \
+    write_chrome_trace
+from .hooks import MetricsTrainingHooks, TrainingHooks
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, \
+    MetricsRegistry
+from .spans import Span, SpanContext, Tracer
+
+__all__ = [
+    "Tracer", "Span", "SpanContext", "MetricsRegistry", "Counter", "Gauge",
+    "Histogram", "DEFAULT_BUCKETS", "TrainingHooks", "MetricsTrainingHooks",
+    "render_prometheus", "chrome_trace", "write_chrome_trace", "SpanSink",
+    "enable", "disable", "enabled", "active", "get_tracer", "get_metrics",
+    "span", "trace", "current_context", "task_context", "capture", "absorb",
+    "inc", "observe", "set_gauge", "spans", "clear",
+    "profile_from_spans",
+]
+
+
+class Telemetry:
+    """One tracer + one metrics registry: a complete collection scope."""
+
+    def __init__(self, tracer=None, metrics=None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def export(self):
+        """Picklable payload: finished spans + metric snapshot."""
+        return {"spans": [s.to_dict() for s in self.tracer.finished()],
+                "metrics": self.metrics.snapshot()}
+
+
+#: The process-wide collector; None == telemetry disabled (no-op path).
+_ACTIVE = None
+#: Per-thread capture scope overriding the process-wide collector.
+_TLS = threading.local()
+
+
+def _current():
+    scope = getattr(_TLS, "scope", None)
+    return scope if scope is not None else _ACTIVE
+
+
+def enable(tracer=None, metrics=None, clock=None, ids=None):
+    """Install (or return the existing) process-wide collector."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = Telemetry(
+            tracer or Tracer(clock=clock or time.time, ids=ids),
+            metrics or MetricsRegistry())
+    return _ACTIVE
+
+
+def disable():
+    """Remove the collector; helpers return to the no-op fast path."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def enabled():
+    return _ACTIVE is not None
+
+
+def active():
+    """The collection scope in effect on this thread (or None)."""
+    return _current()
+
+
+def get_tracer():
+    state = _current()
+    return state.tracer if state is not None else None
+
+
+def get_metrics():
+    state = _current()
+    return state.metrics if state is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    status = "ok"
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attributes):
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name, parent=None, **attributes):
+    """Open a span on the active tracer; a shared no-op when disabled."""
+    state = _current()
+    if state is None:
+        return NOOP_SPAN
+    return state.tracer.span(name, parent=parent, **attributes)
+
+
+def trace(name=None, **attributes):
+    """Decorator: run the call inside a span (no-op when disabled)."""
+    import functools
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            state = _current()
+            if state is None:
+                return fn(*args, **kwargs)
+            with state.tracer.span(label, **attributes):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def current_context():
+    state = _current()
+    return state.tracer.current_context() if state is not None else None
+
+
+def task_context():
+    """Serializable context for a worker task; None when disabled.
+
+    A non-None return also signals the worker that telemetry is on, so
+    the executor can decide to collect even when there is no open span
+    (the payload then starts a fresh trace in the worker).
+    """
+    state = _current()
+    if state is None:
+        return None
+    context = state.tracer.current_context()
+    if context is None:
+        return {"trace_id": "", "span_id": ""}
+    return context.to_dict()
+
+
+def spans():
+    """Finished spans of the active scope (empty list when disabled)."""
+    state = _current()
+    return state.tracer.finished() if state is not None else []
+
+
+def clear():
+    """Drop collected spans on the active scope (metrics untouched)."""
+    state = _current()
+    if state is not None:
+        state.tracer.clear()
+
+
+# ---------------------------------------------------------------------------
+# Cross-boundary propagation
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def capture():
+    """Route this thread's spans and metrics into a private scope.
+
+    Used by executor workers: the task runs inside ``capture()``, and the
+    scope's :meth:`Telemetry.export` payload travels back to the parent
+    in the ``TaskResult``, where :func:`absorb` folds it into the main
+    collector.  The scope inherits the active tracer's clock/ids when one
+    exists (fork-inherited in process workers), keeping tests
+    deterministic.
+    """
+    base = _ACTIVE
+    tracer = Tracer(clock=base.tracer.clock if base else time.time,
+                    ids=base.tracer.ids if base else None)
+    scope = Telemetry(tracer, MetricsRegistry())
+    previous = getattr(_TLS, "scope", None)
+    _TLS.scope = scope
+    try:
+        yield scope
+    finally:
+        _TLS.scope = previous
+
+
+def absorb(payload):
+    """Fold a worker's exported ``{"spans", "metrics"}`` payload in."""
+    if not payload:
+        return
+    state = _current()
+    if state is None:
+        return
+    state.tracer.ingest(payload.get("spans", ()))
+    state.metrics.merge(payload.get("metrics"))
+
+
+# ---------------------------------------------------------------------------
+# Metrics helpers
+# ---------------------------------------------------------------------------
+
+def inc(name, value=1.0, help="", **labels):
+    """Increment a counter (no-op when telemetry is disabled)."""
+    state = _current()
+    if state is None:
+        return
+    state.metrics.counter(name, help=help,
+                          labelnames=tuple(sorted(labels))).inc(value,
+                                                                **labels)
+
+
+def set_gauge(name, value, help="", **labels):
+    """Set a gauge (no-op when telemetry is disabled)."""
+    state = _current()
+    if state is None:
+        return
+    state.metrics.gauge(name, help=help,
+                        labelnames=tuple(sorted(labels))).set(value, **labels)
+
+
+def observe(name, value, help="", buckets=DEFAULT_BUCKETS, **labels):
+    """Observe into a histogram (no-op when telemetry is disabled)."""
+    state = _current()
+    if state is None:
+        return
+    state.metrics.histogram(name, help=help,
+                            labelnames=tuple(sorted(labels)),
+                            buckets=buckets).observe(value, **labels)
+
+
+# ---------------------------------------------------------------------------
+# Span-derived profiling (the PR 2 report table, now on spans)
+# ---------------------------------------------------------------------------
+
+def profile_from_spans(span_list):
+    """Aggregate ``phase.*`` spans into the profile-summary shape.
+
+    Returns ``{"tasks": n, "total_seconds": t, "phases": {phase: t}}``
+    exactly like the event-based ``RunLogger.profile_summary``; ``tasks``
+    counts distinct parent spans (one per evaluated cell).
+    """
+    phases = {}
+    parents = set()
+    for item in span_list:
+        record = item.to_dict() if isinstance(item, Span) else dict(item)
+        name = record.get("name", "")
+        if not name.startswith("phase."):
+            continue
+        phase = name[len("phase."):]
+        duration = max(record.get("end_time", 0.0)
+                       - record.get("start_time", 0.0), 0.0)
+        phases[phase] = phases.get(phase, 0.0) + duration
+        parents.add((record.get("trace_id"), record.get("parent_id")))
+    return {"tasks": len(parents),
+            "total_seconds": round(sum(phases.values()), 6),
+            "phases": {k: round(v, 6) for k, v in phases.items()}}

@@ -1,0 +1,147 @@
+"""Telemetry exporters: Prometheus text, Chrome trace JSON, JSONL spans.
+
+Three consumers, three formats:
+
+* :func:`render_prometheus` — the text exposition format every scraper
+  understands, served by the HTTP server at ``GET /metrics``;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the ``trace_event``
+  JSON the Chrome/Perfetto trace viewer loads (``chrome://tracing``),
+  one complete ``"X"`` event per span, pid/tid preserved so parallel
+  workers land on separate rows;
+* :class:`SpanSink` — an append-only JSONL span log reusing the
+  line-atomic :class:`~repro.pipeline.logging._FileSink`, safe for
+  concurrent writers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["render_prometheus", "chrome_trace", "write_chrome_trace",
+           "SpanSink"]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def _escape(value):
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _fmt(value):
+    """Prometheus-style number: integral values without a trailing .0."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labels_text(labels, extra=None):
+    pairs = list(labels.items()) + list((extra or {}).items())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry):
+    """Render every instrument in ``registry`` as Prometheus text."""
+    lines = []
+    for instrument in registry:
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for labels, sample in instrument.labeled_samples():
+            if instrument.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(instrument.buckets,
+                                        sample["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{instrument.name}_bucket"
+                        f"{_labels_text(labels, {'le': _fmt(bound)})} "
+                        f"{cumulative}")
+                cumulative += sample["counts"][-1]
+                lines.append(f"{instrument.name}_bucket"
+                             f"{_labels_text(labels, {'le': '+Inf'})} "
+                             f"{cumulative}")
+                lines.append(f"{instrument.name}_sum{_labels_text(labels)} "
+                             f"{_fmt(sample['sum'])}")
+                lines.append(f"{instrument.name}_count"
+                             f"{_labels_text(labels)} {sample['count']}")
+            else:
+                lines.append(f"{instrument.name}{_labels_text(labels)} "
+                             f"{_fmt(sample)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-viewer JSON (trace_event format)
+# ---------------------------------------------------------------------------
+
+def chrome_trace(spans):
+    """``trace_event``-format dict for a list of spans (or span dicts)."""
+    events = []
+    for span in spans:
+        record = span if isinstance(span, dict) else span.to_dict()
+        args = {"trace_id": record["trace_id"],
+                "span_id": record["span_id"],
+                "parent_id": record.get("parent_id", ""),
+                "status": record.get("status", "ok")}
+        args.update(record.get("attributes", {}))
+        events.append({
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": record["start_time"] * 1e6,
+            "dur": max(record["end_time"] - record["start_time"], 0.0) * 1e6,
+            "pid": record.get("pid", 0),
+            "tid": record.get("thread_id", 0),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path):
+    """Write the Chrome-viewer JSON for ``spans``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans), default=str),
+                    encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# JSONL span sink
+# ---------------------------------------------------------------------------
+
+class SpanSink:
+    """Append-only JSONL sink for finished spans (one span per line)."""
+
+    def __init__(self, path):
+        # Imported lazily: pipeline.runner imports telemetry, so a
+        # module-level import back into repro.pipeline would be circular.
+        from ..pipeline.logging import _FileSink
+        self.path = Path(path)
+        self._sink = _FileSink(self.path)
+
+    def write(self, span):
+        self._sink.write(span if isinstance(span, dict) else span.to_dict())
+
+    def write_all(self, spans):
+        for span in spans:
+            self.write(span)
+        return self.path
+
+    def close(self):
+        self._sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

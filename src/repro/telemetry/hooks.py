@@ -1,0 +1,51 @@
+"""Training hooks: the observability seam inside ``DeepForecaster.fit``.
+
+The training loop calls a :class:`TrainingHooks` object at the start of a
+fit, after every epoch, and at the end.  The default
+(:class:`MetricsTrainingHooks`) publishes per-epoch loss, gradient norm
+and throughput into the global metrics registry — a no-op unless
+telemetry is enabled — while custom hooks (progress bars, early-warning
+monitors, test probes) can be passed straight to ``fit(hooks=...)``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TrainingHooks", "MetricsTrainingHooks"]
+
+
+class TrainingHooks:
+    """No-op base; override any subset of the callbacks."""
+
+    def on_fit_start(self, model, n_windows):
+        """Called once, after window assembly, before the first epoch."""
+
+    def on_epoch_end(self, model, epoch, loss, grad_norm, samples_per_sec):
+        """Called after each epoch with mean batch loss, the last
+        pre-clip gradient norm, and training throughput."""
+
+    def on_fit_end(self, model, epochs_run, best_loss):
+        """Called once after early stopping / the final epoch."""
+
+
+class MetricsTrainingHooks(TrainingHooks):
+    """Publish training progress to the telemetry metrics registry."""
+
+    def on_epoch_end(self, model, epoch, loss, grad_norm, samples_per_sec):
+        from . import inc, observe, set_gauge
+        method = getattr(model, "name", type(model).__name__)
+        inc("repro_train_epochs_total", method=method,
+            help="Training epochs completed per method.")
+        set_gauge("repro_train_epoch_loss", loss, method=method,
+                  help="Mean minibatch training loss of the last epoch.")
+        set_gauge("repro_train_grad_norm", grad_norm, method=method,
+                  help="Pre-clip gradient L2 norm of the last batch.")
+        observe("repro_train_samples_per_second", samples_per_sec,
+                method=method, buckets=(10, 100, 1000, 10000, 100000,
+                                        1000000),
+                help="Training windows consumed per second, per epoch.")
+
+    def on_fit_end(self, model, epochs_run, best_loss):
+        from . import inc
+        method = getattr(model, "name", type(model).__name__)
+        inc("repro_train_fits_total", method=method,
+            help="Completed DeepForecaster fits per method.")

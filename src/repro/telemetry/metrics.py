@@ -1,0 +1,239 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Process-wide numeric instruments with label support, modelled on the
+Prometheus data model (and rendered in its text format by
+:func:`repro.telemetry.export.render_prometheus`):
+
+* **Counter** — monotonically increasing totals (requests served, cache
+  hits, tasks run);
+* **Gauge** — last-written values (current epoch loss, queue depth);
+* **Histogram** — fixed upper-bound buckets plus sum/count (latencies).
+
+Every instrument is identified by name; labels partition its samples
+(``inc(route="/qa", status="200")``).  Registries are thread-safe, and
+:meth:`MetricsRegistry.snapshot`/:meth:`MetricsRegistry.merge` give them
+a picklable wire form so worker processes can ship their metric deltas
+back to the parent inside a ``TaskResult``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Prometheus' default latency buckets (seconds), upper bounds excl. +Inf.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0)
+
+
+def _label_key(labelnames, labels):
+    """Canonical sample key for one label-value combination."""
+    extra = set(labels) - set(labelnames)
+    if extra:
+        raise ValueError(f"unexpected label(s) {sorted(extra)}; "
+                         f"declared: {list(labelnames)}")
+    return tuple(str(labels.get(name, "")) for name in labelnames)
+
+
+class _Instrument:
+    """Shared bookkeeping: name, help text, declared label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help="", labelnames=(), lock=None):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.samples = {}
+        self._lock = lock or threading.Lock()
+
+    def _key(self, labels):
+        return _label_key(self.labelnames, labels)
+
+    def labeled_samples(self):
+        """List of ``(label_dict, sample)`` pairs, insertion-ordered."""
+        with self._lock:
+            items = list(self.samples.items())
+        return [(dict(zip(self.labelnames, key)), value)
+                for key, value in items]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, value=1.0, **labels):
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self.samples[key] = self.samples.get(key, 0.0) + float(value)
+
+    def value(self, **labels):
+        with self._lock:
+            return self.samples.get(self._key(labels), 0.0)
+
+
+class Gauge(_Instrument):
+    """Last-written value."""
+
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        with self._lock:
+            self.samples[self._key(labels)] = float(value)
+
+    def inc(self, value=1.0, **labels):
+        key = self._key(labels)
+        with self._lock:
+            self.samples[key] = self.samples.get(key, 0.0) + float(value)
+
+    def value(self, **labels):
+        with self._lock:
+            return self.samples.get(self._key(labels), 0.0)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram: cumulative counts, sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS,
+                 lock=None):
+        super().__init__(name, help=help, labelnames=labelnames, lock=lock)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+
+    def observe(self, value, **labels):
+        value = float(value)
+        key = self._key(labels)
+        with self._lock:
+            sample = self.samples.get(key)
+            if sample is None:
+                # counts has one slot per finite bucket plus +Inf.
+                sample = self.samples[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0, "count": 0}
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    sample["counts"][i] += 1
+                    break
+            else:
+                sample["counts"][-1] += 1
+            sample["sum"] += value
+            sample["count"] += 1
+
+    def value(self, **labels):
+        """Total observation count for one label combination."""
+        with self._lock:
+            sample = self.samples.get(self._key(labels))
+            return sample["count"] if sample else 0
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a process."""
+
+    def __init__(self):
+        self._metrics = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind, name, help, labelnames, **kwargs):
+        with self._lock:
+            instrument = self._metrics.get(name)
+            if instrument is None:
+                instrument = _KINDS[kind](name, help=help,
+                                          labelnames=labelnames, **kwargs)
+                self._metrics[name] = instrument
+                return instrument
+        if instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"not {kind}")
+        if tuple(labelnames) != instrument.labelnames:
+            raise ValueError(
+                f"metric {name!r} declared with labels "
+                f"{list(instrument.labelnames)}, got {list(labelnames)}")
+        return instrument
+
+    def counter(self, name, help="", labelnames=()):
+        return self._get_or_create("counter", name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()):
+        return self._get_or_create("gauge", name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(),
+                  buckets=DEFAULT_BUCKETS):
+        return self._get_or_create("histogram", name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name):
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._metrics)
+
+    # -- wire form -------------------------------------------------------
+    def snapshot(self):
+        """Plain-dict (JSON/pickle-safe) dump of every instrument."""
+        out = {}
+        for instrument in self:
+            entry = {"type": instrument.kind, "help": instrument.help,
+                     "labelnames": list(instrument.labelnames)}
+            if instrument.kind == "histogram":
+                entry["buckets"] = list(instrument.buckets)
+            with instrument._lock:
+                entry["samples"] = {
+                    json.dumps(list(key)): (
+                        {"counts": list(value["counts"]),
+                         "sum": value["sum"], "count": value["count"]}
+                        if isinstance(value, dict) else value)
+                    for key, value in instrument.samples.items()}
+            out[instrument.name] = entry
+        return out
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins) — the semantics a worker shipping its
+        deltas back to the parent expects.
+        """
+        for name, entry in (snapshot or {}).items():
+            kind = entry["type"]
+            kwargs = {"buckets": tuple(entry["buckets"])} \
+                if kind == "histogram" else {}
+            instrument = self._get_or_create(
+                kind, name, entry.get("help", ""),
+                tuple(entry.get("labelnames", ())), **kwargs)
+            for raw_key, incoming in entry.get("samples", {}).items():
+                key = tuple(json.loads(raw_key))
+                with instrument._lock:
+                    if kind == "counter":
+                        instrument.samples[key] = \
+                            instrument.samples.get(key, 0.0) + incoming
+                    elif kind == "gauge":
+                        instrument.samples[key] = incoming
+                    else:
+                        sample = instrument.samples.setdefault(
+                            key, {"counts": [0] * len(incoming["counts"]),
+                                  "sum": 0.0, "count": 0})
+                        sample["counts"] = [
+                            a + b for a, b in zip(sample["counts"],
+                                                  incoming["counts"])]
+                        sample["sum"] += incoming["sum"]
+                        sample["count"] += incoming["count"]
+        return self

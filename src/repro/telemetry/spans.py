@@ -1,0 +1,224 @@
+"""Trace spans: hierarchical timing records with cross-process identity.
+
+A :class:`Span` is one timed operation — a (method, series) evaluation, a
+fit phase, an HTTP request — carrying a ``trace_id`` shared by everything
+in the same logical request, its own ``span_id``, and the ``parent_id``
+linking it into a tree.  The :class:`Tracer` owns the ambient "current
+span" (a per-thread stack), hands out context-manager/decorator entry
+points, and collects finished spans into a bounded buffer.
+
+Span context crosses process boundaries as a plain dict (see
+:meth:`SpanContext.to_dict`): the executors serialize the active context
+into each task payload, the worker opens its task span with that context
+as explicit parent, and ships the finished spans back inside the
+``TaskResult`` — so a fan-out run still yields one well-formed tree.
+
+Both the clock and the id generator are injectable so tests can pin
+wall times and span identities deterministically.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanContext", "Tracer"]
+
+
+def _default_ids():
+    """Process-unique opaque 16-hex id (collision-safe across forks)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The serializable identity of a span: what children need to parent."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self):
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_any(cls, obj):
+        """Coerce a SpanContext / Span / dict into a context (or None)."""
+        if obj is None:
+            return None
+        if isinstance(obj, cls):
+            return obj
+        if isinstance(obj, Span):
+            return cls(obj.trace_id, obj.span_id)
+        if isinstance(obj, dict):
+            if not obj.get("trace_id"):
+                return None
+            return cls(obj["trace_id"], obj.get("span_id") or "")
+        raise TypeError(f"cannot interpret {type(obj).__name__} as a "
+                        "span context")
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    start_time: float = 0.0
+    end_time: float = 0.0
+    status: str = "ok"
+    attributes: dict = field(default_factory=dict)
+    pid: int = 0
+    thread_id: int = 0
+
+    @property
+    def duration(self):
+        return max(self.end_time - self.start_time, 0.0)
+
+    def context(self):
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set(self, **attributes):
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self):
+        """JSON/pickle-friendly flat record (the JSONL sink line)."""
+        return {"name": self.name, "trace_id": self.trace_id,
+                "span_id": self.span_id, "parent_id": self.parent_id,
+                "start_time": self.start_time, "end_time": self.end_time,
+                "status": self.status, "attributes": dict(self.attributes),
+                "pid": self.pid, "thread_id": self.thread_id}
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(name=record["name"], trace_id=record["trace_id"],
+                   span_id=record["span_id"],
+                   parent_id=record.get("parent_id", ""),
+                   start_time=record.get("start_time", 0.0),
+                   end_time=record.get("end_time", 0.0),
+                   status=record.get("status", "ok"),
+                   attributes=dict(record.get("attributes", {})),
+                   pid=record.get("pid", 0),
+                   thread_id=record.get("thread_id", 0))
+
+
+class _ActiveSpan:
+    """Context manager driving one span through start → finish."""
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self):
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.attributes.setdefault("error_type", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Span factory + finished-span collector.
+
+    Parameters
+    ----------
+    clock:
+        Wall-clock callable (``time.time``); injectable for tests.
+    ids:
+        Zero-argument callable returning fresh opaque id strings;
+        injectable for deterministic span identities.
+    max_spans:
+        Bound on the finished-span buffer (oldest dropped first), so a
+        long-lived server cannot grow without limit.
+    """
+
+    def __init__(self, clock=time.time, ids=None, max_spans=20000):
+        self.clock = clock
+        self.ids = ids or _default_ids
+        self.spans = deque(maxlen=max_spans)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- ambient context -------------------------------------------------
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_context(self):
+        """Context of the innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1].context() if stack else None
+
+    def _push(self, span):
+        self._stack().append(span)
+
+    def _pop(self, span):
+        span.end_time = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+
+    # -- span creation ---------------------------------------------------
+    def span(self, name, parent=None, **attributes):
+        """Open a child span of ``parent`` (default: the current span).
+
+        Returns a context manager yielding the :class:`Span`; an exception
+        inside the block marks the span ``status="error"``.
+        """
+        context = SpanContext.from_any(parent)
+        if context is None and parent is None:
+            context = self.current_context()
+        if context is not None:
+            trace_id, parent_id = context.trace_id, context.span_id
+        else:
+            trace_id, parent_id = self.ids(), ""
+        span = Span(name=name, trace_id=trace_id, span_id=self.ids(),
+                    parent_id=parent_id, start_time=self.clock(),
+                    attributes=dict(attributes), pid=os.getpid(),
+                    thread_id=threading.get_ident())
+        return _ActiveSpan(self, span)
+
+    def trace(self, name=None, **attributes):
+        """Decorator form: the wrapped call runs inside a span."""
+        def decorate(fn):
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label, **attributes):
+                    return fn(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    # -- collection ------------------------------------------------------
+    def ingest(self, records):
+        """Append externally produced finished spans (dicts or Spans)."""
+        with self._lock:
+            for record in records:
+                self.spans.append(record if isinstance(record, Span)
+                                  else Span.from_dict(record))
+
+    def finished(self):
+        """Snapshot list of finished spans, oldest first."""
+        with self._lock:
+            return list(self.spans)
+
+    def clear(self):
+        with self._lock:
+            self.spans.clear()

@@ -76,6 +76,54 @@ class TestCommands:
         code, _ = run_cli(["ask", "   ", "--series", "60"])
         assert code == 1
 
+    def test_bench_trace_dir_and_metrics_json(self, tmp_path):
+        from repro import telemetry
+        saved = telemetry._ACTIVE
+        telemetry.disable()
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({
+            "methods": ["naive", "mean"],
+            "datasets": {"suite": "univariate", "per_domain": 1,
+                         "length": 256,
+                         "domains": ["traffic", "electricity"]},
+            "strategy": "fixed", "lookback": 48, "horizon": 12,
+            "metrics": ["mae"],
+        }))
+        trace_dir = tmp_path / "telemetry"
+        metrics_json = tmp_path / "metrics.json"
+        try:
+            code, text = run_cli(["bench", str(config),
+                                  "--workers", "2", "--executor", "process",
+                                  "--trace-dir", str(trace_dir),
+                                  "--metrics-json", str(metrics_json)])
+            assert code == 0
+            assert "trace (" in text
+
+            trace = json.loads(
+                (trace_dir / "trace.json").read_text(encoding="utf-8"))
+            events = trace["traceEvents"]
+            names = {e["name"] for e in events}
+            assert {"run", "executor.map_tasks", "task",
+                    "evaluate"} <= names
+            # Cross-process parenting: every worker task span links back
+            # to the parent-process map_tasks span in one trace.
+            root = [e for e in events
+                    if e["name"] == "executor.map_tasks"][0]
+            tasks = [e for e in events if e["name"] == "task"]
+            assert len(tasks) == 4  # 2 methods x 2 series
+            assert all(e["args"]["parent_id"] == root["args"]["span_id"]
+                       for e in tasks)
+            assert len({e["args"]["trace_id"] for e in events}) == 1
+
+            lines = (trace_dir / "spans.jsonl").read_text().splitlines()
+            assert len(lines) == len(events)
+
+            snapshot = json.loads(metrics_json.read_text(encoding="utf-8"))
+            assert snapshot["repro_executor_tasks_total"]["type"] == "counter"
+            assert "repro_eval_windows_total" in snapshot
+        finally:
+            telemetry._ACTIVE = saved
+
     def test_bench_profile_and_dtype(self, tmp_path, csv_file):
         config = tmp_path / "config.json"
         config.write_text(json.dumps({

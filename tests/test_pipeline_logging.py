@@ -91,5 +91,53 @@ class TestProfileSummary:
     def test_empty_when_not_profiled(self):
         logger = RunLogger()
         logger.info("run.start")
-        summary = logger.profile_summary()
+        summary = logger.profile_summary(spans=[])
         assert summary == {"tasks": 0, "total_seconds": 0.0, "phases": {}}
+
+    def test_falls_back_to_phase_spans(self):
+        logger = RunLogger()
+        logger.info("run.start")
+        spans = [{"name": "phase.fit", "trace_id": "t", "span_id": "a",
+                  "parent_id": "p1", "start_time": 0.0, "end_time": 2.0},
+                 {"name": "phase.predict", "trace_id": "t", "span_id": "b",
+                  "parent_id": "p1", "start_time": 2.0, "end_time": 2.5}]
+        summary = logger.profile_summary(spans=spans)
+        assert summary["tasks"] == 1
+        assert summary["phases"] == {"fit": 2.0, "predict": 0.5}
+
+    def test_profile_events_take_precedence_over_spans(self):
+        logger = RunLogger()
+        logger.info("run.profile", fit_seconds=1.0)
+        spans = [{"name": "phase.fit", "trace_id": "t", "span_id": "a",
+                  "parent_id": "p", "start_time": 0.0, "end_time": 99.0}]
+        assert logger.profile_summary(spans=spans)["phases"]["fit"] == 1.0
+
+
+class TestFileSinkLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        logger = RunLogger(path=tmp_path / "run.jsonl")
+        logger.info("x")
+        logger.close()
+        logger.close()  # second close must not raise
+        logger.info("y")  # sink reopens lazily on the next write
+        logger.close()
+        assert len((tmp_path / "run.jsonl").read_text().splitlines()) == 2
+
+    def test_child_close_closes_shared_sink(self, tmp_path):
+        from repro.pipeline.logging import _OPEN_SINKS
+        logger = RunLogger(path=tmp_path / "run.jsonl")
+        child = logger.child("sub")
+        child.info("x")
+        assert logger._sink in _OPEN_SINKS
+        child.close()
+        assert logger._sink not in _OPEN_SINKS
+        assert logger._sink._fh is None
+
+    def test_atexit_hook_closes_leaked_sinks(self, tmp_path):
+        from repro.pipeline.logging import _OPEN_SINKS, _close_open_sinks
+        logger = RunLogger(path=tmp_path / "run.jsonl")
+        logger.info("leaked")  # never closed by the caller
+        assert logger._sink in _OPEN_SINKS
+        _close_open_sinks()
+        assert logger._sink._fh is None
+        assert logger._sink not in _OPEN_SINKS

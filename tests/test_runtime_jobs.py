@@ -98,3 +98,47 @@ class TestRegistry:
             jobs.wait(job_id, timeout=0.1, poll=0.01)
         release.set()
         jobs.wait(job_id, timeout=5)
+
+
+class TestEventDrivenWait:
+    def test_waiter_wakes_promptly_on_completion(self, jobs):
+        release = threading.Event()
+        job_id = jobs.submit(release.wait, 10)
+        waited = {}
+
+        def waiter():
+            t0 = time.perf_counter()
+            waited["job"] = jobs.wait(job_id, timeout=10)
+            waited["seconds"] = time.perf_counter() - t0
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        release.set()
+        thread.join(timeout=5)
+        assert waited["job"].state == "done"
+        # Event-driven wake: far below both the timeout and any coarse
+        # poll interval a busy loop would sleep through.
+        assert waited["seconds"] < 2.0
+
+    def test_wait_on_terminal_job_returns_immediately(self, jobs):
+        job_id = jobs.submit(lambda: "v")
+        jobs.wait(job_id, timeout=5)
+        t0 = time.perf_counter()
+        job = jobs.wait(job_id, timeout=5)
+        assert job.state == "done"
+        assert time.perf_counter() - t0 < 0.5
+
+    def test_many_waiters_all_wake(self, jobs):
+        release = threading.Event()
+        job_id = jobs.submit(release.wait, 10)
+        states = []
+        threads = [threading.Thread(
+            target=lambda: states.append(jobs.wait(job_id, timeout=10).state))
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert states == ["done"] * 4

@@ -203,6 +203,75 @@ class TestBackgroundJobs:
         assert status == 404
 
 
+def get_text(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=30) as r:
+        return r.status, r.headers.get("Content-Type", ""), \
+            r.read().decode("utf-8")
+
+
+class TestObservability:
+    """GET /metrics (Prometheus) and GET /trace/<job_id> (Chrome trace)."""
+
+    def test_metrics_is_prometheus_text(self, server):
+        get(server, "/health")
+        status, content_type, body = get_text(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_http_requests_total counter" in body
+        assert 'route="/health"' in body
+        assert "# TYPE repro_http_request_seconds histogram" in body
+
+    def test_request_counter_moves_between_scrapes(self, server):
+        def health_count(body):
+            for line in body.splitlines():
+                if line.startswith("repro_http_requests_total") \
+                        and 'route="/health"' in line:
+                    return float(line.rsplit(" ", 1)[1])
+            return 0.0
+
+        _, _, before = get_text(server, "/metrics")
+        get(server, "/health")
+        _, _, after = get_text(server, "/metrics")
+        assert health_count(after) >= health_count(before) + 1
+
+    def test_job_routes_use_bounded_label(self, server):
+        _, submitted = post(server, "/jobs/evaluate",
+                            TestBackgroundJobs.EVAL_BODY)
+        poll_job(server, submitted["data"]["job_id"])
+        _, _, body = get_text(server, "/metrics")
+        assert 'route="/jobs/{id}"' in body
+        assert submitted["data"]["job_id"] not in body
+
+    def test_trace_of_finished_job_is_chrome_trace(self, server):
+        _, submitted = post(server, "/jobs/evaluate",
+                            TestBackgroundJobs.EVAL_BODY)
+        job_id = submitted["data"]["job_id"]
+        job = poll_job(server, job_id)
+        assert job["state"] == "done"
+        assert job["trace_id"]
+        status, payload = get(server, f"/trace/{job_id}")
+        assert status == 200
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in events}
+        assert "job" in names
+        assert "evaluate" in names  # strategy span nested under the job
+        assert all(e["args"]["trace_id"] == job["trace_id"] for e in events)
+
+    def test_trace_unknown_job_is_404(self, server):
+        status, _ = get_404(server, "/trace/job-999999")
+        assert status == 404
+
+    def test_structured_access_log(self, server):
+        get(server, "/health")
+        events = server.api.logger.filter(event="server.request")
+        assert events
+        last = [e for e in events if e["route"] == "/health"][-1]
+        assert last["method"] == "GET"
+        assert last["status"] == 200
+        assert last["duration_ms"] >= 0
+
+
 class TestErrorEnvelopes:
     def test_missing_field_is_400(self, server):
         status, payload = post(server, "/evaluate", {"dataset": "x"})

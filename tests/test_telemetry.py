@@ -1,0 +1,332 @@
+"""Unit tests for repro.telemetry: spans, metrics, exporters, propagation."""
+
+import itertools
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (DEFAULT_BUCKETS, MetricsRegistry, Span,
+                             SpanContext, SpanSink, Tracer, chrome_trace,
+                             render_prometheus, write_chrome_trace)
+
+
+def make_clock(start=1000.0, step=0.5):
+    """Deterministic clock: start, start+step, start+2*step, ..."""
+    counter = itertools.count()
+    return lambda: start + next(counter) * step
+
+
+def make_ids(prefix="id"):
+    counter = itertools.count(1)
+    return lambda: f"{prefix}{next(counter):04d}"
+
+
+@pytest.fixture()
+def fresh_telemetry():
+    """Force-disable, let the test enable its own collector, restore."""
+    saved = telemetry._ACTIVE
+    telemetry.disable()
+    yield
+    telemetry._ACTIVE = saved
+
+
+@pytest.fixture()
+def det(fresh_telemetry):
+    """Deterministic enabled collector (pinned clock + ids)."""
+    return telemetry.enable(clock=make_clock(), ids=make_ids())
+
+
+class TestTracer:
+    def test_root_span_gets_fresh_trace(self):
+        tracer = Tracer(clock=make_clock(), ids=make_ids())
+        with tracer.span("root") as span:
+            assert span.trace_id == "id0001"
+            assert span.span_id == "id0002"
+            assert span.parent_id == ""
+        assert span.start_time == 1000.0
+        assert span.end_time == 1000.5
+        assert span.duration == 0.5
+
+    def test_nesting_parents_to_enclosing_span(self):
+        tracer = Tracer(ids=make_ids())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        names = [s.name for s in tracer.finished()]
+        assert names == ["inner", "outer"]  # children close first
+
+    def test_explicit_parent_dict_crosses_boundaries(self):
+        tracer = Tracer(ids=make_ids())
+        ctx = {"trace_id": "t-abc", "span_id": "s-abc"}
+        with tracer.span("task", parent=ctx) as span:
+            assert span.trace_id == "t-abc"
+            assert span.parent_id == "s-abc"
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.finished()[-1]
+        assert span.status == "error"
+        assert span.attributes["error_type"] == "ValueError"
+
+    def test_decorator_wraps_call_in_span(self):
+        tracer = Tracer()
+
+        @tracer.trace("math.add", kind="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        span = tracer.finished()[-1]
+        assert span.name == "math.add"
+        assert span.attributes == {"kind": "test"}
+
+    def test_ingest_accepts_dict_records(self):
+        tracer = Tracer()
+        record = Span(name="remote", trace_id="t1", span_id="s1").to_dict()
+        tracer.ingest([record])
+        assert tracer.finished()[0].name == "remote"
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=5)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["s5", "s6", "s7", "s8", "s9"]
+
+    def test_span_context_coercion(self):
+        span = Span(name="n", trace_id="t", span_id="s")
+        assert SpanContext.from_any(span) == SpanContext("t", "s")
+        assert SpanContext.from_any(None) is None
+        assert SpanContext.from_any({"trace_id": ""}) is None
+        assert SpanContext.from_any(SpanContext("a", "b")).span_id == "b"
+
+
+class TestMetrics:
+    def test_counter_aggregates_per_label(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", labelnames=("tier",))
+        c.inc(tier="memory")
+        c.inc(2, tier="memory")
+        c.inc(tier="disk")
+        assert c.value(tier="memory") == 3
+        assert c.value(tier="disk") == 1
+        assert c.value(tier="ghost") == 0
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("loss", labelnames=("method",))
+        g.set(0.5, method="mlp")
+        g.set(0.25, method="mlp")
+        assert g.value(method="mlp") == 0.25
+
+    def test_histogram_bucket_placement(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            h.observe(value)
+        sample = h.samples[()]
+        assert sample["counts"] == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(6.05)
+
+    def test_kind_and_label_mismatch_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.gauge("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_snapshot_merge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("tasks", labelnames=("kind",)).inc(3, kind="fit")
+        worker.gauge("depth").set(7)
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.counter("tasks", labelnames=("kind",)).inc(1, kind="fit")
+        parent.histogram("lat", buckets=(1.0,)).observe(2.0)
+        parent.merge(worker.snapshot())
+
+        assert parent.get("tasks").value(kind="fit") == 4
+        assert parent.get("depth").value() == 7
+        merged = parent.get("lat").samples[()]
+        assert merged["count"] == 2
+        assert merged["counts"] == [1, 1]
+
+    def test_snapshot_is_detached_from_live_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        snap = reg.snapshot()
+        h.observe(0.5)
+        key = json.dumps([])
+        assert snap["lat"]["samples"][key]["count"] == 1
+
+
+class TestPrometheusRendering:
+    def test_golden_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_hits_total", help="Cache hits.",
+                    labelnames=("tier",)).inc(3, tier="memory")
+        reg.gauge("repro_loss").set(0.25)
+        assert render_prometheus(reg) == (
+            "# HELP repro_hits_total Cache hits.\n"
+            "# TYPE repro_hits_total counter\n"
+            'repro_hits_total{tier="memory"} 3\n'
+            "# TYPE repro_loss gauge\n"
+            "repro_loss 0.25\n"
+        )
+
+    def test_golden_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        assert render_prometheus(reg) == (
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="0.1"} 1\n'
+            'repro_lat_bucket{le="1"} 2\n'
+            'repro_lat_bucket{le="+Inf"} 3\n'
+            "repro_lat_sum 5.55\n"
+            "repro_lat_count 3\n"
+        )
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("path",)).inc(path='a"b\nc\\d')
+        assert r'path="a\"b\nc\\d"' in render_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestChromeTrace:
+    def test_events_are_complete_x_phases_in_microseconds(self):
+        tracer = Tracer(clock=make_clock(), ids=make_ids())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        payload = chrome_trace(tracer.finished())
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert all(e["ph"] == "X" for e in events)
+        outer = events[1]
+        assert outer["ts"] == pytest.approx(1000.0 * 1e6)
+        assert outer["dur"] == pytest.approx(1.5 * 1e6)
+        assert outer["args"]["parent_id"] == ""
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = write_chrome_trace(tracer.finished(), tmp_path / "t.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert len(loaded["traceEvents"]) == 1
+
+
+class TestSpanSink:
+    def test_jsonl_lines_round_trip(self, tmp_path):
+        tracer = Tracer(clock=make_clock(), ids=make_ids())
+        with tracer.span("a", key="k"):
+            pass
+        with SpanSink(tmp_path / "spans.jsonl") as sink:
+            sink.write_all(tracer.finished())
+        lines = (tmp_path / "spans.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        restored = Span.from_dict(json.loads(lines[0]))
+        assert restored.name == "a"
+        assert restored.attributes == {"key": "k"}
+        assert restored.trace_id == "id0001"
+
+
+class TestDisabledFastPath:
+    def test_helpers_are_noops(self, fresh_telemetry):
+        assert telemetry.active() is None
+        assert telemetry.span("x") is telemetry.NOOP_SPAN
+        with telemetry.span("x") as span:
+            span.set(a=1)
+        telemetry.inc("c")
+        telemetry.set_gauge("g", 1.0)
+        telemetry.observe("h", 0.1)
+        assert telemetry.spans() == []
+        assert telemetry.task_context() is None
+        assert telemetry.get_metrics() is None
+
+    def test_trace_decorator_passthrough(self, fresh_telemetry):
+        @telemetry.trace("f")
+        def f():
+            return 42
+        assert f() == 42
+
+
+class TestModuleHelpers:
+    def test_enable_is_idempotent(self, fresh_telemetry):
+        first = telemetry.enable()
+        assert telemetry.enable() is first
+        assert telemetry.enabled()
+
+    def test_span_and_metrics_route_to_collector(self, det):
+        with telemetry.span("outer") as outer:
+            telemetry.inc("repro_things_total", 2, kind="a")
+            ctx = telemetry.task_context()
+        assert ctx == {"trace_id": outer.trace_id, "span_id": outer.span_id}
+        assert telemetry.spans()[-1].name == "outer"
+        assert det.metrics.get("repro_things_total").value(kind="a") == 2
+
+    def test_task_context_signals_enabled_without_span(self, det):
+        assert telemetry.task_context() == {"trace_id": "", "span_id": ""}
+
+    def test_capture_isolates_and_absorb_folds_back(self, det):
+        with telemetry.capture() as scope:
+            with telemetry.span("worker.op"):
+                telemetry.inc("repro_worker_total")
+            payload = scope.export()
+        # Nothing leaked into the process collector...
+        assert telemetry.spans() == []
+        assert det.metrics.get("repro_worker_total") is None
+        # ...until the payload is absorbed.
+        telemetry.absorb(payload)
+        assert [s.name for s in telemetry.spans()] == ["worker.op"]
+        assert det.metrics.get("repro_worker_total").value() == 1
+
+    def test_clear_drops_spans_keeps_metrics(self, det):
+        with telemetry.span("s"):
+            telemetry.inc("kept_total")
+        telemetry.clear()
+        assert telemetry.spans() == []
+        assert det.metrics.get("kept_total").value() == 1
+
+
+class TestProfileFromSpans:
+    def test_aggregates_phases_and_counts_tasks(self):
+        def phase(name, trace, parent, start, end):
+            return {"name": name, "trace_id": trace, "span_id": "x",
+                    "parent_id": parent, "start_time": start,
+                    "end_time": end}
+        spans = [
+            phase("phase.fit", "t1", "p1", 0.0, 1.0),
+            phase("phase.predict", "t1", "p1", 1.0, 1.5),
+            phase("phase.fit", "t1", "p2", 0.0, 2.0),
+            {"name": "task", "trace_id": "t1", "span_id": "p1",
+             "parent_id": "", "start_time": 0.0, "end_time": 2.0},
+        ]
+        summary = telemetry.profile_from_spans(spans)
+        assert summary["tasks"] == 2
+        assert summary["phases"] == {"fit": 3.0, "predict": 0.5}
+        assert summary["total_seconds"] == 3.5
+
+    def test_empty_input(self):
+        summary = telemetry.profile_from_spans([])
+        assert summary == {"tasks": 0, "total_seconds": 0.0, "phases": {}}

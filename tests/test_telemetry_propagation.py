@@ -1,0 +1,121 @@
+"""Span parenting and metric shipping across executor/job boundaries."""
+
+import pytest
+
+from repro import telemetry
+from repro.runtime import (JobManager, ProcessExecutor, SerialExecutor, Task,
+                           ThreadExecutor)
+
+
+def traced_work(x):
+    """Module-level (picklable) task body that opens its own span."""
+    with telemetry.span("inner", x=x):
+        telemetry.inc("repro_test_work_total")
+    return x * 2
+
+
+def failing_work():
+    raise RuntimeError("boom")
+
+
+@pytest.fixture()
+def enabled():
+    saved = telemetry._ACTIVE
+    telemetry.disable()
+    collector = telemetry.enable()
+    yield collector
+    telemetry._ACTIVE = saved
+
+
+EXECUTORS = [
+    pytest.param(lambda: SerialExecutor(), id="serial"),
+    pytest.param(lambda: ThreadExecutor(workers=2), id="thread"),
+    pytest.param(lambda: ProcessExecutor(workers=2), id="process"),
+]
+
+
+class TestExecutorPropagation:
+    @pytest.mark.parametrize("make", EXECUTORS)
+    def test_one_coherent_tree_per_map_tasks(self, enabled, make):
+        tasks = [Task(key=f"k{i}", fn=traced_work, args=(i,))
+                 for i in range(3)]
+        results = make().map_tasks(tasks)
+        assert [r.value for r in results] == [0, 2, 4]
+
+        spans = telemetry.spans()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["executor.map_tasks"]) == 1
+        assert len(by_name["task"]) == 3
+        assert len(by_name["inner"]) == 3
+
+        root = by_name["executor.map_tasks"][0]
+        assert {s.trace_id for s in spans} == {root.trace_id}
+        assert all(t.parent_id == root.span_id for t in by_name["task"])
+        task_ids = {t.span_id for t in by_name["task"]}
+        assert all(i.parent_id in task_ids for i in by_name["inner"])
+
+    @pytest.mark.parametrize("make", EXECUTORS)
+    def test_worker_metrics_ship_back(self, enabled, make):
+        tasks = [Task(key=f"k{i}", fn=traced_work, args=(i,))
+                 for i in range(3)]
+        make().map_tasks(tasks)
+        assert enabled.metrics.get("repro_test_work_total").value() == 3
+        counter = enabled.metrics.get("repro_executor_tasks_total")
+        kind = make().kind
+        assert counter.value(kind=kind, status="ok") == 3
+
+    def test_failed_task_span_is_error(self, enabled):
+        executor = SerialExecutor(retries=0)
+        [result] = executor.map_tasks([Task(key="bad", fn=failing_work)])
+        assert not result.ok
+        task_span = [s for s in telemetry.spans() if s.name == "task"][0]
+        assert task_span.status == "error"
+        assert task_span.attributes["error_type"] == "RuntimeError"
+        counter = enabled.metrics.get("repro_executor_tasks_total")
+        assert counter.value(kind="serial", status="failed") == 1
+
+    def test_disabled_telemetry_costs_nothing(self):
+        saved = telemetry._ACTIVE
+        telemetry.disable()
+        try:
+            [result] = SerialExecutor().map_tasks(
+                [Task(key="k", fn=traced_work, args=(1,))])
+            assert result.value == 2
+            assert result.telemetry is None
+            assert telemetry.spans() == []
+        finally:
+            telemetry._ACTIVE = saved
+
+
+class TestJobPropagation:
+    def test_job_span_records_trace_id(self, enabled):
+        jobs = JobManager(workers=1)
+        try:
+            job_id = jobs.submit(traced_work, 5, meta={"kind": "demo"})
+            job = jobs.wait(job_id, timeout=10)
+            assert job.state == "done"
+            assert job.result == 10
+            assert job.trace_id
+            assert job.snapshot()["trace_id"] == job.trace_id
+            job_spans = [s for s in telemetry.spans()
+                         if s.name == "job" and s.trace_id == job.trace_id]
+            assert len(job_spans) == 1
+            assert job_spans[0].attributes["job_id"] == job_id
+            inner = [s for s in telemetry.spans()
+                     if s.name == "inner" and s.trace_id == job.trace_id]
+            assert inner and inner[0].parent_id == job_spans[0].span_id
+        finally:
+            jobs.shutdown()
+
+    def test_failed_job_counted(self, enabled):
+        jobs = JobManager(workers=1)
+        try:
+            job = jobs.wait(jobs.submit(failing_work, meta={"kind": "demo"}),
+                            timeout=10)
+            assert job.state == "failed"
+            counter = enabled.metrics.get("repro_jobs_total")
+            assert counter.value(kind="demo", state="failed") == 1
+        finally:
+            jobs.shutdown()
