@@ -16,6 +16,14 @@ Commands mirror the demo's capabilities for shell users:
 ``bench --trace-dir DIR`` enables telemetry and writes ``trace.json``
 (loadable in the Chrome trace viewer / Perfetto) plus ``spans.jsonl``;
 ``--metrics-json PATH`` dumps the final metrics-registry snapshot.
+
+Resilience (PR 4): ``bench --run-dir DIR`` write-ahead-journals every
+cell and saves ``config.json`` + ``results.json``; after a crash (even
+``SIGKILL``) or Ctrl-C, ``bench --resume DIR`` completes only the
+remaining cells.  ``--inject plan.json`` arms deterministic fault
+injection, ``--deadline-s`` bounds wall-clock, ``--quarantine-after``
+sets the per-method circuit breaker, and Ctrl-C flushes partial
+results, prints the resume command and exits 130.
 """
 
 from __future__ import annotations
@@ -47,7 +55,10 @@ def build_parser():
     p_chars.add_argument("csv", type=Path)
 
     p_bench = sub.add_parser("bench", help="one-click evaluation")
-    p_bench.add_argument("config", type=Path)
+    p_bench.add_argument("config", type=Path, nargs="?", default=None,
+                         help="benchmark config JSON/TOML (optional with "
+                              "--resume, which reads the run directory's "
+                              "saved config.json)")
     p_bench.add_argument("--metric", default="mae")
     p_bench.add_argument("--report", type=Path, default=None,
                          help="write an HTML report here")
@@ -73,6 +84,27 @@ def build_parser():
     p_bench.add_argument("--metrics-json", type=Path, default=None,
                          help="enable telemetry and write the final metrics "
                               "snapshot as JSON here")
+    p_bench.add_argument("--run-dir", type=Path, default=None,
+                         help="run directory: saves config.json, a "
+                              "write-ahead journal.jsonl and results.json, "
+                              "making the run resumable after a crash")
+    p_bench.add_argument("--resume", type=Path, default=None,
+                         metavar="RUN_DIR",
+                         help="resume a crashed or interrupted run from its "
+                              "run directory; journaled-complete cells with "
+                              "matching fingerprints are not re-executed")
+    p_bench.add_argument("--inject", type=Path, default=None, metavar="PLAN",
+                         help="arm a deterministic fault-injection plan "
+                              "(JSON); plans without a seed inherit the "
+                              "config's seed")
+    p_bench.add_argument("--deadline-s", type=float, default=None,
+                         help="wall-clock budget in seconds: when it "
+                              "expires no further cells are scheduled and "
+                              "the run returns partial results")
+    p_bench.add_argument("--quarantine-after", type=int, default=3,
+                         help="circuit breaker: consecutive failures before "
+                              "a method's remaining cells are quarantined "
+                              "(0 disables; default %(default)s)")
 
     p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
     p_rec.add_argument("csv", type=Path)
@@ -121,15 +153,52 @@ def _cmd_characteristics(args, out):
     return 0
 
 
-def _cmd_bench(args, out):
+def _bench_setup(args):
+    """Resolve the bench run directory, config and resume state.
+
+    Returns ``(config, run_dir, resume_state)``; raises ``SystemExit``
+    on contradictory or incomplete arguments.
+    """
     import dataclasses
 
-    from .pipeline import RunLogger
-    from .runtime import ArtifactCache, make_executor
+    from .resilience import JOURNAL_NAME, JournalState
 
-    config = load_config(args.config)
+    if args.resume is not None and args.run_dir is not None \
+            and args.resume != args.run_dir:
+        raise SystemExit("--resume and --run-dir point at different "
+                         "directories; --resume already names the run dir")
+    resume_state = None
+    if args.resume is not None:
+        run_dir = args.resume
+        config_path = args.config or run_dir / "config.json"
+        if not config_path.exists():
+            raise SystemExit(f"cannot resume: no config at {config_path} "
+                             "(pass the config path explicitly)")
+        config = load_config(config_path)
+        resume_state = JournalState.load(run_dir / JOURNAL_NAME)
+    else:
+        if args.config is None:
+            raise SystemExit("bench needs a config (or --resume RUN_DIR)")
+        config = load_config(args.config)
+        run_dir = args.run_dir
     if args.dtype:
         config = dataclasses.replace(config, dtype=args.dtype)
+    if run_dir is not None:
+        run_dir.mkdir(parents=True, exist_ok=True)
+        if args.resume is None:
+            (run_dir / "config.json").write_text(config.dumps(),
+                                                 encoding="utf-8")
+    return config, run_dir, resume_state
+
+
+def _cmd_bench(args, out):
+    from .pipeline import RunInterrupted, RunLogger
+    from .resilience import JOURNAL_NAME, FailurePolicy, FaultPlan, RunJournal
+    from .resilience import arm as arm_faults
+    from .resilience import disarm as disarm_faults
+    from .runtime import ArtifactCache, make_executor
+
+    config, run_dir, resume_state = _bench_setup(args)
     observing = args.trace_dir is not None or args.metrics_json is not None
     if observing:
         from . import telemetry
@@ -141,12 +210,70 @@ def _cmd_bench(args, out):
                                  base_seed=config.seed)
     cache = ArtifactCache(directory=args.cache_dir) if args.cache_dir \
         else None
+    journal = RunJournal(run_dir / JOURNAL_NAME) if run_dir is not None \
+        else None
+    quarantine = args.quarantine_after if args.quarantine_after > 0 else None
+    policy = FailurePolicy(quarantine_after=quarantine,
+                           deadline_s=args.deadline_s) \
+        if quarantine or args.deadline_s else None
+    plan = None
+    if args.inject is not None:
+        raw = json.loads(args.inject.read_text(encoding="utf-8"))
+        # A plan without its own seed inherits the run seed, keeping the
+        # fault schedule as reproducible as the results themselves.
+        plan = FaultPlan.from_dict(raw, seed=raw.get("seed", config.seed))
+        arm_faults(plan)
     logger = RunLogger()
-    table = run_one_click(config, logger=logger, executor=executor,
-                          cache=cache, profile=args.profile)
+    table = None
+    code = 0
+    try:
+        table = run_one_click(config, logger=logger, executor=executor,
+                              cache=cache, profile=args.profile,
+                              journal=journal, resume=resume_state,
+                              policy=policy)
+    except RunInterrupted as exc:
+        table = exc.table
+        code = 130
+    except KeyboardInterrupt:
+        code = 130
+    finally:
+        if plan is not None:
+            disarm_faults()
+        if journal is not None:
+            journal.close()
+    if run_dir is not None and table is not None:
+        results = {"rows": table.to_rows(),
+                   "failures": table.failure_rows(),
+                   "status_counts": table.status_counts()}
+        (run_dir / "results.json").write_text(
+            json.dumps(results, indent=2, default=str), encoding="utf-8")
+    if code == 130:
+        done = len(table) if table is not None else 0
+        print(f"interrupted — {done} results flushed", file=sys.stderr)
+        if run_dir is not None:
+            print(f"resume with: python -m repro bench --resume {run_dir}",
+                  file=sys.stderr)
+        else:
+            print("(no --run-dir: the partial run cannot be resumed)",
+                  file=sys.stderr)
+        return code
     if observing:
         _export_telemetry(args, out)
     print(f"{len(table)} results", file=out)
+    counts = table.status_counts()
+    if table.failures:
+        summary = ", ".join(f"{status}: {count}"
+                            for status, count in sorted(counts.items()))
+        print(f"cell outcomes — {summary}", file=out)
+        from .report import format_failures
+        print(format_failures(table), file=out)
+    if plan is not None:
+        fired = plan.stats()
+        total = sum(fired.values())
+        detail = ", ".join(f"{site}/{kind}: {n}"
+                           for (site, kind), n in sorted(fired.items()))
+        print(f"faults injected: {total}" + (f" ({detail})" if detail
+                                             else ""), file=out)
     if cache is not None:
         stats = cache.stats()
         print(f"cache: {stats['hits']} hits / {stats['misses']} misses "

@@ -137,8 +137,14 @@ class EasyTime:
         return TimeSeries(np.asarray(series, dtype=np.float64))
 
     # -- S1: one-click evaluation ----------------------------------------
-    def one_click(self, config, progress=None):
-        """Run a benchmark config (BenchmarkConfig, dict or JSON text)."""
+    def one_click(self, config, progress=None, cancel=None, policy=None):
+        """Run a benchmark config (BenchmarkConfig, dict or JSON text).
+
+        ``cancel`` (a :class:`threading.Event`) and ``policy`` (a
+        :class:`~repro.resilience.FailurePolicy`) pass through to the
+        runner, so callers — the server's background bench jobs — get
+        cooperative cancellation and failure budgets.
+        """
         if isinstance(config, str):
             config = loads_config(config)
         elif isinstance(config, dict):
@@ -148,7 +154,7 @@ class EasyTime:
             raise TypeError("config must be BenchmarkConfig, dict or JSON")
         return run_one_click(config, registry=self.registry,
                              logger=self.logger.child("one_click"),
-                             progress=progress)
+                             progress=progress, cancel=cancel, policy=policy)
 
     def evaluate_method(self, method_name, series, strategy="rolling",
                         lookback=96, horizon=24,

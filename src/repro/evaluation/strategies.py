@@ -15,6 +15,7 @@ import numpy as np
 from .. import telemetry
 from ..datasets.scalers import make_scaler
 from ..datasets.split import SplitSpec, train_val_test_split
+from ..resilience.faults import fault_point
 from . import metrics as metric_mod
 
 __all__ = ["EvalResult", "FixedWindowStrategy", "RollingStrategy",
@@ -108,6 +109,7 @@ class _Strategy:
 
             with telemetry.span("phase.fit", method=method_name):
                 t0 = time.perf_counter()
+                fault_point("strategy.fit", f"{method_name}|{series_name}")
                 model.fit(train_s, val_s)
                 fit_seconds = time.perf_counter() - t0
 

@@ -2,11 +2,12 @@
 
 from .config import (BenchmarkConfig, DatasetSpec, MethodSpec, load_config,
                      loads_config)
-from .logging import RunLogger
-from .runner import BenchmarkRunner, ResultTable, run_one_click
+from .logging import FileSink, RunLogger
+from .runner import (BenchmarkRunner, CellFailure, ResultTable,
+                     RunInterrupted, run_one_click)
 
 __all__ = [
     "BenchmarkConfig", "MethodSpec", "DatasetSpec", "load_config",
-    "loads_config", "RunLogger", "BenchmarkRunner", "ResultTable",
-    "run_one_click",
+    "loads_config", "RunLogger", "FileSink", "BenchmarkRunner",
+    "ResultTable", "CellFailure", "RunInterrupted", "run_one_click",
 ]

@@ -21,7 +21,7 @@ import time
 import weakref
 from pathlib import Path
 
-__all__ = ["RunLogger"]
+__all__ = ["RunLogger", "FileSink"]
 
 #: Sinks with an open handle; weakly held so garbage collection is not
 #: blocked, drained by the atexit hook so a logger that was never used as
@@ -35,12 +35,16 @@ def _close_open_sinks():
         sink.close()
 
 
-class _FileSink:
+class FileSink:
     """Lazily-opened, lock-guarded append-mode JSONL sink.
 
-    ``close()`` is idempotent and shared across every logger in a
-    :meth:`RunLogger.child` family; a sink left open at interpreter exit
-    is closed by the module's ``atexit`` hook.
+    Each record goes out as one flushed ``write()`` of a complete line,
+    so concurrent writers interleave without corruption and a crash can
+    tear at most the final line — the property the resilience journal
+    (:class:`~repro.resilience.RunJournal`) builds its write-ahead
+    guarantee on.  ``close()`` is idempotent and shared across every
+    logger in a :meth:`RunLogger.child` family; a sink left open at
+    interpreter exit is closed by the module's ``atexit`` hook.
     """
 
     def __init__(self, path):
@@ -86,7 +90,7 @@ class RunLogger:
         if _sink is not None:
             self._sink = _sink
         else:
-            self._sink = _FileSink(self.path) if self.path else None
+            self._sink = FileSink(self.path) if self.path else None
 
     def child(self, prefix):
         """A scoped view sharing the same event buffer and file sink."""

@@ -14,6 +14,26 @@ fans independent (method, series) cells out over a
 :class:`~repro.runtime.ArtifactCache` before paying for a fit.  Results
 are assembled in grid order and the table sorts its output, so completion
 order can never change downstream rankings.
+
+Resilience (PR 4): failures are first-class outcomes, not silent holes.
+
+* Every cell that does not produce a result leaves a structured
+  :class:`CellFailure` on the table (``failed`` / ``quarantined`` /
+  ``cancelled`` / ``deadline`` / ``interrupted``) so reports and the
+  jobs API can show *why* a row is missing.
+* ``run(journal=...)`` write-ahead-journals every cell transition
+  (:class:`~repro.resilience.RunJournal`); ``run(resume=...)`` replays a
+  journal and skips completed cells whose content fingerprints still
+  match, which is what powers crash-safe ``bench --resume``.
+* ``run(policy=...)`` consults a
+  :class:`~repro.resilience.FailurePolicy` between dispatch waves: a
+  tripped per-method circuit breaker quarantines that method's remaining
+  cells, and an expired deadline stops scheduling cleanly.
+* ``run(cancel=...)`` takes a :class:`threading.Event`; setting it stops
+  the grid between waves with partial results preserved (cooperative
+  cancellation for background jobs).
+* Ctrl-C raises :class:`RunInterrupted` carrying the partial table, so
+  the CLI can flush results and print the resume command before exiting.
 """
 
 from __future__ import annotations
@@ -27,15 +47,60 @@ from ..datasets.registry import DatasetRegistry
 from ..evaluation.metrics import HIGHER_IS_BETTER
 from ..evaluation.strategies import make_strategy
 from ..methods.registry import create
-from ..runtime import MISSING, SerialExecutor, Task
+from ..runtime import MISSING, SerialExecutor, Task, fingerprint
 from .config import BenchmarkConfig
 from .logging import RunLogger
 
-__all__ = ["BenchmarkRunner", "ResultTable", "run_one_click"]
+__all__ = ["BenchmarkRunner", "ResultTable", "CellFailure",
+           "RunInterrupted", "run_one_click"]
+
+#: Cell outcomes that are failures (everything except a scored result).
+FAILURE_STATUSES = ("failed", "quarantined", "cancelled", "deadline",
+                    "interrupted")
 
 
 def _record_sort_key(record):
     return (record.series, record.method, record.horizon, record.strategy)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One grid cell that produced no result, and why.
+
+    ``status`` is one of :data:`FAILURE_STATUSES`: ``failed`` (retries
+    exhausted), ``quarantined`` (circuit breaker open for the method),
+    ``cancelled`` (cooperative cancel or Ctrl-C before scheduling),
+    ``deadline`` (run deadline expired before scheduling) or
+    ``interrupted`` (in flight when Ctrl-C landed).
+    """
+
+    method: str
+    series: str
+    horizon: int
+    strategy: str
+    status: str = "failed"
+    error: str = ""
+    error_type: str = ""
+    attempts: int = 0
+
+    def to_row(self):
+        return {"method": self.method, "series": self.series,
+                "horizon": self.horizon, "strategy": self.strategy,
+                "status": self.status, "error": self.error,
+                "error_type": self.error_type, "attempts": self.attempts}
+
+
+class RunInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a run; carries the partial :class:`ResultTable`.
+
+    Subclasses ``KeyboardInterrupt`` so generic ``except Exception``
+    blocks cannot swallow it on the way to the CLI, which flushes the
+    partial table, prints the resume command and exits 130.
+    """
+
+    def __init__(self, table, message="benchmark run interrupted"):
+        super().__init__(message)
+        self.table = table
 
 
 @dataclass
@@ -45,22 +110,40 @@ class ResultTable:
     Iteration and ``to_rows()`` are order-deterministic — records come out
     sorted by (series, method) regardless of insertion order, so parallel
     completion order cannot reorder reports or knowledge-base ingest.
+
+    ``failures`` carries the cells that did *not* produce a result as
+    :class:`CellFailure` records; score/pivot/ranking helpers ignore
+    them, while reports and the jobs API render them as a failure panel
+    instead of silently dropping rows.  ``len(table)`` counts successful
+    records only, preserving the pre-resilience contract.
     """
 
     records: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
 
     def add(self, result):
         self.records.append(result)
 
+    def add_failure(self, failure):
+        """Record a cell that produced no result."""
+        self.failures.append(failure)
+
     def merge(self, other):
         """Fold another table's records into this one; returns self."""
-        self.records.extend(other.records if isinstance(other, ResultTable)
-                            else other)
+        if isinstance(other, ResultTable):
+            self.records.extend(other.records)
+            self.failures.extend(other.failures)
+        else:
+            self.records.extend(other)
         return self
 
     def sorted_records(self):
         """Records sorted by (series, method, horizon, strategy)."""
         return sorted(self.records, key=_record_sort_key)
+
+    def sorted_failures(self):
+        """Failures sorted by (series, method, horizon, strategy)."""
+        return sorted(self.failures, key=_record_sort_key)
 
     def __len__(self):
         return len(self.records)
@@ -73,6 +156,13 @@ class ResultTable:
 
     def series_names(self):
         return sorted({r.series for r in self.records})
+
+    def status_counts(self):
+        """``{status: count}`` over successes (``ok``) and failures."""
+        counts = {"ok": len(self.records)} if self.records else {}
+        for failure in self.failures:
+            counts[failure.status] = counts.get(failure.status, 0) + 1
+        return counts
 
     def pivot(self, metric):
         """Dict ``{series: {method: score}}`` for one metric."""
@@ -129,6 +219,10 @@ class ResultTable:
             rows.append(base)
         return rows
 
+    def failure_rows(self):
+        """Failures flattened to plain dict rows, in sorted order."""
+        return [f.to_row() for f in self.sorted_failures()]
+
 
 def _instantiate(config, spec):
     """Build a method instance for one cell, applying config geometry."""
@@ -168,6 +262,17 @@ def _cell_key(config, spec, series):
     return key
 
 
+@dataclass
+class _PendingCell:
+    """Bookkeeping for one not-yet-satisfied grid cell."""
+
+    index: int
+    key: str
+    fingerprint: str
+    cache_key: str
+    task: Task
+
+
 class BenchmarkRunner:
     """Drives a validated :class:`BenchmarkConfig` end to end."""
 
@@ -188,7 +293,21 @@ class BenchmarkRunner:
                          series.freq, self.config.strategy,
                          self.config.strategy_kwargs(), self.config.dtype)
 
-    def run(self, progress=None, executor=None, cache=None, profile=False):
+    def config_fingerprint(self):
+        """Content fingerprint of the full config (binds journals)."""
+        return fingerprint(self.config.to_dict())
+
+    def cell_fingerprint(self, spec, series):
+        """Content fingerprint of one cell — everything that determines
+        its result.  A journaled cell is only resumed when this matches,
+        so edited configs or regenerated data can never smuggle stale
+        results into a resumed run."""
+        return fingerprint(spec.name, spec.params, series.name,
+                           series.values, series.freq, self.config.strategy,
+                           self.config.strategy_kwargs(), self.config.dtype)
+
+    def run(self, progress=None, executor=None, cache=None, profile=False,
+            journal=None, resume=None, policy=None, cancel=None):
         """Execute the full methods × datasets grid; returns a ResultTable.
 
         Parameters
@@ -206,34 +325,61 @@ class BenchmarkRunner:
             result carrying the strategy's per-phase wall-clock breakdown
             (data preparation, fit, predict, metrics); aggregate with
             :meth:`RunLogger.profile_summary`.
+        journal:
+            An optional :class:`~repro.resilience.RunJournal`; every cell
+            transition is write-ahead journaled so a crashed run can be
+            resumed.
+        resume:
+            An optional :class:`~repro.resilience.JournalState` replayed
+            from a previous run's journal; completed cells with matching
+            fingerprints are restored without re-executing.
+        policy:
+            An optional :class:`~repro.resilience.FailurePolicy`
+            (per-method circuit breaker and/or run deadline), consulted
+            between dispatch waves.
+        cancel:
+            An optional :class:`threading.Event`; once set, no further
+            cells are scheduled and the run returns partial results with
+            the remainder recorded as ``cancelled``.
 
         Failures of individual (method, series) cells are retried by the
         executor, then logged as structured ``run.cell_failed`` events and
-        skipped rather than aborting the run — a long benchmark should not
-        die on one unstable fit.
+        recorded on the table as :class:`CellFailure` rows rather than
+        aborting the run — a long benchmark should not die on one
+        unstable fit.
         """
         with telemetry.span("run", tag=self.config.tag,
                             strategy=self.config.strategy,
                             horizon=self.config.horizon):
-            return self._run(progress, executor, cache, profile)
+            return self._run(progress, executor, cache, profile, journal,
+                             resume, policy, cancel)
 
-    def _run(self, progress, executor, cache, profile):
+    # -- internals -------------------------------------------------------
+
+    def _cell_count(self, status, n=1):
+        telemetry.inc("repro_run_cells_total", n, status=status,
+                      help="Benchmark grid cells by outcome.")
+
+    def _scan(self, cells, cache, resume, journal, slots, progress):
+        """Satisfy cells from the resume journal and the cache; returns
+        the remaining work as :class:`_PendingCell` entries."""
         config = self.config
-        if executor is None:
-            executor = SerialExecutor(base_seed=config.seed)
-        series_list = config.datasets.resolve(self.registry)
-        cells = [(series, spec)
-                 for series in series_list for spec in config.methods]
-        self.logger.info("run.start", tag=config.tag,
-                         n_methods=len(config.methods),
-                         n_series=len(series_list),
-                         strategy=config.strategy, horizon=config.horizon,
-                         executor=executor.kind,
-                         workers=getattr(executor, "workers", 1),
-                         cached=cache is not None)
-        slots = [None] * len(cells)
-        pending = []  # (slot index, Task, cache key)
+        pending = []
         for i, (series, spec) in enumerate(cells):
+            key = _cell_key(config, spec, series)
+            cell_fp = self.cell_fingerprint(spec, series)
+            if resume is not None:
+                prior = resume.result_for(key, cell_fp)
+                if prior is not None:
+                    slots[i] = prior
+                    self.logger.info("run.resume_hit", method=spec.name,
+                                     series=series.name)
+                    self._cell_count("resumed")
+                    if journal is not None:
+                        journal.cell_skipped(key, cell_fp, reason="resume")
+                    if progress is not None:
+                        progress(prior)
+                    continue
             cache_key = None
             if cache is not None:
                 cache_key = self._cache_key(cache, spec, series)
@@ -242,34 +388,175 @@ class BenchmarkRunner:
                     slots[i] = hit
                     self.logger.info("run.cache_hit", method=spec.name,
                                      series=series.name)
-                    telemetry.inc("repro_run_cells_total", status="cached",
-                                  help="Benchmark grid cells by outcome.")
+                    self._cell_count("cached")
+                    if journal is not None:
+                        journal.cell_done(key, cell_fp, hit)
+                    if progress is not None:
+                        progress(hit)
                     continue
-            task = Task(key=_cell_key(config, spec, series),
-                        fn=_evaluate_cell, args=(config, spec, series))
-            pending.append((i, task, cache_key))
-        if pending:
-            outcomes = executor.map_tasks([task for _, task, _ in pending])
-            for (i, _task, cache_key), outcome in zip(pending, outcomes):
-                series, spec = cells[i]
-                if outcome.ok:
-                    slots[i] = outcome.value
-                    self.logger.info("run.cell", method=spec.name,
-                                     series=series.name, status="ok",
-                                     seconds=round(outcome.seconds, 6),
-                                     attempts=outcome.attempts)
-                    telemetry.inc("repro_run_cells_total", status="ok",
-                                  help="Benchmark grid cells by outcome.")
-                    if cache is not None:
-                        cache.put(cache_key, outcome.value)
-                else:
-                    self.logger.error("run.cell_failed", method=spec.name,
-                                      series=series.name,
-                                      error=outcome.error.error,
-                                      error_type=outcome.error.error_type,
-                                      attempts=outcome.error.attempts)
-                    telemetry.inc("repro_run_cells_total", status="failed",
-                                  help="Benchmark grid cells by outcome.")
+            task = Task(key=key, fn=_evaluate_cell,
+                        args=(config, spec, series))
+            pending.append(_PendingCell(index=i, key=key,
+                                        fingerprint=cell_fp,
+                                        cache_key=cache_key, task=task))
+        return pending
+
+    def _quarantine(self, entry, spec, series, journal, failures):
+        failures[entry.index] = CellFailure(
+            method=spec.name, series=series.name,
+            horizon=self.config.horizon, strategy=self.config.strategy,
+            status="quarantined",
+            error=f"circuit breaker open for method {spec.name!r}",
+            error_type="Quarantined")
+        self.logger.warning("run.cell_quarantined", method=spec.name,
+                            series=series.name)
+        self._cell_count("quarantined")
+        if journal is not None:
+            journal.cell_quarantined(entry.key, entry.fingerprint,
+                                     method=spec.name)
+
+    def _absorb_outcome(self, entry, outcome, cells, cache, journal,
+                        policy, slots, failures, progress):
+        """Fold one executor outcome into slots/failures + side channels."""
+        series, spec = cells[entry.index]
+        if outcome.ok:
+            slots[entry.index] = outcome.value
+            self.logger.info("run.cell", method=spec.name,
+                             series=series.name, status="ok",
+                             seconds=round(outcome.seconds, 6),
+                             attempts=outcome.attempts)
+            self._cell_count("ok")
+            if journal is not None:
+                journal.cell_done(entry.key, entry.fingerprint,
+                                  outcome.value)
+            if cache is not None:
+                cache.put(entry.cache_key, outcome.value)
+            if policy is not None:
+                policy.record(spec.name, ok=True)
+            if progress is not None:
+                progress(outcome.value)
+            return
+        failures[entry.index] = CellFailure(
+            method=spec.name, series=series.name,
+            horizon=self.config.horizon, strategy=self.config.strategy,
+            status="failed", error=outcome.error.error,
+            error_type=outcome.error.error_type,
+            attempts=outcome.error.attempts)
+        self.logger.error("run.cell_failed", method=spec.name,
+                          series=series.name, error=outcome.error.error,
+                          error_type=outcome.error.error_type,
+                          attempts=outcome.error.attempts)
+        self._cell_count("failed")
+        if journal is not None:
+            journal.cell_failed(entry.key, entry.fingerprint,
+                                error=outcome.error.error,
+                                error_type=outcome.error.error_type,
+                                attempts=outcome.error.attempts)
+        if policy is not None and policy.record(spec.name, ok=False):
+            self.logger.warning("run.quarantine_tripped", method=spec.name,
+                                after=policy.breaker.threshold)
+
+    def _mark_unrun(self, entries, cells, status, failures, slots):
+        """Record cells that were never scheduled (cancel/deadline/^C)."""
+        for entry in entries:
+            if slots[entry.index] is not None or entry.index in failures:
+                continue
+            series, spec = cells[entry.index]
+            failures[entry.index] = CellFailure(
+                method=spec.name, series=series.name,
+                horizon=self.config.horizon,
+                strategy=self.config.strategy, status=status,
+                error=f"not scheduled: run {status}")
+            self._cell_count(status)
+
+    def _run(self, progress, executor, cache, profile, journal, resume,
+             policy, cancel):
+        config = self.config
+        if executor is None:
+            executor = SerialExecutor(base_seed=config.seed)
+        series_list = config.datasets.resolve(self.registry)
+        cells = [(series, spec)
+                 for series in series_list for spec in config.methods]
+        config_fp = self.config_fingerprint()
+        if resume is not None and not resume.matches_config(config_fp):
+            raise ValueError(
+                "resume journal was written by a different configuration "
+                f"(journal {resume.config_fingerprint!r:.12} != run "
+                f"{config_fp!r:.12}); refusing to mix results")
+        if journal is not None:
+            journal.start_run(config_fp, tag=config.tag,
+                              n_cells=len(cells), executor=executor.kind,
+                              resumed=resume is not None)
+        self.logger.info("run.start", tag=config.tag,
+                         n_methods=len(config.methods),
+                         n_series=len(series_list),
+                         strategy=config.strategy, horizon=config.horizon,
+                         executor=executor.kind,
+                         workers=getattr(executor, "workers", 1),
+                         cached=cache is not None,
+                         journaled=journal is not None,
+                         resumed=resume is not None)
+        slots = [None] * len(cells)
+        failures = {}
+        pending = self._scan(cells, cache, resume, journal, slots, progress)
+
+        # Dispatch in waves.  With no between-wave decisions to make the
+        # whole batch goes out at once (identical to the pre-resilience
+        # behaviour, and pool executors pay one pool spin-up).  With a
+        # policy or a cancel event, waves are sized to the executor's
+        # parallelism so breaker/deadline/cancel checks run while the
+        # grid is still in flight.
+        responsive = policy is not None or cancel is not None
+        workers = max(int(getattr(executor, "workers", 1) or 1), 1)
+        wave_size = max(workers, 1) if responsive else max(len(pending), 1)
+        if responsive and executor.kind != "serial":
+            wave_size = workers * 2  # amortise pool spin-up per wave
+        stop_status = None
+        interrupted = False
+        idx = 0
+        while idx < len(pending):
+            if cancel is not None and cancel.is_set():
+                stop_status = "cancelled"
+                break
+            if policy is not None and policy.out_of_time():
+                stop_status = "deadline"
+                break
+            wave = []
+            while idx < len(pending) and len(wave) < wave_size:
+                entry = pending[idx]
+                idx += 1
+                series, spec = cells[entry.index]
+                if policy is not None and policy.quarantined(spec.name):
+                    self._quarantine(entry, spec, series, journal, failures)
+                    continue
+                wave.append(entry)
+            if not wave:
+                continue
+            if journal is not None:
+                for entry in wave:
+                    journal.cell_start(entry.key, entry.fingerprint)
+            try:
+                outcomes = executor.map_tasks([e.task for e in wave])
+            except KeyboardInterrupt:
+                interrupted = True
+                stop_status = "interrupted"
+                self._mark_unrun(wave, cells, "interrupted", failures,
+                                 slots)
+                break
+            for entry, outcome in zip(wave, outcomes):
+                self._absorb_outcome(entry, outcome, cells, cache, journal,
+                                     policy, slots, failures, progress)
+        if stop_status is not None:
+            remainder_status = ("deadline" if stop_status == "deadline"
+                                else "cancelled")
+            self._mark_unrun(pending[idx:], cells, remainder_status,
+                             failures, slots)
+            self.logger.warning(f"run.{stop_status}",
+                                n_unscheduled=len(pending) - idx)
+            if journal is not None:
+                journal.run_interrupted(reason=stop_status,
+                                        n_unscheduled=len(pending) - idx)
+
         table = ResultTable()
         for result in slots:
             if result is None:
@@ -281,24 +568,33 @@ class BenchmarkRunner:
                            in getattr(result, "phase_seconds", {}).items()}
                 self.logger.info("run.profile", method=result.method,
                                  series=result.series, **payload)
-            if progress is not None:
-                progress(result)
-        done_payload = {"n_results": len(table)}
+        for index in sorted(failures):
+            table.add_failure(failures[index])
+        done_payload = {"n_results": len(table),
+                        "status_counts": table.status_counts()}
         if cache is not None:
             done_payload["cache"] = cache.stats()
+        if journal is not None and not interrupted:
+            journal.run_done(**done_payload)
         self.logger.info("run.done", **done_payload)
+        if interrupted:
+            raise RunInterrupted(table)
         return table
 
 
 def run_one_click(config, registry=None, logger=None, progress=None,
-                  executor=None, cache=None, workers=None, profile=False):
+                  executor=None, cache=None, workers=None, profile=False,
+                  journal=None, resume=None, policy=None, cancel=None):
     """The one-click evaluation entry point (demo scenario S1).
 
     ``workers`` is a convenience: ``workers > 1`` without an explicit
     ``executor`` selects a :class:`~repro.runtime.ProcessExecutor`.
+    The resilience knobs (``journal``/``resume``/``policy``/``cancel``)
+    pass straight through to :meth:`BenchmarkRunner.run`.
     """
     if executor is None and workers and workers > 1:
         from ..runtime import default_executor
         executor = default_executor(workers=workers, base_seed=config.seed)
     return BenchmarkRunner(config, registry=registry, logger=logger).run(
-        progress=progress, executor=executor, cache=cache, profile=profile)
+        progress=progress, executor=executor, cache=cache, profile=profile,
+        journal=journal, resume=resume, policy=policy, cancel=cancel)

@@ -1,13 +1,13 @@
 """Reporting layer: SVG charts, text tables, sparklines."""
 
 from .charts import bar_chart, line_chart, pie_chart, render_chart
-from .tables import (format_pivot, format_profile, format_ranking,
-                     format_table, sparkline)
+from .tables import (format_failures, format_pivot, format_profile,
+                     format_ranking, format_table, sparkline)
 
 __all__ = [
     "render_chart", "line_chart", "bar_chart", "pie_chart",
     "format_table", "format_pivot", "format_ranking", "sparkline",
-    "format_profile",
+    "format_profile", "format_failures",
 ]
 
 from .html import html_report  # noqa: E402

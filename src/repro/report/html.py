@@ -22,6 +22,8 @@ th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
 th { background: #f0f4f8; }
 td:first-child, th:first-child { text-align: left; }
 .best { background: #e3f4e1; font-weight: bold; }
+.failures td { text-align: left; background: #fdf2f2; }
+.failures th { background: #f8e3e3; }
 """
 
 
@@ -42,53 +44,84 @@ def _html_table(headers, rows, highlight=None):
     return "".join(parts)
 
 
+def _failure_panel(table):
+    """The graceful-degradation section: why rows are missing."""
+    failures = getattr(table, "failures", None)
+    if not failures:
+        return []
+    counts = table.status_counts()
+    summary = " &middot; ".join(f"{escape(str(status))}: {count}"
+                                for status, count in sorted(counts.items()))
+    rows = [[f.method, f.series, f.status, f.error_type or "-",
+             f.error or "-"]
+            for f in table.sorted_failures()]
+    return ["<h2>Failures</h2>",
+            f"<p>{summary}</p>",
+            "<div class='failures'>",
+            _html_table(["method", "series", "status", "type", "error"],
+                        rows),
+            "</div>"]
+
+
 def html_report(table, metric="mae", title="Benchmark report"):
-    """Render a ResultTable to a standalone HTML string."""
+    """Render a ResultTable to a standalone HTML string.
+
+    A table holding only failures (every cell failed, was quarantined or
+    was cut off by a deadline) still renders: the score sections are
+    skipped and the failure panel explains what went wrong — graceful
+    degradation instead of a crash at report time.
+    """
     means = table.mean_scores(metric)
-    if not means:
+    failures = getattr(table, "failures", None) or []
+    if not means and not failures:
         raise ValueError(f"no finite {metric!r} scores to report")
-    ranking = table.ranking(metric)
-    pivot = table.pivot(metric)
     methods = table.methods()
 
     sections = [f"<html><head><meta charset='utf-8'>"
                 f"<title>{escape(title)}</title>"
                 f"<style>{_STYLE}</style></head><body>"]
     sections.append(f"<h1>{escape(title)}</h1>")
-    sections.append(
-        f"<p>{len(table)} results &middot; {len(methods)} methods &middot; "
-        f"{len(table.series_names())} series &middot; metric: "
-        f"{escape(metric)}</p>")
+    summary = (f"<p>{len(table)} results &middot; {len(methods)} methods "
+               f"&middot; {len(table.series_names())} series &middot; "
+               f"metric: {escape(metric)}")
+    if failures:
+        summary += f" &middot; {len(failures)} failed cells"
+    sections.append(summary + "</p>")
 
-    sections.append("<h2>Leaderboard</h2>")
-    sections.append(_html_table(
-        ["rank", "method", f"mean {metric}"],
-        [[i + 1, m, means[m]] for i, m in enumerate(ranking)],
-        highlight={(0, 1), (0, 2)}))
-    sections.append(bar_chart(ranking, [means[m] for m in ranking],
-                              title=f"mean {metric} per method"))
+    if means:
+        ranking = table.ranking(metric)
+        pivot = table.pivot(metric)
+        sections.append("<h2>Leaderboard</h2>")
+        sections.append(_html_table(
+            ["rank", "method", f"mean {metric}"],
+            [[i + 1, m, means[m]] for i, m in enumerate(ranking)],
+            highlight={(0, 1), (0, 2)}))
+        sections.append(bar_chart(ranking, [means[m] for m in ranking],
+                                  title=f"mean {metric} per method"))
 
-    sections.append("<h2>Per-series scores</h2>")
-    rows = []
-    highlight = set()
-    best = table.best_per_series(metric)
-    for i, series in enumerate(sorted(pivot)):
-        row = [series]
-        for j, method in enumerate(methods):
-            value = pivot[series].get(method)
-            row.append("-" if value is None else value)
-            if best.get(series) == method:
-                highlight.add((i, j + 1))
-        rows.append(row)
-    sections.append(_html_table(["series"] + list(methods), rows,
-                                highlight=highlight))
+        sections.append("<h2>Per-series scores</h2>")
+        rows = []
+        highlight = set()
+        best = table.best_per_series(metric)
+        for i, series in enumerate(sorted(pivot)):
+            row = [series]
+            for j, method in enumerate(methods):
+                value = pivot[series].get(method)
+                row.append("-" if value is None else value)
+                if best.get(series) == method:
+                    highlight.add((i, j + 1))
+            rows.append(row)
+        sections.append(_html_table(["series"] + list(methods), rows,
+                                    highlight=highlight))
 
-    winners = {}
-    for method in best.values():
-        winners[method] = winners.get(method, 0) + 1
-    sections.append("<h2>Wins per method</h2>")
-    sections.append(_html_table(["method", "series won"],
-                                sorted(winners.items(),
-                                       key=lambda kv: -kv[1])))
+        winners = {}
+        for method in best.values():
+            winners[method] = winners.get(method, 0) + 1
+        sections.append("<h2>Wins per method</h2>")
+        sections.append(_html_table(["method", "series won"],
+                                    sorted(winners.items(),
+                                           key=lambda kv: -kv[1])))
+
+    sections.extend(_failure_panel(table))
     sections.append("</body></html>")
     return "".join(sections)

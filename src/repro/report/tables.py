@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["format_table", "format_pivot", "sparkline", "format_ranking",
-           "format_profile"]
+           "format_profile", "format_failures"]
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
@@ -85,6 +85,32 @@ def format_profile(summary):
         rows.append([phase, seconds, f"{share:.1f}%"])
     rows.append(["total", total, f"({summary.get('tasks', 0)} tasks)"])
     return format_table(["phase", "seconds", "share"], rows)
+
+
+def format_failures(failures, max_error_chars=60):
+    """Format cell failures as a text panel (graceful-degradation view).
+
+    Accepts either a :class:`~repro.pipeline.ResultTable` (its
+    ``failures`` are used), a list of
+    :class:`~repro.pipeline.CellFailure` records, or plain dict rows.
+    Returns ``""`` when there is nothing to report, so callers can print
+    unconditionally.
+    """
+    if hasattr(failures, "sorted_failures"):
+        failures = failures.sorted_failures()
+    rows = []
+    for failure in failures:
+        row = failure if isinstance(failure, dict) else failure.to_row()
+        error = str(row.get("error", ""))
+        if len(error) > max_error_chars:
+            error = error[:max_error_chars - 1] + "…"
+        rows.append([row.get("method", "-"), row.get("series", "-"),
+                     row.get("status", "-"), row.get("error_type", "") or "-",
+                     error or "-"])
+    if not rows:
+        return ""
+    return format_table(["method", "series", "status", "type", "error"],
+                        rows)
 
 
 def format_ranking(mean_scores, metric, top=None, higher_is_better=False):

@@ -1,0 +1,32 @@
+"""``repro.resilience`` — faults, journaling and failure budgets.
+
+The robustness layer of the benchmark pipeline:
+
+* :mod:`.faults` — deterministic fault injection at named sites
+  (``executor.task``, ``cache.get``, ``cache.put``, ``strategy.fit``,
+  ``server.request``) behind a zero-overhead-when-disarmed hook;
+* :mod:`.journal` — a write-ahead, line-atomic run journal powering
+  crash-safe ``bench --resume``;
+* :mod:`.policy` — per-method circuit breakers and wall-clock run
+  deadlines for graceful partial completion.
+
+Together they make failure a first-class outcome: injectable in tests,
+survivable in production, and visible end-to-end (quarantined/failed
+cells ride the :class:`~repro.pipeline.runner.ResultTable` into reports
+and the ``/jobs`` API instead of silently vanishing).
+"""
+
+from .faults import (FAULT_KINDS, FAULT_SITES, FaultPlan, FaultRule,
+                     InjectedFault, active, arm, corrupt_files, disarm,
+                     fault_point, injected)
+from .journal import (JOURNAL_NAME, JournalState, RunJournal, decode_value,
+                      encode_value)
+from .policy import CircuitBreaker, FailurePolicy, RunDeadline
+
+__all__ = [
+    "FaultRule", "FaultPlan", "InjectedFault", "fault_point",
+    "corrupt_files", "arm", "disarm", "active", "injected", "FAULT_KINDS",
+    "FAULT_SITES", "RunJournal", "JournalState", "JOURNAL_NAME",
+    "encode_value", "decode_value", "CircuitBreaker", "RunDeadline",
+    "FailurePolicy",
+]

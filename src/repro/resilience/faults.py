@@ -1,0 +1,282 @@
+"""Deterministic fault injection: seeded chaos at named sites.
+
+Production resilience claims are untestable until failures are
+*first-class and reproducible*.  This module plants named fault points in
+the hot paths (``executor.task``, ``cache.get``, ``cache.put``,
+``strategy.fit``, ``server.request``) behind the same off-by-default
+fast path the telemetry helpers use: until a :class:`FaultPlan` is
+armed, :func:`fault_point` is one global ``is None`` check and an early
+return, so uninstrumented runs pay nothing measurable.
+
+Determinism contract
+--------------------
+Whether a rule fires is a pure function of ``(plan seed, rule index,
+site, key, arrival index)`` — a SHA-256 roll, never ``random`` — so the
+same plan over the same run produces the identical fault schedule
+regardless of executor backend, worker count or thread interleaving.
+Per-key arrival counters make retries see the *next* roll, which is what
+lets a ``times``-bounded rule fail the first attempt and pass the retry.
+
+Fault kinds
+-----------
+``error``
+    raise :class:`InjectedFault` at the fault point (exercises retry,
+    failure isolation and circuit-breaker paths);
+``delay``
+    sleep ``delay_s`` seconds (exercises timeouts and deadlines);
+``crash``
+    ``SIGKILL`` the current process (exercises crash-safe journaling,
+    broken-pool handling and ``--resume``);
+``interrupt``
+    raise ``KeyboardInterrupt`` (exercises the Ctrl-C path
+    deterministically);
+``corrupt``
+    garble the artifact files a call site hands to
+    :func:`corrupt_files` (exercises the corrupt-cache==miss invariant).
+
+Plans load from JSON (``bench --inject plan.json``)::
+
+    {"seed": 7, "rules": [
+        {"site": "executor.task", "kind": "error", "rate": 1.0,
+         "times": 1, "match": "theta"},
+        {"site": "cache.put", "kind": "corrupt", "rate": 0.5}
+    ]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import telemetry
+
+__all__ = ["FaultRule", "FaultPlan", "InjectedFault", "fault_point",
+           "corrupt_files", "arm", "disarm", "active", "injected",
+           "FAULT_KINDS", "FAULT_SITES"]
+
+#: The fault kinds a rule may request.
+FAULT_KINDS = ("error", "delay", "crash", "interrupt", "corrupt")
+
+#: The named fault points planted across the repo (informational; plans
+#: may name any site, unknown ones simply never fire).
+FAULT_SITES = ("executor.task", "cache.get", "cache.put", "strategy.fit",
+               "server.request")
+
+#: Bytes written over a corrupted artifact file.
+_GARBAGE = b"\x00corrupted-by-fault-plan\x00"
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``error`` fault rules."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, what, how often.
+
+    ``rate`` is the per-arrival firing probability (deterministic roll);
+    ``times`` caps total firings per (rule, key); ``match`` restricts the
+    rule to keys containing the substring.
+    """
+
+    site: str
+    kind: str = "error"
+    rate: float = 1.0
+    times: int = None
+    match: str = ""
+    delay_s: float = 0.01
+    message: str = ""
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be within [0, 1]")
+
+    def matches(self, site, key):
+        return site == self.site and (not self.match or self.match in key)
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` entries plus firing state.
+
+    The plan is cheap to share across threads (one lock guards the
+    arrival counters) and survives ``fork`` into process-pool workers,
+    where per-key decisions stay deterministic because they depend only
+    on the per-key arrival index, not on global ordering.
+    """
+
+    def __init__(self, rules=(), seed=0):
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._arrivals = {}   # (rule_idx, key) -> arrivals seen
+        self._fired = {}      # (rule_idx, key) -> times fired
+        self.counts = {}      # (site, kind) -> total firings
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_dict(cls, raw, seed=None):
+        """Build a plan from a ``{"seed": ..., "rules": [...]}`` mapping."""
+        rules = [FaultRule(**rule) for rule in raw.get("rules", [])]
+        if seed is None:
+            seed = raw.get("seed", 0)
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def load(cls, path, seed=None):
+        """Load a plan from a JSON file; ``seed`` overrides the file's."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(raw, seed=seed)
+
+    def to_dict(self):
+        """JSON-ready plan description (round-trips via ``from_dict``)."""
+        return {"seed": self.seed,
+                "rules": [{k: v for k, v in vars(rule).items()
+                           if v is not None}
+                          for rule in self.rules]}
+
+    # -- decision --------------------------------------------------------
+    def _roll(self, rule_idx, site, key, arrival):
+        """Deterministic uniform draw in [0, 1) for one arrival."""
+        material = f"{self.seed}:{rule_idx}:{site}:{key}:{arrival}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def decide(self, site, key="", kinds=None):
+        """The rules firing at this arrival of (site, key), in rule order.
+
+        ``kinds`` restricts which rule kinds this call site can act on;
+        rules outside the filter are skipped *without* consuming their
+        arrival or firing budgets — a site that calls both
+        :func:`fault_point` and :func:`corrupt_files` must not burn a
+        ``corrupt`` rule's ``times`` budget on the hook that cannot
+        garble files.
+        """
+        fired = []
+        for idx, rule in enumerate(self.rules):
+            if kinds is not None and rule.kind not in kinds:
+                continue
+            if not rule.matches(site, key):
+                continue
+            state_key = (idx, key)
+            with self._lock:
+                arrival = self._arrivals.get(state_key, 0)
+                self._arrivals[state_key] = arrival + 1
+                if rule.times is not None and \
+                        self._fired.get(state_key, 0) >= rule.times:
+                    continue
+                if rule.rate < 1.0 and \
+                        self._roll(idx, site, key, arrival) >= rule.rate:
+                    continue
+                self._fired[state_key] = self._fired.get(state_key, 0) + 1
+                count_key = (site, rule.kind)
+                self.counts[count_key] = self.counts.get(count_key, 0) + 1
+            telemetry.inc("repro_faults_injected_total", site=site,
+                          kind=rule.kind,
+                          help="Faults fired by the injection harness.")
+            fired.append(rule)
+        return fired
+
+    def apply(self, site, key=""):
+        """Fire matching rules: sleep, crash or raise as configured.
+
+        ``corrupt`` rules are excluded (their budgets untouched) — they
+        only make sense where the call site can hand over file paths
+        (:func:`corrupt_files`), and every corrupt-capable site calls
+        both hooks.
+        """
+        for rule in self.decide(site, key,
+                                kinds=("error", "delay", "crash",
+                                       "interrupt")):
+            if rule.kind == "delay":
+                time.sleep(rule.delay_s)
+            elif rule.kind == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif rule.kind == "interrupt":
+                raise KeyboardInterrupt(
+                    rule.message or f"injected interrupt at {site} ({key})")
+            elif rule.kind == "error":
+                raise InjectedFault(
+                    rule.message or f"injected fault at {site} ({key})")
+
+    def corrupt(self, site, key, paths):
+        """Garble ``paths`` if a ``corrupt`` rule fires; returns True then."""
+        hit = False
+        for _ in self.decide(site, key, kinds=("corrupt",)):
+            hit = True
+            for path in paths:
+                path = Path(path)
+                if path.exists():
+                    path.write_bytes(_GARBAGE)
+        return hit
+
+    def stats(self):
+        """``{(site, kind): firings}`` snapshot."""
+        with self._lock:
+            return dict(self.counts)
+
+    def __repr__(self):
+        return f"FaultPlan(rules={len(self.rules)}, seed={self.seed})"
+
+
+#: The armed plan; None == injection disabled (no-op fast path).
+_PLAN = None
+
+
+def arm(plan):
+    """Install a plan; every fault point becomes live."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def disarm():
+    """Remove the armed plan; fault points return to the no-op path."""
+    global _PLAN
+    _PLAN = None
+
+
+def active():
+    """The armed :class:`FaultPlan` (or None)."""
+    return _PLAN
+
+
+@contextmanager
+def injected(plan):
+    """Arm ``plan`` for the duration of a block."""
+    previous = _PLAN
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        arm(previous) if previous is not None else disarm()
+
+
+def fault_point(site, key=""):
+    """Chaos hook: free when disarmed, acts per the armed plan otherwise.
+
+    Call sites sprinkle this into hot paths; the disabled path is a
+    single module-global ``is None`` test (mirroring the telemetry
+    no-op fast path) so it can ride in per-task and per-request code.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.apply(site, key)
+
+
+def corrupt_files(site, key, paths):
+    """Corruption hook for artifact writers; returns True when fired."""
+    plan = _PLAN
+    if plan is None:
+        return False
+    return plan.corrupt(site, key, paths)

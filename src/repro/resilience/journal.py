@@ -1,0 +1,245 @@
+"""Write-ahead run journal: crash-safe cell-level progress on disk.
+
+Every benchmark run that is given a journal records, as line-atomic
+JSONL appends, a run header (config fingerprint + grid shape) and one
+record per cell transition: ``cell_start`` *before* the work is
+scheduled, then exactly one of ``cell_done`` (with the full encoded
+result), ``cell_failed``, ``cell_quarantined`` or ``cell_skipped``.
+Because each record is a single flushed ``write()`` of one complete
+line, a crash — including ``SIGKILL`` — can lose at most the trailing
+partial line, which :func:`JournalState.load` tolerates by discarding
+anything that fails to parse.
+
+``bench --resume RUN_DIR`` replays the journal into a
+:class:`JournalState`, verifies the config fingerprint and each cell's
+content fingerprint, and hands completed results straight back to the
+runner, so a killed run restarts from where it died instead of paying
+for finished cells again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import telemetry
+
+__all__ = ["RunJournal", "JournalState", "encode_value", "decode_value",
+           "JOURNAL_NAME"]
+
+#: Default journal file name inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Value codec: EvalResult-shaped payloads <-> pure-JSON nodes
+# ---------------------------------------------------------------------------
+
+def encode_value(value):
+    """Encode a result payload as pure JSON (arrays inlined with dtype)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if np.isfinite(value):
+            return value
+        return {"__kind__": "float", "repr": repr(value)}
+    if isinstance(value, np.generic):
+        return encode_value(value.item())
+    if isinstance(value, np.ndarray):
+        return {"__kind__": "ndarray", "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": value.reshape(-1).tolist()}
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple",
+                "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: encode_value(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__kind__": "dataclass", "type": type(value).__name__,
+                "fields": fields}
+    raise TypeError(f"cannot journal value of type {type(value).__name__}")
+
+
+def decode_value(node):
+    """Invert :func:`encode_value`; dataclasses come back as EvalResult."""
+    if isinstance(node, list):
+        return [decode_value(v) for v in node]
+    if isinstance(node, dict):
+        kind = node.get("__kind__")
+        if kind == "ndarray":
+            arr = np.asarray(node["data"], dtype=node["dtype"])
+            return arr.reshape(node["shape"])
+        if kind == "tuple":
+            return tuple(decode_value(v) for v in node["items"])
+        if kind == "float":
+            return float(node["repr"])
+        if kind == "dataclass":
+            fields = {k: decode_value(v)
+                      for k, v in node["fields"].items()}
+            if node["type"] == "EvalResult":
+                from ..evaluation.strategies import EvalResult
+                return EvalResult(**fields)
+            return fields
+        return {k: decode_value(v) for k, v in node.items()}
+    return node
+
+
+# ---------------------------------------------------------------------------
+# The write side
+# ---------------------------------------------------------------------------
+
+class RunJournal:
+    """Append-only JSONL journal of one benchmark run's cell lifecycle.
+
+    Safe to share between threads (the sink serialises writes) and to
+    append to across process restarts — ``--resume`` reopens the same
+    file, so one journal tells the complete story of a run including
+    every resume attempt.
+    """
+
+    def __init__(self, path):
+        # Imported here, not at module level: pipeline imports the runtime,
+        # the runtime's fault points import this package.
+        from ..pipeline.logging import FileSink
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._sink = FileSink(self.path)
+
+    # -- records ---------------------------------------------------------
+    def _write(self, event, **payload):
+        record = {"ts": time.time(), "event": event, **payload}
+        self._sink.write(record)
+        telemetry.inc("repro_journal_records_total", event=event,
+                      help="Run-journal records appended, by event.")
+        return record
+
+    def start_run(self, config_fingerprint, **meta):
+        """Header record: binds the journal to one config fingerprint."""
+        return self._write("run_start", config=config_fingerprint, **meta)
+
+    def cell_start(self, key, fingerprint):
+        """Write-ahead: the cell is about to be scheduled."""
+        return self._write("cell_start", key=key, fingerprint=fingerprint)
+
+    def cell_done(self, key, fingerprint, result):
+        """The cell completed; the encoded result makes resume cache-free."""
+        return self._write("cell_done", key=key, fingerprint=fingerprint,
+                           result=encode_value(result))
+
+    def cell_failed(self, key, fingerprint, error="", error_type="",
+                    attempts=0):
+        return self._write("cell_failed", key=key, fingerprint=fingerprint,
+                           error=error, error_type=error_type,
+                           attempts=attempts)
+
+    def cell_quarantined(self, key, fingerprint, method=""):
+        return self._write("cell_quarantined", key=key,
+                           fingerprint=fingerprint, method=method)
+
+    def cell_skipped(self, key, fingerprint, reason=""):
+        """Resume bookkeeping: cell satisfied without re-execution."""
+        return self._write("cell_skipped", key=key, fingerprint=fingerprint,
+                           reason=reason)
+
+    def run_done(self, **payload):
+        return self._write("run_done", **payload)
+
+    def run_interrupted(self, **payload):
+        return self._write("run_interrupted", **payload)
+
+    def close(self):
+        self._sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The replay side
+# ---------------------------------------------------------------------------
+
+class JournalState:
+    """Replayed journal: what completed, what failed, what config it was."""
+
+    def __init__(self):
+        self.config_fingerprint = None
+        self.meta = {}
+        self.completed = {}    # key -> {"fingerprint", "result"(decoded)}
+        self.failed = {}       # key -> failure record
+        self.started = {}      # key -> times a cell_start was journaled
+        self.records = 0
+        self.dropped = 0       # unparsable (torn) lines skipped
+
+    @classmethod
+    def load(cls, path):
+        """Replay a journal file, tolerating a torn trailing line."""
+        state = cls()
+        path = Path(path)
+        if not path.exists():
+            return state
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    state.dropped += 1
+                    continue
+                state._absorb(record)
+        return state
+
+    def _absorb(self, record):
+        self.records += 1
+        event = record.get("event")
+        key = record.get("key")
+        if event == "run_start":
+            self.config_fingerprint = record.get("config")
+            self.meta = {k: v for k, v in record.items()
+                         if k not in ("ts", "event", "config")}
+        elif event == "cell_start":
+            self.started[key] = self.started.get(key, 0) + 1
+        elif event == "cell_done":
+            try:
+                result = decode_value(record.get("result"))
+            except Exception:  # noqa: BLE001 - torn/garbled payload == lost
+                self.dropped += 1
+                return
+            self.completed[key] = {
+                "fingerprint": record.get("fingerprint"), "result": result}
+            self.failed.pop(key, None)
+        elif event == "cell_failed":
+            if key not in self.completed:
+                self.failed[key] = record
+        elif event == "cell_quarantined":
+            if key not in self.completed:
+                self.failed[key] = record
+
+    # -- queries ---------------------------------------------------------
+    def result_for(self, key, fingerprint):
+        """The journaled result for a cell iff its fingerprint matches."""
+        entry = self.completed.get(key)
+        if entry is None or entry["fingerprint"] != fingerprint:
+            return None
+        return entry["result"]
+
+    def matches_config(self, config_fingerprint):
+        """True when the journal belongs to this config (or has no header)."""
+        return (self.config_fingerprint is None
+                or self.config_fingerprint == config_fingerprint)
+
+    def __len__(self):
+        return len(self.completed)

@@ -1,0 +1,106 @@
+"""Failure-budget policies: circuit breakers and run deadlines.
+
+A long benchmark grid should not spend its whole retry budget on a
+method that is clearly broken, and a scheduled run should stop *cleanly*
+when its wall-clock allowance runs out.  Both decisions live here so the
+runner stays a dispatch loop:
+
+* :class:`CircuitBreaker` — per-method consecutive-failure counter; once
+  a method trips, its remaining cells are recorded as ``quarantined``
+  without being scheduled (one success resets the count);
+* :class:`RunDeadline` — absolute wall-clock budget checked between
+  dispatch waves; expiry stops *scheduling*, never preempts a running
+  cell, so partial results stay consistent;
+* :class:`FailurePolicy` — the bundle the CLI builds from
+  ``--quarantine-after`` / ``--deadline-s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .. import telemetry
+
+__all__ = ["CircuitBreaker", "RunDeadline", "FailurePolicy"]
+
+
+class CircuitBreaker:
+    """Quarantine a method after ``threshold`` consecutive failures."""
+
+    def __init__(self, threshold=3):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self._consecutive = {}
+        self._open = set()
+
+    def record_ok(self, method):
+        self._consecutive[method] = 0
+
+    def record_failure(self, method):
+        """Count a failure; returns True when this one trips the breaker."""
+        count = self._consecutive.get(method, 0) + 1
+        self._consecutive[method] = count
+        if count >= self.threshold and method not in self._open:
+            self._open.add(method)
+            telemetry.inc("repro_circuit_breaker_trips_total",
+                          method=method,
+                          help="Methods quarantined by the circuit "
+                               "breaker.")
+            return True
+        return False
+
+    def is_open(self, method):
+        return method in self._open
+
+    def open_methods(self):
+        return sorted(self._open)
+
+
+class RunDeadline:
+    """Wall-clock budget for one run; ``clock`` injectable for tests."""
+
+    def __init__(self, seconds, clock=time.monotonic):
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        self.seconds = seconds
+        self._clock = clock
+        self._started = clock()
+
+    def remaining(self):
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - (self._clock() - self._started)
+
+    def expired(self):
+        return self.remaining() <= 0.0
+
+
+class FailurePolicy:
+    """Bundle of failure-budget knobs the runner consults between waves.
+
+    ``quarantine_after=None`` disables the circuit breaker;
+    ``deadline_s=None`` disables the deadline.  The policy is built per
+    run — deadlines start ticking at construction.
+    """
+
+    def __init__(self, quarantine_after=None, deadline_s=None,
+                 clock=time.monotonic):
+        self.breaker = (CircuitBreaker(quarantine_after)
+                        if quarantine_after else None)
+        self.deadline = (RunDeadline(deadline_s, clock=clock)
+                         if deadline_s else None)
+
+    def quarantined(self, method):
+        return self.breaker is not None and self.breaker.is_open(method)
+
+    def record(self, method, ok):
+        if self.breaker is None:
+            return False
+        if ok:
+            self.breaker.record_ok(method)
+            return False
+        return self.breaker.record_failure(method)
+
+    def out_of_time(self):
+        return self.deadline is not None and self.deadline.expired()

@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import telemetry
 from ..evaluation.strategies import EvalResult
+from ..resilience.faults import corrupt_files, fault_point
 
 __all__ = ["ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING"]
 
@@ -164,7 +165,7 @@ class ArtifactCache:
         self._lock = threading.RLock()
         self.counters = {"hits": 0, "misses": 0, "memory_hits": 0,
                          "disk_hits": 0, "evictions": 0, "puts": 0,
-                         "corrupt": 0}
+                         "corrupt": 0, "put_errors": 0}
 
     # -- keys ------------------------------------------------------------
     def key(self, *parts):
@@ -208,7 +209,13 @@ class ArtifactCache:
         if not json_path.exists():
             return MISSING
         try:
+            fault_point("cache.get", key)
+            corrupt_files("cache.get", key, (json_path, npz_path))
             payload = json.loads(json_path.read_text(encoding="utf-8"))
+            if payload.get("salt") != str(self.salt):
+                # A stale or foreign entry (different code version) must
+                # never be served even if the digest collides on disk.
+                raise ValueError("cache salt mismatch")
             arrays = {}
             if npz_path.exists():
                 with np.load(npz_path) as data:
@@ -217,6 +224,9 @@ class ArtifactCache:
         except Exception:  # noqa: BLE001 - corrupt entry == miss
             with self._lock:
                 self.counters["corrupt"] += 1
+            telemetry.inc("repro_cache_corrupt_total",
+                          help="Disk entries that failed to load and were "
+                               "treated as misses.")
             for path in (json_path, npz_path):
                 try:
                     path.unlink(missing_ok=True)
@@ -226,14 +236,31 @@ class ArtifactCache:
 
     # -- store -----------------------------------------------------------
     def put(self, key, value):
-        """Store a value in both tiers; returns the key."""
+        """Store a value in both tiers; returns the key.
+
+        A failing *disk* write degrades gracefully: the in-memory tier
+        already holds the value, the failure is counted
+        (``put_errors``), and the caller proceeds — losing durability for
+        one artifact must never abort the run that produced it.
+        """
         with self._lock:
             self.counters["puts"] += 1
             self._memory_put(key, value)
         telemetry.inc("repro_cache_puts_total",
                       help="Values stored in the artifact cache.")
         if self.directory is not None:
-            self._disk_put(key, value)
+            try:
+                fault_point("cache.put", key)
+                self._disk_put(key, value)
+                corrupt_files("cache.put", key, self._paths(key))
+            except TypeError:
+                raise  # uncacheable value: a caller bug, not a disk fault
+            except Exception:  # noqa: BLE001 - durability is best-effort
+                with self._lock:
+                    self.counters["put_errors"] += 1
+                telemetry.inc("repro_cache_put_errors_total",
+                              help="Disk-tier writes that failed and were "
+                                   "dropped (memory tier unaffected).")
         return key
 
     def _memory_put(self, key, value):
@@ -250,6 +277,14 @@ class ArtifactCache:
     def _disk_put(self, key, value):
         json_path, npz_path = self._paths(key)
         json_path.parent.mkdir(parents=True, exist_ok=True)
+        # Repair debris from a writer that died mid-put: stale temp files
+        # can never be read (gets only see the final names) but they
+        # should not accumulate across crashed runs.
+        for stale in json_path.parent.glob(f"{key}.tmp*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
         arrays = {}
         encoded = _encode(value, arrays)
         if arrays:

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import telemetry
+from ..resilience.faults import fault_point
 
 __all__ = ["Task", "TaskError", "TaskResult", "SerialExecutor",
            "ThreadExecutor", "ProcessExecutor", "derive_seed",
@@ -124,6 +125,7 @@ def _execute_task(task, seed, retries, backoff):
         if task.pass_seed:
             kwargs["_seed"] = seed
         try:
+            fault_point("executor.task", task.key)
             value = task.fn(*task.args, **kwargs)
         except Exception as exc:  # noqa: BLE001 - per-task isolation
             last = exc
@@ -236,23 +238,44 @@ class BaseExecutor:
 class SerialExecutor(BaseExecutor):
     """In-process sequential execution — the zero-dependency baseline.
 
-    Cannot preempt a running task, so ``timeout`` is not enforced here;
-    everything else (seeding, retry, error isolation) matches the pools.
+    Cannot preempt a running task, so ``timeout`` is enforced
+    *best-effort*: before scheduling each next task the elapsed
+    wall-clock of the whole ``map_tasks`` call is checked against
+    ``timeout``, and once the budget is blown the remaining tasks are
+    reported as ``Timeout`` :class:`TaskError` records without running —
+    a runaway cell can overshoot, but it can no longer drag the entire
+    batch past the budget.  Everything else (seeding, retry, error
+    isolation) matches the pools.
     """
 
     kind = "serial"
 
     def map_tasks(self, tasks):
         tasks = list(tasks)
+        results = []
         with telemetry.span("executor.map_tasks", kind=self.kind,
                             n_tasks=len(tasks)):
             ctx = telemetry.task_context()
-            results = [_run_task(task, derive_seed(task.key, self.base_seed),
-                                 self.retries, self.backoff,
-                                 telemetry_ctx=ctx)
-                       for task in tasks]
+            started = time.monotonic()
+            for index, task in enumerate(tasks):
+                if self.timeout is not None and index > 0 \
+                        and time.monotonic() - started > self.timeout:
+                    results.extend(self._timed_out(tasks[index:]))
+                    break
+                results.append(
+                    _run_task(task, derive_seed(task.key, self.base_seed),
+                              self.retries, self.backoff, telemetry_ctx=ctx))
             self._observe_results(results)
         return results
+
+    def _timed_out(self, remaining):
+        """Timeout records for tasks the deadline prevented scheduling."""
+        return [TaskResult(
+            key=task.key,
+            error=TaskError(key=task.key, error_type="Timeout", attempts=0,
+                            error=f"not scheduled: serial executor "
+                                  f"exceeded timeout={self.timeout}s"))
+            for task in remaining]
 
 
 class _PoolExecutor(BaseExecutor):

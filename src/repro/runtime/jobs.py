@@ -44,15 +44,31 @@ class Job:
     started_at: float = None
     finished_at: float = None
     trace_id: str = ""
+    progress: dict = field(default_factory=dict)
+    cancel_requested: bool = False
+    cancel_event: threading.Event = field(default_factory=threading.Event,
+                                          repr=False, compare=False)
 
     def snapshot(self):
-        """JSON-ready view of the job (result included once done)."""
+        """JSON-ready view of the job (result included once finished).
+
+        ``progress`` (live partial-completion detail published by
+        cooperative job functions) and ``cancel_requested`` surface the
+        in-flight picture; a ``cancelled`` job keeps whatever partial
+        result its function managed to return.
+        """
         out = {"id": self.id, "state": self.state, "meta": dict(self.meta),
                "created_at": self.created_at, "started_at": self.started_at,
                "finished_at": self.finished_at}
         if self.trace_id:
             out["trace_id"] = self.trace_id
+        if self.progress:
+            out["progress"] = dict(self.progress)
+        if self.cancel_requested:
+            out["cancel_requested"] = True
         if self.state == "done":
+            out["result"] = self.result
+        if self.state == "cancelled" and self.result is not None:
             out["result"] = self.result
         if self.state == "failed":
             out["error"] = self.error
@@ -80,16 +96,39 @@ class JobManager:
                                         thread_name_prefix=name)
 
     # -- lifecycle -------------------------------------------------------
-    def submit(self, fn, *args, meta=None, **kwargs):
-        """Queue ``fn(*args, **kwargs)``; returns the new job id."""
+    def submit(self, fn, *args, meta=None, pass_cancel=False,
+               pass_progress=False, **kwargs):
+        """Queue ``fn(*args, **kwargs)``; returns the new job id.
+
+        Cooperative functions opt into resilience plumbing:
+        ``pass_cancel=True`` injects the job's cancellation
+        :class:`threading.Event` as a ``_cancel`` keyword (the function
+        checks it between units of work and returns partial results);
+        ``pass_progress=True`` injects a ``_progress(**fields)`` callback
+        that publishes live progress into the job snapshot.
+        """
         ctx = telemetry.task_context()
         with self._lock:
             job = Job(id=f"job-{next(self._ids):06d}", meta=dict(meta or {}))
             self._jobs[job.id] = job
             self._events[job.id] = threading.Event()
+            kwargs = dict(kwargs)
+            if pass_cancel:
+                kwargs["_cancel"] = job.cancel_event
+            if pass_progress:
+                kwargs["_progress"] = self._progress_updater(job.id)
             self._futures[job.id] = self._pool.submit(
                 self._run, job.id, fn, args, kwargs, ctx)
         return job.id
+
+    def _progress_updater(self, job_id):
+        """A callback merging fields into one job's progress dict."""
+        def update(**fields):
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    job.progress.update(fields)
+        return update
 
     def _finish(self, job_id):
         """Wake every waiter of a job that reached a terminal state."""
@@ -134,12 +173,18 @@ class JobManager:
                               help="Finished background jobs by outcome.")
                 return
             with self._lock:
-                job.state = "done"
+                # A cancel requested while running lands the job in
+                # ``cancelled`` — the function returned early, and
+                # whatever partial result it produced is preserved.
+                state = "cancelled" if job.cancel_requested else "done"
+                job.state = state
                 job.result = result
                 job.finished_at = time.time()
                 run_seconds = job.finished_at - job.started_at
                 self._finish(job_id)
-        telemetry.inc("repro_jobs_total", kind=kind, state="done",
+            if state == "cancelled":
+                active.set(cancelled=True)
+        telemetry.inc("repro_jobs_total", kind=kind, state=state,
                       help="Finished background jobs by outcome.")
         telemetry.observe("repro_job_run_seconds", run_seconds, kind=kind,
                           help="Job execution wall-clock.")
@@ -158,18 +203,48 @@ class JobManager:
         with self._lock:
             return [self._jobs[k].snapshot() for k in sorted(self._jobs)]
 
-    def delete(self, job_id):
-        """Cancel (if pending) and forget a job; returns its last snapshot."""
+    def cancel(self, job_id):
+        """Request cancellation; returns the job's snapshot.
+
+        A still-pending job is cancelled outright.  A *running* job has
+        its cancellation event set — cooperative functions (the
+        benchmark runner checks between dispatch waves) stop early and
+        the job lands in ``cancelled`` with partial results preserved;
+        non-cooperative functions finish their work but the job is still
+        marked ``cancelled``.
+        """
         with self._lock:
             job = self.get(job_id)
-            future = self._futures.pop(job_id, None)
+            future = self._futures.get(job_id)
             if future is not None and future.cancel():
+                self._futures.pop(job_id, None)
                 job.state = "cancelled"
                 job.finished_at = time.time()
                 telemetry.inc("repro_jobs_total",
                               kind=job.meta.get("kind", "job"),
                               state="cancelled",
                               help="Finished background jobs by outcome.")
+                self._finish(job_id)
+            elif job.state in ("submitted", "running"):
+                job.cancel_requested = True
+                job.cancel_event.set()
+            return job.snapshot()
+
+    def delete(self, job_id):
+        """Cancel and forget a job; returns its last snapshot.
+
+        Finished (and pending, which cancel immediately) jobs are
+        removed from the registry.  A *running* job cannot vanish
+        mid-flight: its cancellation is requested and its record is
+        kept so the eventual ``cancelled`` state — with any partial
+        results — stays observable; a later DELETE removes it.
+        """
+        with self._lock:
+            snapshot = self.cancel(job_id)
+            job = self._jobs[job_id]
+            if job.state == "running":
+                return job.snapshot()
+            self._futures.pop(job_id, None)
             self._finish(job_id)
             snapshot = job.snapshot()
             del self._jobs[job_id]

@@ -13,9 +13,12 @@ Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
 ``POST   /qa``               natural-language Q&A (Fig. 5)
 ``POST   /jobs/evaluate``    background evaluation → job id
 ``POST   /jobs/automl``      background ensemble forecast → job id
+``POST   /jobs/bench``       background benchmark grid → job id
 ``GET    /jobs``             list background jobs
-``GET    /jobs/<id>``        poll one job (result payload once done)
-``DELETE /jobs/<id>``        cancel/forget a job
+``GET    /jobs/<id>``        poll one job (live progress, then result)
+``DELETE /jobs/<id>``        cancel a job (running grids stop between
+                             cells with partial results); forget it
+                             once terminal
 ``GET    /metrics``          Prometheus exposition of the metrics registry
 ``GET    /trace/<id>``       Chrome-trace JSON of one job's span tree
 ==========================  =========================================
@@ -46,6 +49,7 @@ import numpy as np
 
 from .. import telemetry
 from ..pipeline.logging import RunLogger
+from ..resilience import FailurePolicy, InjectedFault, fault_point
 from ..runtime import JobManager
 from ..telemetry import chrome_trace, render_prometheus
 
@@ -55,7 +59,7 @@ __all__ = ["EasyTimeServer", "make_handler"]
 _KNOWN_ROUTES = frozenset({
     "/", "/health", "/methods", "/datasets", "/metrics", "/jobs",
     "/upload", "/recommend", "/evaluate", "/automl", "/qa",
-    "/jobs/evaluate", "/jobs/automl",
+    "/jobs/evaluate", "/jobs/automl", "/jobs/bench",
 })
 
 
@@ -112,15 +116,24 @@ def make_handler(api):
             self._send({"ok": False, "error": message}, status=status)
 
         def _timed(self, handler):
-            """Run a verb handler and log/count the request either way."""
+            """Run a verb handler and log/count the request either way.
+
+            The ``server.request`` fault point runs before the handler;
+            an injected fault is converted to a 503 error envelope —
+            the degraded path a load balancer would retry — rather
+            than tearing down the connection.
+            """
             self._status = 0
             t0 = time.perf_counter()
+            route = _route_label(self.path.split("?")[0].rstrip("/") or "/")
             try:
-                handler()
+                try:
+                    fault_point("server.request", route)
+                    handler()
+                except InjectedFault as exc:
+                    self._fail(f"injected fault: {exc}", status=503)
             finally:
                 seconds = time.perf_counter() - t0
-                route = _route_label(
-                    self.path.split("?")[0].rstrip("/") or "/")
                 api.observe_request(self.command, route,
                                     self._status or 500, seconds)
 
@@ -190,6 +203,7 @@ def make_handler(api):
                 "/qa": api.qa,
                 "/jobs/evaluate": api.job_evaluate,
                 "/jobs/automl": api.job_automl,
+                "/jobs/bench": api.job_bench,
             }
             fn = handlers.get(route)
             if fn is None:
@@ -299,6 +313,51 @@ class _Api:
                                   meta={"kind": "automl",
                                         "dataset": body.get("dataset")})
         return {"job_id": job_id, "state": "submitted"}
+
+    def job_bench(self, body):
+        """Submit a one-click benchmark grid as a background job.
+
+        Body: ``{"config": {...}}`` plus optional failure-budget knobs
+        ``quarantine_after`` and ``deadline_s``.  The job is cooperative:
+        ``DELETE /jobs/<id>`` stops the grid between cells with partial
+        results preserved, and ``GET /jobs/<id>`` exposes live progress
+        (cells done / failed) while it runs.
+        """
+        config = body["config"]
+        job_id = self.jobs.submit(
+            self._bench_job, config,
+            quarantine_after=body.get("quarantine_after"),
+            deadline_s=body.get("deadline_s"),
+            meta={"kind": "bench", "tag": config.get("tag")
+                  if isinstance(config, dict) else None},
+            pass_cancel=True, pass_progress=True)
+        return {"job_id": job_id, "state": "submitted"}
+
+    def _bench_job(self, config, quarantine_after=None, deadline_s=None,
+                   _cancel=None, _progress=None):
+        """Run one benchmark grid cooperatively inside a job slot."""
+        # Built here, not at submit time: the deadline must start
+        # ticking when a worker slot picks the job up, not while it
+        # waits in the queue.
+        policy = None
+        if quarantine_after or deadline_s:
+            policy = FailurePolicy(quarantine_after=quarantine_after,
+                                   deadline_s=deadline_s)
+        done = [0]
+
+        def tick(result):
+            done[0] += 1
+            if _progress is not None:
+                _progress(cells_done=done[0],
+                          last_cell=f"{result.method}/{result.series}")
+
+        table = self.et.one_click(config, progress=tick, cancel=_cancel,
+                                  policy=policy)
+        status_counts = table.status_counts()
+        if _progress is not None:
+            _progress(cells_done=done[0], status_counts=status_counts)
+        return {"rows": table.to_rows(), "failures": table.failure_rows(),
+                "status_counts": status_counts}
 
     def job_status(self, job_id):
         return self.jobs.get(job_id).snapshot()

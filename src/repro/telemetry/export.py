@@ -9,7 +9,7 @@ Three consumers, three formats:
   one complete ``"X"`` event per span, pid/tid preserved so parallel
   workers land on separate rows;
 * :class:`SpanSink` — an append-only JSONL span log reusing the
-  line-atomic :class:`~repro.pipeline.logging._FileSink`, safe for
+  line-atomic :class:`~repro.pipeline.logging.FileSink`, safe for
   concurrent writers.
 """
 
@@ -124,9 +124,9 @@ class SpanSink:
     def __init__(self, path):
         # Imported lazily: pipeline.runner imports telemetry, so a
         # module-level import back into repro.pipeline would be circular.
-        from ..pipeline.logging import _FileSink
+        from ..pipeline.logging import FileSink
         self.path = Path(path)
-        self._sink = _FileSink(self.path)
+        self._sink = FileSink(self.path)
 
     def write(self, span):
         self._sink.write(span if isinstance(span, dict) else span.to_dict())

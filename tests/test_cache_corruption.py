@@ -1,0 +1,147 @@
+"""Cache corruption recovery: every broken disk state reads as a miss.
+
+Satellite of the resilience PR: truncated ``.npz`` payloads, invalid
+JSON sidecars, salt mismatches and half-written temp files must never
+crash a reader — they are misses, repaired by the next put.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultPlan, FaultRule, injected
+from repro.runtime import MISSING, ArtifactCache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(directory=tmp_path, memory_items=4)
+
+
+def _value():
+    return {"arr": np.arange(8, dtype=np.float64), "score": 1.5}
+
+
+def _store(cache, material="x"):
+    key = cache.key(material)
+    cache.put(key, _value())
+    cache.clear_memory()  # force the next get through the disk tier
+    return key
+
+
+class TestCorruptEntriesReadAsMiss:
+    def test_truncated_npz_is_a_miss(self, cache, tmp_path):
+        key = _store(cache)
+        json_path, npz_path = cache._paths(key)
+        npz_path.write_bytes(npz_path.read_bytes()[:10])
+        assert cache.get(key) is MISSING
+        assert cache.stats()["corrupt"] == 1
+        # The broken pair was deleted best-effort.
+        assert not json_path.exists()
+
+    def test_invalid_json_sidecar_is_a_miss(self, cache):
+        key = _store(cache)
+        json_path, _ = cache._paths(key)
+        json_path.write_text("{not json at all", encoding="utf-8")
+        assert cache.get(key) is MISSING
+        assert cache.stats()["corrupt"] == 1
+
+    def test_empty_json_file_is_a_miss(self, cache):
+        key = _store(cache)
+        json_path, _ = cache._paths(key)
+        json_path.write_text("", encoding="utf-8")
+        assert cache.get(key) is MISSING
+
+    def test_salt_mismatch_is_a_miss(self, cache, tmp_path):
+        """An entry written under another code version is never served,
+        even when the digest path collides on disk."""
+        key = _store(cache)
+        foreign = ArtifactCache(directory=tmp_path, salt="other-version")
+        assert foreign.get(key) is MISSING
+        assert foreign.stats()["corrupt"] == 1
+
+    def test_missing_npz_with_arrays_is_a_miss(self, cache):
+        key = _store(cache)
+        _, npz_path = cache._paths(key)
+        npz_path.unlink()
+        assert cache.get(key) is MISSING  # decode fails -> corrupt path
+
+    def test_repaired_on_next_put(self, cache):
+        key = _store(cache)
+        json_path, _ = cache._paths(key)
+        json_path.write_text("garbage", encoding="utf-8")
+        assert cache.get(key) is MISSING
+        cache.put(key, _value())
+        cache.clear_memory()
+        restored = cache.get(key)
+        assert restored is not MISSING
+        np.testing.assert_array_equal(restored["arr"], np.arange(8.0))
+
+
+class TestHalfWrittenTempFiles:
+    def test_stale_temp_files_never_read(self, cache):
+        key = cache.key("y")
+        json_path, npz_path = cache._paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        # Debris from a writer killed mid-put: temp names, no final file.
+        (json_path.parent / f"{key}.tmp999.json").write_text("{half")
+        (json_path.parent / f"{key}.tmp999.npz").write_bytes(b"\x00")
+        assert cache.get(key) is MISSING
+        assert cache.stats()["corrupt"] == 0  # not corruption: plain miss
+
+    def test_next_put_cleans_stale_temps(self, cache):
+        key = cache.key("y")
+        json_path, _ = cache._paths(key)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        stale = json_path.parent / f"{key}.tmp999.json"
+        stale.write_text("{half")
+        cache.put(key, _value())
+        assert not stale.exists()
+        cache.clear_memory()
+        assert cache.get(key) is not MISSING
+
+
+class TestInjectedCacheFaults:
+    def test_corrupt_fault_on_put_reads_as_miss(self, cache):
+        plan = FaultPlan([FaultRule(site="cache.put", kind="corrupt",
+                                    times=1)], seed=0)
+        with injected(plan):
+            key = cache.key("z")
+            cache.put(key, _value())
+        cache.clear_memory()
+        assert cache.get(key) is MISSING
+        assert cache.stats()["corrupt"] == 1
+        # Un-faulted re-put repairs the entry.
+        cache.put(key, _value())
+        cache.clear_memory()
+        assert cache.get(key) is not MISSING
+
+    def test_put_io_fault_degrades_gracefully(self, cache):
+        """A failing disk write keeps the memory tier and the caller."""
+        plan = FaultPlan([FaultRule(site="cache.put", kind="error",
+                                    times=1)], seed=0)
+        with injected(plan):
+            key = cache.key("w")
+            cache.put(key, _value())  # must not raise
+        assert cache.stats()["put_errors"] == 1
+        assert cache.get(key) is not MISSING  # memory tier held it
+        cache.clear_memory()
+        assert cache.get(key) is MISSING  # ... but disk never saw it
+
+    def test_get_fault_falls_back_to_recompute_path(self, cache):
+        """An I/O fault mid-read is handled as corruption: the entry is
+        dropped (miss, never a crash) and the next put repairs it."""
+        key = _store(cache)
+        plan = FaultPlan([FaultRule(site="cache.get", kind="error",
+                                    times=1)], seed=0)
+        with injected(plan):
+            assert cache.get(key) is MISSING  # faulted read == miss
+        assert cache.stats()["corrupt"] == 1
+        cache.put(key, _value())
+        cache.clear_memory()
+        assert cache.get(key) is not MISSING
+
+    def test_uncacheable_value_still_raises(self, cache):
+        """TypeError is a caller bug, not a disk fault — it must not be
+        swallowed by the graceful-degradation path."""
+        with pytest.raises(TypeError):
+            cache.put(cache.key("bad"), object())

@@ -1,0 +1,151 @@
+"""Cooperative job cancellation, live progress and runner cancel events."""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            run_one_click)
+from repro.runtime import JobManager
+
+
+@pytest.fixture()
+def jobs():
+    manager = JobManager(workers=2)
+    yield manager
+    manager.shutdown(wait=False)
+
+
+def _cooperative(started, release, _cancel=None, _progress=None):
+    """A job function that honours the injected cancel event."""
+    done = 0
+    started.set()
+    for step in range(50):
+        if _cancel is not None and _cancel.is_set():
+            break
+        release.wait(timeout=2.0)
+        done += 1
+        if _progress is not None:
+            _progress(steps=done)
+        if done >= 3 and not release.is_set():
+            break
+    return {"steps": done}
+
+
+class TestCooperativeCancel:
+    def test_running_job_stops_early_with_partial_result(self, jobs):
+        started, release = threading.Event(), threading.Event()
+        job_id = jobs.submit(_cooperative, started, release,
+                             meta={"kind": "coop"}, pass_cancel=True,
+                             pass_progress=True)
+        assert started.wait(5.0)
+        snapshot = jobs.cancel(job_id)
+        assert snapshot["cancel_requested"] is True
+        release.set()  # let the loop observe the cancel event
+        job = jobs.wait(job_id, timeout=5.0)
+        assert job.state == "cancelled"
+        # The partial result the function returned is preserved.
+        assert job.snapshot()["result"]["steps"] <= 50
+
+    def test_pending_job_cancelled_outright(self, jobs):
+        blocker_started = threading.Event()
+        hold = threading.Event()
+
+        def blocker():
+            blocker_started.set()
+            hold.wait(timeout=10.0)
+
+        for _ in range(2):  # fill both worker slots
+            jobs.submit(blocker)
+        assert blocker_started.wait(5.0)
+        queued = jobs.submit(lambda: "never runs")
+        snapshot = jobs.cancel(queued)
+        hold.set()
+        assert snapshot["state"] == "cancelled"
+        assert jobs.wait(queued, timeout=5.0).state == "cancelled"
+
+    def test_delete_running_job_keeps_record_until_terminal(self, jobs):
+        started, release = threading.Event(), threading.Event()
+        job_id = jobs.submit(_cooperative, started, release,
+                             pass_cancel=True)
+        assert started.wait(5.0)
+        snapshot = jobs.delete(job_id)
+        # Running jobs cannot vanish mid-flight; the record stays.
+        assert snapshot["state"] == "running"
+        assert job_id in {j["id"] for j in jobs.list()}
+        release.set()
+        jobs.wait(job_id, timeout=5.0)
+        final = jobs.delete(job_id)  # terminal now: removed for real
+        assert final["state"] == "cancelled"
+        assert job_id not in {j["id"] for j in jobs.list()}
+
+    def test_progress_published_in_snapshot(self, jobs):
+        started, release = threading.Event(), threading.Event()
+        release.set()
+        job_id = jobs.submit(_cooperative, started, release,
+                             pass_cancel=True, pass_progress=True)
+        job = jobs.wait(job_id, timeout=5.0)
+        assert job.state == "done"
+        assert job.snapshot()["progress"]["steps"] >= 1
+
+    def test_uncooperative_job_still_marked_cancelled(self, jobs):
+        started = threading.Event()
+
+        def stubborn():
+            started.set()
+            time.sleep(0.1)
+            return "finished anyway"
+
+        job_id = jobs.submit(stubborn)
+        assert started.wait(5.0)
+        jobs.cancel(job_id)
+        job = jobs.wait(job_id, timeout=5.0)
+        assert job.state == "cancelled"
+        assert job.result == "finished anyway"
+
+
+def _grid_config():
+    return BenchmarkConfig(
+        methods=(MethodSpec("naive"), MethodSpec("mean"),
+                 MethodSpec("drift"), MethodSpec("seasonal_naive")),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=256,
+                             domains=("traffic",)),
+        strategy="fixed", lookback=48, horizon=12, metrics=("mae",),
+        tag="unit_cancel").validate()
+
+
+class TestRunnerCancelEvent:
+    def test_cancel_between_cells_preserves_partials(self):
+        cancel = threading.Event()
+        seen = []
+
+        def progress(result):
+            seen.append(result.method)
+            if len(seen) == 2:
+                cancel.set()
+
+        table = run_one_click(_grid_config(), progress=progress,
+                              cancel=cancel)
+        assert len(table) == 2  # two results landed before the cancel
+        statuses = {f.status for f in table.failures}
+        assert statuses == {"cancelled"}
+        assert len(table.failures) == 2
+        counts = table.status_counts()
+        assert counts == {"ok": 2, "cancelled": 2}
+
+    def test_pre_set_cancel_schedules_nothing(self):
+        cancel = threading.Event()
+        cancel.set()
+        table = run_one_click(_grid_config(), cancel=cancel)
+        assert len(table) == 0
+        assert len(table.failures) == 4
+        assert all(f.status == "cancelled" for f in table.failures)
+
+    def test_unset_cancel_changes_nothing(self):
+        plain = run_one_click(_grid_config())
+        with_event = run_one_click(_grid_config(),
+                                   cancel=threading.Event())
+        assert plain.to_rows(include_timings=False) == \
+            with_event.to_rows(include_timings=False)
+        assert not with_event.failures

@@ -1,0 +1,426 @@
+"""Chaos suite: invariants of the pipeline under deterministic faults.
+
+The resilience PR's acceptance tests.  Every scenario injects a seeded
+:class:`FaultPlan` and asserts the run-level invariants:
+
+* retried results are bitwise-identical to a fault-free run;
+* a corrupt cache behaves exactly like a cache miss;
+* a resumed run completes only the remaining cells — no cell is lost,
+  none executes twice with the same fingerprint — and its final table
+  equals the uninterrupted fault-free run;
+* ``SIGKILL`` mid-grid (the ``crash`` fault kind) leaves a journal that
+  ``bench --resume`` completes, end to end through the CLI.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.__main__ import main as cli_main
+from repro.methods import METHODS, NaiveForecaster, register
+from repro.pipeline import (BenchmarkConfig, BenchmarkRunner, DatasetSpec,
+                            MethodSpec, RunLogger, run_one_click)
+from repro.resilience import (JOURNAL_NAME, FailurePolicy, FaultPlan,
+                              FaultRule, JournalState, RunJournal, disarm,
+                              injected)
+from repro.runtime import (ArtifactCache, ProcessExecutor, SerialExecutor,
+                           ThreadExecutor)
+
+#: Executor grid for the chaos matrix (CI runs thread and process too).
+CHAOS_EXECUTORS = os.environ.get("CHAOS_EXECUTORS",
+                                 "serial,thread,process").split(",")
+#: Fault-plan seeds for the chaos matrix.
+CHAOS_SEEDS = [int(s) for s in
+               os.environ.get("CHAOS_SEEDS", "3,7,11").split(",")]
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+class SlowForecaster(NaiveForecaster):
+    name = "test_chaos_slow"
+
+    def fit(self, train, val=None):
+        import time
+        time.sleep(0.02)
+        return super().fit(train, val)
+
+
+class FailingForecaster(NaiveForecaster):
+    name = "test_chaos_fails"
+
+    def fit(self, train, val=None):
+        raise RuntimeError("always broken")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered():
+    register(SlowForecaster.name, lambda **kw: SlowForecaster(),
+             "statistical", "naive plus a sleep")
+    register(FailingForecaster.name, lambda **kw: FailingForecaster(),
+             "statistical", "always fails")
+    yield
+    METHODS.pop(SlowForecaster.name, None)
+    METHODS.pop(FailingForecaster.name, None)
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        methods=(MethodSpec("naive"), MethodSpec("theta")),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=256,
+                             domains=("traffic", "stock")),
+        strategy="fixed", lookback=48, horizon=12, metrics=("mae", "mse"),
+        tag="chaos")
+    kwargs.update(overrides)
+    return BenchmarkConfig(**kwargs).validate()
+
+
+def make_executor(kind, **kwargs):
+    if kind == "serial":
+        return SerialExecutor(**kwargs)
+    cls = ThreadExecutor if kind == "thread" else ProcessExecutor
+    return cls(workers=2, **kwargs)
+
+
+def rows(table):
+    return table.to_rows(include_timings=False)
+
+
+class TestRetryInvariant:
+    """Injected transient faults + retry == fault-free run, bitwise."""
+
+    @pytest.mark.parametrize("kind", CHAOS_EXECUTORS)
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_faulted_rows_identical_to_clean(self, kind, seed):
+        config = small_config()
+        clean = run_one_click(config,
+                              executor=make_executor(kind, retries=1,
+                                                     backoff=0.0,
+                                                     base_seed=config.seed))
+        plan = FaultPlan([FaultRule(site="executor.task", kind="error",
+                                    rate=0.6, times=1)], seed=seed)
+        with injected(plan):
+            faulted = run_one_click(
+                config, executor=make_executor(kind, retries=1, backoff=0.0,
+                                               base_seed=config.seed))
+        assert rows(faulted) == rows(clean)
+        assert not faulted.failures
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_strategy_fit_faults_also_retried(self, seed):
+        config = small_config()
+        clean = run_one_click(config)
+        plan = FaultPlan([FaultRule(site="strategy.fit", kind="error",
+                                    rate=0.8, times=1)], seed=seed)
+        with injected(plan):
+            faulted = run_one_click(
+                config, executor=SerialExecutor(retries=1, backoff=0.0,
+                                                base_seed=config.seed))
+        assert rows(faulted) == rows(clean)
+
+    def test_fault_schedule_reproducible_across_runs(self):
+        """The same plan seed yields the same fault firings twice."""
+        config = small_config()
+        fired = []
+        for _ in range(2):
+            plan = FaultPlan([FaultRule(site="executor.task", kind="error",
+                                        rate=0.5, times=1)], seed=13)
+            with injected(plan):
+                run_one_click(config,
+                              executor=SerialExecutor(retries=1,
+                                                      backoff=0.0,
+                                                      base_seed=config.seed))
+            fired.append(plan.stats())
+        assert fired[0] == fired[1]
+
+
+class TestCorruptCacheInvariant:
+    """A corrupted cache is a cache miss — never wrong results."""
+
+    def test_corrupted_puts_recompute_identically(self, tmp_path):
+        config = small_config()
+        clean = run_one_click(config)
+        plan = FaultPlan([FaultRule(site="cache.put", kind="corrupt",
+                                    rate=1.0)], seed=0)
+        with injected(plan):
+            first = run_one_click(config,
+                                  cache=ArtifactCache(directory=tmp_path))
+        assert rows(first) == rows(clean)
+        # Every disk entry was garbled; the next run must treat them as
+        # misses and still produce identical rows.
+        fresh = ArtifactCache(directory=tmp_path)
+        second = run_one_click(config, cache=fresh)
+        assert rows(second) == rows(clean)
+        assert fresh.stats()["hits"] == 0
+        assert fresh.stats()["corrupt"] >= 1
+
+    def test_corrupted_gets_fall_back_to_compute(self, tmp_path):
+        config = small_config()
+        cache = ArtifactCache(directory=tmp_path)
+        clean = run_one_click(config, cache=cache)
+        cache.clear_memory()
+        plan = FaultPlan([FaultRule(site="cache.get", kind="corrupt",
+                                    rate=1.0)], seed=0)
+        with injected(plan):
+            again = run_one_click(config,
+                                  cache=ArtifactCache(directory=tmp_path))
+        assert rows(again) == rows(clean)
+
+
+class TestJournalResumeInvariant:
+    """Crash-safe resume: nothing lost, nothing re-executed."""
+
+    def _journal_events(self, path):
+        events = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+        return events
+
+    @pytest.mark.parametrize("kind", CHAOS_EXECUTORS)
+    def test_resumed_equals_uninterrupted(self, kind, tmp_path):
+        config = small_config()
+        clean = run_one_click(config)
+        journal_path = tmp_path / JOURNAL_NAME
+
+        # Phase 1: theta permanently faulted; naive cells complete.
+        plan = FaultPlan([FaultRule(site="executor.task", kind="error",
+                                    match="theta")], seed=0)
+        with RunJournal(journal_path) as journal, injected(plan):
+            partial = run_one_click(
+                config, journal=journal,
+                executor=make_executor(kind, retries=0,
+                                       base_seed=config.seed))
+        assert len(partial) == 2
+        assert {f.status for f in partial.failures} == {"failed"}
+
+        # Phase 2: resume without faults; only theta cells execute.
+        state = JournalState.load(journal_path)
+        assert len(state) == 2
+        logger = RunLogger()
+        with RunJournal(journal_path) as journal:
+            resumed = run_one_click(
+                config, journal=journal, resume=state, logger=logger,
+                executor=make_executor(kind, retries=0,
+                                       base_seed=config.seed))
+        assert rows(resumed) == rows(clean)
+        assert not resumed.failures
+        assert len(logger.filter(event="run.resume_hit")) == 2
+
+        # No completed cell executed twice with the same fingerprint:
+        # keys finished in phase 1 have exactly one cell_start overall.
+        events = self._journal_events(journal_path)
+        starts = {}
+        for event in events:
+            if event["event"] == "cell_start":
+                starts[event["key"]] = starts.get(event["key"], 0) + 1
+        done_first = {e["key"] for e in events
+                      if e["event"] == "cell_done" and "naive" in e["key"]}
+        assert done_first  # naive cells completed in phase 1
+        for key in done_first:
+            assert starts[key] == 1
+        # ... and nothing was lost: every grid cell is completed.
+        final = JournalState.load(journal_path)
+        assert len(final) == 4
+
+    def test_resume_refuses_foreign_config(self, tmp_path):
+        journal_path = tmp_path / JOURNAL_NAME
+        with RunJournal(journal_path) as journal:
+            run_one_click(small_config(), journal=journal)
+        state = JournalState.load(journal_path)
+        other = small_config(horizon=8)
+        with pytest.raises(ValueError, match="refusing to mix"):
+            BenchmarkRunner(other).run(resume=state)
+
+    def test_changed_fingerprint_forces_reexecution(self, tmp_path):
+        """A journaled result whose content fingerprint no longer
+        matches (here: different series data) is not reused."""
+        journal_path = tmp_path / JOURNAL_NAME
+        config = small_config()
+        with RunJournal(journal_path) as journal:
+            run_one_click(config, journal=journal)
+        state = JournalState.load(journal_path)
+        # Same config fingerprint, same keys, different cell content is
+        # impossible to fake through the public API (the config binds the
+        # data), so patch the recorded fingerprints instead.
+        for entry in state.completed.values():
+            entry["fingerprint"] = "tampered"
+        logger = RunLogger()
+        resumed = run_one_click(config, resume=state, logger=logger)
+        assert not logger.filter(event="run.resume_hit")
+        assert len(resumed) == 4
+
+
+class TestFailureBudgets:
+    def test_circuit_breaker_quarantines_later_cells(self):
+        config = small_config(
+            methods=(MethodSpec("naive"), MethodSpec("test_chaos_fails")),
+            datasets=DatasetSpec(suite="univariate", per_domain=1,
+                                 length=256,
+                                 domains=("traffic", "stock", "electricity",
+                                          "energy")))
+        logger = RunLogger()
+        policy = FailurePolicy(quarantine_after=2)
+        table = run_one_click(config, logger=logger, policy=policy,
+                              executor=SerialExecutor(retries=0))
+        counts = table.status_counts()
+        assert counts["ok"] == 4          # naive everywhere
+        assert counts["failed"] == 2      # the two tripping failures
+        assert counts["quarantined"] == 2  # the breaker spared the rest
+        assert logger.filter(event="run.quarantine_tripped")
+        quarantined = [f for f in table.failures
+                       if f.status == "quarantined"]
+        assert all(f.method == "test_chaos_fails" for f in quarantined)
+
+    def test_deadline_stops_scheduling_cleanly(self):
+        clock = {"now": 0.0}
+        config = small_config(
+            methods=(MethodSpec("naive"), MethodSpec("mean"),
+                     MethodSpec("drift"), MethodSpec("seasonal_naive")))
+        policy = FailurePolicy(deadline_s=10.0,
+                               clock=lambda: clock["now"])
+
+        def progress(result):
+            clock["now"] += 15.0  # first completed cell blows the budget
+
+        table = run_one_click(config, policy=policy, progress=progress)
+        counts = table.status_counts()
+        assert counts["ok"] == 1
+        assert counts["deadline"] == 7
+        assert all(f.status == "deadline" for f in table.failures)
+
+    def test_policy_without_failures_changes_nothing(self):
+        config = small_config()
+        clean = run_one_click(config)
+        policed = run_one_click(config,
+                                policy=FailurePolicy(quarantine_after=3))
+        assert rows(policed) == rows(clean)
+        assert not policed.failures
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = cli_main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _write_config(tmp_path):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps({
+        "methods": ["naive", "theta"],
+        "datasets": {"suite": "univariate", "per_domain": 1, "length": 256,
+                     "domains": ["traffic"]},
+        "strategy": "fixed", "lookback": 48, "horizon": 12,
+        "metrics": ["mae"], "tag": "chaos_cli",
+    }), encoding="utf-8")
+    return path
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestCrashResumeEndToEnd:
+    """SIGKILL mid-grid, then ``bench --resume`` completes the run."""
+
+    def test_sigkill_then_resume_completes_remaining_cells(self, tmp_path):
+        config = _write_config(tmp_path)
+        run_dir = tmp_path / "run"
+        plan = tmp_path / "crash.json"
+        plan.write_text(json.dumps({"rules": [
+            {"site": "executor.task", "kind": "crash", "match": "theta",
+             "times": 1}]}), encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", str(config),
+             "--run-dir", str(run_dir), "--inject", str(plan)],
+            env=_cli_env(), capture_output=True, timeout=120)
+        assert proc.returncode in (-9, 137), proc.stderr.decode()
+
+        # The write-ahead journal survived the kill: naive is done,
+        # theta was started but never completed.
+        state = JournalState.load(run_dir / JOURNAL_NAME)
+        assert len(state) == 1
+        assert (run_dir / "config.json").exists()
+
+        code, text = run_cli(["bench", "--resume", str(run_dir)])
+        assert code == 0
+        assert "2 results" in text
+        results = json.loads((run_dir / "results.json").read_text())
+        assert len(results["rows"]) == 2
+        assert results["status_counts"] == {"ok": 2}
+
+        # Resumed rows match a fault-free in-process run.
+        table = run_one_click(small_config(
+            methods=(MethodSpec("naive"), MethodSpec("theta")),
+            datasets=DatasetSpec(suite="univariate", per_domain=1,
+                                 length=256, domains=("traffic",)),
+            metrics=("mae",), tag="chaos_cli"))
+        expected = {(r["method"], round(r["metric_mae"], 12))
+                    for r in rows(table)}
+        got = {(r["method"], round(r["metric_mae"], 12))
+               for r in results["rows"]}
+        assert got == expected
+
+    def test_interrupt_flushes_partials_and_exits_130(self, tmp_path,
+                                                      capsys):
+        config = _write_config(tmp_path)
+        run_dir = tmp_path / "run"
+        plan = tmp_path / "intr.json"
+        plan.write_text(json.dumps({"rules": [
+            {"site": "executor.task", "kind": "interrupt", "match": "theta",
+             "times": 1}]}), encoding="utf-8")
+        code, _ = run_cli(["bench", str(config), "--run-dir", str(run_dir),
+                           "--inject", str(plan)])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        results = json.loads((run_dir / "results.json").read_text())
+        assert results["status_counts"]["ok"] == 1
+        assert results["status_counts"]["interrupted"] == 1
+
+        code, text = run_cli(["bench", "--resume", str(run_dir)])
+        assert code == 0
+        assert "2 results" in text
+
+    def test_resume_without_config_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no config"):
+            run_cli(["bench", "--resume", str(tmp_path / "nowhere")])
+
+    def test_bench_requires_config_or_resume(self):
+        with pytest.raises(SystemExit, match="needs a config"):
+            run_cli(["bench"])
+
+    def test_run_dir_writes_artifacts(self, tmp_path):
+        config = _write_config(tmp_path)
+        run_dir = tmp_path / "run"
+        code, _ = run_cli(["bench", str(config), "--run-dir",
+                           str(run_dir)])
+        assert code == 0
+        assert (run_dir / "config.json").exists()
+        assert (run_dir / JOURNAL_NAME).exists()
+        results = json.loads((run_dir / "results.json").read_text())
+        assert results["status_counts"] == {"ok": 2}
+        # Resuming a *complete* run re-executes nothing.
+        code, text = run_cli(["bench", "--resume", str(run_dir)])
+        assert code == 0
+        state = JournalState.load(run_dir / JOURNAL_NAME)
+        starts = sum(1 for line in
+                     (run_dir / JOURNAL_NAME).read_text().splitlines()
+                     if '"cell_start"' in line)
+        assert starts == 2  # only the first run scheduled cells
+        assert len(state) == 2

@@ -1,0 +1,193 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import json
+import time
+
+import pytest
+
+from repro.resilience import (FAULT_KINDS, FaultPlan, FaultRule,
+                              InjectedFault, active, arm, corrupt_files,
+                              disarm, fault_point, injected)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed."""
+    disarm()
+    yield
+    disarm()
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(site="executor.task", kind="explode")
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(site="executor.task", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(site="executor.task", rate=-0.1)
+
+    def test_matches_site_and_substring(self):
+        rule = FaultRule(site="executor.task", match="theta")
+        assert rule.matches("executor.task", "run|theta|h24")
+        assert not rule.matches("executor.task", "run|naive|h24")
+        assert not rule.matches("cache.get", "run|theta|h24")
+
+    def test_empty_match_matches_all_keys(self):
+        rule = FaultRule(site="cache.get")
+        assert rule.matches("cache.get", "")
+        assert rule.matches("cache.get", "anything")
+
+
+class TestDeterminism:
+    def _schedule(self, seed, keys, arrivals=4, rate=0.5):
+        """The full firing schedule for one seed over (key, arrival)."""
+        plan = FaultPlan([FaultRule(site="s", rate=rate)], seed=seed)
+        fired = []
+        for key in keys:
+            for arrival in range(arrivals):
+                if plan.decide("s", key):
+                    fired.append((key, arrival))
+        return fired
+
+    def test_same_seed_same_schedule(self):
+        keys = [f"cell{i}" for i in range(16)]
+        assert self._schedule(7, keys) == self._schedule(7, keys)
+
+    def test_different_seed_different_schedule(self):
+        keys = [f"cell{i}" for i in range(32)]
+        assert self._schedule(7, keys) != self._schedule(8, keys)
+
+    def test_schedule_independent_of_key_interleaving(self):
+        """Per-key arrival counters: ordering across keys is irrelevant."""
+        plan_a = FaultPlan([FaultRule(site="s", rate=0.5)], seed=3)
+        plan_b = FaultPlan([FaultRule(site="s", rate=0.5)], seed=3)
+        a = {(k, n): bool(plan_a.decide("s", k))
+             for k in ("x", "y") for n in range(6)}
+        b = {}
+        for n in range(6):  # interleaved arrival order
+            for k in ("y", "x"):
+                b[(k, n)] = bool(plan_b.decide("s", k))
+        assert a == b
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        never = FaultPlan([FaultRule(site="s", rate=0.0)], seed=1)
+        always = FaultPlan([FaultRule(site="s", rate=1.0)], seed=1)
+        for n in range(20):
+            assert not never.decide("s", f"k{n}")
+            assert always.decide("s", f"k{n}")
+
+    def test_times_caps_firings_per_key(self):
+        plan = FaultPlan([FaultRule(site="s", times=2)], seed=0)
+        fired = [bool(plan.decide("s", "k")) for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        # An independent key has its own budget.
+        assert plan.decide("s", "other")
+
+    def test_retry_sees_next_roll(self):
+        """A times=1 rule fails the first attempt and passes the retry —
+        the contract the executor retry invariant builds on."""
+        plan = FaultPlan([FaultRule(site="executor.task", times=1)], seed=5)
+        with injected(plan):
+            with pytest.raises(InjectedFault):
+                fault_point("executor.task", "cell")
+            fault_point("executor.task", "cell")  # retry: no raise
+
+
+class TestGlobalHooks:
+    def test_fault_point_noop_when_disarmed(self):
+        assert active() is None
+        fault_point("executor.task", "anything")  # must not raise
+
+    def test_arm_disarm_roundtrip(self):
+        plan = FaultPlan([FaultRule(site="s")], seed=0)
+        arm(plan)
+        assert active() is plan
+        disarm()
+        assert active() is None
+
+    def test_injected_restores_previous_plan(self):
+        outer = FaultPlan([], seed=1)
+        inner = FaultPlan([], seed=2)
+        arm(outer)
+        with injected(inner):
+            assert active() is inner
+        assert active() is outer
+
+    def test_error_kind_raises_injected_fault(self):
+        plan = FaultPlan([FaultRule(site="s", kind="error",
+                                    message="boom")], seed=0)
+        with injected(plan), pytest.raises(InjectedFault, match="boom"):
+            fault_point("s", "k")
+
+    def test_interrupt_kind_raises_keyboard_interrupt(self):
+        plan = FaultPlan([FaultRule(site="s", kind="interrupt")], seed=0)
+        with injected(plan), pytest.raises(KeyboardInterrupt):
+            fault_point("s", "k")
+
+    def test_delay_kind_sleeps(self):
+        plan = FaultPlan([FaultRule(site="s", kind="delay",
+                                    delay_s=0.05)], seed=0)
+        with injected(plan):
+            t0 = time.perf_counter()
+            fault_point("s", "k")
+            assert time.perf_counter() - t0 >= 0.04
+
+    def test_corrupt_kind_garbles_files(self, tmp_path):
+        victim = tmp_path / "artifact.json"
+        victim.write_text('{"fine": true}')
+        missing = tmp_path / "never-written.npz"
+        plan = FaultPlan([FaultRule(site="cache.put", kind="corrupt")],
+                         seed=0)
+        with injected(plan):
+            assert corrupt_files("cache.put", "k", (victim, missing))
+        assert b"corrupted" in victim.read_bytes()
+        assert not missing.exists()  # only existing files are garbled
+
+    def test_corrupt_files_noop_when_disarmed(self, tmp_path):
+        victim = tmp_path / "artifact.json"
+        victim.write_text("untouched")
+        assert corrupt_files("cache.put", "k", (victim,)) is False
+        assert victim.read_text() == "untouched"
+
+    def test_unmatched_site_never_fires(self):
+        plan = FaultPlan([FaultRule(site="cache.get")], seed=0)
+        with injected(plan):
+            fault_point("executor.task", "k")  # different site: no raise
+
+
+class TestPlanSerialisation:
+    def test_from_dict_load_roundtrip(self, tmp_path):
+        raw = {"seed": 11, "rules": [
+            {"site": "executor.task", "kind": "error", "rate": 0.25,
+             "times": 3, "match": "theta"},
+            {"site": "cache.put", "kind": "corrupt"},
+        ]}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(raw), encoding="utf-8")
+        plan = FaultPlan.load(path)
+        assert plan.seed == 11
+        assert len(plan.rules) == 2
+        assert plan.rules[0].match == "theta"
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.seed == plan.seed
+        assert again.rules == plan.rules
+
+    def test_seed_override(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"seed": 1, "rules": []}))
+        assert FaultPlan.load(path, seed=99).seed == 99
+
+    def test_stats_counts_firings(self):
+        plan = FaultPlan([FaultRule(site="s", kind="delay", delay_s=0.0,
+                                    times=2)], seed=0)
+        with injected(plan):
+            for _ in range(4):
+                fault_point("s", "k")
+        assert plan.stats() == {("s", "delay"): 2}
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultRule(site="s", kind=kind)

@@ -1,0 +1,150 @@
+"""Unit tests for the write-ahead run journal and its replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.strategies import EvalResult
+from repro.resilience import (JOURNAL_NAME, JournalState, RunJournal,
+                              decode_value, encode_value)
+
+
+def _result(method="naive", series="s1", mae=1.25):
+    return EvalResult(method=method, series=series, horizon=12,
+                      strategy="fixed", scores={"mae": mae, "mse": mae ** 2},
+                      n_windows=3, fit_seconds=0.01, predict_seconds=0.002,
+                      forecasts=(np.arange(6, dtype=np.float64)
+                                 .reshape(3, 2),),
+                      actuals=(np.ones((3, 2)),),
+                      phase_seconds={"fit": 0.01})
+
+
+class TestValueCodec:
+    def test_scalars_roundtrip(self):
+        for value in (None, True, 3, 2.5, "text"):
+            assert decode_value(encode_value(value)) == value
+
+    def test_non_finite_floats_roundtrip(self):
+        for value in (float("nan"), float("inf"), float("-inf")):
+            out = decode_value(encode_value(value))
+            if value != value:
+                assert out != out  # NaN
+            else:
+                assert out == value
+        # The encoding stays pure JSON (json.dumps must accept it).
+        json.dumps(encode_value(float("nan")))
+
+    def test_ndarray_roundtrip_preserves_dtype_and_shape(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = decode_value(encode_value(arr))
+        assert out.dtype == np.float32
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_nested_containers_roundtrip(self):
+        value = {"t": (1, 2.0), "l": [np.array([1.0, 2.0]), "x"],
+                 "d": {"inner": None}}
+        out = decode_value(encode_value(value))
+        assert out["t"] == (1, 2.0)
+        np.testing.assert_array_equal(out["l"][0], [1.0, 2.0])
+        assert out["d"] == {"inner": None}
+
+    def test_eval_result_roundtrip(self):
+        result = _result()
+        out = decode_value(encode_value(result))
+        assert isinstance(out, EvalResult)
+        assert out.method == result.method
+        assert out.scores == result.scores
+        np.testing.assert_array_equal(out.forecasts[0],
+                                      result.forecasts[0])
+
+    def test_unjournalable_value_raises(self):
+        with pytest.raises(TypeError, match="cannot journal"):
+            encode_value(object())
+
+
+class TestJournalRoundtrip:
+    def test_full_lifecycle_replays(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.start_run("cfg-fp", tag="t", n_cells=2)
+            journal.cell_start("a", "fp-a")
+            journal.cell_done("a", "fp-a", _result("naive"))
+            journal.cell_start("b", "fp-b")
+            journal.cell_failed("b", "fp-b", error="boom",
+                                error_type="RuntimeError", attempts=2)
+            journal.run_done(n_results=1)
+        state = JournalState.load(path)
+        assert state.config_fingerprint == "cfg-fp"
+        assert state.meta["tag"] == "t"
+        assert len(state) == 1
+        assert state.started == {"a": 1, "b": 1}
+        assert "b" in state.failed
+        assert state.dropped == 0
+        restored = state.result_for("a", "fp-a")
+        assert isinstance(restored, EvalResult)
+        assert restored.scores["mae"] == 1.25
+
+    def test_fingerprint_mismatch_returns_none(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.cell_done("a", "fp-old", _result())
+        state = JournalState.load(path)
+        assert state.result_for("a", "fp-new") is None
+        assert state.result_for("a", "fp-old") is not None
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.start_run("cfg")
+            journal.cell_done("a", "fp", _result())
+        # Simulate a SIGKILL mid-append: a partial final line.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"ts": 1.0, "event": "cell_done", "key": "b", "resu')
+        state = JournalState.load(path)
+        assert state.dropped == 1
+        assert len(state) == 1
+        assert state.result_for("a", "fp") is not None
+
+    def test_failure_then_success_counts_as_completed(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.cell_failed("a", "fp", error="first try")
+            journal.cell_done("a", "fp", _result())
+        state = JournalState.load(path)
+        assert "a" not in state.failed
+        assert state.result_for("a", "fp") is not None
+
+    def test_quarantined_lands_in_failed(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.cell_quarantined("a", "fp", method="bad")
+        state = JournalState.load(path)
+        assert state.failed["a"]["event"] == "cell_quarantined"
+
+    def test_append_across_reopen(self, tmp_path):
+        """--resume reopens the same file; both runs replay together."""
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.start_run("cfg")
+            journal.cell_done("a", "fp-a", _result())
+        with RunJournal(path) as journal:
+            journal.start_run("cfg", resumed=True)
+            journal.cell_done("b", "fp-b", _result("theta"))
+        state = JournalState.load(path)
+        assert len(state) == 2
+        assert state.meta.get("resumed") is True  # latest header wins
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        state = JournalState.load(tmp_path / "absent.jsonl")
+        assert len(state) == 0
+        assert state.matches_config("anything")  # headerless == permissive
+
+    def test_matches_config(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with RunJournal(path) as journal:
+            journal.start_run("cfg-1")
+        state = JournalState.load(path)
+        assert state.matches_config("cfg-1")
+        assert not state.matches_config("cfg-2")

@@ -1,0 +1,136 @@
+"""Unit tests for failure budgets: breaker, deadline, serial timeout."""
+
+import time
+
+import pytest
+
+from repro.resilience import CircuitBreaker, FailurePolicy, RunDeadline
+from repro.runtime import SerialExecutor, Task
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure("m")
+        assert not breaker.record_failure("m")
+        assert breaker.record_failure("m")  # the tripping failure
+        assert breaker.is_open("m")
+        assert breaker.open_methods() == ["m"]
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("m")
+        breaker.record_ok("m")
+        assert not breaker.record_failure("m")  # streak restarted
+        assert not breaker.is_open("m")
+
+    def test_trip_reported_once(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("m")
+        assert not breaker.record_failure("m")  # already open: no re-trip
+
+    def test_methods_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("bad")
+        assert breaker.is_open("bad")
+        assert not breaker.is_open("good")
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestRunDeadline:
+    def test_expires_on_fake_clock(self):
+        clock = FakeClock()
+        deadline = RunDeadline(10.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == 10.0
+        clock.advance(9.0)
+        assert not deadline.expired()
+        clock.advance(2.0)
+        assert deadline.expired()
+        assert deadline.remaining() == -1.0
+
+    def test_none_never_expires(self):
+        deadline = RunDeadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            RunDeadline(0.0)
+
+
+class TestFailurePolicy:
+    def test_disabled_pieces_are_inert(self):
+        policy = FailurePolicy()
+        assert policy.breaker is None
+        assert policy.deadline is None
+        assert not policy.quarantined("m")
+        assert not policy.record("m", ok=False)
+        assert not policy.out_of_time()
+
+    def test_breaker_wiring(self):
+        policy = FailurePolicy(quarantine_after=2)
+        assert not policy.record("m", ok=False)
+        assert policy.record("m", ok=False)  # trip
+        assert policy.quarantined("m")
+        assert not policy.quarantined("other")
+
+    def test_deadline_wiring(self):
+        clock = FakeClock()
+        policy = FailurePolicy(deadline_s=5.0, clock=clock)
+        assert not policy.out_of_time()
+        clock.advance(6.0)
+        assert policy.out_of_time()
+
+
+class TestSerialExecutorDeadline:
+    """Satellite: best-effort between-task wall-clock check."""
+
+    def test_remaining_tasks_timed_out_not_run(self):
+        ran = []
+
+        def work(tag, seconds):
+            ran.append(tag)
+            time.sleep(seconds)
+            return tag
+
+        executor = SerialExecutor(timeout=0.05, retries=0)
+        tasks = [Task(key=f"t{i}", fn=work, args=(f"t{i}", 0.1))
+                 for i in range(4)]
+        results = executor.map_tasks(tasks)
+        # The first task always runs (the check is between tasks); it
+        # blows the budget, so every later task is reported as Timeout
+        # without executing.
+        assert ran == ["t0"]
+        assert results[0].ok and results[0].value == "t0"
+        for result in results[1:]:
+            assert not result.ok
+            assert result.error.error_type == "Timeout"
+            assert result.error.attempts == 0
+            assert "not scheduled" in result.error.error
+
+    def test_no_timeout_runs_everything(self):
+        executor = SerialExecutor(retries=0)
+        tasks = [Task(key=f"t{i}", fn=lambda i=i: i) for i in range(3)]
+        results = executor.map_tasks(tasks)
+        assert [r.value for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+    def test_fast_tasks_fit_inside_budget(self):
+        executor = SerialExecutor(timeout=5.0, retries=0)
+        tasks = [Task(key=f"t{i}", fn=lambda: "ok") for i in range(5)]
+        assert all(r.ok for r in executor.map_tasks(tasks))
