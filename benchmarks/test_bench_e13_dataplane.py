@@ -1,0 +1,210 @@
+"""E13 — zero-copy data plane: payload shrink and dispatch overhead.
+
+Acceptance benchmarks for the data-plane PR:
+
+* with a :class:`repro.runtime.SharedArrayStore` attached, the pickled
+  task payload for a realistic 8-method × 4-dataset grid must be at
+  least **10× smaller** than the inline form — tasks ship content
+  fingerprints, not arrays;
+* the process-executor grid with the data plane on must be **no
+  slower** than the inline dispatch path (≤10% wall-clock slack for
+  pool-spawn noise on a shared runner);
+* with the data plane **disabled** (``bench --no-dataplane``), the
+  residual hook cost (the ``resolve`` passthrough in every cell) must
+  stay within 2% on an E12-style serial matrix.
+
+Timings are best-of-N (least-noise estimator, matching E10–E12) and are
+written as JSON (env ``E13_JSON``, default ``e13_dataplane.json``) so
+CI can upload them next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+
+from repro.datasets import DatasetRegistry
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            run_one_click)
+from repro.pipeline import runner as runner_mod
+from repro.pipeline.runner import BenchmarkRunner
+from repro.resilience import disarm
+from repro.runtime import (ProcessExecutor, SharedArrayStore,
+                           clear_attach_cache, leaked_segments)
+
+RESULTS = {}
+
+MIN_PAYLOAD_SHRINK = 10.0   # refs must be >=10x smaller than inline
+MAX_PROCESS_SLOWDOWN = 1.10  # dataplane grid <= 1.10x inline grid
+MAX_DISABLED_OVERHEAD = 0.02  # --no-dataplane residual cost ceiling
+
+#: The classical 8-method panel: cheap fits, so dispatch cost matters.
+GRID_METHODS = ("naive", "seasonal_naive", "drift", "mean",
+                "ses", "holt", "holt_winters", "theta")
+GRID_DOMAINS = ("traffic", "electricity", "stock", "energy")
+
+
+def _grid_config(length=8192, strategy="fixed"):
+    """8 methods × 4 long series: 32 cells whose payloads dwarf the
+    per-cell compute, the worst case for inline task shipping."""
+    return BenchmarkConfig(
+        methods=tuple(MethodSpec(name) for name in GRID_METHODS),
+        datasets=DatasetSpec(suite="univariate", per_domain=1,
+                             length=length, domains=GRID_DOMAINS),
+        strategy=strategy, lookback=96, horizon=24, metrics=("mae",),
+        seed=7, tag="e13").validate()
+
+
+def _best_of(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pending_tasks(runner, config, registry, store):
+    series_list = config.datasets.resolve(registry)
+    cells = [(series, spec) for series in series_list
+             for spec in config.methods]
+    slots = [None] * len(cells)
+    return runner._scan(cells, None, None, None, slots, None, store=store)
+
+
+class TestE13PayloadShrink:
+    def test_ref_tasks_at_least_10x_smaller(self):
+        disarm()
+        config = _grid_config()
+        registry = DatasetRegistry(seed=7)
+        runner = BenchmarkRunner(config, registry=registry)
+
+        inline = _pending_tasks(runner, config, registry, None)
+        inline_bytes = sum(len(pickle.dumps(e.task)) for e in inline)
+        with SharedArrayStore() as store:
+            reffed = _pending_tasks(runner, config, registry, store)
+            ref_bytes = sum(len(pickle.dumps(e.task)) for e in reffed)
+        assert len(inline) == len(reffed) == 32
+
+        shrink = inline_bytes / ref_bytes
+        RESULTS["payload_shrink"] = {
+            "cells": len(inline),
+            "inline_bytes": inline_bytes,
+            "ref_bytes": ref_bytes,
+            "shrink_factor": shrink,
+        }
+        print(f"\nE13 payload: inline {inline_bytes / 1e6:.2f}MB, "
+              f"refs {ref_bytes / 1e3:.1f}KB ({shrink:.0f}x smaller)")
+        assert shrink >= MIN_PAYLOAD_SHRINK, (
+            f"ref payload only {shrink:.1f}x smaller, floor "
+            f"{MIN_PAYLOAD_SHRINK:.0f}x")
+        assert leaked_segments() == []
+
+
+class TestE13ProcessGrid:
+    def test_dataplane_grid_no_slower_than_inline(self):
+        """End-to-end process grid: publish-once refs must not cost
+        wall clock versus pickling full series into every task."""
+        disarm()
+        config = _grid_config()
+        registry = DatasetRegistry(seed=7)
+
+        def run_with(dataplane):
+            def run_once():
+                clear_attach_cache()
+                table = run_one_click(
+                    config, registry=registry,
+                    executor=ProcessExecutor(workers=2),
+                    dataplane=dataplane)
+                assert len(table) == 32
+            return run_once
+
+        run_with(False)()  # warm datasets/imports out of the timing
+        t_inline = _best_of(run_with(False))
+        t_refs = _best_of(run_with(None))  # auto: store for process runs
+
+        ratio = t_refs / t_inline
+        RESULTS["process_grid"] = {
+            "cells": 32, "workers": 2,
+            "inline_s": t_inline, "dataplane_s": t_refs,
+            "ratio": ratio,
+        }
+        print(f"\nE13 process grid: inline {t_inline:.2f}s, "
+              f"dataplane {t_refs:.2f}s (ratio {ratio:.3f})")
+        assert ratio <= MAX_PROCESS_SLOWDOWN, (
+            f"dataplane grid is {ratio:.2f}x inline, ceiling "
+            f"{MAX_PROCESS_SLOWDOWN:.2f}x")
+        assert leaked_segments() == []
+
+
+class TestE13DisabledOverhead:
+    def test_disabled_dataplane_within_2_percent(self):
+        """``--no-dataplane`` vs the hooks stripped entirely: the only
+        residual is the ``resolve`` passthrough per cell, which must be
+        free on the E12-style serial matrix."""
+        disarm()
+        config = BenchmarkConfig(
+            methods=(MethodSpec("theta"),
+                     MethodSpec("dlinear", {"epochs": 3,
+                                            "max_windows": 300})),
+            datasets=DatasetSpec(suite="univariate", per_domain=1,
+                                 length=512,
+                                 domains=("traffic", "electricity")),
+            strategy="rolling", lookback=96, horizon=24,
+            metrics=("mae", "mse"), seed=7, tag="e13_off").validate()
+        registry = DatasetRegistry(seed=7)
+
+        def run_once():
+            table = run_one_click(config, registry=registry,
+                                  dataplane=False)
+            assert len(table) == 4
+
+        run_once()  # warm caches out of the timing
+        # Interleave hooked/bare repeats with alternating order and a
+        # gc.collect() before each timing so machine drift and GC phase
+        # cancel instead of biasing one arm (minimum per arm, the same
+        # least-noise estimator as _best_of).
+        saved = runner_mod.resolve
+        identity = lambda obj: obj
+        t_hooked = t_bare = np.inf
+        try:
+            for i in range(8):
+                arms = [(True, saved), (False, identity)]
+                if i % 2:
+                    arms.reverse()
+                for is_hooked, fn in arms:
+                    runner_mod.resolve = fn
+                    gc.collect()
+                    start = time.perf_counter()
+                    run_once()
+                    elapsed = time.perf_counter() - start
+                    if is_hooked:
+                        t_hooked = min(t_hooked, elapsed)
+                    else:
+                        t_bare = min(t_bare, elapsed)
+        finally:
+            runner_mod.resolve = saved
+
+        overhead = t_hooked / t_bare - 1.0
+        RESULTS["disabled_overhead"] = {
+            "bare_s": t_bare, "hooked_s": t_hooked,
+            "overhead_fraction": overhead,
+        }
+        print(f"\nE13 disabled-dataplane overhead: bare "
+              f"{t_bare * 1e3:.1f}ms, hooked {t_hooked * 1e3:.1f}ms "
+              f"({overhead * 100:+.2f}%)")
+        assert overhead <= MAX_DISABLED_OVERHEAD, (
+            f"disabled data plane costs {overhead * 100:.2f}%, ceiling "
+            f"{MAX_DISABLED_OVERHEAD * 100:.0f}%")
+
+
+def teardown_module(module):
+    path = os.environ.get("E13_JSON", "e13_dataplane.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(RESULTS, fh, indent=2)
+    print(f"\nE13 timings written to {path}")

@@ -71,6 +71,11 @@ def build_parser():
     p_bench.add_argument("--cache-dir", type=Path, default=None,
                          help="artifact-cache directory (reruns reuse "
                               "previously computed cells)")
+    p_bench.add_argument("--no-dataplane", action="store_true",
+                         help="disable the zero-copy shared-memory data "
+                              "plane for process grids (tasks carry full "
+                              "arrays again; escape hatch for platforms "
+                              "where shm/memmap both misbehave)")
     p_bench.add_argument("--profile", action="store_true",
                          help="record per-phase wall-clock (data prep, fit, "
                               "predict, metrics) and print a breakdown")
@@ -230,7 +235,9 @@ def _cmd_bench(args, out):
         table = run_one_click(config, logger=logger, executor=executor,
                               cache=cache, profile=args.profile,
                               journal=journal, resume=resume_state,
-                              policy=policy)
+                              policy=policy,
+                              dataplane=False if args.no_dataplane
+                              else None)
     except RunInterrupted as exc:
         table = exc.table
         code = 130
@@ -283,12 +290,31 @@ def _cmd_bench(args, out):
     if args.profile:
         from .report import format_profile
         print(format_profile(logger.profile_summary()), file=out)
+        _print_dataplane(logger, out)
     if args.report:
         from .report import html_report
         args.report.write_text(html_report(table, metric=args.metric),
                                encoding="utf-8")
         print(f"report written to {args.report}", file=out)
     return 0
+
+
+def _print_dataplane(logger, out):
+    """One ``--profile`` line summarising the zero-copy data plane."""
+    events = logger.filter(event="run.dataplane")
+    if not events:
+        print("dataplane: off", file=out)
+        return
+    from .runtime import attach_stats
+    event = events[-1]
+    attach = attach_stats()
+    print(f"dataplane: {event.get('backend')} — "
+          f"{event.get('arrays', 0)} arrays + {event.get('blobs', 0)} "
+          f"blobs in {event.get('segments', 0)} segments "
+          f"({event.get('segment_bytes', 0)} bytes), "
+          f"{event.get('publish_dedup', 0)} publishes deduplicated; "
+          f"attach cache {attach['hits']} hits / "
+          f"{attach['misses']} misses", file=out)
 
 
 def _export_telemetry(args, out):

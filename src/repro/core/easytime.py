@@ -137,13 +137,18 @@ class EasyTime:
         return TimeSeries(np.asarray(series, dtype=np.float64))
 
     # -- S1: one-click evaluation ----------------------------------------
-    def one_click(self, config, progress=None, cancel=None, policy=None):
+    def one_click(self, config, progress=None, cancel=None, policy=None,
+                  executor=None, workers=None, dataplane=None):
         """Run a benchmark config (BenchmarkConfig, dict or JSON text).
 
         ``cancel`` (a :class:`threading.Event`) and ``policy`` (a
         :class:`~repro.resilience.FailurePolicy`) pass through to the
         runner, so callers — the server's background bench jobs — get
-        cooperative cancellation and failure budgets.
+        cooperative cancellation and failure budgets.  ``executor`` /
+        ``workers`` select the grid backend and ``dataplane`` controls
+        the zero-copy store (``None`` auto, ``False`` off, or a
+        long-lived :class:`~repro.runtime.SharedArrayStore` shared
+        across runs — how the server reuses one store per process).
         """
         if isinstance(config, str):
             config = loads_config(config)
@@ -154,7 +159,9 @@ class EasyTime:
             raise TypeError("config must be BenchmarkConfig, dict or JSON")
         return run_one_click(config, registry=self.registry,
                              logger=self.logger.child("one_click"),
-                             progress=progress, cancel=cancel, policy=policy)
+                             progress=progress, cancel=cancel, policy=policy,
+                             executor=executor, workers=workers,
+                             dataplane=dataplane)
 
     def evaluate_method(self, method_name, series, strategy="rolling",
                         lookback=96, horizon=24,

@@ -29,6 +29,12 @@ class DatasetRegistry:
     def __init__(self, seed=7):
         self.seed = seed
         self._cache = {}
+        # Memoised individual series, keyed by the full generation recipe
+        # (kind, domain, index, length, ...).  The registry seed is part
+        # of every rng draw, so the key needs no seed component; repeated
+        # grids and background jobs get the identical TimeSeries *object*
+        # back instead of regenerating it.
+        self._series_cache = {}
 
     # ------------------------------------------------------------------
     def _rng(self, key):
@@ -37,24 +43,38 @@ class DatasetRegistry:
         digest = zlib.crc32(repr(key).encode("utf-8"))
         return np.random.default_rng((self.seed, digest))
 
+    def invalidate(self):
+        """Drop every memoised suite and series (for tests)."""
+        self._cache.clear()
+        self._series_cache.clear()
+
     def univariate_series(self, domain, index, length=512):
-        """One seeded univariate series from a domain."""
-        rng = self._rng(("uni", domain, index, length))
-        spec = sample_spec(domain, rng, length=length)
-        values = generate_series(spec, rng)
-        return TimeSeries(values, name=f"{domain}_u{index:04d}",
-                          domain=domain, freq=spec.period)
+        """One seeded univariate series from a domain (memoised)."""
+        key = ("uni", domain, index, length)
+        if key not in self._series_cache:
+            rng = self._rng(key)
+            spec = sample_spec(domain, rng, length=length)
+            values = generate_series(spec, rng)
+            self._series_cache[key] = TimeSeries(
+                values, name=f"{domain}_u{index:04d}", domain=domain,
+                freq=spec.period)
+        return self._series_cache[key]
 
     def multivariate_series(self, domain, index, length=512, n_channels=7,
                             correlation=None):
-        """One seeded multivariate series from a domain."""
-        rng = self._rng(("multi", domain, index, length, n_channels))
-        if correlation is None:
-            correlation = float(rng.uniform(0.2, 0.9))
-        spec = sample_spec(domain, rng, length=length)
-        values = generate_multivariate(spec, n_channels, correlation, rng)
-        return TimeSeries(values, name=f"{domain}_m{index:02d}",
-                          domain=domain, freq=spec.period)
+        """One seeded multivariate series from a domain (memoised)."""
+        key = ("multi", domain, index, length, n_channels, correlation)
+        if key not in self._series_cache:
+            rng = self._rng(("multi", domain, index, length, n_channels))
+            drawn = correlation
+            if drawn is None:
+                drawn = float(rng.uniform(0.2, 0.9))
+            spec = sample_spec(domain, rng, length=length)
+            values = generate_multivariate(spec, n_channels, drawn, rng)
+            self._series_cache[key] = TimeSeries(
+                values, name=f"{domain}_m{index:02d}", domain=domain,
+                freq=spec.period)
+        return self._series_cache[key]
 
     # ------------------------------------------------------------------
     def univariate_suite(self, per_domain=8, length=512, domains=None):

@@ -25,7 +25,7 @@ from ..characteristics import extract
 from ..datasets.split import SplitSpec, train_val_test_split
 from ..methods.base import Forecaster, check_history
 from ..methods.registry import create
-from ..runtime import SerialExecutor, Task
+from ..runtime import SerialExecutor, SharedArrayStore, Task, resolve
 from .classifier import PerformanceClassifier
 from .ts2vec import TS2Vec
 from .weights import combine, fit_ensemble_weights
@@ -39,7 +39,13 @@ def _fit_candidate(name, lookback, horizon, train, val, windows):
     Module-level so a :class:`~repro.runtime.ProcessExecutor` can ship the
     embarrassingly-parallel top-k fits to worker processes; returns the
     fitted model together with its flattened validation forecasts.
+    ``train``/``val`` may arrive as dataplane :class:`ArrayRef` handles —
+    :func:`~repro.runtime.resolve` rehydrates them (and passes plain
+    arrays straight through), so the k candidates share one published
+    copy of the splits instead of pickling them k times.
     """
+    train = resolve(train)
+    val = resolve(val)
     model = create(name)
     for attr, value in (("lookback", lookback), ("horizon", horizon)):
         if hasattr(model, attr):
@@ -112,7 +118,7 @@ class AutoEnsemble:
     def __init__(self, knowledge_base, registry=None, feature_mode="ts2vec",
                  metric="mae", classifier_loss="soft", lookback=96,
                  horizon=24, seed=0, ts2vec_params=None,
-                 classifier_params=None, executor=None):
+                 classifier_params=None, executor=None, store=None):
         if feature_mode not in ("ts2vec", "characteristics"):
             raise ValueError(
                 f"unknown feature_mode {feature_mode!r}")
@@ -127,8 +133,12 @@ class AutoEnsemble:
         self.ts2vec_params = dict(ts2vec_params or {})
         self.classifier_params = dict(classifier_params or {})
         # Candidate fits in fit_ensemble() are embarrassingly parallel; a
-        # repro.runtime executor fans them out (serial by default).
+        # repro.runtime executor fans them out (serial by default).  An
+        # optional SharedArrayStore publishes the train/val splits once
+        # so process-pool candidates receive ~100-byte refs; without one
+        # a run-scoped store is opened per fit for process executors.
         self.executor = executor
+        self.store = store
         self.encoder = None
         self.classifier = None
         self.method_names = []
@@ -236,15 +246,28 @@ class AutoEnsemble:
         actual = np.concatenate([val[origin:target_end].reshape(-1)
                                  for _, origin, target_end in windows])
         executor = self.executor or SerialExecutor(base_seed=self.seed)
+        store, owns_store = self.store, False
+        if store is None and getattr(executor, "kind", "serial") == \
+                "process":
+            store, owns_store = SharedArrayStore(), True
+        if store is not None:
+            train_arg, val_arg = (store.publish_array(train),
+                                  store.publish_array(val))
+        else:
+            train_arg, val_arg = train, val
         series_name = getattr(series, "name", "series")
         tasks = [Task(key=f"ensemble|{series_name}|{name}",
                       fn=_fit_candidate,
-                      args=(name, self.lookback, self.horizon, train, val,
-                            windows))
+                      args=(name, self.lookback, self.horizon, train_arg,
+                            val_arg, windows))
                  for name in recommendation.methods]
         fitted, rows, names = [], [], []
-        for name, outcome in zip(recommendation.methods,
-                                 executor.map_tasks(tasks)):
+        try:
+            outcomes = executor.map_tasks(tasks)
+        finally:
+            if owns_store:
+                store.close()
+        for name, outcome in zip(recommendation.methods, outcomes):
             if not outcome.ok:  # drop unstable candidates
                 continue
             model, preds = outcome.value

@@ -47,7 +47,8 @@ from ..datasets.registry import DatasetRegistry
 from ..evaluation.metrics import HIGHER_IS_BETTER
 from ..evaluation.strategies import make_strategy
 from ..methods.registry import create
-from ..runtime import MISSING, SerialExecutor, Task, fingerprint
+from ..runtime import (MISSING, SerialExecutor, SharedArrayStore, Task,
+                       fingerprint, resolve)
 from .config import BenchmarkConfig
 from .logging import RunLogger
 
@@ -243,8 +244,14 @@ def _evaluate_cell(config, spec, series):
     """Evaluate one (method, series) cell.
 
     Module-level so :class:`~repro.runtime.ProcessExecutor` workers can
-    pickle it; everything it needs travels in the arguments.
+    pickle it.  ``config`` and ``series`` may arrive as dataplane refs
+    (a per-run :class:`~repro.runtime.BlobRef` and a per-dataset
+    :class:`~repro.runtime.SeriesRef`); :func:`~repro.runtime.resolve`
+    rehydrates them through the worker's attach cache and passes plain
+    objects straight through, so the cell body is payload-agnostic.
     """
+    config = resolve(config)
+    series = resolve(series)
     strategy = make_strategy(config.strategy, **config.strategy_kwargs())
     model = _instantiate(config, spec)
     return strategy.evaluate(model, series)
@@ -307,7 +314,8 @@ class BenchmarkRunner:
                            self.config.strategy_kwargs(), self.config.dtype)
 
     def run(self, progress=None, executor=None, cache=None, profile=False,
-            journal=None, resume=None, policy=None, cancel=None):
+            journal=None, resume=None, policy=None, cancel=None,
+            dataplane=None):
         """Execute the full methods × datasets grid; returns a ResultTable.
 
         Parameters
@@ -341,6 +349,17 @@ class BenchmarkRunner:
             An optional :class:`threading.Event`; once set, no further
             cells are scheduled and the run returns partial results with
             the remainder recorded as ``cancelled``.
+        dataplane:
+            Zero-copy data-plane control.  ``None`` (default) publishes
+            datasets into a run-scoped
+            :class:`~repro.runtime.SharedArrayStore` only when the
+            executor is a process pool — serial and thread executors
+            share memory already, so they keep the plain in-process
+            payloads.  ``True`` forces a store, ``False`` disables it
+            (the ``bench --no-dataplane`` escape hatch), and an existing
+            :class:`~repro.runtime.SharedArrayStore` is used as-is
+            without being closed (how the server shares one store across
+            background jobs).
 
         Failures of individual (method, series) cells are retried by the
         executor, then logged as structured ``run.cell_failed`` events and
@@ -352,7 +371,7 @@ class BenchmarkRunner:
                             strategy=self.config.strategy,
                             horizon=self.config.horizon):
             return self._run(progress, executor, cache, profile, journal,
-                             resume, policy, cancel)
+                             resume, policy, cancel, dataplane)
 
     # -- internals -------------------------------------------------------
 
@@ -360,10 +379,20 @@ class BenchmarkRunner:
         telemetry.inc("repro_run_cells_total", n, status=status,
                       help="Benchmark grid cells by outcome.")
 
-    def _scan(self, cells, cache, resume, journal, slots, progress):
+    def _scan(self, cells, cache, resume, journal, slots, progress,
+              store=None):
         """Satisfy cells from the resume journal and the cache; returns
-        the remaining work as :class:`_PendingCell` entries."""
+        the remaining work as :class:`_PendingCell` entries.
+
+        With a dataplane ``store``, pending tasks carry a per-run config
+        :class:`~repro.runtime.BlobRef` and per-dataset
+        :class:`~repro.runtime.SeriesRef` handles instead of the pickled
+        config and arrays — the task *keys* (and therefore every derived
+        seed) are computed from the real objects either way, so results
+        are bitwise independent of the payload form.
+        """
         config = self.config
+        config_ref = None
         pending = []
         for i, (series, spec) in enumerate(cells):
             key = _cell_key(config, spec, series)
@@ -394,8 +423,14 @@ class BenchmarkRunner:
                     if progress is not None:
                         progress(hit)
                     continue
-            task = Task(key=key, fn=_evaluate_cell,
-                        args=(config, spec, series))
+            if store is not None:
+                if config_ref is None:  # published once, lazily
+                    config_ref = store.publish_blob(config)
+                task_args = (config_ref, spec,
+                             store.publish_series(series))
+            else:
+                task_args = (config, spec, series)
+            task = Task(key=key, fn=_evaluate_cell, args=task_args)
             pending.append(_PendingCell(index=i, key=key,
                                         fingerprint=cell_fp,
                                         cache_key=cache_key, task=task))
@@ -469,8 +504,21 @@ class BenchmarkRunner:
                 error=f"not scheduled: run {status}")
             self._cell_count(status)
 
+    def _open_store(self, dataplane, executor):
+        """Resolve the ``dataplane`` knob to ``(store, owns_store)``."""
+        if isinstance(dataplane, SharedArrayStore):
+            return dataplane, False
+        if dataplane is None:
+            # Auto: only process pools cross an address-space boundary;
+            # serial/thread runs keep plain payloads (zero overhead).
+            if executor.kind != "process":
+                return None, False
+        elif not dataplane:
+            return None, False
+        return SharedArrayStore(), True
+
     def _run(self, progress, executor, cache, profile, journal, resume,
-             policy, cancel):
+             policy, cancel, dataplane=None):
         config = self.config
         if executor is None:
             executor = SerialExecutor(base_seed=config.seed)
@@ -487,6 +535,7 @@ class BenchmarkRunner:
             journal.start_run(config_fp, tag=config.tag,
                               n_cells=len(cells), executor=executor.kind,
                               resumed=resume is not None)
+        store, owns_store = self._open_store(dataplane, executor)
         self.logger.info("run.start", tag=config.tag,
                          n_methods=len(config.methods),
                          n_series=len(series_list),
@@ -495,67 +544,84 @@ class BenchmarkRunner:
                          workers=getattr(executor, "workers", 1),
                          cached=cache is not None,
                          journaled=journal is not None,
-                         resumed=resume is not None)
+                         resumed=resume is not None,
+                         dataplane=(store.backend if store is not None
+                                    else "off"))
         slots = [None] * len(cells)
         failures = {}
-        pending = self._scan(cells, cache, resume, journal, slots, progress)
-
-        # Dispatch in waves.  With no between-wave decisions to make the
-        # whole batch goes out at once (identical to the pre-resilience
-        # behaviour, and pool executors pay one pool spin-up).  With a
-        # policy or a cancel event, waves are sized to the executor's
-        # parallelism so breaker/deadline/cancel checks run while the
-        # grid is still in flight.
-        responsive = policy is not None or cancel is not None
-        workers = max(int(getattr(executor, "workers", 1) or 1), 1)
-        wave_size = max(workers, 1) if responsive else max(len(pending), 1)
-        if responsive and executor.kind != "serial":
-            wave_size = workers * 2  # amortise pool spin-up per wave
         stop_status = None
         interrupted = False
         idx = 0
-        while idx < len(pending):
-            if cancel is not None and cancel.is_set():
-                stop_status = "cancelled"
-                break
-            if policy is not None and policy.out_of_time():
-                stop_status = "deadline"
-                break
-            wave = []
-            while idx < len(pending) and len(wave) < wave_size:
-                entry = pending[idx]
-                idx += 1
-                series, spec = cells[entry.index]
-                if policy is not None and policy.quarantined(spec.name):
-                    self._quarantine(entry, spec, series, journal, failures)
+        try:
+            pending = self._scan(cells, cache, resume, journal, slots,
+                                 progress, store=store)
+
+            # Dispatch in waves.  With no between-wave decisions to make
+            # the whole batch goes out at once (identical to the
+            # pre-resilience behaviour, and pool executors pay one pool
+            # spin-up).  With a policy or a cancel event, waves are sized
+            # to the executor's parallelism so breaker/deadline/cancel
+            # checks run while the grid is still in flight.
+            responsive = policy is not None or cancel is not None
+            workers = max(int(getattr(executor, "workers", 1) or 1), 1)
+            wave_size = max(workers, 1) if responsive \
+                else max(len(pending), 1)
+            if responsive and executor.kind != "serial":
+                wave_size = workers * 2  # amortise pool spin-up per wave
+            while idx < len(pending):
+                if cancel is not None and cancel.is_set():
+                    stop_status = "cancelled"
+                    break
+                if policy is not None and policy.out_of_time():
+                    stop_status = "deadline"
+                    break
+                wave = []
+                while idx < len(pending) and len(wave) < wave_size:
+                    entry = pending[idx]
+                    idx += 1
+                    series, spec = cells[entry.index]
+                    if policy is not None and policy.quarantined(spec.name):
+                        self._quarantine(entry, spec, series, journal,
+                                         failures)
+                        continue
+                    wave.append(entry)
+                if not wave:
                     continue
-                wave.append(entry)
-            if not wave:
-                continue
-            if journal is not None:
-                for entry in wave:
-                    journal.cell_start(entry.key, entry.fingerprint)
-            try:
-                outcomes = executor.map_tasks([e.task for e in wave])
-            except KeyboardInterrupt:
-                interrupted = True
-                stop_status = "interrupted"
-                self._mark_unrun(wave, cells, "interrupted", failures,
-                                 slots)
-                break
-            for entry, outcome in zip(wave, outcomes):
-                self._absorb_outcome(entry, outcome, cells, cache, journal,
-                                     policy, slots, failures, progress)
-        if stop_status is not None:
-            remainder_status = ("deadline" if stop_status == "deadline"
-                                else "cancelled")
-            self._mark_unrun(pending[idx:], cells, remainder_status,
-                             failures, slots)
-            self.logger.warning(f"run.{stop_status}",
-                                n_unscheduled=len(pending) - idx)
-            if journal is not None:
-                journal.run_interrupted(reason=stop_status,
-                                        n_unscheduled=len(pending) - idx)
+                if journal is not None:
+                    for entry in wave:
+                        journal.cell_start(entry.key, entry.fingerprint)
+                try:
+                    outcomes = executor.map_tasks([e.task for e in wave])
+                except KeyboardInterrupt:
+                    interrupted = True
+                    stop_status = "interrupted"
+                    self._mark_unrun(wave, cells, "interrupted", failures,
+                                     slots)
+                    break
+                for entry, outcome in zip(wave, outcomes):
+                    self._absorb_outcome(entry, outcome, cells, cache,
+                                         journal, policy, slots, failures,
+                                         progress)
+            if stop_status is not None:
+                remainder_status = ("deadline" if stop_status == "deadline"
+                                    else "cancelled")
+                self._mark_unrun(pending[idx:], cells, remainder_status,
+                                 failures, slots)
+                self.logger.warning(f"run.{stop_status}",
+                                    n_unscheduled=len(pending) - idx)
+                if journal is not None:
+                    journal.run_interrupted(reason=stop_status,
+                                            n_unscheduled=len(pending)
+                                            - idx)
+        finally:
+            # The owned store must not outlive the run (crash safety:
+            # this also runs on Ctrl-C and injected faults); a borrowed
+            # store keeps serving other runs and jobs.
+            if store is not None:
+                self.logger.info("run.dataplane", owned=owns_store,
+                                 **store.stats())
+                if owns_store:
+                    store.close()
 
         table = ResultTable()
         for result in slots:
@@ -584,17 +650,20 @@ class BenchmarkRunner:
 
 def run_one_click(config, registry=None, logger=None, progress=None,
                   executor=None, cache=None, workers=None, profile=False,
-                  journal=None, resume=None, policy=None, cancel=None):
+                  journal=None, resume=None, policy=None, cancel=None,
+                  dataplane=None):
     """The one-click evaluation entry point (demo scenario S1).
 
     ``workers`` is a convenience: ``workers > 1`` without an explicit
     ``executor`` selects a :class:`~repro.runtime.ProcessExecutor`.
     The resilience knobs (``journal``/``resume``/``policy``/``cancel``)
-    pass straight through to :meth:`BenchmarkRunner.run`.
+    and the zero-copy ``dataplane`` knob pass straight through to
+    :meth:`BenchmarkRunner.run`.
     """
     if executor is None and workers and workers > 1:
         from ..runtime import default_executor
         executor = default_executor(workers=workers, base_seed=config.seed)
     return BenchmarkRunner(config, registry=registry, logger=logger).run(
         progress=progress, executor=executor, cache=cache, profile=profile,
-        journal=journal, resume=resume, policy=policy, cancel=cancel)
+        journal=journal, resume=resume, policy=policy, cancel=cancel,
+        dataplane=dataplane)

@@ -67,7 +67,7 @@ FAULT_KINDS = ("error", "delay", "crash", "interrupt", "corrupt")
 #: The named fault points planted across the repo (informational; plans
 #: may name any site, unknown ones simply never fire).
 FAULT_SITES = ("executor.task", "cache.get", "cache.put", "strategy.fit",
-               "server.request")
+               "server.request", "dataplane.attach")
 
 #: Bytes written over a corrupted artifact file.
 _GARBAGE = b"\x00corrupted-by-fault-plan\x00"

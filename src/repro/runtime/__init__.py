@@ -9,10 +9,19 @@ The rest of the repo submits work here instead of running it inline:
   JSON/npz) artifact cache with hit/miss/evict counters;
 * :mod:`.jobs` — background job submission with a
   ``submitted → running → done/failed`` lifecycle, powering the server's
-  ``/jobs`` endpoints.
+  ``/jobs`` endpoints;
+* :mod:`.dataplane` — a zero-copy data plane: datasets publish once into
+  a content-fingerprinted :class:`SharedArrayStore` (POSIX shm with a
+  memmap-file fallback) and tasks ship ~100-byte ``SeriesRef`` handles
+  that workers rehydrate through a per-process attach cache.
 """
 
 from .cache import CODE_VERSION, MISSING, ArtifactCache, fingerprint
+from .dataplane import (BACKENDS, ArrayRef, BlobRef, DataplaneError,
+                        SeriesRef, SharedArrayStore, attach, attach_stats,
+                        clear_attach_cache, default_backend,
+                        leaked_segments, reset_attach_stats, resolve,
+                        sweep_stale)
 from .executor import (EXECUTORS, ProcessExecutor, SerialExecutor, Task,
                        TaskError, TaskResult, ThreadExecutor,
                        default_executor, derive_seed, make_executor)
@@ -23,4 +32,8 @@ __all__ = [
     "ProcessExecutor", "derive_seed", "make_executor", "default_executor",
     "EXECUTORS", "ArtifactCache", "fingerprint", "CODE_VERSION", "MISSING",
     "Job", "JobManager", "JOB_STATES",
+    "SharedArrayStore", "ArrayRef", "SeriesRef", "BlobRef",
+    "DataplaneError", "attach", "resolve", "attach_stats",
+    "reset_attach_stats", "clear_attach_cache", "default_backend",
+    "sweep_stale", "leaked_segments", "BACKENDS",
 ]

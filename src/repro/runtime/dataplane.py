@@ -1,0 +1,615 @@
+"""Zero-copy data plane: publish datasets once, ship references to tasks.
+
+The parallel grid used to pack every cell's full ``series`` arrays into
+its :class:`~repro.runtime.Task` args, so an M×D grid pickled each
+dataset M times across the process-pool boundary and background jobs
+repeated the cost per run.  This module replaces the payload with a
+*reference*:
+
+* :class:`SharedArrayStore` publishes arrays (and pickled blobs such as
+  the run config) into named shared-memory segments — content
+  fingerprinted, so identical data is stored exactly once per store;
+* :class:`ArrayRef` / :class:`SeriesRef` / :class:`BlobRef` are ~100-byte
+  picklable handles that travel in task args instead of the data;
+* :func:`attach` rehydrates a ref inside a worker through a per-process
+  cache, returning a **read-only** (``writeable=False``) zero-copy
+  ndarray view of the segment — repeated cells on the same dataset in
+  the same worker pay nothing after the first attach.
+
+Publishing also primes the *publisher's* attach cache with the original
+in-process objects, which is what makes the data plane transparent for
+serial and thread executors (``resolve`` hands back the very object that
+was published) and keeps ``fork`` pool workers warm: children inherit
+the primed cache and never touch the segment at all.
+
+Backends
+--------
+``shm``
+    POSIX shared memory via :mod:`multiprocessing.shared_memory`
+    (``/dev/shm`` on Linux) — the default wherever it works;
+``mmap``
+    plain files under ``$REPRO_DATAPLANE_DIR`` (default
+    ``/tmp/repro-dataplane``) mapped read-only with ``np.memmap`` — the
+    fallback for platforms without POSIX shm;
+``inline``
+    an in-process dict, no segments at all — refs resolve only while the
+    owning store is alive in the current process (useful for tests and
+    forced-store serial runs).
+
+Lifetime and crash safety
+-------------------------
+Stores are context managers: ``close()`` evicts the store's cache
+entries and unlinks every owned segment.  A ``weakref.finalize`` guarded
+by the creator PID backstops forgotten closes without letting forked
+children unlink their parent's live segments.  Segment names embed the
+owner PID (``repro_dp_<pid>_<token>_<n>``) so :func:`sweep_stale` can
+reap segments whose owner died uncleanly (SIGKILL chaos runs) and
+:func:`leaked_segments` can assert none survive — the CI leak check.
+
+Chaos: every :func:`attach` passes through the ``dataplane.attach``
+fault point (keyed by series name or digest), so the resilience matrix
+can inject attach failures and verify retries stay bitwise identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import telemetry
+from ..resilience.faults import fault_point
+from .cache import fingerprint
+
+__all__ = ["SharedArrayStore", "ArrayRef", "SeriesRef", "BlobRef",
+           "DataplaneError", "attach", "resolve", "attach_stats",
+           "reset_attach_stats", "clear_attach_cache", "default_backend",
+           "sweep_stale", "leaked_segments", "BACKENDS", "SEGMENT_PREFIX"]
+
+#: Supported store backends (``"auto"`` picks the first that works).
+BACKENDS = ("shm", "mmap", "inline")
+
+#: Every segment (shm name or mmap filename) starts with this, followed
+#: by ``<owner_pid>_<token>_<index>`` — the PID is what stale sweeps and
+#: leak checks parse back out.
+SEGMENT_PREFIX = "repro_dp_"
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _mmap_dir():
+    return Path(os.environ.get("REPRO_DATAPLANE_DIR",
+                               "/tmp/repro-dataplane"))
+
+
+class DataplaneError(RuntimeError):
+    """A ref could not be resolved (store closed, segment gone...)."""
+
+
+# ---------------------------------------------------------------------------
+# References — small, frozen, hashable; they ARE the attach-cache keys.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Handle to one published ndarray (~100 bytes pickled)."""
+
+    store: str          # owning store id (pid_token)
+    backend: str        # "shm" | "mmap" | "inline"
+    location: str       # shm segment name / file path / digest
+    digest: str         # content fingerprint (dedup + cache identity)
+    shape: tuple
+    dtype: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class SeriesRef:
+    """Handle to a published :class:`~repro.datasets.TimeSeries`."""
+
+    array: ArrayRef
+    name: str
+    domain: str
+    freq: int
+    columns: tuple
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """Handle to one published pickled object (e.g. the run config)."""
+
+    store: str
+    backend: str
+    location: str
+    digest: str
+    nbytes: int
+
+
+_REF_TYPES = (ArrayRef, SeriesRef, BlobRef)
+
+
+def _fault_key(ref):
+    if isinstance(ref, SeriesRef):
+        return ref.name
+    return ref.digest[:12]
+
+
+# ---------------------------------------------------------------------------
+# Per-process attach state
+# ---------------------------------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_ATTACH_CACHE = {}   # ref -> materialised object
+_SEGMENTS = {}       # location -> SharedMemory opened by attach()
+# Weak so an abandoned store can still be reclaimed by its finalizer.
+_LIVE_STORES = weakref.WeakValueDictionary()
+_STATS = {"hits": 0, "misses": 0}
+
+
+def attach_stats():
+    """``{"hits": n, "misses": n}`` for this process's attach cache."""
+    with _CACHE_LOCK:
+        return dict(_STATS)
+
+
+def reset_attach_stats():
+    with _CACHE_LOCK:
+        _STATS["hits"] = _STATS["misses"] = 0
+
+
+def clear_attach_cache():
+    """Drop every cached attachment and close attach-opened segments.
+
+    Owned segments (created by a live store in this process) are *not*
+    unlinked — only the read-side mappings go.  Clearing in a publisher
+    before spawning a process pool forces workers down the real
+    cross-process attach path, which the tests use to exercise it.
+    """
+    with _CACHE_LOCK:
+        _ATTACH_CACHE.clear()
+        segments = list(_SEGMENTS.values())
+        _SEGMENTS.clear()
+    for shm in segments:
+        try:
+            shm.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+def _count(result):
+    with _CACHE_LOCK:
+        _STATS[result] += 1
+    telemetry.inc("repro_dataplane_attach_total", result=result,
+                  help="Dataplane ref attachments by cache outcome.")
+
+
+def attach(ref):
+    """Materialise a ref: cached per process, read-only, zero-copy."""
+    if not isinstance(ref, _REF_TYPES):
+        raise TypeError(f"cannot attach {type(ref).__name__}")
+    fault_point("dataplane.attach", _fault_key(ref))
+    with _CACHE_LOCK:
+        cached = _ATTACH_CACHE.get(ref)
+    if cached is not None:
+        _count("hits")
+        return cached
+    value = _materialise(ref)
+    with _CACHE_LOCK:
+        value = _ATTACH_CACHE.setdefault(ref, value)
+    _count("misses")
+    return value
+
+
+def resolve(obj):
+    """Attach ``obj`` if it is a ref; hand back anything else untouched.
+
+    This is the transparent-passthrough half of the contract: task
+    functions call ``resolve`` on their arguments and work identically
+    whether the runner shipped refs or the in-process objects.
+    """
+    if isinstance(obj, _REF_TYPES):
+        return attach(obj)
+    return obj
+
+
+def _open_segment(location):
+    """Map a shm segment by name, without adopting tracker ownership."""
+    from multiprocessing import resource_tracker, shared_memory
+    try:
+        shm = shared_memory.SharedMemory(name=location)
+    except FileNotFoundError as exc:
+        raise DataplaneError(
+            f"shared-memory segment {location!r} is gone "
+            "(store closed or owner died)") from exc
+    # Python 3.11 registers every attach with the resource tracker, which
+    # would unlink the segment when *this* process exits — only the
+    # creator owns cleanup, so immediately undo the registration.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker may be absent (workers)
+        pass
+    return shm
+
+
+def _unlink_by_name(location):
+    """Unlink one shm segment by name; returns False if already gone.
+
+    Uses a plain attach (register) followed by ``unlink`` (unregister)
+    so the resource tracker's books stay balanced — routing this through
+    :func:`_open_segment` would unregister twice and make the tracker
+    log spurious ``KeyError`` tracebacks.
+    """
+    from multiprocessing import shared_memory
+    try:
+        shm = shared_memory.SharedMemory(name=location)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    shm.unlink()
+    return True
+
+
+def _materialise(ref):
+    if isinstance(ref, SeriesRef):
+        from ..datasets.series import TimeSeries
+        return TimeSeries(attach(ref.array), name=ref.name,
+                          domain=ref.domain, freq=ref.freq,
+                          columns=ref.columns)
+    if ref.backend == "inline":
+        store = _LIVE_STORES.get(ref.store)
+        if store is None:
+            raise DataplaneError(
+                f"inline ref {ref.digest[:12]} needs its store "
+                f"{ref.store!r} alive in this process")
+        return store._inline_get(ref.digest)
+    if isinstance(ref, BlobRef):
+        return pickle.loads(_read_bytes(ref))
+    if ref.backend == "shm":
+        with _CACHE_LOCK:
+            shm = _SEGMENTS.get(ref.location)
+        if shm is None:
+            shm = _open_segment(ref.location)
+            with _CACHE_LOCK:
+                shm = _SEGMENTS.setdefault(ref.location, shm)
+        arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                         buffer=shm.buf)
+    else:
+        try:
+            arr = np.memmap(ref.location, dtype=np.dtype(ref.dtype),
+                            mode="r", shape=ref.shape)
+        except (FileNotFoundError, ValueError) as exc:
+            raise DataplaneError(
+                f"memmap segment {ref.location!r} is gone "
+                "(store closed or owner died)") from exc
+    arr.flags.writeable = False
+    return arr
+
+
+def _read_bytes(ref):
+    if ref.backend == "shm":
+        shm = _open_segment(ref.location)
+        try:
+            return bytes(shm.buf[:ref.nbytes])
+        finally:
+            shm.close()
+    try:
+        return Path(ref.location).read_bytes()[:ref.nbytes]
+    except FileNotFoundError as exc:
+        raise DataplaneError(
+            f"memmap segment {ref.location!r} is gone") from exc
+
+
+# ---------------------------------------------------------------------------
+# Backend probing, stale sweep and leak check
+# ---------------------------------------------------------------------------
+
+def default_backend():
+    """``"shm"`` where POSIX shared memory works, else ``"mmap"``."""
+    try:
+        from multiprocessing import shared_memory
+        probe = shared_memory.SharedMemory(
+            name=f"{SEGMENT_PREFIX}probe_{os.getpid()}"
+                 f"_{secrets.token_hex(4)}", create=True, size=1)
+        probe.close()
+        probe.unlink()
+        return "shm"
+    except Exception:  # noqa: BLE001 - no shm on this platform
+        return "mmap"
+
+
+def _segment_owner(name):
+    """Owner PID parsed from a segment name, or None if unparseable."""
+    if not name.startswith(SEGMENT_PREFIX):
+        return None
+    head = name[len(SEGMENT_PREFIX):].split("_", 1)[0]
+    return int(head) if head.isdigit() else None
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def _stale_entries():
+    """(kind, path) pairs for segments whose owning process is dead."""
+    stale = []
+    for kind, directory in (("shm", _SHM_DIR), ("mmap", _mmap_dir())):
+        if not directory.is_dir():
+            continue
+        for entry in directory.glob(f"{SEGMENT_PREFIX}*"):
+            pid = _segment_owner(entry.name)
+            if pid is not None and pid != os.getpid() \
+                    and not _pid_alive(pid):
+                stale.append((kind, entry))
+    return stale
+
+
+def leaked_segments():
+    """Paths of dataplane segments whose owner process no longer exists.
+
+    Empty after every clean run *and* after SIGKILL chaos runs (the
+    resource tracker / stale sweep reap them); CI asserts exactly that.
+    """
+    return sorted(str(path) for _, path in _stale_entries())
+
+
+def sweep_stale():
+    """Unlink dead-owner segments; returns how many were reaped.
+
+    Runs on every store creation so a crashed run's leftovers are
+    reclaimed by the next run instead of accumulating in ``/dev/shm``.
+    """
+    reaped = 0
+    for kind, path in _stale_entries():
+        try:
+            if kind == "shm":
+                if not _unlink_by_name(path.name):
+                    continue
+            else:
+                path.unlink()
+            reaped += 1
+        except OSError:  # pragma: no cover - raced with another sweep
+            continue
+    if reaped:
+        telemetry.inc("repro_dataplane_swept_total", reaped,
+                      help="Stale dataplane segments reaped at startup.")
+    return reaped
+
+
+def _release(backend, locations, owner_pid):
+    """Unlink owned segments — creator process only.
+
+    Module-level (not a method) so ``weakref.finalize`` holds no
+    reference to the store; the PID guard keeps forked children from
+    unlinking their parent's live segments at exit.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for location in locations:
+        try:
+            if backend == "shm":
+                with _CACHE_LOCK:
+                    shm = _SEGMENTS.pop(location, None)
+                if shm is not None:
+                    shm.close()
+                _unlink_by_name(location)
+            elif backend == "mmap":
+                Path(location).unlink(missing_ok=True)
+        except OSError:
+            continue
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class SharedArrayStore:
+    """Publish-once, attach-many storage for one run's datasets.
+
+    Content addressed: publishing the same bytes twice returns the same
+    ref without writing a second segment, so an M×D grid stores each
+    dataset exactly once no matter how many cells reference it.
+    """
+
+    def __init__(self, backend="auto"):
+        if backend == "auto":
+            backend = default_backend()
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown dataplane backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        self.backend = backend
+        self.store_id = f"{os.getpid()}_{secrets.token_hex(4)}"
+        self._owner_pid = os.getpid()
+        self._lock = threading.Lock()
+        self._by_digest = {}    # ("arr"|"blob", digest) -> ref
+        self._inline = {}       # digest -> original object
+        self._handles = {}      # location -> creator's SharedMemory
+        self._locations = []    # owned segments, in creation order
+        self._segment_bytes = 0
+        self._publishes = {"new": 0, "dedup": 0}
+        self._closed = False
+        if backend != "inline":
+            sweep_stale()
+            if backend == "mmap":
+                _mmap_dir().mkdir(parents=True, exist_ok=True)
+        _LIVE_STORES[self.store_id] = self
+        self._finalizer = weakref.finalize(
+            self, _release, backend, self._locations, self._owner_pid)
+
+    # -- publishing ------------------------------------------------------
+    def _check_open(self):
+        if self._closed:
+            raise DataplaneError("store is closed")
+
+    def _new_segment(self, payload):
+        """Write ``payload`` bytes into a fresh owned segment."""
+        name = (f"{SEGMENT_PREFIX}{self._owner_pid}_"
+                f"{self.store_id.split('_', 1)[1]}_{len(self._locations)}")
+        size = max(len(payload), 1)
+        if self.backend == "shm":
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=size)
+            shm.buf[:len(payload)] = payload
+            self._handles[name] = shm
+            location = name
+        else:
+            location = str(_mmap_dir() / name)
+            Path(location).write_bytes(payload)
+        self._locations.append(location)
+        self._segment_bytes += size
+        telemetry.inc("repro_dataplane_segment_bytes_total", size,
+                      backend=self.backend,
+                      help="Bytes published into dataplane segments.")
+        return location
+
+    def _record(self, kind, digest, make_ref):
+        """Dedup-or-create under the lock; primes nothing itself."""
+        with self._lock:
+            self._check_open()
+            ref = self._by_digest.get((kind, digest))
+            if ref is not None:
+                self._publishes["dedup"] += 1
+                outcome = "dedup"
+            else:
+                ref = make_ref()
+                self._by_digest[(kind, digest)] = ref
+                self._publishes["new"] += 1
+                outcome = "new"
+        telemetry.inc("repro_dataplane_publish_total", result=outcome,
+                      help="Dataplane publishes by dedup outcome.")
+        return ref
+
+    def publish_array(self, values):
+        """Publish one ndarray; returns its :class:`ArrayRef`.
+
+        The publisher's attach cache is primed with the original array,
+        so resolving the ref in this process (serial/thread executors,
+        warm ``fork`` children) is a dict hit, not a segment read.
+        """
+        arr = np.ascontiguousarray(values)
+        digest = fingerprint(arr)
+
+        def make_ref():
+            if self.backend == "inline":
+                location = digest
+                self._inline[digest] = arr
+            else:
+                location = self._new_segment(arr.tobytes())
+            return ArrayRef(store=self.store_id, backend=self.backend,
+                            location=location, digest=digest,
+                            shape=arr.shape, dtype=str(arr.dtype),
+                            nbytes=arr.nbytes)
+
+        ref = self._record("arr", digest, make_ref)
+        with _CACHE_LOCK:
+            _ATTACH_CACHE.setdefault(ref, arr)
+        return ref
+
+    def publish_series(self, series):
+        """Publish a TimeSeries; returns a :class:`SeriesRef`."""
+        array_ref = self.publish_array(series.values)
+        ref = SeriesRef(array=array_ref, name=series.name,
+                        domain=series.domain, freq=series.freq,
+                        columns=tuple(series.columns))
+        with _CACHE_LOCK:
+            _ATTACH_CACHE.setdefault(ref, series)
+        return ref
+
+    def publish_blob(self, obj):
+        """Publish any picklable object once; returns a :class:`BlobRef`.
+
+        This is how the run config travels: one blob per run instead of
+        one pickled copy inside every task.
+        """
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = fingerprint(payload)
+
+        def make_ref():
+            if self.backend == "inline":
+                location = digest
+                self._inline[digest] = obj
+            else:
+                location = self._new_segment(payload)
+            return BlobRef(store=self.store_id, backend=self.backend,
+                           location=location, digest=digest,
+                           nbytes=len(payload))
+
+        ref = self._record("blob", digest, make_ref)
+        with _CACHE_LOCK:
+            _ATTACH_CACHE.setdefault(ref, obj)
+        return ref
+
+    def _inline_get(self, digest):
+        try:
+            return self._inline[digest]
+        except KeyError as exc:
+            raise DataplaneError(
+                f"inline store {self.store_id!r} has no entry "
+                f"{digest[:12]}") from exc
+
+    # -- introspection ---------------------------------------------------
+    def stats(self):
+        """Publish/dedup counts and segment footprint for reporting."""
+        with self._lock:
+            arrays = sum(1 for kind, _ in self._by_digest if kind == "arr")
+            blobs = sum(1 for kind, _ in self._by_digest if kind == "blob")
+            return {"backend": self.backend, "arrays": arrays,
+                    "blobs": blobs, "segments": len(self._locations),
+                    "segment_bytes": self._segment_bytes,
+                    "publish_new": self._publishes["new"],
+                    "publish_dedup": self._publishes["dedup"]}
+
+    @property
+    def closed(self):
+        return self._closed
+
+    # -- lifetime --------------------------------------------------------
+    def close(self):
+        """Evict this store's cache entries and unlink owned segments."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_STORES.pop(self.store_id, None)
+        with _CACHE_LOCK:
+            for ref in [r for r in _ATTACH_CACHE
+                        if self._owns(r)]:
+                del _ATTACH_CACHE[ref]
+        for shm in self._handles.values():
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        self._handles.clear()
+        self._finalizer.detach()
+        _release(self.backend, self._locations, self._owner_pid)
+        self._locations.clear()
+        self._inline.clear()
+
+    def _owns(self, ref):
+        if isinstance(ref, SeriesRef):
+            ref = ref.array
+        return ref.store == self.store_id
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (f"SharedArrayStore(backend={self.backend!r}, "
+                f"id={self.store_id!r}, {state})")

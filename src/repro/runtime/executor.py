@@ -295,12 +295,35 @@ class _PoolExecutor(BaseExecutor):
     def _make_pool(self):
         raise NotImplementedError
 
+    def _observe_payload(self, tasks):
+        """Count the bytes a process pool ships per task (IPC cost).
+
+        Thread pools share memory, so only the ``process`` kind measures
+        — and only with telemetry enabled, since it pays an extra pickle
+        of each task.  This is the counter the dataplane shrinks: refs
+        instead of inline arrays turn megabytes into ~100-byte payloads.
+        """
+        if self.kind != "process" or telemetry.active() is None:
+            return
+        import pickle
+        payload = 0
+        for task in tasks:
+            try:
+                payload += len(pickle.dumps(
+                    task, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:  # noqa: BLE001 - unpicklable task fails later
+                return
+        telemetry.inc("repro_ipc_task_payload_bytes_total", payload,
+                      kind=self.kind,
+                      help="Pickled task bytes crossing the pool boundary.")
+
     def map_tasks(self, tasks):
         tasks = list(tasks)
         results = []
         with telemetry.span("executor.map_tasks", kind=self.kind,
                             n_tasks=len(tasks), workers=self.workers):
             ctx = telemetry.task_context()
+            self._observe_payload(tasks)
             submitted_at = time.time()
             with self._make_pool() as pool:
                 futures = [

@@ -227,6 +227,26 @@ class _Api:
         self.jobs = jobs if jobs is not None else JobManager(workers=2)
         # Note: an empty RunLogger is falsy (len 0), so test identity.
         self.logger = logger if logger is not None else RunLogger()
+        # One zero-copy store shared by every parallel bench job: the
+        # content-fingerprint dedup means repeated grids over the same
+        # datasets publish nothing new.  Created lazily — a server that
+        # never runs a parallel grid never allocates a segment.
+        self._store = None
+        self._store_lock = threading.Lock()
+
+    def shared_store(self):
+        """The server-wide dataplane store, created on first use."""
+        from ..runtime import SharedArrayStore
+        with self._store_lock:
+            if self._store is None or self._store.closed:
+                self._store = SharedArrayStore()
+            return self._store
+
+    def close_store(self):
+        with self._store_lock:
+            if self._store is not None:
+                self._store.close()
+                self._store = None
 
     # -- observability ---------------------------------------------------
     def observe_request(self, method, route, status, seconds):
@@ -318,7 +338,10 @@ class _Api:
         """Submit a one-click benchmark grid as a background job.
 
         Body: ``{"config": {...}}`` plus optional failure-budget knobs
-        ``quarantine_after`` and ``deadline_s``.  The job is cooperative:
+        ``quarantine_after`` and ``deadline_s``, grid parallelism
+        ``workers`` (``> 1`` selects a process pool fed through the
+        server's shared zero-copy store) and ``dataplane`` (``false``
+        opts a job out of the store).  The job is cooperative:
         ``DELETE /jobs/<id>`` stops the grid between cells with partial
         results preserved, and ``GET /jobs/<id>`` exposes live progress
         (cells done / failed) while it runs.
@@ -328,12 +351,15 @@ class _Api:
             self._bench_job, config,
             quarantine_after=body.get("quarantine_after"),
             deadline_s=body.get("deadline_s"),
+            workers=body.get("workers"),
+            dataplane=body.get("dataplane"),
             meta={"kind": "bench", "tag": config.get("tag")
                   if isinstance(config, dict) else None},
             pass_cancel=True, pass_progress=True)
         return {"job_id": job_id, "state": "submitted"}
 
     def _bench_job(self, config, quarantine_after=None, deadline_s=None,
+                   workers=None, dataplane=None,
                    _cancel=None, _progress=None):
         """Run one benchmark grid cooperatively inside a job slot."""
         # Built here, not at submit time: the deadline must start
@@ -351,8 +377,16 @@ class _Api:
                 _progress(cells_done=done[0],
                           last_cell=f"{result.method}/{result.series}")
 
+        # Parallel jobs share the server's long-lived store: datasets a
+        # previous job already published resolve by fingerprint without
+        # writing a byte.  ``dataplane=False`` in the body opts out.
+        store = None
+        if workers and int(workers) > 1 and dataplane is not False:
+            store = self.shared_store()
         table = self.et.one_click(config, progress=tick, cancel=_cancel,
-                                  policy=policy)
+                                  policy=policy, workers=workers,
+                                  dataplane=(False if dataplane is False
+                                             else store))
         status_counts = table.status_counts()
         if _progress is not None:
             _progress(cells_done=done[0], status_counts=status_counts)
@@ -398,6 +432,7 @@ class EasyTimeServer:
         self._httpd.shutdown()
         self._httpd.server_close()
         self.api.jobs.shutdown()
+        self.api.close_store()
         if self._thread is not None:
             self._thread.join(timeout=5)
 

@@ -1,0 +1,308 @@
+"""Unit tests for the zero-copy data plane (repro.runtime.dataplane)."""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetRegistry
+from repro.datasets.series import TimeSeries
+from repro.resilience import FAULT_SITES, FaultPlan, InjectedFault, injected
+from repro.runtime import (ArrayRef, BlobRef, DataplaneError, SeriesRef,
+                           SharedArrayStore, attach, attach_stats,
+                           clear_attach_cache, leaked_segments,
+                           reset_attach_stats, resolve, sweep_stale)
+from repro.runtime.dataplane import SEGMENT_PREFIX, _mmap_dir
+
+
+BACKENDS = ("shm", "mmap", "inline")
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_state():
+    clear_attach_cache()
+    reset_attach_stats()
+    yield
+    clear_attach_cache()
+
+
+class TestPublishAttach:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_array_roundtrip(self, backend):
+        arr = np.arange(48, dtype=np.float64).reshape(24, 2)
+        with SharedArrayStore(backend=backend) as store:
+            ref = store.publish_array(arr)
+            assert isinstance(ref, ArrayRef)
+            assert ref.shape == (24, 2) and ref.dtype == "float64"
+            # Publisher's cache is primed with the original object.
+            assert attach(ref) is arr
+            # A cold attach (cache evicted) maps the segment read-only.
+            clear_attach_cache()
+            view = attach(ref)
+            np.testing.assert_array_equal(np.asarray(view), arr)
+            if backend != "inline":
+                assert view is not arr
+                assert not view.flags.writeable
+                with pytest.raises((ValueError, TypeError)):
+                    view[0, 0] = 99.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_series_roundtrip(self, backend):
+        series = TimeSeries(np.linspace(0, 1, 64), name="s1",
+                            domain="traffic", freq=24)
+        with SharedArrayStore(backend=backend) as store:
+            ref = store.publish_series(series)
+            assert isinstance(ref, SeriesRef)
+            assert resolve(ref) is series  # primed passthrough
+            clear_attach_cache()
+            out = attach(ref)
+            assert isinstance(out, TimeSeries)
+            assert (out.name, out.domain, out.freq) == ("s1", "traffic", 24)
+            assert out.columns == series.columns
+            np.testing.assert_array_equal(out.values, series.values)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_blob_roundtrip(self, backend):
+        payload = {"strategy": "rolling", "horizon": 24,
+                   "methods": ("theta", "naive")}
+        with SharedArrayStore(backend=backend) as store:
+            ref = store.publish_blob(payload)
+            assert isinstance(ref, BlobRef)
+            assert attach(ref) is payload
+            clear_attach_cache()
+            assert attach(ref) == payload
+
+    def test_content_dedup(self):
+        with SharedArrayStore() as store:
+            a = np.random.default_rng(0).normal(size=(128, 1))
+            ref1 = store.publish_array(a)
+            ref2 = store.publish_array(a.copy())  # same bytes, new object
+            assert ref1 == ref2
+            stats = store.stats()
+            assert stats["publish_new"] == 1
+            assert stats["publish_dedup"] == 1
+            assert stats["segments"] == 1
+
+    def test_refs_are_tiny(self):
+        series = TimeSeries(np.zeros((4096, 3)), name="big",
+                            domain="energy")
+        with SharedArrayStore() as store:
+            ref = store.publish_series(series)
+            assert len(pickle.dumps(ref)) < 1024
+            assert len(pickle.dumps(ref)) * 50 < len(
+                pickle.dumps(series))
+
+    def test_attach_cache_hit_miss_counters(self):
+        with SharedArrayStore() as store:
+            ref = store.publish_array(np.ones(8))
+            attach(ref)                      # primed -> hit
+            clear_attach_cache()
+            reset_attach_stats()
+            attach(ref)                      # cold -> miss
+            attach(ref)                      # warm -> hit
+            stats = attach_stats()
+            assert stats == {"hits": 1, "misses": 1}
+
+    def test_resolve_passthrough(self):
+        obj = np.ones(3)
+        assert resolve(obj) is obj
+        assert resolve("plain") == "plain"
+
+    def test_attach_rejects_non_refs(self):
+        with pytest.raises(TypeError):
+            attach(np.ones(3))
+
+
+class TestLifetime:
+    def test_close_unlinks_segments(self):
+        store = SharedArrayStore(backend="shm")
+        ref = store.publish_array(np.arange(16.0))
+        name = ref.location
+        assert (Path("/dev/shm") / name).exists()
+        store.close()
+        assert not (Path("/dev/shm") / name).exists()
+        clear_attach_cache()
+        with pytest.raises(DataplaneError):
+            attach(ref)
+
+    def test_close_is_idempotent_and_blocks_publish(self):
+        store = SharedArrayStore()
+        store.close()
+        store.close()
+        with pytest.raises(DataplaneError):
+            store.publish_array(np.ones(4))
+
+    def test_mmap_files_created_and_removed(self):
+        with SharedArrayStore(backend="mmap") as store:
+            ref = store.publish_array(np.arange(32.0))
+            assert Path(ref.location).exists()
+            assert Path(ref.location).parent == _mmap_dir()
+        assert not Path(ref.location).exists()
+
+    def test_inline_requires_live_store(self):
+        store = SharedArrayStore(backend="inline")
+        ref = store.publish_array(np.ones(4))
+        clear_attach_cache()
+        np.testing.assert_array_equal(attach(ref), np.ones(4))
+        store.close()
+        clear_attach_cache()
+        with pytest.raises(DataplaneError):
+            attach(ref)
+
+    def test_close_evicts_only_own_cache_entries(self):
+        s1, s2 = SharedArrayStore(), SharedArrayStore()
+        r1 = s1.publish_array(np.ones(4))
+        r2 = s2.publish_array(np.zeros(4))
+        s1.close()
+        assert resolve(r2) is not None
+        clear_attach_cache()
+        with pytest.raises(DataplaneError):
+            attach(r1)
+        s2.close()
+
+    def test_no_leaks_after_normal_use(self):
+        with SharedArrayStore() as store:
+            store.publish_array(np.ones(64))
+            store.publish_blob({"k": 1})
+        assert leaked_segments() == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArrayStore(backend="carrier-pigeon")
+
+
+class TestCrashSafety:
+    def test_sweep_reaps_dead_owner_mmap_segment(self):
+        directory = _mmap_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        # A segment whose "owner" pid can never be alive.
+        dead = directory / f"{SEGMENT_PREFIX}999999999_deadbeef_0"
+        dead.write_bytes(b"\x00" * 16)
+        assert str(dead) in leaked_segments()
+        sweep_stale()
+        assert not dead.exists()
+        assert str(dead) not in leaked_segments()
+
+    def test_store_creation_sweeps_stale(self):
+        directory = _mmap_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        dead = directory / f"{SEGMENT_PREFIX}999999998_feedface_0"
+        dead.write_bytes(b"\x00" * 16)
+        with SharedArrayStore(backend="mmap"):
+            assert not dead.exists()
+
+    def test_live_owner_segments_not_swept(self):
+        with SharedArrayStore(backend="shm") as store:
+            ref = store.publish_array(np.ones(8))
+            sweep_stale()
+            assert (Path("/dev/shm") / ref.location).exists()
+            assert leaked_segments() == []
+
+    def test_sigkilled_owner_leaves_no_segments(self, tmp_path):
+        """A SIGKILLed publisher must not leak: the stdlib resource
+        tracker reaps shm at owner death, and the stale sweep catches
+        whatever survives (e.g. the mmap fallback)."""
+        script = textwrap.dedent("""
+            import os, signal, sys
+            import numpy as np
+            from repro.runtime import SharedArrayStore
+            store = SharedArrayStore()
+            ref = store.publish_array(np.ones(256))
+            print(ref.location, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True,
+                              cwd=Path(__file__).resolve().parents[1])
+        assert proc.returncode == -9
+        location = proc.stdout.strip()
+        assert location
+        sweep_stale()
+        assert leaked_segments() == []
+        assert not (Path("/dev/shm") / location).exists()
+        assert not Path(location).exists()
+
+
+class TestFaultInjection:
+    def test_dataplane_attach_is_a_fault_site(self):
+        assert "dataplane.attach" in FAULT_SITES
+
+    def test_injected_attach_fault_fires_even_on_warm_cache(self):
+        with SharedArrayStore() as store:
+            series = TimeSeries(np.ones(32), name="traffic_u0001",
+                                domain="traffic")
+            ref = store.publish_series(series)
+            plan = FaultPlan.from_dict(
+                {"seed": 3, "rules": [{"site": "dataplane.attach",
+                                       "kind": "error", "rate": 1.0,
+                                       "match": "traffic"}]})
+            with injected(plan):
+                with pytest.raises(InjectedFault):
+                    attach(ref)
+            assert attach(ref) is series  # disarmed again
+
+    def test_times_bounded_fault_lets_retry_succeed(self):
+        with SharedArrayStore() as store:
+            ref = store.publish_series(
+                TimeSeries(np.ones(16), name="s", domain="traffic"))
+            plan = FaultPlan.from_dict(
+                {"seed": 1, "rules": [{"site": "dataplane.attach",
+                                       "kind": "error", "times": 1}]})
+            with injected(plan):
+                with pytest.raises(InjectedFault):
+                    attach(ref)
+                out = attach(ref)  # second arrival passes
+            assert out.name == "s"
+
+
+class TestRegistryMemoisation:
+    def test_univariate_series_memoised(self):
+        registry = DatasetRegistry(seed=7)
+        a = registry.univariate_series("traffic", 0, length=128)
+        b = registry.univariate_series("traffic", 0, length=128)
+        assert a is b
+        assert registry.univariate_series("traffic", 0, length=256) is not a
+
+    def test_multivariate_series_memoised(self):
+        registry = DatasetRegistry(seed=7)
+        a = registry.multivariate_series("energy", 1, length=128)
+        assert registry.multivariate_series("energy", 1, length=128) is a
+        pinned = registry.multivariate_series("energy", 1, length=128,
+                                              correlation=0.5)
+        assert pinned is not a
+
+    def test_get_reuses_memoised_series(self):
+        registry = DatasetRegistry(seed=7)
+        a = registry.univariate_series("traffic", 1, length=128)
+        assert registry.get("traffic_u0001", length=128) is a
+
+    def test_memoisation_preserves_values(self):
+        fresh = DatasetRegistry(seed=7)
+        memo = DatasetRegistry(seed=7)
+        memo.univariate_series("traffic", 0, length=128)
+        np.testing.assert_array_equal(
+            fresh.univariate_series("traffic", 0, length=128).values,
+            memo.univariate_series("traffic", 0, length=128).values)
+
+    def test_invalidate_clears_both_caches(self):
+        registry = DatasetRegistry(seed=7)
+        a = registry.univariate_series("traffic", 0, length=128)
+        suite = registry.univariate_suite(per_domain=1, length=128,
+                                          domains=("traffic",))
+        registry.invalidate()
+        assert registry.univariate_series("traffic", 0, length=128) is not a
+        assert registry.univariate_suite(per_domain=1, length=128,
+                                         domains=("traffic",)) is not suite
+
+    def test_different_seeds_stay_independent(self):
+        r7 = DatasetRegistry(seed=7)
+        r8 = DatasetRegistry(seed=8)
+        a = r7.univariate_series("traffic", 0, length=128)
+        b = r8.univariate_series("traffic", 0, length=128)
+        assert not np.array_equal(a.values, b.values)
