@@ -1,0 +1,274 @@
+"""E14 — serving tier under load: warm registry, microbatch, admission.
+
+Acceptance benchmarks for the production serving PR:
+
+* **Warm throughput.**  ``/forecast`` against a warm model registry must
+  sustain at least **5×** the throughput of the cold-fit baseline
+  (``registry_size=0``, distinct model keys per request) at concurrency
+  16 — the registry, not the HTTP stack, is the speedup.
+* **Bitwise identity.**  Microbatched forecasts coalesced from
+  concurrent requests must equal the in-process solo ``predict`` bit
+  for bit (JSON float repr round-trips exactly), for a deep and a
+  classical method.
+* **Probe isolation.**  ``/health`` p99 must stay under **50 ms** while
+  heavy ``/evaluate`` traffic saturates its admission budget — the
+  threaded front end plus unthrottled probe routes keep liveness
+  observable under load.
+* **Clean overload.**  With a one-slot admission policy, a 24-way
+  burst must produce only well-formed responses — every surplus
+  request a fast ``429`` with ``Retry-After``, never a hung or torn
+  connection — and the rejections must be visible in the telemetry
+  counters scraped from ``/metrics``.
+
+Timings are written as JSON (env ``E14_JSON``, default
+``e14_serving.json``) so CI can upload them next to E10–E13.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import EasyTime
+from repro.methods.registry import create
+from repro.qa import QAEngine
+from repro.server import EasyTimeServer
+from repro.serving import RouteLimit
+
+RESULTS = {}
+
+MIN_WARM_SPEEDUP = 5.0      # warm /forecast tput >= 5x cold-fit baseline
+MAX_HEALTH_P99_S = 0.050    # /health p99 under heavy /evaluate load
+CONCURRENCY = 16
+N_REQUESTS = 32
+
+#: A fit expensive enough (~0.1 s) that cold serving is fit-bound.
+DEEP_PARAMS = {"lookback": 96, "epochs": 40}
+
+
+def _system(bench_kb, bench_auto, registry):
+    et = EasyTime(seed=7)
+    et.registry = registry
+    et.knowledge = bench_kb
+    et.auto = bench_auto
+    et.qa = QAEngine(bench_kb)
+    et._ready = True
+    return et
+
+
+@pytest.fixture(scope="module")
+def system(bench_kb, bench_auto, registry):
+    return _system(bench_kb, bench_auto, registry)
+
+
+def _post(base, path, body, timeout=300):
+    req = urllib.request.Request(
+        base + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as r:
+            return r.status, json.load(r), dict(r.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+def _get(base, path, timeout=60):
+    with urllib.request.urlopen(base + path, timeout=timeout) as r:
+        return r.status, r.read().decode("utf-8")
+
+
+def _throughput(base, bodies, concurrency=CONCURRENCY):
+    """Requests/second over one closed-loop burst; all must succeed."""
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        results = list(pool.map(
+            lambda body: _post(base, "/forecast", body), bodies))
+    elapsed = time.perf_counter() - t0
+    for status, payload, _ in results:
+        assert status == 200, payload
+    return len(bodies) / elapsed, results
+
+
+class TestE14WarmThroughput:
+    def test_warm_registry_at_least_5x_cold(self, system):
+        dataset = system.list_datasets()[0]
+
+        def body(i, salt):
+            # Distinct seeds force distinct model keys: the cold
+            # baseline cannot hide behind single-flight dedup.
+            return {"dataset": dataset, "method": "dlinear", "horizon": 8,
+                    "params": {**DEEP_PARAMS, "seed": salt + i}}
+
+        with EasyTimeServer(system, registry_size=0) as cold_srv:
+            cold_tput, cold_results = _throughput(
+                cold_srv.address, [body(i, 1000) for i in range(N_REQUESTS)])
+        assert all(r[1]["data"]["served"] == "fit" for r in cold_results)
+
+        with EasyTimeServer(system, registry_size=32) as warm_srv:
+            # Prime the one model every warm request will share.
+            warm_body = {"dataset": dataset, "method": "dlinear",
+                         "horizon": 8, "params": {**DEEP_PARAMS,
+                                                  "seed": 0}}
+            status, payload, _ = _post(warm_srv.address, "/forecast",
+                                       warm_body)
+            assert status == 200 and payload["data"]["served"] == "fit"
+            warm_tput, warm_results = _throughput(
+                warm_srv.address, [warm_body] * N_REQUESTS)
+            stats = warm_srv.api.models.stats()
+
+        assert all(r[1]["data"]["served"] in ("hit", "wait")
+                   for r in warm_results)
+        assert stats["fits"] == 1  # one fit served the whole burst
+        speedup = warm_tput / cold_tput
+        RESULTS["warm_throughput"] = {
+            "concurrency": CONCURRENCY, "requests": N_REQUESTS,
+            "cold_rps": round(cold_tput, 2),
+            "warm_rps": round(warm_tput, 2),
+            "speedup": round(speedup, 2),
+            "gate_min_speedup": MIN_WARM_SPEEDUP,
+        }
+        print(f"\n[E14] /forecast cold {cold_tput:.1f} rps -> warm "
+              f"{warm_tput:.1f} rps ({speedup:.1f}x)")
+        assert speedup >= MIN_WARM_SPEEDUP
+
+
+class TestE14BitwiseIdentity:
+    @pytest.mark.parametrize("method,params", [
+        ("dlinear", {"lookback": 96, "epochs": 10, "seed": 3}),
+        ("theta", {}),
+    ])
+    def test_microbatched_equals_solo(self, system, method, params):
+        dataset = system.list_datasets()[0]
+        horizon = 12
+        series = system.choose_dataset(dataset)
+
+        # The reference: an identically-constructed in-process fit+predict.
+        model = create(method, **params)
+        for attr, value in (("lookback", params.get("lookback", 96)),
+                            ("horizon", horizon)):
+            if hasattr(model, attr):
+                setattr(model, attr, value)
+        model.fit(series.values)
+        solo = model.predict(series.values, horizon).tolist()
+
+        body = {"dataset": dataset, "method": method, "horizon": horizon,
+                "params": params}
+        with EasyTimeServer(system, registry_size=8,
+                            batch_window_ms=25.0) as srv:
+            _post(srv.address, "/forecast", body)  # prime the fit
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(
+                    lambda _: _post(srv.address, "/forecast", body),
+                    range(8)))
+            batched_away = srv.api.batcher.stats()["batched_away"]
+
+        assert batched_away >= 1  # coalescing actually happened
+        for status, payload, _ in results:
+            assert status == 200
+            # JSON floats round-trip exactly: list equality == bitwise.
+            assert payload["data"]["forecast"] == solo
+        RESULTS.setdefault("bitwise_identity", {})[method] = {
+            "batched_away": batched_away, "identical": True}
+
+
+class TestE14ProbeIsolation:
+    def test_health_p99_under_heavy_evaluate(self, system):
+        dataset = system.list_datasets()[0]
+        stop = threading.Event()
+
+        with EasyTimeServer(system) as srv:
+            def hammer():
+                while not stop.is_set():
+                    _post(srv.address, "/evaluate",
+                          {"dataset": dataset, "method": "theta",
+                           "horizon": 24})
+
+            hammers = [threading.Thread(target=hammer) for _ in range(6)]
+            for t in hammers:
+                t.start()
+            time.sleep(0.3)  # let the evaluate load build up
+            latencies = []
+            try:
+                for _ in range(200):
+                    t0 = time.perf_counter()
+                    status, _ = _get(srv.address, "/health", timeout=10)
+                    latencies.append(time.perf_counter() - t0)
+                    assert status == 200
+            finally:
+                stop.set()
+                for t in hammers:
+                    t.join(timeout=30)
+
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[min(len(latencies) - 1,
+                            int(len(latencies) * 0.99))]
+        RESULTS["probe_isolation"] = {
+            "health_p50_ms": round(p50 * 1000, 3),
+            "health_p99_ms": round(p99 * 1000, 3),
+            "gate_p99_ms": MAX_HEALTH_P99_S * 1000,
+        }
+        print(f"\n[E14] /health under load: p50 {p50 * 1000:.2f} ms, "
+              f"p99 {p99 * 1000:.2f} ms")
+        assert p99 < MAX_HEALTH_P99_S
+
+
+class TestE14Overload:
+    def test_overload_is_clean_429_never_a_hang(self, system):
+        dataset = system.list_datasets()[0]
+        limits = {"/forecast": RouteLimit(max_concurrent=1, max_queue=0,
+                                          retry_after_s=2.0)}
+
+        def body(i):
+            return {"dataset": dataset, "method": "dlinear", "horizon": 8,
+                    "params": {**DEEP_PARAMS, "seed": 5000 + i}}
+
+        with EasyTimeServer(system, admission_limits=limits,
+                            registry_size=0) as srv:
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=24) as pool:
+                results = list(pool.map(
+                    lambda i: _post(srv.address, "/forecast", body(i),
+                                    timeout=60),
+                    range(24)))
+            elapsed = time.perf_counter() - t0
+            _, metrics = _get(srv.address, "/metrics")
+
+        # Every connection produced a well-formed envelope: no socket
+        # error would have reached this point uncaught.
+        statuses = [status for status, _, _ in results]
+        n_ok = statuses.count(200)
+        n_rejected = statuses.count(429)
+        assert n_ok + n_rejected == len(results)
+        assert n_ok >= 1
+        assert n_rejected >= 1
+        for status, payload, headers in results:
+            if status == 429:
+                assert headers.get("Retry-After") == "2"
+                assert not payload["ok"]
+
+        # The rejections are observable server-side, per route.
+        assert "repro_serving_rejected_total" in metrics
+        assert 'route="/forecast"' in metrics
+        assert "repro_serving_admitted_total" in metrics
+
+        RESULTS["overload"] = {
+            "requests": len(results), "served": n_ok,
+            "rejected_429": n_rejected,
+            "burst_seconds": round(elapsed, 3),
+        }
+        print(f"\n[E14] overload burst: {n_ok} served, {n_rejected} "
+              f"rejected in {elapsed:.2f} s")
+
+
+def teardown_module(module):
+    path = os.environ.get("E14_JSON", "e14_serving.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(RESULTS, fh, indent=2)

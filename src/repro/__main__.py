@@ -11,7 +11,10 @@ Commands mirror the demo's capabilities for shell users:
 * ``ask "<question>"``               — one Q&A turn (synthetic store);
 * ``serve [--port P]``               — start the JSON HTTP API (exposes
   Prometheus metrics at ``/metrics`` and per-job Chrome traces at
-  ``/trace/<job_id>``).
+  ``/trace/<job_id>``).  Serving-tier knobs: ``--http-workers`` pre-forks
+  SO_REUSEPORT worker processes, ``--registry-size``/``--registry-ttl-s``
+  bound the warm-model registry, ``--batch-window-ms``/``--batch-max``
+  tune ``/forecast`` microbatching.
 
 ``bench --trace-dir DIR`` enables telemetry and writes ``trace.json``
 (loadable in the Chrome trace viewer / Perfetto) plus ``spans.jsonl``;
@@ -135,6 +138,20 @@ def build_parser():
     p_serve.add_argument("--per-domain", type=int, default=2)
     p_serve.add_argument("--job-workers", type=int, default=2,
                          help="background-job slots for /jobs endpoints")
+    p_serve.add_argument("--http-workers", type=int, default=1,
+                         help="HTTP worker processes; > 1 pre-forks "
+                              "SO_REUSEPORT workers on the same port")
+    p_serve.add_argument("--registry-size", type=int, default=32,
+                         help="warm-model registry capacity "
+                              "(0 disables warm reuse)")
+    p_serve.add_argument("--registry-ttl-s", type=float, default=None,
+                         help="seconds a warm model stays servable "
+                              "(default: forever)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="microbatch linger window for /forecast "
+                              "(0 disables coalescing)")
+    p_serve.add_argument("--batch-max", type=int, default=8,
+                         help="max coalesced requests per predict_batch")
     return parser
 
 
@@ -387,14 +404,27 @@ def _cmd_ask(args, out):
 
 
 def _cmd_serve(args, out):  # pragma: no cover - blocking loop
+    import time as _time
+
     from .server import EasyTimeServer
     system = _offline_system(args.per_domain)
     server = EasyTimeServer(system, host=args.host, port=args.port,
-                            job_workers=args.job_workers)
-    print(f"serving on {server.address}", file=out)
+                            job_workers=args.job_workers,
+                            http_workers=args.http_workers,
+                            registry_size=args.registry_size,
+                            registry_ttl_s=args.registry_ttl_s,
+                            batch_window_ms=args.batch_window_ms,
+                            batch_max=args.batch_max)
+    server.start()
+    mode = (f"{args.http_workers} pre-fork workers"
+            if args.http_workers > 1 else "threaded")
+    print(f"serving on {server.address} ({mode})", file=out)
     try:
-        server._httpd.serve_forever()
+        while True:
+            _time.sleep(0.5)
     except KeyboardInterrupt:
+        pass
+    finally:
         server.stop()
     return 0
 

@@ -3,7 +3,8 @@
 Production resilience claims are untestable until failures are
 *first-class and reproducible*.  This module plants named fault points in
 the hot paths (``executor.task``, ``cache.get``, ``cache.put``,
-``strategy.fit``, ``server.request``) behind the same off-by-default
+``strategy.fit``, ``server.request``, ``serving.admit``,
+``serving.batch``) behind the same off-by-default
 fast path the telemetry helpers use: until a :class:`FaultPlan` is
 armed, :func:`fault_point` is one global ``is None`` check and an early
 return, so uninstrumented runs pay nothing measurable.
@@ -67,7 +68,8 @@ FAULT_KINDS = ("error", "delay", "crash", "interrupt", "corrupt")
 #: The named fault points planted across the repo (informational; plans
 #: may name any site, unknown ones simply never fire).
 FAULT_SITES = ("executor.task", "cache.get", "cache.put", "strategy.fit",
-               "server.request", "dataplane.attach")
+               "server.request", "dataplane.attach", "serving.admit",
+               "serving.batch")
 
 #: Bytes written over a corrupted artifact file.
 _GARBAGE = b"\x00corrupted-by-fault-plan\x00"

@@ -3,12 +3,15 @@
 Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
 
 ==========================  =========================================
-``GET    /health``           liveness probe
+``GET    /health``           liveness probe (``/healthz`` alias)
+``GET    /readyz``           readiness probe (503 until ``setup()``)
 ``GET    /methods``          method catalogue (S1 method list)
 ``GET    /datasets``         choosable datasets (label 2)
+``GET    /models``           warm-model registry + serving stats
 ``POST   /upload``           upload CSV dataset (label 1)
 ``POST   /recommend``        characteristics + top-k methods (labels 3-4)
 ``POST   /evaluate``         evaluate a chosen method (labels 5-7)
+``POST   /forecast``         warm, microbatched forecast (serving tier)
 ``POST   /automl``           automated ensemble forecast (label 8)
 ``POST   /qa``               natural-language Q&A (Fig. 5)
 ``POST   /jobs/evaluate``    background evaluation → job id
@@ -24,11 +27,21 @@ Each endpoint corresponds to a button or panel in Fig. 4 / Fig. 5:
 ==========================  =========================================
 
 Responses are ``{"ok": bool, "data": ...}`` or
-``{"ok": false, "error": str}``.  The server is stdlib-only
-(``http.server``).  Long evaluations no longer block the request
-thread: the ``/jobs`` endpoints hand work to a
-:class:`~repro.runtime.JobManager` and return immediately with a job id
-for polling.
+``{"ok": false, "error": str}``.  The server is stdlib-only.
+
+Serving tier (``repro.serving``): requests are handled by a threaded
+acceptor pool (optionally a pre-fork ``SO_REUSEPORT`` worker set), so a
+slow ``/evaluate`` no longer blocks ``/health``.  ``POST /forecast``
+resolves the dataset through the server's long-lived zero-copy
+:class:`~repro.runtime.SharedArrayStore`, serves fitted models out of a
+warm :class:`~repro.serving.ModelRegistry` (content-fingerprint keys,
+LRU/TTL eviction, single-flight fits), and coalesces concurrent
+requests through a :class:`~repro.serving.MicroBatcher` into one
+``predict_batch`` call — bitwise-identical to solo predicts.  Admission
+control bounds per-route concurrency and queue depth; overload returns
+``429`` with a ``Retry-After`` hint instead of a hung connection, and
+request bodies are capped (``413``) so ``/upload`` cannot exhaust
+memory.
 
 Observability: every request is logged as a structured
 ``server.request`` event (method, route, status, duration) and counted
@@ -41,9 +54,9 @@ so ``/metrics`` is live from the first request.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, HTTPServer
 
 import numpy as np
 
@@ -51,16 +64,42 @@ from .. import telemetry
 from ..pipeline.logging import RunLogger
 from ..resilience import FailurePolicy, InjectedFault, fault_point
 from ..runtime import JobManager
+from ..serving import (AdmissionController, AdmissionRejected,
+                       GracefulThreadingHTTPServer, MicroBatcher,
+                       ModelRegistry, PreforkServer, model_key)
 from ..telemetry import chrome_trace, render_prometheus
 
-__all__ = ["EasyTimeServer", "make_handler"]
+__all__ = ["EasyTimeServer", "make_handler", "MAX_BODY_BYTES"]
+
+#: Default request-body ceiling (bytes); oversized posts get a 413.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: GET routes the handler dispatches on (exact match after rstrip("/")).
+_GET_ROUTES = ("/", "/health", "/healthz", "/readyz", "/methods",
+               "/datasets", "/models", "/metrics", "/jobs")
+
+#: POST route → ``_Api`` method name; drives dispatch *and* the
+#: bounded-label test (every registered route must map to itself).
+_POST_HANDLERS = {
+    "/upload": "upload",
+    "/recommend": "recommend",
+    "/evaluate": "evaluate",
+    "/forecast": "forecast",
+    "/automl": "automl",
+    "/qa": "qa",
+    "/jobs/evaluate": "job_evaluate",
+    "/jobs/automl": "job_automl",
+    "/jobs/bench": "job_bench",
+}
+
+_POST_ROUTES = tuple(_POST_HANDLERS)
 
 #: Fixed routes; anything else collapses to a bounded template label.
-_KNOWN_ROUTES = frozenset({
-    "/", "/health", "/methods", "/datasets", "/metrics", "/jobs",
-    "/upload", "/recommend", "/evaluate", "/automl", "/qa",
-    "/jobs/evaluate", "/jobs/automl", "/jobs/bench",
-})
+_KNOWN_ROUTES = frozenset(_GET_ROUTES) | frozenset(_POST_ROUTES)
+
+#: Every label ``_route_label`` can emit (the bounded metric space).
+ROUTE_LABELS = tuple(sorted(_KNOWN_ROUTES)) + ("/jobs/{id}", "/trace/{id}",
+                                               "/models/{key}", "<other>")
 
 
 def _route_label(route):
@@ -71,6 +110,8 @@ def _route_label(route):
         return "/jobs/{id}"
     if route.startswith("/trace/"):
         return "/trace/{id}"
+    if route.startswith("/models/"):
+        return "/models/{key}"
     return "<other>"
 
 
@@ -91,37 +132,45 @@ def _jsonable(obj):
 
 def make_handler(api):
     """Build a request-handler class bound to an :class:`_Api` instance."""
+    from http.server import BaseHTTPRequestHandler
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # structured logging via _timed
             pass
 
-        def _send(self, payload, status=200):
+        def _send(self, payload, status=200, headers=None):
             body = json.dumps(_jsonable(payload)).encode("utf-8")
-            self._send_bytes(body, "application/json", status)
+            self._send_bytes(body, "application/json", status,
+                             headers=headers)
 
         def _send_text(self, text, content_type="text/plain; charset=utf-8",
                        status=200):
             self._send_bytes(text.encode("utf-8"), content_type, status)
 
-        def _send_bytes(self, body, content_type, status):
+        def _send_bytes(self, body, content_type, status, headers=None):
             self._status = status
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _fail(self, message, status=400):
-            self._send({"ok": False, "error": message}, status=status)
+        def _fail(self, message, status=400, headers=None):
+            self._send({"ok": False, "error": message}, status=status,
+                       headers=headers)
 
         def _timed(self, handler):
-            """Run a verb handler and log/count the request either way.
+            """Run a verb handler through admission + fault injection.
 
             The ``server.request`` fault point runs before the handler;
             an injected fault is converted to a 503 error envelope —
             the degraded path a load balancer would retry — rather
-            than tearing down the connection.
+            than tearing down the connection.  Admission control runs
+            next: a rejected request becomes a fast ``429`` with a
+            ``Retry-After`` hint.  Either way the request is logged and
+            counted.
             """
             self._status = 0
             t0 = time.perf_counter()
@@ -129,9 +178,15 @@ def make_handler(api):
             try:
                 try:
                     fault_point("server.request", route)
-                    handler()
+                    with api.admission.admit(route):
+                        handler()
                 except InjectedFault as exc:
                     self._fail(f"injected fault: {exc}", status=503)
+                except AdmissionRejected as exc:
+                    retry = max(int(math.ceil(exc.retry_after_s)), 1)
+                    self._fail(f"too many requests: {exc.reason}",
+                               status=429,
+                               headers={"Retry-After": str(retry)})
             finally:
                 seconds = time.perf_counter() - t0
                 api.observe_request(self.command, route,
@@ -149,12 +204,21 @@ def make_handler(api):
         def _handle_get(self):
             route = self.path.split("?")[0].rstrip("/") or "/"
             try:
-                if route == "/health":
+                if route in ("/health", "/healthz"):
                     self._send({"ok": True, "data": "alive"})
+                elif route == "/readyz":
+                    ready = api.ready()
+                    if ready:
+                        self._send({"ok": True, "data": "ready"})
+                    else:
+                        self._fail("system not ready (offline phase "
+                                   "still pending)", status=503)
                 elif route == "/methods":
                     self._send({"ok": True, "data": api.methods()})
                 elif route == "/datasets":
                     self._send({"ok": True, "data": api.datasets()})
+                elif route == "/models":
+                    self._send({"ok": True, "data": api.model_list()})
                 elif route == "/metrics":
                     self._send_text(
                         api.metrics_text(),
@@ -186,31 +250,48 @@ def make_handler(api):
             except Exception as exc:  # noqa: BLE001 - error envelope
                 self._fail(f"{type(exc).__name__}: {exc}", status=500)
 
-        def _handle_post(self):
-            route = self.path.split("?")[0].rstrip("/")
-            length = int(self.headers.get("Content-Length", "0"))
+        def _read_body(self):
+            """Parse the request body; None after sending an error.
+
+            A malformed ``Content-Length`` used to escape as an uncaught
+            ``ValueError`` — a stack-trace 500 and a dropped connection;
+            now it is a 400 envelope.  Bodies over the configured cap are
+            refused with 413 before a byte is buffered, so ``/upload``
+            cannot be used to exhaust memory.
+            """
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length) if raw_length is not None else 0
+            except (TypeError, ValueError):
+                self._fail(f"invalid Content-Length header: {raw_length!r}")
+                return None
+            if length < 0:
+                self._fail(f"invalid Content-Length header: {raw_length!r}")
+                return None
+            if length > api.max_body_bytes:
+                self._fail(f"request body of {length} bytes exceeds the "
+                           f"{api.max_body_bytes}-byte limit", status=413)
+                return None
             raw = self.rfile.read(length) if length else b"{}"
             try:
-                body = json.loads(raw.decode("utf-8")) if raw else {}
-            except json.JSONDecodeError as exc:
+                return json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 self._fail(f"invalid JSON body: {exc}")
-                return
-            handlers = {
-                "/upload": api.upload,
-                "/recommend": api.recommend,
-                "/evaluate": api.evaluate,
-                "/automl": api.automl,
-                "/qa": api.qa,
-                "/jobs/evaluate": api.job_evaluate,
-                "/jobs/automl": api.job_automl,
-                "/jobs/bench": api.job_bench,
-            }
-            fn = handlers.get(route)
-            if fn is None:
+                return None
+
+        def _handle_post(self):
+            route = self.path.split("?")[0].rstrip("/")
+            name = _POST_HANDLERS.get(route)
+            if name is None:
                 self._fail(f"unknown endpoint {route}", status=404)
                 return
+            body = self._read_body()
+            if body is None:
+                return
             try:
-                self._send({"ok": True, "data": fn(body)})
+                self._send({"ok": True, "data": getattr(api, name)(body)})
+            except InjectedFault as exc:
+                self._fail(f"injected fault: {exc}", status=503)
             except (KeyError, ValueError, TypeError) as exc:
                 self._fail(f"{type(exc).__name__}: {exc}")
             except Exception as exc:  # noqa: BLE001 - error envelope
@@ -222,15 +303,25 @@ def make_handler(api):
 class _Api:
     """Thin translation layer between JSON bodies and the EasyTime facade."""
 
-    def __init__(self, easytime, jobs=None, logger=None):
+    def __init__(self, easytime, jobs=None, logger=None, registry_size=32,
+                 registry_ttl_s=None, batch_max=8, batch_window_ms=2.0,
+                 admission_limits=None, max_body_bytes=MAX_BODY_BYTES):
         self.et = easytime
         self.jobs = jobs if jobs is not None else JobManager(workers=2)
         # Note: an empty RunLogger is falsy (len 0), so test identity.
         self.logger = logger if logger is not None else RunLogger()
-        # One zero-copy store shared by every parallel bench job: the
-        # content-fingerprint dedup means repeated grids over the same
-        # datasets publish nothing new.  Created lazily — a server that
-        # never runs a parallel grid never allocates a segment.
+        # Serving tier: warm models, microbatching, admission control.
+        self.models = ModelRegistry(capacity=registry_size,
+                                    ttl_s=registry_ttl_s)
+        self.batcher = MicroBatcher(max_batch=batch_max,
+                                    window_ms=batch_window_ms)
+        self.admission = AdmissionController(limits=admission_limits)
+        self.max_body_bytes = int(max_body_bytes)
+        # One zero-copy store shared by every parallel bench job and by
+        # the /forecast dataset path: the content-fingerprint dedup
+        # means repeated requests over the same datasets publish
+        # nothing new.  Created lazily — a server that never needs it
+        # never allocates a segment.
         self._store = None
         self._store_lock = threading.Lock()
 
@@ -274,6 +365,10 @@ class _Api:
                    if job.trace_id and s.trace_id == job.trace_id]
         return chrome_trace(related)
 
+    def ready(self):
+        """Whether the offline phase has run (knowledge base + ensemble)."""
+        return bool(getattr(self.et, "_ready", False))
+
     def methods(self):
         return [self.et.method_details(name)
                 for name in self.et.list_methods()]
@@ -304,6 +399,65 @@ class _Api:
         return {"method": result.method, "series": result.series,
                 "strategy": result.strategy, "horizon": result.horizon,
                 "scores": result.scores, "n_windows": result.n_windows}
+
+    # -- serving tier (repro.serving) ------------------------------------
+    def forecast(self, body):
+        """Warm, microbatched forecast: the production serving path.
+
+        Body: ``{"dataset": name, "method": name}`` plus optional
+        ``horizon``, ``lookback`` and method ``params``.  The dataset is
+        resolved through the server's long-lived zero-copy store (its
+        content digest is part of the model key), the fitted model comes
+        from the warm registry (one fit per distinct key, ever, however
+        many requests race for it), and the predict is coalesced with
+        concurrent requests into one ``predict_batch`` call.
+        """
+        from ..methods.registry import create
+        from ..runtime import resolve
+
+        series = self.et.choose_dataset(body["dataset"])
+        method = str(body["method"])
+        horizon = int(body.get("horizon", 24))
+        lookback = int(body.get("lookback", 96))
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if lookback <= 0:
+            raise ValueError("lookback must be positive")
+        params = dict(body.get("params") or {})
+        # Publish-or-dedup into the long-lived store; the array digest
+        # is the dataset's identity in the model key, and the attach
+        # cache hands back the original in-process values.
+        ref = self.shared_store().publish_series(series)
+        series = resolve(ref)
+        key = model_key(method, params, lookback, horizon,
+                        ref.array.digest)
+
+        def fit_model():
+            model = create(method, **params)
+            for attr, value in (("lookback", lookback),
+                                ("horizon", horizon)):
+                if hasattr(model, attr):
+                    setattr(model, attr, value)
+            model.fit(series.values)
+            return model
+
+        entry, served = self.models.get_or_fit(
+            key, fit_model, method=method, dataset=series.name,
+            lookback=lookback, horizon=horizon)
+        forecast = self.batcher.submit(key, entry.model, series.values,
+                                       horizon)
+        return {"forecast": forecast.tolist(),
+                "method": method, "dataset": series.name,
+                "horizon": horizon, "channels": int(forecast.shape[1]),
+                "served": served, "model_key": key[:16],
+                "fit_seconds": round(entry.fit_seconds, 6)}
+
+    def model_list(self):
+        """``GET /models``: warm registry plus serving-tier counters."""
+        payload = self.models.snapshot()
+        payload["batcher"] = self.batcher.stats()
+        payload["admission"] = self.admission.stats()
+        return payload
 
     def automl(self, body):
         series = self.et.choose_dataset(body["dataset"])
@@ -404,37 +558,117 @@ class _Api:
 
 
 class EasyTimeServer:
-    """Embeddable HTTP server around an :class:`~repro.core.EasyTime`."""
+    """Embeddable HTTP server around an :class:`~repro.core.EasyTime`.
+
+    Serving-tier knobs
+    ------------------
+    http_workers:
+        ``1`` (default) runs the threaded acceptor pool in-process;
+        ``> 1`` forks that many ``SO_REUSEPORT`` worker processes, each
+        with its own acceptor pool (CLI ``serve --http-workers``).
+    registry_size / registry_ttl_s:
+        Warm-model registry capacity (LRU) and freshness bound.
+    batch_max / batch_window_ms:
+        Microbatcher limits: batch-size cap and max linger of the first
+        request in a batch.
+    admission_limits:
+        ``{route: RouteLimit}`` overriding the default admission policy.
+    max_body_bytes:
+        Request-body ceiling (413 beyond it).
+    """
 
     def __init__(self, easytime, host="127.0.0.1", port=0, job_workers=2,
-                 logger=None):
+                 logger=None, http_workers=1, registry_size=32,
+                 registry_ttl_s=None, batch_max=8, batch_window_ms=2.0,
+                 admission_limits=None, max_body_bytes=MAX_BODY_BYTES,
+                 drain_timeout_s=5.0):
         # Serving implies observing: /metrics and /trace/<id> are part of
         # the API surface, so the collector comes up with the server.
         telemetry.enable()
         self.api = _Api(easytime, jobs=JobManager(workers=job_workers),
-                        logger=logger)
-        self._httpd = HTTPServer((host, port), make_handler(self.api))
+                        logger=logger, registry_size=registry_size,
+                        registry_ttl_s=registry_ttl_s, batch_max=batch_max,
+                        batch_window_ms=batch_window_ms,
+                        admission_limits=admission_limits,
+                        max_body_bytes=max_body_bytes)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.http_workers = int(http_workers)
+        handler = make_handler(self.api)
+        if self.http_workers > 1:
+            # Pre-fork mode: the factory runs inside each forked child,
+            # which then swaps in its own SO_REUSEPORT socket.
+            def factory(addr):
+                return GracefulThreadingHTTPServer(
+                    addr, handler, bind_and_activate=False)
+
+            self._pool = PreforkServer(factory, host=host, port=port,
+                                       workers=self.http_workers,
+                                       on_exit=self._close_api_resources)
+            self._httpd = None
+        else:
+            self._pool = None
+            self._httpd = GracefulThreadingHTTPServer((host, port), handler)
         self._thread = None
+        self._stopped = False
 
     @property
     def address(self):
+        if self._pool is not None:
+            return self._pool.address
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
 
     def start(self):
-        """Serve requests on a daemon thread; returns the base URL."""
+        """Serve requests without blocking; returns the base URL.
+
+        Threaded mode serves from a daemon thread; pre-fork mode forks
+        the worker processes and returns once they all accept.
+        """
+        if self._pool is not None:
+            return self._pool.start()
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         daemon=True)
         self._thread.start()
         return self.address
 
     def stop(self):
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        self.api.jobs.shutdown()
-        self.api.close_store()
+        """Graceful, idempotent shutdown.
+
+        Stops accepting, drains in-flight handlers (bounded by
+        ``drain_timeout_s``), closes the listening socket, shuts the
+        job pool and zero-copy store down, and flushes the access-log
+        sink.  Safe to call any number of times, including before
+        :meth:`start`.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._pool is not None:
+            self._pool.stop(timeout=self.drain_timeout_s + 5.0)
+        elif self._thread is None:
+            # Never started: shutdown() would block forever waiting for
+            # a serve_forever loop that does not exist.
+            self._httpd.server_close()
+        else:
+            self._httpd.shutdown()
+            self._httpd.drain(timeout=self.drain_timeout_s)
+            self._httpd.server_close()
+        self._close_api_resources()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            self._thread = None
+
+    def _close_api_resources(self):
+        """Release the API's process-local resources.
+
+        Runs in the parent on :meth:`stop` and inside each pre-fork
+        worker on drain — every process that lazily created a
+        shared-memory store or buffered log events cleans up its own.
+        """
+        self.api.jobs.shutdown()
+        self.api.close_store()
+        # Flush the structured access log before the process can exit.
+        self.api.logger.close()
 
     def __enter__(self):
         self.start()

@@ -1,0 +1,37 @@
+"""``repro.serving`` — the production serving tier.
+
+Four pieces, composed by :class:`repro.server.EasyTimeServer`:
+
+* :mod:`.frontend` — concurrent front ends: a threaded acceptor with
+  graceful drain (:class:`GracefulThreadingHTTPServer`) and an optional
+  pre-fork ``SO_REUSEPORT`` multi-process mode (:class:`PreforkServer`);
+* :mod:`.registry` — :class:`ModelRegistry`, the warm store of fitted
+  forecasters keyed by content fingerprints (config + dataset digest),
+  with LRU/TTL eviction and single-flight fit deduplication;
+* :mod:`.batcher` — :class:`MicroBatcher`, coalescing concurrent
+  ``/forecast`` requests for the same (model, horizon) into one
+  ``predict_batch`` call, bitwise-identical to solo predicts;
+* :mod:`.admission` — :class:`AdmissionController`, bounded queues and
+  per-route concurrency limits that turn overload into fast ``429`` +
+  ``Retry-After`` responses instead of hung connections.
+
+The split follows the engine/adapters/API layering: ``repro.methods``
+stays the engine, this package is the serving adapter layer, and
+``repro.server`` remains the thin HTTP surface.
+"""
+
+from .admission import (DEFAULT_LIMITS, AdmissionController,
+                        AdmissionRejected, RouteLimit)
+from .batcher import BATCH_SIZE_BUCKETS, MicroBatcher
+from .frontend import (GracefulThreadingHTTPServer, PreforkServer,
+                       reuseport_socket, reuseport_supported)
+from .registry import ModelEntry, ModelRegistry, model_key
+
+__all__ = [
+    "ModelRegistry", "ModelEntry", "model_key",
+    "MicroBatcher", "BATCH_SIZE_BUCKETS",
+    "AdmissionController", "AdmissionRejected", "RouteLimit",
+    "DEFAULT_LIMITS",
+    "GracefulThreadingHTTPServer", "PreforkServer",
+    "reuseport_socket", "reuseport_supported",
+]

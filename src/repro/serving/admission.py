@@ -1,0 +1,214 @@
+"""Admission control: bounded queues, per-route concurrency, 429 + Retry-After.
+
+An overloaded server must degrade *predictably*: reject surplus work
+fast with a retry hint, never hang a connection or starve the health
+probes.  :class:`AdmissionController` enforces, per route class:
+
+* ``max_concurrent`` — requests allowed to execute simultaneously;
+* ``max_queue`` — requests allowed to *wait* for an execution slot
+  (beyond it, callers are rejected immediately);
+* ``queue_timeout_s`` — the longest a queued request waits before it is
+  rejected anyway (bounds worst-case latency under saturation).
+
+A rejection raises :class:`AdmissionRejected` carrying the
+``retry_after_s`` hint the HTTP layer turns into a ``429`` with a
+``Retry-After`` header.  Probe routes (``/health``, ``/healthz``,
+``/readyz``, ``/metrics``) are intentionally *not* limited by the
+default policy: liveness must stay observable precisely when the server
+is saturated.
+
+Queue depth and wait time go to the telemetry registry
+(``repro_serving_queue_depth``, ``repro_serving_queue_wait_seconds``)
+alongside admit/reject counters, which is how the E14 benchmark measures
+overload behaviour without instrumenting clients.
+
+Chaos: every admission decision passes the ``serving.admit`` fault point
+(keyed by route), so fault plans can force rejects/delays on the
+admission path itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .. import telemetry
+from ..resilience.faults import fault_point
+
+__all__ = ["AdmissionController", "AdmissionRejected", "RouteLimit",
+           "DEFAULT_LIMITS"]
+
+
+class AdmissionRejected(RuntimeError):
+    """Raised when a request cannot be admitted; maps to HTTP 429."""
+
+    def __init__(self, route, reason, retry_after_s=1.0):
+        super().__init__(f"{route}: {reason}")
+        self.route = route
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class RouteLimit:
+    """Concurrency budget for one route class."""
+
+    max_concurrent: int = 8
+    max_queue: int = 16
+    queue_timeout_s: float = 10.0
+    retry_after_s: float = 1.0
+
+
+#: Default policy: heavy compute routes share small budgets, probe and
+#: introspection routes are unlimited (absent == unlimited).
+DEFAULT_LIMITS = {
+    "/forecast": RouteLimit(max_concurrent=8, max_queue=32,
+                            queue_timeout_s=30.0),
+    "/evaluate": RouteLimit(max_concurrent=4, max_queue=8,
+                            queue_timeout_s=30.0, retry_after_s=2.0),
+    "/automl": RouteLimit(max_concurrent=2, max_queue=4,
+                          queue_timeout_s=30.0, retry_after_s=5.0),
+    "/recommend": RouteLimit(max_concurrent=4, max_queue=8,
+                             queue_timeout_s=30.0),
+    "/upload": RouteLimit(max_concurrent=4, max_queue=8,
+                          queue_timeout_s=10.0),
+    "/qa": RouteLimit(max_concurrent=4, max_queue=8,
+                      queue_timeout_s=10.0),
+}
+
+
+class _Gate:
+    """Counting gate: active slots + a bounded waiting room."""
+
+    __slots__ = ("limit", "active", "waiting", "cond")
+
+    def __init__(self, limit):
+        self.limit = limit
+        self.active = 0
+        self.waiting = 0
+        self.cond = threading.Condition()
+
+
+class AdmissionController:
+    """Per-route-class admission gates.
+
+    ``admit(route)`` is a context manager::
+
+        with admission.admit("/forecast"):
+            ... handle the request ...
+
+    Routes without a configured limit pass through untouched (zero
+    cost beyond one dict lookup), which is what keeps ``/health`` fast
+    under overload.
+    """
+
+    def __init__(self, limits=None):
+        table = DEFAULT_LIMITS if limits is None else limits
+        self._gates = {route: _Gate(limit)
+                       for route, limit in table.items()}
+        self.counters = {"admitted": 0, "rejected": 0, "queued": 0}
+        self._lock = threading.Lock()
+
+    def limits(self):
+        """``route -> RouteLimit`` snapshot (read-only view)."""
+        return {route: gate.limit for route, gate in self._gates.items()}
+
+    def admit(self, route):
+        """Context manager holding one execution slot for ``route``."""
+        return _Admission(self, self._gates.get(route), route)
+
+    # -- internals -------------------------------------------------------
+    def _enter(self, gate, route):
+        fault_point("serving.admit", route)
+        if gate is None:
+            return
+        limit = gate.limit
+        start = None
+        with gate.cond:
+            if gate.active < limit.max_concurrent:
+                gate.active += 1
+            else:
+                if gate.waiting >= limit.max_queue:
+                    self._reject(route, "queue full", limit)
+                gate.waiting += 1
+                self._observe_depth(route, gate)
+                start = time.perf_counter()
+                deadline = start + limit.queue_timeout_s
+                try:
+                    while gate.active >= limit.max_concurrent:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0 \
+                                or not gate.cond.wait(timeout=remaining):
+                            if gate.active >= limit.max_concurrent:
+                                self._reject(route, "queue timeout",
+                                             limit)
+                    gate.active += 1
+                finally:
+                    gate.waiting -= 1
+                    self._observe_depth(route, gate)
+        with self._lock:
+            self.counters["admitted"] += 1
+            if start is not None:
+                self.counters["queued"] += 1
+        telemetry.inc("repro_serving_admitted_total", route=route,
+                      help="Requests admitted past the admission gate.")
+        if start is not None:
+            telemetry.observe("repro_serving_queue_wait_seconds",
+                              time.perf_counter() - start, route=route,
+                              help="Time spent queued for an execution "
+                                   "slot.")
+
+    def _exit(self, gate):
+        if gate is None:
+            return
+        with gate.cond:
+            gate.active -= 1
+            gate.cond.notify()
+
+    def _reject(self, route, reason, limit):
+        with self._lock:
+            self.counters["rejected"] += 1
+        telemetry.inc("repro_serving_rejected_total", route=route,
+                      reason=reason.replace(" ", "_"),
+                      help="Requests rejected by admission control.")
+        raise AdmissionRejected(route, reason,
+                                retry_after_s=limit.retry_after_s)
+
+    @staticmethod
+    def _observe_depth(route, gate):
+        telemetry.set_gauge("repro_serving_queue_depth", gate.waiting,
+                            route=route,
+                            help="Requests currently queued for an "
+                                 "execution slot.")
+
+    def stats(self):
+        with self._lock:
+            out = dict(self.counters)
+        out["routes"] = {route: {"active": gate.active,
+                                 "waiting": gate.waiting}
+                         for route, gate in self._gates.items()}
+        return out
+
+
+class _Admission:
+    """The context manager handed out by :meth:`AdmissionController.admit`."""
+
+    __slots__ = ("controller", "gate", "route", "_held")
+
+    def __init__(self, controller, gate, route):
+        self.controller = controller
+        self.gate = gate
+        self.route = route
+        self._held = False
+
+    def __enter__(self):
+        self.controller._enter(self.gate, self.route)
+        self._held = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._held:
+            self._held = False
+            self.controller._exit(self.gate)
+        return False

@@ -1,0 +1,172 @@
+"""Microbatching queue: coalesce concurrent forecasts into one batched call.
+
+The deep forecasters' ``predict_batch`` (PR 2) amortises one batched
+forward pass over many histories and is bitwise-identical to the
+per-history loop; the classical methods inherit the base-class loop, so
+batching *never* changes a forecast.  What was missing is the queue in
+front of it: under concurrent load, N requests for the same fitted model
+used to mean N forward passes.
+
+:class:`MicroBatcher` uses a leader/follower design with no background
+thread:
+
+* the first request for a ``(model key, horizon)`` group becomes the
+  **leader**: it lingers up to ``window_ms`` (cut short the moment the
+  group hits ``max_batch``), then closes the group, runs one
+  ``predict_batch`` over every member's history, and distributes the
+  results;
+* later requests arriving inside the window are **followers**: they
+  append their history and block until the leader hands them their
+  forecast.
+
+A failing batch propagates the exception to every member.  Batch sizes
+and the leader's linger are exported as histograms
+(``repro_serving_batch_size``, ``repro_serving_batch_wait_seconds``), so
+the E14 load benchmark can assert coalescing actually happened.
+
+Chaos: every submit passes the ``serving.batch`` fault point (keyed by
+the model key), so the resilience matrix can inject failures into the
+batching path and assert clients get error envelopes, not hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .. import telemetry
+from ..resilience.faults import fault_point
+
+__all__ = ["MicroBatcher", "BATCH_SIZE_BUCKETS"]
+
+#: Histogram buckets for the per-call coalesced batch size.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class _Request:
+    """One caller's slot in a batch group."""
+
+    __slots__ = ("history", "result", "error")
+
+    def __init__(self, history):
+        self.history = history
+        self.result = None
+        self.error = None
+
+
+class _Group:
+    """Requests coalescing toward one ``predict_batch`` call."""
+
+    __slots__ = ("requests", "closed", "full", "done", "opened_at")
+
+    def __init__(self, opened_at):
+        self.requests = []
+        self.closed = False
+        self.full = threading.Event()   # max_batch reached: stop lingering
+        self.done = threading.Event()   # results distributed
+        self.opened_at = opened_at
+
+
+class MicroBatcher:
+    """Batch concurrent ``predict`` calls per (model key, horizon).
+
+    Parameters
+    ----------
+    max_batch:
+        Hard cap on histories per batched call; a full group executes
+        immediately without waiting out the window.
+    window_ms:
+        Maximum linger of the first request in a group.  ``0`` disables
+        coalescing (every request is a batch of one) without changing
+        results — the knob trades a bounded latency floor for
+        throughput.
+    result_timeout_s:
+        Upper bound a follower waits for its leader before giving up —
+        strictly a hang backstop; the leader's own call is synchronous.
+    """
+
+    def __init__(self, max_batch=8, window_ms=2.0, result_timeout_s=120.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.window_ms = max(float(window_ms), 0.0)
+        self.result_timeout_s = float(result_timeout_s)
+        self._groups = {}
+        self._lock = threading.Lock()
+        self.counters = {"requests": 0, "batches": 0, "batched_away": 0,
+                         "errors": 0}
+
+    def submit(self, key, model, history, horizon):
+        """Forecast ``horizon`` steps from ``history``; may be coalesced.
+
+        Blocks until the forecast is available (leader: after running
+        the batch; follower: after the leader distributes results) and
+        returns exactly what ``model.predict(history, horizon)`` would.
+        """
+        fault_point("serving.batch", key)
+        group_key = (key, int(horizon))
+        request = _Request(history)
+        with self._lock:
+            self.counters["requests"] += 1
+            group = self._groups.get(group_key)
+            if group is None or group.closed \
+                    or len(group.requests) >= self.max_batch:
+                group = _Group(opened_at=time.perf_counter())
+                self._groups[group_key] = group
+                leader = True
+            else:
+                leader = False
+            group.requests.append(request)
+            if len(group.requests) >= self.max_batch:
+                group.closed = True
+                group.full.set()
+        if leader:
+            self._lead(group_key, group, model, horizon)
+        else:
+            if not group.done.wait(timeout=self.result_timeout_s):
+                raise TimeoutError(
+                    f"microbatch leader for {key[:12]}/{horizon} did not "
+                    f"deliver within {self.result_timeout_s}s")
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _lead(self, group_key, group, model, horizon):
+        if self.window_ms > 0.0 and not group.full.is_set():
+            group.full.wait(timeout=self.window_ms / 1000.0)
+        with self._lock:
+            group.closed = True
+            if self._groups.get(group_key) is group:
+                del self._groups[group_key]
+            batch = list(group.requests)
+        waited = time.perf_counter() - group.opened_at
+        try:
+            outputs = model.predict_batch([r.history for r in batch],
+                                          horizon)
+            if len(outputs) != len(batch):
+                raise RuntimeError(
+                    f"predict_batch returned {len(outputs)} forecasts "
+                    f"for {len(batch)} histories")
+            for req, out in zip(batch, outputs):
+                req.result = out
+        except BaseException as exc:  # noqa: BLE001 - fan the error out
+            for req in batch:
+                req.error = exc
+            with self._lock:
+                self.counters["errors"] += 1
+        finally:
+            with self._lock:
+                self.counters["batches"] += 1
+                self.counters["batched_away"] += len(batch) - 1
+            group.done.set()
+        telemetry.observe("repro_serving_batch_size", float(len(batch)),
+                          buckets=BATCH_SIZE_BUCKETS,
+                          help="Coalesced requests per predict_batch "
+                               "call.")
+        telemetry.observe("repro_serving_batch_wait_seconds", waited,
+                          help="Leader linger before a microbatch "
+                               "executed.")
+
+    def stats(self):
+        with self._lock:
+            return dict(self.counters)

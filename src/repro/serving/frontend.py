@@ -1,0 +1,262 @@
+"""Concurrent HTTP front end: threaded acceptor pool + pre-fork workers.
+
+The seed server used the single-threaded ``http.server.HTTPServer``: one
+slow ``/evaluate`` blocked every other request including ``/health``.
+This module provides the two front ends the serving tier runs behind:
+
+:class:`GracefulThreadingHTTPServer`
+    a thread-per-connection acceptor (stdlib ``ThreadingHTTPServer``)
+    that *tracks in-flight handlers* so shutdown can drain: stop
+    accepting, wait (bounded) for live requests to finish, then close.
+    This is the embeddable mode :class:`~repro.server.EasyTimeServer`
+    uses, and the per-worker server of the pre-fork mode.
+
+:class:`PreforkServer`
+    an optional multi-process mode: N forked workers each bind their own
+    ``SO_REUSEPORT`` socket on the same port, so the kernel load-balances
+    accepts across processes and one Python process's GIL stops being
+    the ceiling.  Workers are plain ``multiprocessing.Process`` children
+    (``fork`` start method — the warm EasyTime system, knowledge base
+    and data-plane attach cache are inherited for free).  ``stop()``
+    signals children to drain and joins them.  Linux-only (SO_REUSEPORT);
+    :func:`reuseport_supported` probes availability so callers can fall
+    back to the threaded mode.
+
+Both front ends serve the same handler class built by
+:func:`repro.server.make_handler` — the front end decides *where*
+requests run, never *what* they mean.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+__all__ = ["GracefulThreadingHTTPServer", "PreforkServer",
+           "reuseport_socket", "reuseport_supported"]
+
+
+class GracefulThreadingHTTPServer(ThreadingHTTPServer):
+    """Thread-per-connection server with bounded graceful drain.
+
+    ``daemon_threads`` keeps a hung handler from blocking interpreter
+    exit; :meth:`drain` gives well-behaved handlers a bounded window to
+    finish before the listening socket closes underneath them.
+    """
+
+    daemon_threads = True
+    #: Listen backlog: deep enough that a burst queues in the kernel
+    #: instead of getting connection-refused before admission control
+    #: can even answer 429.
+    request_queue_size = 128
+
+    def __init__(self, server_address, handler_class,
+                 bind_and_activate=True):
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        super().__init__(server_address, handler_class,
+                         bind_and_activate=bind_and_activate)
+
+    def process_request_thread(self, request, client_address):
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self):
+        """Requests currently being handled (approximate, racy reads ok)."""
+        with self._inflight_cond:
+            return self._inflight
+
+    def drain(self, timeout=5.0):
+        """Wait up to ``timeout`` for in-flight handlers; True if drained.
+
+        Call *after* ``shutdown()`` (no new accepts) and *before*
+        ``server_close()`` (handler sockets still usable while they
+        finish writing responses).
+        """
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(timeout=remaining)
+        return True
+
+
+def reuseport_supported():
+    """Whether this platform can bind multiple sockets to one port."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def reuseport_socket(host, port, backlog=128):
+    """A listening TCP socket with ``SO_REUSEPORT`` set.
+
+    Several such sockets may bind the same ``(host, port)``; the kernel
+    then spreads incoming connections across them — the classic pre-fork
+    scaling pattern (nginx, uwsgi) without a master/proxy process.
+    """
+    if not reuseport_supported():
+        raise OSError("SO_REUSEPORT is not available on this platform")
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(server_factory, host, port, ready, anchor=None,
+                 on_exit=None):
+    """Child body: build a server on a fresh SO_REUSEPORT socket, serve.
+
+    The factory must construct its server with
+    ``bind_and_activate=False`` — each worker binds its *own*
+    ``SO_REUSEPORT`` socket here; a plain bind of the same port would
+    fail against its siblings.
+
+    The parent's inherited *anchor* socket must be closed first: with
+    ``SO_REUSEPORT`` the kernel hashes connections across **every**
+    listening socket on the port, and a forked copy of the anchor that
+    nobody accepts on would silently swallow its share of connections.
+    """
+    if anchor is not None:
+        anchor.close()
+    sock = reuseport_socket(host, port)
+    server = server_factory((host, port))
+    # Swap the factory's unbound placeholder socket for the live one.
+    try:
+        server.socket.close()
+    except OSError:
+        pass
+    server.socket = sock
+    stopping = threading.Event()
+
+    def _terminate(signum, frame):
+        if not stopping.is_set():
+            stopping.set()
+            # shutdown() must run off the serve_forever thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent handles Ctrl-C
+    ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        if hasattr(server, "drain"):
+            server.drain(timeout=5.0)
+        server.server_close()
+        if on_exit is not None:
+            # Release per-worker resources (shared-memory store, log
+            # sinks) before the child exits.
+            on_exit()
+
+
+class PreforkServer:
+    """N forked worker processes accepting on one SO_REUSEPORT port.
+
+    Parameters
+    ----------
+    server_factory:
+        ``(addr) -> HTTPServer`` builder; called *inside* each child so
+        every worker owns its sockets and threads.  With the ``fork``
+        start method the factory's closure (the warm API object) is
+        inherited copy-on-write.
+    host / port:
+        Bind address.  ``port=0`` picks a free port once in the parent
+        and every worker binds the same concrete port.
+    workers:
+        Number of child processes.
+    """
+
+    def __init__(self, server_factory, host="127.0.0.1", port=0,
+                 workers=2, on_exit=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.server_factory = server_factory
+        self.host = host
+        self.workers = int(workers)
+        self.on_exit = on_exit
+        # Reserve the concrete port up front (and hold the socket so the
+        # port cannot be stolen between now and the workers binding it).
+        self._anchor = reuseport_socket(host, port)
+        self.port = self._anchor.getsockname()[1]
+        self._children = []
+        self._stopped = False
+
+    @property
+    def address(self):
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, timeout=30.0):
+        """Fork the workers; returns once every child is accepting."""
+        ctx = multiprocessing.get_context("fork")
+        events = []
+        for _ in range(self.workers):
+            ready = ctx.Event()
+            proc = ctx.Process(target=_worker_main,
+                               args=(self.server_factory, self.host,
+                                     self.port, ready, self._anchor,
+                                     self.on_exit),
+                               daemon=True)
+            proc.start()
+            self._children.append(proc)
+            events.append(ready)
+        deadline = time.monotonic() + timeout
+        for ready in events:
+            if not ready.wait(timeout=max(deadline - time.monotonic(),
+                                          0.1)):
+                self.stop()
+                raise RuntimeError("pre-fork worker failed to start")
+        # The anchor socket must not steal connections from the workers.
+        self._anchor.close()
+        return self.address
+
+    def stop(self, timeout=10.0):
+        """SIGTERM every worker (drain + close), then join; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for proc in self._children:
+            if proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._children:
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        try:
+            self._anchor.close()
+        except OSError:
+            pass
+
+    def alive(self):
+        """Number of live worker processes."""
+        return sum(1 for proc in self._children if proc.is_alive())
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -1,0 +1,274 @@
+"""Warm model registry: fitted forecasters as long-lived, shared artifacts.
+
+The old server fit a fresh model inside every ``/evaluate`` and
+``/automl`` request; a model that took seconds to train was thrown away
+milliseconds later.  :class:`ModelRegistry` keeps fitted forecasters
+warm between requests, keyed by the same content fingerprints the
+:class:`~repro.runtime.ArtifactCache` uses — method spec + train
+geometry + the dataset's data-plane digest — so two requests asking for
+the same model on the same bytes share one fit.
+
+Three properties the serving tier depends on:
+
+* **Single-flight fits.**  N concurrent cold requests for the same key
+  trigger exactly one ``fit``; the other N-1 callers block on the
+  in-flight fit and receive the *same* fitted object (outcome
+  ``"wait"``).  A failed fit propagates its exception to every waiter
+  and leaves no entry behind, so the next request retries cleanly.
+* **LRU + TTL eviction.**  ``capacity`` bounds resident models (least
+  recently *used* evicted first); ``ttl_s`` expires entries whose fit
+  finished too long ago, so a registry in a long-lived server cannot
+  serve a model trained on data the caller has since re-uploaded
+  (expired entries count as misses and are refit).
+* **Injectable clock.**  TTL tests pin time instead of sleeping.
+
+Outcomes are counted in the telemetry registry under
+``repro_serving_registry_total{result=hit|wait|fit|expired}`` and the
+resident-model count is exported as a gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .. import telemetry
+from ..runtime import fingerprint
+
+__all__ = ["ModelRegistry", "ModelEntry", "model_key"]
+
+
+def model_key(method, params, lookback, horizon, dataset_digest, salt=""):
+    """Content fingerprint identifying one fitted model.
+
+    Same construction as the artifact-cache keys: anything that changes
+    the fitted state — method, hyper-parameters, train geometry, the
+    dataset bytes (via the data plane's array digest) — changes the key.
+    """
+    return fingerprint("serving.model", salt, method, dict(params or {}),
+                       int(lookback), int(horizon), dataset_digest)
+
+
+@dataclass
+class ModelEntry:
+    """One warm model plus the metadata ``GET /models`` reports."""
+
+    key: str
+    model: object
+    method: str = ""
+    dataset: str = ""
+    lookback: int = 0
+    horizon: int = 0
+    fitted_at: float = 0.0
+    fit_seconds: float = 0.0
+    hits: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def snapshot(self, now=None):
+        age = None if now is None else round(now - self.fitted_at, 3)
+        return {"key": self.key[:16], "method": self.method,
+                "dataset": self.dataset, "lookback": self.lookback,
+                "horizon": self.horizon, "hits": self.hits,
+                "fit_seconds": round(self.fit_seconds, 6),
+                "age_seconds": age, **self.extra}
+
+
+class _Flight:
+    """One in-progress fit that concurrent cold callers wait on."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.entry = None
+        self.error = None
+
+
+class ModelRegistry:
+    """LRU/TTL registry of fitted forecasters with single-flight fits.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident models; ``0`` disables warm reuse entirely
+        (every request fits — the cold baseline the E14 benchmark
+        measures against).
+    ttl_s:
+        Seconds a fitted model stays servable; ``None`` means forever.
+    clock:
+        Monotonic time source (injectable for TTL tests).
+    """
+
+    def __init__(self, capacity=32, ttl_s=None, clock=time.monotonic):
+        self.capacity = max(int(capacity), 0)
+        self.ttl_s = ttl_s
+        self.clock = clock
+        self._models = OrderedDict()   # key -> ModelEntry (LRU order)
+        self._flights = {}             # key -> _Flight
+        self._lock = threading.Lock()
+        self.counters = {"hits": 0, "fits": 0, "waits": 0, "expired": 0,
+                         "evictions": 0, "fit_errors": 0}
+
+    # -- lookup ----------------------------------------------------------
+    def get_or_fit(self, key, fit_fn, **meta):
+        """Return ``(entry, outcome)`` for ``key``; fit at most once.
+
+        ``outcome`` is ``"hit"`` (warm), ``"wait"`` (another request's
+        in-flight fit was joined) or ``"fit"`` (this caller trained the
+        model).  ``fit_fn()`` must return the fitted model; ``meta``
+        keys (method/dataset/lookback/horizon/...) annotate the entry.
+        """
+        while True:
+            with self._lock:
+                entry = self._fresh_entry(key)
+                if entry is not None:
+                    entry.hits += 1
+                    self.counters["hits"] += 1
+                    self._observe("hit")
+                    return entry, "hit"
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                return self._run_fit(key, flight, fit_fn, meta), "fit"
+            flight.done.wait()
+            if flight.error is not None:
+                with self._lock:
+                    self.counters["waits"] += 1
+                self._observe("wait")
+                raise flight.error
+            if flight.entry is not None:
+                with self._lock:
+                    flight.entry.hits += 1
+                    self.counters["waits"] += 1
+                self._observe("wait")
+                return flight.entry, "wait"
+            # Defensive: no entry and no error — retry from the top.
+
+    def _fresh_entry(self, key):
+        """The warm entry for ``key`` or None; expires stale ones."""
+        entry = self._models.get(key)
+        if entry is None:
+            return None
+        if self.ttl_s is not None \
+                and self.clock() - entry.fitted_at > self.ttl_s:
+            del self._models[key]
+            self.counters["expired"] += 1
+            self._observe("expired")
+            return None
+        self._models.move_to_end(key)
+        return entry
+
+    def _run_fit(self, key, flight, fit_fn, meta):
+        start = self.clock()
+        try:
+            model = fit_fn()
+        except BaseException as exc:
+            with self._lock:
+                self.counters["fit_errors"] += 1
+                self._flights.pop(key, None)
+            flight.error = exc
+            flight.done.set()
+            telemetry.inc("repro_serving_fit_errors_total",
+                          help="Model fits that raised inside the "
+                               "serving registry.")
+            raise
+        entry = ModelEntry(key=key, model=model,
+                           fitted_at=self.clock(),
+                           fit_seconds=self.clock() - start, hits=1,
+                           **self._split_meta(meta))
+        with self._lock:
+            self.counters["fits"] += 1
+            if self.capacity > 0:
+                self._models[key] = entry
+                self._models.move_to_end(key)
+                while len(self._models) > self.capacity:
+                    self._models.popitem(last=False)
+                    self.counters["evictions"] += 1
+                    telemetry.inc("repro_serving_evictions_total",
+                                  help="Warm models evicted by the "
+                                       "registry LRU.")
+            # Joiners get the leader's model even at capacity 0 — they
+            # asked for this exact fit; only *retention* is disabled.
+            flight.entry = entry
+            self._flights.pop(key, None)
+        flight.done.set()
+        self._observe("fit")
+        telemetry.observe("repro_serving_fit_seconds", entry.fit_seconds,
+                          method=entry.method,
+                          help="Wall-clock of cold model fits.")
+        self._export_size()
+        return entry
+
+    @staticmethod
+    def _split_meta(meta):
+        known = {k: meta[k] for k in ("method", "dataset", "lookback",
+                                      "horizon") if k in meta}
+        extra = {k: v for k, v in meta.items() if k not in known}
+        if extra:
+            known["extra"] = extra
+        return known
+
+    # -- maintenance -----------------------------------------------------
+    def evict(self, key):
+        """Drop one warm model; returns True when it was resident."""
+        with self._lock:
+            entry = self._models.pop(key, None)
+        self._export_size()
+        return entry is not None
+
+    def clear(self):
+        with self._lock:
+            self._models.clear()
+        self._export_size()
+
+    def keys(self):
+        """Resident keys, least recently used first."""
+        with self._lock:
+            return list(self._models)
+
+    def snapshot(self):
+        """``GET /models`` payload: one row per warm model, LRU order."""
+        now = self.clock()
+        with self._lock:
+            rows = [entry.snapshot(now=now)
+                    for entry in self._models.values()]
+            stats = dict(self.counters)
+        stats["resident"] = len(rows)
+        stats["capacity"] = self.capacity
+        stats["ttl_s"] = self.ttl_s
+        return {"models": rows, "stats": stats}
+
+    def stats(self):
+        with self._lock:
+            out = dict(self.counters)
+            out["resident"] = len(self._models)
+        return out
+
+    def __len__(self):
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._models
+
+    # -- telemetry -------------------------------------------------------
+    @staticmethod
+    def _observe(result):
+        telemetry.inc("repro_serving_registry_total", result=result,
+                      help="Warm-model registry lookups by outcome.")
+
+    def _export_size(self):
+        if telemetry.active() is not None:
+            with self._lock:
+                resident = len(self._models)
+            telemetry.set_gauge("repro_serving_registry_models", resident,
+                                help="Fitted models currently resident "
+                                     "in the serving registry.")

@@ -1,0 +1,307 @@
+"""HTTP round-trips for the serving tier: /forecast, probes, overload.
+
+Covers the serving-tier endpoints end to end (warm registry, microbatch,
+admission control), the request-body hardening (malformed
+``Content-Length`` → 400, oversized bodies → 413), graceful shutdown
+semantics, bounded route labels and the pre-fork front end.
+"""
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultRule, injected
+from repro.server import EasyTimeServer
+from repro.server.app import (_GET_ROUTES, _POST_ROUTES, ROUTE_LABELS,
+                              _route_label)
+from repro.serving import RouteLimit, reuseport_supported
+
+
+@pytest.fixture(scope="module")
+def server(easytime_system):
+    with EasyTimeServer(easytime_system, registry_size=8,
+                        batch_window_ms=2.0) as srv:
+        yield srv
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.address + path, timeout=30) as r:
+            return r.status, json.load(r), dict(r.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+def post(server, path, body):
+    req = urllib.request.Request(
+        server.address + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=120) as r:
+            return r.status, json.load(r), dict(r.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+def raw_request(server, payload):
+    """Send raw bytes over a fresh socket; returns the response text."""
+    host, port = server.address.replace("http://", "").split(":")
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.settimeout(10)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+    return b"".join(chunks).decode("utf-8", "replace")
+
+
+class TestForecastEndpoint:
+    def test_cold_then_warm(self, server, easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        body = {"dataset": dataset, "method": "theta", "horizon": 12}
+        status, cold, _ = post(server, "/forecast", body)
+        assert status == 200
+        assert cold["data"]["served"] == "fit"
+        assert len(cold["data"]["forecast"]) == 12
+
+        status, warm, _ = post(server, "/forecast", body)
+        assert status == 200
+        assert warm["data"]["served"] == "hit"
+        # Warm responses are byte-identical to the cold fit's forecast.
+        assert warm["data"]["forecast"] == cold["data"]["forecast"]
+        assert warm["data"]["model_key"] == cold["data"]["model_key"]
+
+    def test_distinct_geometry_distinct_model(self, server, easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        _, a, _ = post(server, "/forecast",
+                       {"dataset": dataset, "method": "naive",
+                        "horizon": 8})
+        _, b, _ = post(server, "/forecast",
+                       {"dataset": dataset, "method": "naive",
+                        "horizon": 16})
+        assert a["data"]["model_key"] != b["data"]["model_key"]
+
+    def test_models_endpoint_lists_warm_models(self, server,
+                                               easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        post(server, "/forecast", {"dataset": dataset, "method": "drift",
+                                   "horizon": 8})
+        status, payload, _ = get(server, "/models")
+        assert status == 200
+        methods = {row["method"] for row in payload["data"]["models"]}
+        assert "drift" in methods
+        stats = payload["data"]["stats"]
+        assert stats["fits"] >= 1
+        assert "batcher" in payload["data"]
+        assert "admission" in payload["data"]
+
+    def test_unknown_method_is_400(self, server, easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        status, payload, _ = post(server, "/forecast",
+                                  {"dataset": dataset,
+                                   "method": "no_such_method"})
+        assert status == 400
+        assert not payload["ok"]
+
+    def test_bad_horizon_is_400(self, server, easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        status, payload, _ = post(server, "/forecast",
+                                  {"dataset": dataset, "method": "naive",
+                                   "horizon": 0})
+        assert status == 400
+        assert "horizon" in payload["error"]
+
+
+class TestProbes:
+    def test_healthz_alias(self, server):
+        for probe in ("/health", "/healthz"):
+            status, payload, _ = get(server, probe)
+            assert status == 200
+            assert payload["data"] == "alive"
+
+    def test_readyz_when_ready(self, server):
+        status, payload, _ = get(server, "/readyz")
+        assert status == 200
+        assert payload["data"] == "ready"
+
+    def test_readyz_503_before_offline_phase(self):
+        from repro.core import EasyTime
+        cold = EasyTime(per_domain=1, length=320)  # no setup()
+        with EasyTimeServer(cold) as srv:
+            status, payload, _ = get(srv, "/readyz")
+            assert status == 503
+            assert not payload["ok"]
+            # Liveness is independent of readiness.
+            status, _, _ = get(srv, "/health")
+            assert status == 200
+
+
+class TestBodyHardening:
+    def test_malformed_content_length_is_400(self, server):
+        response = raw_request(
+            server,
+            b"POST /evaluate HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: banana\r\n\r\n")
+        assert " 400 " in response.splitlines()[0]
+        assert "invalid Content-Length" in response
+
+    def test_negative_content_length_is_400(self, server):
+        response = raw_request(
+            server,
+            b"POST /evaluate HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: -5\r\n\r\n")
+        assert " 400 " in response.splitlines()[0]
+
+    def test_oversized_body_is_413(self, server):
+        response = raw_request(
+            server,
+            b"POST /upload HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 99999999999\r\n\r\n")
+        assert " 413 " in response.splitlines()[0]
+        assert "exceeds" in response
+
+    def test_small_cap_enforced_per_server(self, easytime_system):
+        with EasyTimeServer(easytime_system, max_body_bytes=64) as srv:
+            status, payload, _ = post(
+                srv, "/qa", {"question": "x" * 200})
+            assert status == 413
+            assert not payload["ok"]
+
+
+class TestAdmissionOverHTTP:
+    def test_overload_returns_429_with_retry_after(self, easytime_system):
+        limits = {"/forecast": RouteLimit(max_concurrent=1, max_queue=0,
+                                          retry_after_s=3.0)}
+        dataset = easytime_system.list_datasets()[0]
+        body = {"dataset": dataset, "method": "dlinear", "horizon": 8,
+                "params": {"lookback": 48, "epochs": 40}}
+        with EasyTimeServer(easytime_system, admission_limits=limits,
+                            registry_size=0) as srv:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(
+                    lambda _: post(srv, "/forecast", body), range(8)))
+        statuses = sorted(status for status, _, _ in results)
+        assert set(statuses) <= {200, 429}
+        assert 200 in statuses   # someone got served
+        assert 429 in statuses   # overload surfaced as fast rejection
+        for status, payload, headers in results:
+            if status == 429:
+                assert headers.get("Retry-After") == "3"
+                assert not payload["ok"]
+                assert "too many requests" in payload["error"]
+
+    def test_probes_stay_unthrottled_by_default(self, server):
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            results = list(pool.map(lambda _: get(server, "/health"),
+                                    range(64)))
+        assert all(status == 200 for status, _, _ in results)
+
+
+class TestServingFaultSites:
+    def test_batch_fault_becomes_503_envelope(self, server,
+                                              easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        plan = FaultPlan([FaultRule(site="serving.batch", kind="error")])
+        with injected(plan):
+            status, payload, _ = post(server, "/forecast",
+                                      {"dataset": dataset,
+                                       "method": "naive", "horizon": 8})
+        assert status == 503
+        assert "injected fault" in payload["error"]
+
+    def test_admit_fault_becomes_503_envelope(self, server,
+                                              easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        plan = FaultPlan([FaultRule(site="serving.admit", kind="error",
+                                    match="/forecast")])
+        with injected(plan):
+            status, payload, _ = post(server, "/forecast",
+                                      {"dataset": dataset,
+                                       "method": "naive", "horizon": 8})
+        assert status == 503
+        assert "injected fault" in payload["error"]
+
+
+class TestRouteLabels:
+    def test_every_registered_route_has_a_bounded_label(self):
+        for route in _GET_ROUTES + _POST_ROUTES:
+            assert _route_label(route) == route  # no <other> leaks
+            assert _route_label(route) in ROUTE_LABELS
+
+    def test_dynamic_routes_collapse_to_templates(self):
+        assert _route_label("/jobs/job-000123") == "/jobs/{id}"
+        assert _route_label("/trace/deadbeef") == "/trace/{id}"
+        assert _route_label("/models/abcd1234") == "/models/{key}"
+        assert _route_label("/nonsense") == "<other>"
+        for label in ("/jobs/{id}", "/trace/{id}", "/models/{key}",
+                      "<other>"):
+            assert label in ROUTE_LABELS
+
+    def test_serving_routes_are_registered(self):
+        assert "/forecast" in _POST_ROUTES
+        for route in ("/models", "/healthz", "/readyz"):
+            assert route in _GET_ROUTES
+
+
+class TestGracefulStop:
+    def test_stop_drains_inflight_and_is_idempotent(self, easytime_system):
+        srv = EasyTimeServer(easytime_system)
+        srv.start()
+        dataset = easytime_system.list_datasets()[0]
+        outcome = {}
+
+        def slow_request():
+            outcome["response"] = post(srv, "/evaluate",
+                                       {"dataset": dataset,
+                                        "method": "theta", "horizon": 24})
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.1)  # let the request reach the handler
+        srv.stop()
+        thread.join(timeout=30)
+        status, payload, _ = outcome["response"]
+        assert status == 200  # drained, not torn down mid-response
+        assert payload["ok"]
+        srv.stop()  # second stop is a no-op, not an error
+        srv.stop()
+
+    def test_stop_before_start_is_safe(self, easytime_system):
+        srv = EasyTimeServer(easytime_system)
+        srv.stop()
+
+
+@pytest.mark.skipif(not reuseport_supported(),
+                    reason="SO_REUSEPORT unavailable on this platform")
+class TestPreforkFrontend:
+    def test_prefork_serves_and_stops(self, easytime_system):
+        dataset = easytime_system.list_datasets()[0]
+        srv = EasyTimeServer(easytime_system, http_workers=2)
+        try:
+            srv.start()
+            assert srv._pool.alive() == 2
+            for _ in range(10):
+                status, payload, _ = post(
+                    srv, "/forecast", {"dataset": dataset,
+                                       "method": "seasonal_naive",
+                                       "horizon": 8})
+                assert status == 200
+                assert payload["ok"]
+            status, _, _ = get(srv, "/health")
+            assert status == 200
+        finally:
+            srv.stop()
+        assert srv._pool.alive() == 0
+        srv.stop()  # idempotent in prefork mode too

@@ -1,0 +1,137 @@
+"""Admission control: bounded queues, rejection semantics, fault site."""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultRule, InjectedFault, injected
+from repro.serving import (AdmissionController, AdmissionRejected,
+                           DEFAULT_LIMITS, RouteLimit)
+
+
+def _hold_slot(controller, route, release):
+    """Occupy one execution slot until ``release`` is set."""
+    ready = threading.Event()
+
+    def holder():
+        with controller.admit(route):
+            ready.set()
+            release.wait(timeout=10)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    assert ready.wait(timeout=10)
+    return thread
+
+
+class TestRejection:
+    def test_queue_full_rejects_immediately(self):
+        controller = AdmissionController(limits={
+            "/forecast": RouteLimit(max_concurrent=1, max_queue=0,
+                                    retry_after_s=3.0)})
+        release = threading.Event()
+        holder = _hold_slot(controller, "/forecast", release)
+        t0 = time.perf_counter()
+        with pytest.raises(AdmissionRejected) as exc_info:
+            with controller.admit("/forecast"):
+                pass
+        assert time.perf_counter() - t0 < 1.0  # no blocking
+        assert exc_info.value.reason == "queue full"
+        assert exc_info.value.retry_after_s == 3.0
+        assert exc_info.value.route == "/forecast"
+        release.set()
+        holder.join(timeout=10)
+        assert controller.counters["rejected"] == 1
+
+    def test_queue_timeout_bounds_the_wait(self):
+        controller = AdmissionController(limits={
+            "/forecast": RouteLimit(max_concurrent=1, max_queue=4,
+                                    queue_timeout_s=0.15)})
+        release = threading.Event()
+        holder = _hold_slot(controller, "/forecast", release)
+        t0 = time.perf_counter()
+        with pytest.raises(AdmissionRejected) as exc_info:
+            with controller.admit("/forecast"):
+                pass
+        waited = time.perf_counter() - t0
+        assert exc_info.value.reason == "queue timeout"
+        assert 0.1 <= waited < 5.0
+        release.set()
+        holder.join(timeout=10)
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        controller = AdmissionController(limits={
+            "/forecast": RouteLimit(max_concurrent=1, max_queue=4,
+                                    queue_timeout_s=10.0)})
+        release = threading.Event()
+        holder = _hold_slot(controller, "/forecast", release)
+        admitted = threading.Event()
+
+        def waiter():
+            with controller.admit("/forecast"):
+                admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        assert not admitted.is_set()  # still queued
+        release.set()
+        assert admitted.wait(timeout=10)
+        thread.join(timeout=10)
+        holder.join(timeout=10)
+        assert controller.counters["queued"] >= 1
+        assert controller.counters["admitted"] == 2
+
+    def test_slot_released_after_exception_in_handler(self):
+        controller = AdmissionController(limits={
+            "/forecast": RouteLimit(max_concurrent=1, max_queue=0)})
+        with pytest.raises(RuntimeError):
+            with controller.admit("/forecast"):
+                raise RuntimeError("handler blew up")
+        # The slot came back: the next request is admitted, not rejected.
+        with controller.admit("/forecast"):
+            pass
+        assert controller.counters["admitted"] == 2
+
+
+class TestPolicy:
+    def test_unlimited_routes_pass_through(self):
+        controller = AdmissionController(limits={})
+        for _ in range(64):
+            with controller.admit("/health"):
+                pass
+        assert controller.counters == {"admitted": 0, "rejected": 0,
+                                       "queued": 0}
+
+    def test_default_policy_spares_the_probes(self):
+        for probe in ("/health", "/healthz", "/readyz", "/metrics"):
+            assert probe not in DEFAULT_LIMITS
+        assert "/forecast" in DEFAULT_LIMITS
+        assert "/evaluate" in DEFAULT_LIMITS
+
+    def test_limits_snapshot(self):
+        controller = AdmissionController()
+        assert controller.limits() == DEFAULT_LIMITS
+
+    def test_stats_shape(self):
+        controller = AdmissionController(limits={
+            "/forecast": RouteLimit(max_concurrent=2)})
+        with controller.admit("/forecast"):
+            stats = controller.stats()
+            assert stats["routes"]["/forecast"]["active"] == 1
+        stats = controller.stats()
+        assert stats["routes"]["/forecast"]["active"] == 0
+
+
+class TestFaultSite:
+    def test_serving_admit_fault_point_fires(self):
+        controller = AdmissionController()
+        plan = FaultPlan([FaultRule(site="serving.admit", kind="error")])
+        with injected(plan):
+            with pytest.raises(InjectedFault):
+                with controller.admit("/forecast"):
+                    pass
+        # Disarmed again: admission works normally.
+        with controller.admit("/forecast"):
+            pass

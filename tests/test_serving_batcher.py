@@ -1,0 +1,149 @@
+"""Microbatcher: coalescing, bitwise identity with solo predicts, errors."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.methods.registry import create
+from repro.serving import MicroBatcher
+
+
+class RecordingModel:
+    """Fake forecaster that records every predict_batch call."""
+
+    def __init__(self):
+        self.calls = []
+
+    def predict_batch(self, histories, horizon):
+        self.calls.append(len(histories))
+        return [np.full((horizon, 1), float(len(h))) for h in histories]
+
+
+class FailingModel:
+    def predict_batch(self, histories, horizon):
+        raise RuntimeError("model exploded")
+
+
+def _submit_concurrently(batcher, key, model, histories, horizon,
+                         start_spread_s=0.0):
+    """Submit every history from its own thread; returns results in order."""
+    results = [None] * len(histories)
+    errors = []
+
+    def worker(idx):
+        if start_spread_s:
+            time.sleep(idx * start_spread_s)
+        try:
+            results[idx] = batcher.submit(key, model, histories[idx],
+                                          horizon)
+        except Exception as exc:  # noqa: BLE001 - collected for asserts
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(len(histories))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return results, errors
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_batch(self):
+        model = RecordingModel()
+        batcher = MicroBatcher(max_batch=8, window_ms=250.0)
+        histories = [np.zeros((n, 1)) for n in (10, 20, 30, 40)]
+        results, errors = _submit_concurrently(batcher, "k", model,
+                                               histories, horizon=6)
+        assert not errors
+        # One leader lingered long enough to pick up every follower.
+        assert model.calls == [4]
+        stats = batcher.stats()
+        assert stats["requests"] == 4
+        assert stats["batches"] == 1
+        assert stats["batched_away"] == 3
+        # Each caller got the forecast for *its* history.
+        for history, result in zip(histories, results):
+            assert result[0, 0] == float(len(history))
+
+    def test_full_batch_executes_before_window_expires(self):
+        model = RecordingModel()
+        batcher = MicroBatcher(max_batch=4, window_ms=10_000.0)
+        histories = [np.zeros((8, 1))] * 4
+        t0 = time.perf_counter()
+        _, errors = _submit_concurrently(batcher, "k", model, histories,
+                                         horizon=3)
+        elapsed = time.perf_counter() - t0
+        assert not errors
+        assert model.calls == [4]
+        assert elapsed < 5.0  # did not wait out the 10 s window
+
+    def test_window_zero_disables_coalescing(self):
+        model = RecordingModel()
+        batcher = MicroBatcher(max_batch=8, window_ms=0.0)
+        for _ in range(3):
+            batcher.submit("k", model, np.zeros((5, 1)), 4)
+        assert model.calls == [1, 1, 1]
+        assert batcher.stats()["batched_away"] == 0
+
+    def test_different_horizons_never_share_a_batch(self):
+        model = RecordingModel()
+        batcher = MicroBatcher(max_batch=8, window_ms=0.0)
+        batcher.submit("k", model, np.zeros((5, 1)), 4)
+        batcher.submit("k", model, np.zeros((5, 1)), 8)
+        assert model.calls == [1, 1]
+
+
+class TestErrors:
+    def test_batch_failure_fans_out_to_every_member(self):
+        batcher = MicroBatcher(max_batch=8, window_ms=150.0)
+        histories = [np.zeros((8, 1))] * 3
+        results, errors = _submit_concurrently(batcher, "k", FailingModel(),
+                                               histories, horizon=3)
+        assert len(errors) == 3
+        assert all("model exploded" in str(e) for e in errors)
+        assert all(r is None for r in results)
+        assert batcher.stats()["errors"] == 1
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+
+
+@pytest.fixture(scope="module")
+def series_values(registry):
+    return registry.multivariate_series("electricity", 0, length=320).values
+
+
+class TestBitwiseIdentity:
+    """Microbatched forecasts must equal solo predicts bit for bit."""
+
+    @pytest.mark.parametrize("method,params", [
+        ("theta", {}),                                    # classical
+        ("seasonal_naive", {}),                           # classical
+        ("dlinear", {"lookback": 48, "horizon": 8,
+                     "epochs": 2}),                       # deep, batched
+        ("rlinear", {"lookback": 48, "horizon": 8,
+                     "epochs": 2}),                       # deep, batched
+    ])
+    def test_batched_equals_solo(self, series_values, method, params):
+        horizon = 8
+        model = create(method, **params)
+        if hasattr(model, "horizon"):
+            model.horizon = horizon
+        model.fit(series_values)
+        histories = [series_values[i:i + 96] for i in (0, 40, 80, 120)]
+
+        solo = [model.predict(h, horizon) for h in histories]
+
+        batcher = MicroBatcher(max_batch=8, window_ms=250.0)
+        batched, errors = _submit_concurrently(batcher, "model-key", model,
+                                               histories, horizon)
+        assert not errors
+        assert batcher.stats()["batched_away"] >= 1  # coalescing happened
+        for a, b in zip(solo, batched):
+            assert a.dtype == b.dtype
+            assert a.shape == b.shape
+            assert a.tobytes() == b.tobytes()  # bitwise, not approx

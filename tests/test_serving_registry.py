@@ -1,0 +1,199 @@
+"""Warm-model registry: single-flight fits, LRU order, TTL expiry."""
+
+import threading
+
+import pytest
+
+from repro.serving import ModelRegistry, model_key
+
+
+class FakeModel:
+    """Stand-in for a fitted forecaster; identity is what matters."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestModelKey:
+    def test_sensitive_to_every_component(self):
+        base = model_key("theta", {}, 96, 24, "digest-a")
+        assert model_key("naive", {}, 96, 24, "digest-a") != base
+        assert model_key("theta", {"alpha": 1}, 96, 24, "digest-a") != base
+        assert model_key("theta", {}, 48, 24, "digest-a") != base
+        assert model_key("theta", {}, 96, 12, "digest-a") != base
+        assert model_key("theta", {}, 96, 24, "digest-b") != base
+
+    def test_stable_across_param_ordering(self):
+        a = model_key("gbdt", {"lr": 0.1, "depth": 3}, 96, 24, "d")
+        b = model_key("gbdt", {"depth": 3, "lr": 0.1}, 96, 24, "d")
+        assert a == b
+
+
+class TestSingleFlight:
+    def test_concurrent_cold_misses_fit_once(self):
+        """N racing cold requests trigger exactly one fit; N-1 wait."""
+        registry = ModelRegistry(capacity=8)
+        release = threading.Event()
+        entered = threading.Barrier(9)  # 8 workers + the main thread
+        fit_calls = []
+
+        def fit_fn():
+            fit_calls.append(1)
+            # Hold the flight open until every worker has joined it.
+            release.wait(timeout=10)
+            return FakeModel("shared")
+
+        results = []
+
+        def worker():
+            entered.wait(timeout=10)
+            entry, outcome = registry.get_or_fit("k", fit_fn,
+                                                 method="theta")
+            results.append((entry.model, outcome))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        entered.wait(timeout=10)
+        # Give every worker time to reach the in-flight fit before the
+        # leader is released; joiners then block on the flight event.
+        import time
+        time.sleep(0.15)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+
+        assert len(results) == 8
+        assert len(fit_calls) == 1
+        models = {id(model) for model, _ in results}
+        assert len(models) == 1  # everyone got the same fitted object
+        outcomes = sorted(outcome for _, outcome in results)
+        assert outcomes.count("fit") == 1
+        assert registry.counters["fits"] == 1
+        assert registry.counters["waits"] == 7
+
+    def test_failed_fit_propagates_and_leaves_no_entry(self):
+        registry = ModelRegistry(capacity=8)
+
+        def bad_fit():
+            raise ValueError("bad hyper-parameters")
+
+        with pytest.raises(ValueError, match="bad hyper"):
+            registry.get_or_fit("k", bad_fit)
+        assert "k" not in registry
+        assert registry.counters["fit_errors"] == 1
+        # The next request retries cleanly.
+        entry, outcome = registry.get_or_fit("k", lambda: FakeModel("ok"))
+        assert outcome == "fit"
+        assert entry.model.tag == "ok"
+
+    def test_failed_fit_raises_in_waiters_too(self):
+        registry = ModelRegistry(capacity=8)
+        release = threading.Event()
+        errors = []
+
+        def bad_fit():
+            release.wait(timeout=10)
+            raise RuntimeError("boom")
+
+        def leader():
+            try:
+                registry.get_or_fit("k", bad_fit)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def waiter():
+            try:
+                registry.get_or_fit("k", lambda: FakeModel("x"))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        import time
+        time.sleep(0.1)
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        time.sleep(0.1)
+        release.set()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert len(errors) == 2
+        assert all("boom" in str(e) for e in errors)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        registry = ModelRegistry(capacity=2)
+        registry.get_or_fit("a", lambda: FakeModel("a"))
+        registry.get_or_fit("b", lambda: FakeModel("b"))
+        # Touch "a": it becomes most recently used.
+        _, outcome = registry.get_or_fit("a", lambda: FakeModel("a2"))
+        assert outcome == "hit"
+        # Inserting "c" evicts the least recently *used* key: "b".
+        registry.get_or_fit("c", lambda: FakeModel("c"))
+        assert registry.keys() == ["a", "c"]
+        assert "b" not in registry
+        assert registry.counters["evictions"] == 1
+        # "b" is now a cold miss again.
+        _, outcome = registry.get_or_fit("b", lambda: FakeModel("b2"))
+        assert outcome == "fit"
+
+    def test_capacity_zero_never_retains(self):
+        registry = ModelRegistry(capacity=0)
+        _, first = registry.get_or_fit("k", lambda: FakeModel("1"))
+        _, second = registry.get_or_fit("k", lambda: FakeModel("2"))
+        assert (first, second) == ("fit", "fit")
+        assert len(registry) == 0
+
+    def test_explicit_evict_and_clear(self):
+        registry = ModelRegistry(capacity=4)
+        registry.get_or_fit("a", lambda: FakeModel("a"))
+        assert registry.evict("a") is True
+        assert registry.evict("a") is False
+        registry.get_or_fit("a", lambda: FakeModel("a"))
+        registry.get_or_fit("b", lambda: FakeModel("b"))
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestTTL:
+    def test_expired_entries_are_refit(self):
+        now = [0.0]
+        registry = ModelRegistry(capacity=4, ttl_s=10.0,
+                                 clock=lambda: now[0])
+        _, outcome = registry.get_or_fit("k", lambda: FakeModel("old"))
+        assert outcome == "fit"
+        now[0] = 5.0
+        _, outcome = registry.get_or_fit("k", lambda: FakeModel("x"))
+        assert outcome == "hit"  # still fresh
+        now[0] = 20.0
+        entry, outcome = registry.get_or_fit("k", lambda: FakeModel("new"))
+        assert outcome == "fit"  # expired == cold miss
+        assert entry.model.tag == "new"
+        assert registry.counters["expired"] == 1
+
+    def test_no_ttl_means_forever(self):
+        now = [0.0]
+        registry = ModelRegistry(capacity=4, ttl_s=None,
+                                 clock=lambda: now[0])
+        registry.get_or_fit("k", lambda: FakeModel("old"))
+        now[0] = 1e9
+        _, outcome = registry.get_or_fit("k", lambda: FakeModel("x"))
+        assert outcome == "hit"
+
+
+class TestSnapshot:
+    def test_snapshot_rows_and_stats(self):
+        registry = ModelRegistry(capacity=4)
+        registry.get_or_fit("a" * 40, lambda: FakeModel("a"),
+                            method="theta", dataset="electricity_0",
+                            lookback=96, horizon=24)
+        snap = registry.snapshot()
+        assert len(snap["models"]) == 1
+        row = snap["models"][0]
+        assert row["method"] == "theta"
+        assert row["dataset"] == "electricity_0"
+        assert len(row["key"]) == 16  # truncated, not the full digest
+        assert snap["stats"]["resident"] == 1
+        assert snap["stats"]["capacity"] == 4
