@@ -1,0 +1,246 @@
+"""E15 — distributed grid: speedup, identity, warm rerun, chaos.
+
+Acceptance benchmarks for the distributed-execution PR, on a 10× E13
+matrix (8 classical methods × 40 long series = 320 cells):
+
+* a 4-worker loopback fleet must finish the grid at least **3×**
+  faster than the serial runner (gate skipped below 4 CPU cores —
+  the identity gates still run);
+* the distributed table must be **bitwise-identical** to the serial
+  one (``to_rows(include_timings=False)``);
+* a warm rerun over the populated remote artifact tier must
+  re-execute **zero** cells;
+* ``SIGKILL`` of one of three worker processes mid-grid must lose
+  **zero** cells and change no bits.
+
+Timings are written as JSON (env ``E15_JSON``, default
+``e15_distributed.json``) so CI can upload them next to the other
+benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datasets import DatasetRegistry
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            run_one_click)
+from repro.resilience import disarm
+from repro.runtime import ArtifactCache
+from repro.runtime.distributed import Coordinator
+
+RESULTS = {}
+
+MIN_SPEEDUP = 3.0    # 4-worker fleet vs serial wall-clock
+MIN_CPUS = 4         # below this the speedup gate is unenforceable
+N_WORKERS = 4
+LEASE_BATCH = 4      # amortise grant round-trips over cheap cells
+
+#: The classical 8-method panel (E13's), ×10 the series count.
+GRID_METHODS = ("naive", "seasonal_naive", "drift", "mean",
+                "ses", "holt", "holt_winters", "theta")
+GRID_DOMAINS = ("traffic", "electricity", "stock", "energy")
+
+#: Serial reference rows shared across the gates (filled in by the
+#: fleet test).
+_STATE = {"serial_rows": None}
+
+
+def _grid_config(per_domain=10, tag="e15"):
+    return BenchmarkConfig(
+        methods=tuple(MethodSpec(name) for name in GRID_METHODS),
+        datasets=DatasetSpec(suite="univariate", per_domain=per_domain,
+                             length=8192, domains=GRID_DOMAINS),
+        strategy="fixed", lookback=96, horizon=24, metrics=("mae",),
+        seed=7, tag=tag).validate()
+
+
+def rows(table):
+    return table.to_rows(include_timings=False)
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_workers(host, port, n, extra=()):
+    cmd = [sys.executable, "-m", "repro", "bench",
+           "--worker", f"{host}:{port}", *extra]
+    return [subprocess.Popen(cmd, env=_cli_env(),
+                             stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+            for _ in range(n)]
+
+
+def _reap(procs, timeout=120):
+    try:
+        for proc in procs:
+            proc.wait(timeout=timeout)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestE15Distributed:
+    def test_fleet_speedup_and_bitwise_identity(self, registry):
+        disarm()
+        config = _grid_config()
+        config.datasets.resolve(registry)  # warm dataset generation
+
+        start = time.perf_counter()
+        serial = run_one_click(config, registry=registry)
+        t_serial = time.perf_counter() - start
+        assert len(serial) == 320
+
+        # No artifact tier in the timed arm: this measures raw fleet
+        # scheduling + compute (the warm-rerun gate covers the cache).
+        coordinator = Coordinator(config, registry=registry,
+                                  lease_batch=LEASE_BATCH, heartbeat_s=5.0)
+        host, port = coordinator.address
+        procs = _spawn_workers(host, port, N_WORKERS)
+        # Let the worker interpreters boot and block on the listener so
+        # the measured window is grid time, not Python start-up —
+        # symmetric with the serial arm, which is timed in-process.
+        time.sleep(6.0)
+        try:
+            start = time.perf_counter()
+            table = coordinator.serve()
+            t_dist = time.perf_counter() - start
+            _reap(procs)
+        finally:
+            _reap(procs, timeout=5)
+
+        speedup = t_serial / t_dist
+        RESULTS["fleet"] = {
+            "cells": 320, "workers": N_WORKERS,
+            "lease_batch": LEASE_BATCH,
+            "serial_s": t_serial, "distributed_s": t_dist,
+            "speedup": speedup, "cpu_count": os.cpu_count(),
+            "stats": dict(coordinator._stats),
+            "scheduler_counts": dict(coordinator.scheduler.counts),
+        }
+        print(f"\nE15 fleet: serial {t_serial:.2f}s, {N_WORKERS} workers "
+              f"{t_dist:.2f}s ({speedup:.2f}x, "
+              f"{os.cpu_count()} cores)")
+
+        # The identity gate holds regardless of core count.
+        assert not table.failures
+        assert rows(table) == rows(serial)
+        _STATE["serial_rows"] = rows(serial)
+
+        if (os.cpu_count() or 1) < MIN_CPUS:
+            pytest.skip(f"speedup gate needs >= {MIN_CPUS} cores "
+                        f"(identity verified on {os.cpu_count()})")
+        assert speedup >= MIN_SPEEDUP, (
+            f"fleet only {speedup:.2f}x serial, floor {MIN_SPEEDUP:.1f}x")
+
+    def test_warm_rerun_executes_zero_cells(self, registry, tmp_path):
+        """A remote tier holding every cell means a rerun needs no
+        workers at all.  The tier is populated by a cached serial run —
+        cache keys are executor-independent, so the distributed rerun
+        must recognise all 320 of them."""
+        disarm()
+        assert _STATE["serial_rows"] is not None, "fleet run must go first"
+        config = _grid_config()
+        run_one_click(config, registry=registry,
+                      cache=ArtifactCache(directory=tmp_path))
+        start = time.perf_counter()
+        warm = Coordinator(config, registry=registry,
+                           cache=ArtifactCache(directory=tmp_path))
+        table = warm.serve()  # returns without a single worker
+        t_warm = time.perf_counter() - start
+        snapshot = warm.scheduler.snapshot()
+        RESULTS["warm_rerun"] = {"seconds": t_warm,
+                                 "cells_reexecuted": snapshot["cells"]}
+        print(f"\nE15 warm rerun: {t_warm:.2f}s, "
+              f"{snapshot['cells']} cells re-executed")
+        assert snapshot["cells"] == 0
+        assert rows(table) == _STATE["serial_rows"]
+
+    def test_sigkill_chaos_loses_zero_cells(self, registry, tmp_path):
+        """1-of-3 workers SIGKILLed mid-grid on a quarter-scale matrix:
+        the lease recovery path must lose nothing and change no bits."""
+        disarm()
+        config = _grid_config(per_domain=2, tag="e15_chaos")
+        serial = run_one_click(config, registry=registry)
+        assert len(serial) == 64
+
+        coordinator = Coordinator(config, registry=registry,
+                                  lease_batch=LEASE_BATCH, heartbeat_s=1.0)
+        host, port = coordinator.address
+        plan = tmp_path / "slow.json"
+        plan.write_text(json.dumps({"rules": [
+            {"site": "executor.task", "kind": "delay", "delay_s": 0.2,
+             "rate": 1.0}]}), encoding="utf-8")
+        import socket as socket_mod
+        import threading
+        holder = {}
+
+        def _serve():
+            holder["table"] = coordinator.serve()
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        # The doomed worker goes first and must visibly hold a lease
+        # before the survivors (and the SIGKILL) arrive — otherwise a
+        # fast grid can finish before the kill exercises recovery.
+        doomed = _spawn_workers(host, port, 1,
+                                extra=("--inject", str(plan)))[0]
+        doomed_name = f"{socket_mod.gethostname()}-{doomed.pid}"
+        survivors = []
+        try:
+            deadline = time.monotonic() + 120
+
+            def _leased():
+                if coordinator.scheduler is None:  # still preparing
+                    return 0
+                workers = coordinator.scheduler.snapshot()["workers"]
+                return workers.get(doomed_name, {}).get("leased", 0)
+
+            while _leased() == 0:
+                assert time.monotonic() < deadline, "doomed never leased"
+                time.sleep(0.05)
+            survivors = _spawn_workers(host, port, 2)
+            while coordinator._stats["results"] < 8 or _leased() == 0:
+                assert time.monotonic() < deadline, "grid never ramped"
+                time.sleep(0.05)
+            doomed.kill()  # SIGKILL while it provably holds cells
+            assert doomed.wait(timeout=30) == -9
+            thread.join(timeout=300)
+            assert not thread.is_alive()
+            _reap(survivors)
+        finally:
+            _reap([doomed, *survivors], timeout=5)
+
+        table = holder["table"]
+        RESULTS["sigkill_chaos"] = {
+            "cells": 64, "workers": 3, "killed": 1,
+            "lost_cells": 64 - len(table),
+            "failures": len(table.failures),
+            "requeued": coordinator.scheduler.counts["requeued"],
+            "expired": coordinator._stats["expired"],
+        }
+        print(f"\nE15 chaos: {len(table)}/64 cells after SIGKILL, "
+              f"{coordinator.scheduler.counts['requeued']} requeued")
+        assert len(table) == 64
+        assert not table.failures
+        assert rows(table) == rows(serial)
+
+
+def teardown_module(module):
+    path = os.environ.get("E15_JSON", "e15_distributed.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(RESULTS, fh, indent=2)
+    print(f"\nE15 timings written to {path}")

@@ -27,6 +27,13 @@ remaining cells.  ``--inject plan.json`` arms deterministic fault
 injection, ``--deadline-s`` bounds wall-clock, ``--quarantine-after``
 sets the per-method circuit breaker, and Ctrl-C flushes partial
 results, prints the resume command and exits 130.
+
+Distributed (PR 7): ``bench config.json --coordinator HOST:PORT`` serves
+the grid over TCP to workers started with ``bench --worker HOST:PORT``
+(no config needed on the worker side); ``--cache-dir`` doubles as the
+fleet's remote artifact tier on the coordinator and as a node-local
+cache on workers, and ``--run-dir``/``--resume`` give the coordinator
+the same crash-safe journaling as a single-host run.
 """
 
 from __future__ import annotations
@@ -113,6 +120,23 @@ def build_parser():
                          help="circuit breaker: consecutive failures before "
                               "a method's remaining cells are quarantined "
                               "(0 disables; default %(default)s)")
+    p_bench.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                         help="serve the grid to TCP workers instead of "
+                              "computing locally; combine with --run-dir/"
+                              "--resume and --cache-dir (the remote "
+                              "artifact tier) as usual")
+    p_bench.add_argument("--worker", default=None, metavar="HOST:PORT",
+                         help="run as a grid worker attached to a "
+                              "coordinator (no config needed; --cache-dir "
+                              "becomes the node-local artifact cache)")
+    p_bench.add_argument("--lease-batch", type=int, default=None,
+                         help="cells granted per worker pull (coordinator "
+                              "default 2; workers default to the "
+                              "coordinator's advertised batch)")
+    p_bench.add_argument("--heartbeat-s", type=float, default=10.0,
+                         help="worker heartbeat interval; a worker silent "
+                              "for 3x this has its leased cells reassigned "
+                              "(default %(default)s)")
 
     p_rec = sub.add_parser("recommend", help="recommend methods for a CSV")
     p_rec.add_argument("csv", type=Path)
@@ -213,6 +237,43 @@ def _bench_setup(args):
     return config, run_dir, resume_state
 
 
+def _parse_endpoint(text):
+    """``HOST:PORT`` (or ``:PORT``) → ``(host, port)``."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"invalid endpoint {text!r}; expected HOST:PORT")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_bench_worker(args, out):
+    """``bench --worker HOST:PORT``: one grid worker, no config needed."""
+    from .resilience import FaultPlan
+    from .resilience import arm as arm_faults
+    from .resilience import disarm as disarm_faults
+    from .runtime import ArtifactCache
+    from .runtime.distributed import Worker
+
+    host, port = _parse_endpoint(args.worker)
+    cache = ArtifactCache(directory=args.cache_dir) if args.cache_dir \
+        else None
+    plan = None
+    if args.inject is not None:
+        raw = json.loads(args.inject.read_text(encoding="utf-8"))
+        plan = FaultPlan.from_dict(raw, seed=raw.get("seed", 0))
+        arm_faults(plan)
+    worker = Worker(host, port, cache=cache, lease_batch=args.lease_batch)
+    try:
+        stats = worker.run()
+    finally:
+        if plan is not None:
+            disarm_faults()
+    print(f"worker {worker.name}: {stats['computed']} computed, "
+          f"{stats['local_hits'] + stats['remote_hits']} cache hits, "
+          f"{stats['failures']} failures, "
+          f"{stats['reconnects']} reconnects", file=out)
+    return 0
+
+
 def _cmd_bench(args, out):
     from .pipeline import RunInterrupted, RunLogger
     from .resilience import JOURNAL_NAME, FailurePolicy, FaultPlan, RunJournal
@@ -220,6 +281,8 @@ def _cmd_bench(args, out):
     from .resilience import disarm as disarm_faults
     from .runtime import ArtifactCache, make_executor
 
+    if args.worker:
+        return _cmd_bench_worker(args, out)
     config, run_dir, resume_state = _bench_setup(args)
     observing = args.trace_dir is not None or args.metrics_json is not None
     if observing:
@@ -249,12 +312,26 @@ def _cmd_bench(args, out):
     table = None
     code = 0
     try:
-        table = run_one_click(config, logger=logger, executor=executor,
-                              cache=cache, profile=args.profile,
-                              journal=journal, resume=resume_state,
-                              policy=policy,
-                              dataplane=False if args.no_dataplane
-                              else None)
+        if args.coordinator:
+            from .runtime.distributed import Coordinator
+            host, port = _parse_endpoint(args.coordinator)
+            coordinator = Coordinator(
+                config, host=host, port=port, cache=cache,
+                journal=journal, resume=resume_state, logger=logger,
+                lease_batch=args.lease_batch or 2,
+                heartbeat_s=args.heartbeat_s)
+            addr = coordinator.address
+            print(f"coordinator on {addr[0]}:{addr[1]} — start workers "
+                  f"with: python -m repro bench --worker "
+                  f"{addr[0]}:{addr[1]}", file=out, flush=True)
+            table = coordinator.serve()
+        else:
+            table = run_one_click(config, logger=logger, executor=executor,
+                                  cache=cache, profile=args.profile,
+                                  journal=journal, resume=resume_state,
+                                  policy=policy,
+                                  dataplane=False if args.no_dataplane
+                                  else None)
     except RunInterrupted as exc:
         table = exc.table
         code = 130

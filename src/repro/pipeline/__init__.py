@@ -3,11 +3,12 @@
 from .config import (BenchmarkConfig, DatasetSpec, MethodSpec, load_config,
                      loads_config)
 from .logging import FileSink, RunLogger
-from .runner import (BenchmarkRunner, CellFailure, ResultTable,
-                     RunInterrupted, run_one_click)
+from .runner import (BenchmarkRunner, CellFailure, MergeConflict,
+                     ResultTable, RunInterrupted, run_one_click)
 
 __all__ = [
     "BenchmarkConfig", "MethodSpec", "DatasetSpec", "load_config",
     "loads_config", "RunLogger", "FileSink", "BenchmarkRunner",
-    "ResultTable", "CellFailure", "RunInterrupted", "run_one_click",
+    "ResultTable", "CellFailure", "MergeConflict", "RunInterrupted",
+    "run_one_click",
 ]

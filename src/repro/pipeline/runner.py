@@ -53,7 +53,7 @@ from .config import BenchmarkConfig
 from .logging import RunLogger
 
 __all__ = ["BenchmarkRunner", "ResultTable", "CellFailure",
-           "RunInterrupted", "run_one_click"]
+           "MergeConflict", "RunInterrupted", "run_one_click"]
 
 #: Cell outcomes that are failures (everything except a scored result).
 FAILURE_STATUSES = ("failed", "quarantined", "cancelled", "deadline",
@@ -62,6 +62,45 @@ FAILURE_STATUSES = ("failed", "quarantined", "cancelled", "deadline",
 
 def _record_sort_key(record):
     return (record.series, record.method, record.horizon, record.strategy)
+
+
+class MergeConflict(ValueError):
+    """Two records for the same grid cell disagree on content.
+
+    The determinism contract says a cell's result is a pure function of
+    its key, so duplicates (a distributed work-steal race delivering the
+    same cell from two workers) must be bit-identical.  A divergent
+    duplicate is a real bug and must never be silently averaged away or
+    last-writer-wins'd into the table.
+    """
+
+
+def _same_outcome(a, b):
+    """Content equality for two result records (timings excluded).
+
+    Compares the deterministic outcome — ``n_windows`` and every score,
+    with NaN treated as equal to NaN — and ignores wall-clock fields,
+    which legitimately differ between two computations of the same cell.
+    """
+    if a is b:
+        return True
+    if getattr(a, "n_windows", None) != getattr(b, "n_windows", None):
+        return False
+    scores_a = dict(getattr(a, "scores", {}) or {})
+    scores_b = dict(getattr(b, "scores", {}) or {})
+    if set(scores_a) != set(scores_b):
+        return False
+    for name, va in scores_a.items():
+        vb = scores_b[name]
+        if va == vb:
+            continue
+        try:
+            if np.isnan(va) and np.isnan(vb):
+                continue
+        except TypeError:
+            pass
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -130,12 +169,44 @@ class ResultTable:
         self.failures.append(failure)
 
     def merge(self, other):
-        """Fold another table's records into this one; returns self."""
+        """Fold another table's records into this one; returns self.
+
+        Conflict semantics (a distributed grid can deliver the same
+        cell twice via a work-steal race, and a failure can race a
+        success across workers):
+
+        * two records for the same ``(series, method, horizon,
+          strategy)`` cell must be content-identical — the duplicate is
+          dropped; a divergent duplicate raises :class:`MergeConflict`;
+        * :class:`CellFailure` rows never overwrite (or coexist with) a
+          successful record for the same cell, regardless of which
+          order the two tables are merged in;
+        * duplicate failures for one cell keep the first seen.
+        """
         if isinstance(other, ResultTable):
-            self.records.extend(other.records)
-            self.failures.extend(other.failures)
+            new_records, new_failures = other.records, other.failures
         else:
-            self.records.extend(other)
+            new_records, new_failures = list(other), ()
+        existing = {_record_sort_key(r): r for r in self.records}
+        for record in new_records:
+            key = _record_sort_key(record)
+            prior = existing.get(key)
+            if prior is None:
+                self.records.append(record)
+                existing[key] = record
+            elif not _same_outcome(prior, record):
+                raise MergeConflict(
+                    f"divergent duplicate result for cell {key!r}: "
+                    f"{prior.scores!r} != {record.scores!r}")
+        if new_failures or self.failures:
+            kept, seen = [], set()
+            for failure in (*self.failures, *new_failures):
+                key = _record_sort_key(failure)
+                if key in existing or key in seen:
+                    continue
+                seen.add(key)
+                kept.append(failure)
+            self.failures = kept
         return self
 
     def sorted_records(self):
@@ -312,6 +383,41 @@ class BenchmarkRunner:
         return fingerprint(spec.name, spec.params, series.name,
                            series.values, series.freq, self.config.strategy,
                            self.config.strategy_kwargs(), self.config.dtype)
+
+    def prepare_grid(self, cache=None, resume=None, journal=None,
+                     progress=None, executor_kind="external"):
+        """Resolve the grid without executing anything.
+
+        The entry point for external schedulers (the distributed
+        :class:`~repro.runtime.distributed.Coordinator`): returns
+        ``(cells, slots, pending)`` where ``cells`` is the full
+        ``(series, spec)`` grid in order, ``slots`` already holds the
+        results satisfied from the resume journal and the artifact
+        cache (journaled and reported through ``progress`` exactly as
+        :meth:`run` would), and ``pending`` lists the remaining work —
+        each entry carrying the stable cell key, content fingerprint
+        and cache key the scheduler needs.  The same resume-journal
+        config-fingerprint check applies, and ``journal`` gets the
+        ``run_start`` header, so a crashed external run resumes through
+        the ordinary ``bench --resume`` machinery.
+        """
+        config = self.config
+        series_list = config.datasets.resolve(self.registry)
+        cells = [(series, spec)
+                 for series in series_list for spec in config.methods]
+        config_fp = self.config_fingerprint()
+        if resume is not None and not resume.matches_config(config_fp):
+            raise ValueError(
+                "resume journal was written by a different configuration "
+                f"(journal {resume.config_fingerprint!r:.12} != run "
+                f"{config_fp!r:.12}); refusing to mix results")
+        if journal is not None:
+            journal.start_run(config_fp, tag=config.tag,
+                              n_cells=len(cells), executor=executor_kind,
+                              resumed=resume is not None)
+        slots = [None] * len(cells)
+        pending = self._scan(cells, cache, resume, journal, slots, progress)
+        return cells, slots, pending
 
     def run(self, progress=None, executor=None, cache=None, profile=False,
             journal=None, resume=None, policy=None, cancel=None,

@@ -4,7 +4,8 @@ Production resilience claims are untestable until failures are
 *first-class and reproducible*.  This module plants named fault points in
 the hot paths (``executor.task``, ``cache.get``, ``cache.put``,
 ``strategy.fit``, ``server.request``, ``serving.admit``,
-``serving.batch``) behind the same off-by-default
+``serving.batch``, and the distributed grid's ``dist.send`` /
+``dist.recv`` / ``dist.lease``) behind the same off-by-default
 fast path the telemetry helpers use: until a :class:`FaultPlan` is
 armed, :func:`fault_point` is one global ``is None`` check and an early
 return, so uninstrumented runs pay nothing measurable.
@@ -69,7 +70,7 @@ FAULT_KINDS = ("error", "delay", "crash", "interrupt", "corrupt")
 #: may name any site, unknown ones simply never fire).
 FAULT_SITES = ("executor.task", "cache.get", "cache.put", "strategy.fit",
                "server.request", "dataplane.attach", "serving.admit",
-               "serving.batch")
+               "serving.batch", "dist.send", "dist.recv", "dist.lease")
 
 #: Bytes written over a corrupted artifact file.
 _GARBAGE = b"\x00corrupted-by-fault-plan\x00"

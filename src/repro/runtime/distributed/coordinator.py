@@ -1,0 +1,501 @@
+"""The grid coordinator: shards a benchmark run across TCP workers.
+
+``bench --coordinator HOST:PORT`` binds one of these in front of the
+normal :class:`~repro.pipeline.BenchmarkRunner` machinery.  The
+coordinator *never computes a cell itself*; it
+
+* resolves the grid and satisfies what it can from the resume journal
+  and the artifact cache (the same ``_scan`` pass a single-host run
+  uses), then turns every remaining cell into a ~200-byte
+  :class:`~repro.runtime.distributed.wire.WireTask`;
+* publishes the bulk payloads — the pickled config and each dataset's
+  raw array — as content-addressed blobs workers fetch once each;
+* serves a pull-based :class:`~repro.runtime.distributed.GridScheduler`
+  over the framed TCP protocol (thread per connection), with
+  work-stealing for stragglers and heartbeat-expiry lease recovery for
+  SIGKILLed workers;
+* exposes its :class:`~repro.runtime.ArtifactCache` as the fleet's
+  remote tier (content-addressed ``artifact_get``/``artifact_put`` on
+  the same socket), so a cell computed once is never recomputed
+  anywhere;
+* merges results incrementally via the hardened
+  :meth:`~repro.pipeline.ResultTable.merge` and write-ahead journals
+  every transition, so a crashed coordinator resumes with
+  ``bench --resume`` exactly like a crashed single-host run.
+
+Determinism: workers reuse the in-process executor's attempt loop and
+per-key seed derivation, so the distributed table is bitwise-identical
+to a serial run of the same config (compare
+``to_rows(include_timings=False)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import threading
+import time
+
+import numpy as np
+
+from ... import telemetry
+from ...pipeline.logging import RunLogger
+from ...pipeline.runner import CellFailure, ResultTable, RunInterrupted
+from ...resilience.faults import InjectedFault, fault_point
+from ..cache import MISSING
+from .scheduler import GridScheduler
+from .wire import (DEFAULT_MAX_FRAME_BYTES, ConnectionClosed, TornFrame,
+                   WireError, WireSeries, WireTask, recv_message,
+                   send_message)
+
+__all__ = ["Coordinator", "grid_status"]
+
+_STATUS_LOCK = threading.Lock()
+_ACTIVE = None   # the Coordinator currently serving (at most one)
+_LAST = None     # final status snapshot of the most recent run
+
+
+def grid_status():
+    """Status of the distributed grid for the server's ``/grid`` route."""
+    with _STATUS_LOCK:
+        active, last = _ACTIVE, _LAST
+    if active is not None:
+        return {"state": "running", **active.status()}
+    return {"state": "idle", "last": last}
+
+
+def _set_active(coordinator):
+    global _ACTIVE
+    with _STATUS_LOCK:
+        _ACTIVE = coordinator
+
+
+def _set_last(snapshot):
+    global _ACTIVE, _LAST
+    with _STATUS_LOCK:
+        _ACTIVE = None
+        _LAST = snapshot
+
+
+class Coordinator:
+    """Serve one benchmark config to a fleet of TCP workers.
+
+    Parameters mirror :func:`~repro.pipeline.run_one_click` where they
+    overlap (``cache``/``journal``/``resume``/``registry``/``logger``);
+    the distributed knobs are ``lease_batch`` (cells granted per worker
+    request), ``heartbeat_s`` (advertised worker heartbeat interval)
+    and ``heartbeat_timeout_s`` (silence after which a worker's leased
+    cells are reassigned; defaults to ``3 * heartbeat_s``).
+
+    The listening socket binds in ``__init__`` so ``.address`` is known
+    before :meth:`serve` blocks — `port=0` picks a free port.
+    """
+
+    def __init__(self, config, host="127.0.0.1", port=0, registry=None,
+                 logger=None, cache=None, journal=None, resume=None,
+                 lease_batch=2, heartbeat_s=10.0, heartbeat_timeout_s=None,
+                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        # Imported here: pipeline imports repro.runtime, and this module
+        # must stay importable without completing that cycle early.
+        from ...pipeline.runner import BenchmarkRunner
+        self.runner = BenchmarkRunner(config, registry=registry,
+                                      logger=logger)
+        self.logger = self.runner.logger if logger is None else logger
+        if not isinstance(self.logger, RunLogger):
+            self.logger = self.runner.logger
+        self.cache = cache
+        self.journal = journal
+        self.resume = resume
+        self.lease_batch = max(int(lease_batch), 1)
+        self.heartbeat_s = float(heartbeat_s)
+        self.heartbeat_timeout_s = (3.0 * self.heartbeat_s
+                                    if heartbeat_timeout_s is None
+                                    else float(heartbeat_timeout_s))
+        self.max_frame_bytes = max_frame_bytes
+
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+
+        self._lock = threading.Lock()          # table/journal/slots
+        self._done = threading.Event()
+        self._closing = False
+        self._workers = set()                  # connected worker names
+        self._blobs = {}                       # digest -> bytes
+        self._pending_by_key = {}
+        self.scheduler = None
+        self.table = ResultTable()
+        self.cells = []
+        self._ok_keys = set()
+        self._progress = None
+        self._stats = {"results": 0, "failures": 0, "duplicates": 0,
+                       "torn_frames": 0, "expired": 0}
+
+    # -- grid preparation -------------------------------------------------
+
+    def _publish_blob(self, data):
+        digest = hashlib.sha256(data).hexdigest()
+        self._blobs.setdefault(digest, data)
+        return digest
+
+    def _wire_tasks(self, pending):
+        """Turn pending ``_PendingCell`` entries into wire descriptors."""
+        config_blob = pickle.dumps(self.runner.config,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        config_digest = self._publish_blob(config_blob)
+        series_handles = {}
+        tasks = []
+        for entry in pending:
+            series, spec = self.cells[entry.index]
+            handle = series_handles.get(series.name)
+            if handle is None:
+                arr = np.ascontiguousarray(series.values)
+                digest = self._publish_blob(arr.tobytes())
+                handle = WireSeries(digest=digest, name=series.name,
+                                    domain=series.domain, freq=series.freq,
+                                    columns=tuple(series.columns),
+                                    shape=tuple(arr.shape),
+                                    dtype=str(arr.dtype))
+                series_handles[series.name] = handle
+            tasks.append(WireTask(
+                key=entry.key, index=entry.index,
+                fingerprint=entry.fingerprint, cache_key=entry.cache_key,
+                method=spec.name,
+                params=tuple(sorted(spec.params.items())),
+                series=handle, config_digest=config_digest))
+            self._pending_by_key[entry.key] = entry
+        return tasks
+
+    def _prepare(self, progress):
+        cells, slots, pending = self.runner.prepare_grid(
+            cache=self.cache, resume=self.resume, journal=self.journal,
+            progress=progress, executor_kind="distributed")
+        self.cells = cells
+        self.table = ResultTable(
+            records=[r for r in slots if r is not None])
+        tasks = self._wire_tasks(pending)
+        self.scheduler = GridScheduler(tasks, lease_batch=self.lease_batch)
+        self.logger.info("dist.grid", n_cells=len(cells),
+                         n_pending=len(tasks),
+                         n_satisfied=len(cells) - len(tasks),
+                         blobs=len(self._blobs),
+                         address=f"{self.address[0]}:{self.address[1]}")
+        if self.scheduler.done():
+            self._done.set()
+
+    # -- the serve loop ---------------------------------------------------
+
+    def serve(self, progress=None, cancel=None):
+        """Accept workers until the grid settles; returns the table.
+
+        Ctrl-C drains the scheduler, journals the interruption and
+        raises :class:`~repro.pipeline.RunInterrupted` carrying the
+        partial table, mirroring the single-host runner's contract.
+        """
+        self._progress = progress
+        self._prepare(progress)
+        _set_active(self)
+        acceptor = threading.Thread(target=self._accept_loop, daemon=True,
+                                    name="dist-accept")
+        acceptor.start()
+        poll_s = min(max(self.heartbeat_s / 2.0, 0.05), 0.5)
+        stop_status = None
+        try:
+            while not self._done.wait(poll_s):
+                if cancel is not None and cancel.is_set():
+                    stop_status = "cancelled"
+                    break
+                self._expire_leases()
+        except KeyboardInterrupt:
+            stop_status = "interrupted"
+        finally:
+            self._shutdown(stop_status)
+        if stop_status == "interrupted":
+            raise RunInterrupted(self.table)
+        return self.table
+
+    def _shutdown(self, stop_status):
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if stop_status is not None:
+            self._mark_unrun(stop_status)
+        with self._lock:
+            done_payload = {"n_results": len(self.table),
+                            "status_counts": self.table.status_counts(),
+                            "dist": dict(self._stats)}
+            if self.journal is not None:
+                if stop_status is None:
+                    self.journal.run_done(**done_payload)
+                else:
+                    self.journal.run_interrupted(reason=stop_status)
+        self.logger.info("dist.done" if stop_status is None
+                         else f"dist.{stop_status}", **done_payload)
+        _set_last(self.status())
+
+    def _mark_unrun(self, status):
+        """Record never-settled cells as failures (cancel/Ctrl-C)."""
+        remaining = self.scheduler.drain()
+        config = self.runner.config
+        with self._lock:
+            for key in remaining:
+                entry = self._pending_by_key.get(key)
+                if entry is None:
+                    continue
+                series, spec = self.cells[entry.index]
+                self.table.add_failure(CellFailure(
+                    method=spec.name, series=series.name,
+                    horizon=config.horizon, strategy=config.strategy,
+                    status="cancelled" if status == "cancelled"
+                    else "interrupted",
+                    error=f"not completed: run {status}"))
+        self._done.set()
+
+    def _expire_leases(self):
+        expired = self.scheduler.expire(time.monotonic(),
+                                        self.heartbeat_timeout_s)
+        for worker, keys in expired.items():
+            self._stats["expired"] += 1
+            self._workers.discard(worker)
+            self.logger.warning("dist.lease_expired", worker=worker,
+                                requeued=len(keys))
+            telemetry.inc("repro_dist_leases_expired_total",
+                          help="Worker leases reclaimed by heartbeat "
+                               "timeout.")
+        if expired:
+            telemetry.set_gauge("repro_dist_workers", len(self._workers),
+                                help="Workers currently registered.")
+
+    # -- connection handling ----------------------------------------------
+
+    def _accept_loop(self):
+        while not self._closing:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve_conn, args=(sock,),
+                             daemon=True, name="dist-conn").start()
+
+    def _serve_conn(self, sock):
+        # A partitioned worker never FINs; bound the read so the handler
+        # thread can't outlive the lease it protects.
+        sock.settimeout(max(self.heartbeat_timeout_s, 1.0))
+        worker = None
+        try:
+            while True:
+                try:
+                    message = recv_message(sock, self.max_frame_bytes)
+                except ConnectionClosed:
+                    return
+                except TornFrame as exc:
+                    # Satellite: a half-written frame (worker died
+                    # mid-send) is discarded, never parsed into the
+                    # merge; the lease release below requeues its cells.
+                    self._stats["torn_frames"] += 1
+                    self.logger.warning("dist.torn_frame", worker=worker,
+                                        error=str(exc))
+                    telemetry.inc("repro_dist_torn_frames_total",
+                                  help="Half-written frames discarded.")
+                    return
+                except (WireError, OSError, InjectedFault) as exc:
+                    self.logger.warning("dist.recv_error", worker=worker,
+                                        error=str(exc))
+                    return
+                worker = message.get("worker", worker)
+                mtype = message.get("type")
+                if mtype == "heartbeat":
+                    self.scheduler.heartbeat(worker, time.monotonic())
+                    continue
+                try:
+                    reply = self._dispatch(mtype, message, worker)
+                except Exception as exc:  # noqa: BLE001 - incl. injected
+                    # Chaos semantics: a fault inside dispatch behaves
+                    # like losing the connection — the finally-release
+                    # path requeues this worker's lease.
+                    self.logger.warning("dist.dispatch_error",
+                                        worker=worker, type=mtype,
+                                        error=repr(exc))
+                    return
+                if reply is not None:
+                    try:
+                        send_message(sock, reply, self.max_frame_bytes)
+                    except (WireError, OSError) as exc:
+                        self.logger.warning("dist.send_error",
+                                            worker=worker, error=str(exc))
+                        return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            if worker is not None:
+                requeued = self.scheduler.release(worker)
+                self._workers.discard(worker)
+                telemetry.set_gauge("repro_dist_workers",
+                                    len(self._workers),
+                                    help="Workers currently registered.")
+                if requeued:
+                    self.logger.info("dist.worker_lost", worker=worker,
+                                     requeued=len(requeued))
+
+    def _dispatch(self, mtype, message, worker):
+        now = time.monotonic()
+        if mtype == "hello":
+            requeued = self.scheduler.register(worker, now)
+            self._workers.add(worker)
+            telemetry.set_gauge("repro_dist_workers", len(self._workers),
+                                help="Workers currently registered.")
+            self.logger.info("dist.worker_joined", worker=worker,
+                             requeued=len(requeued))
+            return {"type": "welcome", "heartbeat_s": self.heartbeat_s,
+                    "lease_batch": self.lease_batch,
+                    "tag": self.runner.config.tag}
+        if mtype == "request":
+            return self._grant(message, worker, now)
+        if mtype == "blob":
+            digest = message.get("digest")
+            data = self._blobs.get(digest)
+            if data is None:
+                return {"type": "error",
+                        "error": f"unknown blob {digest!r}"}
+            return {"type": "blob_data", "digest": digest, "data": data}
+        if mtype == "artifact_get":
+            return self._artifact_get(message.get("key"))
+        if mtype == "artifact_put":
+            if self.cache is not None:
+                self.cache.put(message["key"], message["value"])
+            telemetry.inc("repro_dist_cache_total", op="put",
+                          result="remote",
+                          help="Remote artifact-tier operations.")
+            return {"type": "ok"}
+        if mtype == "result":
+            self._absorb_result(message, worker)
+            return {"type": "ack",
+                    "revoked": self.scheduler.revoked_for(worker)}
+        return {"type": "error", "error": f"unknown message type {mtype!r}"}
+
+    def _grant(self, message, worker, now):
+        fault_point("dist.lease", worker or "?")
+        if self.scheduler.done():
+            return {"type": "done"}
+        tasks, revoked = self.scheduler.acquire(worker,
+                                                n=message.get("n"), now=now)
+        if not tasks:
+            return {"type": "wait", "delay_s": 0.05, "revoked": revoked}
+        if self.journal is not None:
+            with self._lock:
+                for task in tasks:
+                    # Write-ahead at grant time: a coordinator crash
+                    # right here leaves the cell re-runnable on resume.
+                    self.journal.cell_start(task.key, task.fingerprint)
+        telemetry.inc("repro_dist_grants_total", len(tasks),
+                      help="Cells granted to workers.")
+        return {"type": "grant", "tasks": tasks, "revoked": revoked}
+
+    def _artifact_get(self, key):
+        if self.cache is None:
+            return {"type": "artifact", "key": key, "hit": False,
+                    "value": None}
+        value = self.cache.get(key)
+        hit = value is not MISSING
+        telemetry.inc("repro_dist_cache_total", op="get",
+                      result="hit" if hit else "miss",
+                      help="Remote artifact-tier operations.")
+        return {"type": "artifact", "key": key, "hit": hit,
+                "value": value if hit else None}
+
+    # -- result absorption ------------------------------------------------
+
+    def _absorb_result(self, message, worker):
+        # Any result is proof of life — a worker grinding through a
+        # lease of slow cells must not expire between heartbeats.
+        self.scheduler.heartbeat(worker, time.monotonic())
+        key = message.get("key")
+        entry = self._pending_by_key.get(key)
+        if entry is None:
+            return
+        series, spec = self.cells[entry.index]
+        if message.get("ok"):
+            value = message.get("value")
+            first = self.scheduler.complete(worker, key)
+            with self._lock:
+                if first:
+                    self._ok_keys.add(key)
+                    # Incremental merge: the hardened conflict semantics
+                    # (identical-content dedup, failures never shadow
+                    # successes) apply to every arriving record.
+                    self.table.merge(ResultTable(records=[value]))
+                    self._stats["results"] += 1
+                    if self.journal is not None:
+                        self.journal.cell_done(key, entry.fingerprint,
+                                               value)
+                    if (self.cache is not None and entry.cache_key
+                            and not message.get("stored_remote")):
+                        self.cache.put(entry.cache_key, value)
+                elif key in self._ok_keys:
+                    # A stolen duplicate landed anyway: determinism says
+                    # it must be content-identical, and merge asserts it.
+                    self.table.merge(ResultTable(records=[value]))
+                    self._stats["duplicates"] += 1
+            status = "ok" if first else "duplicate"
+            if first:
+                self.logger.info("dist.cell", worker=worker,
+                                 method=spec.name, series=series.name,
+                                 seconds=round(message.get("seconds", 0.0),
+                                               6))
+                if self._progress is not None:
+                    self._progress(value)
+            telemetry.inc("repro_dist_cells_total", status=status,
+                          help="Distributed grid cells by outcome.")
+        else:
+            first = self.scheduler.fail(worker, key)
+            if first:
+                failure = CellFailure(
+                    method=spec.name, series=series.name,
+                    horizon=self.runner.config.horizon,
+                    strategy=self.runner.config.strategy, status="failed",
+                    error=message.get("error", ""),
+                    error_type=message.get("error_type", ""),
+                    attempts=message.get("attempts", 0))
+                with self._lock:
+                    self.table.add_failure(failure)
+                    self._stats["failures"] += 1
+                    if self.journal is not None:
+                        self.journal.cell_failed(
+                            key, entry.fingerprint,
+                            error=failure.error,
+                            error_type=failure.error_type,
+                            attempts=failure.attempts)
+                self.logger.error("dist.cell_failed", worker=worker,
+                                  method=spec.name, series=series.name,
+                                  error=failure.error)
+            telemetry.inc("repro_dist_cells_total",
+                          status="failed" if first else "duplicate",
+                          help="Distributed grid cells by outcome.")
+        if self.scheduler.done():
+            self._done.set()
+
+    # -- introspection ----------------------------------------------------
+
+    def status(self):
+        """JSON-ready status for logging and the ``/grid`` route."""
+        scheduler = (self.scheduler.snapshot(now=time.monotonic())
+                     if self.scheduler is not None else {})
+        with self._lock:
+            return {"tag": self.runner.config.tag,
+                    "address": list(self.address),
+                    "results": len(self.table),
+                    "failures": len(self.table.failures),
+                    "workers": sorted(self._workers),
+                    "stats": dict(self._stats),
+                    "scheduler": scheduler}
+
+    def close(self):
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass

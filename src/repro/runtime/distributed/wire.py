@@ -1,0 +1,194 @@
+"""Length-prefixed wire protocol for the distributed benchmark grid.
+
+Every message between a :class:`~repro.runtime.distributed.Coordinator`
+and its workers is one *frame*: a fixed 12-byte header — magic ``b"RW"``,
+a protocol version, the payload length and a CRC-32 of the payload —
+followed by a pickled message payload (dicts with a ``"type"`` field).
+The header makes three failure modes cleanly distinguishable:
+
+* a peer closing between frames is a :class:`ConnectionClosed` (normal
+  teardown, e.g. a worker exiting after ``done``);
+* a peer dying mid-frame (``SIGKILL``, network partition) leaves a
+  truncated header or payload, surfaced as :class:`TornFrame` — the
+  receiver discards the half-written frame instead of feeding garbage
+  into the result merge, mirroring the run journal's torn-tail replay;
+* corrupt bytes that still parse as a frame fail the CRC check and are
+  also a :class:`TornFrame`;
+* wrong magic/version or an oversized length declaration is a
+  :class:`FrameError` — a protocol violation, never a buffer allocation.
+
+Payloads are pickled, so the protocol is only for *trusted* fleets (the
+coordinator and its workers are the same codebase run by the same
+operator), the same trust model as a process pool.
+
+Chaos: :func:`send_message` and :func:`recv_message` pass through the
+``dist.send`` / ``dist.recv`` fault points (keyed by message type) so
+the resilience suite can inject connection loss, delays and crashes at
+exact protocol steps.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+
+from ... import telemetry
+from ...resilience.faults import fault_point
+
+__all__ = ["WireError", "FrameError", "TornFrame", "ConnectionClosed",
+           "send_message", "recv_message", "encode_frame",
+           "WireSeries", "WireTask", "DEFAULT_MAX_FRAME_BYTES",
+           "HEADER", "MAGIC", "VERSION"]
+
+#: Frame header: magic(2) version(1) pad(1) length(4) crc32(4).
+HEADER = struct.Struct(">2sBxII")
+
+MAGIC = b"RW"
+VERSION = 1
+
+#: Default ceiling on one frame's payload (a full EvalResult is ~KBs;
+#: the largest legitimate frames are published dataset arrays).
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class WireError(RuntimeError):
+    """Base class for protocol-level failures."""
+
+
+class FrameError(WireError):
+    """Protocol violation: bad magic/version or oversized declaration."""
+
+
+class TornFrame(WireError):
+    """A frame truncated or corrupted mid-flight; discard, never parse."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed cleanly between frames."""
+
+
+# ---------------------------------------------------------------------------
+# Task descriptors — what actually travels in a lease grant
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WireSeries:
+    """Content-addressed handle to one dataset (no bulk data).
+
+    The worker fetches the raw array bytes once per ``digest`` through
+    the remote blob protocol and rebuilds the ``TimeSeries`` locally;
+    every later cell on the same dataset is a worker-cache hit.
+    """
+
+    digest: str
+    name: str
+    domain: str
+    freq: int
+    columns: tuple
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class WireTask:
+    """One benchmark grid cell as shipped to a worker (~200 bytes).
+
+    Carries only fingerprints and refs: the method spec (tiny), a
+    :class:`WireSeries` handle and the config blob digest.  ``key``
+    seeds the worker's RNG exactly like the in-process executors
+    (:func:`~repro.runtime.derive_seed`), which is what makes the
+    distributed grid bitwise-identical to a serial run.
+    """
+
+    key: str
+    index: int
+    fingerprint: str
+    cache_key: object          # str | None (no coordinator cache)
+    method: str
+    params: tuple              # sorted ((name, value), ...) pairs
+    series: WireSeries
+    config_digest: str
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _msg_type(message):
+    if isinstance(message, dict):
+        return str(message.get("type", "?"))
+    return type(message).__name__
+
+
+def encode_frame(message, max_bytes=DEFAULT_MAX_FRAME_BYTES):
+    """Header + payload bytes for one message (send_message's body)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_bytes:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds "
+                         f"the {max_bytes}-byte limit")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return HEADER.pack(MAGIC, VERSION, len(payload), crc) + payload
+
+
+def send_message(sock, message, max_bytes=DEFAULT_MAX_FRAME_BYTES):
+    """Send one framed message; returns the bytes written."""
+    fault_point("dist.send", _msg_type(message))
+    frame = encode_frame(message, max_bytes=max_bytes)
+    sock.sendall(frame)
+    telemetry.inc("repro_dist_frames_total", direction="send",
+                  help="Distributed-protocol frames by direction.")
+    telemetry.inc("repro_dist_bytes_total", len(frame), direction="send",
+                  help="Distributed-protocol bytes by direction.")
+    return len(frame)
+
+
+def _recv_some(sock, n):
+    """Read exactly ``n`` bytes, or fewer only when the peer closed."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock, max_bytes=DEFAULT_MAX_FRAME_BYTES):
+    """Receive one framed message; raises a typed :class:`WireError`.
+
+    A half-written frame — truncated header, truncated payload or a
+    CRC mismatch — raises :class:`TornFrame` so the caller can discard
+    it and treat the connection as lost; nothing torn ever reaches the
+    unpickler.
+    """
+    head = _recv_some(sock, HEADER.size)
+    if not head:
+        raise ConnectionClosed("peer closed the connection")
+    if len(head) < HEADER.size:
+        raise TornFrame(f"truncated header ({len(head)}/{HEADER.size} "
+                        "bytes)")
+    magic, version, length, crc = HEADER.unpack(head)
+    if magic != MAGIC or version != VERSION:
+        raise FrameError(f"bad frame header (magic={magic!r}, "
+                         f"version={version})")
+    if length > max_bytes:
+        raise FrameError(f"declared payload of {length} bytes exceeds "
+                         f"the {max_bytes}-byte limit")
+    payload = _recv_some(sock, length)
+    if len(payload) < length:
+        raise TornFrame(f"truncated payload ({len(payload)}/{length} "
+                        "bytes)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise TornFrame("payload CRC mismatch")
+    message = pickle.loads(payload)
+    fault_point("dist.recv", _msg_type(message))
+    telemetry.inc("repro_dist_frames_total", direction="recv",
+                  help="Distributed-protocol frames by direction.")
+    telemetry.inc("repro_dist_bytes_total", HEADER.size + length,
+                  direction="recv",
+                  help="Distributed-protocol bytes by direction.")
+    return message

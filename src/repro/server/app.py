@@ -76,7 +76,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: GET routes the handler dispatches on (exact match after rstrip("/")).
 _GET_ROUTES = ("/", "/health", "/healthz", "/readyz", "/methods",
-               "/datasets", "/models", "/metrics", "/jobs")
+               "/datasets", "/models", "/metrics", "/jobs", "/grid")
 
 #: POST route → ``_Api`` method name; drives dispatch *and* the
 #: bounded-label test (every registered route must map to itself).
@@ -225,6 +225,8 @@ def make_handler(api):
                         "text/plain; version=0.0.4; charset=utf-8")
                 elif route == "/jobs":
                     self._send({"ok": True, "data": api.job_list()})
+                elif route == "/grid":
+                    self._send({"ok": True, "data": api.grid()})
                 elif route.startswith("/jobs/"):
                     self._send({"ok": True,
                                 "data": api.job_status(route[len("/jobs/"):])})
@@ -368,6 +370,11 @@ class _Api:
     def ready(self):
         """Whether the offline phase has run (knowledge base + ensemble)."""
         return bool(getattr(self.et, "_ready", False))
+
+    def grid(self):
+        """Status of the distributed benchmark grid (if any ran here)."""
+        from ..runtime.distributed import grid_status
+        return grid_status()
 
     def methods(self):
         return [self.et.method_details(name)

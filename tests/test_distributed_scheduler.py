@@ -1,0 +1,186 @@
+"""GridScheduler unit tests: leases, work-stealing, expiry, revocation."""
+
+import pytest
+
+from repro.runtime.distributed import GridScheduler, WireSeries, WireTask
+
+
+def _task(key, index=0):
+    series = WireSeries(digest="d", name="s", domain="traffic", freq=24,
+                        columns=("ch0",), shape=(8, 1), dtype="float64")
+    return WireTask(key=key, index=index, fingerprint=f"fp-{key}",
+                    cache_key=None, method="naive", params=(),
+                    series=series, config_digest="cfg")
+
+
+def _sched(n, lease_batch=2):
+    return GridScheduler([_task(f"k{i}", i) for i in range(n)],
+                         lease_batch=lease_batch)
+
+
+# ---------------------------------------------------------------------------
+# Leases
+# ---------------------------------------------------------------------------
+
+def test_acquire_grants_in_grid_order():
+    s = _sched(5)
+    tasks, revoked = s.acquire("w0", n=3, now=0.0)
+    assert [t.key for t in tasks] == ["k0", "k1", "k2"]
+    assert revoked == []
+
+
+def test_complete_is_first_wins():
+    s = _sched(2)
+    s.acquire("w0", n=2)
+    assert s.complete("w0", "k0") is True
+    assert s.complete("w1", "k0") is False  # duplicate
+    assert s.counts["duplicates"] == 1
+    assert not s.done()
+    assert s.complete("w0", "k1")
+    assert s.done()
+
+
+def test_fail_is_terminal_and_blocks_later_success():
+    s = _sched(1)
+    s.acquire("w0", n=1)
+    assert s.fail("w0", "k0") is True
+    assert s.complete("w1", "k0") is False
+    assert s.done()
+
+
+def test_release_requeues_at_front():
+    s = _sched(4, lease_batch=2)
+    s.acquire("w0", n=2)           # k0, k1 leased
+    requeued = s.release("w0")
+    assert requeued == ["k0", "k1"]
+    tasks, _ = s.acquire("w1", n=4)
+    # Recovered cells come back before the untouched tail of the grid.
+    assert [t.key for t in tasks] == ["k0", "k1", "k2", "k3"]
+
+
+def test_unknown_key_is_ignored():
+    s = _sched(1)
+    assert s.complete("w0", "nope") is False
+    assert s.fail("w0", "nope") is False
+
+
+# ---------------------------------------------------------------------------
+# Work-stealing
+# ---------------------------------------------------------------------------
+
+def test_steal_picks_longest_queue():
+    s = _sched(9, lease_batch=9)
+    s.register("rich", 0.0)
+    s.register("poor", 0.0)
+    s.acquire("rich", n=6)   # k0..k5
+    s.acquire("poor", n=3)   # k6..k8
+    tasks, _ = s.acquire("thief", n=2, now=0.0)
+    # Stolen from the *longest* lease (rich), tail first.
+    assert [t.key for t in tasks] == ["k5", "k4"]
+    assert s.counts["stolen"] == 2
+
+
+def test_steal_leaves_head_in_flight():
+    s = _sched(3, lease_batch=3)
+    s.acquire("victim", n=3)
+    tasks, _ = s.acquire("thief", n=10)
+    assert [t.key for t in tasks] == ["k2", "k1"]  # k0 stays with victim
+    assert s.snapshot()["workers"]["victim"]["leased"] == 1
+
+
+def test_steal_never_targets_single_cell_lease():
+    s = _sched(1)
+    s.acquire("victim", n=1)
+    tasks, _ = s.acquire("thief", n=5)
+    assert tasks == []
+
+
+def test_victim_learns_revocations_on_next_contact():
+    s = _sched(4, lease_batch=4)
+    s.acquire("victim", n=4)
+    s.acquire("thief", n=2)      # steals k3, k2
+    tasks, revoked = s.acquire("victim", n=1, now=0.0)
+    assert sorted(revoked) == ["k2", "k3"]
+    # The now-idle victim may legitimately steal one back (the thief's
+    # queue is the longest); the worker applies revocations *before*
+    # extending its queue with the grant, so the net effect is correct.
+    assert [t.key for t in tasks] == ["k2"]
+    # Revocations are delivered exactly once.
+    assert s.revoked_for("victim") == []
+
+
+def test_stolen_cell_completed_by_victim_counts_once():
+    s = _sched(2, lease_batch=2)
+    s.acquire("victim", n=2)
+    s.acquire("thief", n=1)      # steals k1
+    # The victim wins the race anyway.
+    assert s.complete("victim", "k1") is True
+    assert s.complete("thief", "k1") is False
+    assert s.counts["duplicates"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Expiry (heartbeat timeout)
+# ---------------------------------------------------------------------------
+
+def test_expire_requeues_silent_workers_cells():
+    s = _sched(3, lease_batch=3)
+    s.acquire("dead", n=2, now=100.0)
+    s.acquire("live", n=1, now=100.0)
+    s.heartbeat("live", 130.0)
+    expired = s.expire(now=131.0, timeout_s=30.0)
+    assert expired == {"dead": ["k0", "k1"]}
+    assert s.counts["expired_workers"] == 1
+    # The reassigned cells go to the next requester.
+    tasks, _ = s.acquire("live", n=5, now=131.0)
+    assert [t.key for t in tasks] == ["k0", "k1"]
+
+
+def test_heartbeat_refreshes_lease():
+    s = _sched(1)
+    s.acquire("w0", n=1, now=0.0)
+    s.heartbeat("w0", 100.0)
+    assert s.expire(now=105.0, timeout_s=30.0) == {}
+
+
+def test_reregister_requeues_stale_lease():
+    s = _sched(2, lease_batch=2)
+    s.acquire("w0", n=2, now=0.0)
+    # The worker reconnects (new process after SIGKILL, same name).
+    requeued = s.register("w0", 50.0)
+    assert requeued == ["k0", "k1"]
+    tasks, revoked = s.acquire("w0", n=2, now=50.0)
+    assert [t.key for t in tasks] == ["k0", "k1"]
+    assert revoked == []
+
+
+# ---------------------------------------------------------------------------
+# Drain / bookkeeping
+# ---------------------------------------------------------------------------
+
+def test_drain_returns_unsettled_and_stops_scheduling():
+    s = _sched(4, lease_batch=2)
+    s.acquire("w0", n=2)
+    s.complete("w0", "k0")
+    remaining = s.drain()
+    assert remaining == ["k1", "k2", "k3"]
+    assert s.done()
+    tasks, _ = s.acquire("w0", n=2)
+    assert tasks == []
+
+
+def test_duplicate_task_keys_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        GridScheduler([_task("same"), _task("same")])
+
+
+def test_snapshot_shape():
+    s = _sched(3)
+    s.acquire("w0", n=2, now=10.0)
+    s.complete("w0", "k0")
+    snap = s.snapshot(now=11.0)
+    assert snap["cells"] == 3
+    assert snap["settled"] == 1
+    assert snap["pending"] == 1
+    assert snap["leased"] == 1
+    assert snap["workers"]["w0"]["idle_s"] is not None

@@ -1,0 +1,164 @@
+"""Wire-protocol tests: framing round-trips and torn-frame tolerance."""
+
+import pickle
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime.distributed import (ConnectionClosed, FrameError,
+                                       TornFrame, encode_frame,
+                                       recv_message, send_message)
+from repro.runtime.distributed.wire import HEADER, MAGIC, VERSION
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def _roundtrip(pair, message):
+    a, b = pair
+    send_message(a, message)
+    return recv_message(b)
+
+
+# ---------------------------------------------------------------------------
+# Round-trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("message", [
+    {"type": "hello", "worker": "w0"},
+    {"type": "grant", "tasks": [], "revoked": ["a|b", "c|d"]},
+    {"type": "blob_data", "data": b"\x00" * 4096},
+    {"type": "result", "ok": True, "value": {"scores": {"mae": 1.25}}},
+    {"type": "unicode", "text": "série — themometre"},
+    {"type": "empty"},
+])
+def test_roundtrip(pair, message):
+    assert _roundtrip(pair, message) == message
+
+
+def test_roundtrip_numpy_payload(pair):
+    arr = np.arange(1000, dtype=np.float64).reshape(100, 10)
+    out = _roundtrip(pair, {"type": "blob", "arr": arr})
+    np.testing.assert_array_equal(out["arr"], arr)
+
+
+def test_roundtrip_many_frames_in_order(pair):
+    a, b = pair
+    for i in range(50):
+        send_message(a, {"type": "seq", "i": i, "pad": b"x" * (i * 17)})
+    for i in range(50):
+        msg = recv_message(b)
+        assert msg["i"] == i
+
+
+def test_frame_layout():
+    frame = encode_frame({"type": "x"})
+    magic, version, length, crc = HEADER.unpack(frame[:HEADER.size])
+    assert magic == MAGIC and version == VERSION
+    assert length == len(frame) - HEADER.size
+
+
+# ---------------------------------------------------------------------------
+# Property test: truncation at every byte boundary is a clean TornFrame
+# ---------------------------------------------------------------------------
+
+def test_truncation_at_every_boundary_is_torn_or_closed():
+    frame = encode_frame({"type": "result", "key": "k", "value": [1, 2, 3]})
+    for cut in range(len(frame)):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(frame[:cut])
+            a.close()  # peer dies mid-frame
+            if cut == 0:
+                with pytest.raises(ConnectionClosed):
+                    recv_message(b)
+            else:
+                with pytest.raises(TornFrame):
+                    recv_message(b)
+        finally:
+            b.close()
+
+
+def test_clean_close_between_frames(pair):
+    a, b = pair
+    send_message(a, {"type": "one"})
+    a.close()
+    assert recv_message(b)["type"] == "one"
+    with pytest.raises(ConnectionClosed):
+        recv_message(b)
+
+
+# ---------------------------------------------------------------------------
+# Corruption and protocol violations
+# ---------------------------------------------------------------------------
+
+def test_payload_corruption_fails_crc(pair):
+    a, b = pair
+    frame = bytearray(encode_frame({"type": "x", "data": b"A" * 64}))
+    frame[-1] ^= 0xFF
+    a.sendall(bytes(frame))
+    with pytest.raises(TornFrame, match="CRC"):
+        recv_message(b)
+
+
+def test_corrupt_frame_never_reaches_unpickler(pair, monkeypatch):
+    a, b = pair
+    frame = bytearray(encode_frame({"type": "x"}))
+    frame[HEADER.size] ^= 0xFF
+    a.sendall(bytes(frame))
+    calls = []
+    real = pickle.loads
+    monkeypatch.setattr(pickle, "loads",
+                        lambda *a, **k: calls.append(1) or real(*a, **k))
+    with pytest.raises(TornFrame):
+        recv_message(b)
+    assert not calls
+
+
+def test_bad_magic_is_frame_error(pair):
+    a, b = pair
+    payload = b"x"
+    a.sendall(struct.pack(">2sBxII", b"ZZ", VERSION, len(payload), 0)
+              + payload)
+    with pytest.raises(FrameError, match="magic"):
+        recv_message(b)
+
+
+def test_bad_version_is_frame_error(pair):
+    a, b = pair
+    payload = pickle.dumps({"type": "x"})
+    a.sendall(struct.pack(">2sBxII", MAGIC, 99, len(payload), 0) + payload)
+    with pytest.raises(FrameError):
+        recv_message(b)
+
+
+def test_oversized_send_refused_before_write(pair):
+    a, b = pair
+    with pytest.raises(FrameError, match="exceeds"):
+        send_message(a, {"data": b"x" * 4096}, max_bytes=128)
+
+
+def test_oversized_declaration_refused_before_allocation(pair):
+    a, b = pair
+    # Header declares 1 GiB; the receiver must refuse from the header
+    # alone, never trying to buffer the payload.
+    a.sendall(struct.pack(">2sBxII", MAGIC, VERSION, 1 << 30, 0))
+    with pytest.raises(FrameError, match="exceeds"):
+        recv_message(b, max_bytes=1 << 20)
+
+
+def test_interleaved_garbage_after_valid_frame(pair):
+    a, b = pair
+    send_message(a, {"type": "good"})
+    a.sendall(b"\xde\xad\xbe\xef" * 4)
+    assert recv_message(b)["type"] == "good"
+    a.close()
+    with pytest.raises((FrameError, TornFrame)):
+        recv_message(b)

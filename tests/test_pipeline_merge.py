@@ -1,0 +1,143 @@
+"""ResultTable.merge conflict semantics (the distributed-grid contract).
+
+Two workers can deliver the same cell (a work-steal race), and a
+failure can race a success across workers.  The hardened merge must:
+dedup content-identical duplicates, raise :class:`MergeConflict` on
+divergent ones, and never let a :class:`CellFailure` shadow (or
+coexist with) a success for the same cell — in either merge order.
+"""
+
+import math
+
+import pytest
+
+from repro.evaluation.strategies import EvalResult
+from repro.pipeline import CellFailure, MergeConflict, ResultTable
+
+
+def _result(method="naive", series="s0", scores=None, n_windows=3,
+            fit_seconds=0.1):
+    return EvalResult(method=method, series=series, horizon=12,
+                      strategy="fixed", scores=scores or {"mae": 1.5},
+                      n_windows=n_windows, fit_seconds=fit_seconds,
+                      predict_seconds=0.01)
+
+
+def _failure(method="naive", series="s0", status="failed"):
+    return CellFailure(method=method, series=series, horizon=12,
+                      strategy="fixed", status=status, error="boom",
+                      error_type="RuntimeError")
+
+
+def _table(*, records=(), failures=()):
+    table = ResultTable()
+    for r in records:
+        table.add(r)
+    for f in failures:
+        table.add_failure(f)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Baseline: disjoint merges keep the original contract
+# ---------------------------------------------------------------------------
+
+def test_disjoint_merge_concatenates():
+    a = _table(records=[_result(series="s0")])
+    b = _table(records=[_result(series="s1")],
+               failures=[_failure(series="s2")])
+    a.merge(b)
+    assert len(a) == 2
+    assert len(a.failures) == 1
+
+
+def test_merge_plain_record_list_still_supported():
+    a = _table(records=[_result(series="s0")])
+    a.merge([_result(series="s1")])
+    assert len(a) == 2
+
+
+# ---------------------------------------------------------------------------
+# Duplicate results
+# ---------------------------------------------------------------------------
+
+def test_identical_duplicate_is_deduped():
+    first = _result(fit_seconds=0.10)
+    dup = _result(fit_seconds=0.93)  # timings may differ, content may not
+    a = _table(records=[first])
+    a.merge(_table(records=[dup]))
+    assert a.records == [first]  # keep-first
+
+
+def test_divergent_duplicate_raises():
+    a = _table(records=[_result(scores={"mae": 1.5})])
+    with pytest.raises(MergeConflict, match="divergent"):
+        a.merge(_table(records=[_result(scores={"mae": 1.5001})]))
+
+
+def test_divergent_n_windows_raises():
+    a = _table(records=[_result(n_windows=3)])
+    with pytest.raises(MergeConflict):
+        a.merge(_table(records=[_result(n_windows=4)]))
+
+
+def test_nan_scores_compare_equal():
+    a = _table(records=[_result(scores={"mae": math.nan})])
+    a.merge(_table(records=[_result(scores={"mae": math.nan})]))
+    assert len(a) == 1
+
+
+def test_duplicate_inside_one_incoming_table():
+    a = ResultTable()
+    a.merge(_table(records=[_result(), _result()]))
+    assert len(a) == 1
+
+
+# ---------------------------------------------------------------------------
+# Failures never overwrite successes — both orders
+# ---------------------------------------------------------------------------
+
+def test_failure_then_success():
+    a = _table(failures=[_failure()])
+    a.merge(_table(records=[_result()]))
+    assert len(a) == 1
+    assert a.failures == []
+
+
+def test_success_then_failure():
+    a = _table(records=[_result()])
+    a.merge(_table(failures=[_failure()]))
+    assert len(a) == 1
+    assert a.failures == []
+
+
+def test_unrelated_failures_survive_both_orders():
+    success = _result(series="s0")
+    other_failure = _failure(series="s1")
+    a = _table(records=[success])
+    a.merge(_table(failures=[other_failure]))
+    assert a.failures == [other_failure]
+
+    b = _table(failures=[other_failure])
+    b.merge(_table(records=[success]))
+    assert b.failures == [other_failure]
+
+
+def test_duplicate_failures_keep_first():
+    first = _failure(status="failed")
+    second = _failure(status="quarantined")
+    a = _table(failures=[first])
+    a.merge(_table(failures=[second]))
+    assert a.failures == [first]
+
+
+def test_chained_merges_converge():
+    # worker A: success for s0; worker B: stale failure for s0 plus a
+    # success for s1; worker C: identical duplicate of s0.
+    a = _table(records=[_result(series="s0")])
+    a.merge(_table(failures=[_failure(series="s0")],
+                   records=[_result(series="s1")]))
+    a.merge(_table(records=[_result(series="s0")]))
+    assert len(a) == 2
+    assert a.failures == []
+    assert a.status_counts() == {"ok": 2}

@@ -1,6 +1,7 @@
 """HTTP round-trip tests for the demo-frontend API (scenario endpoints)."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -231,7 +232,15 @@ class TestObservability:
 
         _, _, before = get_text(server, "/metrics")
         get(server, "/health")
-        _, _, after = get_text(server, "/metrics")
+        # The counter increments after the response bytes go out, so an
+        # immediate scrape can race the handler thread's finally-block.
+        deadline = time.monotonic() + 2.0
+        while True:
+            _, _, after = get_text(server, "/metrics")
+            if health_count(after) >= health_count(before) + 1 \
+                    or time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
         assert health_count(after) >= health_count(before) + 1
 
     def test_job_routes_use_bounded_label(self, server):
