@@ -1,0 +1,279 @@
+"""E16 — fleet observability overhead: observed vs dark execution.
+
+Acceptance benchmark for the fleet-observability PR, in three arms:
+
+* **Serial grid gate (≤5%)** — a compute-realistic grid (40-epoch
+  dlinear cells, ~1s serial) through ``run_one_click`` with the *full*
+  PR stack enabled (span tree, metrics, flight recorder, armed
+  blackbox, ``record`` call sites on the executor path) must cost at
+  most 5% CPU over the dark no-op fast path.  Three defenses against
+  a noisy host, in layers: CPU seconds instead of wall-clock (immune
+  to scheduler preemption), dark/observed runs interleaved pair by
+  pair with the warm collector swapped in and out (frequency drift
+  hits both arms equally), and the gate takes the better of two
+  independent half-trials (a flake must inflate both halves).
+* **Per-cell instrumentation gate** — the worker-side observability
+  sequence a distributed cell pays (capture scope + ``dist.cell`` span +
+  export + coordinator absorb) measured directly, no sockets.  Gated in
+  microseconds: against the ≥100ms cells real grids run, it is far
+  below 1%.
+* **Fleet wall-clock report** — a full loopback 3-worker grid observed
+  vs dark, interleaved median-of-N.  Loopback fleet wall-clock is
+  floored by discrete coordination ticks (connect/lease/heartbeat
+  timing), which makes a tight percentage gate a lottery — E15 gives
+  its own 4x-speedup gate a 25% margin for the same reason — so this
+  arm asserts the observability artifacts exist and reports the
+  timings; only a catastrophic (>50%) regression fails.
+
+Results are written as JSON (env ``E16_JSON``, default
+``e16_fleet_obs.json``) so CI can upload them next to the other
+E-series timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.pipeline import (BenchmarkConfig, DatasetSpec, MethodSpec,
+                            run_one_click)
+from repro.runtime.distributed import Coordinator, Worker
+
+RESULTS = {}
+
+MAX_OVERHEAD = 0.05        # 5% ceiling, serial matrix (gated hard)
+MAX_CELL_OBS_S = 2e-3      # per-cell instrumentation ceiling (2ms)
+MAX_FLEET_OVERHEAD = 0.50  # loopback fleet: catastrophic-only ceiling
+
+N_WORKERS = 3
+
+
+def _grid_config():
+    """A compute-realistic grid: training work dominates coordination."""
+    return BenchmarkConfig(
+        methods=(MethodSpec("theta"), MethodSpec("dlinear",
+                                                 {"epochs": 40,
+                                                  "max_windows": 2000})),
+        datasets=DatasetSpec(suite="univariate", per_domain=1, length=2048,
+                             domains=("traffic", "electricity", "energy")),
+        strategy="rolling", lookback=96, horizon=24, metrics=("mae", "mse"),
+        seed=7, tag="e16").validate()
+
+
+def _run_fleet(config):
+    """One loopback run: coordinator thread + in-thread workers."""
+    coordinator = Coordinator(config, heartbeat_s=0.5)
+    host, port = coordinator.address
+    holder = {}
+
+    def _serve():
+        try:
+            holder["table"] = coordinator.serve()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            holder["error"] = exc
+
+    serve = threading.Thread(target=_serve, daemon=True, name="e16-serve")
+    serve.start()
+    workers = [Worker(host, port, name=f"w{i}") for i in range(N_WORKERS)]
+    threads = [threading.Thread(target=w.run, daemon=True, name=w.name)
+               for w in workers]
+    for t in threads:
+        t.start()
+    serve.join(timeout=300)
+    assert not serve.is_alive(), "coordinator did not settle the grid"
+    assert "error" not in holder, repr(holder.get("error"))
+    for t in threads:
+        t.join(timeout=30)
+    assert len(holder["table"]) == 6
+    return holder["table"]
+
+
+def _best_of(fn, repeats=5):
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _dark():
+    telemetry.disable()
+    telemetry.disable_recorder()
+    telemetry.arm_blackbox(None)
+
+
+def _observed(tmp=None):
+    _dark()
+    telemetry.enable()
+    telemetry.enable_recorder()
+    if tmp is not None:
+        telemetry.arm_blackbox(tmp)
+
+
+class TestE16FleetObservabilityOverhead:
+    def test_serial_grid_full_stack_within_5_percent(self, tmp_path):
+        """Full observability stack vs dark, on compute-realistic cells."""
+        saved = telemetry._ACTIVE
+        config = _grid_config()
+        pairs = 10  # 2 half-trials of 5 interleaved pairs each
+
+        def run_once():
+            table = run_one_click(config)
+            assert len(table) == 6
+
+        offs, ons = [], []
+        try:
+            _dark()
+            run_once()  # warm caches (datasets, imports) out of the timing
+            # Build the observed stack once (instrument creation is
+            # one-time, not per-run, cost), warm it, then swap the live
+            # collector in and out around alternating timed runs.
+            _observed(tmp_path / "blackbox.jsonl")
+            observed_tel = telemetry._ACTIVE
+            observed_rec = telemetry._RECORDER
+            run_once()
+            for _ in range(pairs):
+                telemetry._ACTIVE = None
+                telemetry._RECORDER = None
+                start = time.process_time()
+                run_once()
+                offs.append(time.process_time() - start)
+                telemetry._ACTIVE = observed_tel
+                telemetry._RECORDER = observed_rec
+                start = time.process_time()
+                run_once()
+                ons.append(time.process_time() - start)
+            assert len(telemetry.spans()) >= 6 * 6
+            assert len(telemetry.recorder()) > 0
+        finally:
+            _dark()
+            telemetry._ACTIVE = saved
+
+        half = pairs // 2
+        halves = [sum(ons[:half]) / sum(offs[:half]) - 1.0,
+                  sum(ons[half:]) / sum(offs[half:]) - 1.0]
+        overhead = min(halves)
+        RESULTS["serial_grid_2x3"] = {
+            "disabled_cpu_s": offs, "enabled_cpu_s": ons,
+            "half_trial_overheads": halves,
+            "overhead_fraction": overhead,
+        }
+        print(f"\nE16 serial full-stack CPU overhead: "
+              f"[{halves[0] * 100:+.2f}%, {halves[1] * 100:+.2f}%] "
+              f"-> {overhead * 100:+.2f}%")
+        assert overhead <= MAX_OVERHEAD, (
+            f"full-stack overhead {overhead * 100:.2f}% in both "
+            f"half-trials exceeds {MAX_OVERHEAD * 100:.0f}%")
+
+    def test_per_cell_instrumentation_is_microseconds(self):
+        """What a distributed cell pays: capture + span + export + absorb.
+
+        Measured without sockets so the number is deterministic.  At the
+        ceiling, a realistic >=100ms cell pays under 2% — in practice
+        the sequence is tens of microseconds.
+        """
+        saved = telemetry._ACTIVE
+        _dark()
+        telemetry.enable()
+        telemetry.enable_recorder()
+        n = 200
+        try:
+            start = time.perf_counter()
+            for i in range(n):
+                with telemetry.capture() as scope:
+                    with telemetry.span("dist.cell", worker="w0",
+                                        key=f"cell-{i}"):
+                        telemetry.record("dist.cell.start", key=f"cell-{i}")
+                        telemetry.inc("repro_dist_worker_cells_total",
+                                      worker="w0", status="ok")
+                        telemetry.observe("repro_dist_worker_cell_seconds",
+                                          0.1, worker="w0")
+                        telemetry.record("dist.cell.finish", key=f"cell-{i}",
+                                         seconds=0.1)
+                    export = scope.export()
+                telemetry.absorb(export)  # the coordinator side
+            per_cell = (time.perf_counter() - start) / n
+        finally:
+            _dark()
+            telemetry._ACTIVE = saved
+        RESULTS["per_cell_instrumentation"] = {
+            "cells": n, "seconds_per_cell": per_cell}
+        print(f"\nE16 per-cell instrumentation: {per_cell * 1e6:.0f}us "
+              f"per cell (ceiling {MAX_CELL_OBS_S * 1e6:.0f}us)")
+        assert per_cell < MAX_CELL_OBS_S
+
+    def test_disabled_record_fast_path_is_cheap(self):
+        """``telemetry.record`` with no recorder: one None check."""
+        saved = telemetry._ACTIVE
+        _dark()
+        try:
+            start = time.perf_counter()
+            for _ in range(100_000):
+                telemetry.record("noop", key="a", n=1)
+            elapsed = time.perf_counter() - start
+        finally:
+            telemetry._ACTIVE = saved
+        per_call = elapsed / 100_000
+        RESULTS["record_noop_path"] = {"calls": 100_000, "seconds": elapsed,
+                                       "seconds_per_call": per_call}
+        print(f"\nE16 record no-op path: {per_call * 1e9:.0f}ns per call")
+        assert per_call < 5e-6  # microseconds, not milliseconds
+
+    def test_fleet_observed_run_reported(self):
+        """Loopback fleet, observed vs dark: artifacts + reported wall."""
+        saved = telemetry._ACTIVE
+        config = _grid_config()
+        darks, ons = [], []
+        try:
+            _dark()
+            _run_fleet(config)  # warm
+            # Interleave the arms so machine drift hits both equally.
+            for _ in range(3):
+                _dark()
+                start = time.perf_counter()
+                _run_fleet(config)
+                darks.append(time.perf_counter() - start)
+                _observed()
+                start = time.perf_counter()
+                _run_fleet(config)
+                ons.append(time.perf_counter() - start)
+            spans = telemetry.spans()
+            cells = [s for s in spans if s.name == "dist.cell"]
+            # Every cell traced in the last run; tail stealing can race
+            # a cell onto two workers (first result wins), so >= 6.
+            assert len(cells) >= 6
+            roots = [s for s in spans if s.name == "dist.run"]
+            assert len(roots) == 1
+            assert {s.trace_id for s in cells} == {roots[0].trace_id}
+            assert len(telemetry.recorder()) > 0
+        finally:
+            _dark()
+            telemetry._ACTIVE = saved
+
+        t_off = float(np.median(darks))
+        t_on = float(np.median(ons))
+        overhead = t_on / t_off - 1.0
+        RESULTS["fleet_grid_2x3"] = {
+            "workers": N_WORKERS, "cells": 6,
+            "disabled_s": t_off, "enabled_s": t_on,
+            "overhead_fraction": overhead,
+            "cell_spans_last_run": len(cells),
+        }
+        print(f"\nE16 fleet observed: dark {t_off * 1e3:.1f}ms, "
+              f"observed {t_on * 1e3:.1f}ms ({overhead * 100:+.2f}%)")
+        assert overhead <= MAX_FLEET_OVERHEAD, (
+            f"observed fleet run {overhead * 100:.1f}% over dark — far "
+            f"beyond coordination-tick noise; investigate")
+
+
+def teardown_module(module):
+    path = os.environ.get("E16_JSON", "e16_fleet_obs.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(RESULTS, fh, indent=2)
+    print(f"\nE16 timings written to {path}")

@@ -9,6 +9,10 @@ Commands mirror the demo's capabilities for shell users:
 * ``recommend <csv> [-k K]``         — offline phase + top-k methods;
 * ``forecast <csv> [--horizon H]``   — automated-ensemble forecast;
 * ``ask "<question>"``               — one Q&A turn (synthetic store);
+* ``debug <run-dir>``                — postmortem a run directory:
+  pretty-print the flight-recorder ``blackbox.jsonl`` (last-N wide
+  events, worker postmortems), the merged Chrome trace and the result
+  summary;
 * ``serve [--port P]``               — start the JSON HTTP API (exposes
   Prometheus metrics at ``/metrics`` and per-job Chrome traces at
   ``/trace/<job_id>``).  Serving-tier knobs: ``--http-workers`` pre-forks
@@ -156,6 +160,16 @@ def build_parser():
     p_ask.add_argument("--series", type=int, default=500,
                        help="synthetic knowledge-base size")
 
+    p_debug = sub.add_parser("debug",
+                             help="postmortem a run directory: pretty-print "
+                                  "the flight-recorder blackbox and trace")
+    p_debug.add_argument("run_dir", type=Path,
+                         help="run directory (bench --run-dir) holding "
+                              "blackbox.jsonl / trace.json")
+    p_debug.add_argument("-n", "--events", type=int, default=20,
+                         help="blackbox events to show (default "
+                              "%(default)s)")
+
     p_serve = sub.add_parser("serve", help="start the JSON HTTP API")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
@@ -254,6 +268,15 @@ def _cmd_bench_worker(args, out):
     from .runtime.distributed import Worker
 
     host, port = _parse_endpoint(args.worker)
+    if args.run_dir is not None:
+        # A worker given a run dir keeps its own blackbox there: SIGTERM
+        # and unhandled exceptions dump locally (SIGKILL postmortems are
+        # the coordinator's job, from heartbeat-shipped tails).
+        from . import telemetry
+        args.run_dir.mkdir(parents=True, exist_ok=True)
+        telemetry.enable_recorder()
+        telemetry.arm_blackbox(args.run_dir / telemetry.BLACKBOX_NAME)
+        telemetry.install_crash_hooks()
     cache = ArtifactCache(directory=args.cache_dir) if args.cache_dir \
         else None
     plan = None
@@ -285,9 +308,16 @@ def _cmd_bench(args, out):
         return _cmd_bench_worker(args, out)
     config, run_dir, resume_state = _bench_setup(args)
     observing = args.trace_dir is not None or args.metrics_json is not None
-    if observing:
+    if observing or run_dir is not None:
         from . import telemetry
-        telemetry.enable()
+        if observing:
+            telemetry.enable()
+        # Any run with a directory gets a flight recorder: the ring is
+        # cheap, and a crash dump is only possible if events exist.
+        telemetry.enable_recorder()
+        if run_dir is not None:
+            telemetry.arm_blackbox(run_dir / telemetry.BLACKBOX_NAME)
+            telemetry.install_crash_hooks()
     executor = None
     if args.executor or args.workers > 1:
         kind = args.executor or "process"
@@ -319,7 +349,7 @@ def _cmd_bench(args, out):
                 config, host=host, port=port, cache=cache,
                 journal=journal, resume=resume_state, logger=logger,
                 lease_batch=args.lease_batch or 2,
-                heartbeat_s=args.heartbeat_s)
+                heartbeat_s=args.heartbeat_s, run_dir=run_dir)
             addr = coordinator.address
             print(f"coordinator on {addr[0]}:{addr[1]} — start workers "
                   f"with: python -m repro bench --worker "
@@ -342,6 +372,11 @@ def _cmd_bench(args, out):
             disarm_faults()
         if journal is not None:
             journal.close()
+    if run_dir is not None and not args.coordinator:
+        # Coordinator runs dump their own ring in _shutdown; single-host
+        # runs flush here so `repro debug` always has a blackbox.
+        telemetry.dump_blackbox(reason="interrupt" if code == 130
+                                else "run_end")
     if run_dir is not None and table is not None:
         results = {"rows": table.to_rows(),
                    "failures": table.failure_rows(),
@@ -434,6 +469,119 @@ def _export_telemetry(args, out):
         print(f"metrics snapshot written to {args.metrics_json}", file=out)
 
 
+def _read_jsonl(path):
+    """Tolerantly parse a JSONL file: bad lines are skipped, not fatal.
+
+    A blackbox written around a crash can end in a torn line; a
+    postmortem tool that refuses to read a 99%-good file is useless.
+    """
+    records = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _cmd_debug(args, out):
+    """``repro debug <run-dir>``: render the blackbox + trace postmortem."""
+    import time as _time
+
+    from .telemetry import BLACKBOX_NAME
+
+    run_dir = args.run_dir
+    if not run_dir.is_dir():
+        raise SystemExit(f"{run_dir} is not a run directory")
+    found = False
+
+    blackbox = run_dir / BLACKBOX_NAME
+    if blackbox.exists():
+        found = True
+        events = _read_jsonl(blackbox)
+        dumps = [e for e in events if e.get("event") == "blackbox.dump"]
+        postmortems = [e for e in events
+                       if e.get("event") == "worker.postmortem"]
+        print(f"blackbox: {len(events)} events, {len(dumps)} dump(s), "
+              f"{len(postmortems)} worker postmortem(s)", file=out)
+        for pm in postmortems:
+            keys = pm.get("requeued_keys") or []
+            inflight = pm.get("inflight")
+            print(f"  worker {pm.get('worker')} lost "
+                  f"({pm.get('reason')}): in-flight="
+                  f"{inflight if inflight else '-'}, "
+                  f"requeued {len(keys)} cell(s)"
+                  + (f" [{', '.join(keys[:4])}"
+                     + (", ...]" if len(keys) > 4 else "]")
+                     if keys else ""), file=out)
+        rows = []
+        skip = {"event", "ts", "pid", "seq"}
+        for event in events[-max(args.events, 0):]:
+            ts = event.get("ts")
+            clock = (_time.strftime("%H:%M:%S", _time.localtime(ts))
+                     + f".{int((ts % 1) * 1000):03d}"
+                     if isinstance(ts, (int, float)) else "-")
+            detail = " ".join(f"{k}={event[k]}" for k in event
+                              if k not in skip)
+            rows.append([clock, event.get("pid", "-"),
+                         event.get("event", "?"),
+                         detail[:72] + ("..." if len(detail) > 72 else "")])
+        if rows:
+            print(format_table(["time", "pid", "event", "detail"], rows),
+                  file=out)
+    else:
+        print(f"no {BLACKBOX_NAME} in {run_dir}", file=out)
+
+    trace_path = next((p for p in (run_dir / "trace.json",
+                                   run_dir / "telemetry" / "trace.json")
+                       if p.exists()), None)
+    if trace_path is not None:
+        found = True
+        try:
+            trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        except ValueError:
+            trace = {}
+        trace_events = trace.get("traceEvents", [])
+        spans = [e for e in trace_events if e.get("ph") == "X"]
+        lanes = {e.get("pid"): e.get("args", {}).get("name")
+                 for e in trace_events if e.get("ph") == "M"
+                 and e.get("name") == "process_name"}
+        by_pid = {}
+        for span in spans:
+            by_pid[span.get("pid")] = by_pid.get(span.get("pid"), 0) + 1
+        print(f"trace: {len(spans)} spans across {len(by_pid)} "
+              f"process(es) ({trace_path})", file=out)
+        for pid in sorted(by_pid):
+            label = lanes.get(pid) or "?"
+            print(f"  pid {pid} ({label}): {by_pid[pid]} spans", file=out)
+
+    results = run_dir / "results.json"
+    if results.exists():
+        found = True
+        try:
+            counts = json.loads(results.read_text(
+                encoding="utf-8")).get("status_counts", {})
+        except ValueError:
+            counts = {}
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        print(f"results: {summary or 'empty'}", file=out)
+
+    if not found:
+        print(f"nothing to debug in {run_dir} (no blackbox, trace or "
+              "results)", file=out)
+        return 1
+    return 0
+
+
 def _offline_system(per_domain):
     from .core import EasyTime
     system = EasyTime(per_domain=per_domain)
@@ -513,6 +661,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "forecast": _cmd_forecast,
     "ask": _cmd_ask,
+    "debug": _cmd_debug,
     "serve": _cmd_serve,
 }
 

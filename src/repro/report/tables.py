@@ -73,18 +73,32 @@ def format_profile(summary):
     """Format a :meth:`RunLogger.profile_summary` breakdown as a table.
 
     One row per pipeline phase with its total wall-clock and share, plus a
-    totals row across all profiled tasks.
+    totals row across all profiled tasks.  Summaries carrying
+    ``phase_quantiles`` (span-derived profiles) get a p50/p95/p99 column
+    so tail latency shows up next to the totals.
     """
     phases = summary.get("phases", {})
     if not phases:
         return "(no profile events)"
+    quantiles = summary.get("phase_quantiles") or {}
     total = sum(phases.values())
     rows = []
     for phase, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
         share = 100.0 * seconds / total if total > 0 else 0.0
-        rows.append([phase, seconds, f"{share:.1f}%"])
-    rows.append(["total", total, f"({summary.get('tasks', 0)} tasks)"])
-    return format_table(["phase", "seconds", "share"], rows)
+        row = [phase, seconds, f"{share:.1f}%"]
+        if quantiles:
+            q = quantiles.get(phase, {})
+            row.append("/".join(f"{q.get(k, 0.0):.3f}"
+                                for k in ("p50", "p95", "p99"))
+                       if q else "-")
+        rows.append(row)
+    totals_row = ["total", total, f"({summary.get('tasks', 0)} tasks)"]
+    headers = ["phase", "seconds", "share"]
+    if quantiles:
+        totals_row.append("-")
+        headers.append("p50/p95/p99")
+    rows.append(totals_row)
+    return format_table(headers, rows)
 
 
 def format_failures(failures, max_error_chars=60):

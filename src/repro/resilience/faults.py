@@ -186,6 +186,8 @@ class FaultPlan:
             telemetry.inc("repro_faults_injected_total", site=site,
                           kind=rule.kind,
                           help="Faults fired by the injection harness.")
+            telemetry.record("fault.injected", site=site, key=key,
+                             kind=rule.kind)
             fired.append(rule)
         return fired
 
@@ -203,6 +205,10 @@ class FaultPlan:
             if rule.kind == "delay":
                 time.sleep(rule.delay_s)
             elif rule.kind == "crash":
+                # Last words: SIGKILL is uncatchable, so the flight
+                # recorder dumps *before* the kill — the one crash mode
+                # where the dying process can still write its own ring.
+                telemetry.dump_blackbox(reason="fault.crash")
                 os.kill(os.getpid(), signal.SIGKILL)
             elif rule.kind == "interrupt":
                 raise KeyboardInterrupt(

@@ -36,6 +36,7 @@ import pickle
 import socket
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -95,7 +96,7 @@ class Coordinator:
     def __init__(self, config, host="127.0.0.1", port=0, registry=None,
                  logger=None, cache=None, journal=None, resume=None,
                  lease_batch=2, heartbeat_s=10.0, heartbeat_timeout_s=None,
-                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES, run_dir=None):
         # Imported here: pipeline imports repro.runtime, and this module
         # must stay importable without completing that cycle early.
         from ...pipeline.runner import BenchmarkRunner
@@ -131,6 +132,24 @@ class Coordinator:
         self._stats = {"results": 0, "failures": 0, "duplicates": 0,
                        "torn_frames": 0, "expired": 0}
 
+        # -- fleet observability state --------------------------------
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        if self.run_dir is not None:
+            # A run directory implies postmortems are wanted: make sure
+            # wide events are being collected on the coordinator too.
+            telemetry.enable_recorder()
+        self._trace_ctx = {}          # coordinator root-span context
+        self._fleet_lock = threading.Lock()
+        self._fleet_snapshots = {}    # worker -> last cumulative snapshot
+        self._worker_info = {}        # worker -> last heartbeat vitals
+        self._worker_seconds = {}     # worker -> accumulated cell seconds
+        self._grant_times = {}        # key -> monotonic grant time
+        # Always-on lease-latency histogram (grant → result), so /grid
+        # reports percentiles even when telemetry is disabled.
+        from ...telemetry.metrics import DEFAULT_BUCKETS, Histogram
+        self._lease_hist = Histogram("repro_dist_lease_seconds",
+                                     buckets=DEFAULT_BUCKETS)
+
     # -- grid preparation -------------------------------------------------
 
     def _publish_blob(self, data):
@@ -162,7 +181,9 @@ class Coordinator:
                 fingerprint=entry.fingerprint, cache_key=entry.cache_key,
                 method=spec.name,
                 params=tuple(sorted(spec.params.items())),
-                series=handle, config_digest=config_digest))
+                series=handle, config_digest=config_digest,
+                trace_id=self._trace_ctx.get("trace_id", ""),
+                parent_span_id=self._trace_ctx.get("span_id", "")))
             self._pending_by_key[entry.key] = entry
         return tasks
 
@@ -193,23 +214,36 @@ class Coordinator:
         partial table, mirroring the single-host runner's contract.
         """
         self._progress = progress
-        self._prepare(progress)
-        _set_active(self)
-        acceptor = threading.Thread(target=self._accept_loop, daemon=True,
-                                    name="dist-accept")
-        acceptor.start()
-        poll_s = min(max(self.heartbeat_s / 2.0, 0.05), 0.5)
+        # The run's root span: every worker cell span parents (via the
+        # context stamped onto each WireTask) under this one, so the
+        # merged trace is a single tree spanning the whole fleet.
+        root = telemetry.span("dist.run", tag=self.runner.config.tag,
+                              worker="coordinator")
         stop_status = None
-        try:
-            while not self._done.wait(poll_s):
-                if cancel is not None and cancel.is_set():
-                    stop_status = "cancelled"
-                    break
-                self._expire_leases()
-        except KeyboardInterrupt:
-            stop_status = "interrupted"
-        finally:
-            self._shutdown(stop_status)
+        with root:
+            self._trace_ctx = telemetry.task_context() or {}
+            self._prepare(progress)
+            _set_active(self)
+            telemetry.record("dist.run.start", tag=self.runner.config.tag,
+                             n_pending=self.scheduler.outstanding())
+            acceptor = threading.Thread(target=self._accept_loop,
+                                        daemon=True, name="dist-accept")
+            acceptor.start()
+            poll_s = min(max(self.heartbeat_s / 2.0, 0.05), 0.5)
+            try:
+                while not self._done.wait(poll_s):
+                    if cancel is not None and cancel.is_set():
+                        stop_status = "cancelled"
+                        break
+                    self._expire_leases()
+                    telemetry.set_gauge(
+                        "repro_dist_queue_depth",
+                        self.scheduler.queue_depth(),
+                        help="Cells waiting in the global grid queue.")
+            except KeyboardInterrupt:
+                stop_status = "interrupted"
+            finally:
+                self._shutdown(stop_status)
         if stop_status == "interrupted":
             raise RunInterrupted(self.table)
         return self.table
@@ -233,6 +267,15 @@ class Coordinator:
                     self.journal.run_interrupted(reason=stop_status)
         self.logger.info("dist.done" if stop_status is None
                          else f"dist.{stop_status}", **done_payload)
+        telemetry.record("dist.run.end",
+                         status=stop_status or "done",
+                         n_results=done_payload["n_results"])
+        if self.run_dir is not None:
+            # Always leave a blackbox behind: the coordinator's own ring
+            # ends the file, after any worker postmortems written above.
+            from ...telemetry.recorder import BLACKBOX_NAME
+            telemetry.dump_blackbox(self.run_dir / BLACKBOX_NAME,
+                                    reason=stop_status or "run_end")
         _set_last(self.status())
 
     def _mark_unrun(self, status):
@@ -264,9 +307,77 @@ class Coordinator:
             telemetry.inc("repro_dist_leases_expired_total",
                           help="Worker leases reclaimed by heartbeat "
                                "timeout.")
+            self._postmortem(worker, "lease_expired", keys)
         if expired:
             telemetry.set_gauge("repro_dist_workers", len(self._workers),
                                 help="Workers currently registered.")
+
+    # -- fleet observability ----------------------------------------------
+
+    def _absorb_heartbeat(self, worker, message):
+        """Fold a heartbeat's vital signs into the fleet view.
+
+        Stores the worker's in-flight cell, stats and shipped recorder
+        tail (the SIGKILL postmortem source), and delta-merges its
+        *cumulative* metrics snapshot into the coordinator's registry —
+        :func:`~repro.telemetry.metrics.snapshot_delta` keyed per worker
+        guarantees a reconnecting worker re-shipping totals it already
+        reported never double-counts.
+        """
+        info = {"inflight": message.get("inflight"),
+                "stats": message.get("stats"),
+                "recorder": message.get("recorder"),
+                "ts": time.time()}
+        snapshot = message.get("metrics")
+        with self._fleet_lock:
+            self._worker_info[worker] = info
+            if snapshot:
+                previous = self._fleet_snapshots.get(worker)
+                self._fleet_snapshots[worker] = snapshot
+                delta = telemetry.snapshot_delta(previous, snapshot)
+            else:
+                delta = None
+        if delta:
+            registry = telemetry.get_metrics()
+            if registry is not None:
+                registry.merge(delta)
+        stats = message.get("stats") or {}
+        if "cells" in stats:
+            telemetry.set_gauge("repro_dist_worker_cells",
+                                stats.get("cells", 0), worker=worker,
+                                help="Cells processed per worker "
+                                     "(heartbeat-reported).")
+
+    def _postmortem(self, worker, reason, requeued):
+        """Write a dead worker's last-known state to the blackbox.
+
+        ``SIGKILL`` leaves no handler a chance to dump, so the
+        coordinator replays what the worker shipped on its final
+        heartbeats: the in-flight cell key plus its recent recorder
+        tail.  The requeued keys are the authoritative in-flight set —
+        the scheduler knows exactly which cells died with the worker.
+        """
+        with self._fleet_lock:
+            info = self._worker_info.get(worker) or {}
+        telemetry.record("dist.worker_lost", worker=worker, reason=reason,
+                         requeued=len(requeued),
+                         inflight=info.get("inflight"))
+        if self.run_dir is None:
+            return
+        from ...telemetry.recorder import BLACKBOX_NAME, FlightRecorder
+        header = {"event": "worker.postmortem", "ts": time.time(),
+                  "worker": worker, "reason": reason,
+                  "requeued_keys": sorted(requeued),
+                  "inflight": info.get("inflight"),
+                  "stats": info.get("stats"),
+                  "last_heartbeat_ts": info.get("ts")}
+        events = [header, *(info.get("recorder") or [])]
+        try:
+            FlightRecorder.append_events(self.run_dir / BLACKBOX_NAME,
+                                         events)
+        except OSError as exc:
+            self.logger.warning("dist.blackbox_error", worker=worker,
+                                error=str(exc))
 
     # -- connection handling ----------------------------------------------
 
@@ -308,6 +419,7 @@ class Coordinator:
                 mtype = message.get("type")
                 if mtype == "heartbeat":
                     self.scheduler.heartbeat(worker, time.monotonic())
+                    self._absorb_heartbeat(worker, message)
                     continue
                 try:
                     reply = self._dispatch(mtype, message, worker)
@@ -340,6 +452,10 @@ class Coordinator:
                 if requeued:
                     self.logger.info("dist.worker_lost", worker=worker,
                                      requeued=len(requeued))
+                    # Cells died with the connection: postmortem the
+                    # worker from its heartbeat-shipped state.  A clean
+                    # exit (no leased cells) writes nothing.
+                    self._postmortem(worker, "disconnect", requeued)
 
     def _dispatch(self, mtype, message, worker):
         now = time.monotonic()
@@ -352,7 +468,11 @@ class Coordinator:
                              requeued=len(requeued))
             return {"type": "welcome", "heartbeat_s": self.heartbeat_s,
                     "lease_batch": self.lease_batch,
-                    "tag": self.runner.config.tag}
+                    "tag": self.runner.config.tag,
+                    # Observability stance: out-of-process workers turn
+                    # their own collector/recorder on to match.
+                    "telemetry": telemetry.active() is not None,
+                    "recorder": telemetry.recorder() is not None}
         if mtype == "request":
             return self._grant(message, worker, now)
         if mtype == "blob":
@@ -393,6 +513,12 @@ class Coordinator:
                     self.journal.cell_start(task.key, task.fingerprint)
         telemetry.inc("repro_dist_grants_total", len(tasks),
                       help="Cells granted to workers.")
+        granted_at = time.monotonic()
+        with self._fleet_lock:
+            for task in tasks:
+                self._grant_times[task.key] = granted_at
+        telemetry.record("dist.lease.grant", worker=worker,
+                         n=len(tasks), keys=[t.key for t in tasks])
         return {"type": "grant", "tasks": tasks, "revoked": revoked}
 
     def _artifact_get(self, key):
@@ -412,8 +538,26 @@ class Coordinator:
     def _absorb_result(self, message, worker):
         # Any result is proof of life — a worker grinding through a
         # lease of slow cells must not expire between heartbeats.
-        self.scheduler.heartbeat(worker, time.monotonic())
+        now = time.monotonic()
+        self.scheduler.heartbeat(worker, now)
         key = message.get("key")
+        # The worker's capture-scope export (cell spans + per-cell
+        # metric deltas) folds straight into the coordinator's collector
+        # — deltas, so re-shipped duplicates of *snapshots* can't occur
+        # here; the merge is additive by construction.
+        telemetry.absorb(message.get("telemetry"))
+        with self._fleet_lock:
+            granted_at = self._grant_times.pop(key, None)
+        if granted_at is not None:
+            lease_s = max(now - granted_at, 0.0)
+            self._lease_hist.observe(lease_s)
+            telemetry.observe("repro_dist_lease_latency_seconds", lease_s,
+                              help="Grant-to-result latency per cell.")
+        seconds = float(message.get("seconds", 0.0) or 0.0)
+        if seconds:
+            with self._fleet_lock:
+                self._worker_seconds[worker] = \
+                    self._worker_seconds.get(worker, 0.0) + seconds
         entry = self._pending_by_key.get(key)
         if entry is None:
             return
@@ -484,6 +628,22 @@ class Coordinator:
         """JSON-ready status for logging and the ``/grid`` route."""
         scheduler = (self.scheduler.snapshot(now=time.monotonic())
                      if self.scheduler is not None else {})
+        # Fleet data first (own lock), then the table under _lock —
+        # the two locks are never held together.
+        with self._fleet_lock:
+            fleet = {worker: {"inflight": info.get("inflight"),
+                              "stats": info.get("stats"),
+                              "seconds": round(
+                                  self._worker_seconds.get(worker, 0.0), 6)}
+                     for worker, info in sorted(self._worker_info.items())}
+            for worker, seconds in self._worker_seconds.items():
+                fleet.setdefault(worker, {})["seconds"] = round(seconds, 6)
+        lease_snap = self._lease_hist.snapshot()
+        lease_seconds = ({"count": lease_snap.count,
+                          "mean": round(lease_snap.mean, 6),
+                          **{k: round(v, 6) for k, v in
+                             lease_snap.percentiles().items()}}
+                         if lease_snap is not None else None)
         with self._lock:
             return {"tag": self.runner.config.tag,
                     "address": list(self.address),
@@ -491,7 +651,11 @@ class Coordinator:
                     "failures": len(self.table.failures),
                     "workers": sorted(self._workers),
                     "stats": dict(self._stats),
-                    "scheduler": scheduler}
+                    "scheduler": scheduler,
+                    "fleet": fleet,
+                    "queue_depth": scheduler.get("pending", 0),
+                    "steals": scheduler.get("counts", {}).get("stolen", 0),
+                    "lease_seconds": lease_seconds}
 
     def close(self):
         self._closing = True

@@ -28,6 +28,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from ... import telemetry
+
 __all__ = ["GridScheduler"]
 
 
@@ -150,6 +152,11 @@ class GridScheduler:
         if stolen:
             self._revoked.setdefault(victim.worker, set()).update(stolen)
             self.counts["stolen"] += len(stolen)
+            telemetry.inc("repro_dist_steals_total", len(stolen),
+                          thief=thief, victim=victim.worker,
+                          help="Cells stolen from straggler leases.")
+            telemetry.record("dist.steal", thief=thief,
+                             victim=victim.worker, n=len(stolen))
         return stolen
 
     def revoked_for(self, worker):
@@ -209,6 +216,11 @@ class GridScheduler:
     def done(self):
         with self._lock:
             return len(self._terminal) >= len(self._tasks)
+
+    def queue_depth(self):
+        """Cells waiting in the global queue (not leased, not settled)."""
+        with self._lock:
+            return len(self._pending)
 
     def outstanding(self):
         with self._lock:

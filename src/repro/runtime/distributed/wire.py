@@ -100,6 +100,11 @@ class WireTask:
     seeds the worker's RNG exactly like the in-process executors
     (:func:`~repro.runtime.derive_seed`), which is what makes the
     distributed grid bitwise-identical to a serial run.
+
+    ``trace_id``/``parent_span_id`` propagate the coordinator's span
+    context across the host boundary: the worker opens its cell span
+    with these as explicit parent, so a fleet run renders as one trace
+    tree rooted in the coordinator.  Empty strings mean "tracing off".
     """
 
     key: str
@@ -110,6 +115,8 @@ class WireTask:
     params: tuple              # sorted ((name, value), ...) pairs
     series: WireSeries
     config_digest: str
+    trace_id: str = ""
+    parent_span_id: str = ""
 
 
 # ---------------------------------------------------------------------------

@@ -119,6 +119,12 @@ class Worker:
         self.stats = {"cells": 0, "failures": 0, "local_hits": 0,
                       "remote_hits": 0, "computed": 0, "reconnects": 0,
                       "revoked": 0, "connects": 0}
+        # Telemetry scope this worker *enabled itself* (welcome-driven,
+        # CLI workers only).  In-process test workers share the
+        # coordinator's collector and must not re-ship its registry on
+        # heartbeats — that would double-count every merge.
+        self._owned_telemetry = None
+        self._inflight = None     # key of the cell currently computing
 
     def _log(self, level, event, **payload):
         if self.logger is not None:
@@ -142,7 +148,16 @@ class Worker:
                                              self.heartbeat_s))
         if self.lease_batch is None:
             self.lease_batch = welcome.get("lease_batch")
+        # The welcome advertises the coordinator's observability stance:
+        # a worker in a separate process turns on its own collector and
+        # recorder so traces/metrics/blackbox tails flow back.
+        if welcome.get("telemetry") and telemetry.active() is None:
+            self._owned_telemetry = telemetry.enable()
+        if welcome.get("recorder"):
+            telemetry.enable_recorder()
         self.stats["connects"] += 1
+        telemetry.record("dist.connected", worker=self.name,
+                         tag=welcome.get("tag"))
         self._hb_stop = threading.Event()
         threading.Thread(target=self._heartbeat_loop,
                          args=(sock, self._hb_stop), daemon=True,
@@ -167,14 +182,33 @@ class Worker:
         interval = max(self.heartbeat_s / 3.0, 0.05)
         while not stop.wait(interval):
             try:
+                message = self._heartbeat_message()
                 with self._send_lock:
                     if self._sock is not sock:
                         return
-                    send_message(sock, {"type": "heartbeat",
-                                        "worker": self.name},
-                                 self.max_frame_bytes)
+                    send_message(sock, message, self.max_frame_bytes)
             except (WireError, OSError):
                 return
+
+    def _heartbeat_message(self):
+        """Heartbeat payload: liveness plus the worker's vital signs.
+
+        Every beat carries the in-flight cell key, the stats dict and
+        the flight recorder's recent tail — so when this process is
+        SIGKILLed, the coordinator still holds a last-known snapshot of
+        what it was doing for the blackbox postmortem.  The cumulative
+        metrics registry rides along only when this worker owns its own
+        collector (separate process): the coordinator delta-merges it
+        into the fleet registry.
+        """
+        message = {"type": "heartbeat", "worker": self.name,
+                   "inflight": self._inflight, "stats": dict(self.stats)}
+        rec = telemetry.recorder()
+        if rec is not None:
+            message["recorder"] = rec.tail(32)
+        if self._owned_telemetry is not None:
+            message["metrics"] = self._owned_telemetry.metrics.snapshot()
+        return message
 
     def _rpc(self, message):
         t0 = time.perf_counter()
@@ -216,6 +250,9 @@ class Worker:
                         continue
                     if failures:
                         self.stats["reconnects"] += 1
+                        telemetry.record("dist.reconnect",
+                                         worker=self.name,
+                                         attempts=failures)
                     failures = 0
                     queue.clear()  # re-registering requeued our old lease
                 try:
@@ -226,6 +263,8 @@ class Worker:
                 except (WireError, OSError, InjectedFault) as exc:
                     self._log("warning", "dist.connection_lost",
                               error=repr(exc))
+                    telemetry.record("dist.connection_lost",
+                                     worker=self.name, error=repr(exc))
                     self._disconnect()
                     queue.clear()
                     failures = 1
@@ -274,6 +313,54 @@ class Worker:
                 "attempts": attempts, "stored_remote": stored_remote}
 
     def _run_cell(self, task):
+        """Run one cell under the propagated trace (when tracing is on).
+
+        The :class:`~.wire.WireTask` carries the coordinator's span
+        context; the worker opens its ``dist.cell`` span with that
+        context as explicit parent inside a private :func:`capture`
+        scope, then attaches the scope's export (spans + per-cell metric
+        deltas) to the result frame.  The coordinator absorbs it into
+        one fleet-wide trace tree and registry.
+        """
+        self._inflight = task.key
+        telemetry.record("dist.cell.start", worker=self.name, key=task.key,
+                         method=task.method, series=task.series.name)
+        result = None
+        started = time.perf_counter()
+        try:
+            if telemetry.active() is None:
+                result = self._run_cell_inner(task)
+                return result
+            parent = ({"trace_id": task.trace_id,
+                       "span_id": task.parent_span_id}
+                      if task.trace_id else None)
+            with telemetry.capture() as scope:
+                with telemetry.span("dist.cell", parent=parent,
+                                    worker=self.name, key=task.key,
+                                    method=task.method,
+                                    series=task.series.name) as cell_span:
+                    result = self._run_cell_inner(task)
+                    ok = bool(result.get("ok"))
+                    if not ok:
+                        cell_span.status = "error"
+                seconds = time.perf_counter() - started
+                telemetry.inc("repro_dist_worker_cells_total",
+                              worker=self.name,
+                              status="ok" if ok else "failed",
+                              help="Cells finished per worker by outcome.")
+                telemetry.observe("repro_dist_worker_cell_seconds",
+                                  seconds, worker=self.name,
+                                  help="Per-worker wall seconds per cell.")
+            result["telemetry"] = scope.export()
+            return result
+        finally:
+            self._inflight = None
+            telemetry.record(
+                "dist.cell.finish", worker=self.name, key=task.key,
+                ok=bool(result.get("ok")) if result is not None else None,
+                seconds=round(time.perf_counter() - started, 6))
+
+    def _run_cell_inner(self, task):
         self.stats["cells"] += 1
         if task.cache_key:
             if self.cache is not None:

@@ -118,6 +118,7 @@ def _execute_task(task, seed, retries, backoff):
     last = None
     started_at = time.time()
     t0 = time.perf_counter()
+    telemetry.record("task.start", key=task.key)
     for attempt in range(1, retries + 2):
         random.seed(seed)
         np.random.seed(seed % (2 ** 32))
@@ -132,9 +133,13 @@ def _execute_task(task, seed, retries, backoff):
             if attempt <= retries:
                 time.sleep(backoff * (2 ** (attempt - 1)))
             continue
+        telemetry.record("task.finish", key=task.key, ok=True,
+                         attempts=attempt)
         return TaskResult(key=task.key, value=value, attempts=attempt,
                           seconds=time.perf_counter() - t0, seed=seed,
                           started_at=started_at)
+    telemetry.record("task.finish", key=task.key, ok=False,
+                     attempts=retries + 1, error_type=type(last).__name__)
     error = TaskError(
         key=task.key, error=repr(last), error_type=type(last).__name__,
         attempts=retries + 1,

@@ -153,6 +153,8 @@ class AdmissionController:
                 self.counters["queued"] += 1
         telemetry.inc("repro_serving_admitted_total", route=route,
                       help="Requests admitted past the admission gate.")
+        telemetry.record("serving.admit", route=route,
+                         queued=start is not None)
         if start is not None:
             telemetry.observe("repro_serving_queue_wait_seconds",
                               time.perf_counter() - start, route=route,
@@ -172,6 +174,7 @@ class AdmissionController:
         telemetry.inc("repro_serving_rejected_total", route=route,
                       reason=reason.replace(" ", "_"),
                       help="Requests rejected by admission control.")
+        telemetry.record("serving.reject", route=route, reason=reason)
         raise AdmissionRejected(route, reason,
                                 retry_after_s=limit.retry_after_s)
 

@@ -21,24 +21,31 @@ Determinism: both the clock and the id generator are injectable
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
+from pathlib import Path
 
 from .export import SpanSink, chrome_trace, render_prometheus, \
     write_chrome_trace
 from .hooks import MetricsTrainingHooks, TrainingHooks
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, \
-    MetricsRegistry
+    HistogramSnapshot, MetricsRegistry, snapshot_delta
+from .recorder import BLACKBOX_NAME, FlightRecorder
 from .spans import Span, SpanContext, Tracer
 
 __all__ = [
     "Tracer", "Span", "SpanContext", "MetricsRegistry", "Counter", "Gauge",
-    "Histogram", "DEFAULT_BUCKETS", "TrainingHooks", "MetricsTrainingHooks",
+    "Histogram", "HistogramSnapshot", "DEFAULT_BUCKETS", "snapshot_delta",
+    "TrainingHooks", "MetricsTrainingHooks",
     "render_prometheus", "chrome_trace", "write_chrome_trace", "SpanSink",
+    "FlightRecorder", "BLACKBOX_NAME",
     "enable", "disable", "enabled", "active", "get_tracer", "get_metrics",
     "span", "trace", "current_context", "task_context", "capture", "absorb",
     "inc", "observe", "set_gauge", "spans", "clear",
+    "record", "recorder", "enable_recorder", "disable_recorder",
+    "arm_blackbox", "dump_blackbox", "install_crash_hooks",
     "profile_from_spans",
 ]
 
@@ -49,6 +56,16 @@ class Telemetry:
     def __init__(self, tracer=None, metrics=None):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Span-buffer overflow is never silent: evictions surface as a
+        # counter in this scope's own registry (satellite of PR 8).
+        if getattr(self.tracer, "on_drop", None) is None:
+            self.tracer.on_drop = self._count_dropped_spans
+
+    def _count_dropped_spans(self, n):
+        self.metrics.counter(
+            "repro_telemetry_dropped_spans_total",
+            help="Finished spans evicted from the bounded span "
+                 "buffer.").inc(n)
 
     def export(self):
         """Picklable payload: finished spans + metric snapshot."""
@@ -190,6 +207,117 @@ def clear():
 
 
 # ---------------------------------------------------------------------------
+# Flight recorder (wide events + blackbox crash dumps)
+# ---------------------------------------------------------------------------
+
+#: Process-wide flight recorder; None == recording disabled (no-op path).
+_RECORDER = None
+#: Where :func:`dump_blackbox` writes when no explicit path is given.
+_BLACKBOX_PATH = None
+_CRASH_HOOKS_INSTALLED = False
+
+
+def record(event, **fields):
+    """Append a wide event to the flight recorder (no-op when disabled).
+
+    Same fast-path contract as :func:`span`/:func:`inc`: one module-global
+    ``is None`` check until :func:`enable_recorder` installs a ring.  A
+    ring eviction bumps ``repro_recorder_dropped_events_total`` on the
+    active metrics scope, mirroring the span-buffer drop counter.
+    """
+    rec = _RECORDER
+    if rec is None:
+        return
+    if rec.record(event, **fields):
+        inc("repro_recorder_dropped_events_total",
+            help="Events evicted from the full flight-recorder ring.")
+
+
+def enable_recorder(capacity=512, clock=None):
+    """Install (or return the existing) process-wide flight recorder."""
+    global _RECORDER
+    if _RECORDER is None:
+        _RECORDER = FlightRecorder(capacity=capacity,
+                                   clock=clock or time.time)
+    return _RECORDER
+
+
+def disable_recorder():
+    """Remove the recorder; :func:`record` returns to the no-op path."""
+    global _RECORDER
+    _RECORDER = None
+
+
+def recorder():
+    """The active flight recorder, or None when recording is disabled."""
+    return _RECORDER
+
+
+def arm_blackbox(path):
+    """Set the default dump target for :func:`dump_blackbox`."""
+    global _BLACKBOX_PATH
+    _BLACKBOX_PATH = Path(path) if path is not None else None
+    return _BLACKBOX_PATH
+
+
+def dump_blackbox(path=None, reason="", extra=None):
+    """Dump the recorder ring to ``path`` (or the armed default).
+
+    Returns the path written, or None when there is no recorder or no
+    resolvable target — callers on crash paths need this to never raise.
+    """
+    rec = _RECORDER
+    target = path if path is not None else _BLACKBOX_PATH
+    if rec is None or target is None:
+        return None
+    try:
+        return rec.dump(target, reason=reason, extra=extra)
+    except OSError:
+        return None
+
+
+def install_crash_hooks():
+    """Dump the blackbox on unhandled exceptions and on ``SIGTERM``.
+
+    Idempotent.  The exception hook records the failure, dumps, then
+    chains to the previous hook; the SIGTERM handler dumps, restores the
+    prior disposition and re-raises the signal so the process still dies
+    with the caller-visible status.  ``SIGKILL`` cannot be hooked — that
+    postmortem path is the coordinator replaying heartbeat-shipped
+    recorder tails (see :mod:`repro.runtime.distributed.coordinator`).
+    """
+    global _CRASH_HOOKS_INSTALLED
+    if _CRASH_HOOKS_INSTALLED:
+        return
+    _CRASH_HOOKS_INSTALLED = True
+
+    import signal
+    import sys
+
+    previous_hook = sys.excepthook
+
+    def _hook(exc_type, exc, tb):
+        record("crash.exception", error_type=exc_type.__name__,
+               error=str(exc))
+        dump_blackbox(reason="crash.exception")
+        previous_hook(exc_type, exc, tb)
+
+    sys.excepthook = _hook
+
+    def _on_sigterm(signum, frame):
+        record("crash.sigterm")
+        dump_blackbox(reason="crash.sigterm")
+        signal.signal(signal.SIGTERM, previous_term)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread: exception hook still installed.
+        pass
+
+
+# ---------------------------------------------------------------------------
 # Cross-boundary propagation
 # ---------------------------------------------------------------------------
 
@@ -269,9 +397,13 @@ def profile_from_spans(span_list):
 
     Returns ``{"tasks": n, "total_seconds": t, "phases": {phase: t}}``
     exactly like the event-based ``RunLogger.profile_summary``; ``tasks``
-    counts distinct parent spans (one per evaluated cell).
+    counts distinct parent spans (one per evaluated cell).  A
+    ``"phase_quantiles"`` key adds estimated p50/p95/p99 per phase
+    (:meth:`HistogramSnapshot.percentiles` over the default latency
+    buckets), so long tails are visible behind the totals.
     """
     phases = {}
+    histograms = {}
     parents = set()
     for item in span_list:
         record = item.to_dict() if isinstance(item, Span) else dict(item)
@@ -282,7 +414,18 @@ def profile_from_spans(span_list):
         duration = max(record.get("end_time", 0.0)
                        - record.get("start_time", 0.0), 0.0)
         phases[phase] = phases.get(phase, 0.0) + duration
+        hist = histograms.get(phase)
+        if hist is None:
+            hist = histograms[phase] = Histogram("phase_seconds")
+        hist.observe(duration)
         parents.add((record.get("trace_id"), record.get("parent_id")))
+    quantiles = {}
+    for phase, hist in histograms.items():
+        snap = hist.snapshot()
+        if snap is not None:
+            quantiles[phase] = {k: round(v, 6)
+                                for k, v in snap.percentiles().items()}
     return {"tasks": len(parents),
             "total_seconds": round(sum(phases.values()), 6),
-            "phases": {k: round(v, 6) for k, v in phases.items()}}
+            "phases": {k: round(v, 6) for k, v in phases.items()},
+            "phase_quantiles": quantiles}

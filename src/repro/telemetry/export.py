@@ -27,8 +27,21 @@ __all__ = ["render_prometheus", "chrome_trace", "write_chrome_trace",
 # ---------------------------------------------------------------------------
 
 def _escape(value):
-    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+    """Label-value escaping per the exposition format: ``\\``, LF, ``"``.
+
+    Backslashes first, so an input backslash is never re-escaped by the
+    later replacements; carriage returns ride inside the ``\\n`` escape
+    (Prometheus treats a label value as a single logical line).
+    """
+    return (str(value).replace("\\", r"\\").replace("\r\n", "\n")
+            .replace("\n", r"\n").replace("\r", r"\n")
             .replace('"', r'\"'))
+
+
+def _escape_help(value):
+    """HELP-text escaping: only ``\\`` and line feeds, per the format."""
+    return (str(value).replace("\\", r"\\").replace("\r\n", "\n")
+            .replace("\n", r"\n").replace("\r", r"\n"))
 
 
 def _fmt(value):
@@ -52,7 +65,8 @@ def render_prometheus(registry):
     lines = []
     for instrument in registry:
         if instrument.help:
-            lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# HELP {instrument.name} "
+                         f"{_escape_help(instrument.help)}")
         lines.append(f"# TYPE {instrument.name} {instrument.kind}")
         for labels, sample in instrument.labeled_samples():
             if instrument.kind == "histogram":
@@ -83,25 +97,40 @@ def render_prometheus(registry):
 # ---------------------------------------------------------------------------
 
 def chrome_trace(spans):
-    """``trace_event``-format dict for a list of spans (or span dicts)."""
+    """``trace_event``-format dict for a list of spans (or span dicts).
+
+    Spans carrying a ``worker`` attribute name their process lane: a
+    ``process_name`` metadata event labels that pid's track in the
+    viewer, so a fleet trace shows one labelled row per worker instead
+    of anonymous pid numbers.
+    """
     events = []
+    lanes = {}  # pid -> worker/process label for the metadata events
     for span in spans:
         record = span if isinstance(span, dict) else span.to_dict()
+        attributes = record.get("attributes", {})
         args = {"trace_id": record["trace_id"],
                 "span_id": record["span_id"],
                 "parent_id": record.get("parent_id", ""),
                 "status": record.get("status", "ok")}
-        args.update(record.get("attributes", {}))
+        args.update(attributes)
+        pid = record.get("pid", 0)
+        worker = attributes.get("worker")
+        if worker and pid and pid not in lanes:
+            lanes[pid] = str(worker)
         events.append({
             "name": record["name"],
             "cat": "repro",
             "ph": "X",
             "ts": record["start_time"] * 1e6,
             "dur": max(record["end_time"] - record["start_time"], 0.0) * 1e6,
-            "pid": record.get("pid", 0),
+            "pid": pid,
             "tid": record.get("thread_id", 0),
             "args": args,
         })
+    for pid, label in sorted(lanes.items()):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 import json
 import threading
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+__all__ = ["Counter", "Gauge", "Histogram", "HistogramSnapshot",
+           "MetricsRegistry", "DEFAULT_BUCKETS", "snapshot_delta"]
 
 #: Prometheus' default latency buckets (seconds), upper bounds excl. +Inf.
 DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
@@ -97,6 +97,63 @@ class Gauge(_Instrument):
             return self.samples.get(self._key(labels), 0.0)
 
 
+class HistogramSnapshot:
+    """Immutable view of one histogram sample with quantile estimation.
+
+    Wraps the ``{"counts", "sum", "count"}`` wire form next to its
+    bucket bounds so consumers (``profile_summary``, the ``/grid``
+    status payload) can report p50/p95/p99 instead of mean-only.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets, counts, sum=0.0, count=0):
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = tuple(int(c) for c in counts)
+        self.sum = float(sum)
+        self.count = int(count)
+
+    @classmethod
+    def from_sample(cls, buckets, sample):
+        """Build from a snapshot/merge wire-form sample dict."""
+        return cls(buckets, sample["counts"], sample["sum"],
+                   sample["count"])
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """Estimated ``q``-quantile via in-bucket linear interpolation.
+
+        Fixed buckets only bound each observation, so this is an
+        estimate: the target rank's bucket is located on the cumulative
+        counts, then the value is interpolated linearly inside
+        ``(previous bound, bound]`` — the same estimator Prometheus'
+        ``histogram_quantile`` uses.  A rank landing in the ``+Inf``
+        bucket returns the highest finite bound (the largest defensible
+        claim).  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if n and cumulative + n >= target:
+                fraction = max(target - cumulative, 0.0) / n
+                return lower + (bound - lower) * fraction
+            cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
+    def percentiles(self, qs=(0.5, 0.95, 0.99)):
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given qs."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+
 class Histogram(_Instrument):
     """Fixed-bucket histogram: cumulative counts, sum and count."""
 
@@ -133,6 +190,15 @@ class Histogram(_Instrument):
         with self._lock:
             sample = self.samples.get(self._key(labels))
             return sample["count"] if sample else 0
+
+    def snapshot(self, **labels):
+        """A :class:`HistogramSnapshot` of one sample, or None if unseen."""
+        with self._lock:
+            sample = self.samples.get(self._key(labels))
+            if sample is None:
+                return None
+            return HistogramSnapshot(self.buckets, sample["counts"],
+                                     sample["sum"], sample["count"])
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -237,3 +303,65 @@ class MetricsRegistry:
                         sample["sum"] += incoming["sum"]
                         sample["count"] += incoming["count"]
         return self
+
+
+def snapshot_delta(previous, current):
+    """Instrument-wise ``current - previous`` of two cumulative snapshots.
+
+    The coordinator-side half of fleet metrics aggregation: a worker
+    ships its *cumulative* registry snapshot on every heartbeat, and the
+    receiver merges only the delta since that worker's previous ship —
+    so a reconnecting worker re-shipping everything it already reported
+    never double-counts.
+
+    Semantics per instrument kind:
+
+    * **counter** — per-sample numeric difference.  An incoming value
+      *below* the stored one means the worker restarted (fresh process,
+      counters reset): the incoming value is taken whole as a new epoch.
+    * **histogram** — element-wise ``counts``/``sum``/``count``
+      difference, with the same restart detection on ``count``.
+    * **gauge** — passed through unchanged (last write wins on merge).
+
+    Samples (and instruments) with an all-zero delta are omitted, so
+    merging the result is cheap for an idle worker.  ``previous=None``
+    returns ``current`` as-is (first ship).
+    """
+    if not previous:
+        return current or {}
+    out = {}
+    for name, entry in (current or {}).items():
+        prev_entry = previous.get(name)
+        kind = entry["type"]
+        if prev_entry is None or kind == "gauge":
+            out[name] = entry
+            continue
+        prev_samples = prev_entry.get("samples", {})
+        samples = {}
+        for raw_key, sample in entry.get("samples", {}).items():
+            prev = prev_samples.get(raw_key)
+            if kind == "counter":
+                if prev is None or sample < prev:
+                    delta = sample
+                else:
+                    delta = sample - prev
+                if delta:
+                    samples[raw_key] = delta
+            else:
+                if prev is None or sample["count"] < prev["count"]:
+                    delta = {"counts": list(sample["counts"]),
+                             "sum": sample["sum"],
+                             "count": sample["count"]}
+                else:
+                    delta = {"counts": [a - b for a, b in
+                                        zip(sample["counts"],
+                                            prev["counts"])],
+                             "sum": sample["sum"] - prev["sum"],
+                             "count": sample["count"] - prev["count"]}
+                if delta["count"]:
+                    samples[raw_key] = delta
+        if samples:
+            out[name] = {**{k: v for k, v in entry.items()
+                            if k != "samples"},
+                        "samples": samples}
+    return out

@@ -1,0 +1,130 @@
+"""Flight recorder: a bounded ring of structured wide events.
+
+Spans answer "how long did things take"; metrics answer "how often".
+Neither answers the postmortem question — *what was this process doing
+right before it died?*  The :class:`FlightRecorder` does: a fixed-size
+in-memory ring of wide events (one dict per event, arbitrary fields)
+appended from the hot paths via :func:`repro.telemetry.record`, which is
+the usual off-by-default fast path (one module-global ``is None`` check
+until a recorder is enabled).
+
+The ring is deliberately *lossy at the head*: when full, the oldest
+event is evicted and counted (``dropped`` plus the
+``repro_recorder_dropped_events_total`` counter) — the recent past is
+what a postmortem needs.
+
+On an unhandled exception, ``SIGTERM`` or an injected fatal fault, the
+ring is appended to ``blackbox.jsonl`` in the run directory (see
+:func:`repro.telemetry.dump_blackbox`).  For fleet runs, workers ship
+their recent events to the coordinator on every heartbeat, so even a
+``SIGKILL`` — which no handler can observe — leaves the coordinator
+holding the dead worker's last-reported events and in-flight cell;
+:meth:`FlightRecorder.append_events` is the shared writer both paths
+use, and ``repro debug <run-dir>`` renders the result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["FlightRecorder", "BLACKBOX_NAME"]
+
+#: File name of the crash dump inside a run directory.
+BLACKBOX_NAME = "blackbox.jsonl"
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of structured wide events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; the oldest is evicted (and counted in
+        ``dropped``) once the ring is full.
+    clock:
+        Wall-clock callable (``time.time``); injectable for tests.
+    """
+
+    def __init__(self, capacity=512, clock=time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self.dropped = 0
+        self._ring = deque()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def record(self, event, **fields):
+        """Append one event; True when a full ring evicted the oldest.
+
+        The entry carries a monotonically increasing ``seq`` (so shipped
+        tails can be ordered and deduplicated), a wall-clock ``ts`` and
+        the recording ``pid`` alongside the caller's fields.
+        """
+        entry = dict(fields)
+        entry["event"] = str(event)
+        entry["ts"] = self.clock()
+        entry["pid"] = os.getpid()
+        with self._lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            evicted = len(self._ring) >= self.capacity
+            if evicted:
+                self._ring.popleft()
+                self.dropped += 1
+            self._ring.append(entry)
+        return evicted
+
+    def tail(self, n=None):
+        """The most recent ``n`` events (all of them when ``n`` is None)."""
+        with self._lock:
+            items = list(self._ring)
+        if n is None:
+            return items
+        return items[-max(int(n), 0):] if n else []
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self):
+        with self._lock:
+            self._ring.clear()
+
+    # -- persistence -----------------------------------------------------
+
+    @staticmethod
+    def append_events(path, events):
+        """Append ``events`` (dicts) to ``path`` as JSONL; returns path.
+
+        The shared writer for every blackbox producer: a process dumping
+        its own ring and a coordinator writing a dead worker's shipped
+        tail produce the same line format, so ``repro debug`` needs one
+        parser.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(event, default=str) for event in events]
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("".join(line + "\n" for line in lines))
+        return path
+
+    def dump(self, path, reason="", extra=None):
+        """Append a dump header plus the whole ring to ``path``.
+
+        The header line records why the dump happened, how many events
+        follow and how many older ones the ring had already evicted.
+        """
+        events = self.tail()
+        header = {"event": "blackbox.dump", "ts": self.clock(),
+                  "pid": os.getpid(), "reason": reason,
+                  "events": len(events), "dropped": self.dropped}
+        if extra:
+            header.update(extra)
+        return self.append_events(path, [header, *events])

@@ -141,15 +141,29 @@ class Tracer:
         injectable for deterministic span identities.
     max_spans:
         Bound on the finished-span buffer (oldest dropped first), so a
-        long-lived server cannot grow without limit.
+        long-lived server cannot grow without limit.  Evictions are
+        *counted*, never silent: ``dropped`` accumulates them and
+        ``on_drop`` (when set) is called with the eviction count so the
+        owning scope can expose ``repro_telemetry_dropped_spans_total``.
     """
 
     def __init__(self, clock=time.time, ids=None, max_spans=20000):
         self.clock = clock
         self.ids = ids or _default_ids
         self.spans = deque(maxlen=max_spans)
+        self.dropped = 0
+        self.on_drop = None
         self._local = threading.local()
         self._lock = threading.Lock()
+
+    def _append_locked(self, span):
+        """Append under ``_lock``; returns 1 when the deque evicted."""
+        evicted = (self.spans.maxlen is not None
+                   and len(self.spans) >= self.spans.maxlen)
+        if evicted:
+            self.dropped += 1
+        self.spans.append(span)
+        return 1 if evicted else 0
 
     # -- ambient context -------------------------------------------------
     def _stack(self):
@@ -172,7 +186,9 @@ class Tracer:
         if stack and stack[-1] is span:
             stack.pop()
         with self._lock:
-            self.spans.append(span)
+            evicted = self._append_locked(span)
+        if evicted and self.on_drop is not None:
+            self.on_drop(evicted)
 
     # -- span creation ---------------------------------------------------
     def span(self, name, parent=None, **attributes):
@@ -209,10 +225,14 @@ class Tracer:
     # -- collection ------------------------------------------------------
     def ingest(self, records):
         """Append externally produced finished spans (dicts or Spans)."""
+        evicted = 0
         with self._lock:
             for record in records:
-                self.spans.append(record if isinstance(record, Span)
-                                  else Span.from_dict(record))
+                evicted += self._append_locked(
+                    record if isinstance(record, Span)
+                    else Span.from_dict(record))
+        if evicted and self.on_drop is not None:
+            self.on_drop(evicted)
 
     def finished(self):
         """Snapshot list of finished spans, oldest first."""

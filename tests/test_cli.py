@@ -124,6 +124,43 @@ class TestCommands:
         finally:
             telemetry._ACTIVE = saved
 
+    def test_debug_renders_blackbox_and_trace(self, tmp_path):
+        from repro import telemetry
+        saved = telemetry._ACTIVE
+        telemetry.disable()
+        config = tmp_path / "config.json"
+        config.write_text(json.dumps({
+            "methods": ["naive", "mean"],
+            "datasets": {"suite": "univariate", "per_domain": 1,
+                         "length": 256, "domains": ["traffic"]},
+            "strategy": "fixed", "lookback": 48, "horizon": 12,
+            "metrics": ["mae"],
+        }))
+        run_dir = tmp_path / "run"
+        try:
+            code, _ = run_cli(["bench", str(config),
+                               "--run-dir", str(run_dir),
+                               "--trace-dir", str(run_dir / "telemetry")])
+            assert code == 0
+            assert (run_dir / "blackbox.jsonl").exists()
+
+            code, text = run_cli(["debug", str(run_dir)])
+            assert code == 0
+            assert "blackbox" in text
+            assert "task.start" in text or "task.finish" in text
+            assert "trace" in text
+            assert "results" in text
+        finally:
+            telemetry.disable()
+            telemetry.disable_recorder()
+            telemetry.arm_blackbox(None)
+            telemetry._ACTIVE = saved
+
+    def test_debug_empty_run_dir_exits_nonzero(self, tmp_path):
+        code, text = run_cli(["debug", str(tmp_path)])
+        assert code == 1
+        assert "no blackbox" in text or "nothing" in text
+
     def test_bench_profile_and_dtype(self, tmp_path, csv_file):
         config = tmp_path / "config.json"
         config.write_text(json.dumps({

@@ -1,0 +1,448 @@
+"""Fleet observability primitives: quantiles, deltas, recorder, escaping.
+
+Unit coverage for the PR 8 observability layer below the distributed
+e2e tests (see ``test_distributed_grid.py`` for the merged-trace and
+fleet-metrics integration):
+
+* :class:`~repro.telemetry.metrics.HistogramSnapshot` quantile
+  estimation (p50/p95/p99 from fixed buckets);
+* :func:`~repro.telemetry.metrics.snapshot_delta` — the
+  coordinator-side cumulative-snapshot differ, including worker-restart
+  detection and the reconnect no-double-count guarantee;
+* span-buffer and flight-recorder overflow accounting
+  (``repro_telemetry_dropped_spans_total`` and friends);
+* the :class:`~repro.telemetry.FlightRecorder` ring + blackbox dumps;
+* Prometheus label-value escaping round-trips with hostile labels;
+* Chrome-trace worker lanes and span-derived profile quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (FlightRecorder, Histogram, HistogramSnapshot,
+                             MetricsRegistry, Telemetry, Tracer,
+                             chrome_trace, render_prometheus,
+                             snapshot_delta)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.disable_recorder()
+    telemetry.arm_blackbox(None)
+    yield
+    telemetry.disable()
+    telemetry.disable_recorder()
+    telemetry.arm_blackbox(None)
+
+
+# ---------------------------------------------------------------------------
+# HistogramSnapshot quantiles
+# ---------------------------------------------------------------------------
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_returns_zero(self):
+        snap = HistogramSnapshot((1.0, 2.0), (0, 0, 0))
+        assert snap.quantile(0.5) == 0.0
+        assert snap.mean == 0.0
+
+    def test_out_of_range_q_raises(self):
+        snap = HistogramSnapshot((1.0,), (1, 0), sum=0.5, count=1)
+        with pytest.raises(ValueError):
+            snap.quantile(1.5)
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in (0, 1]: p50 sits mid-bucket.
+        snap = HistogramSnapshot((1.0, 2.0), (10, 0, 0), sum=5.0, count=10)
+        assert snap.quantile(0.5) == pytest.approx(0.5)
+        assert snap.quantile(1.0) == pytest.approx(1.0)
+
+    def test_spans_buckets(self):
+        # 5 in (0, 1], 5 in (1, 2]: p95 lands deep in the second bucket.
+        snap = HistogramSnapshot((1.0, 2.0), (5, 5, 0), sum=7.5, count=10)
+        assert snap.quantile(0.25) == pytest.approx(0.5)
+        assert 1.0 < snap.quantile(0.95) <= 2.0
+
+    def test_inf_bucket_clamps_to_highest_bound(self):
+        snap = HistogramSnapshot((1.0, 2.0), (0, 0, 10), sum=100.0,
+                                 count=10)
+        assert snap.quantile(0.99) == 2.0
+
+    def test_percentiles_shape(self):
+        snap = HistogramSnapshot((1.0,), (4, 0), sum=2.0, count=4)
+        p = snap.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+
+    def test_from_live_histogram(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.07, 0.5, 0.9):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap.count == 4
+        assert snap.mean == pytest.approx(sum((0.05, 0.07, 0.5, 0.9)) / 4)
+        assert snap.quantile(0.5) <= 0.1
+
+    def test_unseen_sample_is_none(self):
+        hist = Histogram("h", labelnames=("route",), buckets=(1.0,))
+        assert hist.snapshot(route="/qa") is None
+        hist.observe(0.5, route="/qa")
+        assert hist.snapshot(route="/qa").count == 1
+
+
+# ---------------------------------------------------------------------------
+# snapshot_delta — fleet metrics aggregation (satellite d)
+# ---------------------------------------------------------------------------
+
+def _registry_with(counter=0.0, gauge=None, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("repro_cells_total").inc(counter)
+    if gauge is not None:
+        registry.gauge("repro_depth").set(gauge)
+    for value in observations:
+        registry.histogram("repro_seconds", buckets=(1.0, 5.0)) \
+            .observe(value)
+    return registry
+
+
+class TestSnapshotDelta:
+    def test_first_ship_passes_through(self):
+        snap = _registry_with(counter=3).snapshot()
+        assert snapshot_delta(None, snap) == snap
+        assert snapshot_delta({}, snap) == snap
+
+    def test_counter_delta(self):
+        registry = _registry_with(counter=5)
+        first = registry.snapshot()
+        registry.counter("repro_cells_total").inc(2)
+        delta = snapshot_delta(first, registry.snapshot())
+        assert list(delta["repro_cells_total"]["samples"].values()) == [2.0]
+
+    def test_identical_reship_yields_empty_delta(self):
+        # The reconnect guarantee: a worker re-shipping the totals it
+        # already reported merges as a no-op — no double counting.
+        registry = _registry_with(counter=5, observations=(0.5,))
+        snap = registry.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert "repro_cells_total" not in delta
+        assert "repro_seconds" not in delta
+
+    def test_counter_merge_after_reconnect_no_double_count(self):
+        # Full round trip: worker ships cumulative snapshots; the
+        # coordinator merges only deltas.  The fleet total equals the
+        # worker's final counter even across a re-ship.
+        worker = _registry_with(counter=4)
+        fleet = MetricsRegistry()
+        last = None
+        for extra in (0, 0, 3):   # heartbeat, duplicate re-ship, progress
+            worker.counter("repro_cells_total").inc(extra)
+            snap = worker.snapshot()
+            fleet.merge(snapshot_delta(last, snap))
+            last = snap
+        assert fleet.get("repro_cells_total").value() == 7.0
+
+    def test_counter_restart_detection(self):
+        # A restarted worker's counter goes *down*: the incoming value
+        # is a fresh epoch, taken whole.
+        old = _registry_with(counter=10).snapshot()
+        new = _registry_with(counter=2).snapshot()
+        delta = snapshot_delta(old, new)
+        assert list(delta["repro_cells_total"]["samples"].values()) == [2.0]
+
+    def test_gauge_last_write_wins_any_merge_order(self):
+        # Gauges pass through whole; merging deltas in either order
+        # leaves the last-merged value — deterministic per merge order,
+        # never a sum.
+        a = _registry_with(gauge=3.0).snapshot()
+        b = _registry_with(gauge=7.0).snapshot()
+        for first, second, want in ((a, b, 7.0), (b, a, 3.0)):
+            fleet = MetricsRegistry()
+            fleet.merge(snapshot_delta(None, first))
+            fleet.merge(snapshot_delta(first, second))
+            assert fleet.get("repro_depth").value() == want
+
+    def test_histogram_delta_and_restart(self):
+        registry = _registry_with(observations=(0.5, 0.7))
+        first = registry.snapshot()
+        registry.histogram("repro_seconds", buckets=(1.0, 5.0)).observe(3.0)
+        delta = snapshot_delta(first, registry.snapshot())
+        sample = list(delta["repro_seconds"]["samples"].values())[0]
+        assert sample["count"] == 1
+        assert sample["sum"] == pytest.approx(3.0)
+        assert sample["counts"] == [0, 1, 0]
+        # restart: fewer observations than before -> fresh epoch
+        fresh = _registry_with(observations=(0.1,)).snapshot()
+        delta = snapshot_delta(registry.snapshot(), fresh)
+        sample = list(delta["repro_seconds"]["samples"].values())[0]
+        assert sample["count"] == 1
+
+    def test_unseen_instrument_passes_whole(self):
+        prev = _registry_with(counter=1).snapshot()
+        curr = _registry_with(counter=1, gauge=4.0).snapshot()
+        delta = snapshot_delta(prev, curr)
+        assert "repro_depth" in delta
+        assert "repro_cells_total" not in delta
+
+
+# ---------------------------------------------------------------------------
+# Span-buffer and recorder overflow accounting (satellite a)
+# ---------------------------------------------------------------------------
+
+class TestDroppedSpans:
+    def test_tracer_counts_evictions(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 3
+        assert len(tracer.finished()) == 2
+
+    def test_telemetry_scope_exposes_drop_counter(self):
+        scope = Telemetry(Tracer(max_spans=2), MetricsRegistry())
+        for i in range(4):
+            with scope.tracer.span(f"s{i}"):
+                pass
+        counter = scope.metrics.get("repro_telemetry_dropped_spans_total")
+        assert counter is not None
+        assert counter.value() == 2.0
+
+    def test_ingest_counts_evictions_once(self):
+        scope = Telemetry(Tracer(max_spans=2), MetricsRegistry())
+        records = [{"name": f"s{i}", "trace_id": "t", "span_id": str(i)}
+                   for i in range(5)]
+        scope.tracer.ingest(records)
+        counter = scope.metrics.get("repro_telemetry_dropped_spans_total")
+        assert counter.value() == 3.0
+
+    def test_recorder_drop_counter(self):
+        telemetry.enable()
+        telemetry.enable_recorder(capacity=2)
+        for i in range(5):
+            telemetry.record("e", i=i)
+        registry = telemetry.get_metrics()
+        counter = registry.get("repro_recorder_dropped_events_total")
+        assert counter.value() == 3.0
+        assert telemetry.recorder().dropped == 3
+
+
+# ---------------------------------------------------------------------------
+# FlightRecorder + blackbox
+# ---------------------------------------------------------------------------
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_sequence(self):
+        rec = FlightRecorder(capacity=3, clock=lambda: 42.0)
+        assert not rec.record("a")
+        assert not rec.record("b")
+        assert not rec.record("c")
+        assert rec.record("d")          # evicts "a"
+        events = rec.tail()
+        assert [e["event"] for e in events] == ["b", "c", "d"]
+        assert [e["seq"] for e in events] == [2, 3, 4]
+        assert all(e["ts"] == 42.0 for e in events)
+        assert rec.dropped == 1
+        assert len(rec) == 3
+
+    def test_tail_n(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(5):
+            rec.record("e", i=i)
+        assert [e["i"] for e in rec.tail(2)] == [3, 4]
+        assert rec.tail(0) == []
+        assert len(rec.tail(99)) == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_and_append_share_format(self, tmp_path):
+        rec = FlightRecorder(capacity=4, clock=lambda: 1.0)
+        rec.record("x", key="k1")
+        path = tmp_path / "blackbox.jsonl"
+        rec.dump(path, reason="test", extra={"worker": "w1"})
+        FlightRecorder.append_events(path, [{"event": "worker.postmortem",
+                                             "worker": "w2"}])
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        assert lines[0]["event"] == "blackbox.dump"
+        assert lines[0]["reason"] == "test"
+        assert lines[0]["worker"] == "w1"
+        assert lines[0]["events"] == 1
+        assert lines[1]["event"] == "x"
+        assert lines[2]["worker"] == "w2"
+
+    def test_module_record_is_noop_when_disabled(self):
+        assert telemetry.recorder() is None
+        telemetry.record("ignored", x=1)     # must not raise
+
+    def test_enable_is_idempotent(self):
+        first = telemetry.enable_recorder(capacity=4)
+        second = telemetry.enable_recorder(capacity=99)
+        assert first is second
+        assert first.capacity == 4
+
+    def test_dump_blackbox_armed_path(self, tmp_path):
+        telemetry.enable_recorder()
+        telemetry.record("before.crash", step=1)
+        target = tmp_path / "run" / "blackbox.jsonl"
+        telemetry.arm_blackbox(target)
+        written = telemetry.dump_blackbox(reason="unit")
+        assert written == target
+        lines = [json.loads(line) for line in
+                 target.read_text().splitlines()]
+        assert lines[0]["reason"] == "unit"
+        assert any(e.get("event") == "before.crash" for e in lines)
+
+    def test_dump_blackbox_without_target_is_noop(self):
+        telemetry.enable_recorder()
+        assert telemetry.dump_blackbox() is None
+
+    def test_crash_hook_dumps_on_unhandled_exception(self, tmp_path):
+        # In a subprocess: installing hooks mutates global interpreter
+        # state (sys.excepthook, SIGTERM disposition).
+        script = (
+            "import repro.telemetry as t\n"
+            "t.enable_recorder()\n"
+            "t.record('doing.work', step=3)\n"
+            "t.arm_blackbox(r'%s')\n"
+            "t.install_crash_hooks()\n"
+            "raise RuntimeError('boom')\n" % (tmp_path / "bb.jsonl"))
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode != 0
+        assert "boom" in proc.stderr        # hook chains to the default
+        lines = [json.loads(line) for line in
+                 (tmp_path / "bb.jsonl").read_text().splitlines()]
+        assert lines[0]["reason"] == "crash.exception"
+        events = [e["event"] for e in lines]
+        assert "crash.exception" in events
+        assert "doing.work" in events
+
+
+# ---------------------------------------------------------------------------
+# Prometheus escaping round trip (satellite c)
+# ---------------------------------------------------------------------------
+
+def _unescape_label(value):
+    """Inverse of the exposition-format label escaping."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            else:
+                out.append(ch + nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestPrometheusEscaping:
+    HOSTILE = ['line\nbreak', 'quote"inside', 'back\\slash',
+               'all\\of\n"them"\\n', 'trailing\\']
+
+    def test_hostile_labels_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_evil_total",
+                                   labelnames=("name",))
+        for value in self.HOSTILE:
+            counter.inc(1.0, name=value)
+        text = render_prometheus(registry)
+        # Escaped output must be line-safe: one sample per line.
+        sample_lines = [line for line in text.splitlines()
+                        if line.startswith("repro_evil_total{")]
+        assert len(sample_lines) == len(self.HOSTILE)
+        recovered = []
+        for line in sample_lines:
+            start = line.index('name="') + len('name="')
+            end = line.rindex('"}')
+            recovered.append(_unescape_label(line[start:end]))
+        assert recovered == self.HOSTILE
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_h_total",
+                         help="first line\nsecond \\ line").inc()
+        text = render_prometheus(registry)
+        help_line = next(line for line in text.splitlines()
+                         if line.startswith("# HELP"))
+        assert "\n" not in help_line
+        assert r"first line\nsecond \\ line" in help_line
+
+    def test_carriage_return_folds_into_newline_escape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_cr_total", labelnames=("v",)) \
+            .inc(1.0, v="a\r\nb\rc")
+        text = render_prometheus(registry)
+        sample = next(line for line in text.splitlines()
+                      if line.startswith("repro_cr_total{"))
+        assert "\r" not in sample and "\n" not in sample
+        assert r"a\nb\nc" in sample
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace worker lanes + profile quantiles (satellite b)
+# ---------------------------------------------------------------------------
+
+class TestTraceLanes:
+    def test_worker_attribute_names_the_pid_lane(self):
+        spans = [
+            {"name": "dist.cell", "trace_id": "t", "span_id": "1",
+             "start_time": 0.0, "end_time": 1.0, "pid": 101,
+             "attributes": {"worker": "w-a"}},
+            {"name": "dist.cell", "trace_id": "t", "span_id": "2",
+             "start_time": 0.0, "end_time": 1.0, "pid": 202,
+             "attributes": {"worker": "w-b"}},
+            {"name": "anon", "trace_id": "t", "span_id": "3",
+             "start_time": 0.0, "end_time": 1.0, "pid": 303,
+             "attributes": {}},
+        ]
+        events = chrome_trace(spans)["traceEvents"]
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert meta == {101: "w-a", 202: "w-b"}
+
+    def test_profile_from_spans_reports_quantiles(self):
+        spans = [{"name": "phase.fit", "trace_id": "t", "span_id": str(i),
+                  "parent_id": "p", "start_time": 0.0,
+                  "end_time": 0.05 * (i + 1)} for i in range(4)]
+        summary = telemetry.profile_from_spans(spans)
+        quantiles = summary["phase_quantiles"]["fit"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert 0.0 < quantiles["p50"] <= quantiles["p99"]
+
+    def test_format_profile_renders_quantile_column(self):
+        from repro.report import format_profile
+        summary = {"tasks": 2, "total_seconds": 1.0,
+                   "phases": {"fit": 0.75, "predict": 0.25},
+                   "phase_quantiles": {"fit": {"p50": 0.3, "p95": 0.4,
+                                               "p99": 0.45}}}
+        table = format_profile(summary)
+        assert "p50/p95/p99" in table
+        assert "0.300/0.400/0.450" in table
+        predict_row = next(line for line in table.splitlines()
+                           if line.startswith("predict"))
+        assert predict_row.rstrip().endswith("-")
+
+    def test_format_profile_without_quantiles_unchanged(self):
+        from repro.report import format_profile
+        table = format_profile({"tasks": 1, "total_seconds": 1.0,
+                                "phases": {"fit": 1.0}})
+        assert "p50" not in table

@@ -329,4 +329,5 @@ class TestProfileFromSpans:
 
     def test_empty_input(self):
         summary = telemetry.profile_from_spans([])
-        assert summary == {"tasks": 0, "total_seconds": 0.0, "phases": {}}
+        assert summary == {"tasks": 0, "total_seconds": 0.0, "phases": {},
+                           "phase_quantiles": {}}
