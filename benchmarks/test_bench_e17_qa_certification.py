@@ -1,0 +1,84 @@
+"""E17 — golden Q&A certification: self-correcting pipeline accuracy.
+
+Replays the golden corpus (``tests/golden_qa/corpus.json``: every
+template family, misspellings, repair-needed, unanswerable and hostile
+questions) through the plan→generate→validate→repair pipeline and
+scores it as an accuracy benchmark:
+
+* **answerable accuracy** ≥ 90% of answerable cases fully correct
+  (question kind, SQL fragments, answer fragments, row floors);
+* **degradation soundness** — 100% of unanswerable/hostile cases come
+  back as structured degraded responses: no exception escapes, no rows
+  leak, no non-SELECT statement executes;
+* **repair lift** — the repair loop converts ≥ 3 corpus cases the
+  one-shot generator fails (row-budget clamps, complexity fallbacks);
+* **latency** — a corpus sweep through the full pipeline stays cheap
+  (the repair loop and authorization gate ride on every ``/qa``
+  request).
+
+Results are written as JSON (env ``E17_JSON``, default
+``e17_qa_certification.json``) so CI can upload them next to the other
+E-series artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.knowledge import build_synthetic_knowledge
+from repro.qa import QAEngine
+from repro.qa.certification import certify, load_corpus
+
+RESULTS = {}
+
+MIN_ACCURACY = 0.90          # answerable-case floor (gated hard)
+MIN_REPAIR_CONVERTED = 3     # repair-loop lift floor (gated hard)
+
+N_SERIES = 240
+
+
+def test_e17_certification():
+    kb = build_synthetic_knowledge(n_series=N_SERIES)
+    corpus = load_corpus()
+    t0 = time.perf_counter()
+    summary = certify(kb, corpus=corpus)
+    elapsed = time.perf_counter() - t0
+
+    RESULTS["certification"] = dict(summary)
+    RESULTS["certification"]["corpus_seconds"] = round(elapsed, 3)
+    RESULTS["certification"]["seconds_per_question"] = round(
+        elapsed / max(len(corpus), 1), 5)
+
+    assert summary["accuracy"] >= MIN_ACCURACY, summary["failures"]
+    assert summary["degradation_soundness"] == 1.0, summary["failures"]
+    assert summary["repair"]["converted"] >= MIN_REPAIR_CONVERTED, \
+        summary["repair"]
+
+
+def test_e17_single_question_latency(benchmark):
+    """One answerable question end-to-end through the pipeline."""
+    kb = build_synthetic_knowledge(n_series=N_SERIES)
+    engine = QAEngine(kb)
+    question = "What are the top 5 methods by RMSE?"
+
+    response = benchmark(engine.ask, question)
+    assert response.ok and not response.degraded
+    RESULTS["single_question"] = {
+        "question": question,
+        "mean_s": float(benchmark.stats.stats.mean),
+    }
+
+
+def teardown_module(module):
+    path = os.environ.get("E17_JSON", "e17_qa_certification.json")
+    payload = dict(RESULTS)
+    # Trim per-case failure details out of the uploaded artifact; the
+    # headline numbers are what CI trends.
+    if "certification" in payload:
+        payload["certification"] = {
+            k: v for k, v in payload["certification"].items()
+            if k != "failures"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)

@@ -159,6 +159,11 @@ def build_parser():
     p_ask.add_argument("question")
     p_ask.add_argument("--series", type=int, default=500,
                        help="synthetic knowledge-base size")
+    p_ask.add_argument("--max-repairs", type=int, default=2,
+                       help="repair-loop budget after a failed attempt")
+    p_ask.add_argument("--json", action="store_true",
+                       help="emit the full response (answer, attempts, "
+                            "provenance) as JSON")
 
     p_debug = sub.add_parser("debug",
                              help="postmortem a run directory: pretty-print "
@@ -618,13 +623,29 @@ def _cmd_forecast(args, out):
 def _cmd_ask(args, out):
     from .knowledge import build_synthetic_knowledge
     from .qa import QAEngine
-    qa = QAEngine(build_synthetic_knowledge(n_series=args.series))
+    qa = QAEngine(build_synthetic_knowledge(n_series=args.series),
+                  max_repair_attempts=args.max_repairs)
     response = qa.ask(args.question)
+    if args.json:
+        print(json.dumps({
+            "question": response.question, "answer": response.answer,
+            "sql": response.sql, "ok": response.ok,
+            "degraded": response.degraded, "kb": response.kb_name,
+            "issues": response.issues,
+            "suggestions": response.suggestions,
+            "table": response.table(), "chart": response.chart,
+            "provenance": response.provenance,
+        }, indent=2), file=out)
+        return 0 if response.ok else 1
     print(f"SQL: {response.sql}", file=out)
     print(f"A: {response.answer}", file=out)
     if response.rows:
         print(format_table(response.columns,
                            [list(r) for r in response.rows[:10]]), file=out)
+    if response.degraded and response.suggestions:
+        print("Suggestions:", file=out)
+        for suggestion in response.suggestions:
+            print(f"  - {suggestion}", file=out)
     return 0 if response.ok else 1
 
 

@@ -1,11 +1,22 @@
-"""Natural-language Q&A over the benchmark knowledge (Fig. 3 workflow)."""
+"""Natural-language Q&A over the benchmark knowledge (Fig. 3 workflow).
+
+The agentic pipeline (:mod:`.pipeline`) runs plan → generate → validate
+→ repair with engine-layer authorization and graceful degradation;
+:class:`.QAEngine` is the history-keeping facade most callers use.
+"""
 
 from .engine import LLMBackend, QAEngine, QAResponse, RuleBasedBackend
 from .nl2sql import (CHARACTERISTIC_WORDS, METHOD_ALIASES, METRIC_WORDS,
-                     ParsedQuestion, QuestionParser)
+                     ParsedQuestion, QuestionParser, vocabulary)
+from .pipeline import (DEFAULT_QA_POLICY, EXAMPLE_QUESTIONS,
+                       MAX_QUESTION_CHARS, KnowledgeRouter, QAPipeline,
+                       QAPlan, SqlAttempt, ValidationIssue)
 
 __all__ = [
     "QAEngine", "QAResponse", "LLMBackend", "RuleBasedBackend",
     "QuestionParser", "ParsedQuestion", "METRIC_WORDS", "METHOD_ALIASES",
-    "CHARACTERISTIC_WORDS",
+    "CHARACTERISTIC_WORDS", "vocabulary",
+    "QAPipeline", "QAPlan", "SqlAttempt", "ValidationIssue",
+    "KnowledgeRouter", "DEFAULT_QA_POLICY", "MAX_QUESTION_CHARS",
+    "EXAMPLE_QUESTIONS",
 ]

@@ -1,0 +1,144 @@
+"""Golden Q&A certification: corpus-driven accuracy scoring (E17).
+
+The corpus (``tests/golden_qa/corpus.json``) holds NL→SQL→answer cases
+spanning every template family plus misspelled, unanswerable and
+hostile questions.  Certification is an *accuracy benchmark*, not a
+pass/fail unit suite: :func:`certify` replays the corpus through a full
+pipeline (repairs on) and a crippled one (repairs off) and scores
+
+* **answerable accuracy** — fraction of answerable cases whose response
+  satisfies every expectation (question kind, SQL fragments, answer
+  fragments, row floor);
+* **degradation soundness** — unanswerable and hostile cases must come
+  back as structured degraded responses: ``ok=False``,
+  ``degraded=True``, zero rows and zero exceptions (hostile inputs must
+  never reach the engine);
+* **repair lift** — cases the one-shot generator fails but the repair
+  loop converts.
+
+The module lives in ``src`` (not ``tests``) so the E17 benchmark can
+import it; the corpus location is resolved relative to the repo but can
+be overridden for packaged installs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["CORPUS_PATH", "load_corpus", "evaluate_case", "certify"]
+
+#: Default corpus location (repo layout: src/repro/qa/ → repo root).
+CORPUS_PATH = Path(__file__).resolve().parents[3] / "tests" / \
+    "golden_qa" / "corpus.json"
+
+
+def load_corpus(path=None):
+    """Load the corpus case list (``{"version": .., "cases": [..]}``)."""
+    raw = json.loads(Path(path or CORPUS_PATH).read_text(encoding="utf-8"))
+    return raw["cases"]
+
+
+def _check_answerable(response, expect):
+    """Expectation failures for one answerable case (empty == correct)."""
+    problems = []
+    if not response.ok or response.degraded:
+        problems.append(f"not answered: {response.answer[:80]}")
+        return problems
+    kind = expect.get("kind")
+    if kind and getattr(response.parsed, "kind", None) != kind:
+        problems.append(
+            f"kind {getattr(response.parsed, 'kind', None)!r} != {kind!r}")
+    sql = (response.sql or "").lower()
+    for fragment in expect.get("sql_contains", ()):
+        if fragment.lower() not in sql:
+            problems.append(f"SQL missing {fragment!r}")
+    answer = (response.answer or "").lower()
+    for fragment in expect.get("answer_contains", ()):
+        if fragment.lower() not in answer:
+            problems.append(f"answer missing {fragment!r}")
+    min_rows = expect.get("min_rows", 1)
+    if len(response.rows) < min_rows:
+        problems.append(f"{len(response.rows)} rows < {min_rows}")
+    if expect.get("corrected") and not \
+            response.provenance.get("plan", {}).get("corrections"):
+        problems.append("expected a typo correction, none recorded")
+    return problems
+
+
+def _check_degraded(response):
+    """Expectation failures for an unanswerable/hostile case."""
+    problems = []
+    if response.ok:
+        problems.append("answered instead of degrading")
+    if not response.degraded:
+        problems.append("failure was not a structured degraded response")
+    if response.rows:
+        problems.append(f"{len(response.rows)} rows leaked")
+    return problems
+
+
+def evaluate_case(engine, case):
+    """Run one corpus case; returns ``{id, kind, correct, problems}``."""
+    kind = case.get("kind", "answerable")
+    try:
+        response = engine.ask(case["question"])
+    except Exception as exc:  # noqa: BLE001 - an exception IS the failure
+        return {"id": case["id"], "kind": kind, "correct": False,
+                "problems": [f"raised {type(exc).__name__}: {exc}"]}
+    if kind == "answerable":
+        problems = _check_answerable(response, case.get("expect", {}))
+    else:
+        problems = _check_degraded(response)
+    return {"id": case["id"], "kind": kind, "correct": not problems,
+            "problems": problems}
+
+
+def certify(knowledge_base, corpus=None, corpus_path=None):
+    """Score the full corpus; returns the certification summary dict."""
+    from .engine import QAEngine
+
+    cases = corpus if corpus is not None else load_corpus(corpus_path)
+    engine = QAEngine(knowledge_base)
+    one_shot = QAEngine(knowledge_base, max_repair_attempts=0)
+
+    tallies = {kind: {"total": 0, "correct": 0}
+               for kind in ("answerable", "unanswerable", "hostile")}
+    failures = []
+    repair_candidates = 0
+    repair_converted = 0
+    for case in cases:
+        outcome = evaluate_case(engine, case)
+        bucket = tallies.setdefault(
+            outcome["kind"], {"total": 0, "correct": 0})
+        bucket["total"] += 1
+        if outcome["correct"]:
+            bucket["correct"] += 1
+        else:
+            failures.append(outcome)
+        if case.get("needs_repair"):
+            repair_candidates += 1
+            if outcome["correct"]:
+                shot = evaluate_case(one_shot, case)
+                if not shot["correct"]:
+                    repair_converted += 1
+
+    answerable = tallies["answerable"]
+    degraded_total = tallies["unanswerable"]["total"] \
+        + tallies["hostile"]["total"]
+    degraded_correct = tallies["unanswerable"]["correct"] \
+        + tallies["hostile"]["correct"]
+    accuracy = (answerable["correct"] / answerable["total"]
+                if answerable["total"] else 1.0)
+    return {
+        "cases": len(cases),
+        "accuracy": round(accuracy, 4),
+        "answerable": answerable,
+        "unanswerable": tallies["unanswerable"],
+        "hostile": tallies["hostile"],
+        "degradation_soundness": round(
+            degraded_correct / degraded_total, 4) if degraded_total else 1.0,
+        "repair": {"candidates": repair_candidates,
+                   "converted": repair_converted},
+        "failures": failures,
+    }

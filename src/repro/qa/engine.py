@@ -3,18 +3,21 @@
 1. *Input* — the user's NL question (plus conversation history).
 2. *NL2SQL* — schema + history + question → SQL (via the pluggable LLM
    backend; the default backend is the deterministic parser).
-3. *Retrieval* — the SQL is statically verified, then executed on the
-   knowledge base; a failed verification triggers one repair round.
+3. *Retrieval* — the SQL is statically verified and authorized, then
+   executed on the knowledge base; failures feed the bounded repair
+   loop in :mod:`repro.qa.pipeline`.
 4. *Generation* — question + retrieved rows → natural-language answer.
 5. *Post-processing* — rows are shaped into chart specs and a data table.
-6. *Output* — everything (answer, charts, SQL, table) in one response.
+6. *Output* — everything (answer, charts, SQL, table, provenance) in one
+   response; unanswerable questions get a structured degraded response,
+   never an exception.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from ..sql import SqlError
 from .nl2sql import ParsedQuestion, QuestionParser
 
 __all__ = ["QAResponse", "QAEngine", "LLMBackend", "RuleBasedBackend"]
@@ -33,6 +36,11 @@ class QAResponse:
     ok: bool = True
     verification: str = ""
     parsed: object = None
+    degraded: bool = False          # structured "couldn't answer"
+    issues: list = field(default_factory=list)       # typed issue dicts
+    suggestions: list = field(default_factory=list)  # nearest questions
+    kb_name: str = "default"
+    provenance: dict = field(default_factory=dict)
 
     def table(self):
         """The data-table payload (Fig. 5, label 5)."""
@@ -71,10 +79,27 @@ class RuleBasedBackend(LLMBackend):
         return self.parser.parse(text)
 
     def repair_sql(self, question, schema, issues):
-        # Fall back to the broadest safe interpretation: overall ranking.
+        issues = list(issues or ())
+        codes = {getattr(i, "code", "") for i in issues}
+        caps = [i.detail.get("max_limit") for i in issues
+                if getattr(i, "code", "") == "budget.rows"
+                and isinstance(getattr(i, "detail", None), dict)
+                and i.detail.get("max_limit")]
         parsed = self.parser.parse(question)
+        if caps and codes <= {"budget.rows"}:
+            # Only the row budget was exceeded: keep the interpretation,
+            # clamp top-k to the policy ceiling.
+            parsed.k = min(parsed.k, min(caps))
+            parsed.sql = self.parser.build_sql(parsed)
+            parsed.notes.append(
+                f"repaired: clamped top-k to {min(caps)}")
+            return parsed
+        # Fall back to the broadest safe interpretation: overall ranking.
+        fallback_k = max(parsed.k, 5)
+        if caps:
+            fallback_k = min(fallback_k, min(caps))
         fallback = ParsedQuestion(kind="ranking", metric=parsed.metric,
-                                  k=max(parsed.k, 5))
+                                  k=fallback_k)
         fallback.sql = self.parser.build_sql(fallback)
         fallback.notes.append("repaired: dropped unsupported filters")
         return fallback
@@ -164,57 +189,41 @@ def _chart_for(parsed, columns, rows):
 
 
 class QAEngine:
-    """Orchestrates the six-step Q&A workflow over a knowledge base."""
+    """Orchestrates the six-step Q&A workflow over a knowledge base.
 
-    def __init__(self, knowledge_base, backend=None, max_history=20):
-        self.kb = knowledge_base
+    A thin, history-keeping facade over :class:`repro.qa.pipeline.
+    QAPipeline`; ``knowledge_base`` may also be a
+    :class:`~repro.qa.pipeline.KnowledgeRouter` for per-run routing.
+    """
+
+    def __init__(self, knowledge_base, backend=None, max_history=20,
+                 policy=None, max_repair_attempts=2, repair_backoff_s=0.0):
+        from .pipeline import (DEFAULT_QA_POLICY, KnowledgeRouter,
+                               QAPipeline)
+        if isinstance(knowledge_base, KnowledgeRouter):
+            self.router = knowledge_base
+        else:
+            self.router = KnowledgeRouter(knowledge_base)
+        self.kb = self.router.default_kb
         self.backend = backend or RuleBasedBackend(
-            known_methods=knowledge_base.method_names())
-        self.history = []
+            known_methods=self.kb.method_names())
+        self.pipeline = QAPipeline(
+            self.router, backend=self.backend,
+            policy=policy if policy is not None else DEFAULT_QA_POLICY,
+            max_repair_attempts=max_repair_attempts,
+            repair_backoff_s=repair_backoff_s)
+        # max_history is a hard bound: the deque evicts oldest entries.
         self.max_history = max_history
+        self.history = deque(maxlen=max_history)
 
     def ask(self, question):
         """Answer one question; never raises on user input."""
-        if not question or not question.strip():
-            return QAResponse(question=question, ok=False,
-                              answer="Please ask a question about the "
-                                     "benchmark results.")
-        schema = self.kb.schema_text()
-        parsed = self.backend.generate_sql(question, schema, self.history)
-        report = self.kb.db.verify(parsed.sql)
-        verification = report.summary()
-        if not report.ok:
-            parsed = self.backend.repair_sql(question, schema, report.issues)
-            report = self.kb.db.verify(parsed.sql)
-            verification += " | repair: " + report.summary()
-        if not report.ok:
-            response = QAResponse(
-                question=question, ok=False, sql=parsed.sql,
-                verification=verification, parsed=parsed,
-                answer="I could not translate that question into a valid "
-                       "query over the benchmark database.")
-            self._remember(response)
-            return response
-        try:
-            result = self.kb.db.query(parsed.sql)
-        except SqlError as exc:  # pragma: no cover - verify gate catches this
-            response = QAResponse(question=question, ok=False,
-                                  sql=parsed.sql, verification=str(exc),
-                                  parsed=parsed,
-                                  answer="Query execution failed.")
-            self._remember(response)
-            return response
-        answer = self.backend.generate_answer(question, parsed,
-                                              result.columns, result.rows)
-        response = QAResponse(
-            question=question, answer=answer, sql=parsed.sql,
-            columns=list(result.columns), rows=list(result.rows),
-            chart=_chart_for(parsed, result.columns, result.rows),
-            ok=True, verification=verification, parsed=parsed)
+        response = self.pipeline.run(question, history=list(self.history))
         self._remember(response)
         return response
 
     def _remember(self, response):
-        self.history.append(response)
-        if len(self.history) > self.max_history:
-            self.history = self.history[-self.max_history:]
+        # Degraded/failed answers carry no topic worth inheriting, and
+        # remembering them would let hostile inputs pollute follow-ups.
+        if response.ok and not response.degraded:
+            self.history.append(response)

@@ -17,7 +17,7 @@ import re
 from dataclasses import dataclass, field
 
 __all__ = ["ParsedQuestion", "QuestionParser", "METRIC_WORDS",
-           "METHOD_ALIASES", "CHARACTERISTIC_WORDS"]
+           "METHOD_ALIASES", "CHARACTERISTIC_WORDS", "vocabulary"]
 
 METRIC_WORDS = {
     "mae": "mae", "mean absolute error": "mae",
@@ -64,6 +64,22 @@ _CATEGORY_WORDS = {
     "machine learning": "ml", "ml": "ml",
     "deep": "deep", "deep learning": "deep", "neural": "deep",
 }
+
+
+def vocabulary():
+    """Every single word the lexicon grounds: the domain vocabulary.
+
+    The planner uses this set both to decide whether a question is about
+    the benchmark at all (grounding) and as the reference dictionary for
+    typo correction.
+    """
+    words = set()
+    for source in (METRIC_WORDS, METHOD_ALIASES, CHARACTERISTIC_WORDS,
+                   _CATEGORY_WORDS):
+        for phrase in source:
+            words.update(phrase.replace("-", " ").split())
+    words.update(_DOMAINS)
+    return words
 
 
 @dataclass

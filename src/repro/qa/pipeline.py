@@ -1,0 +1,577 @@
+"""Self-correcting Q&A pipeline: plan → generate → validate → repair.
+
+The original :class:`~repro.qa.engine.QAEngine` wired the paper's
+six-step workflow as straight-line code with a single repair round.
+This module rebuilds it as an explicit pipeline of nodes, each of which
+can fail without taking the service down:
+
+``planner``
+    classifies the question (answerable / hostile / unanswerable /
+    oversized / blank), corrects near-miss typos against the grounding
+    lexicon, and routes to a knowledge base (per-run / per-tenant via
+    :class:`KnowledgeRouter`).
+``generator``
+    the pluggable NL2SQL backend proposes candidate SQL.
+``validator``
+    static verification (:func:`repro.sql.verify`) plus the engine-layer
+    authorization gate (:mod:`repro.sql.authz`): read-only statement
+    allowlist, table/column ACLs, row-limit and clause-complexity
+    budgets.
+``repair``
+    validation failures become typed :class:`ValidationIssue` lists and
+    feed a bounded repair loop (``max_repair_attempts``, deterministic
+    exponential backoff).  ``authz.*`` issues are terminal — no rewrite
+    of the same intent can pass the gate, so retrying is pointless and
+    the loop stops immediately.
+``degrade``
+    when the loop exhausts its budget the caller still gets a structured
+    :class:`~repro.qa.engine.QAResponse` — attempted SQL, the issues
+    found, nearest-question suggestions — never an exception.
+
+Every response carries **provenance**: the chosen plan, each SQL attempt
+with its verdict, and a deterministic provenance id, so a degraded
+answer can be debugged from the response alone.  The pipeline plants
+``qa.generate`` / ``qa.validate`` / ``qa.execute`` fault points for the
+chaos harness and emits ``repro_qa_*`` telemetry (attempts histogram,
+repair/degradation/authz counters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import time
+from dataclasses import dataclass, field
+
+from .. import telemetry
+from ..resilience import InjectedFault, fault_point
+from ..sql import (AuthorizationPolicy, SqlAuthzError, SqlError,
+                   SqlSyntaxError)
+from .nl2sql import vocabulary
+
+__all__ = ["ValidationIssue", "SqlAttempt", "QAPlan", "KnowledgeRouter",
+           "QAPipeline", "DEFAULT_QA_POLICY", "MAX_QUESTION_CHARS",
+           "EXAMPLE_QUESTIONS"]
+
+#: Questions longer than this are refused at the planning stage; nothing
+#: legitimate approaches it and it bounds typo-correction work.
+MAX_QUESTION_CHARS = 4096
+
+#: The standing policy for Q&A traffic: read-only SELECT over the three
+#: knowledge tables, modest row and complexity budgets.  Enforced inside
+#: :meth:`repro.sql.Database.query`, so no backend can bypass it.
+DEFAULT_QA_POLICY = AuthorizationPolicy(
+    tables={"datasets": None, "methods": None, "results": None},
+    max_limit=50, max_rows=200, max_joins=2, max_predicates=8,
+    max_expr_depth=16, max_in_list=12)
+
+#: Canonical template questions, used for nearest-question suggestions
+#: when a question cannot be answered.
+EXAMPLE_QUESTIONS = (
+    "Which method is best for long term forecasting on time series with "
+    "strong seasonality?",
+    "What are the top 5 methods by RMSE?",
+    "Is the transformer or LSTM better for trending series?",
+    "What is the average MAE of dlinear?",
+    "How does theta perform across domains?",
+    "How does MAE change with horizon for theta and naive?",
+    "How many datasets are there per domain?",
+    "Which datasets are in the traffic domain?",
+)
+
+#: Raw SQL / DDL / injection fingerprints: questions matching these are
+#: refused at the planning stage, before any SQL generation runs.
+_HOSTILE_RE = re.compile(
+    r";|--|/\*"
+    r"|\b(drop|delete|insert|update|alter|create|truncate|grant|revoke"
+    r"|attach|pragma|exec|union)\b"
+    r"|\bignore\s+(?:all\s+|the\s+)?(?:previous|prior|above)\s+instructions\b"
+    r"|^\s*select\b",
+    re.IGNORECASE)
+
+#: Question-shaped words that ground a question in the benchmark domain
+#: even when no lexicon word appears ("how many datasets are there?").
+_CORE_TERMS = frozenset({
+    "method", "methods", "model", "models", "dataset", "datasets",
+    "domain", "domains", "horizon", "horizons", "benchmark", "benchmarks",
+    "forecast", "forecasts", "forecasting", "metric", "metrics", "term",
+    "best", "worst", "top", "accurate", "accuracy", "error", "rank",
+    "ranking", "compare", "comparison", "versus", "better", "results",
+    "series", "univariate", "multivariate", "short", "long", "average",
+    "performance", "perform", "performs",
+})
+
+#: Common question words included in the typo-correction dictionary so
+#: "whcih" → "which"; they carry no grounding weight on their own.
+_QUESTION_WORDS = frozenset({
+    "which", "what", "where", "when", "how", "many", "does", "change",
+    "between", "across", "list", "count", "number", "show",
+})
+
+
+@dataclass
+class ValidationIssue:
+    """One typed validation/authorization failure handed to repair.
+
+    ``code`` namespaces the failure: ``syntax`` / ``semantic`` from the
+    verifier, ``authz.*`` (terminal) and ``budget.*`` (repairable) from
+    the authorization gate, ``fault.*`` from injected chaos,
+    ``execution`` / ``generator`` from runtime errors.
+    """
+
+    code: str
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def terminal(self):
+        """True when repair cannot help (authorization denials)."""
+        return self.code.startswith("authz.")
+
+    def to_dict(self):
+        payload = {"code": self.code, "message": self.message}
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    def __str__(self):
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class SqlAttempt:
+    """One generate→validate(→execute) round, recorded for provenance."""
+
+    index: int
+    sql: str = ""
+    verdict: str = "pending"  # ok|invalid|unauthorized|over_budget|
+    #                           error|faulted
+    issues: list = field(default_factory=list)
+    repaired: bool = False
+
+    def to_dict(self):
+        return {"index": self.index, "sql": self.sql,
+                "verdict": self.verdict, "repaired": self.repaired,
+                "issues": [i.to_dict() for i in self.issues]}
+
+
+@dataclass
+class QAPlan:
+    """The planner's decision for one question."""
+
+    intent: str = "answerable"  # answerable|blank|oversized|hostile|
+    #                             unanswerable|unknown_kb
+    kb_name: str = "default"
+    question: str = ""          # original text
+    corrected: str = ""         # routed + typo-corrected text
+    corrections: list = field(default_factory=list)  # (from, to)
+    grounding: list = field(default_factory=list)    # matched vocab words
+    notes: list = field(default_factory=list)
+
+    def to_dict(self):
+        return {"intent": self.intent, "kb": self.kb_name,
+                "question": self.question, "corrected": self.corrected,
+                "corrections": [list(c) for c in self.corrections],
+                "grounding": sorted(self.grounding),
+                "notes": list(self.notes)}
+
+
+class KnowledgeRouter:
+    """Per-run / per-tenant knowledge-base routing.
+
+    Questions mentioning ``... in run beta`` (or ``tenant`` / ``kb`` /
+    ``knowledge base``) route to the named base; everything else goes to
+    the default.  Unknown names degrade with the available choices
+    listed rather than falling back silently.
+    """
+
+    _ROUTE_RE = re.compile(
+        r"\b(?:in|from|for|on)\s+(?:run|tenant|kb|knowledge[\s-]*base)\s+"
+        r"([A-Za-z0-9_\-]+)", re.IGNORECASE)
+
+    def __init__(self, default, named=None, default_name="default"):
+        self.default_name = default_name.lower()
+        self._bases = {self.default_name: default}
+        for name, kb in (named or {}).items():
+            self._bases[name.lower()] = kb
+
+    @property
+    def default_kb(self):
+        return self._bases[self.default_name]
+
+    def add(self, name, kb):
+        self._bases[name.lower()] = kb
+        return kb
+
+    def names(self):
+        return sorted(self._bases)
+
+    def has(self, name):
+        return name.lower() in self._bases
+
+    def get(self, name=None):
+        return self._bases[(name or self.default_name).lower()]
+
+    def route(self, text):
+        """Split routing directives out of the question.
+
+        Returns ``(kb_name_or_None, stripped_text)``; ``kb_name`` is the
+        raw name the user asked for (which may be unknown).
+        """
+        match = self._ROUTE_RE.search(text)
+        if not match:
+            return None, text
+        name = match.group(1)
+        stripped = (text[:match.start()] + " " + text[match.end():]).strip()
+        return name, re.sub(r"\s{2,}", " ", stripped)
+
+
+class Planner:
+    """Pipeline node 1: classify, correct and route the question."""
+
+    def __init__(self, router):
+        self.router = router
+        vocab = vocabulary()
+        self.grounding_words = frozenset(vocab) | _CORE_TERMS
+        self.dictionary = sorted(self.grounding_words | _QUESTION_WORDS)
+
+    def plan(self, question):
+        plan = QAPlan(question=question, kb_name=self.router.default_name)
+        text = (question or "").strip()
+        plan.corrected = text
+        if not text:
+            plan.intent = "blank"
+            return plan
+        if len(text) > MAX_QUESTION_CHARS:
+            plan.intent = "oversized"
+            plan.notes.append(
+                f"question of {len(text)} characters exceeds the "
+                f"{MAX_QUESTION_CHARS}-character limit")
+            return plan
+        if _HOSTILE_RE.search(text):
+            plan.intent = "hostile"
+            plan.notes.append(
+                "question matches a raw-SQL/injection fingerprint")
+            return plan
+
+        kb_name, text = self.router.route(text)
+        if kb_name is not None:
+            if not self.router.has(kb_name):
+                plan.intent = "unknown_kb"
+                plan.kb_name = kb_name.lower()
+                plan.notes.append(
+                    f"unknown knowledge base {kb_name!r}; available: "
+                    f"{', '.join(self.router.names())}")
+                return plan
+            plan.kb_name = kb_name.lower()
+            plan.notes.append(f"routed to knowledge base {plan.kb_name!r}")
+
+        text = self._correct(text, plan)
+        plan.corrected = text
+        tokens = re.findall(r"[a-z][a-z0-9_\-]*", text.lower())
+        plan.grounding = sorted(
+            {t for t in tokens if t in self.grounding_words})
+        if not plan.grounding:
+            plan.intent = "unanswerable"
+            plan.notes.append(
+                "no benchmark vocabulary found in the question")
+        return plan
+
+    def _correct(self, text, plan):
+        """Fix near-miss typos against the lexicon (deterministic).
+
+        Only unknown words of >= 4 characters are considered, and only a
+        close match (difflib ratio >= 0.8) rewrites them, so legitimate
+        off-domain words pass through untouched.
+        """
+        from difflib import get_close_matches
+
+        def fix(match):
+            word = match.group(0)
+            lowered = word.lower()
+            if len(lowered) < 4 or lowered in self.grounding_words \
+                    or lowered in _QUESTION_WORDS:
+                return word
+            close = get_close_matches(lowered, self.dictionary, n=1,
+                                      cutoff=0.8)
+            if not close or close[0] == lowered:
+                return word
+            plan.corrections.append((word, close[0]))
+            return close[0]
+
+        corrected = re.sub(r"[A-Za-z][A-Za-z\-]+", fix, text)
+        if plan.corrections:
+            plan.notes.append(
+                "corrected: " + ", ".join(
+                    f"{a!r}→{b!r}" for a, b in plan.corrections))
+        return corrected
+
+
+def _issue_from_verify(message):
+    """Map a verifier message onto a typed :class:`ValidationIssue`."""
+    code = "syntax" if message.lower().startswith("syntax") else "semantic"
+    return ValidationIssue(code, message)
+
+
+def _attempt_summary(attempt):
+    """The human-readable verdict line for one attempt."""
+    if attempt.verdict == "ok":
+        return "verified: OK"
+    if attempt.verdict in ("unauthorized", "over_budget"):
+        lines = "\n".join(f"- {i}" for i in attempt.issues)
+        return f"authorization: DENIED\n{lines}"
+    if attempt.verdict == "faulted":
+        lines = "; ".join(str(i) for i in attempt.issues)
+        return f"fault injected: {lines}"
+    if attempt.verdict == "error":
+        lines = "; ".join(str(i) for i in attempt.issues)
+        return f"execution failed: {lines}"
+    lines = "\n".join(f"- {i}" for i in attempt.issues)
+    return f"verified: FAILED\n{lines}" if lines else "verified: FAILED"
+
+
+def _verification_text(attempts):
+    """First attempt's verdict, then each repair joined with a marker."""
+    if not attempts:
+        return ""
+    parts = [_attempt_summary(attempts[0])]
+    parts.extend(" | repair: " + _attempt_summary(a) for a in attempts[1:])
+    return "".join(parts)
+
+
+class QAPipeline:
+    """Pipeline nodes 2-5: generate, validate, repair, degrade.
+
+    ``knowledge`` may be a bare knowledge base or a
+    :class:`KnowledgeRouter`.  ``backend`` implements the
+    :class:`~repro.qa.engine.LLMBackend` interface; ``policy`` is the
+    engine-enforced :class:`~repro.sql.AuthorizationPolicy`.
+    """
+
+    def __init__(self, knowledge, backend=None, policy=DEFAULT_QA_POLICY,
+                 max_repair_attempts=2, repair_backoff_s=0.0,
+                 sleep=time.sleep):
+        from .engine import RuleBasedBackend
+        if isinstance(knowledge, KnowledgeRouter):
+            self.router = knowledge
+        else:
+            self.router = KnowledgeRouter(knowledge)
+        self.backend = backend or RuleBasedBackend(
+            known_methods=self.router.default_kb.method_names())
+        self.policy = policy
+        self.max_repair_attempts = max(int(max_repair_attempts), 0)
+        self.repair_backoff_s = float(repair_backoff_s)
+        self.planner = Planner(self.router)
+        self._sleep = sleep
+
+    # -- the pipeline ------------------------------------------------------
+    def run(self, question, history=()):
+        """Answer one question; returns a QAResponse, never raises."""
+        from .engine import QAResponse
+        t0 = time.perf_counter()
+        plan = self.planner.plan(question)
+        if plan.intent == "blank":
+            return QAResponse(
+                question=question, ok=False,
+                answer="Please ask a question about the benchmark "
+                       "results.",
+                provenance=self._provenance(plan, [], t0))
+        if plan.intent != "answerable":
+            return self._degrade(question, plan, [], [], t0)
+
+        kb = self.router.get(plan.kb_name)
+        schema = kb.schema_text()
+        attempts = []
+        issues = []
+        parsed = None
+        result = None
+        executed = None
+        for index in range(self.max_repair_attempts + 1):
+            if index and self.repair_backoff_s:
+                self._sleep(self.repair_backoff_s * 2 ** (index - 1))
+            attempt = SqlAttempt(index=index, repaired=index > 0)
+            attempts.append(attempt)
+
+            # -- generator -------------------------------------------------
+            try:
+                fault_point("qa.generate", plan.kb_name)
+                if index == 0:
+                    candidate = self.backend.generate_sql(
+                        plan.corrected, schema, list(history))
+                else:
+                    candidate = self.backend.repair_sql(
+                        plan.corrected, schema, issues)
+                attempt.sql = getattr(candidate, "sql", "") or ""
+            except InjectedFault as exc:
+                issues = [ValidationIssue("fault.generate", str(exc))]
+                attempt.verdict, attempt.issues = "faulted", issues
+                continue
+            except Exception as exc:  # a buggy backend must not escape
+                issues = [ValidationIssue(
+                    "generator", f"{type(exc).__name__}: {exc}")]
+                attempt.verdict, attempt.issues = "error", issues
+                continue
+
+            # -- validator -------------------------------------------------
+            try:
+                fault_point("qa.validate", plan.kb_name)
+                report = kb.db.verify(attempt.sql)
+                authz = kb.db.authorize(attempt.sql, self.policy) \
+                    if report.ok else []
+            except InjectedFault as exc:
+                issues = [ValidationIssue("fault.validate", str(exc))]
+                attempt.verdict, attempt.issues = "faulted", issues
+                continue
+            if not report.ok:
+                issues = [_issue_from_verify(m) for m in report.issues]
+                attempt.verdict, attempt.issues = "invalid", issues
+                continue
+            if authz:
+                issues = [ValidationIssue(i.code, i.message,
+                                          dict(i.detail)) for i in authz]
+                attempt.issues = issues
+                telemetry.inc(
+                    "repro_qa_authz_rejections_total", kb=plan.kb_name,
+                    help="SQL candidates rejected by the authorization "
+                         "gate.")
+                if any(i.terminal for i in issues):
+                    attempt.verdict = "unauthorized"
+                    break  # terminal: repair cannot help
+                attempt.verdict = "over_budget"
+                continue
+
+            # -- executor --------------------------------------------------
+            try:
+                fault_point("qa.execute", plan.kb_name)
+                result = kb.db.query(attempt.sql, policy=self.policy)
+            except InjectedFault as exc:
+                issues = [ValidationIssue("fault.execute", str(exc))]
+                attempt.verdict, attempt.issues = "faulted", issues
+                result = None
+                continue
+            except SqlAuthzError as exc:
+                issues = [ValidationIssue(i.code, i.message,
+                                          dict(i.detail))
+                          for i in exc.issues]
+                attempt.issues = issues
+                telemetry.inc(
+                    "repro_qa_authz_rejections_total", kb=plan.kb_name,
+                    help="SQL candidates rejected by the authorization "
+                         "gate.")
+                if any(i.terminal for i in issues):
+                    attempt.verdict = "unauthorized"
+                    break
+                attempt.verdict = "over_budget"
+                continue
+            except (SqlError, SqlSyntaxError) as exc:
+                issues = [ValidationIssue("execution", str(exc))]
+                attempt.verdict, attempt.issues = "error", issues
+                result = None
+                continue
+            attempt.verdict = "ok"
+            parsed = candidate
+            executed = attempt
+            break
+
+        telemetry.observe(
+            "repro_qa_attempts", float(len(attempts)),
+            help="Generate/validate attempts used per question.")
+        if executed is None or result is None:
+            if any(a.repaired for a in attempts):
+                telemetry.inc("repro_qa_repairs_total", outcome="exhausted",
+                              help="Repair-loop outcomes.")
+            return self._degrade(question, plan, attempts, issues, t0)
+        if executed.repaired:
+            telemetry.inc("repro_qa_repairs_total", outcome="success",
+                          help="Repair-loop outcomes.")
+        return self._respond(question, plan, attempts, executed, parsed,
+                             result, t0)
+
+    # -- success -----------------------------------------------------------
+    def _respond(self, question, plan, attempts, executed, parsed, result,
+                 t0):
+        from .engine import QAResponse, _chart_for
+        answer = self.backend.generate_answer(
+            plan.corrected, parsed, result.columns, result.rows)
+        if getattr(result, "truncated", False):
+            answer += (f" (Showing the first {len(result.rows)} rows; "
+                       "the result was truncated by policy.)")
+        chart = _chart_for(parsed, result.columns, result.rows)
+        telemetry.inc("repro_qa_questions_total", outcome="answered",
+                      help="Q&A pipeline outcomes.")
+        return QAResponse(
+            question=question, answer=answer, sql=executed.sql,
+            columns=list(result.columns), rows=list(result.rows),
+            chart=chart, ok=True,
+            verification=_verification_text(attempts), parsed=parsed,
+            kb_name=plan.kb_name,
+            provenance=self._provenance(plan, attempts, t0,
+                                        rows=len(result.rows),
+                                        chart=chart.get("type", "")))
+
+    # -- graceful degradation ----------------------------------------------
+    def _degrade(self, question, plan, attempts, issues, t0):
+        from .engine import QAResponse
+        telemetry.inc("repro_qa_questions_total", outcome="degraded",
+                      help="Q&A pipeline outcomes.")
+        telemetry.inc("repro_qa_degraded_total", reason=plan.intent
+                      if plan.intent != "answerable" else "exhausted",
+                      help="Structured 'could not answer' responses by "
+                           "reason.")
+        reasons = {
+            "hostile": "That looks like raw SQL or a destructive command; "
+                       "the Q&A service only accepts natural-language "
+                       "questions about the benchmark results.",
+            "unanswerable": "That question does not appear to be about "
+                            "the forecasting benchmark.",
+            "oversized": "That question is too long for the Q&A service.",
+            "unknown_kb": "I could not find that knowledge base. "
+                          f"Available: {', '.join(self.router.names())}.",
+        }
+        base = reasons.get(
+            plan.intent,
+            "I could not translate that question into a valid query over "
+            "the benchmark database.")
+        suggestions = self._suggest(plan.corrected or question)
+        answer = base
+        if suggestions:
+            answer += " Try a question like: " + suggestions[0]
+        last_sql = next((a.sql for a in reversed(attempts) if a.sql), "")
+        return QAResponse(
+            question=question, ok=False, degraded=True, sql=last_sql,
+            verification=_verification_text(attempts),
+            answer=answer,
+            issues=[i.to_dict() for i in issues],
+            suggestions=suggestions, kb_name=plan.kb_name,
+            provenance=self._provenance(plan, attempts, t0))
+
+    def _suggest(self, text):
+        """Nearest example questions by token overlap (top 3)."""
+        tokens = set(re.findall(r"[a-z][a-z0-9_\-]*", (text or "").lower()))
+        scored = []
+        for example in EXAMPLE_QUESTIONS:
+            ex_tokens = set(re.findall(r"[a-z][a-z0-9_\-]*",
+                                       example.lower()))
+            union = tokens | ex_tokens
+            score = len(tokens & ex_tokens) / len(union) if union else 0.0
+            scored.append((-score, example))
+        scored.sort()
+        return [example for negscore, example in scored[:3]]
+
+    # -- provenance --------------------------------------------------------
+    def _provenance(self, plan, attempts, t0, **extra):
+        material = "\x1f".join(
+            [plan.question, plan.intent, plan.kb_name]
+            + [a.sql for a in attempts])
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+        payload = {
+            "id": f"qa-{digest}",
+            "plan": plan.to_dict(),
+            "policy": self.policy.describe(),
+            "attempts": [a.to_dict() for a in attempts],
+            "repaired": any(a.repaired and a.verdict == "ok"
+                            for a in attempts),
+            "elapsed_ms": round((time.perf_counter() - t0) * 1000.0, 3),
+        }
+        payload.update(extra)
+        return payload

@@ -70,7 +70,8 @@ FAULT_KINDS = ("error", "delay", "crash", "interrupt", "corrupt")
 #: may name any site, unknown ones simply never fire).
 FAULT_SITES = ("executor.task", "cache.get", "cache.put", "strategy.fit",
                "server.request", "dataplane.attach", "serving.admit",
-               "serving.batch", "dist.send", "dist.recv", "dist.lease")
+               "serving.batch", "dist.send", "dist.recv", "dist.lease",
+               "qa.generate", "qa.validate", "qa.execute")
 
 #: Bytes written over a corrupted artifact file.
 _GARBAGE = b"\x00corrupted-by-fault-plan\x00"

@@ -53,6 +53,7 @@ so ``/metrics`` is live from the first request.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import threading
@@ -69,10 +70,28 @@ from ..serving import (AdmissionController, AdmissionRejected,
                        ModelRegistry, PreforkServer, model_key)
 from ..telemetry import chrome_trace, render_prometheus
 
-__all__ = ["EasyTimeServer", "make_handler", "MAX_BODY_BYTES"]
+__all__ = ["EasyTimeServer", "make_handler", "MAX_BODY_BYTES",
+           "PayloadTooLarge", "PipelineUnavailable"]
 
 #: Default request-body ceiling (bytes); oversized posts get a 413.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class PayloadTooLarge(Exception):
+    """A field exceeds its configured size limit (HTTP 413)."""
+
+
+class PipelineUnavailable(Exception):
+    """The Q&A pipeline itself failed (HTTP 500, provenance id attached).
+
+    Raised instead of letting the original exception bubble so the wire
+    sees a stable error envelope — never a traceback — while the full
+    failure stays in the structured server log under the provenance id.
+    """
+
+    def __init__(self, message, provenance_id=""):
+        super().__init__(message)
+        self.provenance_id = provenance_id
 
 #: GET routes the handler dispatches on (exact match after rstrip("/")).
 _GET_ROUTES = ("/", "/health", "/healthz", "/readyz", "/methods",
@@ -294,6 +313,10 @@ def make_handler(api):
                 self._send({"ok": True, "data": getattr(api, name)(body)})
             except InjectedFault as exc:
                 self._fail(f"injected fault: {exc}", status=503)
+            except PayloadTooLarge as exc:
+                self._fail(str(exc), status=413)
+            except PipelineUnavailable as exc:
+                self._fail(str(exc), status=500)
             except (KeyError, ValueError, TypeError) as exc:
                 self._fail(f"{type(exc).__name__}: {exc}")
             except Exception as exc:  # noqa: BLE001 - error envelope
@@ -474,10 +497,38 @@ class _Api:
         return {"forecast": forecast[:, 0].tolist(), "info": info}
 
     def qa(self, body):
-        response = self.et.ask(body["question"])
+        from ..qa.pipeline import MAX_QUESTION_CHARS
+        question = body["question"]
+        if not isinstance(question, str):
+            raise TypeError("question must be a string")
+        if len(question) > MAX_QUESTION_CHARS:
+            raise PayloadTooLarge(
+                f"question of {len(question)} characters exceeds the "
+                f"{MAX_QUESTION_CHARS}-character limit")
+        try:
+            response = self.et.ask(question)
+        except Exception as exc:  # the pipeline promises not to raise;
+            # if it does anyway, keep the traceback off the wire and
+            # leave a provenance id that indexes the structured log.
+            digest = hashlib.sha256(
+                question.encode("utf-8")).hexdigest()[:12]
+            provenance_id = f"qa-err-{digest}"
+            self.logger.info("server.qa_error", provenance=provenance_id,
+                             error=f"{type(exc).__name__}: {exc}")
+            telemetry.inc("repro_qa_pipeline_errors_total",
+                          help="Unexpected exceptions escaping the Q&A "
+                               "pipeline.")
+            raise PipelineUnavailable(
+                "the Q&A pipeline failed to process this question "
+                f"(provenance {provenance_id})",
+                provenance_id=provenance_id) from exc
         return {"answer": response.answer, "sql": response.sql,
                 "chart": response.chart, "table": response.table(),
-                "ok": response.ok}
+                "ok": response.ok, "degraded": response.degraded,
+                "issues": response.issues,
+                "suggestions": response.suggestions,
+                "kb": response.kb_name,
+                "provenance": response.provenance}
 
     # -- background jobs (repro.runtime.JobManager) ----------------------
     def job_evaluate(self, body):

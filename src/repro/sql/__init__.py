@@ -6,9 +6,11 @@ tokenizer, recursive-descent parser, static verifier (the paper's
 volcano-style executor.
 """
 
+from .authz import (AuthorizationPolicy, AuthzIssue, authorize,
+                    authorize_sql)
 from .catalog import (Catalog, ColumnDef, SqlCatalogError, Table,
                       coerce_value, infer_type)
-from .engine import Database, SqlError
+from .engine import Database, SqlAuthzError, SqlError
 from .executor import Result, execute, explain
 from .expr import SqlRuntimeError, like_to_regex
 from .parser import parse
@@ -16,8 +18,10 @@ from .tokens import SqlSyntaxError, tokenize
 from .verify import VerificationReport, verify, verify_sql
 
 __all__ = [
-    "Database", "SqlError", "Result", "execute", "explain", "parse",
-    "tokenize", "SqlSyntaxError", "SqlRuntimeError", "SqlCatalogError",
-    "Catalog", "Table", "ColumnDef", "infer_type", "coerce_value",
-    "VerificationReport", "verify", "verify_sql", "like_to_regex",
+    "Database", "SqlError", "SqlAuthzError", "Result", "execute", "explain",
+    "parse", "tokenize", "SqlSyntaxError", "SqlRuntimeError",
+    "SqlCatalogError", "Catalog", "Table", "ColumnDef", "infer_type",
+    "coerce_value", "VerificationReport", "verify", "verify_sql",
+    "like_to_regex", "AuthorizationPolicy", "AuthzIssue", "authorize",
+    "authorize_sql",
 ]

@@ -1,0 +1,331 @@
+"""Statement authorization: the engine-layer gate below the Q&A pipeline.
+
+Static verification (:mod:`repro.sql.verify`) answers *"is this SQL
+meaningful over the catalog?"*; this module answers *"is this caller
+allowed to run it?"*.  An :class:`AuthorizationPolicy` bundles:
+
+* a **read-only statement allowlist** — only SELECT is accepted, checked
+  on the raw text before parsing so DDL/DML is refused with a typed
+  issue rather than a syntax error;
+* **table / column ACLs** — every referenced table must be granted, and
+  a table grant may optionally restrict the visible columns;
+* **row-limit budgets** — a declared ``LIMIT`` above ``max_limit`` is an
+  issue (a repairable one: the Q&A repair loop clamps it), and executed
+  results are truncated to ``max_rows`` regardless of what the statement
+  asked for;
+* **clause-complexity budgets** — joins, predicates, expression depth
+  and IN-list length are all bounded so a hostile or confused SQL
+  generator cannot submit pathological statements.
+
+Enforcement lives in :meth:`repro.sql.Database.query` (see
+``engine.py``): when a policy is attached or passed per call, violations
+raise :class:`~repro.sql.engine.SqlAuthzError` *inside the engine*, so
+no Q&A backend — however buggy or adversarial — can route around the
+gate by producing creative SQL.  Issue codes are split into terminal
+(``authz.*``: a different statement is needed, retrying is pointless)
+and repairable (``budget.*``: shrink the statement and try again), which
+is exactly the signal the Q&A repair loop keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .tokens import SqlSyntaxError, tokenize
+
+__all__ = ["AuthzIssue", "AuthorizationPolicy", "authorize",
+           "authorize_sql", "TERMINAL_PREFIX", "BUDGET_PREFIX"]
+
+#: Issue-code prefixes: ``authz.*`` is terminal, ``budget.*`` repairable.
+TERMINAL_PREFIX = "authz."
+BUDGET_PREFIX = "budget."
+
+
+@dataclass(frozen=True)
+class AuthzIssue:
+    """One authorization violation: a typed code plus human message.
+
+    ``detail`` carries machine-readable context (e.g. the budget that was
+    exceeded and its cap) so a repair step can fix the statement rather
+    than guess.
+    """
+
+    code: str
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def terminal(self):
+        """True when no rewrite of the same intent can succeed."""
+        return self.code.startswith(TERMINAL_PREFIX)
+
+    def __str__(self):
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass(frozen=True)
+class AuthorizationPolicy:
+    """What a caller may ask of the engine.
+
+    ``tables`` maps granted table names to an optional column allowlist
+    (``None`` grants every column).  Budgets are inclusive caps; set a
+    budget to ``None`` to disable that check.
+    """
+
+    tables: dict = None           # {table: frozenset(columns) | None}
+    max_limit: int = 50           # declared LIMIT ceiling (repairable)
+    max_rows: int = 200           # executed-result truncation cap
+    max_joins: int = 2
+    max_predicates: int = 8
+    max_expr_depth: int = 16
+    max_in_list: int = 12
+
+    def allows_table(self, name):
+        return self.tables is None or name.lower() in {
+            t.lower() for t in self.tables}
+
+    def allowed_columns(self, name):
+        """Column allowlist for a granted table (None = all columns)."""
+        if self.tables is None:
+            return None
+        for table, columns in self.tables.items():
+            if table.lower() == name.lower():
+                return columns
+        return frozenset()
+
+    def describe(self):
+        """Human-readable summary (shown in provenance / docs)."""
+        tables = "all tables" if self.tables is None else ", ".join(
+            sorted(self.tables))
+        return (f"read-only SELECT on {tables}; LIMIT<={self.max_limit}, "
+                f"rows<={self.max_rows}, joins<={self.max_joins}, "
+                f"predicates<={self.max_predicates}, "
+                f"depth<={self.max_expr_depth}, "
+                f"in-list<={self.max_in_list}")
+
+
+# -- statement shape helpers -------------------------------------------------
+
+def _first_keyword(sql):
+    """Uppercased first token of the statement ('' on lexical garbage)."""
+    try:
+        tokens = tokenize(sql)
+    except SqlSyntaxError:
+        # Lexically broken input cannot be classified; let the parser
+        # produce its (typed) syntax error downstream.
+        return "SELECT"
+    if not tokens or tokens[0].kind == "EOF":
+        return ""
+    head = tokens[0]
+    return head.value.upper() if head.kind in ("KW", "IDENT") else ""
+
+
+def _expr_depth(expr):
+    if expr is None:
+        return 0
+    children = []
+    if isinstance(expr, ast.Unary):
+        children = [expr.operand]
+    elif isinstance(expr, ast.Binary):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, ast.FuncCall):
+        children = list(expr.args)
+    elif isinstance(expr, ast.InList):
+        children = [expr.operand] + list(expr.items)
+    elif isinstance(expr, ast.Between):
+        children = [expr.operand, expr.low, expr.high]
+    elif isinstance(expr, (ast.IsNull, ast.Like)):
+        children = [expr.operand]
+        if isinstance(expr, ast.Like):
+            children.append(expr.pattern)
+    elif isinstance(expr, ast.Case):
+        children = [c for pair in expr.branches for c in pair]
+        if expr.default is not None:
+            children.append(expr.default)
+    if not children:
+        return 1
+    return 1 + max(_expr_depth(c) for c in children)
+
+
+def _count_predicates(expr):
+    """Comparison-ish leaves in a boolean expression tree."""
+    if expr is None:
+        return 0
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("AND", "OR"):
+            return _count_predicates(expr.left) \
+                + _count_predicates(expr.right)
+        return 1
+    if isinstance(expr, (ast.InList, ast.Between, ast.Like, ast.IsNull)):
+        return 1
+    if isinstance(expr, ast.Unary):
+        return _count_predicates(expr.operand)
+    return 1
+
+
+def _walk_in_lists(expr, out):
+    if expr is None:
+        return
+    if isinstance(expr, ast.InList):
+        out.append(expr)
+        _walk_in_lists(expr.operand, out)
+        for item in expr.items:
+            _walk_in_lists(item, out)
+    elif isinstance(expr, ast.Unary):
+        _walk_in_lists(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _walk_in_lists(expr.left, out)
+        _walk_in_lists(expr.right, out)
+    elif isinstance(expr, ast.FuncCall):
+        for a in expr.args:
+            _walk_in_lists(a, out)
+    elif isinstance(expr, ast.Between):
+        for e in (expr.operand, expr.low, expr.high):
+            _walk_in_lists(e, out)
+    elif isinstance(expr, (ast.IsNull, ast.Like)):
+        _walk_in_lists(expr.operand, out)
+        if isinstance(expr, ast.Like):
+            _walk_in_lists(expr.pattern, out)
+    elif isinstance(expr, ast.Case):
+        for cond, value in expr.branches:
+            _walk_in_lists(cond, out)
+            _walk_in_lists(value, out)
+        if expr.default is not None:
+            _walk_in_lists(expr.default, out)
+
+
+def _collect_columns(select):
+    """Every :class:`ast.Column` reference across all statement scopes."""
+    from .verify import _walk_columns
+
+    columns = []
+    scopes = [i.expr for i in select.items
+              if not isinstance(i.expr, ast.Star)]
+    scopes += [j.condition for j in select.joins]
+    for clause in (select.where, select.having):
+        if clause is not None:
+            scopes.append(clause)
+    scopes += list(select.group_by)
+    scopes += [o.expr for o in select.order_by]
+    for expr in scopes:
+        _walk_columns(expr, columns.append)
+    return columns, scopes
+
+
+def authorize(select, policy):
+    """Check a parsed SELECT against a policy; returns AuthzIssue list."""
+    issues = []
+    refs = ([] if select.table is None else [select.table]) \
+        + [j.table for j in select.joins]
+    binding_to_table = {}
+    for ref in refs:
+        binding_to_table[ref.binding.lower()] = ref.name
+        if not policy.allows_table(ref.name):
+            issues.append(AuthzIssue(
+                "authz.table",
+                f"table {ref.name!r} is not authorized for this caller",
+                {"table": ref.name}))
+
+    columns, scopes = _collect_columns(select)
+    aliases = {i.alias for i in select.items if i.alias}
+    for column in columns:
+        if column.table:
+            table = binding_to_table.get(column.table.lower())
+            if table is None or not policy.allows_table(table):
+                continue  # unknown binding already failed verification
+            allowed = policy.allowed_columns(table)
+            if allowed is not None and column.name.lower() not in {
+                    c.lower() for c in allowed}:
+                issues.append(AuthzIssue(
+                    "authz.column",
+                    f"column {table}.{column.name} is not authorized",
+                    {"table": table, "column": column.name}))
+        else:
+            if column.name in aliases:
+                continue
+            visible = False
+            unrestricted = False
+            for ref in refs:
+                if not policy.allows_table(ref.name):
+                    continue
+                allowed = policy.allowed_columns(ref.name)
+                if allowed is None:
+                    unrestricted = True
+                elif column.name.lower() in {c.lower() for c in allowed}:
+                    visible = True
+            if refs and not (visible or unrestricted):
+                issues.append(AuthzIssue(
+                    "authz.column",
+                    f"column {column.name!r} is not authorized",
+                    {"column": column.name}))
+
+    if policy.max_joins is not None and len(select.joins) > policy.max_joins:
+        issues.append(AuthzIssue(
+            "budget.complexity",
+            f"{len(select.joins)} joins exceed the budget of "
+            f"{policy.max_joins}",
+            {"joins": len(select.joins), "max_joins": policy.max_joins}))
+
+    if policy.max_predicates is not None:
+        predicates = _count_predicates(select.where) \
+            + _count_predicates(select.having) \
+            + sum(_count_predicates(j.condition) for j in select.joins)
+        if predicates > policy.max_predicates:
+            issues.append(AuthzIssue(
+                "budget.complexity",
+                f"{predicates} predicates exceed the budget of "
+                f"{policy.max_predicates}",
+                {"predicates": predicates,
+                 "max_predicates": policy.max_predicates}))
+
+    if policy.max_expr_depth is not None:
+        depth = max((_expr_depth(e) for e in scopes), default=0)
+        if depth > policy.max_expr_depth:
+            issues.append(AuthzIssue(
+                "budget.complexity",
+                f"expression depth {depth} exceeds the budget of "
+                f"{policy.max_expr_depth}",
+                {"depth": depth, "max_depth": policy.max_expr_depth}))
+
+    if policy.max_in_list is not None:
+        in_lists = []
+        for expr in scopes:
+            _walk_in_lists(expr, in_lists)
+        for node in in_lists:
+            if len(node.items) > policy.max_in_list:
+                issues.append(AuthzIssue(
+                    "budget.complexity",
+                    f"IN list of {len(node.items)} items exceeds the "
+                    f"budget of {policy.max_in_list}",
+                    {"in_list": len(node.items),
+                     "max_in_list": policy.max_in_list}))
+
+    if policy.max_limit is not None and select.limit is not None \
+            and select.limit > policy.max_limit:
+        issues.append(AuthzIssue(
+            "budget.rows",
+            f"LIMIT {select.limit} exceeds the budget of "
+            f"{policy.max_limit}",
+            {"limit": select.limit, "max_limit": policy.max_limit}))
+    return issues
+
+
+def authorize_sql(sql, policy):
+    """Text-level authorization: statement allowlist, then AST checks.
+
+    Returns a list of :class:`AuthzIssue`; parse failures yield no
+    issues here (the verifier owns syntax reporting).
+    """
+    head = _first_keyword(sql)
+    if head and head != "SELECT":
+        return [AuthzIssue(
+            "authz.statement",
+            f"{head} statements are not allowed (read-only SELECT policy)",
+            {"statement": head})]
+    from .parser import parse
+    try:
+        select = parse(sql)
+    except SqlSyntaxError:
+        return []
+    return authorize(select, policy)

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from .authz import authorize, authorize_sql
 from .catalog import Catalog, ColumnDef, SqlCatalogError, infer_type
 from .executor import Result, execute, explain
 from .parser import parse
-from .verify import verify, verify_sql
+from .verify import VerificationReport, verify, verify_sql
 
-__all__ = ["Database", "SqlError"]
+__all__ = ["Database", "SqlError", "SqlAuthzError"]
 
 
 class SqlError(ValueError):
@@ -18,16 +19,39 @@ class SqlError(ValueError):
         self.report = report
 
 
+class SqlAuthzError(SqlError):
+    """Raised by :meth:`Database.query` when authorization fails.
+
+    ``issues`` holds the typed :class:`~repro.sql.authz.AuthzIssue`
+    records so callers (the Q&A repair loop) can distinguish terminal
+    ACL violations from repairable budget overruns.
+    """
+
+    def __init__(self, issues, sql=""):
+        report = VerificationReport()
+        for issue in issues:
+            report.add(str(issue))
+        super().__init__(report)
+        self.issues = list(issues)
+        self.sql = sql
+
+
 class Database:
     """An in-memory relational database with verified query execution.
 
     The knowledge base and the Q&A module run on this engine.  Queries go
     through the same two-step gate as the paper's workflow: static
-    verification first, execution only when the statement is clean.
+    verification first, execution only when the statement is clean.  An
+    optional :class:`~repro.sql.authz.AuthorizationPolicy` (attached at
+    construction or passed per call) adds a third gate: read-only
+    statement allowlist, table/column ACLs and row/complexity budgets,
+    enforced here — below any SQL-producing backend — so it cannot be
+    bypassed.
     """
 
-    def __init__(self):
+    def __init__(self, policy=None):
         self.catalog = Catalog()
+        self.policy = policy
 
     # -- DDL / DML ---------------------------------------------------------
     def create_table(self, name, columns):
@@ -62,13 +86,42 @@ class Database:
         """Static verification only; returns a VerificationReport."""
         return verify_sql(sql, self.catalog)
 
-    def query(self, sql):
-        """Verify then execute; raises :class:`SqlError` on a bad statement."""
+    def authorize(self, sql, policy=None):
+        """Authorization check only; returns a list of AuthzIssues."""
+        policy = policy if policy is not None else self.policy
+        if policy is None:
+            return []
+        return authorize_sql(sql, policy)
+
+    def query(self, sql, policy=None):
+        """Verify, authorize, then execute.
+
+        Raises :class:`SqlError` on a bad statement and
+        :class:`SqlAuthzError` on a policy violation (the effective
+        policy is the per-call one, else the attached default).  When a
+        policy caps ``max_rows``, the returned result is truncated to
+        that many rows and flagged ``truncated``.
+        """
+        policy = policy if policy is not None else self.policy
+        if policy is not None:
+            head_issues = authorize_sql(sql, policy)
+            terminal = [i for i in head_issues
+                        if i.code == "authz.statement"]
+            if terminal:
+                raise SqlAuthzError(terminal, sql)
         report = verify_sql(sql, self.catalog)
         if not report.ok:
             raise SqlError(report)
+        if policy is not None:
+            issues = authorize(report.statement, policy)
+            if issues:
+                raise SqlAuthzError(issues, sql)
         result = execute(report.statement, self.catalog)
         result.sql = sql
+        if policy is not None and policy.max_rows is not None \
+                and len(result.rows) > policy.max_rows:
+            result.rows = result.rows[:policy.max_rows]
+            result.truncated = True
         return result
 
     def query_unchecked(self, sql):

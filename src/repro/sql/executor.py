@@ -28,6 +28,7 @@ class Result:
     columns: list
     rows: list
     sql: str = ""
+    truncated: bool = False   # rows capped by an AuthorizationPolicy
 
     def __len__(self):
         return len(self.rows)

@@ -23,9 +23,14 @@ from __future__ import annotations
 from . import ast
 from .tokens import SqlSyntaxError, Token, tokenize
 
-__all__ = ["parse", "SqlSyntaxError"]
+__all__ = ["parse", "SqlSyntaxError", "MAX_EXPR_DEPTH"]
 
 _COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+#: Explicit recursion ceiling for nested expressions.  Hostile inputs
+#: like ``SELECT ((((…1…))))`` with thousands of parens must surface as
+#: one typed :class:`SqlSyntaxError`, never a ``RecursionError``.
+MAX_EXPR_DEPTH = 64
 
 
 class _Parser:
@@ -33,6 +38,7 @@ class _Parser:
         self.tokens = tokens
         self.text = text
         self.i = 0
+        self.depth = 0
 
     # -- token helpers -----------------------------------------------------
     @property
@@ -177,24 +183,48 @@ class _Parser:
         return ast.OrderItem(expr=expr, descending=descending)
 
     # -- expressions ---------------------------------------------------------
+    def _descend(self):
+        self.depth += 1
+        if self.depth > MAX_EXPR_DEPTH:
+            self.error(f"expression nested deeper than {MAX_EXPR_DEPTH}")
+
     def parse_expr(self):
-        return self.parse_or()
+        self._descend()
+        try:
+            return self.parse_or()
+        finally:
+            self.depth -= 1
 
     def parse_or(self):
         left = self.parse_and()
+        chained = 0
         while self.accept_kw("OR"):
+            # Chained terms build a left-deep tree: its depth, not the
+            # parser's recursion, is what downstream tree walks pay, so
+            # each link spends depth budget too.
+            self._descend()
+            chained += 1
             left = ast.Binary("OR", left, self.parse_and())
+        self.depth -= chained
         return left
 
     def parse_and(self):
         left = self.parse_not()
+        chained = 0
         while self.accept_kw("AND"):
+            self._descend()
+            chained += 1
             left = ast.Binary("AND", left, self.parse_not())
+        self.depth -= chained
         return left
 
     def parse_not(self):
         if self.accept_kw("NOT"):
-            return ast.Unary("NOT", self.parse_not())
+            self._descend()
+            try:
+                return ast.Unary("NOT", self.parse_not())
+            finally:
+                self.depth -= 1
         return self.parse_predicate()
 
     def parse_predicate(self):
@@ -227,23 +257,35 @@ class _Parser:
 
     def parse_additive(self):
         left = self.parse_multiplicative()
+        chained = 0
         while True:
             tok = self.accept_op("+", "-")
             if not tok:
+                self.depth -= chained
                 return left
+            self._descend()
+            chained += 1
             left = ast.Binary(tok.value, left, self.parse_multiplicative())
 
     def parse_multiplicative(self):
         left = self.parse_unary()
+        chained = 0
         while True:
             tok = self.accept_op("*", "/", "%")
             if not tok:
+                self.depth -= chained
                 return left
+            self._descend()
+            chained += 1
             left = ast.Binary(tok.value, left, self.parse_unary())
 
     def parse_unary(self):
         if self.accept_op("-"):
-            return ast.Unary("-", self.parse_unary())
+            self._descend()
+            try:
+                return ast.Unary("-", self.parse_unary())
+            finally:
+                self.depth -= 1
         return self.parse_primary()
 
     def parse_primary(self):

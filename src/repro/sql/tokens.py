@@ -11,11 +11,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Token", "tokenize", "KEYWORDS", "SqlSyntaxError"]
+__all__ = ["Token", "tokenize", "KEYWORDS", "SqlSyntaxError",
+           "MAX_SQL_CHARS", "MAX_TOKEN_CHARS"]
 
 
 class SqlSyntaxError(ValueError):
     """Raised on lexical or grammatical errors, with position context."""
+
+
+#: Hard ceiling on statement length.  Megabyte "statements" are never
+#: legitimate Q&A output; refusing them up front keeps hostile input
+#: from tying up the lexer (and bounds error-message work downstream).
+MAX_SQL_CHARS = 256 * 1024
+
+#: Hard ceiling on a single token (identifier, number or string
+#: literal).  A 1 MB identifier must be one typed error, not a stall.
+MAX_TOKEN_CHARS = 4096
 
 
 KEYWORDS = {
@@ -44,6 +55,13 @@ class Token:
 
 def tokenize(text):
     """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    if not isinstance(text, str):
+        raise SqlSyntaxError(
+            f"SQL must be a string, not {type(text).__name__}")
+    if len(text) > MAX_SQL_CHARS:
+        raise SqlSyntaxError(
+            f"statement of {len(text)} characters exceeds the "
+            f"{MAX_SQL_CHARS}-character limit")
     tokens = []
     i, n = 0, len(text)
     while i < n:
@@ -126,4 +144,9 @@ def tokenize(text):
             continue
         raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
     tokens.append(Token("EOF", "", n))
+    for token in tokens:
+        if len(token.value) > MAX_TOKEN_CHARS:
+            raise SqlSyntaxError(
+                f"token of {len(token.value)} characters at position "
+                f"{token.pos} exceeds the {MAX_TOKEN_CHARS}-character limit")
     return tokens

@@ -306,3 +306,57 @@ class TestErrorEnvelopes:
     def test_unknown_post_route(self, server):
         status, payload = post(server, "/reboot", {})
         assert status == 404
+
+
+class TestQaHardening:
+    """/qa contract: extended payload, typed failures, no leaked details."""
+
+    def test_extended_payload(self, server):
+        status, payload = post(server, "/qa", {
+            "question": "What are the top 3 methods by MAE?"})
+        assert status == 200
+        data = payload["data"]
+        assert data["ok"] and not data["degraded"]
+        assert data["kb"] == "default"
+        assert data["issues"] == []
+        assert data["provenance"]["id"].startswith("qa-")
+        assert data["provenance"]["attempts"]
+
+    def test_hostile_question_is_200_but_degraded(self, server):
+        status, payload = post(server, "/qa", {
+            "question": "DROP TABLE results; --"})
+        assert status == 200
+        data = payload["data"]
+        assert not data["ok"]
+        assert data["degraded"]
+        assert data["table"]["rows"] == []
+        assert data["suggestions"]
+
+    def test_oversized_question_is_413(self, server):
+        status, payload = post(server, "/qa", {"question": "x" * 5000})
+        assert status == 413
+        assert not payload["ok"]
+        assert "4096" in payload["error"]
+
+    def test_non_string_question_is_400(self, server):
+        status, payload = post(server, "/qa", {"question": 42})
+        assert status == 400
+        assert not payload["ok"]
+
+    def test_pipeline_crash_is_500_without_details(self, server,
+                                                   monkeypatch):
+        def boom(question):
+            raise RuntimeError("boom-internal-detail")
+
+        monkeypatch.setattr(server.api.et, "ask", boom)
+        status, payload = post(server, "/qa", {"question": "top methods"})
+        assert status == 500
+        assert not payload["ok"]
+        assert "provenance qa-err-" in payload["error"]
+        assert "boom-internal-detail" not in payload["error"]
+        assert "Traceback" not in payload["error"]
+
+    def test_qa_route_label_is_bounded(self):
+        from repro.server.app import ROUTE_LABELS, _route_label
+        assert _route_label("/qa") == "/qa"
+        assert "/qa" in ROUTE_LABELS

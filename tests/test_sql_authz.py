@@ -1,0 +1,162 @@
+"""Engine-layer authorization gate: ACLs, budgets, enforcement."""
+
+import pytest
+
+from repro.sql import (AuthorizationPolicy, Database, SqlAuthzError,
+                       SqlError, authorize_sql)
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.create_table("results", [("method", "TEXT"), ("dataset", "TEXT"),
+                               ("mae", "FLOAT"), ("mse", "FLOAT")])
+    d.insert("results", [("theta", "s1", 0.5, 0.3),
+                         ("naive", "s1", 0.9, 0.8),
+                         ("theta", "s2", 0.4, 0.2)])
+    d.create_table("secrets", [("token", "TEXT")])
+    d.insert("secrets", [("hunter2",)])
+    return d
+
+
+OPEN = AuthorizationPolicy(tables={"results": None})
+
+
+class TestStatementAllowlist:
+    @pytest.mark.parametrize("sql", [
+        "DROP TABLE results",
+        "DELETE FROM results",
+        "INSERT INTO results VALUES (1)",
+        "UPDATE results SET mae = 0",
+    ])
+    def test_non_select_is_terminal(self, sql):
+        issues = authorize_sql(sql, OPEN)
+        assert [i.code for i in issues] == ["authz.statement"]
+        assert issues[0].terminal
+
+    def test_select_passes(self):
+        assert authorize_sql("SELECT method FROM results", OPEN) == []
+
+    def test_syntax_garbage_yields_no_authz_issues(self):
+        # The verifier owns syntax reporting; the gate stays silent.
+        assert authorize_sql("SELECT FROM WHERE", OPEN) == []
+
+
+class TestAcls:
+    def test_unauthorized_table(self):
+        issues = authorize_sql("SELECT token FROM secrets", OPEN)
+        assert any(i.code == "authz.table" for i in issues)
+        assert all(i.terminal for i in issues
+                   if i.code.startswith("authz."))
+
+    def test_column_allowlist(self):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method", "mae"})})
+        issues = authorize_sql(
+            "SELECT r.method, r.mse FROM results r", policy)
+        assert [i.code for i in issues] == ["authz.column"]
+        assert issues[0].detail["column"] == "mse"
+
+    def test_unqualified_column_against_allowlist(self):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        issues = authorize_sql("SELECT mae FROM results", policy)
+        assert [i.code for i in issues] == ["authz.column"]
+
+    def test_alias_output_column_is_not_a_violation(self):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method", "mae"})})
+        sql = ("SELECT method, AVG(mae) AS avg_mae FROM results "
+               "GROUP BY method ORDER BY avg_mae")
+        assert authorize_sql(sql, policy) == []
+
+
+class TestBudgets:
+    def test_limit_budget_is_repairable(self):
+        policy = AuthorizationPolicy(tables=None, max_limit=10)
+        issues = authorize_sql("SELECT method FROM results LIMIT 99",
+                               policy)
+        assert [i.code for i in issues] == ["budget.rows"]
+        assert not issues[0].terminal
+        assert issues[0].detail["max_limit"] == 10
+
+    def test_join_budget(self):
+        policy = AuthorizationPolicy(tables=None, max_joins=0)
+        sql = ("SELECT r.method FROM results r "
+               "JOIN secrets s ON r.method = s.token")
+        codes = [i.code for i in authorize_sql(sql, policy)]
+        assert "budget.complexity" in codes
+
+    def test_predicate_budget(self):
+        policy = AuthorizationPolicy(tables=None, max_predicates=2)
+        sql = ("SELECT method FROM results WHERE mae > 0 AND mse > 0 "
+               "AND method = 'theta'")
+        codes = [i.code for i in authorize_sql(sql, policy)]
+        assert codes == ["budget.complexity"]
+
+    def test_in_list_budget(self):
+        policy = AuthorizationPolicy(tables=None, max_in_list=2)
+        sql = "SELECT method FROM results WHERE method IN ('a','b','c')"
+        codes = [i.code for i in authorize_sql(sql, policy)]
+        assert codes == ["budget.complexity"]
+
+    def test_expr_depth_budget(self):
+        policy = AuthorizationPolicy(tables=None, max_expr_depth=3)
+        sql = "SELECT ((((1 + 2)))) + (3 * (4 + 5)) FROM results"
+        codes = [i.code for i in authorize_sql(sql, policy)]
+        assert "budget.complexity" in codes
+
+
+class TestEngineEnforcement:
+    """The gate lives inside Database.query — no backend can bypass it."""
+
+    def test_attached_policy_blocks_forbidden_table(self, db):
+        db.policy = OPEN
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT token FROM secrets")
+        assert any(i.code == "authz.table" for i in err.value.issues)
+
+    def test_sqlauthzerror_is_a_sqlerror(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT token FROM secrets", policy=OPEN)
+
+    def test_per_call_policy(self, db):
+        rows = db.query("SELECT method FROM results",
+                        policy=OPEN).rows
+        assert rows
+
+    def test_limit_budget_enforced_at_query_time(self, db):
+        policy = AuthorizationPolicy(tables=None, max_limit=1)
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT method FROM results LIMIT 5", policy=policy)
+        assert [i.code for i in err.value.issues] == ["budget.rows"]
+
+    def test_result_rows_truncated_to_max_rows(self, db):
+        policy = AuthorizationPolicy(tables=None, max_rows=2)
+        result = db.query("SELECT method FROM results", policy=policy)
+        assert len(result.rows) == 2
+        assert result.truncated
+
+    def test_untruncated_result_flag(self, db):
+        result = db.query("SELECT method FROM results", policy=OPEN)
+        assert not result.truncated
+
+    def test_no_policy_means_open(self, db):
+        assert db.query("SELECT token FROM secrets").rows
+
+    def test_authorize_helper(self, db):
+        issues = db.authorize("DROP TABLE results", OPEN)
+        assert [i.code for i in issues] == ["authz.statement"]
+
+    def test_non_select_refused_before_parse(self, db):
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("DROP TABLE results", policy=OPEN)
+        assert [i.code for i in err.value.issues] == ["authz.statement"]
+
+
+class TestPolicyDescribe:
+    def test_describe_mentions_tables_and_budgets(self):
+        text = AuthorizationPolicy(tables={"results": None},
+                                   max_limit=5).describe()
+        assert "results" in text
+        assert "LIMIT<=5" in text

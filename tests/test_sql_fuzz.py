@@ -1,0 +1,142 @@
+"""Fuzz corpus for the SQL tokenizer/parser: hostile input stays typed.
+
+Every malformed, adversarial or pathological input must either parse or
+raise one *typed* error (:class:`SqlSyntaxError` / :class:`SqlError`) —
+never ``RecursionError``, ``IndexError``, ``MemoryError`` or a raw
+traceback from an unrelated exception type.
+"""
+
+import pytest
+
+from repro.sql import Database, SqlError, SqlSyntaxError, parse, tokenize
+from repro.sql.parser import MAX_EXPR_DEPTH
+from repro.sql.tokens import MAX_SQL_CHARS, MAX_TOKEN_CHARS
+
+#: Inputs that must fail with one typed SqlSyntaxError.
+MALFORMED = [
+    "",
+    "   ",
+    ";",
+    "--",
+    "-- a comment and nothing else",
+    "'",
+    "''",
+    "SELECT 'unterminated",
+    "SELECT 'escaped '' but still open",
+    'SELECT "unterminated',
+    "SELECT \x00 FROM t",
+    "SELECT \x00" * 40,
+    "SELECT * FROM",
+    "SELECT FROM WHERE",
+    "SELECT 1 FROM t WHERE",
+    "SELECT 1 GROUP",
+    "SELECT 1 ORDER",
+    "SELECT ((((1)",
+    "SELECT 1))))",
+    "SELECT 1 FROM t JOIN",
+    "SELECT 1 FROM t JOIN u",
+    "SELECT 1 LIMIT 'five'",
+    "SELECT 1 LIMIT 1.5",
+    "SELECT CASE END",
+    "SELECT f(",
+    "SELECT a.b.c FROM t",
+    "SELECT 1 WHERE a NOT 5",
+    "SELECT @ FROM t",
+    "SELECT 1 #comment",
+    "SELECT `backticks` FROM t",
+    "\x00\x01\x02\x03",
+    "SELECT 1 trailing garbage (",
+    # hostile sizes
+    "(" * 5000 + "1" + ")" * 5000,
+    "SELECT " + "(" * 5000 + "1",
+    "SELECT " + "(" * 5000 + "1" + ")" * 5000,
+    "SELECT " + "NOT " * 5000 + "1 FROM t",
+    "SELECT " + "-" * 5000 + "1",
+    "SELECT " + "a" * (MAX_TOKEN_CHARS + 1) + " FROM t",
+    "SELECT '" + "x" * (MAX_TOKEN_CHARS + 1) + "'",
+    "x" * (MAX_SQL_CHARS + 1),
+    "SELECT 1 " + "OR 1 = 1 " * 20000,       # over the statement cap
+]
+
+#: Inputs that must parse cleanly (the fuzz gate must not over-reject).
+WELL_FORMED = [
+    "SELECT 1",
+    "SELECT -1",
+    "SELECT NOT TRUE",
+    "SELECT ((((1))))",
+    "SELECT " + "(" * (MAX_EXPR_DEPTH - 4) + "1" + ")" * (MAX_EXPR_DEPTH - 4),
+    "SELECT 'it''s fine'",
+    "SELECT 1 -- trailing comment",
+    "SELECT a FROM t WHERE b IN (1, 2, 3) ORDER BY a DESC LIMIT 5",
+    "SELECT 1e10",
+    "SELECT CASE WHEN 1 = 1 THEN 'y' ELSE 'n' END",
+]
+
+
+@pytest.mark.parametrize("sql", MALFORMED, ids=range(len(MALFORMED)))
+def test_malformed_input_raises_typed_error(sql):
+    with pytest.raises(SqlSyntaxError):
+        parse(sql)
+
+
+@pytest.mark.parametrize("sql", WELL_FORMED, ids=range(len(WELL_FORMED)))
+def test_well_formed_input_still_parses(sql):
+    parse(sql)
+
+
+@pytest.mark.parametrize("bad", [None, 123, 4.5, b"SELECT 1",
+                                 ["SELECT 1"], {"sql": "SELECT 1"}])
+def test_non_string_input_is_typed(bad):
+    with pytest.raises(SqlSyntaxError):
+        tokenize(bad)
+
+
+def test_recursion_depth_is_explicitly_capped():
+    deep = "SELECT " + "(" * (MAX_EXPR_DEPTH + 1) + "1" \
+        + ")" * (MAX_EXPR_DEPTH + 1)
+    with pytest.raises(SqlSyntaxError) as err:
+        parse(deep)
+    assert "nested deeper" in str(err.value)
+
+
+def test_depth_error_is_not_recursionerror():
+    # The guard must fire long before the interpreter's own limit.
+    try:
+        parse("(" * 100_000)
+    except SqlSyntaxError:
+        pass
+
+
+def test_statement_size_error_mentions_the_cap():
+    with pytest.raises(SqlSyntaxError) as err:
+        tokenize("x" * (MAX_SQL_CHARS + 1))
+    assert str(MAX_SQL_CHARS) in str(err.value)
+
+
+def test_token_size_error_mentions_the_cap():
+    with pytest.raises(SqlSyntaxError) as err:
+        tokenize("SELECT " + "a" * (MAX_TOKEN_CHARS + 1))
+    assert str(MAX_TOKEN_CHARS) in str(err.value)
+
+
+class TestDatabaseNeverLeaksUntypedErrors:
+    """The full query path (verify → authorize → execute) stays typed."""
+
+    @pytest.fixture()
+    def db(self):
+        d = Database()
+        d.create_table("t", [("a", "INT"), ("b", "TEXT")])
+        d.insert("t", [(1, "x"), (2, "y")])
+        return d
+
+    @pytest.mark.parametrize("sql", MALFORMED, ids=range(len(MALFORMED)))
+    def test_query_malformed(self, db, sql):
+        with pytest.raises((SqlError, SqlSyntaxError)):
+            db.query(sql)
+
+    def test_query_semantic_garbage(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT nope FROM nowhere")
+
+    def test_query_well_formed(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a").rows == [(1,), (2,)]
