@@ -35,7 +35,8 @@ from . import ast
 from .tokens import SqlSyntaxError, tokenize
 
 __all__ = ["AuthzIssue", "AuthorizationPolicy", "authorize",
-           "authorize_sql", "TERMINAL_PREFIX", "BUDGET_PREFIX"]
+           "authorize_sql", "statement_issues", "TERMINAL_PREFIX",
+           "BUDGET_PREFIX"]
 
 #: Issue-code prefixes: ``authz.*`` is terminal, ``budget.*`` repairable.
 TERMINAL_PREFIX = "authz."
@@ -196,7 +197,16 @@ def _walk_in_lists(expr, out):
 
 
 def _collect_columns(select):
-    """Every :class:`ast.Column` reference across all statement scopes."""
+    """Every :class:`ast.Column` reference across all statement scopes.
+
+    Alias references are honoured only where the executor honours them —
+    a bare ORDER BY column whose name matches a select-item alias sorts
+    on the output value, so its source columns were already checked via
+    the aliased expression.  Everywhere else (select items, WHERE, JOIN,
+    GROUP BY, HAVING) a name matching an alias still resolves against
+    the tables at runtime, so it is collected and checked like any other
+    column.
+    """
     from .verify import _walk_columns
 
     columns = []
@@ -207,14 +217,36 @@ def _collect_columns(select):
         if clause is not None:
             scopes.append(clause)
     scopes += list(select.group_by)
-    scopes += [o.expr for o in select.order_by]
+    aliases = {i.alias for i in select.items if i.alias}
+    for order in select.order_by:
+        expr = order.expr
+        if isinstance(expr, ast.Column) and not expr.table \
+                and expr.name in aliases:
+            continue  # alias-in-ORDER-BY: sorts on the output row
+        scopes.append(expr)
     for expr in scopes:
         _walk_columns(expr, columns.append)
     return columns, scopes
 
 
-def authorize(select, policy):
-    """Check a parsed SELECT against a policy; returns AuthzIssue list."""
+def _table_has_column(table, name):
+    try:
+        table.column_index(name)
+    except Exception:
+        return False
+    return True
+
+
+def authorize(select, policy, catalog=None):
+    """Check a parsed SELECT against a policy; returns AuthzIssue list.
+
+    With a ``catalog``, ``SELECT *`` is expanded to the actual columns
+    and unqualified columns are resolved to the table that owns them, so
+    column ACLs hold exactly as they would for fully-qualified SQL.
+    Without one the checks stay conservative: a star over a
+    column-restricted table is refused outright, and an unqualified
+    column must be visible in *every* referenced restricted table.
+    """
     issues = []
     refs = ([] if select.table is None else [select.table]) \
         + [j.table for j in select.joins]
@@ -227,8 +259,41 @@ def authorize(select, policy):
                 f"table {ref.name!r} is not authorized for this caller",
                 {"table": ref.name}))
 
+    # SELECT * reads every column of the tables it expands over, so a
+    # star over a column-restricted grant must be checked column by
+    # column (or refused when the catalog is unavailable).
+    star_targets = []
+    for item in select.items:
+        if not isinstance(item.expr, ast.Star):
+            continue
+        if item.expr.table:
+            name = binding_to_table.get(item.expr.table.lower())
+            star_targets += [] if name is None else [name]
+        else:
+            star_targets += [ref.name for ref in refs]
+    for name in dict.fromkeys(star_targets):
+        if not policy.allows_table(name):
+            continue  # authz.table already reported
+        allowed = policy.allowed_columns(name)
+        if allowed is None:
+            continue
+        allowed_lower = {c.lower() for c in allowed}
+        if catalog is not None and catalog.has(name):
+            for col in catalog.get(name).columns:
+                if col.name.lower() not in allowed_lower:
+                    issues.append(AuthzIssue(
+                        "authz.column",
+                        f"column {name}.{col.name} is not authorized "
+                        "(via SELECT *)",
+                        {"table": name, "column": col.name, "star": True}))
+        else:
+            issues.append(AuthzIssue(
+                "authz.column",
+                f"SELECT * over column-restricted table {name!r} is not "
+                "authorized; name the granted columns explicitly",
+                {"table": name, "star": True}))
+
     columns, scopes = _collect_columns(select)
-    aliases = {i.alias for i in select.items if i.alias}
     for column in columns:
         if column.table:
             table = binding_to_table.get(column.table.lower())
@@ -242,23 +307,26 @@ def authorize(select, policy):
                     f"column {table}.{column.name} is not authorized",
                     {"table": table, "column": column.name}))
         else:
-            if column.name in aliases:
-                continue
-            visible = False
-            unrestricted = False
-            for ref in refs:
-                if not policy.allows_table(ref.name):
-                    continue
-                allowed = policy.allowed_columns(ref.name)
-                if allowed is None:
-                    unrestricted = True
-                elif column.name.lower() in {c.lower() for c in allowed}:
-                    visible = True
-            if refs and not (visible or unrestricted):
+            candidates = [ref.name for ref in refs
+                          if policy.allows_table(ref.name)]
+            if catalog is not None:
+                owners = [name for name in candidates if catalog.has(name)
+                          and _table_has_column(catalog.get(name),
+                                                column.name)]
+                if owners:
+                    candidates = owners
+            blockers = []
+            for name in dict.fromkeys(candidates):
+                allowed = policy.allowed_columns(name)
+                if allowed is not None and column.name.lower() not in {
+                        c.lower() for c in allowed}:
+                    blockers.append(name)
+            if blockers:
                 issues.append(AuthzIssue(
                     "authz.column",
-                    f"column {column.name!r} is not authorized",
-                    {"column": column.name}))
+                    f"column {column.name!r} is not authorized "
+                    f"(table {blockers[0]!r})",
+                    {"column": column.name, "table": blockers[0]}))
 
     if policy.max_joins is not None and len(select.joins) > policy.max_joins:
         issues.append(AuthzIssue(
@@ -311,21 +379,31 @@ def authorize(select, policy):
     return issues
 
 
-def authorize_sql(sql, policy):
-    """Text-level authorization: statement allowlist, then AST checks.
-
-    Returns a list of :class:`AuthzIssue`; parse failures yield no
-    issues here (the verifier owns syntax reporting).
-    """
+def statement_issues(sql):
+    """Read-only allowlist check on the raw text (cheap, pre-parse)."""
     head = _first_keyword(sql)
     if head and head != "SELECT":
         return [AuthzIssue(
             "authz.statement",
             f"{head} statements are not allowed (read-only SELECT policy)",
             {"statement": head})]
+    return []
+
+
+def authorize_sql(sql, policy, catalog=None):
+    """Text-level authorization: statement allowlist, then AST checks.
+
+    Returns a list of :class:`AuthzIssue`; parse failures yield no
+    issues here (the verifier owns syntax reporting).  Pass the catalog
+    when available — it lets column ACLs resolve ``SELECT *`` and
+    unqualified columns precisely instead of conservatively.
+    """
+    gate = statement_issues(sql)
+    if gate:
+        return gate
     from .parser import parse
     try:
         select = parse(sql)
     except SqlSyntaxError:
         return []
-    return authorize(select, policy)
+    return authorize(select, policy, catalog)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .authz import authorize, authorize_sql
+from .authz import authorize, authorize_sql, statement_issues
 from .catalog import Catalog, ColumnDef, SqlCatalogError, infer_type
 from .executor import Result, execute, explain
 from .parser import parse
@@ -91,7 +91,7 @@ class Database:
         policy = policy if policy is not None else self.policy
         if policy is None:
             return []
-        return authorize_sql(sql, policy)
+        return authorize_sql(sql, policy, self.catalog)
 
     def query(self, sql, policy=None):
         """Verify, authorize, then execute.
@@ -104,16 +104,14 @@ class Database:
         """
         policy = policy if policy is not None else self.policy
         if policy is not None:
-            head_issues = authorize_sql(sql, policy)
-            terminal = [i for i in head_issues
-                        if i.code == "authz.statement"]
-            if terminal:
-                raise SqlAuthzError(terminal, sql)
+            gate = statement_issues(sql)
+            if gate:
+                raise SqlAuthzError(gate, sql)
         report = verify_sql(sql, self.catalog)
         if not report.ok:
             raise SqlError(report)
         if policy is not None:
-            issues = authorize(report.statement, policy)
+            issues = authorize(report.statement, policy, self.catalog)
             if issues:
                 raise SqlAuthzError(issues, sql)
         result = execute(report.statement, self.catalog)

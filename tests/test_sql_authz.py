@@ -70,6 +70,33 @@ class TestAcls:
                "GROUP BY method ORDER BY avg_mae")
         assert authorize_sql(sql, policy) == []
 
+    def test_star_without_catalog_is_refused_on_restricted_table(self):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        issues = authorize_sql("SELECT * FROM results", policy)
+        assert [i.code for i in issues] == ["authz.column"]
+        assert issues[0].detail["star"]
+
+    def test_star_on_unrestricted_table_passes(self):
+        assert authorize_sql("SELECT * FROM results", OPEN) == []
+
+    def test_alias_does_not_shadow_column_acl(self):
+        # SELECT method AS mae, mae — the second item reads the real
+        # restricted column; the alias must not exempt it.
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        issues = authorize_sql(
+            "SELECT method AS mae, mae FROM results", policy)
+        assert [i.code for i in issues] == ["authz.column"]
+        assert issues[0].detail["column"] == "mae"
+
+    def test_alias_does_not_shadow_where_clause(self):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        issues = authorize_sql(
+            "SELECT method AS mae FROM results WHERE mae > 0", policy)
+        assert [i.code for i in issues] == ["authz.column"]
+
 
 class TestBudgets:
     def test_limit_budget_is_repairable(self):
@@ -152,6 +179,55 @@ class TestEngineEnforcement:
         with pytest.raises(SqlAuthzError) as err:
             db.query("DROP TABLE results", policy=OPEN)
         assert [i.code for i in err.value.issues] == ["authz.statement"]
+
+    def test_select_star_cannot_bypass_column_acl(self, db):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method", "dataset"})})
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT * FROM results", policy=policy)
+        blocked = {i.detail["column"] for i in err.value.issues}
+        assert blocked == {"mae", "mse"}
+
+    def test_qualified_star_cannot_bypass_column_acl(self, db):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT r.* FROM results r", policy=policy)
+        assert all(i.code == "authz.column" for i in err.value.issues)
+
+    def test_star_allowed_when_allowlist_covers_all_columns(self, db):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method", "dataset",
+                                          "mae", "mse"})})
+        assert db.query("SELECT * FROM results", policy=policy).rows
+
+    def test_alias_shadowing_cannot_leak_column(self, db):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"})})
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT method AS mae, mae FROM results",
+                     policy=policy)
+        assert [i.code for i in err.value.issues] == ["authz.column"]
+
+    def test_unqualified_column_resolves_to_owning_table(self, db):
+        # mae lives in the restricted table; the unrestricted join
+        # partner must not make it visible.
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"}), "secrets": None})
+        with pytest.raises(SqlAuthzError) as err:
+            db.query("SELECT mae FROM results r "
+                     "JOIN secrets s ON r.method = s.token",
+                     policy=policy)
+        issues = [i for i in err.value.issues if i.code == "authz.column"]
+        assert issues and issues[0].detail["table"] == "results"
+
+    def test_unqualified_column_from_unrestricted_join_partner(self, db):
+        policy = AuthorizationPolicy(
+            tables={"results": frozenset({"method"}), "secrets": None})
+        rows = db.query("SELECT token FROM results r "
+                        "JOIN secrets s ON r.method = s.token",
+                        policy=policy).rows
+        assert rows == []  # no join matches, but the query is authorized
 
 
 class TestPolicyDescribe:
