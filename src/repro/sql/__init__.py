@@ -8,20 +8,25 @@ volcano-style executor.
 
 from .authz import (AuthorizationPolicy, AuthzIssue, authorize,
                     authorize_sql)
-from .catalog import (Catalog, ColumnDef, SqlCatalogError, Table,
-                      coerce_value, infer_type)
+from .catalog import (Catalog, ColumnBatch, ColumnDef, SqlCatalogError,
+                      Table, coerce_value, infer_type)
+from .columnar import ColumnarUnsupported, execute_columnar
 from .engine import Database, SqlAuthzError, SqlError
-from .executor import Result, execute, explain
+from .executor import Result, execute, execute_reference, explain
 from .expr import SqlRuntimeError, like_to_regex
 from .parser import parse
+from .plancache import PlanCache, plan_fingerprint
+from .stats import CHUNK_ROWS, ColumnStats, TableStats, table_stats, zone_map
 from .tokens import SqlSyntaxError, tokenize
 from .verify import VerificationReport, verify, verify_sql
 
 __all__ = [
-    "Database", "SqlError", "SqlAuthzError", "Result", "execute", "explain",
-    "parse", "tokenize", "SqlSyntaxError", "SqlRuntimeError",
-    "SqlCatalogError", "Catalog", "Table", "ColumnDef", "infer_type",
-    "coerce_value", "VerificationReport", "verify", "verify_sql",
-    "like_to_regex", "AuthorizationPolicy", "AuthzIssue", "authorize",
-    "authorize_sql",
+    "Database", "SqlError", "SqlAuthzError", "Result", "execute",
+    "execute_reference", "execute_columnar", "ColumnarUnsupported",
+    "explain", "parse", "tokenize", "SqlSyntaxError", "SqlRuntimeError",
+    "SqlCatalogError", "Catalog", "Table", "ColumnDef", "ColumnBatch",
+    "infer_type", "coerce_value", "VerificationReport", "verify",
+    "verify_sql", "like_to_regex", "AuthorizationPolicy", "AuthzIssue",
+    "authorize", "authorize_sql", "PlanCache", "plan_fingerprint",
+    "ColumnStats", "TableStats", "table_stats", "zone_map", "CHUNK_ROWS",
 ]

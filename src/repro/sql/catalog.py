@@ -1,9 +1,23 @@
-"""Catalog and in-memory storage for the embedded relational engine."""
+"""Catalog and in-memory storage for the embedded relational engine.
+
+Storage is **columnar**: a :class:`Table` keeps one value list per
+column (type-coerced on insert) plus a lazily materialised numpy batch
+per column — a typed array and a null mask — that the vectorized
+executor consumes.  Row tuples remain available through
+:attr:`Table.rows` (cached, rebuilt on demand) for the reference row
+engine and for persistence.
+
+A monotonically increasing ``version`` on every table (and a
+``schema_version`` on the catalog) invalidates cached batches,
+statistics, zone maps and prepared plans when data or schema change.
+"""
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["ColumnDef", "Table", "Catalog", "SqlCatalogError",
-           "infer_type", "coerce_value", "TYPES"]
+           "infer_type", "coerce_value", "TYPES", "ColumnBatch"]
 
 TYPES = ("INT", "FLOAT", "TEXT", "BOOL")
 
@@ -66,8 +80,79 @@ def coerce_value(value, type):
     raise SqlCatalogError(f"unknown type {type!r}")
 
 
+def _coerce_column(values, type):
+    """One coercion pass over a whole column (the bulk-insert fast path)."""
+    if type == "INT":
+        return [None if v is None else int(v) for v in values]
+    if type == "FLOAT":
+        return [None if v is None else float(v) for v in values]
+    if type == "TEXT":
+        return [None if v is None else str(v) for v in values]
+    if type == "BOOL":
+        return [None if v is None else bool(v) for v in values]
+    raise SqlCatalogError(f"unknown type {type!r}")
+
+
+class ColumnBatch:
+    """A materialised column: typed numpy values plus a null mask.
+
+    ``values`` is ``int64``/``float64``/``bool_`` for the numeric types
+    and ``object`` for TEXT (or for INT columns whose values overflow
+    int64).  Null slots hold a type-appropriate filler in ``values``;
+    ``mask`` is True where the value is NULL.
+    """
+
+    __slots__ = ("values", "mask", "type")
+
+    def __init__(self, values, mask, type):
+        self.values = values
+        self.mask = mask
+        self.type = type
+
+    def __len__(self):
+        return len(self.values)
+
+    def take(self, indices):
+        """Gather rows; index -1 yields a NULL slot (left-join padding)."""
+        values = self.values[indices]
+        mask = self.mask[indices]
+        pad = indices < 0
+        if pad.any():
+            mask = mask | pad
+        return ColumnBatch(values, mask, self.type)
+
+
+def _build_batch(values, type):
+    """Materialise a python value list into a :class:`ColumnBatch`."""
+    n = len(values)
+    mask = np.fromiter((v is None for v in values), dtype=bool, count=n)
+    if type == "TEXT":
+        arr = np.empty(n, dtype=object)
+        for i, v in enumerate(values):
+            arr[i] = v
+        return ColumnBatch(arr, mask, type)
+    if type == "BOOL":
+        arr = np.fromiter((bool(v) if v is not None else False
+                           for v in values), dtype=bool, count=n)
+        return ColumnBatch(arr, mask, type)
+    if type == "INT":
+        try:
+            arr = np.fromiter((v if v is not None else 0 for v in values),
+                              dtype=np.int64, count=n)
+        except OverflowError:
+            arr = np.empty(n, dtype=object)
+            for i, v in enumerate(values):
+                arr[i] = v
+            return ColumnBatch(arr, mask, type)
+        return ColumnBatch(arr, mask, type)
+    # FLOAT
+    arr = np.fromiter((v if v is not None else 0.0 for v in values),
+                      dtype=np.float64, count=n)
+    return ColumnBatch(arr, mask, type)
+
+
 class Table:
-    """A named relation: column definitions plus row tuples."""
+    """A named relation stored as typed column value lists."""
 
     def __init__(self, name, columns):
         if not columns:
@@ -77,9 +162,15 @@ class Table:
             raise SqlCatalogError(f"duplicate column names in {name!r}")
         self.name = name
         self.columns = list(columns)
-        self.rows = []
+        self.version = 0
+        self._data = [[] for _ in self.columns]   # per-column value lists
         self._index = {c.name: i for i, c in enumerate(self.columns)}
+        self._rows_cache = None
+        self._rows_version = -1
+        self._batch_cache = {}                    # col index -> ColumnBatch
+        self._batch_version = -1
 
+    # -- schema ------------------------------------------------------------
     def column_index(self, name):
         try:
             return self._index[name]
@@ -91,6 +182,7 @@ class Table:
     def column_type(self, name):
         return self.columns[self.column_index(name)].type
 
+    # -- mutation ----------------------------------------------------------
     def insert(self, row):
         """Insert one row (sequence or dict); values are type-coerced."""
         if isinstance(row, dict):
@@ -99,26 +191,79 @@ class Table:
             raise SqlCatalogError(
                 f"row has {len(row)} values, table {self.name!r} has "
                 f"{len(self.columns)} columns")
-        coerced = tuple(coerce_value(v, c.type)
-                        for v, c in zip(row, self.columns))
-        self.rows.append(coerced)
+        coerced = [coerce_value(v, c.type)
+                   for v, c in zip(row, self.columns)]
+        for store, value in zip(self._data, coerced):
+            store.append(value)
+        self.version += 1
 
     def insert_many(self, rows):
+        """Bulk insert: one transpose + one coercion pass per column.
+
+        Accepts sequences or dicts (mixed is fine).  All-or-nothing: a
+        bad row leaves the table untouched.
+        """
+        rows = list(rows)
+        if not rows:
+            return
+        width = len(self.columns)
+        fixed = []
         for row in rows:
-            self.insert(row)
+            if isinstance(row, dict):
+                row = [row.get(c.name) for c in self.columns]
+            else:
+                row = list(row)
+            if len(row) != width:
+                raise SqlCatalogError(
+                    f"row has {len(row)} values, table {self.name!r} has "
+                    f"{width} columns")
+            fixed.append(row)
+        transposed = list(zip(*fixed))
+        coerced = [_coerce_column(values, c.type)
+                   for values, c in zip(transposed, self.columns)]
+        for store, values in zip(self._data, coerced):
+            store.extend(values)
+        self.version += 1
+
+    # -- access ------------------------------------------------------------
+    @property
+    def rows(self):
+        """Row tuples (cached view over the columnar store)."""
+        if self._rows_version != self.version:
+            self._rows_cache = list(zip(*self._data)) if self._data[0] \
+                else []
+            self._rows_version = self.version
+        return self._rows_cache
+
+    def column_values(self, index):
+        """The raw python value list for one column (read-only use)."""
+        return self._data[index]
+
+    def batch(self, index):
+        """The :class:`ColumnBatch` for one column (cached per version)."""
+        if self._batch_version != self.version:
+            self._batch_cache = {}
+            self._batch_version = self.version
+        batch = self._batch_cache.get(index)
+        if batch is None:
+            batch = _build_batch(self._data[index],
+                                 self.columns[index].type)
+            self._batch_cache[index] = batch
+        return batch
 
     def __len__(self):
-        return len(self.rows)
+        return len(self._data[0]) if self._data else 0
 
     def __repr__(self):
-        return f"Table({self.name!r}, {len(self.rows)} rows)"
+        return f"Table({self.name!r}, {len(self)} rows)"
 
 
 class Catalog:
-    """Case-insensitive table namespace."""
+    """Case-insensitive table namespace with a schema version."""
 
     def __init__(self):
         self._tables = {}
+        self.schema_version = 0
 
     def create_table(self, name, columns):
         key = name.lower()
@@ -126,6 +271,7 @@ class Catalog:
             raise SqlCatalogError(f"table {name!r} already exists")
         table = Table(name, columns)
         self._tables[key] = table
+        self.schema_version += 1
         return table
 
     def drop_table(self, name):
@@ -133,6 +279,7 @@ class Catalog:
             del self._tables[name.lower()]
         except KeyError:
             raise SqlCatalogError(f"no table named {name!r}") from None
+        self.schema_version += 1
 
     def get(self, name):
         try:

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from .. import telemetry
 from .authz import authorize, authorize_sql, statement_issues
 from .catalog import Catalog, ColumnDef, SqlCatalogError, infer_type
 from .executor import Result, execute, explain
 from .parser import parse
+from .plancache import PlanCache, plan_fingerprint
 from .verify import VerificationReport, verify, verify_sql
 
 __all__ = ["Database", "SqlError", "SqlAuthzError"]
@@ -49,9 +51,14 @@ class Database:
     bypassed.
     """
 
-    def __init__(self, policy=None):
+    def __init__(self, policy=None, plan_cache_size=256):
         self.catalog = Catalog()
         self.policy = policy
+        # Prepared-plan cache: verified+authorized statement ASTs keyed
+        # by (sql, schema version, policy), so hot Q&A query shapes skip
+        # tokenize/parse/verify/authorize on repeat.  Size 0 disables.
+        self.plan_cache = PlanCache(plan_cache_size) \
+            if plan_cache_size else None
 
     # -- DDL / DML ---------------------------------------------------------
     def create_table(self, name, columns):
@@ -103,18 +110,25 @@ class Database:
         that many rows and flagged ``truncated``.
         """
         policy = policy if policy is not None else self.policy
-        if policy is not None:
-            gate = statement_issues(sql)
-            if gate:
-                raise SqlAuthzError(gate, sql)
-        report = verify_sql(sql, self.catalog)
-        if not report.ok:
-            raise SqlError(report)
-        if policy is not None:
-            issues = authorize(report.statement, policy, self.catalog)
-            if issues:
-                raise SqlAuthzError(issues, sql)
-        result = execute(report.statement, self.catalog)
+        statement = self._cached_statement(sql, policy)
+        if statement is None:
+            if policy is not None:
+                gate = statement_issues(sql)
+                if gate:
+                    raise SqlAuthzError(gate, sql)
+            report = verify_sql(sql, self.catalog)
+            if not report.ok:
+                raise SqlError(report)
+            if policy is not None:
+                issues = authorize(report.statement, policy, self.catalog)
+                if issues:
+                    raise SqlAuthzError(issues, sql)
+            statement = report.statement
+            if self.plan_cache is not None:
+                self.plan_cache.put(
+                    plan_fingerprint(sql, self.catalog.schema_version,
+                                     policy), statement)
+        result = execute(statement, self.catalog)
         result.sql = sql
         if policy is not None and policy.max_rows is not None \
                 and len(result.rows) > policy.max_rows:
@@ -122,13 +136,35 @@ class Database:
             result.truncated = True
         return result
 
+    def _cached_statement(self, sql, policy):
+        """Verified statement from the plan cache, or None on a miss.
+
+        Only statements that previously passed verification *and*
+        authorization under the same policy and schema version are ever
+        stored, so a hit may safely skip all three gates.
+        """
+        if self.plan_cache is None:
+            return None
+        key = plan_fingerprint(sql, self.catalog.schema_version, policy)
+        statement = self.plan_cache.get(key)
+        telemetry.inc("repro_sql_plan_cache_total",
+                      result="hit" if statement is not None else "miss",
+                      help="prepared-plan cache lookups")
+        return statement
+
     def query_unchecked(self, sql):
         """Execute without the verification gate (tests / internal use)."""
         return execute(parse(sql), self.catalog)
 
-    def explain(self, sql):
-        """Access-plan description for a statement."""
-        return explain(parse(sql), self.catalog)
+    def explain(self, sql, policy=None):
+        """Plan description (scans, pushdown, zone maps, join order,
+        plan-cache verdict) for a statement."""
+        cached = None
+        if self.plan_cache is not None:
+            policy = policy if policy is not None else self.policy
+            key = plan_fingerprint(sql, self.catalog.schema_version, policy)
+            cached = self.plan_cache.contains(key)
+        return explain(parse(sql), self.catalog, cached=cached)
 
     # -- introspection ------------------------------------------------------
     def tables(self):

@@ -1,24 +1,41 @@
-"""Query planning and execution for the embedded SQL engine.
+"""Query execution for the embedded SQL engine.
 
-Pipeline: AST → access plan (scans with pushed-down single-table
-predicates, nested-loop joins) → row stream → optional hash aggregation →
-projection → DISTINCT → sort → LIMIT/OFFSET.
+Two executors share one planning layer (:mod:`.planner`):
 
-The rule optimizer splits the WHERE clause into conjuncts and pushes every
-conjunct that references a single table binding down into that table's
-scan, so joins filter early — the textbook predicate-pushdown rule.
+* :func:`execute_reference` — the original row-at-a-time engine
+  (predicate pushdown, hash/nested-loop joins, per-row evaluation
+  through :func:`.expr.evaluate`).  It defines the engine's semantics.
+* the vectorized columnar engine (:mod:`.columnar`) — numpy batch
+  execution with zone-map pruning and cardinality-ordered joins.
+
+:func:`execute` dispatches to the columnar engine and falls back to the
+reference engine whenever the columnar path reports
+:class:`~repro.sql.columnar.ColumnarUnsupported` — so results (and
+errors) are always exactly the reference engine's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .. import telemetry
 from . import ast
-from .catalog import SqlCatalogError
+from .columnar import ColumnarUnsupported, execute_columnar
 from .expr import Resolver, SqlRuntimeError, evaluate, truthy
+from .planner import (AccessPlan, build_plan, collect_aggregates,
+                      contains_aggregate, describe_plan, equi_join_slots,
+                      referenced_bindings, split_conjuncts)
 
-__all__ = ["Result", "execute", "explain", "split_conjuncts",
-           "referenced_bindings"]
+__all__ = ["Result", "execute", "execute_reference", "explain",
+           "split_conjuncts", "referenced_bindings"]
+
+# Back-compat aliases: the verifier (and older call sites) import the
+# planning helpers under their historical executor-private names.
+_contains_aggregate = contains_aggregate
+_collect_aggregates = collect_aggregates
+_equi_join_slots = equi_join_slots
+_Plan = AccessPlan
+_build_plan = build_plan
 
 
 @dataclass
@@ -40,12 +57,14 @@ class Result:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
     def column(self, name):
-        try:
-            index = self.columns.index(name)
-        except ValueError:
+        index_map = getattr(self, "_column_index", None)
+        if index_map is None or len(index_map) != len(self.columns):
+            index_map = {c: i for i, c in enumerate(self.columns)}
+            object.__setattr__(self, "_column_index", index_map)
+        index = index_map.get(name)
+        if index is None:
             raise KeyError(
-                f"no output column {name!r}; columns: {self.columns}") \
-                from None
+                f"no output column {name!r}; columns: {self.columns}")
         return [row[index] for row in self.rows]
 
     def scalar(self):
@@ -58,155 +77,7 @@ class Result:
 
 
 # ---------------------------------------------------------------------------
-# Planning helpers
-# ---------------------------------------------------------------------------
-
-def split_conjuncts(expr):
-    """Flatten a predicate into its top-level AND conjuncts."""
-    if isinstance(expr, ast.Binary) and expr.op == "AND":
-        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
-    return [expr]
-
-
-def referenced_bindings(expr, resolver):
-    """The set of table bindings an expression touches."""
-    out = set()
-
-    def walk(node):
-        if isinstance(node, ast.Column):
-            binding, _ = resolver.resolve(node)
-            out.add(binding)
-        elif isinstance(node, ast.Star):
-            out.update(b for b, _ in resolver.bindings)
-        elif isinstance(node, ast.Unary):
-            walk(node.operand)
-        elif isinstance(node, ast.Binary):
-            walk(node.left)
-            walk(node.right)
-        elif isinstance(node, ast.FuncCall):
-            for a in node.args:
-                walk(a)
-        elif isinstance(node, ast.InList):
-            walk(node.operand)
-            for item in node.items:
-                walk(item)
-        elif isinstance(node, ast.Between):
-            walk(node.operand)
-            walk(node.low)
-            walk(node.high)
-        elif isinstance(node, (ast.IsNull, ast.Like)):
-            walk(node.operand)
-            if isinstance(node, ast.Like):
-                walk(node.pattern)
-        elif isinstance(node, ast.Case):
-            for cond, value in node.branches:
-                walk(cond)
-                walk(value)
-            if node.default is not None:
-                walk(node.default)
-
-    walk(expr)
-    return out
-
-
-def _contains_aggregate(expr):
-    if isinstance(expr, ast.FuncCall):
-        if expr.is_aggregate:
-            return True
-        return any(_contains_aggregate(a) for a in expr.args)
-    if isinstance(expr, ast.Unary):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.Binary):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, ast.InList):
-        return _contains_aggregate(expr.operand) or \
-            any(_contains_aggregate(i) for i in expr.items)
-    if isinstance(expr, ast.Between):
-        return any(_contains_aggregate(e)
-                   for e in (expr.operand, expr.low, expr.high))
-    if isinstance(expr, (ast.IsNull, ast.Like)):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.Case):
-        parts = [c for pair in expr.branches for c in pair]
-        if expr.default is not None:
-            parts.append(expr.default)
-        return any(_contains_aggregate(p) for p in parts)
-    return False
-
-
-def _collect_aggregates(expr, out):
-    if isinstance(expr, ast.FuncCall):
-        if expr.is_aggregate:
-            out.append(expr)
-            return
-        for a in expr.args:
-            _collect_aggregates(a, out)
-    elif isinstance(expr, ast.Unary):
-        _collect_aggregates(expr.operand, out)
-    elif isinstance(expr, ast.Binary):
-        _collect_aggregates(expr.left, out)
-        _collect_aggregates(expr.right, out)
-    elif isinstance(expr, ast.InList):
-        _collect_aggregates(expr.operand, out)
-        for item in expr.items:
-            _collect_aggregates(item, out)
-    elif isinstance(expr, ast.Between):
-        for e in (expr.operand, expr.low, expr.high):
-            _collect_aggregates(e, out)
-    elif isinstance(expr, (ast.IsNull, ast.Like)):
-        _collect_aggregates(expr.operand, out)
-    elif isinstance(expr, ast.Case):
-        for cond, value in expr.branches:
-            _collect_aggregates(cond, out)
-            _collect_aggregates(value, out)
-        if expr.default is not None:
-            _collect_aggregates(expr.default, out)
-
-
-@dataclass
-class _Plan:
-    """Access plan: per-binding scan filters + residual join-level filters."""
-
-    bindings: list                    # [(binding, table, kind, on_expr)]
-    scan_filters: dict = field(default_factory=dict)
-    residual: list = field(default_factory=list)
-
-    def describe(self):
-        lines = []
-        for binding, table, kind, _ in self.bindings:
-            pushed = len(self.scan_filters.get(binding, []))
-            suffix = f" [{pushed} pushed predicate(s)]" if pushed else ""
-            lines.append(f"{kind} scan {table.name} as {binding}{suffix}")
-        if self.residual:
-            lines.append(f"filter: {len(self.residual)} residual predicate(s)")
-        return "\n".join(lines)
-
-
-def _build_plan(select, catalog, resolver):
-    bindings = []
-    base = select.table
-    bindings.append((base.binding, catalog.get(base.name), "INNER", None))
-    for join in select.joins:
-        bindings.append((join.table.binding, catalog.get(join.table.name),
-                         join.kind, join.condition))
-    plan = _Plan(bindings=bindings)
-    if select.where is not None:
-        left_joined = {b for b, _, kind, _ in bindings if kind == "LEFT"}
-        for conjunct in split_conjuncts(select.where):
-            refs = referenced_bindings(conjunct, resolver)
-            if len(refs) == 1:
-                target = next(iter(refs))
-                # Pushing below a LEFT join would change NULL-extension
-                # semantics, so those predicates stay residual.
-                if target not in left_joined:
-                    plan.scan_filters.setdefault(target, []).append(conjunct)
-                    continue
-            plan.residual.append(conjunct)
-    return plan
-
-
-# ---------------------------------------------------------------------------
-# Execution
+# Reference (row-at-a-time) execution
 # ---------------------------------------------------------------------------
 
 def _scan_rows(binding, table, filters, resolver):
@@ -220,28 +91,6 @@ def _scan_rows(binding, table, filters, resolver):
     return out
 
 
-def _equi_join_slots(condition, resolver, left_bindings, right_binding):
-    """Detect ``left.col = right.col`` and return the two slots, or None.
-
-    Enables the hash-join fast path; any other condition shape falls back
-    to the nested-loop join.
-    """
-    if not (isinstance(condition, ast.Binary) and condition.op == "="
-            and isinstance(condition.left, ast.Column)
-            and isinstance(condition.right, ast.Column)):
-        return None
-    try:
-        slot_a = resolver.resolve(condition.left)
-        slot_b = resolver.resolve(condition.right)
-    except SqlRuntimeError:
-        return None
-    if slot_a[0] in left_bindings and slot_b[0] == right_binding:
-        return slot_a, slot_b
-    if slot_b[0] in left_bindings and slot_a[0] == right_binding:
-        return slot_b, slot_a
-    return None
-
-
 def _join_rows(plan, resolver):
     binding0, table0, _, _ = plan.bindings[0]
     envs = [{binding0: row}
@@ -253,7 +102,7 @@ def _join_rows(plan, resolver):
         right_rows = _scan_rows(binding, table,
                                 plan.scan_filters.get(binding, ()), resolver)
         joined = []
-        equi = None if condition is None else _equi_join_slots(
+        equi = None if condition is None else equi_join_slots(
             condition, resolver, seen_bindings, binding)
         if equi is not None:
             # Hash join: build on the (smaller, already filtered) right
@@ -358,8 +207,13 @@ def _sort_key(value):
     return (2, str(value), 0)
 
 
-def execute(select, catalog):
-    """Execute a parsed SELECT against a catalog; returns a Result."""
+def execute_reference(select, catalog):
+    """Row-at-a-time execution of a parsed SELECT; returns a Result.
+
+    This is the engine's semantic reference: the columnar executor must
+    reproduce its output exactly and falls back to it for anything
+    outside the vectorized surface.
+    """
     if select.table is None:
         # SELECT without FROM: evaluate items against an empty environment.
         resolver = Resolver([])
@@ -371,13 +225,13 @@ def execute(select, catalog):
     resolver = Resolver([(select.table.binding, catalog.get(select.table.name))]
                         + [(j.table.binding, catalog.get(j.table.name))
                            for j in select.joins])
-    plan = _build_plan(select, catalog, resolver)
+    plan = build_plan(select, catalog, resolver)
     envs = _join_rows(plan, resolver)
     items = _expand_items(select, resolver)
     columns = [item.output_name(k) for k, item in enumerate(items)]
 
-    has_aggregates = any(_contains_aggregate(i.expr) for i in items) or \
-        (select.having is not None and _contains_aggregate(select.having))
+    has_aggregates = any(contains_aggregate(i.expr) for i in items) or \
+        (select.having is not None and contains_aggregate(select.having))
     grouped = bool(select.group_by) or has_aggregates
 
     output_rows = []
@@ -393,11 +247,11 @@ def execute(select, catalog):
             groups[()] = list(envs)
         agg_nodes = []
         for item in items:
-            _collect_aggregates(item.expr, agg_nodes)
+            collect_aggregates(item.expr, agg_nodes)
         if select.having is not None:
-            _collect_aggregates(select.having, agg_nodes)
+            collect_aggregates(select.having, agg_nodes)
         for order in select.order_by:
-            _collect_aggregates(order.expr, agg_nodes)
+            collect_aggregates(order.expr, agg_nodes)
         for key, group_envs in groups.items():
             rep = group_envs[0] if group_envs else {}
             agg_values = {id(a): _aggregate_value(a, group_envs, resolver)
@@ -477,11 +331,38 @@ def _order_tuple(select, row, columns, env, resolver, agg_values):
     return tuple(keys)
 
 
-def explain(select, catalog):
-    """Describe the access plan (scans, pushed predicates, residuals)."""
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+def execute(select, catalog):
+    """Execute a parsed SELECT: columnar engine with reference fallback."""
+    info = {}
+    try:
+        columns, rows = execute_columnar(select, catalog, info=info)
+    except ColumnarUnsupported:
+        telemetry.inc("repro_sql_fallback_total",
+                      help="queries executed by the reference row engine")
+        return execute_reference(select, catalog)
+    telemetry.inc("repro_sql_batch_rows_total",
+                  value=float(info.get("batch_rows", 0)),
+                  help="rows scanned as columnar batches")
+    pruned = info.get("chunks_pruned", 0)
+    if pruned:
+        telemetry.inc("repro_sql_chunks_pruned_total", value=float(pruned),
+                      help="zone-map chunks skipped by scans")
+    return Result(columns=columns, rows=rows, sql=str(select))
+
+
+def explain(select, catalog, cached=None):
+    """Describe the v2 plan: scans, pushdown, zone maps, join order.
+
+    ``cached`` (None/False/True) is the Database facade's plan-cache
+    verdict for the statement, rendered on the final line when known.
+    """
     if select.table is None:
         return "constant select (no FROM)"
     resolver = Resolver([(select.table.binding, catalog.get(select.table.name))]
                         + [(j.table.binding, catalog.get(j.table.name))
                            for j in select.joins])
-    return _build_plan(select, catalog, resolver).describe()
+    return describe_plan(select, catalog, resolver, cached=cached)

@@ -9,6 +9,7 @@ as false; ``IS [NOT] NULL`` and ``COALESCE`` are the explicit NULL tools.
 
 from __future__ import annotations
 
+import functools
 import math
 import re
 
@@ -70,8 +71,14 @@ class Resolver:
         return out
 
 
+@functools.lru_cache(maxsize=512)
 def like_to_regex(pattern):
-    """Translate a SQL LIKE pattern to an anchored regular expression."""
+    """Translate a SQL LIKE pattern to an anchored regular expression.
+
+    Memoized: the row engine re-translates the pattern for every row and
+    the columnar engine once per batch, so hot LIKE predicates hit the
+    cache instead of recompiling.
+    """
     out = []
     for ch in pattern:
         if ch == "%":

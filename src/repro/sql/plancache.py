@@ -1,0 +1,99 @@
+"""Prepared-query plan cache for the SQL engine.
+
+Caches the *verified, authorized* statement AST for hot query shapes so
+a repeated query skips tokenize/parse/verify/authorize entirely — the
+same idea as the artifact cache, applied to query plans.  Entries are
+keyed by a fingerprint of the SQL text, the catalog's schema version
+(any DDL invalidates every plan) and a canonical rendering of the
+effective :class:`~repro.sql.authz.AuthorizationPolicy` (a plan proven
+clean under one policy must not leak past a stricter one).
+
+Only statements that passed every gate are ever stored, so a cache hit
+is exactly as safe as the cold path.  Table *data* versions are not part
+of the key: a plan is schema- and policy-dependent, never row-dependent
+(statistics-driven join reordering happens at execution time against
+live statistics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+__all__ = ["PlanCache", "plan_fingerprint"]
+
+
+def _policy_key(policy):
+    """Canonical, order-independent rendering of a policy."""
+    if policy is None:
+        return "none"
+    if policy.tables is None:
+        tables = "all"
+    else:
+        parts = []
+        for name in sorted(policy.tables, key=str.lower):
+            cols = policy.tables[name]
+            rendered = "*" if cols is None else ",".join(sorted(cols))
+            parts.append(f"{name.lower()}:{rendered}")
+        tables = ";".join(parts)
+    budgets = (policy.max_limit, policy.max_rows, policy.max_joins,
+               policy.max_predicates, policy.max_expr_depth,
+               policy.max_in_list)
+    return f"{tables}|{budgets}"
+
+
+def plan_fingerprint(sql, schema_version, policy=None):
+    """Stable cache key for (sql text, schema version, policy)."""
+    digest = hashlib.sha256()
+    digest.update(sql.encode("utf-8", "replace"))
+    digest.update(b"\x00")
+    digest.update(str(schema_version).encode())
+    digest.update(b"\x00")
+    digest.update(_policy_key(policy).encode("utf-8", "replace"))
+    return digest.hexdigest()
+
+
+class PlanCache:
+    """Thread-safe LRU of verified statement ASTs."""
+
+    def __init__(self, maxsize=256):
+        self.maxsize = maxsize
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached statement for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, statement):
+        with self._lock:
+            self._entries[key] = statement
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def contains(self, key):
+        """Membership test without touching LRU order or hit counters."""
+        with self._lock:
+            return key in self._entries
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize}

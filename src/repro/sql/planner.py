@@ -1,0 +1,407 @@
+"""Shared planning layer for the SQL engine's two executors.
+
+Holds everything both the reference row engine (:mod:`.executor`) and
+the vectorized columnar engine (:mod:`.columnar`) need:
+
+* AST walking helpers (conjunct splitting, binding references,
+  aggregate collection);
+* the predicate-pushdown access plan (:class:`AccessPlan`);
+* the statistics-driven **optimizer v2**: per-scan cardinality
+  estimates from :mod:`.stats` and greedy cardinality-ordered join
+  sequencing (:func:`order_joins`).  Reordering is purely physical —
+  the columnar executor restores the reference row order afterwards —
+  so it can never change results;
+* the v2 ``EXPLAIN`` rendering (join order, cardinality estimates,
+  zone-map pruning, plan-cache status).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .expr import SqlRuntimeError
+from .stats import table_stats, zone_map
+
+__all__ = ["split_conjuncts", "referenced_bindings", "AccessPlan",
+           "build_plan", "estimate_scan_rows", "order_joins",
+           "zone_prunable", "describe_plan", "equi_join_slots"]
+
+
+def split_conjuncts(expr):
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def referenced_bindings(expr, resolver):
+    """The set of table bindings an expression touches."""
+    out = set()
+
+    def walk(node):
+        if isinstance(node, ast.Column):
+            binding, _ = resolver.resolve(node)
+            out.add(binding)
+        elif isinstance(node, ast.Star):
+            out.update(b for b, _ in resolver.bindings)
+        elif isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.FuncCall):
+            for a in node.args:
+                walk(a)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (ast.IsNull, ast.Like)):
+            walk(node.operand)
+            if isinstance(node, ast.Like):
+                walk(node.pattern)
+        elif isinstance(node, ast.Case):
+            for cond, value in node.branches:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return out
+
+
+def contains_aggregate(expr):
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, ast.InList):
+        return contains_aggregate(expr.operand) or \
+            any(contains_aggregate(i) for i in expr.items)
+    if isinstance(expr, ast.Between):
+        return any(contains_aggregate(e)
+                   for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, (ast.IsNull, ast.Like)):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Case):
+        parts = [c for pair in expr.branches for c in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(contains_aggregate(p) for p in parts)
+    return False
+
+
+def collect_aggregates(expr, out):
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            out.append(expr)
+            return
+        for a in expr.args:
+            collect_aggregates(a, out)
+    elif isinstance(expr, ast.Unary):
+        collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        collect_aggregates(expr.left, out)
+        collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.InList):
+        collect_aggregates(expr.operand, out)
+        for item in expr.items:
+            collect_aggregates(item, out)
+    elif isinstance(expr, ast.Between):
+        for e in (expr.operand, expr.low, expr.high):
+            collect_aggregates(e, out)
+    elif isinstance(expr, (ast.IsNull, ast.Like)):
+        collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Case):
+        for cond, value in expr.branches:
+            collect_aggregates(cond, out)
+            collect_aggregates(value, out)
+        if expr.default is not None:
+            collect_aggregates(expr.default, out)
+
+
+def equi_join_slots(condition, resolver, left_bindings, right_binding):
+    """Detect ``left.col = right.col`` and return the two slots, or None.
+
+    Enables the hash-join fast path; any other condition shape falls
+    back to the nested-loop join (reference engine).
+    """
+    if not (isinstance(condition, ast.Binary) and condition.op == "="
+            and isinstance(condition.left, ast.Column)
+            and isinstance(condition.right, ast.Column)):
+        return None
+    try:
+        slot_a = resolver.resolve(condition.left)
+        slot_b = resolver.resolve(condition.right)
+    except SqlRuntimeError:
+        return None
+    if slot_a[0] in left_bindings and slot_b[0] == right_binding:
+        return slot_a, slot_b
+    if slot_b[0] in left_bindings and slot_a[0] == right_binding:
+        return slot_b, slot_a
+    return None
+
+
+@dataclass
+class AccessPlan:
+    """Access plan: per-binding scan filters + residual join-level filters."""
+
+    bindings: list                    # [(binding, table, kind, on_expr)]
+    scan_filters: dict = field(default_factory=dict)
+    residual: list = field(default_factory=list)
+
+    def describe(self):
+        lines = []
+        for binding, table, kind, _ in self.bindings:
+            pushed = len(self.scan_filters.get(binding, []))
+            suffix = f" [{pushed} pushed predicate(s)]" if pushed else ""
+            lines.append(f"{kind} scan {table.name} as {binding}{suffix}")
+        if self.residual:
+            lines.append(f"filter: {len(self.residual)} residual predicate(s)")
+        return "\n".join(lines)
+
+
+def build_plan(select, catalog, resolver):
+    """Split WHERE into pushed-down scan filters and residual predicates."""
+    bindings = []
+    base = select.table
+    bindings.append((base.binding, catalog.get(base.name), "INNER", None))
+    for join in select.joins:
+        bindings.append((join.table.binding, catalog.get(join.table.name),
+                         join.kind, join.condition))
+    plan = AccessPlan(bindings=bindings)
+    if select.where is not None:
+        left_joined = {b for b, _, kind, _ in bindings if kind == "LEFT"}
+        for conjunct in split_conjuncts(select.where):
+            refs = referenced_bindings(conjunct, resolver)
+            if len(refs) == 1:
+                target = next(iter(refs))
+                # Pushing below a LEFT join would change NULL-extension
+                # semantics, so those predicates stay residual.
+                if target not in left_joined:
+                    plan.scan_filters.setdefault(target, []).append(conjunct)
+                    continue
+            plan.residual.append(conjunct)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Statistics-driven optimizer v2
+# ---------------------------------------------------------------------------
+
+def _literal_value(expr):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-" \
+            and isinstance(expr.operand, ast.Literal) \
+            and isinstance(expr.operand.value, (int, float)) \
+            and not isinstance(expr.operand.value, bool):
+        return -expr.operand.value
+    return None
+
+
+def _conjunct_selectivity(conjunct, binding, stats, resolver):
+    """Rough fraction of rows a pushed-down conjunct keeps."""
+    if isinstance(conjunct, ast.Binary) \
+            and conjunct.op in ("=", "!=", "<", "<=", ">", ">="):
+        sides = (conjunct.left, conjunct.right)
+        col = next((s for s in sides if isinstance(s, ast.Column)), None)
+        if col is not None:
+            try:
+                _, index = resolver.resolve(col)
+            except SqlRuntimeError:
+                return 0.5
+            st = stats.column(col.name) if stats else None
+            ndv = getattr(st, "ndv", None)
+            if conjunct.op == "=":
+                return 1.0 / max(ndv or 10, 1)
+            if conjunct.op == "!=":
+                return 1.0 - 1.0 / max(ndv or 10, 1)
+            return 1.0 / 3.0
+        return 0.5
+    if isinstance(conjunct, ast.InList):
+        return min(1.0, max(len(conjunct.items), 1) / 10.0)
+    if isinstance(conjunct, ast.Between):
+        return 0.25
+    if isinstance(conjunct, ast.Like):
+        return 0.25
+    if isinstance(conjunct, ast.IsNull):
+        return 0.1
+    return 0.5
+
+
+def estimate_scan_rows(binding, table, filters, resolver):
+    """Cardinality estimate for one scan after its pushed predicates."""
+    stats = table_stats(table)
+    rows = float(stats.row_count)
+    for conjunct in filters:
+        rows *= _conjunct_selectivity(conjunct, binding, stats, resolver)
+    return max(rows, 1.0) if stats.row_count else 0.0
+
+
+def order_joins(plan, resolver):
+    """Greedy cardinality-ordered join sequence for all-INNER equi joins.
+
+    Returns ``(sequence, estimates, reordered)`` where ``sequence`` is a
+    list of ``(binding, table, kind, condition)`` with the base first and
+    ``condition=None``, or ``(None, estimates, False)`` when the shape
+    is not safely reorderable (LEFT joins, non-equi conditions,
+    disconnected graphs) — the caller then keeps the declared order.
+    """
+    estimates = {}
+    for binding, table, _, _ in plan.bindings:
+        estimates[binding] = estimate_scan_rows(
+            binding, table, plan.scan_filters.get(binding, ()), resolver)
+    if len(plan.bindings) < 2:
+        return None, estimates, False
+    if any(kind != "INNER" for _, _, kind, _ in plan.bindings[1:]):
+        return None, estimates, False
+    all_bindings = {b for b, _, _, _ in plan.bindings}
+    joins = []
+    for binding, table, kind, condition in plan.bindings[1:]:
+        slots = equi_join_slots(condition, resolver,
+                                all_bindings - {binding}, binding)
+        if slots is None:
+            return None, estimates, False
+        other = slots[0][0]
+        joins.append((binding, other, condition))
+    by_binding = {b: (b, t, k, c) for b, t, k, c in plan.bindings}
+    base = min(all_bindings, key=lambda b: (estimates[b], b))
+    placed = {base}
+    sequence = [(base, by_binding[base][1], "INNER", None)]
+    pending = {b for b in all_bindings if b != base}
+    conditions = [(b, o, c) for b, o, c in joins]
+    while pending:
+        candidates = []
+        for binding, other, condition in conditions:
+            if binding in placed and other in placed:
+                continue
+            if binding in placed and other in pending:
+                candidates.append((other, condition))
+            elif other in placed and binding in pending:
+                candidates.append((binding, condition))
+        if not candidates:
+            return None, estimates, False
+        nxt, condition = min(candidates,
+                             key=lambda bc: (estimates[bc[0]], bc[0]))
+        entry = by_binding[nxt]
+        sequence.append((nxt, entry[1], "INNER", condition))
+        placed.add(nxt)
+        pending.discard(nxt)
+    declared = [b for b, _, _, _ in plan.bindings]
+    chosen = [b for b, _, _, _ in sequence]
+    return sequence, estimates, chosen != declared
+
+
+# ---------------------------------------------------------------------------
+# Zone-map candidacy (shared by the scan and EXPLAIN)
+# ---------------------------------------------------------------------------
+
+_ZONE_OPS = {"=", "<", "<=", ">", ">="}
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def zone_prunable(conjunct, binding, resolver):
+    """``[(col_index, op, literal), ...]`` range checks a conjunct implies.
+
+    Only simple shapes qualify: ``col <op> literal`` (either side) and
+    non-negated ``col BETWEEN lit AND lit``.  Anything else returns [].
+    """
+    checks = []
+    if isinstance(conjunct, ast.Binary) and conjunct.op in _ZONE_OPS:
+        col, lit, op = None, None, conjunct.op
+        if isinstance(conjunct.left, ast.Column):
+            col, lit = conjunct.left, _literal_value(conjunct.right)
+        elif isinstance(conjunct.right, ast.Column):
+            col, lit = conjunct.right, _literal_value(conjunct.left)
+            op = _FLIP[op]
+        if col is not None and lit is not None:
+            try:
+                bind, index = resolver.resolve(col)
+            except SqlRuntimeError:
+                return []
+            if bind == binding:
+                checks.append((index, op, lit))
+    elif isinstance(conjunct, ast.Between) and not conjunct.negated \
+            and isinstance(conjunct.operand, ast.Column):
+        low = _literal_value(conjunct.low)
+        high = _literal_value(conjunct.high)
+        if low is not None and high is not None:
+            try:
+                bind, index = resolver.resolve(conjunct.operand)
+            except SqlRuntimeError:
+                return []
+            if bind == binding:
+                checks.append((index, ">=", low))
+                checks.append((index, "<=", high))
+    return checks
+
+
+def prune_chunks(table, binding, filters, resolver):
+    """Surviving chunk ids for a scan, or ``(None, 0, 0)`` for no pruning."""
+    checks = []
+    for conjunct in filters:
+        checks.extend(zone_prunable(conjunct, binding, resolver))
+    if not checks or len(table) == 0:
+        return None, 0, 0
+    surviving = None
+    total = 0
+    for index, op, value in checks:
+        zm = zone_map(table, index)
+        total = zm.n_chunks
+        keep = zm.surviving_chunks(op, value)
+        if keep is None:
+            continue
+        keep = set(keep)
+        surviving = keep if surviving is None else (surviving & keep)
+    if surviving is None:
+        return None, 0, 0
+    return sorted(surviving), total - len(surviving), total
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN v2 rendering
+# ---------------------------------------------------------------------------
+
+def describe_plan(select, catalog, resolver, cached=None):
+    """Render the v2 plan: scans, pushdown, join order, zone maps, cache.
+
+    ``cached`` is None (unknown), False (cold) or True (prepared-plan
+    cache hit) — the Database facade passes its plan-cache verdict.
+    """
+    plan = build_plan(select, catalog, resolver)
+    sequence, estimates, reordered = order_joins(plan, resolver)
+    lines = []
+    for binding, table, kind, _ in plan.bindings:
+        filters = plan.scan_filters.get(binding, ())
+        pushed = len(filters)
+        suffix = f" [{pushed} pushed predicate(s)]" if pushed else ""
+        est = estimates.get(binding, 0.0)
+        chunks, pruned, total = prune_chunks(table, binding, filters,
+                                             resolver)
+        zone = f" [zone-map: {pruned}/{total} chunks pruned]" \
+            if total else ""
+        lines.append(f"{kind} scan {table.name} as {binding}{suffix}"
+                     f"{zone} (est. {est:.0f} rows)")
+    if plan.residual:
+        lines.append(f"filter: {len(plan.residual)} residual predicate(s)")
+    if sequence is not None:
+        order = " -> ".join(b for b, _, _, _ in sequence)
+        tag = "reordered by cardinality" if reordered else "declared order"
+        lines.append(f"join order: {order} ({tag})")
+    elif len(plan.bindings) > 1:
+        lines.append("join order: declared order (not reorderable)")
+    if cached is not None:
+        lines.append("plan cache: hit (parse/verify/authz skipped)"
+                     if cached else "plan cache: miss")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Table statistics and zone maps for the columnar SQL engine.
+
+Two artefacts, both derived lazily from a table's columnar batches and
+cached against :attr:`~repro.sql.catalog.Table.version`:
+
+* :class:`ColumnStats` — per-column min / max / distinct-count (ndv) /
+  null-count plus row count.  The optimizer uses these for join
+  ordering (cardinality estimates) and predicate selectivity.
+* :class:`ZoneMap` — per-chunk min / max / null-count over fixed-size
+  row chunks.  A scan with a pushed-down range or equality predicate
+  consults the zone map and skips chunks whose [min, max] interval
+  cannot contain a match — classic min/max pruning.  Pruning only ever
+  removes rows that cannot satisfy the predicate, so results are
+  identical with or without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ColumnStats", "TableStats", "ZoneMap", "table_stats",
+           "zone_map", "CHUNK_ROWS"]
+
+#: Rows per zone-map chunk.  Small enough to prune selectively on
+#: million-row tables, large enough that per-chunk bookkeeping is noise.
+CHUNK_ROWS = 4096
+
+
+class ColumnStats:
+    """min/max/ndv/null-count for one column."""
+
+    __slots__ = ("name", "type", "min", "max", "ndv", "null_count", "count")
+
+    def __init__(self, name, type, min, max, ndv, null_count, count):
+        self.name = name
+        self.type = type
+        self.min = min
+        self.max = max
+        self.ndv = ndv
+        self.null_count = null_count
+        self.count = count
+
+    def __repr__(self):
+        return (f"ColumnStats({self.name}: min={self.min!r} "
+                f"max={self.max!r} ndv={self.ndv} "
+                f"nulls={self.null_count}/{self.count})")
+
+
+class TableStats:
+    """Row count plus per-column :class:`ColumnStats`."""
+
+    __slots__ = ("table_name", "row_count", "columns")
+
+    def __init__(self, table_name, row_count, columns):
+        self.table_name = table_name
+        self.row_count = row_count
+        self.columns = columns          # {column_name: ColumnStats}
+
+    def column(self, name):
+        return self.columns.get(name)
+
+    def describe(self):
+        lines = [f"{self.table_name}: {self.row_count} rows"]
+        for st in self.columns.values():
+            lines.append(f"  {st.name} {st.type}: min={st.min!r} "
+                         f"max={st.max!r} ndv={st.ndv} "
+                         f"nulls={st.null_count}")
+        return "\n".join(lines)
+
+
+def _column_stats(name, batch):
+    n = len(batch)
+    null_count = int(batch.mask.sum())
+    valid = n - null_count
+    if valid == 0:
+        return ColumnStats(name, batch.type, None, None, 0, null_count, n)
+    values = batch.values if null_count == 0 else batch.values[~batch.mask]
+    if batch.values.dtype == object:
+        try:
+            uniq = len(set(values.tolist()))
+            lo, hi = min(values.tolist()), max(values.tolist())
+        except TypeError:       # mixed un-comparable values: stats degrade
+            return ColumnStats(name, batch.type, None, None, None,
+                               null_count, n)
+        return ColumnStats(name, batch.type, lo, hi, uniq, null_count, n)
+    uniq = len(np.unique(values))
+    lo = values.min().item()
+    hi = values.max().item()
+    return ColumnStats(name, batch.type, lo, hi, uniq, null_count, n)
+
+
+def table_stats(table):
+    """Current :class:`TableStats` for a table (cached per version)."""
+    cached = getattr(table, "_stats_cache", None)
+    if cached is not None and cached[0] == table.version:
+        return cached[1]
+    columns = {}
+    for i, col in enumerate(table.columns):
+        columns[col.name] = _column_stats(col.name, table.batch(i))
+    stats = TableStats(table.name, len(table), columns)
+    table._stats_cache = (table.version, stats)
+    return stats
+
+
+class ZoneMap:
+    """Per-chunk min/max/null-count for one column.
+
+    ``mins``/``maxs`` are parallel lists (python values; None for an
+    all-null chunk), ``null_counts`` a numpy int array, ``chunk_rows``
+    the chunk size and ``n_rows`` the table length at build time.
+    """
+
+    __slots__ = ("mins", "maxs", "null_counts", "chunk_rows", "n_rows",
+                 "orderable")
+
+    def __init__(self, mins, maxs, null_counts, chunk_rows, n_rows,
+                 orderable):
+        self.mins = mins
+        self.maxs = maxs
+        self.null_counts = null_counts
+        self.chunk_rows = chunk_rows
+        self.n_rows = n_rows
+        self.orderable = orderable
+
+    @property
+    def n_chunks(self):
+        return len(self.mins)
+
+    def chunk_slice(self, chunk):
+        lo = chunk * self.chunk_rows
+        return lo, min(lo + self.chunk_rows, self.n_rows)
+
+    def surviving_chunks(self, op, value):
+        """Chunk indices that may contain a row matching ``col <op> value``.
+
+        ``op`` is one of ``= < <= > >=``; NULL rows never match a
+        comparison, so all-null chunks are always prunable.  Returns
+        None when the zone map cannot reason about the predicate (e.g.
+        un-orderable values), meaning "keep everything".
+        """
+        if not self.orderable or value is None:
+            return None
+        keep = []
+        for chunk in range(self.n_chunks):
+            lo, hi = self.mins[chunk], self.maxs[chunk]
+            if lo is None:              # all-null chunk
+                continue
+            try:
+                if op == "=":
+                    alive = lo <= value <= hi
+                elif op == "<":
+                    alive = lo < value
+                elif op == "<=":
+                    alive = lo <= value
+                elif op == ">":
+                    alive = hi > value
+                elif op == ">=":
+                    alive = hi >= value
+                else:
+                    return None
+            except TypeError:           # cross-type comparison: keep chunk
+                return None
+            if alive:
+                keep.append(chunk)
+        return keep
+
+
+def zone_map(table, col_index, chunk_rows=CHUNK_ROWS):
+    """Zone map for one column (cached per table version)."""
+    cache = getattr(table, "_zonemap_cache", None)
+    if cache is None or cache[0] != table.version:
+        cache = (table.version, {})
+        table._zonemap_cache = cache
+    key = (col_index, chunk_rows)
+    zm = cache[1].get(key)
+    if zm is not None:
+        return zm
+    batch = table.batch(col_index)
+    n = len(batch)
+    n_chunks = (n + chunk_rows - 1) // chunk_rows
+    mins, maxs = [], []
+    null_counts = np.zeros(n_chunks, dtype=np.int64)
+    orderable = batch.values.dtype != object or batch.type == "TEXT"
+    for chunk in range(n_chunks):
+        lo = chunk * chunk_rows
+        hi = min(lo + chunk_rows, n)
+        mask = batch.mask[lo:hi]
+        nulls = int(mask.sum())
+        null_counts[chunk] = nulls
+        if nulls == hi - lo:
+            mins.append(None)
+            maxs.append(None)
+            continue
+        values = batch.values[lo:hi]
+        if nulls:
+            values = values[~mask]
+        if values.dtype == object:
+            try:
+                vals = values.tolist()
+                mins.append(min(vals))
+                maxs.append(max(vals))
+            except TypeError:
+                mins.append(None)
+                maxs.append(None)
+                orderable = False
+        else:
+            mins.append(values.min().item())
+            maxs.append(values.max().item())
+    zm = ZoneMap(mins, maxs, null_counts, chunk_rows, n, orderable)
+    cache[1][key] = zm
+    return zm

@@ -1,0 +1,495 @@
+"""Columnar SQL engine v2: differential identity, stats, zone maps,
+plan cache.
+
+The centrepiece is a randomized differential suite: generated queries
+run through both the vectorized columnar executor and the reference row
+engine, and results must match row-for-row (floats compared with
+isclose — numpy's pairwise summation can differ from python's
+sequential sum in the last bits).  The columnar engine preserves the
+reference engine's row order even when it reorders joins, so the
+comparison is order-sensitive on purpose.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.sql import (CHUNK_ROWS, AuthorizationPolicy, ColumnarUnsupported,
+                       Database, PlanCache, execute_columnar,
+                       execute_reference, like_to_regex, parse,
+                       plan_fingerprint, table_stats, zone_map)
+from repro.sql.catalog import Catalog, ColumnDef, SqlCatalogError, Table
+from repro.sql.expr import SqlRuntimeError
+
+
+def _rows_equal(got, want):
+    if len(got) != len(want):
+        return False
+    for grow, wrow in zip(got, want):
+        if len(grow) != len(wrow):
+            return False
+        for g, w in zip(grow, wrow):
+            if isinstance(g, float) and isinstance(w, float) \
+                    and not isinstance(g, bool) and not isinstance(w, bool):
+                if math.isnan(g) and math.isnan(w):
+                    continue
+                if not math.isclose(g, w, rel_tol=1e-9, abs_tol=1e-12):
+                    return False
+            elif g != w or type(g) is not type(w):
+                return False
+    return True
+
+
+def _assert_identical(db, sql):
+    """Run one statement through both engines and compare."""
+    stmt = parse(sql)
+    ref_error = None
+    try:
+        ref = execute_reference(stmt, db.catalog)
+    except (SqlRuntimeError, SqlCatalogError) as exc:
+        ref_error = exc
+    try:
+        columns, rows = execute_columnar(parse(sql), db.catalog)
+    except ColumnarUnsupported:
+        return "fallback"
+    assert ref_error is None, \
+        f"columnar succeeded where reference raised {ref_error!r}: {sql}"
+    assert columns == ref.columns, sql
+    assert _rows_equal(rows, ref.rows), \
+        f"{sql}\ncolumnar={rows[:5]}\nreference={ref.rows[:5]}"
+    return "columnar"
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.create_table("runs", [("run_id", "INT"), ("model", "TEXT"),
+                            ("dataset", "TEXT"), ("horizon", "INT"),
+                            ("mae", "FLOAT"), ("ok", "BOOL")])
+    d.create_table("models", [("name", "TEXT"), ("family", "TEXT"),
+                              ("params", "INT")])
+    rng = random.Random(7)
+    models = ["patchtst", "dlinear", "nbeats", "fedformer", None]
+    datasets = ["etth1", "ettm2", "weather"]
+    d.insert("runs", [
+        (i,
+         rng.choice(models),
+         rng.choice(datasets),
+         rng.choice([24, 48, 96, None]),
+         round(rng.uniform(0.1, 3.0), 4) if rng.random() > 0.1 else None,
+         rng.random() > 0.3)
+        for i in range(400)])
+    d.insert("models", [
+        ("patchtst", "transformer", 900), ("dlinear", "linear", 10),
+        ("nbeats", "mlp", 450), ("itransformer", "transformer", 700),
+        (None, "unknown", 0)])
+    return d
+
+
+class TestColumnarIdentity:
+    """Hand-picked shapes covering every executor feature."""
+
+    SHAPES = [
+        "SELECT * FROM runs",
+        "SELECT run_id, mae FROM runs WHERE mae < 1.0",
+        "SELECT model, COUNT(*) AS n, AVG(mae) AS avg_mae FROM runs "
+        "WHERE horizon = 96 GROUP BY model",
+        "SELECT model, dataset, COUNT(*) AS n FROM runs "
+        "GROUP BY model, dataset ORDER BY n DESC, model ASC",
+        "SELECT model, MIN(mae) AS best, MAX(mae) AS worst, SUM(horizon) "
+        "AS h FROM runs GROUP BY model HAVING COUNT(*) > 10",
+        "SELECT COUNT(*) AS n, COUNT(mae) AS with_mae, "
+        "COUNT(DISTINCT model) AS models FROM runs",
+        "SELECT run_id, mae FROM runs ORDER BY mae ASC LIMIT 7",
+        "SELECT run_id, mae FROM runs ORDER BY mae DESC, run_id ASC "
+        "LIMIT 5 OFFSET 3",
+        "SELECT DISTINCT model, dataset FROM runs ORDER BY 1, 2",
+        "SELECT r.model, m.family, r.mae FROM runs r "
+        "JOIN models m ON r.model = m.name WHERE r.mae < 0.5",
+        "SELECT r.model, m.family FROM runs r "
+        "LEFT JOIN models m ON r.model = m.name WHERE r.horizon = 24",
+        "SELECT m.family, COUNT(*) AS n, AVG(r.mae) AS avg_mae "
+        "FROM runs r JOIN models m ON r.model = m.name "
+        "GROUP BY m.family ORDER BY avg_mae",
+        "SELECT model FROM runs WHERE model LIKE 'p%' OR model LIKE '%ar'",
+        "SELECT run_id FROM runs WHERE model IN ('patchtst', 'dlinear') "
+        "AND horizon BETWEEN 24 AND 96",
+        "SELECT run_id, CASE WHEN mae < 0.5 THEN 'good' "
+        "WHEN mae < 1.5 THEN 'fair' ELSE 'poor' END AS grade FROM runs",
+        "SELECT run_id, COALESCE(model, 'none') AS m FROM runs "
+        "WHERE model IS NULL",
+        "SELECT run_id, mae * 2 + 1 AS scaled, horizon / 2 AS half, "
+        "horizon % 5 AS rem FROM runs WHERE mae IS NOT NULL",
+        "SELECT UPPER(model) AS u, LENGTH(dataset) AS l, "
+        "ROUND(mae, 1) AS r, ABS(mae - 1) AS d FROM runs "
+        "WHERE model IS NOT NULL",
+        "SELECT ok, COUNT(*) AS n FROM runs GROUP BY ok",
+        "SELECT model, SUM(ok) AS oks FROM runs GROUP BY model",
+        "SELECT AVG(mae) AS m FROM runs WHERE run_id > 10000",
+        "SELECT run_id FROM runs WHERE NOT ok ORDER BY run_id LIMIT 4",
+        "SELECT -mae AS neg FROM runs WHERE mae > 2 ORDER BY neg",
+        "SELECT model FROM runs WHERE model NOT IN ('patchtst') "
+        "AND model IS NOT NULL",
+        "SELECT run_id FROM runs WHERE mae / horizon > 0.01 LIMIT 9",
+    ]
+
+    @pytest.mark.parametrize("sql", SHAPES)
+    def test_shape_identical(self, db, sql):
+        outcome = _assert_identical(db, sql)
+        assert outcome == "columnar", f"unexpected fallback for: {sql}"
+
+    def test_empty_table(self, db):
+        db.create_table("empty", [("a", "INT"), ("b", "TEXT")])
+        for sql in ["SELECT * FROM empty",
+                    "SELECT COUNT(*) AS n, AVG(a) AS m FROM empty",
+                    "SELECT b, SUM(a) AS s FROM empty GROUP BY b",
+                    "SELECT a FROM empty ORDER BY a DESC LIMIT 3"]:
+            _assert_identical(db, sql)
+
+    def test_three_table_join_reorder_preserves_order(self, db):
+        db.create_table("tags", [("model", "TEXT"), ("tag", "TEXT")])
+        db.insert("tags", [("patchtst", "sota"), ("dlinear", "fast"),
+                           ("dlinear", "simple"), ("nbeats", "classic")])
+        sql = ("SELECT r.run_id, m.family, t.tag FROM runs r "
+               "JOIN models m ON r.model = m.name "
+               "JOIN tags t ON m.name = t.model "
+               "WHERE r.horizon = 96 AND r.mae < 2.0")
+        assert _assert_identical(db, sql) == "columnar"
+
+    def test_fallback_paths_still_correct(self, db):
+        # Shapes outside the vectorized surface must fall back cleanly
+        # through the dispatcher and still produce reference results.
+        for sql in ["SELECT 1 AS one, 'x' AS s",
+                    "SELECT r.run_id FROM runs r JOIN models m "
+                    "ON r.horizon > m.params LIMIT 3"]:
+            result = db.query_unchecked(sql)
+            ref = execute_reference(parse(sql), db.catalog)
+            assert result.columns == ref.columns
+            assert result.rows == ref.rows
+
+
+class _QueryGen:
+    """Random SELECT generator over the fixture schema."""
+
+    COLS = {"runs": [("run_id", "INT"), ("model", "TEXT"),
+                     ("dataset", "TEXT"), ("horizon", "INT"),
+                     ("mae", "FLOAT"), ("ok", "BOOL")]}
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def literal(self, type_):
+        r = self.rng
+        if type_ == "INT":
+            return str(r.choice([0, 1, 24, 48, 96, 200, 399]))
+        if type_ == "FLOAT":
+            return f"{r.uniform(0.0, 3.0):.2f}"
+        if type_ == "BOOL":
+            return r.choice(["TRUE", "FALSE"])
+        return "'" + r.choice(["patchtst", "dlinear", "etth1", "wex",
+                               "p%", "%a%"]) + "'"
+
+    def predicate(self):
+        r = self.rng
+        name, type_ = r.choice(self.COLS["runs"])
+        kind = r.randrange(7)
+        if kind == 0:
+            op = r.choice(["=", "!=", "<", "<=", ">", ">="])
+            return f"{name} {op} {self.literal(type_)}"
+        if kind == 1:
+            return f"{name} IS {'NOT ' if r.random() < 0.5 else ''}NULL"
+        if kind == 2 and type_ in ("INT", "FLOAT"):
+            lo, hi = sorted([self.literal(type_), self.literal(type_)],
+                            key=float)
+            neg = "NOT " if r.random() < 0.3 else ""
+            return f"{name} {neg}BETWEEN {lo} AND {hi}"
+        if kind == 3 and type_ == "TEXT":
+            neg = "NOT " if r.random() < 0.3 else ""
+            return f"{name} {neg}LIKE {self.literal('TEXT')}"
+        if kind == 4:
+            items = ", ".join(self.literal(type_) for _ in range(3))
+            neg = "NOT " if r.random() < 0.3 else ""
+            return f"{name} {neg}IN ({items})"
+        if kind == 5 and type_ in ("INT", "FLOAT"):
+            return (f"{name} {r.choice(['+', '-', '*'])} "
+                    f"{self.literal(type_)} "
+                    f"{r.choice(['<', '>', '='])} {self.literal(type_)}")
+        return f"{name} {r.choice(['=', '!='])} {self.literal(type_)}"
+
+    def where(self):
+        parts = [self.predicate()
+                 for _ in range(self.rng.randrange(1, 4))]
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" {self.rng.choice(['AND', 'OR'])} {p}"
+        return out
+
+    def query(self):
+        r = self.rng
+        grouped = r.random() < 0.4
+        if grouped:
+            keys = r.sample(["model", "dataset", "horizon", "ok"],
+                            r.randrange(1, 3))
+            aggs = r.sample(
+                ["COUNT(*) AS n", "AVG(mae) AS a", "SUM(horizon) AS s",
+                 "MIN(mae) AS lo", "MAX(mae) AS hi",
+                 "COUNT(DISTINCT dataset) AS dd"],
+                r.randrange(1, 4))
+            items = ", ".join(keys + aggs)
+            sql = f"SELECT {items} FROM runs"
+            if r.random() < 0.8:
+                sql += f" WHERE {self.where()}"
+            sql += " GROUP BY " + ", ".join(keys)
+            if r.random() < 0.3:
+                sql += " HAVING COUNT(*) > " + str(r.randrange(0, 5))
+            if r.random() < 0.6:
+                key = r.choice(keys + ["n" if "COUNT(*) AS n" in aggs
+                                       else keys[0]])
+                sql += f" ORDER BY {key} {r.choice(['ASC', 'DESC'])}" \
+                    f", {keys[0]} ASC"
+        else:
+            cols = r.sample([c for c, _ in self.COLS["runs"]],
+                            r.randrange(1, 4))
+            distinct = "DISTINCT " if r.random() < 0.2 else ""
+            sql = f"SELECT {distinct}{', '.join(cols)} FROM runs"
+            if r.random() < 0.8:
+                sql += f" WHERE {self.where()}"
+            if r.random() < 0.6:
+                keys = ", ".join(
+                    f"{c} {r.choice(['ASC', 'DESC'])}" for c in cols)
+                sql += f" ORDER BY {keys}"
+        if r.random() < 0.5:
+            sql += f" LIMIT {r.randrange(1, 30)}"
+            if r.random() < 0.3:
+                sql += f" OFFSET {r.randrange(0, 10)}"
+        return sql
+
+
+class TestDifferential:
+    N_QUERIES = 300
+
+    def test_randomized_queries_identical(self, db):
+        gen = _QueryGen(seed=20260809)
+        outcomes = {"columnar": 0, "fallback": 0}
+        for _ in range(self.N_QUERIES):
+            sql = gen.query()
+            outcomes[_assert_identical(db, sql)] += 1
+        # The suite must actually exercise the vectorized path, not
+        # trivially pass by falling back on everything.
+        assert outcomes["columnar"] >= self.N_QUERIES * 0.9, outcomes
+
+
+class TestStatistics:
+    def _table(self):
+        t = Table("t", [ColumnDef("a", "INT"), ColumnDef("s", "TEXT")])
+        t.insert_many([(1, "x"), (5, "y"), (5, None), (None, "x")])
+        return t
+
+    def test_column_stats(self):
+        st = table_stats(self._table())
+        assert st.row_count == 4
+        a = st.column("a")
+        assert (a.min, a.max, a.ndv, a.null_count) == (1, 5, 2, 1)
+        s = st.column("s")
+        assert (s.min, s.max, s.ndv, s.null_count) == ("x", "y", 2, 1)
+
+    def test_stats_cached_per_version(self):
+        t = self._table()
+        first = table_stats(t)
+        assert table_stats(t) is first
+        t.insert((9, "z"))
+        second = table_stats(t)
+        assert second is not first
+        assert second.column("a").max == 9
+
+
+class TestZoneMap:
+    def _table(self, n=3 * CHUNK_ROWS):
+        t = Table("t", [ColumnDef("v", "INT")])
+        t.insert_many([(i,) for i in range(n)])
+        return t
+
+    def test_chunk_bounds(self):
+        zm = zone_map(self._table(), 0)
+        assert zm.n_chunks == 3
+        assert zm.mins[0] == 0 and zm.maxs[0] == CHUNK_ROWS - 1
+        assert zm.maxs[2] == 3 * CHUNK_ROWS - 1
+
+    def test_surviving_chunks_ops(self):
+        zm = zone_map(self._table(), 0)
+        assert zm.surviving_chunks("=", 10) == [0]
+        assert zm.surviving_chunks("=", CHUNK_ROWS) == [1]
+        assert zm.surviving_chunks("<", CHUNK_ROWS) == [0]
+        assert zm.surviving_chunks(">=", 2 * CHUNK_ROWS) == [2]
+        assert zm.surviving_chunks(">", 3 * CHUNK_ROWS) == []
+
+    def test_pruned_scan_identical(self):
+        d = Database()
+        d.create_table("seq", [("v", "INT"), ("tag", "TEXT")])
+        d.insert("seq", [(i, f"t{i % 5}") for i in range(3 * CHUNK_ROWS)])
+        sql = (f"SELECT v, tag FROM seq WHERE v >= {2 * CHUNK_ROWS} "
+               f"AND v < {2 * CHUNK_ROWS + 10}")
+        info = {}
+        columns, rows = execute_columnar(parse(sql), d.catalog, info=info)
+        ref = execute_reference(parse(sql), d.catalog)
+        assert rows == ref.rows
+        assert info["chunks_pruned"] >= 1
+
+    def test_all_null_chunks_prunable(self):
+        t = Table("t", [ColumnDef("v", "INT")])
+        t.insert_many([(None,)] * CHUNK_ROWS + [(1,)] * 8)
+        zm = zone_map(t, 0)
+        assert zm.surviving_chunks("=", 1) == [1]
+
+
+class TestPlanCache:
+    def test_hit_miss_and_lru(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)            # evicts b (a was freshened)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["hits"] == 3 and cache.stats()["misses"] == 1
+
+    def test_fingerprint_dimensions(self):
+        p1 = AuthorizationPolicy(tables={"runs": None})
+        p2 = AuthorizationPolicy(tables={"runs": frozenset({"mae"})})
+        base = plan_fingerprint("SELECT 1", 3, p1)
+        assert plan_fingerprint("SELECT 1", 3, p1) == base
+        assert plan_fingerprint("SELECT 2", 3, p1) != base
+        assert plan_fingerprint("SELECT 1", 4, p1) != base
+        assert plan_fingerprint("SELECT 1", 3, p2) != base
+        assert plan_fingerprint("SELECT 1", 3, None) != base
+
+    def test_warm_hit_skips_verification(self, db, monkeypatch):
+        sql = "SELECT run_id FROM runs WHERE mae < 1.0 LIMIT 3"
+        first = db.query(sql)
+        calls = {"n": 0}
+        import repro.sql.engine as engine_mod
+
+        def counting_verify(s, catalog):
+            calls["n"] += 1
+            raise AssertionError("verify_sql called on a warm hit")
+
+        monkeypatch.setattr(engine_mod, "verify_sql", counting_verify)
+        second = db.query(sql)
+        assert second.rows == first.rows
+        assert calls["n"] == 0
+        assert db.plan_cache.hits >= 1
+
+    def test_schema_change_invalidates(self, db):
+        sql = "SELECT run_id FROM runs LIMIT 1"
+        db.query(sql)
+        hits_before = db.plan_cache.hits
+        db.query(sql)
+        assert db.plan_cache.hits == hits_before + 1
+        db.create_table("other", [("x", "INT")])   # bumps schema_version
+        db.query(sql)                              # key changed: miss
+        assert db.plan_cache.hits == hits_before + 1
+
+    def test_policy_partitions_cache(self, db):
+        open_policy = AuthorizationPolicy(tables={"runs": None})
+        narrow = AuthorizationPolicy(tables={"runs": frozenset({"run_id"})})
+        sql = "SELECT run_id, mae FROM runs LIMIT 1"
+        db.query(sql, policy=open_policy)
+        # The same SQL under a stricter policy must NOT reuse the open
+        # policy's cached plan — mae is not granted here.
+        from repro.sql import SqlAuthzError
+        with pytest.raises(SqlAuthzError):
+            db.query(sql, policy=narrow)
+
+
+class TestExplainV2:
+    def test_renders_zone_maps_and_join_order(self, db):
+        db.create_table("big", [("v", "INT"), ("k", "TEXT")])
+        db.insert("big", [(i, f"k{i % 3}") for i in range(2 * CHUNK_ROWS)])
+        plan = db.explain(
+            f"SELECT v FROM big WHERE v < {CHUNK_ROWS // 2}")
+        assert "pushed" in plan
+        assert "zone-map" in plan and "chunks pruned" in plan
+        assert "est." in plan
+        assert "plan cache: miss" in plan
+
+    def test_join_order_and_cache_hit(self, db):
+        sql = ("SELECT r.run_id FROM runs r "
+               "JOIN models m ON r.model = m.name LIMIT 2")
+        plan = db.explain(sql)
+        assert "join order:" in plan
+        # models (5 rows) is the smaller side: the optimizer leads with it.
+        assert "join order: m -> r" in plan
+        assert "reordered by cardinality" in plan
+        db.query(sql)
+        assert "plan cache: hit" in db.explain(sql)
+
+
+class TestSatellites:
+    def test_insert_many_bulk_and_atomic(self):
+        t = Table("t", [ColumnDef("a", "INT"), ColumnDef("b", "TEXT")])
+        t.insert_many([(1, "x"), {"a": 2, "b": "y"}, (3, None)])
+        assert t.rows == [(1, "x"), (2, "y"), (3, None)]
+        version = t.version
+        with pytest.raises(SqlCatalogError):
+            t.insert_many([(4, "z"), (5,)])        # bad arity mid-batch
+        assert len(t) == 3 and t.version == version
+
+    def test_like_regex_memoized(self):
+        assert like_to_regex("abc%") is like_to_regex("abc%")
+
+    def test_result_column_lookup_cached(self, db):
+        result = db.query_unchecked("SELECT run_id, mae FROM runs LIMIT 5")
+        assert result.column("mae") == [r[1] for r in result.rows]
+        assert result._column_index == {"run_id": 0, "mae": 1}
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+
+class TestTelemetryCounters:
+    def test_sql_counters_emitted_and_rendered(self, db):
+        from repro import telemetry
+        telemetry.disable()            # enable() reuses a leaked collector
+        scope = telemetry.enable()
+        try:
+            sql = f"SELECT run_id FROM runs WHERE run_id < 5"
+            db.query(sql)               # miss + columnar batch rows
+            db.query(sql)               # hit
+            db.query("SELECT 1")        # no-FROM: reference fallback
+            registry = scope.metrics
+            assert registry.get("repro_sql_plan_cache_total").value(
+                result="hit") == 1
+            assert registry.get("repro_sql_plan_cache_total").value(
+                result="miss") >= 1
+            assert registry.get("repro_sql_batch_rows_total").value() > 0
+            assert registry.get("repro_sql_fallback_total").value() == 1
+            rendered = telemetry.render_prometheus(registry)
+            for name in ("repro_sql_plan_cache_total",
+                         "repro_sql_batch_rows_total",
+                         "repro_sql_fallback_total"):
+                assert name in rendered
+        finally:
+            telemetry.disable()
+
+    def test_chunks_pruned_counter(self):
+        from repro import telemetry
+        telemetry.disable()
+        scope = telemetry.enable()
+        try:
+            d = Database()
+            d.create_table("seq", [("v", "INT")])
+            d.insert("seq", [(i,) for i in range(3 * CHUNK_ROWS)])
+            d.query(f"SELECT v FROM seq WHERE v < 10")
+            assert scope.metrics.get(
+                "repro_sql_chunks_pruned_total").value() >= 2
+        finally:
+            telemetry.disable()
+
+
+class TestGoldenCorpusOnColumnar:
+    def test_e17_accuracy_holds(self):
+        from repro.knowledge import build_synthetic_knowledge
+        from repro.qa.certification import certify
+        kb = build_synthetic_knowledge(n_series=60)
+        summary = certify(kb)
+        assert summary["accuracy"] == 1.0, summary["failures"]
